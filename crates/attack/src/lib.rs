@@ -1,0 +1,47 @@
+//! DDoS attack workloads, benign background traffic, and detection.
+//!
+//! Section 1 of the paper frames the threat: "once a hacker breaks in
+//! the cluster, the impact of DDoS attack within a cluster would be even
+//! severe since one infected system, which is believed to be
+//! trustworthy, may instantly paralyze the whole cluster through the
+//! high speed network." This crate builds those workloads:
+//!
+//! * [`flood`] — first-generation volumetric floods "by using DDoS
+//!   attack tools such as Tribe Flood Network (TFN) and trinoo":
+//!   multiple compromised zombies dumping UDP/ICMP at one victim;
+//! * [`synflood`] — the TCP SYN flood of §1, with the victim's
+//!   half-open connection table modelled so denial of service is
+//!   *measured*, not asserted;
+//! * [`worm`] — second-generation attacks: an epidemic scanner whose
+//!   "total traffic increases exponentially";
+//! * [`spoof`] — source-address spoofing strategies (§4.1: "attackers
+//!   generate packets with spoofed IP addresses");
+//! * [`background`] — benign cluster traffic patterns (uniform random,
+//!   transpose, hot-spot, nearest-neighbour) so experiments measure
+//!   collateral damage;
+//! * [`detect`] — concrete detectors (rate, source-entropy, half-open
+//!   count). The paper assumes detection exists (§6.1); we implement it
+//!   so the end-to-end pipeline — detect → identify → block — runs.
+//! * [`scenario`] — composition glue used by examples and benches.
+
+#![warn(missing_docs)]
+
+pub mod background;
+pub mod compromised;
+pub mod console;
+pub mod detect;
+pub mod flood;
+pub mod scenario;
+pub mod spoof;
+pub mod synflood;
+pub mod worm;
+
+pub use background::{BackgroundTraffic, TrafficPattern};
+pub use compromised::{CompromisedSwitch, EvilBehavior};
+pub use console::{ConsoleConfig, VictimConsole};
+pub use detect::{DetectionVerdict, EntropyDetector, RateDetector, SynHalfOpenDetector};
+pub use flood::FloodAttack;
+pub use scenario::{PacketFactory, Workload};
+pub use spoof::SpoofStrategy;
+pub use synflood::{HalfOpenTable, SynFloodAttack};
+pub use worm::WormOutbreak;

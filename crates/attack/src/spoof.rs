@@ -1,0 +1,106 @@
+//! Source-address spoofing strategies.
+//!
+//! "DDoS attacks often use spoofed IP addresses, meaning that an
+//! attacker uses a fake IP addresses instead of the real source IP
+//! address." (§1). Strategies differ in how hard they are on naive
+//! defences: in-block random spoofing defeats ingress filtering (§2)
+//! because every forged address is a legitimate cluster address.
+
+use ddpm_net::AddrMap;
+use ddpm_topology::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// How an attacker forges the source-address field.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SpoofStrategy {
+    /// No spoofing: the attacker's real address (naïve attacker).
+    None,
+    /// A fixed innocent node's address — frames one victim.
+    FrameNode(NodeId),
+    /// A fresh uniformly random in-cluster address per packet —
+    /// maximises source entropy, defeats address-based blocking.
+    RandomInCluster,
+    /// A random address *outside* the cluster block — caught by ingress
+    /// filtering (the §2 baseline defence), included for contrast.
+    RandomExternal,
+}
+
+impl SpoofStrategy {
+    /// The forged source address for one packet from `true_src`.
+    pub fn claimed_ip<R: Rng + ?Sized>(
+        self,
+        map: &AddrMap,
+        true_src: NodeId,
+        rng: &mut R,
+    ) -> Ipv4Addr {
+        match self {
+            SpoofStrategy::None => map.ip_of(true_src),
+            SpoofStrategy::FrameNode(n) => map.ip_of(n),
+            SpoofStrategy::RandomInCluster => {
+                let n = rng.gen_range(0..map.len());
+                map.ip_of(NodeId(n))
+            }
+            SpoofStrategy::RandomExternal => {
+                // Addresses in 203.0.113.0/24 (TEST-NET-3): never in the
+                // cluster block.
+                Ipv4Addr::new(203, 0, 113, rng.gen_range(1..=254))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddpm_topology::Topology;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (AddrMap, SmallRng) {
+        let topo = Topology::mesh2d(8);
+        (AddrMap::for_topology(&topo), SmallRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn none_is_honest() {
+        let (map, mut rng) = setup();
+        assert_eq!(
+            SpoofStrategy::None.claimed_ip(&map, NodeId(5), &mut rng),
+            map.ip_of(NodeId(5))
+        );
+    }
+
+    #[test]
+    fn frame_node_is_constant() {
+        let (map, mut rng) = setup();
+        for _ in 0..10 {
+            assert_eq!(
+                SpoofStrategy::FrameNode(NodeId(9)).claimed_ip(&map, NodeId(5), &mut rng),
+                map.ip_of(NodeId(9))
+            );
+        }
+    }
+
+    #[test]
+    fn random_in_cluster_stays_in_block_and_varies() {
+        let (map, mut rng) = setup();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let ip = SpoofStrategy::RandomInCluster.claimed_ip(&map, NodeId(0), &mut rng);
+            assert!(map.contains(ip), "{ip} escaped the cluster block");
+            seen.insert(ip);
+        }
+        assert!(seen.len() > 20, "entropy too low: {}", seen.len());
+    }
+
+    #[test]
+    fn random_external_is_outside_block() {
+        let (map, mut rng) = setup();
+        for _ in 0..50 {
+            let ip = SpoofStrategy::RandomExternal.claimed_ip(&map, NodeId(0), &mut rng);
+            assert!(!map.contains(ip), "{ip} must be outside the cluster");
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Worm outbreak: the second-generation attack of §1.
+//!
+//! "The second generation DDoS attacks are by worms or viruses. … Even
+//! though these attacks do not target a specific system, it can use up
+//! system and network resources because its total traffic increases
+//! exponentially." (§1, citing CodeRed and Nimda.)
+//!
+//! [`WormOutbreak`] is a discrete-round SI (susceptible–infected)
+//! epidemic with uniform random scanning inside the cluster: each
+//! infected node emits `scans_per_round` probe packets per round; a
+//! probe landing on a susceptible node infects it at the start of the
+//! next round. The generator returns both the packet workload (for the
+//! simulator) and the infection timeline (for the experiments' growth
+//! curves).
+
+use crate::scenario::{PacketFactory, Workload};
+use crate::spoof::SpoofStrategy;
+use ddpm_net::L4;
+use ddpm_sim::SimTime;
+use ddpm_topology::NodeId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An epidemic scanning worm.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WormOutbreak {
+    /// Nodes infected at time zero (patient zero set).
+    pub seeds: Vec<NodeId>,
+    /// Cluster size (scan space).
+    pub num_nodes: u32,
+    /// Probe packets per infected node per round.
+    pub scans_per_round: u32,
+    /// Round duration in cycles.
+    pub round_cycles: u64,
+    /// Number of rounds to simulate.
+    pub rounds: u32,
+    /// Worm probes usually spoof, too.
+    pub spoof: SpoofStrategy,
+    /// Target port the worm exploits.
+    pub port: u16,
+}
+
+/// Result of expanding an outbreak into traffic.
+#[derive(Clone, Debug)]
+pub struct OutbreakTrace {
+    /// The probe packets to inject.
+    pub workload: Workload,
+    /// Infected-node count at the start of each round.
+    pub infected_per_round: Vec<u32>,
+    /// Every node that ended up infected.
+    pub infected: Vec<NodeId>,
+}
+
+impl WormOutbreak {
+    /// A default-shaped outbreak from one seed.
+    #[must_use]
+    pub fn new(seed: NodeId, num_nodes: u32) -> Self {
+        Self {
+            seeds: vec![seed],
+            num_nodes,
+            scans_per_round: 4,
+            round_cycles: 256,
+            rounds: 12,
+            spoof: SpoofStrategy::RandomInCluster,
+            port: 445,
+        }
+    }
+
+    /// Expands the epidemic into a packet workload and growth curve.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        factory: &mut PacketFactory,
+        rng: &mut R,
+    ) -> OutbreakTrace {
+        assert!(self.num_nodes >= 2, "need at least two nodes");
+        let mut infected = vec![false; self.num_nodes as usize];
+        for s in &self.seeds {
+            infected[s.as_usize()] = true;
+        }
+        let mut workload = Workload::new();
+        let mut infected_per_round = Vec::with_capacity(self.rounds as usize);
+        for round in 0..self.rounds {
+            let round_start = SimTime(u64::from(round) * self.round_cycles);
+            let currently: Vec<NodeId> = (0..self.num_nodes)
+                .filter(|&i| infected[i as usize])
+                .map(NodeId)
+                .collect();
+            infected_per_round.push(currently.len() as u32);
+            let mut newly = Vec::new();
+            for &src in &currently {
+                for k in 0..self.scans_per_round {
+                    // Uniform random scanning over the whole cluster.
+                    let target = loop {
+                        let t = NodeId(rng.gen_range(0..self.num_nodes));
+                        if t != src {
+                            break t;
+                        }
+                    };
+                    let jitter =
+                        u64::from(k) * self.round_cycles / u64::from(self.scans_per_round.max(1));
+                    let claimed = self.spoof.claimed_ip(factory.map(), src, rng);
+                    let l4 = L4::tcp_syn(rng.gen_range(1024..=u16::MAX), self.port, rng.gen());
+                    let pkt = factory.attack(src, claimed, target, l4, 376);
+                    workload.push((round_start + jitter, pkt));
+                    if !infected[target.as_usize()] {
+                        newly.push(target);
+                    }
+                }
+            }
+            for n in newly {
+                infected[n.as_usize()] = true;
+            }
+        }
+        OutbreakTrace {
+            workload,
+            infected_per_round,
+            infected: (0..self.num_nodes)
+                .filter(|&i| infected[i as usize])
+                .map(NodeId)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddpm_net::AddrMap;
+    use ddpm_topology::Topology;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn factory() -> PacketFactory {
+        let topo = Topology::mesh2d(8);
+        PacketFactory::new(AddrMap::for_topology(&topo))
+    }
+
+    #[test]
+    fn growth_is_monotone_and_initially_exponential_ish() {
+        let mut f = factory();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let worm = WormOutbreak::new(NodeId(0), 64);
+        let trace = worm.generate(&mut f, &mut rng);
+        // Monotone non-decreasing infected counts.
+        for w in trace.infected_per_round.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert_eq!(trace.infected_per_round[0], 1);
+        // With 4 scans/round on 64 nodes the epidemic saturates well
+        // within 12 rounds.
+        assert_eq!(
+            *trace.infected_per_round.last().unwrap(),
+            64,
+            "outbreak should saturate: {:?}",
+            trace.infected_per_round
+        );
+        // Early growth at least doubles per round while the susceptible
+        // pool is large.
+        assert!(trace.infected_per_round[1] >= 2);
+        assert!(trace.infected_per_round[2] >= 2 * trace.infected_per_round[1].min(8));
+    }
+
+    #[test]
+    fn traffic_grows_with_infection() {
+        let mut f = factory();
+        let mut rng = SmallRng::seed_from_u64(6);
+        let worm = WormOutbreak {
+            rounds: 6,
+            ..WormOutbreak::new(NodeId(3), 64)
+        };
+        let trace = worm.generate(&mut f, &mut rng);
+        // Packets per round = infected * scans_per_round.
+        let mut per_round = [0u32; 6];
+        for (t, _) in &trace.workload {
+            per_round[(t.0 / worm.round_cycles) as usize] += 1;
+        }
+        for (r, &count) in per_round.iter().enumerate() {
+            assert_eq!(count, trace.infected_per_round[r] * worm.scans_per_round);
+        }
+        assert!(per_round[5] > per_round[0], "traffic must grow");
+    }
+
+    #[test]
+    fn probes_never_self_target() {
+        let mut f = factory();
+        let mut rng = SmallRng::seed_from_u64(8);
+        let worm = WormOutbreak::new(NodeId(0), 16);
+        let trace = worm.generate(&mut f, &mut rng);
+        assert!(trace
+            .workload
+            .iter()
+            .all(|(_, p)| p.true_source != p.dest_node));
+    }
+
+    #[test]
+    fn multiple_seeds_supported() {
+        let mut f = factory();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let worm = WormOutbreak {
+            seeds: vec![NodeId(0), NodeId(32)],
+            rounds: 3,
+            ..WormOutbreak::new(NodeId(0), 64)
+        };
+        let trace = worm.generate(&mut f, &mut rng);
+        assert_eq!(trace.infected_per_round[0], 2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the attack workloads.
+
+use ddpm_attack::{
+    BackgroundTraffic, FloodAttack, PacketFactory, SpoofStrategy, SynFloodAttack, TrafficPattern,
+    WormOutbreak,
+};
+use ddpm_net::{AddrMap, TrafficClass};
+use ddpm_sim::SimTime;
+use ddpm_topology::{NodeId, Topology};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (3u16..=8, 3u16..=8).prop_map(|(a, b)| Topology::mesh(&[a, b])),
+        (3u16..=8, 3u16..=8).prop_map(|(a, b)| Topology::torus(&[a, b])),
+        (3usize..=6).prop_map(Topology::hypercube),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every generated workload is internally consistent: unique packet
+    /// ids, correct class tags, valid ground truth, headers consistent
+    /// with the address map.
+    #[test]
+    fn flood_workloads_are_well_formed(
+        topo in arb_topology(),
+        seed in any::<u64>(),
+        zombies in 1usize..5,
+        per_zombie in 1u32..40,
+    ) {
+        let n = topo.num_nodes() as u32;
+        let map = AddrMap::for_topology(&topo);
+        let mut factory = PacketFactory::new(map.clone());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let victim = NodeId(n - 1);
+        let zombies: Vec<NodeId> =
+            (0..zombies).map(|i| NodeId(i as u32 * (n / 6).max(1) % (n - 1))).collect();
+        let mut dedup = zombies.clone();
+        dedup.sort();
+        dedup.dedup();
+        let flood = FloodAttack {
+            packets_per_zombie: per_zombie,
+            ..FloodAttack::new(dedup.clone(), victim)
+        };
+        let w = flood.generate(&mut factory, &mut rng);
+        prop_assert_eq!(w.len(), dedup.len() * per_zombie as usize);
+        let mut ids = std::collections::HashSet::new();
+        for (_, p) in &w {
+            prop_assert!(ids.insert(p.id), "duplicate packet id");
+            prop_assert_eq!(p.class, TrafficClass::Attack);
+            prop_assert_eq!(p.dest_node, victim);
+            prop_assert!(dedup.contains(&p.true_source));
+            prop_assert_eq!(p.header.dst, map.ip_of(victim));
+            // Random-in-cluster spoofing always claims an in-block address.
+            prop_assert!(map.contains(p.header.src));
+        }
+    }
+
+    /// SYN floods generate only SYNs, scheduled after `start`.
+    #[test]
+    fn syn_floods_generate_only_syns(
+        topo in arb_topology(),
+        seed in any::<u64>(),
+        start in 0u64..5_000,
+    ) {
+        let n = topo.num_nodes() as u32;
+        let map = AddrMap::for_topology(&topo);
+        let mut factory = PacketFactory::new(map);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let flood = SynFloodAttack {
+            start: SimTime(start),
+            syns_per_zombie: 25,
+            ..SynFloodAttack::new(vec![NodeId(0)], NodeId(n - 1))
+        };
+        let w = flood.generate(&mut factory, &mut rng);
+        for (t, p) in &w {
+            prop_assert!(t.0 >= start);
+            prop_assert!(p.l4.is_syn());
+        }
+    }
+
+    /// Background traffic: benign class, honest headers, horizon
+    /// respected, never self-addressed.
+    #[test]
+    fn background_is_honest_and_bounded(
+        topo in arb_topology(),
+        seed in any::<u64>(),
+        interval in 4u64..64,
+        duration in 100u64..2_000,
+    ) {
+        let map = AddrMap::for_topology(&topo);
+        let mut factory = PacketFactory::new(map.clone());
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let bg = BackgroundTraffic {
+            pattern: TrafficPattern::Uniform,
+            interval,
+            duration,
+            start: SimTime::ZERO,
+        };
+        let w = bg.generate(&topo, &mut factory, &mut rng);
+        for (t, p) in &w {
+            prop_assert!(t.0 < duration);
+            prop_assert_eq!(p.class, TrafficClass::Benign);
+            prop_assert_ne!(p.true_source, p.dest_node);
+            prop_assert!(!p.is_spoofed(&map), "benign traffic must be honest");
+        }
+    }
+
+    /// Worm outbreaks: monotone growth, bounded by the cluster size,
+    /// traffic proportional to the infected population.
+    #[test]
+    fn worm_growth_invariants(
+        seed in any::<u64>(),
+        nodes in 8u32..128,
+        scans in 1u32..6,
+        rounds in 1u32..10,
+    ) {
+        let side = 16u16; // address pool >= nodes
+        let map = AddrMap::for_topology(&Topology::mesh2d(side));
+        let mut factory = PacketFactory::new(map);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let worm = WormOutbreak {
+            scans_per_round: scans,
+            rounds,
+            spoof: SpoofStrategy::RandomInCluster,
+            ..WormOutbreak::new(NodeId(seed as u32 % nodes), nodes)
+        };
+        let trace = worm.generate(&mut factory, &mut rng);
+        prop_assert_eq!(trace.infected_per_round.len(), rounds as usize);
+        for w in trace.infected_per_round.windows(2) {
+            prop_assert!(w[1] >= w[0], "infection must be monotone");
+        }
+        for &c in &trace.infected_per_round {
+            prop_assert!(c <= nodes);
+        }
+        let expected_packets: u64 = trace
+            .infected_per_round
+            .iter()
+            .map(|&c| u64::from(c) * u64::from(scans))
+            .sum();
+        prop_assert_eq!(trace.workload.len() as u64, expected_packets);
+        // `infected` includes infections caused by the final round, so it
+        // is at least the last round-start count and at most the cluster.
+        let last = *trace.infected_per_round.last().unwrap() as usize;
+        prop_assert!(trace.infected.len() >= last);
+        prop_assert!(trace.infected.len() <= nodes as usize);
+    }
+}

@@ -1,0 +1,50 @@
+//! Wall-clock cost of the full detect → identify → block pipeline on a
+//! flooded 8×8 torus — the deployment-scale sanity check.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ddpm_attack::{PacketFactory, SynFloodAttack};
+use ddpm_core::identify::attack_census;
+use ddpm_core::DdpmScheme;
+use ddpm_net::AddrMap;
+use ddpm_routing::{Router, SelectionPolicy};
+use ddpm_sim::{SimConfig, Simulation};
+use ddpm_topology::{FaultSet, NodeId, Topology};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn pipeline() -> usize {
+    let topo = Topology::torus(&[8, 8]);
+    let scheme = DdpmScheme::new(&topo).unwrap();
+    let map = AddrMap::for_topology(&topo);
+    let faults = FaultSet::none();
+    let mut factory = PacketFactory::new(map);
+    let mut rng = SmallRng::seed_from_u64(17);
+    let flood = SynFloodAttack {
+        syns_per_zombie: 200,
+        ..SynFloodAttack::new(vec![NodeId(3), NodeId(40), NodeId(61)], NodeId(27))
+    };
+    let workload = flood.generate(&mut factory, &mut rng);
+    let mut sim = Simulation::new(
+        &topo,
+        &faults,
+        Router::fully_adaptive_for(&topo),
+        SelectionPolicy::ProductiveFirstRandom,
+        &scheme,
+        SimConfig::seeded(17),
+    );
+    for (t, p) in workload {
+        sim.schedule(t, p);
+    }
+    sim.run();
+    let census = attack_census(&topo, &scheme, sim.delivered());
+    census.len()
+}
+
+fn e2e_benches(c: &mut Criterion) {
+    c.bench_function("e2e/flood-600syn-identify", |b| {
+        b.iter_batched(|| (), |()| pipeline(), BatchSize::SmallInput);
+    });
+}
+
+criterion_group!(benches, e2e_benches);
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Victim-side traceback cost: PPM path reconstruction vs. DDPM
+//! single-packet inversion.
+//!
+//! The asymmetry the paper sells: PPM victims run a graph search over
+//! collected marks; a DDPM victim does one subtraction/XOR per packet.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ddpm_core::ppm::{EdgeMark, XorMark};
+use ddpm_core::reconstruct::{reconstruct_paths, reconstruct_paths_xor};
+use ddpm_core::DdpmScheme;
+use ddpm_routing::{trace_path, Router, SelectionPolicy};
+use ddpm_topology::gray::gray_label;
+use ddpm_topology::{Coord, FaultSet, NodeId, Topology};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Collect marks from `n_attackers` adaptive flows into one victim.
+fn collect_marks(
+    topo: &Topology,
+    victim: &Coord,
+    n_attackers: u32,
+    paths_each: u32,
+) -> (HashSet<EdgeMark>, HashSet<XorMark>) {
+    let faults = FaultSet::none();
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut exact = HashSet::new();
+    let mut xor = HashSet::new();
+    let n = topo.num_nodes() as u32;
+    for a in 0..n_attackers {
+        let src = topo.coord(NodeId((a * 13 + 1) % (n - 1)));
+        if src == *victim {
+            continue;
+        }
+        for _ in 0..paths_each {
+            let path = trace_path(
+                topo,
+                &faults,
+                Router::MinimalAdaptive,
+                SelectionPolicy::Random,
+                &mut rng,
+                &src,
+                victim,
+                256,
+            )
+            .expect("healthy network");
+            let h = path.len() - 1;
+            for i in 0..h {
+                exact.insert(EdgeMark {
+                    start: topo.index(&path[i]),
+                    end: topo.index(&path[i + 1]),
+                    distance: (h - i - 1) as u32,
+                });
+                xor.insert(XorMark {
+                    xor: gray_label(topo, &path[i]) ^ gray_label(topo, &path[i + 1]),
+                    distance: (h - i - 1) as u32,
+                });
+            }
+        }
+    }
+    (exact, xor)
+}
+
+fn reconstruct_benches(c: &mut Criterion) {
+    let topo = Topology::mesh2d(8);
+    let victim = Coord::new(&[4, 4]);
+    let vid = topo.index(&victim);
+
+    let mut g = c.benchmark_group("reconstruct");
+    for attackers in [1u32, 4, 8] {
+        let (exact, xor) = collect_marks(&topo, &victim, attackers, 6);
+        g.bench_with_input(
+            BenchmarkId::new("exact-edges", attackers),
+            &exact,
+            |b, marks| b.iter(|| black_box(reconstruct_paths(vid, marks, 500_000))),
+        );
+        g.bench_with_input(BenchmarkId::new("xor", attackers), &xor, |b, marks| {
+            b.iter(|| black_box(reconstruct_paths_xor(&topo, vid, marks, 500_000)))
+        });
+    }
+    g.finish();
+
+    // DDPM victim work for the same question: identify a packet's source.
+    let scheme = DdpmScheme::new(&topo).unwrap();
+    let src = Coord::new(&[0, 0]);
+    let mf = scheme
+        .codec()
+        .encode(&topo.expected_distance(&src, &victim))
+        .unwrap();
+    c.bench_function("reconstruct/ddpm-identify", |b| {
+        b.iter(|| black_box(scheme.identify(&topo, &victim, mf)));
+    });
+}
+
+criterion_group!(benches, reconstruct_benches);
+criterion_main!(benches);

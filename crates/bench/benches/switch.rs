@@ -1,0 +1,66 @@
+//! E-OVERHEAD (part 2) — whole-network forwarding throughput with
+//! marking on vs. off.
+//!
+//! §6.2 frames the performance-vs-security trade-off: "If we put more
+//! functions on switches, cluster interconnects would be more secure …
+//! However, it will increase the processing time of switch." Here the
+//! *simulator* plays the switch pipeline: we measure simulated-packets
+//! per wall-second for a fixed uniform workload under each scheme, so
+//! the relative marking overhead is directly visible.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ddpm_attack::PacketFactory;
+use ddpm_core::{DdpmScheme, DpmScheme};
+use ddpm_net::{AddrMap, L4};
+use ddpm_routing::{Router, SelectionPolicy};
+use ddpm_sim::{Marker, NoMarking, SimConfig, SimTime, Simulation};
+use ddpm_topology::{FaultSet, NodeId, Topology};
+
+const PACKETS: u64 = 2_000;
+
+fn run_workload(topo: &Topology, marker: &dyn Marker) -> u64 {
+    let faults = FaultSet::none();
+    let map = AddrMap::for_topology(topo);
+    let mut factory = PacketFactory::new(map);
+    let mut sim = Simulation::new(
+        topo,
+        &faults,
+        Router::MinimalAdaptive,
+        SelectionPolicy::Random,
+        marker,
+        SimConfig::seeded(42),
+    );
+    let n = topo.num_nodes() as u32;
+    for k in 0..PACKETS {
+        let s = NodeId((k as u32 * 37 + 11) % n);
+        let d = NodeId((k as u32 * 61 + 5) % n);
+        if s == d {
+            continue;
+        }
+        let p = factory.benign(s, d, L4::udp(1, 2), 128);
+        sim.schedule(SimTime(k), p);
+    }
+    let stats = sim.run();
+    stats.total().delivered
+}
+
+fn switch_benches(c: &mut Criterion) {
+    let topo = Topology::mesh2d(8);
+    let ddpm = DdpmScheme::new(&topo).unwrap();
+    let cases: Vec<(&str, &dyn Marker)> =
+        vec![("none", &NoMarking), ("ddpm", &ddpm), ("dpm", &DpmScheme)];
+    let mut g = c.benchmark_group("switch/2000pkts-mesh8x8");
+    for (name, marker) in cases {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || (),
+                |()| run_workload(&topo, marker),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, switch_benches);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! The experiment driver.
+//!
+//! ```text
+//! cargo run --release -p ddpm-bench --bin report -- all
+//! cargo run --release -p ddpm-bench --bin report -- table3 fig2 ident
+//! cargo run --release -p ddpm-bench --bin report -- --list
+//! ```
+//!
+//! Each experiment prints its paper-style table and, when `--json DIR`
+//! is given, writes machine-readable results to `DIR/<key>.json`.
+
+use ddpm_bench::all_experiments;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> String {
+    let keys: Vec<&str> = all_experiments().iter().map(|(k, _)| *k).collect();
+    format!(
+        "usage: report [--json DIR] [--list] <experiment>... | all\n\
+         experiments: {}",
+        keys.join(" ")
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_dir: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(dir) => json_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--json needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" => {
+                for (k, _) in all_experiments() {
+                    println!("{k}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    let run_all = wanted.iter().any(|w| w == "all");
+    let experiments = all_experiments();
+    let known: Vec<&str> = experiments.iter().map(|(k, _)| *k).collect();
+    for w in &wanted {
+        if w != "all" && !known.contains(&w.as_str()) {
+            eprintln!("unknown experiment `{w}`\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    for (key, runner) in experiments {
+        if !run_all && !wanted.iter().any(|w| w == key) {
+            continue;
+        }
+        let report = runner();
+        println!("{}", report.render());
+        if let Some(dir) = &json_dir {
+            let path = dir.join(format!("{key}.json"));
+            match serde_json::to_string_pretty(&report.json) {
+                Ok(s) => {
+                    if let Err(e) = std::fs::write(&path, s) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("cannot serialise {key}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

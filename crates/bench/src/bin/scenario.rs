@@ -1,0 +1,73 @@
+//! Declarative scenario runner.
+//!
+//! ```text
+//! cargo run --release -p ddpm-bench --bin scenario -- scenarios/syn_flood_torus.json
+//! cargo run --release -p ddpm-bench --bin scenario -- --json out.json config.json
+//! ```
+//!
+//! Reads a JSON [`ddpm_bench::scenario_config::ScenarioConfig`], runs
+//! the simulation, prints the summary (and the DDPM attack-source
+//! census when DDPM marking is selected), optionally writing the
+//! machine-readable result.
+
+use ddpm_bench::scenario_config::{run_scenario, ScenarioConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json_out: Option<String> = None;
+    let mut config_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_out = it.next(),
+            "-h" | "--help" => {
+                println!("usage: scenario [--json OUT.json] CONFIG.json");
+                return ExitCode::SUCCESS;
+            }
+            other => config_path = Some(other.to_string()),
+        }
+    }
+    let Some(path) = config_path else {
+        eprintln!("usage: scenario [--json OUT.json] CONFIG.json");
+        return ExitCode::FAILURE;
+    };
+    let raw = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg: ScenarioConfig = match serde_json::from_str(&raw) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("invalid config {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run_scenario(&cfg) {
+        Ok(out) => {
+            print!("{}", out.text);
+            if let Some(dest) = json_out {
+                match serde_json::to_string_pretty(&out.json) {
+                    Ok(s) => {
+                        if let Err(e) = std::fs::write(&dest, s) {
+                            eprintln!("cannot write {dest}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("serialisation failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("scenario failed: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,244 @@
+//! E-INDIRECT — §6.3 future work, measured: source identification on
+//! Multistage Interconnection Networks via stage-port marking.
+//!
+//! Two tables:
+//! 1. the Table 3 analog — marking bits vs. terminal count for
+//!    butterflies of several radices, against the 16-bit MF;
+//! 2. an identification sweep under congestion and full spoofing —
+//!    accuracy must be 1.0 on every delivered packet, mirroring the
+//!    direct-network result.
+
+use crate::util::{check, Report, TextTable};
+use ddpm_indirect::{
+    irregular, max_binary_fly, port_marking_bits, Butterfly, HybridCluster, HybridMarking,
+    IrregularNet, MinSimulation, PortMarking,
+};
+use ddpm_net::{AddrMap, Ipv4Header, Packet, PacketId, Protocol, TrafficClass, L4};
+use ddpm_sim::SimTime;
+use ddpm_topology::{NodeId, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+
+fn scalability(t: &mut TextTable) -> Vec<serde_json::Value> {
+    let mut rows = Vec::new();
+    for (k, n) in [
+        (2u16, 4u8),
+        (2, 8),
+        (2, 16),
+        (4, 4),
+        (4, 8),
+        (8, 4),
+        (8, 6),
+        (16, 4),
+    ] {
+        let fly = Butterfly::new(k, n);
+        let bits = port_marking_bits(&fly);
+        t.row(&[
+            fly.to_string(),
+            format!("{bits} bits"),
+            if bits <= 16 { "yes" } else { "no" }.to_string(),
+        ]);
+        rows.push(json!({"k": k, "n": n, "bits": bits, "fits": bits <= 16}));
+    }
+    rows
+}
+
+fn identification_sweep() -> (u64, u64) {
+    let mut total = 0u64;
+    let mut correct = 0u64;
+    for (k, n, seed) in [(2u16, 6u8, 5u64), (4, 4, 7), (3, 4, 9)] {
+        let fly = Butterfly::new(k, n);
+        let scheme = PortMarking::new(fly).expect("fits");
+        // Any topology of >= terminals works as an address pool.
+        let pool = Topology::mesh2d(256);
+        let map = AddrMap::for_topology(&pool);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = MinSimulation::new(fly, scheme);
+        sim.buffer_packets = 8; // congested
+        let terminals = fly.terminals() as u32;
+        for id in 0..800u64 {
+            let s = NodeId(rng.gen_range(0..terminals));
+            let d = NodeId(rng.gen_range(0..terminals));
+            if s == d {
+                continue;
+            }
+            // Fully spoofed headers.
+            let spoof = NodeId(rng.gen_range(0..terminals));
+            let pkt = Packet {
+                id: PacketId(id),
+                header: Ipv4Header::new(map.ip_of(spoof), map.ip_of(d), Protocol::Udp, 256),
+                l4: L4::udp(1, 7),
+                true_source: s,
+                dest_node: d,
+                class: TrafficClass::Attack,
+            };
+            sim.schedule(SimTime(id * 3), pkt);
+        }
+        sim.run();
+        for del in sim.delivered() {
+            total += 1;
+            if scheme.identify(del.packet.header.identification) == del.packet.true_source {
+                correct += 1;
+            }
+        }
+    }
+    (correct, total)
+}
+
+/// Hybrid-cluster scalability + identification sweep (§6.3's other
+/// family: "Multiple backbone buses and cluster-based networks").
+fn hybrid_sweep(t: &mut TextTable) -> (Vec<serde_json::Value>, u64, u64) {
+    use ddpm_routing::{trace_path, Router, SelectionPolicy};
+    use ddpm_topology::FaultSet;
+    let mut rows = Vec::new();
+    for (backbone, members) in [
+        (Topology::mesh2d(8), 16u16),
+        (Topology::torus(&[16, 16]), 64),
+        (Topology::hypercube(10), 64),
+    ] {
+        let cluster = HybridCluster::new(backbone, members);
+        match HybridMarking::new(&cluster) {
+            Ok(m) => {
+                t.row(&[
+                    cluster.to_string(),
+                    format!("{} bits", m.bits_used()),
+                    "yes".into(),
+                ]);
+                rows.push(
+                    json!({"cluster": cluster.to_string(), "bits": m.bits_used(), "fits": true}),
+                );
+            }
+            Err(e) => {
+                t.row(&[cluster.to_string(), e.to_string(), "no".into()]);
+                rows.push(json!({"cluster": cluster.to_string(), "fits": false}));
+            }
+        }
+    }
+    // Identification sweep over adaptive backbone paths.
+    let cluster = HybridCluster::new(Topology::torus(&[8, 8]), 16);
+    let marking = HybridMarking::new(&cluster).expect("fits");
+    let backbone = cluster.backbone().clone();
+    let faults = FaultSet::none();
+    let mut rng = SmallRng::seed_from_u64(33);
+    let mut total = 0u64;
+    let mut correct = 0u64;
+    for k in 0..2_000u64 {
+        let src = NodeId(rng.gen_range(0..cluster.num_nodes() as u32));
+        let dst = NodeId(rng.gen_range(0..cluster.num_nodes() as u32));
+        let (sg, sm) = cluster.split(src);
+        let (dg, _) = cluster.split(dst);
+        if sg == dg {
+            continue;
+        }
+        let path = trace_path(
+            &backbone,
+            &faults,
+            Router::fully_adaptive_for(&backbone),
+            SelectionPolicy::Random,
+            &mut rng,
+            &sg,
+            &dg,
+            128,
+        )
+        .expect("healthy backbone");
+        let mf = marking.mark_journey(&cluster, sm, &path);
+        total += 1;
+        if marking.identify(&cluster, &dg, mf) == Some(src) {
+            correct += 1;
+        }
+        let _ = k;
+    }
+    (rows, correct, total)
+}
+
+/// Irregular-network demonstration: up*/down* routes + map-based
+/// (AMS-style) traceback; DDPM has no analog without coordinates.
+fn irregular_demo() -> (u64, u64, serde_json::Value) {
+    let mut rng = SmallRng::seed_from_u64(44);
+    let mut total = 0u64;
+    let mut found = 0u64;
+    for trial in 0..50u64 {
+        let net = IrregularNet::random(24, 10, &mut rng);
+        let src = NodeId(rng.gen_range(1..24));
+        let victim = NodeId(0);
+        let path = net.route(src, victim);
+        if path.len() < 2 {
+            continue;
+        }
+        let marks = irregular::hop_marking(&path);
+        let levels = irregular::reconstruct_irregular(&net, victim, &marks);
+        total += 1;
+        if levels.last().is_some_and(|l| l.contains(&src)) {
+            found += 1;
+        }
+        let _ = trial;
+    }
+    (
+        found,
+        total,
+        json!({"trials": total, "source_recovered": found}),
+    )
+}
+
+/// Runs the indirect-network experiment.
+#[must_use]
+pub fn run() -> Report {
+    let mut t = TextTable::new(&["butterfly", "marking bits", "fits 16-bit MF"]);
+    let rows = scalability(&mut t);
+    let max_fly = max_binary_fly(16);
+    let (correct, total) = identification_sweep();
+    let acc = correct as f64 / total as f64;
+    let mut th = TextTable::new(&["hybrid cluster", "marking bits", "fits 16-bit MF"]);
+    let (hybrid_rows, hc, ht) = hybrid_sweep(&mut th);
+    let hybrid_acc = hc as f64 / ht as f64;
+    let (irr_found, irr_total, irr_json) = irregular_demo();
+    let body = format!(
+        "{}\nMax binary butterfly: 2-ary {max_fly}-fly = {} terminals  \
+         (same 2^16 ceiling as DDPM on the hypercube, Table 3)  [{}]\n\n\
+         Identification sweep (3 fabrics, congested, fully spoofed headers):\n\
+         {correct}/{total} delivered packets identified correctly (accuracy {acc})\n\n\
+         Scheme: stage-port marking — switches record the input port per stage;\n\
+         in a butterfly the stage-i input port IS digit i of the source, so the\n\
+         MF spells the true source after the last stage. Single-packet\n\
+         identification carried over to the indirect networks of §6.3.\n\n\
+         Hybrid (cluster-based) networks — DDPM over the backbone + member\n\
+         port at the source group switch:\n{}\n\
+         Hybrid identification sweep (8x8 torus backbone x 16 members,\n\
+         fully adaptive backbone, {ht} journeys): accuracy {hybrid_acc}\n\n\
+         Irregular networks (up*/down* routing, no coordinates): DDPM has no\n\
+         analog; map-based AMS-style traceback recovers the source in\n\
+         {irr_found}/{irr_total} random 24-switch cablings.\n",
+        t.render(),
+        Butterfly::new(2, max_fly).terminals(),
+        check(max_fly == 16),
+        th.render(),
+    );
+    Report {
+        key: "indirect",
+        title: "Indirect networks (MIN) — stage-port marking (§6.3 extension)".into(),
+        body,
+        json: json!({
+            "scalability": rows,
+            "max_binary_fly": max_fly,
+            "identified": correct,
+            "delivered": total,
+            "accuracy": acc,
+            "hybrid": hybrid_rows,
+            "hybrid_accuracy": hybrid_acc,
+            "irregular": irr_json,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn indirect_identification_is_perfect() {
+        let r = super::run();
+        assert_eq!(r.json["accuracy"], 1.0, "{}", r.body);
+        assert_eq!(r.json["max_binary_fly"], 16);
+        assert!(r.json["delivered"].as_u64().unwrap() > 1000);
+        assert_eq!(r.json["hybrid_accuracy"], 1.0);
+    }
+}

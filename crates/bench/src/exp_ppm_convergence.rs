@@ -1,0 +1,309 @@
+//! E-PPM-CONV — PPM packets-to-reconstruction vs. the analytic bound.
+//!
+//! §4.2: "The expected overhead for the victim to reconstruct an attack
+//! path of length d is less than ln(d)/p(1−p)^{d−1} … In a middle size
+//! cluster with a mesh of about 1024 nodes, the diameter is 62. This is
+//! far larger than average hops, around 15, in the Internet. Long
+//! distance incurs large traffic overhead on the victim."
+//!
+//! Two measurements:
+//!
+//! 1. **process level** — the marking automaton on an abstract path of
+//!    length `d` (no field-width limit): packets until every edge has
+//!    been sampled, averaged over trials, against the bound. This
+//!    reproduces the blow-up at cluster-scale distances.
+//! 2. **full stack** — the real [`EdgePpm`] scheme inside the
+//!    discrete-event simulator on a 2×8 mesh (the largest shape whose
+//!    flagged layout fits the MF with a long axis), packets until
+//!    [`ddpm_core::reconstruct_paths`] recovers the true source.
+
+use crate::util::{fnum, Report, TextTable};
+use ddpm_core::analysis::ppm_expected_packets;
+use ddpm_core::ppm::{EdgeMark, EdgePpm};
+use ddpm_core::reconstruct_paths;
+use ddpm_net::{AddrMap, Ipv4Header, Packet, PacketId, Protocol, TrafficClass, L4};
+use ddpm_routing::{Router, SelectionPolicy};
+use ddpm_sim::{SimConfig, SimTime, Simulation};
+use ddpm_topology::{Coord, FaultSet, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+use std::collections::HashSet;
+
+/// Process-level measurement: packets until all `d` edges of a path are
+/// collected, with per-switch marking probability `p`.
+///
+/// The surviving mark of one packet is the edge of the most downstream
+/// switch that fired (later marks overwrite earlier ones).
+#[must_use]
+pub fn packets_to_collect_path(d: u32, p: f64, trials: u32, rng: &mut SmallRng) -> f64 {
+    assert!(d >= 1 && (0.0..=1.0).contains(&p));
+    let mut total: u64 = 0;
+    for _ in 0..trials {
+        let mut have = vec![false; d as usize];
+        let mut missing = d;
+        let mut packets: u64 = 0;
+        while missing > 0 {
+            packets += 1;
+            // Most downstream firing switch wins.
+            let mut winner: Option<usize> = None;
+            for i in 0..d as usize {
+                if rng.gen_bool(p) {
+                    winner = Some(i);
+                }
+            }
+            if let Some(i) = winner {
+                if !have[i] {
+                    have[i] = true;
+                    missing -= 1;
+                }
+            }
+            if packets > 100_000_000 {
+                break; // safety net for absurd parameter corners
+            }
+        }
+        total += packets;
+    }
+    total as f64 / f64::from(trials)
+}
+
+/// Process-level FMS measurement: packets until every (level, offset)
+/// fragment of a `d`-hop path is collected — the `k`-fragment coupon
+/// collector behind Savage's `k·ln(kd)/p(1−p)^{d−1}` bound (§2).
+#[must_use]
+pub fn fms_packets_to_collect(d: u32, p: f64, trials: u32, rng: &mut SmallRng) -> f64 {
+    use ddpm_core::fms::K;
+    assert!(d >= 1 && (0.0..=1.0).contains(&p));
+    let mut total: u64 = 0;
+    for _ in 0..trials {
+        let mut have = vec![[false; K as usize]; d as usize];
+        let mut missing = d * K;
+        let mut packets: u64 = 0;
+        while missing > 0 {
+            packets += 1;
+            // The surviving mark is the most downstream firing switch,
+            // carrying one uniformly random fragment offset.
+            let mut winner: Option<usize> = None;
+            for i in 0..d as usize {
+                if rng.gen_bool(p) {
+                    winner = Some(i);
+                }
+            }
+            if let Some(i) = winner {
+                let off = rng.gen_range(0..K as usize);
+                if !have[i][off] {
+                    have[i][off] = true;
+                    missing -= 1;
+                }
+            }
+            if packets > 100_000_000 {
+                break;
+            }
+        }
+        total += packets;
+    }
+    total as f64 / f64::from(trials)
+}
+
+/// Full-stack measurement on a 2×8 mesh: mean packets (over seeds) until
+/// reconstruction recovers the true source at distance `d`.
+fn full_stack_packets(p: f64, seeds: u32) -> f64 {
+    let topo = Topology::mesh(&[2, 8]);
+    let scheme = EdgePpm::new(&topo, p).expect("2x8 fits the flagged layout");
+    let map = AddrMap::for_topology(&topo);
+    let faults = FaultSet::none();
+    let src = Coord::new(&[0, 0]);
+    let dst = Coord::new(&[1, 7]); // 8 hops
+    let victim = topo.index(&dst);
+    let mut total = 0u64;
+    for seed in 0..seeds {
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &scheme,
+            SimConfig::seeded(u64::from(seed) + 1),
+        );
+        // Inject a long stream; count how many deliveries are needed.
+        for id in 0..20_000u64 {
+            sim.schedule(
+                SimTime(id * 4),
+                Packet {
+                    id: PacketId(id),
+                    header: Ipv4Header::new(
+                        map.ip_of(topo.index(&src)),
+                        map.ip_of(victim),
+                        Protocol::Udp,
+                        64,
+                    ),
+                    l4: L4::udp(1, 2),
+                    true_source: topo.index(&src),
+                    dest_node: victim,
+                    class: TrafficClass::Attack,
+                },
+            );
+        }
+        sim.run();
+        let mut marks: HashSet<EdgeMark> = HashSet::new();
+        let mut needed = sim.delivered().len() as u64; // pessimistic default
+        for (i, del) in sim.delivered().iter().enumerate() {
+            if let Some(m) = scheme.extract(del.packet.header.identification) {
+                marks.insert(m);
+                let r = reconstruct_paths(victim, &marks, 100_000);
+                if r.sources.contains(&topo.index(&src)) && r.paths.iter().any(|p| p.len() == 9) {
+                    needed = i as u64 + 1;
+                    break;
+                }
+            }
+        }
+        total += needed;
+    }
+    total as f64 / f64::from(seeds)
+}
+
+/// Runs the convergence experiment.
+#[must_use]
+pub fn run() -> Report {
+    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+    let p = 0.04; // Savage's canonical marking probability
+    let mut t = TextTable::new(&[
+        "path length d",
+        "bound ln(d)/p(1-p)^(d-1)",
+        "measured packets",
+        "measured/bound",
+    ]);
+    let mut rows = Vec::new();
+    // Internet-scale (15) through cluster-scale (62 = diameter of the
+    // 32x32 mesh the paper calls a "middle size cluster").
+    for d in [5u32, 10, 15, 20, 30, 40, 62] {
+        let bound = ppm_expected_packets(d, p);
+        let measured = packets_to_collect_path(d, p, 40, &mut rng);
+        t.row(&[
+            d.to_string(),
+            fnum(bound),
+            fnum(measured),
+            fnum(measured / bound),
+        ]);
+        rows.push(json!({"d": d, "bound": bound, "measured": measured}));
+    }
+    let internet = packets_to_collect_path(15, p, 40, &mut rng);
+    let cluster = packets_to_collect_path(62, p, 40, &mut rng);
+    let blowup = cluster / internet;
+
+    // FMS (§2's k-fragment scheme): measured vs. Savage's bound.
+    let mut tf = TextTable::new(&[
+        "path length d",
+        "bound k*ln(kd)/p(1-p)^(d-1)",
+        "measured packets (k=4)",
+        "measured/bound",
+    ]);
+    let mut fms_rows = Vec::new();
+    for d in [5u32, 10, 15, 20, 30] {
+        let bound = ddpm_core::analysis::savage_expected_packets(ddpm_core::fms::K, d, p);
+        let measured = fms_packets_to_collect(d, p, 30, &mut rng);
+        tf.row(&[
+            d.to_string(),
+            fnum(bound),
+            fnum(measured),
+            fnum(measured / bound),
+        ]);
+        fms_rows.push(json!({"d": d, "bound": bound, "measured": measured}));
+    }
+
+    let fs = full_stack_packets(0.2, 5);
+    let fs_bound = ppm_expected_packets(8, 0.2);
+    let body = format!(
+        "Marking probability p = {p}\n{}\n\
+         Cluster (d=62) vs Internet (d=15) packet blow-up: {}x  (paper: \"large traffic overhead\")\n\n\
+         FMS, Savage's k-fragment compressed encoding (k = {k}):\n{}\n\
+         AMS (Song & Perrig, §2 [17]): one hash per mark + a complete router\n\
+         map, so convergence equals the single-coupon table above — the\n\
+         quoted ~1/k packet saving over FMS (here k = {k}); its map-guided\n\
+         frontier still balloons under adaptive routing\n\
+         (ddpm_core::ams tests).\n\n\
+         Full-stack validation (2x8 mesh, d=8, p=0.2, EdgePpm + DES + reconstruction):\n\
+         mean packets to full path reconstruction = {}   (bound {})\n\
+         DDPM needs exactly 1 packet at any distance (§1).\n",
+        t.render(),
+        fnum(blowup),
+        tf.render(),
+        fnum(fs),
+        fnum(fs_bound),
+        k = ddpm_core::fms::K,
+    );
+    Report {
+        key: "ppm-conv",
+        title: "PPM convergence — packets to reconstruct vs. path length (§4.2)".into(),
+        body,
+        json: json!({
+            "p": p,
+            "rows": rows,
+            "blowup_d62_vs_d15": blowup,
+            "fms_rows": fms_rows,
+            "full_stack_d8": {"measured": fs, "bound": fs_bound},
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_grows_superlinearly_with_distance() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let short = packets_to_collect_path(10, 0.05, 30, &mut rng);
+        let long = packets_to_collect_path(40, 0.05, 30, &mut rng);
+        assert!(
+            long > 3.0 * short,
+            "d=40 ({long}) should dwarf d=10 ({short})"
+        );
+    }
+
+    #[test]
+    fn measured_within_factor_of_bound() {
+        // The bound is an upper estimate of the coupon-collector time for
+        // the rarest edge; measurement should be the same order.
+        let mut rng = SmallRng::seed_from_u64(8);
+        let d = 20;
+        let p = 0.04;
+        let measured = packets_to_collect_path(d, p, 60, &mut rng);
+        let bound = ppm_expected_packets(d, p);
+        let ratio = measured / bound;
+        assert!(
+            (0.1..=3.0).contains(&ratio),
+            "measured {measured} vs bound {bound} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn degenerate_path_lengths() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        // d=1, p=0.5: geometric with mean 2.
+        let m = packets_to_collect_path(1, 0.5, 200, &mut rng);
+        assert!((1.5..3.0).contains(&m), "{m}");
+    }
+
+    #[test]
+    #[ignore = "slow: full DES + reconstruction sweep; run with --ignored"]
+    fn full_stack_converges() {
+        let fs = full_stack_packets(0.2, 3);
+        assert!(fs >= 4.0, "needs at least one packet per edge, got {fs}");
+        assert!(fs < 2000.0, "should converge quickly at p=0.2, got {fs}");
+    }
+
+    #[test]
+    fn fms_needs_roughly_k_times_more_packets() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let d = 15;
+        let p = 0.04;
+        let simple = packets_to_collect_path(d, p, 40, &mut rng);
+        let fms = fms_packets_to_collect(d, p, 40, &mut rng);
+        let ratio = fms / simple;
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "k=4 fragments should cost ~4x packets, got {ratio} ({fms} vs {simple})"
+        );
+    }
+}

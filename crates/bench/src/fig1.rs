@@ -1,0 +1,64 @@
+//! Figure 1 — the three direct networks and their §3 properties.
+//!
+//! The paper's worked values: the 4×4 2-D mesh has "degree four and
+//! diameter six"; the 4-ary 2-cube has degree `2n = 4` and diameter
+//! `Σ ⌊k/2⌋ = 4`; the 3-cube has degree and diameter 3. We verify the
+//! closed forms against brute-force BFS on the actual graphs.
+
+use crate::util::{check, Report, TextTable};
+use ddpm_topology::{diameter_by_bfs, Topology};
+use serde_json::json;
+
+/// Runs the Fig. 1 property check.
+#[must_use]
+pub fn run() -> Report {
+    let cases = [
+        (Topology::mesh2d(4), 4usize, 6u32),
+        (Topology::torus(&[4, 4]), 4, 4),
+        (Topology::hypercube(3), 3, 3),
+    ];
+    let mut t = TextTable::new(&[
+        "topology",
+        "nodes",
+        "degree",
+        "diameter (formula)",
+        "diameter (BFS)",
+        "vs paper",
+    ]);
+    let mut all_ok = true;
+    let mut rows = Vec::new();
+    for (topo, want_deg, want_diam) in &cases {
+        let bfs = diameter_by_bfs(topo);
+        let ok = topo.degree() == *want_deg && topo.diameter() == *want_diam && bfs == *want_diam;
+        all_ok &= ok;
+        t.row(&[
+            topo.describe(),
+            topo.num_nodes().to_string(),
+            topo.degree().to_string(),
+            topo.diameter().to_string(),
+            bfs.to_string(),
+            check(ok).to_string(),
+        ]);
+        rows.push(json!({
+            "topology": topo.describe(),
+            "degree": topo.degree(),
+            "diameter": topo.diameter(),
+            "diameter_bfs": bfs,
+        }));
+    }
+    Report {
+        key: "fig1",
+        title: "Figure 1 — direct-network topologies (degree / diameter)".into(),
+        body: t.render(),
+        json: json!({"rows": rows, "all_match_paper": all_ok}),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig1_matches_paper() {
+        let r = super::run();
+        assert_eq!(r.json["all_match_paper"], true, "{}", r.body);
+    }
+}

@@ -1,0 +1,65 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper plus the in-text quantitative claims.
+//!
+//! Each `fig*` / `table*` / `exp_*` module exposes `run() -> Report`;
+//! the `report` binary prints them (`cargo run -p ddpm-bench --bin
+//! report -- all`). EXPERIMENTS.md records paper-vs-measured for each.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`tables`] | Tables 1–3 (scheme scalability) |
+//! | [`fig1`] | Fig. 1 (topology properties) |
+//! | [`fig2`] | Fig. 2 (routing under faults) |
+//! | [`fig3`] | Fig. 3 (marking worked examples) |
+//! | [`exp_ppm_convergence`] | §2/§4.2 convergence bound |
+//! | [`exp_ambiguity`] | §4.2 XOR/bit-difference ambiguity |
+//! | [`exp_dpm`] | §4.3 DPM signature instability |
+//! | [`exp_identification`] | §5 single-packet identification |
+//! | [`exp_end_to_end`] | §1/§2 detect → identify → block pipeline |
+
+pub mod exp_ablation;
+pub mod exp_ambiguity;
+pub mod exp_compromised;
+pub mod exp_defenses;
+pub mod exp_dpm;
+pub mod exp_end_to_end;
+pub mod exp_flooding_traceback;
+pub mod exp_identification;
+pub mod exp_indirect;
+pub mod exp_ppm_convergence;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod scenario_config;
+pub mod tables;
+pub mod util;
+
+pub use util::{Report, TextTable};
+
+/// An experiment entry: its key and runner.
+pub type Experiment = (&'static str, fn() -> Report);
+
+/// Every experiment, in paper order: `(key, title, runner)`.
+#[must_use]
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        ("table1", tables::table1),
+        ("table2", tables::table2),
+        ("table3", tables::table3),
+        ("fig1", fig1::run),
+        ("fig2", fig2::run),
+        ("fig3a", fig3::run_fig3a),
+        ("fig3b", fig3::run_fig3b),
+        ("fig3c", fig3::run_fig3c),
+        ("ppm-conv", exp_ppm_convergence::run),
+        ("ambiguity", exp_ambiguity::run),
+        ("dpm", exp_dpm::run),
+        ("ident", exp_identification::run),
+        ("e2e", exp_end_to_end::run),
+        ("compromised", exp_compromised::run),
+        ("defenses", exp_defenses::run_experiment),
+        ("indirect", exp_indirect::run),
+        ("flooding", exp_flooding_traceback::run),
+        ("ablation", exp_ablation::run),
+    ]
+}

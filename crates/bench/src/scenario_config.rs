@@ -1,0 +1,370 @@
+//! Declarative scenario configs for the `scenario` binary.
+//!
+//! A downstream user describes a cluster, a routing algorithm, a
+//! marking scheme, benign background and an attack in JSON; the runner
+//! executes it and reports statistics, detection and the DDPM census.
+//! See `scenarios/*.json` at the repository root for ready-made files.
+
+use ddpm_attack::{
+    BackgroundTraffic, FloodAttack, PacketFactory, SpoofStrategy, SynFloodAttack, TrafficPattern,
+    Workload,
+};
+use ddpm_core::identify::attack_census;
+use ddpm_core::{DdpmScheme, DpmScheme};
+use ddpm_net::{AddrMap, CodecMode};
+use ddpm_routing::{Router, SelectionPolicy};
+use ddpm_sim::{Marker, NoMarking, SimConfig, SimStats, SimTime, Simulation};
+use ddpm_topology::{FaultSet, NodeId, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use serde_json::json;
+
+/// Topology selection.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TopologySpec {
+    Mesh { dims: Vec<u16> },
+    Torus { dims: Vec<u16> },
+    Hypercube { n: usize },
+}
+
+impl TopologySpec {
+    fn build(&self) -> Topology {
+        match self {
+            TopologySpec::Mesh { dims } => Topology::mesh(dims),
+            TopologySpec::Torus { dims } => Topology::torus(dims),
+            TopologySpec::Hypercube { n } => Topology::hypercube(*n),
+        }
+    }
+}
+
+/// Routing selection.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum RouterSpec {
+    DimensionOrder,
+    WestFirst,
+    NorthLast,
+    NegativeFirst,
+    MinimalAdaptive,
+    FullyAdaptive,
+}
+
+impl RouterSpec {
+    fn build(self, topo: &Topology) -> Router {
+        match self {
+            RouterSpec::DimensionOrder => Router::DimensionOrder,
+            RouterSpec::WestFirst => Router::WestFirst,
+            RouterSpec::NorthLast => Router::NorthLast,
+            RouterSpec::NegativeFirst => Router::NegativeFirst,
+            RouterSpec::MinimalAdaptive => Router::MinimalAdaptive,
+            RouterSpec::FullyAdaptive => Router::fully_adaptive_for(topo),
+        }
+    }
+}
+
+/// Marking-scheme selection.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum MarkingSpec {
+    None,
+    Ddpm,
+    DdpmResidue,
+    Dpm,
+}
+
+/// Attack selection.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum AttackSpec {
+    UdpFlood {
+        zombies: Vec<u32>,
+        victim: u32,
+        packets_per_zombie: u32,
+        interval: u64,
+    },
+    SynFlood {
+        zombies: Vec<u32>,
+        victim: u32,
+        syns_per_zombie: u32,
+        interval: u64,
+    },
+}
+
+/// Full scenario description.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    pub topology: TopologySpec,
+    pub router: RouterSpec,
+    pub marking: MarkingSpec,
+    #[serde(default = "default_seed")]
+    pub seed: u64,
+    /// Random link-failure rate, 0.0..1.0.
+    #[serde(default)]
+    pub fault_rate: f64,
+    /// Benign per-node injection interval in cycles (0 = no background).
+    #[serde(default = "default_bg_interval")]
+    pub background_interval: u64,
+    /// Simulation horizon for the background, in cycles.
+    #[serde(default = "default_horizon")]
+    pub horizon: u64,
+    pub attack: Option<AttackSpec>,
+}
+
+fn default_seed() -> u64 {
+    2004
+}
+fn default_bg_interval() -> u64 {
+    32
+}
+fn default_horizon() -> u64 {
+    4000
+}
+
+/// The runner's output: human text plus machine JSON.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    pub text: String,
+    pub json: serde_json::Value,
+}
+
+/// Executes a scenario.
+///
+/// # Errors
+/// Returns a human-readable message for invalid configs (e.g. a
+/// topology too large for the chosen marking scheme).
+pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
+    let topo = cfg.topology.build();
+    let n = topo.num_nodes();
+    let router = cfg.router.build(&topo);
+    let map = AddrMap::for_topology(&topo);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let faults = FaultSet::random(&topo, cfg.fault_rate, || rng.gen::<f64>());
+
+    let ddpm = match cfg.marking {
+        MarkingSpec::Ddpm => Some(DdpmScheme::new(&topo).map_err(|e| format!("ddpm: {e}"))?),
+        MarkingSpec::DdpmResidue => Some(
+            DdpmScheme::with_mode(&topo, CodecMode::Residue).map_err(|e| format!("ddpm: {e}"))?,
+        ),
+        _ => None,
+    };
+    let dpm = DpmScheme;
+    let none = NoMarking;
+    let marker: &dyn Marker = match cfg.marking {
+        MarkingSpec::None => &none,
+        MarkingSpec::Dpm => &dpm,
+        MarkingSpec::Ddpm | MarkingSpec::DdpmResidue => ddpm.as_ref().expect("built above"),
+    };
+
+    let check_node = |id: u32, what: &str| -> Result<NodeId, String> {
+        if u64::from(id) < n {
+            Ok(NodeId(id))
+        } else {
+            Err(format!("{what} {id} out of range (cluster has {n} nodes)"))
+        }
+    };
+
+    let mut factory = PacketFactory::new(map.clone());
+    let mut workload: Workload = if cfg.background_interval > 0 {
+        BackgroundTraffic {
+            pattern: TrafficPattern::Uniform,
+            interval: cfg.background_interval,
+            duration: cfg.horizon,
+            start: SimTime::ZERO,
+        }
+        .generate(&topo, &mut factory, &mut rng)
+    } else {
+        Workload::new()
+    };
+    match &cfg.attack {
+        Some(AttackSpec::UdpFlood {
+            zombies,
+            victim,
+            packets_per_zombie,
+            interval,
+        }) => {
+            let zombies = zombies
+                .iter()
+                .map(|&z| check_node(z, "zombie"))
+                .collect::<Result<Vec<_>, _>>()?;
+            let flood = FloodAttack {
+                packets_per_zombie: *packets_per_zombie,
+                interval: *interval,
+                ..FloodAttack::new(zombies, check_node(*victim, "victim")?)
+            };
+            workload.extend(flood.generate(&mut factory, &mut rng));
+        }
+        Some(AttackSpec::SynFlood {
+            zombies,
+            victim,
+            syns_per_zombie,
+            interval,
+        }) => {
+            let zombies = zombies
+                .iter()
+                .map(|&z| check_node(z, "zombie"))
+                .collect::<Result<Vec<_>, _>>()?;
+            let flood = SynFloodAttack {
+                syns_per_zombie: *syns_per_zombie,
+                interval: *interval,
+                spoof: SpoofStrategy::RandomInCluster,
+                ..SynFloodAttack::new(zombies, check_node(*victim, "victim")?)
+            };
+            workload.extend(flood.generate(&mut factory, &mut rng));
+        }
+        None => {}
+    }
+
+    let mut sim = Simulation::new(
+        &topo,
+        &faults,
+        router,
+        SelectionPolicy::ProductiveFirstRandom,
+        marker,
+        SimConfig::seeded(cfg.seed),
+    );
+    for (t, p) in workload {
+        sim.schedule(t, p);
+    }
+    let stats: SimStats = sim.run();
+
+    let mut text = format!(
+        "scenario: {topo}, {} routing, {:?} marking, {} failed links\n\
+         benign : {} injected, {} delivered ({:.1}% | mean latency {:.1} cyc)\n\
+         attack : {} injected, {} delivered, {} dropped\n",
+        router,
+        cfg.marking,
+        faults.len(),
+        stats.benign.injected,
+        stats.benign.delivered,
+        stats.benign.delivery_ratio() * 100.0,
+        stats.benign.latency.mean().unwrap_or(0.0),
+        stats.attack.injected,
+        stats.attack.delivered,
+        stats.attack.dropped(),
+    );
+    let mut census_json = json!(null);
+    if let Some(scheme) = &ddpm {
+        let census = attack_census(&topo, scheme, sim.delivered());
+        let mut rows: Vec<(NodeId, u64)> = census.into_iter().collect();
+        rows.sort_by_key(|&(node, c)| (std::cmp::Reverse(c), node));
+        if rows.is_empty() {
+            text.push_str("census : no attack traffic delivered\n");
+        } else {
+            text.push_str("census : DDPM-identified attack sources:\n");
+            for (node, count) in &rows {
+                text.push_str(&format!(
+                    "         {node} at {} -> {count} packets\n",
+                    topo.coord(*node)
+                ));
+            }
+        }
+        census_json = json!(rows
+            .iter()
+            .map(|&(node, c)| json!({"node": node.0, "packets": c}))
+            .collect::<Vec<_>>());
+    }
+    let json = json!({
+        "topology": topo.describe(),
+        "router": router.name(),
+        "failed_links": faults.len(),
+        "benign": {
+            "injected": stats.benign.injected,
+            "delivered": stats.benign.delivered,
+            "mean_latency": stats.benign.latency.mean(),
+        },
+        "attack": {
+            "injected": stats.attack.injected,
+            "delivered": stats.attack.delivered,
+            "dropped": stats.attack.dropped(),
+        },
+        "census": census_json,
+    });
+    Ok(ScenarioOutcome { text, json })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_cfg() -> ScenarioConfig {
+        serde_json::from_str(
+            r#"{
+                "topology": {"kind": "torus", "dims": [8, 8]},
+                "router": "fully_adaptive",
+                "marking": "ddpm",
+                "attack": {
+                    "kind": "udp_flood",
+                    "zombies": [3, 40], "victim": 27,
+                    "packets_per_zombie": 100, "interval": 8
+                }
+            }"#,
+        )
+        .expect("valid config")
+    }
+
+    #[test]
+    fn json_config_roundtrip_and_run() {
+        let cfg = sample_cfg();
+        assert_eq!(cfg.seed, 2004, "defaults applied");
+        let out = run_scenario(&cfg).expect("runs");
+        assert!(out.text.contains("census"));
+        let census = out.json["census"].as_array().unwrap();
+        let nodes: Vec<u64> = census.iter().map(|r| r["node"].as_u64().unwrap()).collect();
+        assert!(nodes.contains(&3) && nodes.contains(&40));
+        assert_eq!(nodes.len(), 2);
+    }
+
+    #[test]
+    fn invalid_zombie_is_reported() {
+        let mut cfg = sample_cfg();
+        cfg.attack = Some(AttackSpec::UdpFlood {
+            zombies: vec![999],
+            victim: 0,
+            packets_per_zombie: 1,
+            interval: 1,
+        });
+        let err = run_scenario(&cfg).unwrap_err();
+        assert!(err.contains("zombie 999 out of range"), "{err}");
+    }
+
+    #[test]
+    fn oversized_topology_for_ddpm_is_reported() {
+        let mut cfg = sample_cfg();
+        cfg.topology = TopologySpec::Mesh {
+            dims: vec![200, 200],
+        };
+        cfg.attack = None;
+        cfg.background_interval = 0;
+        let err = run_scenario(&cfg).unwrap_err();
+        assert!(err.contains("ddpm"), "{err}");
+        // …but the residue codec handles it.
+        cfg.marking = MarkingSpec::DdpmResidue;
+        assert!(run_scenario(&cfg).is_ok());
+    }
+
+    #[test]
+    fn shipped_scenario_files_parse_and_run() {
+        // The JSON files under scenarios/ are part of the public
+        // interface; keep them loadable and runnable.
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../scenarios");
+        let mut found = 0;
+        for entry in std::fs::read_dir(dir).expect("scenarios dir exists") {
+            let path = entry.expect("entry").path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            found += 1;
+            let raw = std::fs::read_to_string(&path).expect("readable");
+            let cfg: ScenarioConfig =
+                serde_json::from_str(&raw).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+            let out = run_scenario(&cfg).unwrap_or_else(|e| panic!("{path:?}: {e}"));
+            assert!(out.text.contains("scenario:"));
+        }
+        assert!(
+            found >= 3,
+            "expected the shipped scenario files, found {found}"
+        );
+    }
+}

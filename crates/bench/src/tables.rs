@@ -1,0 +1,161 @@
+//! Tables 1–3: marking-field scalability of each scheme.
+//!
+//! For each scheme the paper reports (a) the required-field formula and
+//! (b) the maximum cluster the 16-bit MF supports. We recompute both
+//! from the implementation ([`ddpm_core::analysis`]) and compare against
+//! the paper's printed values.
+
+use crate::util::{check, Report, TextTable};
+use ddpm_core::analysis::{
+    bitdiff_ppm_bits, ddpm_bits, max_hypercube, max_square_mesh, simple_ppm_bits,
+};
+use ddpm_net::CodecMode;
+use ddpm_topology::Topology;
+use serde_json::json;
+
+fn sweep_rows(t: &mut TextTable, bits: impl Fn(&Topology) -> u32 + Copy) -> (u16, usize) {
+    for n in [4u16, 8, 16, 32, 64, 128, 256] {
+        let topo = Topology::mesh2d(n);
+        let b = bits(&topo);
+        t.row(&[
+            format!("{n}x{n} mesh/torus"),
+            format!("{} nodes", topo.num_nodes()),
+            format!("{b} bits"),
+            if b <= 16 { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    for n in [4usize, 6, 8, 10, 12, 16] {
+        let topo = Topology::hypercube(n);
+        let b = bits(&topo);
+        t.row(&[
+            format!("{n}-cube hypercube"),
+            format!("{} nodes", topo.num_nodes()),
+            format!("{b} bits"),
+            if b <= 16 { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    (max_square_mesh(16, bits), max_hypercube(16, bits))
+}
+
+/// Table 1 — Scalability of simple PPM.
+#[must_use]
+pub fn table1() -> Report {
+    let mut t = TextTable::new(&["topology", "size", "required field", "fits 16-bit MF"]);
+    let (max_mesh, max_cube) = sweep_rows(&mut t, simple_ppm_bits);
+    let body = format!(
+        "{}\nRequired field (n x n mesh/torus): 2*log(n^2) + log(diameter+1)\n\
+         Max square mesh/torus : {max_mesh}x{max_mesh} ({} nodes)   paper: 8x8          [{}]\n\
+         Max hypercube         : 2^{max_cube} ({} nodes)     paper: 2^6 nodes    [{}]\n",
+        t.render(),
+        u64::from(max_mesh) * u64::from(max_mesh),
+        check(max_mesh == 8),
+        1u64 << max_cube,
+        check(max_cube == 6),
+    );
+    Report {
+        key: "table1",
+        title: "Table 1 — Scalability of simple PPM".into(),
+        body,
+        json: json!({
+            "max_square_mesh": max_mesh,
+            "max_hypercube_dim": max_cube,
+            "paper_max_square_mesh": 8,
+            "paper_max_hypercube_dim": 6,
+        }),
+    }
+}
+
+/// Table 2 — Scalability of simple bit-difference PPM.
+#[must_use]
+pub fn table2() -> Report {
+    let mut t = TextTable::new(&["topology", "size", "required field", "fits 16-bit MF"]);
+    let (max_mesh, max_cube) = sweep_rows(&mut t, bitdiff_ppm_bits);
+    let body = format!(
+        "{}\nRequired field (n x n mesh/torus): log(n^2) + log(log(n^2)) + log(diameter+1)\n\
+         Max square mesh/torus : {max_mesh}x{max_mesh} ({} nodes)   paper: (garbled in source scrape; re-derived from the paper's formula)\n\
+         Max hypercube         : 2^{max_cube} ({} nodes)     paper: 2^8 nodes    [{}]\n",
+        t.render(),
+        u64::from(max_mesh) * u64::from(max_mesh),
+        1u64 << max_cube,
+        check(max_cube == 8),
+    );
+    Report {
+        key: "table2",
+        title: "Table 2 — Scalability of simple bit-difference PPM".into(),
+        body,
+        json: json!({
+            "max_square_mesh": max_mesh,
+            "max_hypercube_dim": max_cube,
+            "paper_max_hypercube_dim": 8,
+        }),
+    }
+}
+
+/// Table 3 — Scalability of DDPM.
+#[must_use]
+pub fn table3() -> Report {
+    let signed = |t: &Topology| ddpm_bits(t, CodecMode::Signed);
+    let residue = |t: &Topology| ddpm_bits(t, CodecMode::Residue);
+    let mut t = TextTable::new(&["topology", "size", "required field", "fits 16-bit MF"]);
+    let (max_mesh, max_cube) = sweep_rows(&mut t, signed);
+    let three_d = Topology::mesh(&[16, 16, 32]);
+    let three_d_bits = signed(&three_d);
+    let (res_mesh, _) = (ddpm_core::analysis::max_square_mesh(16, residue), 0);
+    let body = format!(
+        "{}\nRequired field (n x n mesh/torus): 2*(log n + 1) signed bits (paper: 2logn with sign)\n\
+         Max square mesh/torus : {max_mesh}x{max_mesh} ({} nodes)  paper: 128x128 (16384)  [{}]\n\
+         3-D mesh/torus 16x16x32: {} nodes at {three_d_bits} bits (5+5+6)  paper: 8192 nodes  [{}]\n\
+         Max hypercube         : 2^{max_cube} ({} nodes)  paper: 2^16 (65536)     [{}]\n\
+         Extension (residue codec): max square mesh/torus {res_mesh}x{res_mesh} ({} nodes)\n",
+        t.render(),
+        u64::from(max_mesh) * u64::from(max_mesh),
+        check(max_mesh == 128),
+        three_d.num_nodes(),
+        check(three_d.num_nodes() == 8192 && three_d_bits == 16),
+        1u64 << max_cube,
+        check(max_cube == 16),
+        u64::from(res_mesh) * u64::from(res_mesh),
+    );
+    Report {
+        key: "table3",
+        title: "Table 3 — Scalability of DDPM".into(),
+        body,
+        json: json!({
+            "max_square_mesh_signed": max_mesh,
+            "max_square_mesh_residue": res_mesh,
+            "max_hypercube_dim": max_cube,
+            "three_d_16x16x32_bits": three_d_bits,
+            "paper": {"max_square_mesh": 128, "max_hypercube_dim": 16, "three_d_nodes": 8192},
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let r = table1();
+        assert_eq!(r.json["max_square_mesh"], 8);
+        assert_eq!(r.json["max_hypercube_dim"], 6);
+        assert!(!r.body.contains("MISMATCH"), "{}", r.body);
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        let r = table2();
+        assert_eq!(r.json["max_hypercube_dim"], 8);
+        assert_eq!(r.json["max_square_mesh"], 16);
+        assert!(!r.body.contains("MISMATCH"), "{}", r.body);
+    }
+
+    #[test]
+    fn table3_matches_paper() {
+        let r = table3();
+        assert_eq!(r.json["max_square_mesh_signed"], 128);
+        assert_eq!(r.json["max_hypercube_dim"], 16);
+        assert_eq!(r.json["max_square_mesh_residue"], 256);
+        assert!(!r.body.contains("MISMATCH"), "{}", r.body);
+    }
+}

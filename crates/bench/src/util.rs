@@ -1,0 +1,156 @@
+//! Report plumbing: plain-text tables and machine-readable output.
+
+use serde_json::Value;
+use std::fmt::Write as _;
+
+/// One experiment's output: human-readable body + JSON payload.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Experiment key, e.g. `table1`.
+    pub key: &'static str,
+    /// Human title, e.g. `Table 1 — Scalability of simple PPM`.
+    pub title: String,
+    /// Rendered body (tables + commentary).
+    pub body: String,
+    /// Machine-readable results.
+    pub json: Value,
+}
+
+impl Report {
+    /// Renders the full report section.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let bar = "=".repeat(self.title.len().min(78));
+        format!("{}\n{}\n{}\n", self.title, bar, self.body)
+    }
+}
+
+/// A minimal monospace table renderer.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// A table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience for string-literal rows.
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(ToString::to_string).collect();
+        self.row(&owned)
+    }
+
+    /// Renders with padded columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:width$} ", c, width = widths[i]);
+            }
+            out.push_str("|\n");
+        };
+        render_row(&mut out, &self.header);
+        for (i, w) in widths.iter().enumerate() {
+            let _ = write!(out, "|{}", "-".repeat(w + 2));
+            if i == ncols - 1 {
+                out.push_str("|\n");
+            }
+        }
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+#[must_use]
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// PASS/FAIL marker used when comparing against paper-reported values.
+#[must_use]
+pub fn check(ok: bool) -> &'static str {
+    if ok {
+        "match"
+    } else {
+        "MISMATCH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["a", "long-header"]);
+        t.row_strs(&["xxxx", "1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert!(lines[0].contains("long-header"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn arity_enforced() {
+        let mut t = TextTable::new(&["a"]);
+        t.row_strs(&["1", "2"]);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(1.23456), "1.235");
+        assert_eq!(fnum(42.42), "42.4");
+        assert_eq!(fnum(12345.6), "12346");
+    }
+
+    #[test]
+    fn report_render_includes_title() {
+        let r = Report {
+            key: "t",
+            title: "T".into(),
+            body: "b".into(),
+            json: serde_json::json!({}),
+        };
+        assert!(r.render().contains("T\n=\nb"));
+    }
+}

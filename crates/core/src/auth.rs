@@ -1,0 +1,485 @@
+//! Authenticated DDPM — the §4.1/§6.2 extension.
+//!
+//! The paper assumes switches cannot be compromised, then hedges: "To
+//! prevent even the small probability of compromising switch, we should
+//! add an authentication function working on the switching layer.
+//! Before putting this function into a switch, rigorous research is
+//! required to consider a trade-off between performance and security."
+//! (§4.1). This module is that function, with the trade-off made
+//! measurable.
+//!
+//! ## Threat model
+//!
+//! Trusted switches share a marking key `K` held in a secure element;
+//! compute nodes never see it, and a compromised switch forwarding
+//! plane is assumed to have lost access to it too (the standard
+//! split-trust assumption of switch-security work). Such a switch can
+//! still corrupt the distance vector in flight — under plain DDPM that
+//! **frames an innocent node** (see
+//! `ddpm_attack::compromised::CompromisedSwitch`). With [`AuthDdpm`]:
+//!
+//! * the marking field is split into the DDPM distance sub-fields plus
+//!   a truncated keyed tag over `(V, src, dst)`;
+//! * every switch verifies the incoming tag *before* updating; on a
+//!   mismatch it leaves the field untouched, so invalidity propagates
+//!   (honest switches never re-legitimise a corrupted vector);
+//! * the victim identifies only packets whose final tag verifies —
+//!   corrupted packets yield [`AuthOutcome::Invalid`] instead of a
+//!   framed innocent. Fail closed.
+//!
+//! ## The trade-off, quantified
+//!
+//! Tag bits come out of the same 16-bit field, so authentication costs
+//! addressable cluster size (`auth_capacity_table` in
+//! `ddpm_bench::exp_compromised`) and one PRF evaluation per hop (the
+//! `marking` Criterion bench). A forged tag passes with probability
+//! `2^-t` per packet; the experiments measure the realised
+//! false-acceptance rate.
+//!
+//! ## Residual limitations (documented, tested)
+//!
+//! A compromised switch can *replay* a `(V, tag)` pair it previously
+//! saw for the same (src, dst) flow, reviving an old-but-valid vector;
+//! defeating replay needs per-packet binding or time-released keys
+//! (Song & Perrig's direction, cited as \[17\] in the paper). The tag
+//! PRF here is a fast keyed mixer, a stand-in for a real MAC with the
+//! same interface and failure semantics.
+
+use crate::ddpm::DdpmScheme;
+use ddpm_net::{CodecError, CodecMode, MarkingField, Packet, MF_BITS};
+use ddpm_sim::{MarkEnv, Marker};
+use ddpm_topology::{Coord, NodeId, Topology};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// SplitMix64 finaliser.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Keyed PRF over a few words (NOT a cryptographic MAC; a stand-in
+/// with the right interface — see the module docs).
+#[must_use]
+pub fn prf(key: u64, parts: &[u64]) -> u64 {
+    let mut h = key ^ 0x9E37_79B9_7F4A_7C15;
+    for &p in parts {
+        h ^= mix(p.wrapping_add(h));
+        h = h.rotate_left(23).wrapping_mul(0x2545_F491_4F6C_DD1D);
+    }
+    mix(h)
+}
+
+/// Errors from building an [`AuthDdpm`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AuthError {
+    /// The underlying DDPM codec does not fit at all.
+    Codec(CodecError),
+    /// Too few spare bits remain for a meaningful tag.
+    NoRoomForTag {
+        /// Bits the distance codec leaves over.
+        spare: u32,
+        /// Smallest acceptable tag width.
+        minimum: u32,
+    },
+}
+
+impl fmt::Display for AuthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AuthError::Codec(e) => write!(f, "codec: {e}"),
+            AuthError::NoRoomForTag { spare, minimum } => {
+                write!(
+                    f,
+                    "only {spare} spare MF bits for the tag (need >= {minimum})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AuthError {}
+
+/// Victim-side outcome for one packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AuthOutcome {
+    /// Tag verified; the identified source coordinate.
+    Verified(Coord),
+    /// Tag mismatch: the vector was tampered with in flight (or forged
+    /// past the injection switch). No identification is produced.
+    Invalid,
+}
+
+impl AuthOutcome {
+    /// The verified source, if any.
+    #[must_use]
+    pub fn source(&self) -> Option<Coord> {
+        match self {
+            AuthOutcome::Verified(c) => Some(*c),
+            AuthOutcome::Invalid => None,
+        }
+    }
+}
+
+/// Minimum acceptable tag width.
+pub const MIN_TAG_BITS: u32 = 4;
+
+/// DDPM with an in-field truncated authentication tag.
+///
+/// Field layout: `[tag : t][distance vector : b]` with `t = 16 − b`.
+pub struct AuthDdpm {
+    inner: DdpmScheme,
+    key: u64,
+    vec_bits: u32,
+    tag_bits: u32,
+    /// Tamper events observed by honest switches (verification failures
+    /// at `on_forward`).
+    tampered_seen: Mutex<u64>,
+}
+
+impl AuthDdpm {
+    /// Builds authenticated DDPM for `topo` with marking key `key`.
+    ///
+    /// # Errors
+    /// [`AuthError`] when the distance codec leaves fewer than
+    /// [`MIN_TAG_BITS`] spare bits.
+    pub fn new(topo: &Topology, key: u64) -> Result<Self, AuthError> {
+        Self::with_mode(topo, key, CodecMode::Signed)
+    }
+
+    /// Builds with an explicit codec mode (`Residue` buys more tag bits
+    /// at the same scale).
+    pub fn with_mode(topo: &Topology, key: u64, mode: CodecMode) -> Result<Self, AuthError> {
+        let inner = DdpmScheme::with_mode(topo, mode).map_err(AuthError::Codec)?;
+        let vec_bits = inner.codec().bits_used();
+        let spare = MF_BITS - vec_bits;
+        if spare < MIN_TAG_BITS {
+            return Err(AuthError::NoRoomForTag {
+                spare,
+                minimum: MIN_TAG_BITS,
+            });
+        }
+        Ok(Self {
+            inner,
+            key,
+            vec_bits,
+            tag_bits: spare,
+            tampered_seen: Mutex::new(0),
+        })
+    }
+
+    /// Tag width in bits.
+    #[must_use]
+    pub fn tag_bits(&self) -> u32 {
+        self.tag_bits
+    }
+
+    /// Distance-vector width in bits.
+    #[must_use]
+    pub fn vec_bits(&self) -> u32 {
+        self.vec_bits
+    }
+
+    /// The underlying (unauthenticated) scheme.
+    #[must_use]
+    pub fn inner(&self) -> &DdpmScheme {
+        &self.inner
+    }
+
+    /// Tamper events honest switches have detected so far.
+    #[must_use]
+    pub fn tampered_seen(&self) -> u64 {
+        *self.tampered_seen.lock()
+    }
+
+    fn tag_for(&self, vec_bits_value: u16, src: Ipv4Addr, dst: Ipv4Addr) -> u16 {
+        let t = prf(
+            self.key,
+            &[
+                u64::from(vec_bits_value),
+                u64::from(u32::from(src)),
+                u64::from(u32::from(dst)),
+            ],
+        );
+        (t & ((1u64 << self.tag_bits) - 1)) as u16
+    }
+
+    fn split(&self, mf: MarkingField) -> (u16, u16) {
+        let vec = mf.get_bits(0, self.vec_bits);
+        let tag = mf.get_bits(self.vec_bits, self.tag_bits);
+        (vec, tag)
+    }
+
+    fn join(&self, vec: u16, tag: u16) -> MarkingField {
+        let mut mf = MarkingField::zero();
+        mf.set_bits(0, self.vec_bits, vec);
+        mf.set_bits(self.vec_bits, self.tag_bits, tag);
+        mf
+    }
+
+    fn verify_field(&self, pkt: &Packet) -> bool {
+        let (vec, tag) = self.split(pkt.header.identification);
+        tag == self.tag_for(vec, pkt.header.src, pkt.header.dst)
+    }
+
+    /// Victim-side verification + identification.
+    #[must_use]
+    pub fn identify_verified(&self, topo: &Topology, dest: &Coord, pkt: &Packet) -> AuthOutcome {
+        if !self.verify_field(pkt) {
+            return AuthOutcome::Invalid;
+        }
+        let (vec, _) = self.split(pkt.header.identification);
+        let inner_mf = MarkingField::new(vec);
+        match self.inner.codec().recover_source(topo, dest, inner_mf) {
+            Some(src) => AuthOutcome::Verified(src),
+            None => AuthOutcome::Invalid,
+        }
+    }
+
+    /// Like [`AuthDdpm::identify_verified`] but returning a node id.
+    #[must_use]
+    pub fn identify_verified_node(
+        &self,
+        topo: &Topology,
+        dest: &Coord,
+        pkt: &Packet,
+    ) -> Option<NodeId> {
+        self.identify_verified(topo, dest, pkt)
+            .source()
+            .map(|c| topo.index(&c))
+    }
+}
+
+impl fmt::Debug for AuthDdpm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AuthDdpm")
+            .field("vec_bits", &self.vec_bits)
+            .field("tag_bits", &self.tag_bits)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Marker for AuthDdpm {
+    fn name(&self) -> &'static str {
+        "ddpm-auth"
+    }
+
+    fn on_inject(&self, pkt: &mut Packet, _src: &Coord, _env: &MarkEnv<'_>) {
+        let zero_vec = self
+            .inner
+            .codec()
+            .encode(&Coord::zero(pkt_ndims(&self.inner)))
+            .expect("zero encodes")
+            .raw();
+        let tag = self.tag_for(zero_vec, pkt.header.src, pkt.header.dst);
+        pkt.header.identification = self.join(zero_vec, tag);
+    }
+
+    fn on_forward(
+        &self,
+        pkt: &mut Packet,
+        cur: &Coord,
+        next: &Coord,
+        env: &MarkEnv<'_>,
+        _rng: &mut SmallRng,
+    ) {
+        // Verify BEFORE updating; never re-legitimise a corrupted field.
+        if !self.verify_field(pkt) {
+            *self.tampered_seen.lock() += 1;
+            return;
+        }
+        let (vec, _) = self.split(pkt.header.identification);
+        let v = self.inner.codec().decode(MarkingField::new(vec));
+        let delta = env
+            .topo
+            .hop_displacement(cur, next)
+            .expect("simulator only forwards along real links");
+        let v_new = env.topo.accumulate(&v, &delta);
+        let vec_new = self
+            .inner
+            .codec()
+            .encode(&v_new)
+            .expect("accumulated vectors stay in range")
+            .raw();
+        let tag = self.tag_for(vec_new, pkt.header.src, pkt.header.dst);
+        pkt.header.identification = self.join(vec_new, tag);
+    }
+}
+
+fn pkt_ndims(scheme: &DdpmScheme) -> usize {
+    scheme.codec().widths().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddpm_net::{AddrMap, Ipv4Header, PacketId, Protocol, TrafficClass, L4};
+    use ddpm_routing::{Router, SelectionPolicy};
+    use ddpm_sim::{SimConfig, SimTime, Simulation};
+    use ddpm_topology::{FaultSet, Topology};
+
+    fn mk_packet(map: &AddrMap, id: u64, src: NodeId, dst: NodeId) -> Packet {
+        Packet {
+            id: PacketId(id),
+            header: Ipv4Header::new(map.ip_of(src), map.ip_of(dst), Protocol::Udp, 64),
+            l4: L4::udp(1, 7),
+            true_source: src,
+            dest_node: dst,
+            class: TrafficClass::Attack,
+        }
+    }
+
+    #[test]
+    fn layout_splits_the_field() {
+        let topo = Topology::mesh2d(8);
+        let auth = AuthDdpm::new(&topo, 0xBEEF).unwrap();
+        assert_eq!(auth.vec_bits() + auth.tag_bits(), 16);
+        assert_eq!(auth.vec_bits(), 8);
+        assert_eq!(auth.tag_bits(), 8);
+    }
+
+    #[test]
+    fn no_room_for_tag_at_table3_scale() {
+        // The 128x128 mesh uses all 16 bits for the vector: no tag room.
+        let err = AuthDdpm::new(&Topology::mesh2d(128), 1).unwrap_err();
+        assert!(matches!(err, AuthError::NoRoomForTag { spare: 0, .. }));
+        // Residue mode frees bits at the same scale.
+        assert!(AuthDdpm::with_mode(&Topology::mesh2d(64), 1, CodecMode::Residue).is_ok());
+    }
+
+    #[test]
+    fn honest_run_verifies_and_identifies() {
+        let topo = Topology::torus(&[6, 6]);
+        let auth = AuthDdpm::new(&topo, 0xD00D).unwrap();
+        let map = AddrMap::for_topology(&topo);
+        let faults = FaultSet::none();
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::fully_adaptive_for(&topo),
+            SelectionPolicy::Random,
+            &auth,
+            SimConfig::seeded(5),
+        );
+        for id in 0..150u64 {
+            let s = NodeId((id as u32 * 7 + 1) % 36);
+            let d = NodeId((id as u32 * 11 + 3) % 36);
+            if s == d {
+                continue;
+            }
+            sim.schedule(SimTime(id * 4), mk_packet(&map, id, s, d));
+        }
+        sim.run();
+        assert!(!sim.delivered().is_empty());
+        for del in sim.delivered() {
+            let dest = topo.coord(del.packet.dest_node);
+            assert_eq!(
+                auth.identify_verified_node(&topo, &dest, &del.packet),
+                Some(del.packet.true_source)
+            );
+        }
+        assert_eq!(auth.tampered_seen(), 0);
+    }
+
+    #[test]
+    fn node_forged_field_rejected_or_reset() {
+        // Preloaded garbage dies at the injection switch like plain DDPM.
+        let topo = Topology::mesh2d(8);
+        let auth = AuthDdpm::new(&topo, 42).unwrap();
+        let map = AddrMap::for_topology(&topo);
+        let faults = FaultSet::none();
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &auth,
+            SimConfig::seeded(1),
+        );
+        let mut p = mk_packet(&map, 1, NodeId(3), NodeId(60));
+        p.header.identification = MarkingField::new(0xFFFF);
+        sim.schedule(SimTime::ZERO, p);
+        sim.run();
+        let del = &sim.delivered()[0];
+        let dest = topo.coord(del.packet.dest_node);
+        assert_eq!(
+            auth.identify_verified_node(&topo, &dest, &del.packet),
+            Some(NodeId(3))
+        );
+    }
+
+    #[test]
+    fn midpath_tamper_is_detected_not_misattributed() {
+        // Manually corrupt the vector between two hops, as a compromised
+        // switch would, and check fail-closed behaviour end to end.
+        let topo = Topology::mesh2d(8);
+        let auth = AuthDdpm::new(&topo, 7).unwrap();
+        let map = AddrMap::for_topology(&topo);
+        let env = ddpm_sim::MarkEnv { topo: &topo };
+        let mut rng = {
+            use rand::SeedableRng;
+            SmallRng::seed_from_u64(0)
+        };
+        let path = [
+            Coord::new(&[0, 0]),
+            Coord::new(&[1, 0]),
+            Coord::new(&[2, 0]),
+            Coord::new(&[3, 0]),
+            Coord::new(&[4, 0]),
+        ];
+        let mut pkt = mk_packet(&map, 9, topo.index(&path[0]), topo.index(&path[4]));
+        auth.on_inject(&mut pkt, &path[0], &env);
+        auth.on_forward(&mut pkt, &path[0], &path[1], &env, &mut rng);
+        // The compromised switch rewrites the vector to frame (6,6)…
+        let frame_v = topo.expected_distance(&Coord::new(&[6, 6]), &path[2]);
+        let forged_vec = auth.inner().codec().encode(&frame_v).unwrap().raw();
+        let (_, old_tag) = auth.split(pkt.header.identification);
+        pkt.header.identification = auth.join(forged_vec, old_tag);
+        // …honest switches downstream refuse to touch it…
+        auth.on_forward(&mut pkt, &path[1], &path[2], &env, &mut rng);
+        auth.on_forward(&mut pkt, &path[2], &path[3], &env, &mut rng);
+        auth.on_forward(&mut pkt, &path[3], &path[4], &env, &mut rng);
+        assert_eq!(auth.tampered_seen(), 3, "every honest hop flags it");
+        // …and the victim refuses to identify (fail closed), rather than
+        // convicting the framed node.
+        assert_eq!(
+            auth.identify_verified(&topo, &path[4], &pkt),
+            AuthOutcome::Invalid
+        );
+    }
+
+    #[test]
+    fn prf_is_key_and_input_sensitive() {
+        let a = prf(1, &[1, 2, 3]);
+        assert_ne!(a, prf(2, &[1, 2, 3]));
+        assert_ne!(a, prf(1, &[1, 2, 4]));
+        assert_ne!(a, prf(1, &[1, 2]));
+        assert_eq!(a, prf(1, &[1, 2, 3]));
+    }
+
+    #[test]
+    fn forgery_acceptance_matches_tag_width() {
+        // Random tags pass with probability ~2^-t.
+        let topo = Topology::mesh2d(8); // t = 8
+        let auth = AuthDdpm::new(&topo, 99).unwrap();
+        let map = AddrMap::for_topology(&topo);
+        let mut pkt = mk_packet(&map, 0, NodeId(0), NodeId(63));
+        let mut accepted = 0u32;
+        let trials = 4096u32;
+        for i in 0..trials {
+            pkt.header.identification = MarkingField::new(i as u16 ^ 0xA5A5);
+            if auth.verify_field(&pkt) {
+                accepted += 1;
+            }
+        }
+        let rate = f64::from(accepted) / f64::from(trials);
+        assert!(
+            rate < 4.0 / 256.0,
+            "acceptance {rate} far above 2^-8 = {}",
+            1.0 / 256.0
+        );
+    }
+}

@@ -1,0 +1,353 @@
+//! Deterministic Packet Marking (DPM / Pi-style), the §4.3 baseline.
+//!
+//! "In DPM, every switch should mark all the packets. … every switch
+//! writes the last bit of the hash value of the switch index. The
+//! marking position is decided by TTL mod 16." The bits written by the
+//! switches along a path form a *signature*; a victim that has flagged a
+//! flow as hostile blocks every packet carrying the same signature.
+//!
+//! The paper's two criticisms, both reproduced by the `dpm` experiment:
+//!
+//! * paths longer than 16 hops wrap around and overwrite earlier bits —
+//!   "After the 16th hop, the MF starts to lose information";
+//! * under adaptive routing one source produces *many* signatures and
+//!   different sources collide — "Considering the adaptive routing, the
+//!   ambiguity becomes much larger."
+
+use ddpm_net::{MarkingField, Packet};
+use ddpm_sim::{MarkEnv, Marker};
+use ddpm_topology::{Coord, NodeId, Topology};
+use rand::rngs::SmallRng;
+use std::collections::{HashMap, HashSet};
+
+/// The last bit of the hash of a switch index.
+///
+/// A 32-bit finalizer (Murmur3-style) — deterministic, spread evenly, so
+/// roughly half of all switches write 1 (the §4.3 observation that "two
+/// out of four neighbors in the 2-D mesh have the same last bit" on
+/// average).
+#[must_use]
+pub fn hash_bit(index: NodeId) -> bool {
+    let mut x = index.0.wrapping_add(0x9E37_79B9);
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x85EB_CA6B);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0xC2B2_AE35);
+    x ^= x >> 16;
+    x & 1 == 1
+}
+
+/// The DPM switch behaviour.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DpmScheme;
+
+impl DpmScheme {
+    /// The signature a given path would deposit, given the initial TTL —
+    /// ground truth for the experiments.
+    #[must_use]
+    pub fn signature_of_path(topo: &Topology, path: &[Coord], initial_ttl: u8) -> u16 {
+        let mut mf = MarkingField::zero();
+        let mut ttl = initial_ttl;
+        // The switch at path[i] forwards to path[i+1]; the first switch
+        // sees the initial TTL, later switches see it decremented.
+        for (i, hop) in path.windows(2).enumerate() {
+            if i > 0 {
+                ttl = ttl.saturating_sub(1);
+            }
+            let pos = u32::from(ttl) % 16;
+            mf.set_bit(pos, hash_bit(topo.index(&hop[0])));
+        }
+        mf.raw()
+    }
+}
+
+impl Marker for DpmScheme {
+    fn name(&self) -> &'static str {
+        "dpm"
+    }
+
+    fn on_inject(&self, pkt: &mut Packet, _src: &Coord, _env: &MarkEnv<'_>) {
+        pkt.header.identification.clear();
+    }
+
+    fn on_forward(
+        &self,
+        pkt: &mut Packet,
+        cur: &Coord,
+        _next: &Coord,
+        env: &MarkEnv<'_>,
+        _rng: &mut SmallRng,
+    ) {
+        let pos = u32::from(pkt.header.ttl) % 16;
+        pkt.header
+            .identification
+            .set_bit(pos, hash_bit(env.topo.index(cur)));
+    }
+}
+
+/// Victim-side DPM state: observed signatures and the blocklist.
+///
+/// "if we detect that both traffic are DDoS attacks, we can block all
+/// traffic having [those values] in the MF." (§4.3)
+#[derive(Clone, Debug, Default)]
+pub struct DpmVictim {
+    /// Packets seen per signature.
+    counts: HashMap<u16, u64>,
+    /// Signatures flagged hostile.
+    blocked: HashSet<u16>,
+}
+
+impl DpmVictim {
+    /// Fresh victim state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one received marking field.
+    pub fn observe(&mut self, mf: MarkingField) {
+        *self.counts.entry(mf.raw()).or_insert(0) += 1;
+    }
+
+    /// Packets observed with `signature`.
+    #[must_use]
+    pub fn count(&self, signature: u16) -> u64 {
+        self.counts.get(&signature).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct signatures observed.
+    #[must_use]
+    pub fn distinct_signatures(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Flags a signature hostile.
+    pub fn block(&mut self, signature: u16) {
+        self.blocked.insert(signature);
+    }
+
+    /// Flags the `k` most frequent signatures hostile (the natural
+    /// response to a flood: the heavy hitters are the attack).
+    pub fn block_top(&mut self, k: usize) {
+        let mut by_count: Vec<(u16, u64)> = self.counts.iter().map(|(&s, &c)| (s, c)).collect();
+        by_count.sort_by_key(|&(s, c)| (std::cmp::Reverse(c), s));
+        for (s, _) in by_count.into_iter().take(k) {
+            self.blocked.insert(s);
+        }
+    }
+
+    /// True if packets with `mf` would be discarded.
+    #[must_use]
+    pub fn is_blocked(&self, mf: MarkingField) -> bool {
+        self.blocked.contains(&mf.raw())
+    }
+
+    /// The blocklist.
+    #[must_use]
+    pub fn blocked(&self) -> &HashSet<u16> {
+        &self.blocked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddpm_net::{AddrMap, Ipv4Header, PacketId, Protocol, TrafficClass, L4};
+    use ddpm_routing::{trace_path, Router, SelectionPolicy};
+    use ddpm_sim::{SimConfig, SimTime, Simulation};
+    use ddpm_topology::FaultSet;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hash_bit_is_balanced() {
+        let ones = (0..10_000).filter(|&i| hash_bit(NodeId(i))).count();
+        assert!((4_500..5_500).contains(&ones), "bias: {ones}/10000");
+    }
+
+    #[test]
+    fn stable_route_gives_stable_signature() {
+        // Deterministic routing: every packet of a flow carries the same
+        // signature — DPM's working regime (§4.3).
+        let topo = Topology::mesh2d(6);
+        let map = AddrMap::for_topology(&topo);
+        let faults = FaultSet::none();
+        let scheme = DpmScheme;
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &scheme,
+            SimConfig::seeded(1),
+        );
+        for id in 0..50u64 {
+            sim.schedule(
+                SimTime(id * 7),
+                Packet {
+                    id: PacketId(id),
+                    header: Ipv4Header::new(
+                        map.ip_of(NodeId(2)),
+                        map.ip_of(NodeId(33)),
+                        Protocol::Udp,
+                        64,
+                    ),
+                    l4: L4::udp(1, 2),
+                    true_source: NodeId(2),
+                    dest_node: NodeId(33),
+                    class: TrafficClass::Attack,
+                },
+            );
+        }
+        sim.run();
+        let sigs: HashSet<u16> = sim
+            .delivered()
+            .iter()
+            .map(|d| d.packet.header.identification.raw())
+            .collect();
+        assert_eq!(sigs.len(), 1);
+    }
+
+    #[test]
+    fn adaptive_route_fragments_signature() {
+        // §4.3: "one attack may have different MF values" under adaptive
+        // routing.
+        let topo = Topology::mesh2d(6);
+        let map = AddrMap::for_topology(&topo);
+        let faults = FaultSet::none();
+        let scheme = DpmScheme;
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::MinimalAdaptive,
+            SelectionPolicy::Random,
+            &scheme,
+            SimConfig::seeded(5),
+        );
+        for id in 0..200u64 {
+            sim.schedule(
+                SimTime(id * 3),
+                Packet {
+                    id: PacketId(id),
+                    header: Ipv4Header::new(
+                        map.ip_of(NodeId(0)),
+                        map.ip_of(NodeId(35)),
+                        Protocol::Udp,
+                        64,
+                    ),
+                    l4: L4::udp(1, 2),
+                    true_source: NodeId(0),
+                    dest_node: NodeId(35),
+                    class: TrafficClass::Attack,
+                },
+            );
+        }
+        sim.run();
+        let mut victim = DpmVictim::new();
+        for d in sim.delivered() {
+            victim.observe(d.packet.header.identification);
+        }
+        assert!(
+            victim.distinct_signatures() > 3,
+            "adaptive routing should fragment the signature set, got {}",
+            victim.distinct_signatures()
+        );
+    }
+
+    #[test]
+    fn signature_of_path_matches_simulation() {
+        let topo = Topology::mesh2d(6);
+        let map = AddrMap::for_topology(&topo);
+        let faults = FaultSet::none();
+        let scheme = DpmScheme;
+        let mut rng = SmallRng::seed_from_u64(9);
+        let src = Coord::new(&[0, 0]);
+        let dst = Coord::new(&[4, 3]);
+        let path = trace_path(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &mut rng,
+            &src,
+            &dst,
+            64,
+        )
+        .unwrap();
+        let predicted = DpmScheme::signature_of_path(&topo, &path, ddpm_net::ipv4::DEFAULT_TTL);
+
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &scheme,
+            SimConfig::seeded(1),
+        );
+        sim.schedule(
+            SimTime::ZERO,
+            Packet {
+                id: PacketId(0),
+                header: Ipv4Header::new(
+                    map.ip_of(topo.index(&src)),
+                    map.ip_of(topo.index(&dst)),
+                    Protocol::Udp,
+                    64,
+                ),
+                l4: L4::udp(1, 2),
+                true_source: topo.index(&src),
+                dest_node: topo.index(&dst),
+                class: TrafficClass::Attack,
+            },
+        );
+        sim.run();
+        assert_eq!(
+            sim.delivered()[0].packet.header.identification.raw(),
+            predicted
+        );
+    }
+
+    #[test]
+    fn long_paths_overwrite_marks() {
+        // Two paths that agree on the last 16 switch-hops produce the
+        // same signature even if they differ before that — information
+        // loss past 16 hops (§4.3).
+        let topo = Topology::mesh2d(12);
+        // Build a long snake path of 20+ hops and a suffix-sharing one.
+        let mut long_path = Vec::new();
+        for x in 0..12 {
+            long_path.push(Coord::new(&[x, 0]));
+        }
+        for y in 1..12 {
+            long_path.push(Coord::new(&[11, y]));
+        }
+        // 22 hops total. A second path sharing the last 17 nodes
+        // (16 marking switches + victim).
+        let short_path: Vec<Coord> = long_path[long_path.len() - 17..].to_vec();
+        let ttl = ddpm_net::ipv4::DEFAULT_TTL;
+        let sig_long = DpmScheme::signature_of_path(&topo, &long_path, ttl);
+        // The short path's switches see different TTL values (fewer hops
+        // consumed); align by starting TTL so the shared suffix lands on
+        // the same slots.
+        let consumed = (long_path.len() - short_path.len()) as u8;
+        let sig_short = DpmScheme::signature_of_path(&topo, &short_path, ttl - consumed);
+        assert_eq!(
+            sig_long, sig_short,
+            "suffix-sharing paths must collide once the prefix is overwritten"
+        );
+    }
+
+    #[test]
+    fn victim_blocklist() {
+        let mut v = DpmVictim::new();
+        for _ in 0..10 {
+            v.observe(MarkingField::new(0xAAAA));
+        }
+        v.observe(MarkingField::new(0x1111));
+        v.block_top(1);
+        assert!(v.is_blocked(MarkingField::new(0xAAAA)));
+        assert!(!v.is_blocked(MarkingField::new(0x1111)));
+        assert_eq!(v.count(0xAAAA), 10);
+        assert_eq!(v.distinct_signatures(), 2);
+    }
+}

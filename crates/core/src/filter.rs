@@ -1,0 +1,374 @@
+//! Mitigation filters: acting on identified sources.
+//!
+//! "Once a source or a path is identified, we can protect our system by
+//! blocking packets from that source or that path." (§2). Three
+//! enforcement points, all pluggable into the simulator via
+//! [`ddpm_sim::Filter`]:
+//!
+//! * [`SourceQuarantine`] — the identified node's *own switch* refuses
+//!   everything its compute node injects. The strongest response,
+//!   possible exactly because "one node consists of a switch and a
+//!   computing node, but they are separate entities" and switches are
+//!   trusted (§4.1).
+//! * [`DdpmDeliveryFilter`] — the victim's switch recomputes the DDPM
+//!   source of each arriving packet and discards packets from
+//!   blocklisted coordinates. No cooperation from remote switches
+//!   needed; spoofed headers are irrelevant.
+//! * [`SignatureFilter`] — DPM-style: discard packets whose raw marking
+//!   field matches a blocked signature ("The victim can block all
+//!   following traffic with that marking value", §2). Cheap but, under
+//!   adaptive routing, both leaky and collateral-prone — measured by the
+//!   end-to-end experiment.
+//! * [`IngressFilter`] — the §2 baseline defence (Ferguson & Senie,
+//!   RFC 2267): every switch validates that the source address of a
+//!   locally injected packet matches its own node's address in the
+//!   mapping table ("switches can block packets with spoofed IP
+//!   addresses by looking up a mapping table", §6.2). Stops *spoofing*
+//!   cold — but not the attack: an attacker that floods under its own
+//!   address sails through, which is why identification still matters.
+//!
+//! All mutable filters use interior mutability (`parking_lot::RwLock`)
+//! so a detection pipeline can extend blocklists while a simulation
+//! runs.
+
+use crate::ddpm::DdpmScheme;
+use ddpm_net::{AddrMap, Packet};
+use ddpm_sim::Filter;
+use ddpm_topology::{Coord, Topology};
+use parking_lot::RwLock;
+use std::collections::HashSet;
+
+/// Quarantine at the source switch.
+#[derive(Debug, Default)]
+pub struct SourceQuarantine {
+    blocked: RwLock<HashSet<Coord>>,
+}
+
+impl SourceQuarantine {
+    /// An empty quarantine list.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quarantines the node at `coord`.
+    pub fn block(&self, coord: Coord) {
+        self.blocked.write().insert(coord);
+    }
+
+    /// Number of quarantined nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocked.read().len()
+    }
+
+    /// True if nothing is quarantined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocked.read().is_empty()
+    }
+}
+
+impl Filter for SourceQuarantine {
+    fn block_at_injection(&self, _pkt: &Packet, src: &Coord) -> bool {
+        let blocked = self.blocked.read();
+        !blocked.is_empty() && blocked.contains(src)
+    }
+}
+
+/// Victim-side filtering keyed by DDPM-recovered source.
+#[derive(Debug)]
+pub struct DdpmDeliveryFilter {
+    topo: Topology,
+    scheme: DdpmScheme,
+    blocked: RwLock<HashSet<Coord>>,
+}
+
+impl DdpmDeliveryFilter {
+    /// Builds the filter for `topo`.
+    #[must_use]
+    pub fn new(topo: Topology, scheme: DdpmScheme) -> Self {
+        Self {
+            topo,
+            scheme,
+            blocked: RwLock::new(HashSet::new()),
+        }
+    }
+
+    /// Blocks traffic whose recovered source is `coord`.
+    pub fn block(&self, coord: Coord) {
+        self.blocked.write().insert(coord);
+    }
+
+    /// Number of blocked sources.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocked.read().len()
+    }
+
+    /// True if the blocklist is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocked.read().is_empty()
+    }
+}
+
+impl Filter for DdpmDeliveryFilter {
+    fn block_at_delivery(&self, pkt: &Packet, dst: &Coord) -> bool {
+        let blocked = self.blocked.read();
+        if blocked.is_empty() {
+            return false;
+        }
+        match self
+            .scheme
+            .identify(&self.topo, dst, pkt.header.identification)
+        {
+            Some(src) => blocked.contains(&src),
+            None => false,
+        }
+    }
+}
+
+/// Victim-side filtering keyed by the raw marking-field signature (DPM).
+#[derive(Debug, Default)]
+pub struct SignatureFilter {
+    blocked: RwLock<HashSet<u16>>,
+}
+
+impl SignatureFilter {
+    /// An empty signature blocklist.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks a signature.
+    pub fn block(&self, signature: u16) {
+        self.blocked.write().insert(signature);
+    }
+
+    /// Blocks every signature in `signatures`.
+    pub fn block_all(&self, signatures: impl IntoIterator<Item = u16>) {
+        let mut w = self.blocked.write();
+        w.extend(signatures);
+    }
+
+    /// Number of blocked signatures.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.blocked.read().len()
+    }
+
+    /// True if the blocklist is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.blocked.read().is_empty()
+    }
+}
+
+impl Filter for SignatureFilter {
+    fn block_at_delivery(&self, pkt: &Packet, _dst: &Coord) -> bool {
+        let blocked = self.blocked.read();
+        !blocked.is_empty() && blocked.contains(&pkt.header.identification.raw())
+    }
+}
+
+/// Per-switch ingress source-address validation (the §2/§6.2 baseline).
+///
+/// Drops any locally injected packet whose header source address is not
+/// the injecting node's own address. The cost the paper worries about —
+/// "it will increase the processing time of switch" (§6.2) — is one
+/// address-map lookup per injection; the `marking` bench quantifies it.
+#[derive(Clone, Debug)]
+pub struct IngressFilter {
+    topo: Topology,
+    map: AddrMap,
+}
+
+impl IngressFilter {
+    /// Builds the filter for `topo` with its address map.
+    #[must_use]
+    pub fn new(topo: Topology, map: AddrMap) -> Self {
+        Self { topo, map }
+    }
+}
+
+impl Filter for IngressFilter {
+    fn block_at_injection(&self, pkt: &Packet, src: &Coord) -> bool {
+        let node = self.topo.index(src);
+        pkt.header.src != self.map.ip_of(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddpm_net::{Ipv4Header, PacketId, Protocol, TrafficClass, L4};
+    use ddpm_routing::{Router, SelectionPolicy};
+    use ddpm_sim::{SimConfig, SimTime, Simulation};
+    use ddpm_topology::{FaultSet, NodeId};
+
+    fn mk_packet(map: &AddrMap, id: u64, src: NodeId, dst: NodeId, class: TrafficClass) -> Packet {
+        Packet {
+            id: PacketId(id),
+            header: Ipv4Header::new(map.ip_of(src), map.ip_of(dst), Protocol::Udp, 64),
+            l4: L4::udp(5, 53),
+            true_source: src,
+            dest_node: dst,
+            class,
+        }
+    }
+
+    #[test]
+    fn quarantine_blocks_only_listed_sources() {
+        let topo = Topology::mesh2d(4);
+        let map = AddrMap::for_topology(&topo);
+        let faults = FaultSet::none();
+        let scheme = DdpmScheme::new(&topo).unwrap();
+        let q = SourceQuarantine::new();
+        q.block(topo.coord(NodeId(3)));
+        let mut sim = Simulation::with_filter(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &scheme,
+            &q,
+            SimConfig::default(),
+        );
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 0, NodeId(3), NodeId(12), TrafficClass::Attack),
+        );
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 1, NodeId(4), NodeId(12), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.attack.dropped_filtered, 1);
+        assert_eq!(stats.attack.delivered, 0);
+        assert_eq!(stats.benign.delivered, 1);
+    }
+
+    #[test]
+    fn ddpm_delivery_filter_blocks_despite_spoofing() {
+        let topo = Topology::mesh2d(4);
+        let map = AddrMap::for_topology(&topo);
+        let faults = FaultSet::none();
+        let scheme = DdpmScheme::new(&topo).unwrap();
+        let filter = DdpmDeliveryFilter::new(topo.clone(), scheme.clone());
+        filter.block(topo.coord(NodeId(5)));
+        let mut sim = Simulation::with_filter(
+            &topo,
+            &faults,
+            Router::MinimalAdaptive,
+            SelectionPolicy::Random,
+            &scheme,
+            &filter,
+            SimConfig::seeded(3),
+        );
+        // Attacker at node 5 spoofs node 1's address.
+        let mut atk = mk_packet(&map, 0, NodeId(5), NodeId(10), TrafficClass::Attack);
+        atk.header.src = map.ip_of(NodeId(1));
+        sim.schedule(SimTime::ZERO, atk);
+        // Honest node 1 traffic must NOT be collateral.
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 1, NodeId(1), NodeId(10), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.attack.dropped_filtered, 1);
+        assert_eq!(stats.benign.delivered, 1, "no collateral damage");
+    }
+
+    #[test]
+    fn signature_filter_matches_raw_mf() {
+        let topo = Topology::mesh2d(4);
+        let map = AddrMap::for_topology(&topo);
+        let faults = FaultSet::none();
+        let scheme = crate::dpm::DpmScheme;
+        // First run: learn the attack signature.
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &scheme,
+            SimConfig::default(),
+        );
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 0, NodeId(0), NodeId(15), TrafficClass::Attack),
+        );
+        sim.run();
+        let sig = sim.delivered()[0].packet.header.identification.raw();
+
+        // Second run: blocked.
+        let filter = SignatureFilter::new();
+        filter.block(sig);
+        let mut sim2 = Simulation::with_filter(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &scheme,
+            &filter,
+            SimConfig::default(),
+        );
+        sim2.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 1, NodeId(0), NodeId(15), TrafficClass::Attack),
+        );
+        let stats = sim2.run();
+        assert_eq!(stats.attack.dropped_filtered, 1);
+    }
+
+    #[test]
+    fn empty_filters_pass_everything() {
+        let q = SourceQuarantine::new();
+        assert!(q.is_empty());
+        let topo = Topology::mesh2d(4);
+        let map = AddrMap::for_topology(&topo);
+        let p = mk_packet(&map, 0, NodeId(0), NodeId(1), TrafficClass::Attack);
+        assert!(!q.block_at_injection(&p, &topo.coord(NodeId(0))));
+        let s = SignatureFilter::new();
+        assert!(!s.block_at_delivery(&p, &topo.coord(NodeId(1))));
+    }
+
+    #[test]
+    fn ingress_filter_blocks_spoofed_injections_only() {
+        let topo = Topology::mesh2d(4);
+        let map = AddrMap::for_topology(&topo);
+        let faults = ddpm_topology::FaultSet::none();
+        let marker = ddpm_sim::NoMarking;
+        let ingress = IngressFilter::new(topo.clone(), map.clone());
+        let mut sim = Simulation::with_filter(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            &ingress,
+            SimConfig::default(),
+        );
+        // Spoofed attack packet: blocked at its own switch.
+        let mut spoofed = mk_packet(&map, 0, NodeId(2), NodeId(9), TrafficClass::Attack);
+        spoofed.header.src = map.ip_of(NodeId(7));
+        sim.schedule(SimTime::ZERO, spoofed);
+        // Honest attack packet (attacker uses its real address): passes —
+        // ingress filtering does not stop a non-spoofing flooder.
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 1, NodeId(2), NodeId(9), TrafficClass::Attack),
+        );
+        // Honest benign packet: passes.
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 2, NodeId(3), NodeId(9), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.attack.dropped_filtered, 1);
+        assert_eq!(stats.attack.delivered, 1);
+        assert_eq!(stats.benign.delivered, 1);
+    }
+}

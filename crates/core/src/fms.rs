@@ -1,0 +1,458 @@
+//! Savage's Fragment Marking Scheme (FMS) — the compressed PPM the
+//! paper's §2 quotes the convergence bound for.
+//!
+//! "To store sufficient trace back information in the 16-bit IP
+//! identification field, they proposed an encoding scheme which hashes
+//! IP addresses and writes a fraction of it. With less packet length
+//! overhead, the expected number of packets for the victim to receive
+//! before reconstructing a path of length of d is roughly less than
+//! k·ln(kd)/p(1−p)^{d−1}, where k is the number of fraction\[s\]." (§2)
+//!
+//! Adapted to cluster node labels: a switch's 16-bit label is
+//! bit-interleaved with a 16-bit hash of it (so reassembly is
+//! self-verifying), the 32-bit result is split into `K = 4` fragments
+//! of 8 bits, and each mark carries one fragment plus its offset and an
+//! ageing distance:
+//!
+//! ```text
+//! MF layout (LSB→MSB): [distance:5][offset:2][fragment:8]  = 15 bits
+//! ```
+//!
+//! Marking follows Savage's automaton: with probability `p` a switch
+//! writes a random fragment of its own interleaved value with distance
+//! 0; otherwise, if the distance is 0, it XORs its own matching fragment
+//! into the field (forming the edge id) and in any case increments the
+//! distance. The victim reassembles per (distance, offset), XORs out the
+//! already-reconstructed downstream switch, and accepts candidates whose
+//! hash half verifies — walking the path upstream one switch at a time.
+//!
+//! FMS fits *any* cluster size in the MF (that is its entire point),
+//! but it inherits PPM's two cluster killers, both reproduced in the
+//! tests: it needs `k×` more packets (the §2 bound), and it assumes a
+//! stable route — adaptive routing interleaves fragments of different
+//! paths and reconstruction collapses.
+
+use ddpm_net::{MarkingField, Packet};
+use ddpm_sim::{MarkEnv, Marker};
+use ddpm_topology::Coord;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::{HashMap, HashSet};
+
+/// Number of fragments per interleaved value.
+pub const K: u32 = 4;
+/// Bits per fragment.
+pub const FRAG_BITS: u32 = 8;
+const DIST_BITS: u32 = 5;
+const OFF_BITS: u32 = 2;
+const OFF_DIST: u32 = 0;
+const OFF_OFFSET: u32 = DIST_BITS;
+const OFF_FRAG: u32 = DIST_BITS + OFF_BITS;
+const MAX_DIST: u16 = (1 << DIST_BITS) - 1;
+
+/// 16-bit verification hash of a node label (keyless — the scheme's
+/// security rests on reassembly consistency, not secrecy).
+#[must_use]
+pub fn hash16(label: u16) -> u16 {
+    let mut x = u32::from(label).wrapping_add(0x9E37_79B9);
+    x ^= x >> 15;
+    x = x.wrapping_mul(0x2C1B_3C6D);
+    x ^= x >> 12;
+    x = x.wrapping_mul(0x297A_2D39);
+    x ^= x >> 15;
+    (x & 0xFFFF) as u16
+}
+
+/// Interleaves a label with its hash: label bit `i` → bit `2i`, hash
+/// bit `i` → bit `2i+1`.
+#[must_use]
+pub fn interleave(label: u16) -> u32 {
+    let h = hash16(label);
+    let mut out = 0u32;
+    for i in 0..16 {
+        out |= u32::from((label >> i) & 1) << (2 * i);
+        out |= u32::from((h >> i) & 1) << (2 * i + 1);
+    }
+    out
+}
+
+/// Splits an interleaved value back into `(label, hash)` halves.
+#[must_use]
+pub fn deinterleave(v: u32) -> (u16, u16) {
+    let mut label = 0u16;
+    let mut hash = 0u16;
+    for i in 0..16 {
+        label |= (((v >> (2 * i)) & 1) as u16) << i;
+        hash |= (((v >> (2 * i + 1)) & 1) as u16) << i;
+    }
+    (label, hash)
+}
+
+/// True if `v` is a self-consistent interleaving of some label.
+#[must_use]
+pub fn verifies(v: u32) -> bool {
+    let (label, hash) = deinterleave(v);
+    hash16(label) == hash
+}
+
+/// Fragment `offset` (0..K) of an interleaved value.
+#[must_use]
+pub fn fragment(v: u32, offset: u32) -> u8 {
+    assert!(offset < K);
+    ((v >> (offset * FRAG_BITS)) & 0xFF) as u8
+}
+
+/// One collected FMS mark.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FmsMark {
+    /// Ageing distance (hops after the edge formed).
+    pub distance: u16,
+    /// Fragment offset within the interleaved value.
+    pub offset: u8,
+    /// The (possibly XOR-combined) fragment payload.
+    pub fragment: u8,
+}
+
+/// The FMS marking scheme.
+#[derive(Clone, Copy, Debug)]
+pub struct FmsScheme {
+    /// Marking probability `p`.
+    pub p: f64,
+}
+
+impl FmsScheme {
+    /// Builds the scheme with marking probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `0.0..=1.0`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        Self { p }
+    }
+
+    /// One switch's marking step (exposed for process-level tests).
+    pub fn step(&self, mf: &mut MarkingField, label: u16, mark: bool, offset_draw: u32) {
+        let own = interleave(label);
+        if mark {
+            let off = offset_draw % K;
+            mf.set_bits(OFF_FRAG, FRAG_BITS, u16::from(fragment(own, off)));
+            mf.set_bits(OFF_OFFSET, OFF_BITS, off as u16);
+            mf.set_bits(OFF_DIST, DIST_BITS, 0);
+        } else {
+            let dist = mf.get_bits(OFF_DIST, DIST_BITS);
+            if dist == 0 {
+                let off = u32::from(mf.get_bits(OFF_OFFSET, OFF_BITS));
+                let frag = mf.get_bits(OFF_FRAG, FRAG_BITS) as u8 ^ fragment(own, off);
+                mf.set_bits(OFF_FRAG, FRAG_BITS, u16::from(frag));
+            }
+            if dist < MAX_DIST {
+                mf.set_bits(OFF_DIST, DIST_BITS, dist + 1);
+            }
+        }
+    }
+
+    /// Victim-side extraction of one mark.
+    #[must_use]
+    pub fn extract(&self, mf: MarkingField) -> FmsMark {
+        FmsMark {
+            distance: mf.get_bits(OFF_DIST, DIST_BITS),
+            offset: mf.get_bits(OFF_OFFSET, OFF_BITS) as u8,
+            fragment: mf.get_bits(OFF_FRAG, FRAG_BITS) as u8,
+        }
+    }
+}
+
+impl Marker for FmsScheme {
+    fn name(&self) -> &'static str {
+        "ppm-fms"
+    }
+
+    fn on_inject(&self, pkt: &mut Packet, _src: &Coord, _env: &MarkEnv<'_>) {
+        pkt.header.identification.clear();
+    }
+
+    fn on_forward(
+        &self,
+        pkt: &mut Packet,
+        cur: &Coord,
+        _next: &Coord,
+        env: &MarkEnv<'_>,
+        rng: &mut SmallRng,
+    ) {
+        let label = env.topo.index(cur).0 as u16;
+        let mark = rng.gen_bool(self.p);
+        let off = rng.gen_range(0..K);
+        self.step(&mut pkt.header.identification, label, mark, off);
+    }
+}
+
+/// Outcome of FMS path reconstruction.
+#[derive(Clone, Debug, Default)]
+pub struct FmsReconstruction {
+    /// Reconstructed switch labels, nearest the victim first.
+    pub path: Vec<u16>,
+    /// Distances at which reconstruction was ambiguous (more than one
+    /// hash-verified candidate) or starved (missing fragments).
+    pub stalled_at: Option<u16>,
+    /// Hash-verified candidates that competed at the stall point.
+    pub candidates_at_stall: usize,
+}
+
+/// Reconstructs a single attack path from collected marks.
+///
+/// Distance 0 carries the un-combined interleaved value of the switch
+/// one hop upstream; distance `d ≥ 1` carries `I(a) ⊕ I(b)` where `b`
+/// is the switch reconstructed at the previous level. Reconstruction
+/// stalls (recording why) on missing fragments or hash ambiguity.
+#[must_use]
+pub fn reconstruct_fms(marks: &HashSet<FmsMark>) -> FmsReconstruction {
+    // (distance, offset) -> fragment values seen.
+    let mut table: HashMap<(u16, u8), HashSet<u8>> = HashMap::new();
+    let mut max_d = 0;
+    for m in marks {
+        table
+            .entry((m.distance, m.offset))
+            .or_default()
+            .insert(m.fragment);
+        max_d = max_d.max(m.distance);
+    }
+    let mut out = FmsReconstruction::default();
+    let mut prev: Option<u32> = None;
+    for d in 0..=max_d {
+        // Gather fragment sets for each offset at this distance.
+        let mut sets: Vec<Vec<u8>> = Vec::with_capacity(K as usize);
+        for off in 0..K as u8 {
+            match table.get(&(d, off)) {
+                Some(s) if !s.is_empty() => sets.push(s.iter().copied().collect()),
+                _ => {
+                    out.stalled_at = Some(d);
+                    return out;
+                }
+            }
+        }
+        // Cross product of candidate fragments.
+        let mut candidates: Vec<u32> = Vec::new();
+        let mut idx = vec![0usize; K as usize];
+        loop {
+            let mut v = 0u32;
+            for off in 0..K as usize {
+                v |= u32::from(sets[off][idx[off]]) << (off as u32 * FRAG_BITS);
+            }
+            let reassembled = match prev {
+                None => v,
+                Some(b) => v ^ b,
+            };
+            if verifies(reassembled) {
+                candidates.push(reassembled);
+            }
+            // Advance the odometer.
+            let mut carry = 0;
+            loop {
+                idx[carry] += 1;
+                if idx[carry] < sets[carry].len() {
+                    break;
+                }
+                idx[carry] = 0;
+                carry += 1;
+                if carry == K as usize {
+                    break;
+                }
+            }
+            if carry == K as usize {
+                break;
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        match candidates.as_slice() {
+            [one] => {
+                let (label, _) = deinterleave(*one);
+                out.path.push(label);
+                prev = Some(*one);
+            }
+            _ => {
+                out.stalled_at = Some(d);
+                out.candidates_at_stall = candidates.len();
+                return out;
+            }
+        }
+    }
+    out
+}
+
+/// Process-level helper: the marks a stable path would deposit if the
+/// switch at hop `i` (0-based from the source side) marks with offset
+/// `off`, over a path of switch labels `path` (victim excluded).
+#[must_use]
+pub fn enumerate_path_marks(path_labels: &[u16]) -> HashSet<FmsMark> {
+    let scheme = FmsScheme::new(1.0);
+    let mut out = HashSet::new();
+    let h = path_labels.len();
+    for i in 0..h {
+        for off in 0..K {
+            // Simulate: mark at switch i with offset `off`, then let the
+            // rest of the path age/combine it.
+            let mut mf = MarkingField::zero();
+            scheme.step(&mut mf, path_labels[i], true, off);
+            for label in &path_labels[i + 1..] {
+                scheme.step(&mut mf, *label, false, 0);
+            }
+            out.insert(scheme.extract(mf));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddpm_net::{AddrMap, Packet};
+    use ddpm_routing::{Router, SelectionPolicy};
+    use ddpm_sim::{SimConfig, SimTime, Simulation};
+    use ddpm_topology::{FaultSet, NodeId, Topology};
+
+    #[test]
+    fn interleave_roundtrip_and_verification() {
+        for label in [0u16, 1, 255, 4096, u16::MAX] {
+            let v = interleave(label);
+            let (l, h) = deinterleave(v);
+            assert_eq!(l, label);
+            assert_eq!(h, hash16(label));
+            assert!(verifies(v));
+            // A flipped bit almost never verifies.
+            assert!(!verifies(v ^ 1) || !verifies(v ^ 2));
+        }
+    }
+
+    #[test]
+    fn fragments_reassemble() {
+        let v = interleave(0xBEEF);
+        let mut r = 0u32;
+        for off in 0..K {
+            r |= u32::from(fragment(v, off)) << (off * FRAG_BITS);
+        }
+        assert_eq!(r, v);
+    }
+
+    #[test]
+    fn full_mark_set_reconstructs_the_path() {
+        // Path of 6 switches (source side first); victim downstream.
+        let path = [10u16, 22, 34, 46, 58, 61];
+        let marks = enumerate_path_marks(&path);
+        let r = reconstruct_fms(&marks);
+        assert_eq!(r.stalled_at, None, "{r:?}");
+        // Reconstruction runs victim-outwards: nearest switch first.
+        let want: Vec<u16> = path.iter().rev().copied().collect();
+        assert_eq!(r.path, want);
+    }
+
+    #[test]
+    fn missing_fragments_stall_reconstruction() {
+        let path = [10u16, 22, 34];
+        let mut marks = enumerate_path_marks(&path);
+        // Remove every offset-2 fragment at distance 1.
+        marks.retain(|m| !(m.distance == 1 && m.offset == 2));
+        let r = reconstruct_fms(&marks);
+        assert_eq!(r.stalled_at, Some(1));
+        assert_eq!(r.path.len(), 1, "level 0 still reconstructs");
+    }
+
+    #[test]
+    fn full_stack_stable_route_reconstructs() {
+        // Real simulator, dimension-order routing: collect marks from a
+        // long stream and reconstruct the whole switch path.
+        let topo = Topology::mesh2d(8);
+        let scheme = FmsScheme::new(0.2);
+        let map = AddrMap::for_topology(&topo);
+        let faults = FaultSet::none();
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &scheme,
+            SimConfig::seeded(6),
+        );
+        let src = NodeId(0);
+        let dst = NodeId(63);
+        for k in 0..6000u64 {
+            let p = Packet {
+                id: ddpm_net::PacketId(k),
+                header: ddpm_net::Ipv4Header::new(
+                    map.ip_of(src),
+                    map.ip_of(dst),
+                    ddpm_net::Protocol::Udp,
+                    64,
+                ),
+                l4: ddpm_net::L4::udp(1, 7),
+                true_source: src,
+                dest_node: dst,
+                class: ddpm_net::TrafficClass::Attack,
+            };
+            sim.schedule(SimTime(k * 4), p);
+        }
+        sim.run();
+        let mut marks = HashSet::new();
+        for d in sim.delivered() {
+            marks.insert(scheme.extract(d.packet.header.identification));
+        }
+        let r = reconstruct_fms(&marks);
+        // The XY path 0 -> 63 crosses 14 switches (victim excluded);
+        // nearest first the last one is the source's own switch.
+        assert!(
+            r.path.len() >= 14,
+            "reconstructed {} switches",
+            r.path.len()
+        );
+        assert_eq!(*r.path.last().unwrap(), 0, "source switch reached");
+    }
+
+    #[test]
+    fn adaptive_routing_breaks_fms() {
+        // The §4 argument: fragments from different paths interleave and
+        // reconstruction stalls in ambiguity or hash garbage well before
+        // the source.
+        let topo = Topology::mesh2d(8);
+        let scheme = FmsScheme::new(0.2);
+        let map = AddrMap::for_topology(&topo);
+        let faults = FaultSet::none();
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::MinimalAdaptive,
+            SelectionPolicy::Random,
+            &scheme,
+            SimConfig::seeded(8),
+        );
+        let src = NodeId(0);
+        let dst = NodeId(63);
+        for k in 0..6000u64 {
+            let p = Packet {
+                id: ddpm_net::PacketId(k),
+                header: ddpm_net::Ipv4Header::new(
+                    map.ip_of(src),
+                    map.ip_of(dst),
+                    ddpm_net::Protocol::Udp,
+                    64,
+                ),
+                l4: ddpm_net::L4::udp(1, 7),
+                true_source: src,
+                dest_node: dst,
+                class: ddpm_net::TrafficClass::Attack,
+            };
+            sim.schedule(SimTime(k * 4), p);
+        }
+        sim.run();
+        let mut marks = HashSet::new();
+        for d in sim.delivered() {
+            marks.insert(scheme.extract(d.packet.header.identification));
+        }
+        let r = reconstruct_fms(&marks);
+        assert!(
+            r.path.len() < 14 || *r.path.last().unwrap() != 0,
+            "adaptive routing should defeat FMS reconstruction, got {:?}",
+            r.path
+        );
+    }
+}

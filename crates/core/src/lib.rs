@@ -1,0 +1,51 @@
+//! Packet-marking traceback for cluster interconnects.
+//!
+//! This crate is the reproduction of the paper's contribution and its
+//! baselines:
+//!
+//! * [`ddpm`] — **Deterministic Distance Packet Marking** (§5, Fig. 4):
+//!   every switch adds the hop displacement into the marking field; the
+//!   victim identifies the true source from a **single packet**,
+//!   independent of the (possibly adaptive, possibly non-minimal) route.
+//! * [`ppm`] — Savage-style Probabilistic Packet Marking adapted to
+//!   direct networks (§4.2): the simple two-index edge scheme of
+//!   Fig. 3(a), the XOR variant, and the bit-difference variant.
+//! * [`dpm`] — deterministic 1-bit-per-hop marking keyed by
+//!   `TTL mod 16` (§4.3, after Yaar et al.'s Pi).
+//! * [`reconstruct`] — the victim-side path reconstruction PPM needs,
+//!   with explicit ambiguity accounting.
+//! * [`identify`] — victim-side source identification front-ends and
+//!   accuracy scoring against ground truth.
+//! * [`filter`] — mitigation: quarantine and signature filters that plug
+//!   into the simulator ("we can protect our system by blocking packets
+//!   from that source", §2).
+//! * [`analysis`] — the closed-form scalability analysis behind
+//!   Tables 1–3 and the PPM convergence bound.
+//!
+//! Extensions built from the paper's discussion sections:
+//!
+//! * [`fms`] — Savage's k-fragment compressed PPM (§2's quoted bound);
+//! * [`ams`] — Song & Perrig's map-based advanced marking (§2 ref \[17\]);
+//! * [`auth`] — authenticated DDPM for the compromised-switch threat
+//!   the paper raises in §4.1.
+
+#![warn(missing_docs)]
+
+pub mod ams;
+pub mod analysis;
+pub mod auth;
+pub mod ddpm;
+pub mod dpm;
+pub mod filter;
+pub mod fms;
+pub mod identify;
+pub mod ppm;
+pub mod reconstruct;
+
+pub use ams::{reconstruct_ams, AmsMark, AmsScheme};
+pub use auth::{AuthDdpm, AuthOutcome};
+pub use ddpm::DdpmScheme;
+pub use dpm::{DpmScheme, DpmVictim};
+pub use fms::{reconstruct_fms, FmsMark, FmsScheme};
+pub use ppm::{BitDiffPpm, EdgeMark, EdgePpm, PpmLayout, XorPpm};
+pub use reconstruct::{reconstruct_paths, ReconstructionResult};

@@ -1,0 +1,770 @@
+//! Probabilistic Packet Marking (PPM) adapted to direct networks.
+//!
+//! Section 4.2 of the paper walks through three ways of squeezing
+//! Savage-style edge samples into the 16-bit MF of a direct network, and
+//! shows each fails to scale (Tables 1 and 2) and breaks under adaptive
+//! routing. All three are implemented here as faithful baselines:
+//!
+//! * [`EdgePpm`] — the "simple marking scheme" of Fig. 3(a): the MF
+//!   holds two node indices (edge start/end) plus a distance field.
+//!   "Each switch randomly selects a packet, writes its own index and
+//!   sets the distance to zero. When the next switch finds out a zero in
+//!   the distance field, it writes its index next to the previous
+//!   switch's index, and then increments the distance."
+//! * [`XorPpm`] — "instead of storing two indexes of neighboring nodes,
+//!   switches write an XOR value of two nodes' indexes", halving the
+//!   space but introducing reconstruction ambiguity (§4.2's
+//!   `n(n−1)/log n` edges per value).
+//! * [`BitDiffPpm`] — "this scheme stores one index and a bit difference
+//!   position as well as distance", removing the XOR ambiguity at the
+//!   cost of a wider field (Table 2).
+//!
+//! The XOR and bit-difference variants rely on physically adjacent nodes
+//! having labels that differ in exactly one bit ("Since there is only
+//! one bit difference between neighboring nodes", §4.2) — true for the
+//! **Gray-coded** labels of Fig. 3(a), which `ddpm_topology::gray`
+//! provides. They therefore require power-of-two radices.
+//!
+//! ## Implementation note: state flags
+//!
+//! The paper's marking automaton needs to distinguish (a) packets never
+//! marked, and (b) marks whose `end` half is still pending. Real indices
+//! occupy the whole value space, so we spend two MF bits on explicit
+//! `marked`/`fresh` flags. The Table 1/2 *analysis* (in
+//! [`crate::analysis`]) follows the paper and counts only the index and
+//! distance bits; the two flag bits only tighten the (already failing)
+//! scalability of the PPM baselines.
+
+use ddpm_net::{MarkingField, Packet, MF_BITS};
+use ddpm_sim::{MarkEnv, Marker};
+use ddpm_topology::gray::{gray_label, gray_label_bits};
+use ddpm_topology::{Coord, NodeId, Topology};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::fmt;
+
+pub use ddpm_net::marking_field::MF_BITS as MARKING_BITS;
+
+/// Errors from building a PPM layout.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PpmError {
+    /// The topology's marks do not fit the 16-bit MF — the Table 1/2
+    /// scalability wall.
+    FieldTooSmall {
+        /// Bits the layout would need.
+        needed: u32,
+    },
+    /// XOR / bit-difference marking needs power-of-two radices so that
+    /// Gray-adjacent labels differ in exactly one bit.
+    NonPowerOfTwoRadix {
+        /// Offending dimension.
+        dim: usize,
+        /// Its radix.
+        radix: u16,
+    },
+}
+
+impl fmt::Display for PpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PpmError::FieldTooSmall { needed } => {
+                write!(f, "PPM layout needs {needed} bits, MF has {MF_BITS}")
+            }
+            PpmError::NonPowerOfTwoRadix { dim, radix } => {
+                write!(f, "radix {radix} in dimension {dim} is not a power of two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PpmError {}
+
+/// Bit budget of a marking-field layout.
+///
+/// LSB-first layout: `[marked:1][fresh:1][distance][payload…]`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PpmLayout {
+    /// Bits for one node index/label.
+    pub index_bits: u32,
+    /// Bits for the distance counter.
+    pub dist_bits: u32,
+}
+
+const FLAG_MARKED: u32 = 0;
+const FLAG_FRESH: u32 = 1;
+const FLAGS: u32 = 2;
+
+impl PpmLayout {
+    /// Distance bits needed for `topo`: the counter must count up to the
+    /// diameter.
+    fn dist_bits_for(topo: &Topology) -> u32 {
+        crate::analysis::ceil_log2(u64::from(topo.diameter()) + 1).max(1)
+    }
+
+    /// Index bits for `topo` (binary/Gray label width).
+    fn index_bits_for(topo: &Topology) -> u32 {
+        crate::analysis::ceil_log2(topo.num_nodes()).max(1)
+    }
+
+    fn offset_dist(&self) -> u32 {
+        FLAGS
+    }
+
+    fn offset_payload(&self) -> u32 {
+        FLAGS + self.dist_bits
+    }
+
+    fn max_distance(&self) -> u16 {
+        ((1u32 << self.dist_bits) - 1) as u16
+    }
+}
+
+/// One collected edge sample: the link `start → end`, observed
+/// `distance` hops (of ageing) before delivery.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct EdgeMark {
+    /// Upstream end of the sampled link.
+    pub start: NodeId,
+    /// Downstream end of the sampled link.
+    pub end: NodeId,
+    /// Hops of ageing after `end` was written.
+    pub distance: u32,
+}
+
+impl fmt::Display for EdgeMark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.start.0, self.end.0, self.distance)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Simple edge PPM (Fig. 3(a))
+// ---------------------------------------------------------------------
+
+/// The simple two-index edge-sampling scheme of §4.2 / Fig. 3(a).
+#[derive(Clone, Debug)]
+pub struct EdgePpm {
+    layout: PpmLayout,
+    /// Marking probability `p`.
+    pub p: f64,
+}
+
+impl EdgePpm {
+    /// Builds the scheme for `topo` with marking probability `p`.
+    ///
+    /// # Errors
+    /// [`PpmError::FieldTooSmall`] when `2·index + distance + 2 flag`
+    /// bits exceed the MF — Table 1's wall.
+    pub fn new(topo: &Topology, p: f64) -> Result<Self, PpmError> {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        let layout = PpmLayout {
+            index_bits: PpmLayout::index_bits_for(topo),
+            dist_bits: PpmLayout::dist_bits_for(topo),
+        };
+        let needed = 2 * layout.index_bits + layout.dist_bits + FLAGS;
+        if needed > MF_BITS {
+            return Err(PpmError::FieldTooSmall { needed });
+        }
+        Ok(Self { layout, p })
+    }
+
+    /// The bit layout in use.
+    #[must_use]
+    pub fn layout(&self) -> &PpmLayout {
+        &self.layout
+    }
+
+    fn offset_end(&self) -> u32 {
+        self.layout.offset_payload()
+    }
+
+    fn offset_start(&self) -> u32 {
+        self.layout.offset_payload() + self.layout.index_bits
+    }
+
+    /// The marking automaton executed by one switch on one packet.
+    /// `mark_here` is the probabilistic coin (None at the destination
+    /// switch, which never originates marks — Fig. 3(a)'s victim switch
+    /// only completes or ages them).
+    fn step(&self, mf: &mut MarkingField, cur: NodeId, mark_here: bool) {
+        if mark_here {
+            mf.set_bits(self.offset_start(), self.layout.index_bits, cur.0 as u16);
+            mf.set_bits(self.offset_end(), self.layout.index_bits, 0);
+            mf.set_bits(self.layout.offset_dist(), self.layout.dist_bits, 0);
+            mf.set_bit(FLAG_MARKED, true);
+            mf.set_bit(FLAG_FRESH, true);
+        } else if mf.get_bit(FLAG_MARKED) {
+            if mf.get_bit(FLAG_FRESH) {
+                mf.set_bits(self.offset_end(), self.layout.index_bits, cur.0 as u16);
+                mf.set_bit(FLAG_FRESH, false);
+            } else {
+                let d = mf.get_bits(self.layout.offset_dist(), self.layout.dist_bits);
+                if d < self.layout.max_distance() {
+                    mf.set_bits(self.layout.offset_dist(), self.layout.dist_bits, d + 1);
+                }
+            }
+        }
+    }
+
+    /// Victim-side extraction of a completed edge sample.
+    #[must_use]
+    pub fn extract(&self, mf: MarkingField) -> Option<EdgeMark> {
+        if !mf.get_bit(FLAG_MARKED) || mf.get_bit(FLAG_FRESH) {
+            return None;
+        }
+        Some(EdgeMark {
+            start: NodeId(u32::from(
+                mf.get_bits(self.offset_start(), self.layout.index_bits),
+            )),
+            end: NodeId(u32::from(
+                mf.get_bits(self.offset_end(), self.layout.index_bits),
+            )),
+            distance: u32::from(mf.get_bits(self.layout.offset_dist(), self.layout.dist_bits)),
+        })
+    }
+
+    /// Deterministically enumerates every edge mark a path can produce —
+    /// one per possible marking switch. Reproduces the Fig. 3(a) tuple
+    /// lists exactly (experiment `fig3a`).
+    #[must_use]
+    pub fn enumerate_marks(topo: &Topology, path: &[Coord]) -> Vec<EdgeMark> {
+        let h = path.len().saturating_sub(1);
+        (0..h)
+            .map(|i| EdgeMark {
+                start: topo.index(&path[i]),
+                end: topo.index(&path[i + 1]),
+                distance: (h - i - 1) as u32,
+            })
+            .collect()
+    }
+}
+
+impl Marker for EdgePpm {
+    fn name(&self) -> &'static str {
+        "ppm-edge"
+    }
+
+    fn on_inject(&self, pkt: &mut Packet, _src: &Coord, _env: &MarkEnv<'_>) {
+        pkt.header.identification.clear();
+    }
+
+    fn on_forward(
+        &self,
+        pkt: &mut Packet,
+        cur: &Coord,
+        _next: &Coord,
+        env: &MarkEnv<'_>,
+        rng: &mut SmallRng,
+    ) {
+        let mark = rng.gen_bool(self.p);
+        self.step(&mut pkt.header.identification, env.topo.index(cur), mark);
+    }
+
+    fn on_deliver(&self, pkt: &mut Packet, dest: &Coord, env: &MarkEnv<'_>, _rng: &mut SmallRng) {
+        // The destination switch completes or ages marks but never
+        // originates one (matches the Fig. 3(a) enumeration).
+        self.step(&mut pkt.header.identification, env.topo.index(dest), false);
+    }
+}
+
+// ---------------------------------------------------------------------
+// XOR PPM
+// ---------------------------------------------------------------------
+
+/// An XOR edge sample: the XOR of the Gray labels of the two endpoints,
+/// plus the ageing distance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct XorMark {
+    /// XOR of the Gray labels of the two endpoints.
+    pub xor: u32,
+    /// Hops of ageing after the edge completed.
+    pub distance: u32,
+}
+
+/// The XOR variant of §4.2.
+#[derive(Clone, Debug)]
+pub struct XorPpm {
+    layout: PpmLayout,
+    /// Marking probability `p`.
+    pub p: f64,
+}
+
+fn require_power_of_two(topo: &Topology) -> Result<(), PpmError> {
+    for (dim, &k) in topo.dims().iter().enumerate() {
+        if !k.is_power_of_two() {
+            return Err(PpmError::NonPowerOfTwoRadix { dim, radix: k });
+        }
+    }
+    Ok(())
+}
+
+impl XorPpm {
+    /// Builds the scheme.
+    ///
+    /// # Errors
+    /// [`PpmError::FieldTooSmall`] or [`PpmError::NonPowerOfTwoRadix`].
+    pub fn new(topo: &Topology, p: f64) -> Result<Self, PpmError> {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        require_power_of_two(topo)?;
+        let layout = PpmLayout {
+            index_bits: gray_label_bits(topo),
+            dist_bits: PpmLayout::dist_bits_for(topo),
+        };
+        let needed = layout.index_bits + layout.dist_bits + FLAGS;
+        if needed > MF_BITS {
+            return Err(PpmError::FieldTooSmall { needed });
+        }
+        Ok(Self { layout, p })
+    }
+
+    fn offset_xor(&self) -> u32 {
+        self.layout.offset_payload()
+    }
+
+    fn step(&self, mf: &mut MarkingField, label: u32, mark_here: bool) {
+        if mark_here {
+            mf.set_bits(self.offset_xor(), self.layout.index_bits, label as u16);
+            mf.set_bits(self.layout.offset_dist(), self.layout.dist_bits, 0);
+            mf.set_bit(FLAG_MARKED, true);
+            mf.set_bit(FLAG_FRESH, true);
+        } else if mf.get_bit(FLAG_MARKED) {
+            if mf.get_bit(FLAG_FRESH) {
+                let prev = mf.get_bits(self.offset_xor(), self.layout.index_bits);
+                mf.set_bits(
+                    self.offset_xor(),
+                    self.layout.index_bits,
+                    prev ^ (label as u16),
+                );
+                mf.set_bit(FLAG_FRESH, false);
+            } else {
+                let d = mf.get_bits(self.layout.offset_dist(), self.layout.dist_bits);
+                if d < self.layout.max_distance() {
+                    mf.set_bits(self.layout.offset_dist(), self.layout.dist_bits, d + 1);
+                }
+            }
+        }
+    }
+
+    /// Victim-side extraction.
+    #[must_use]
+    pub fn extract(&self, mf: MarkingField) -> Option<XorMark> {
+        if !mf.get_bit(FLAG_MARKED) || mf.get_bit(FLAG_FRESH) {
+            return None;
+        }
+        Some(XorMark {
+            xor: u32::from(mf.get_bits(self.offset_xor(), self.layout.index_bits)),
+            distance: u32::from(mf.get_bits(self.layout.offset_dist(), self.layout.dist_bits)),
+        })
+    }
+
+    /// All physical edges whose endpoint labels XOR to `value` — the
+    /// reconstruction ambiguity set. §4.2: "one XOR value is mapped into
+    /// average n(n−1)/log n edges".
+    #[must_use]
+    pub fn edges_matching(topo: &Topology, value: u32) -> Vec<(Coord, Coord)> {
+        let mut out = Vec::new();
+        for a in topo.all_nodes() {
+            let la = gray_label(topo, &a);
+            for (_, b) in topo.neighbors(&a) {
+                if topo.index(&a) < topo.index(&b) && la ^ gray_label(topo, &b) == value {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Marker for XorPpm {
+    fn name(&self) -> &'static str {
+        "ppm-xor"
+    }
+
+    fn on_inject(&self, pkt: &mut Packet, _src: &Coord, _env: &MarkEnv<'_>) {
+        pkt.header.identification.clear();
+    }
+
+    fn on_forward(
+        &self,
+        pkt: &mut Packet,
+        cur: &Coord,
+        _next: &Coord,
+        env: &MarkEnv<'_>,
+        rng: &mut SmallRng,
+    ) {
+        let mark = rng.gen_bool(self.p);
+        self.step(
+            &mut pkt.header.identification,
+            gray_label(env.topo, cur),
+            mark,
+        );
+    }
+
+    fn on_deliver(&self, pkt: &mut Packet, dest: &Coord, env: &MarkEnv<'_>, _rng: &mut SmallRng) {
+        self.step(
+            &mut pkt.header.identification,
+            gray_label(env.topo, dest),
+            false,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bit-difference PPM
+// ---------------------------------------------------------------------
+
+/// A bit-difference edge sample: one endpoint label, the bit position in
+/// which the other endpoint differs, and the ageing distance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct BitDiffMark {
+    /// Gray label of the upstream endpoint.
+    pub start_label: u32,
+    /// Bit in which the downstream endpoint differs.
+    pub bit_pos: u32,
+    /// Hops of ageing after the edge completed.
+    pub distance: u32,
+}
+
+impl BitDiffMark {
+    /// The unambiguous edge this mark names, as Gray labels.
+    #[must_use]
+    pub fn edge_labels(&self) -> (u32, u32) {
+        (self.start_label, self.start_label ^ (1 << self.bit_pos))
+    }
+}
+
+/// The bit-difference variant of §4.2 (Table 2).
+#[derive(Clone, Debug)]
+pub struct BitDiffPpm {
+    layout: PpmLayout,
+    pos_bits: u32,
+    /// Marking probability `p`.
+    pub p: f64,
+}
+
+impl BitDiffPpm {
+    /// Builds the scheme.
+    ///
+    /// # Errors
+    /// [`PpmError::FieldTooSmall`] or [`PpmError::NonPowerOfTwoRadix`].
+    pub fn new(topo: &Topology, p: f64) -> Result<Self, PpmError> {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        require_power_of_two(topo)?;
+        let index_bits = gray_label_bits(topo);
+        let layout = PpmLayout {
+            index_bits,
+            dist_bits: PpmLayout::dist_bits_for(topo),
+        };
+        let pos_bits = crate::analysis::ceil_log2(u64::from(index_bits)).max(1);
+        let needed = index_bits + pos_bits + layout.dist_bits + FLAGS;
+        if needed > MF_BITS {
+            return Err(PpmError::FieldTooSmall { needed });
+        }
+        Ok(Self {
+            layout,
+            pos_bits,
+            p,
+        })
+    }
+
+    fn offset_pos(&self) -> u32 {
+        self.layout.offset_payload()
+    }
+
+    fn offset_start(&self) -> u32 {
+        self.layout.offset_payload() + self.pos_bits
+    }
+
+    fn step(&self, mf: &mut MarkingField, label: u32, mark_here: bool) {
+        if mark_here {
+            mf.set_bits(self.offset_start(), self.layout.index_bits, label as u16);
+            mf.set_bits(self.offset_pos(), self.pos_bits, 0);
+            mf.set_bits(self.layout.offset_dist(), self.layout.dist_bits, 0);
+            mf.set_bit(FLAG_MARKED, true);
+            mf.set_bit(FLAG_FRESH, true);
+        } else if mf.get_bit(FLAG_MARKED) {
+            if mf.get_bit(FLAG_FRESH) {
+                let start = u32::from(mf.get_bits(self.offset_start(), self.layout.index_bits));
+                let diff = start ^ label;
+                // Gray-adjacent labels differ in exactly one bit.
+                debug_assert_eq!(diff.count_ones(), 1, "non-Gray-adjacent hop");
+                mf.set_bits(
+                    self.offset_pos(),
+                    self.pos_bits,
+                    diff.trailing_zeros() as u16,
+                );
+                mf.set_bit(FLAG_FRESH, false);
+            } else {
+                let d = mf.get_bits(self.layout.offset_dist(), self.layout.dist_bits);
+                if d < self.layout.max_distance() {
+                    mf.set_bits(self.layout.offset_dist(), self.layout.dist_bits, d + 1);
+                }
+            }
+        }
+    }
+
+    /// Victim-side extraction.
+    #[must_use]
+    pub fn extract(&self, mf: MarkingField) -> Option<BitDiffMark> {
+        if !mf.get_bit(FLAG_MARKED) || mf.get_bit(FLAG_FRESH) {
+            return None;
+        }
+        Some(BitDiffMark {
+            start_label: u32::from(mf.get_bits(self.offset_start(), self.layout.index_bits)),
+            bit_pos: u32::from(mf.get_bits(self.offset_pos(), self.pos_bits)),
+            distance: u32::from(mf.get_bits(self.layout.offset_dist(), self.layout.dist_bits)),
+        })
+    }
+}
+
+impl Marker for BitDiffPpm {
+    fn name(&self) -> &'static str {
+        "ppm-bitdiff"
+    }
+
+    fn on_inject(&self, pkt: &mut Packet, _src: &Coord, _env: &MarkEnv<'_>) {
+        pkt.header.identification.clear();
+    }
+
+    fn on_forward(
+        &self,
+        pkt: &mut Packet,
+        cur: &Coord,
+        _next: &Coord,
+        env: &MarkEnv<'_>,
+        rng: &mut SmallRng,
+    ) {
+        let mark = rng.gen_bool(self.p);
+        self.step(
+            &mut pkt.header.identification,
+            gray_label(env.topo, cur),
+            mark,
+        );
+    }
+
+    fn on_deliver(&self, pkt: &mut Packet, dest: &Coord, env: &MarkEnv<'_>, _rng: &mut SmallRng) {
+        self.step(
+            &mut pkt.header.identification,
+            gray_label(env.topo, dest),
+            false,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddpm_topology::gray::node_from_gray_label;
+
+    fn mesh4() -> Topology {
+        Topology::mesh2d(4)
+    }
+
+    #[test]
+    fn fig3a_enumerated_marks_match_paper_path1() {
+        // Path 0001→0011→0010→0110→1110 yields marks
+        // (0001,0011,3), (0011,0010,2), (0010,0110,1), (0110,1110,0).
+        let topo = mesh4();
+        let labels = [0b0001u32, 0b0011, 0b0010, 0b0110, 0b1110];
+        let path: Vec<Coord> = labels
+            .iter()
+            .map(|&l| node_from_gray_label(&topo, l).unwrap())
+            .collect();
+        let marks = EdgePpm::enumerate_marks(&topo, &path);
+        let as_label_tuples: Vec<(u32, u32, u32)> = marks
+            .iter()
+            .map(|m| {
+                (
+                    gray_label(&topo, &topo.coord(m.start)),
+                    gray_label(&topo, &topo.coord(m.end)),
+                    m.distance,
+                )
+            })
+            .collect();
+        assert_eq!(
+            as_label_tuples,
+            vec![
+                (0b0001, 0b0011, 3),
+                (0b0011, 0b0010, 2),
+                (0b0010, 0b0110, 1),
+                (0b0110, 0b1110, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn fig3a_enumerated_marks_match_paper_path2() {
+        // Path 0101→0111→0110→1110 yields (0101,0111,2), (0111,0110,1),
+        // (0110,1110,0).
+        let topo = mesh4();
+        let labels = [0b0101u32, 0b0111, 0b0110, 0b1110];
+        let path: Vec<Coord> = labels
+            .iter()
+            .map(|&l| node_from_gray_label(&topo, l).unwrap())
+            .collect();
+        let marks = EdgePpm::enumerate_marks(&topo, &path);
+        let tuples: Vec<(u32, u32, u32)> = marks
+            .iter()
+            .map(|m| {
+                (
+                    gray_label(&topo, &topo.coord(m.start)),
+                    gray_label(&topo, &topo.coord(m.end)),
+                    m.distance,
+                )
+            })
+            .collect();
+        assert_eq!(
+            tuples,
+            vec![
+                (0b0101, 0b0111, 2),
+                (0b0111, 0b0110, 1),
+                (0b0110, 0b1110, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn edge_ppm_automaton_produces_enumerated_mark() {
+        // Force a mark at hop 0 of a 3-hop path and check the automaton
+        // ends with the same tuple the enumerator predicts.
+        let topo = mesh4();
+        let scheme = EdgePpm::new(&topo, 0.5).unwrap();
+        let path = [
+            Coord::new(&[0, 0]),
+            Coord::new(&[1, 0]),
+            Coord::new(&[2, 0]),
+            Coord::new(&[3, 0]),
+        ];
+        let mut mf = MarkingField::zero();
+        scheme.step(&mut mf, topo.index(&path[0]), true); // mark at first switch
+        scheme.step(&mut mf, topo.index(&path[1]), false);
+        scheme.step(&mut mf, topo.index(&path[2]), false);
+        scheme.step(&mut mf, topo.index(&path[3]), false); // victim switch
+        let got = scheme.extract(mf).unwrap();
+        let want = EdgePpm::enumerate_marks(&topo, &path)[0];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unmarked_and_fresh_fields_extract_none() {
+        let topo = mesh4();
+        let scheme = EdgePpm::new(&topo, 0.5).unwrap();
+        assert_eq!(scheme.extract(MarkingField::zero()), None);
+        let mut mf = MarkingField::zero();
+        scheme.step(&mut mf, NodeId(5), true); // fresh, end pending
+        assert_eq!(scheme.extract(mf), None);
+    }
+
+    #[test]
+    fn remarking_overwrites_previous_edge() {
+        let topo = mesh4();
+        let scheme = EdgePpm::new(&topo, 0.5).unwrap();
+        let mut mf = MarkingField::zero();
+        scheme.step(&mut mf, NodeId(1), true);
+        scheme.step(&mut mf, NodeId(2), false);
+        scheme.step(&mut mf, NodeId(3), true); // re-mark downstream
+        scheme.step(&mut mf, NodeId(4), false);
+        let got = scheme.extract(mf).unwrap();
+        assert_eq!(
+            got,
+            EdgeMark {
+                start: NodeId(3),
+                end: NodeId(4),
+                distance: 0
+            }
+        );
+    }
+
+    #[test]
+    fn distance_saturates_at_field_max() {
+        let topo = mesh4();
+        let scheme = EdgePpm::new(&topo, 0.5).unwrap();
+        let mut mf = MarkingField::zero();
+        scheme.step(&mut mf, NodeId(0), true);
+        scheme.step(&mut mf, NodeId(1), false);
+        for _ in 0..100 {
+            scheme.step(&mut mf, NodeId(2), false);
+        }
+        let m = scheme.extract(mf).unwrap();
+        assert_eq!(m.distance, u32::from(scheme.layout.max_distance()));
+    }
+
+    #[test]
+    fn table1_wall_simple_ppm() {
+        // 8×8 fits the paper's 16 bits but not our flagged layout; the
+        // largest flagged square mesh is 5×5 (2·5 + 4 + 2 = 16).
+        assert!(EdgePpm::new(&Topology::mesh2d(5), 0.1).is_ok());
+        assert!(matches!(
+            EdgePpm::new(&Topology::mesh2d(16), 0.1),
+            Err(PpmError::FieldTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn xor_marks_are_one_hot_for_gray_adjacent_hops() {
+        let topo = mesh4();
+        let scheme = XorPpm::new(&topo, 0.5).unwrap();
+        for a in topo.all_nodes() {
+            for (_, b) in topo.neighbors(&a) {
+                let mut mf = MarkingField::zero();
+                scheme.step(&mut mf, gray_label(&topo, &a), true);
+                scheme.step(&mut mf, gray_label(&topo, &b), false);
+                let m = scheme.extract(mf).unwrap();
+                assert_eq!(m.xor.count_ones(), 1, "edge {a}-{b} xor {:b}", m.xor);
+            }
+        }
+    }
+
+    #[test]
+    fn xor_ambiguity_many_edges_per_value() {
+        // §4.2: every one-hot XOR value names many physical edges.
+        let topo = Topology::mesh2d(8);
+        for bit in 0..6 {
+            let edges = XorPpm::edges_matching(&topo, 1 << bit);
+            assert!(
+                edges.len() > 1,
+                "bit {bit}: expected ambiguity, got {} edge(s)",
+                edges.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bitdiff_mark_names_unique_edge() {
+        let topo = mesh4();
+        let scheme = BitDiffPpm::new(&topo, 0.5).unwrap();
+        let a = Coord::new(&[1, 2]);
+        let b = Coord::new(&[1, 3]);
+        let mut mf = MarkingField::zero();
+        scheme.step(&mut mf, gray_label(&topo, &a), true);
+        scheme.step(&mut mf, gray_label(&topo, &b), false);
+        let m = scheme.extract(mf).unwrap();
+        let (l1, l2) = m.edge_labels();
+        assert_eq!(l1, gray_label(&topo, &a));
+        assert_eq!(l2, gray_label(&topo, &b));
+    }
+
+    #[test]
+    fn non_power_of_two_rejected_for_label_schemes() {
+        let topo = Topology::mesh(&[3, 4]);
+        assert!(matches!(
+            XorPpm::new(&topo, 0.1),
+            Err(PpmError::NonPowerOfTwoRadix { dim: 0, radix: 3 })
+        ));
+        assert!(matches!(
+            BitDiffPpm::new(&topo, 0.1),
+            Err(PpmError::NonPowerOfTwoRadix { .. })
+        ));
+    }
+
+    #[test]
+    fn table2_wall_bitdiff() {
+        // Flagged layout: labels 8 + pos 3 + dist 5 + flags 2 = 18 > 16
+        // for 16×16; 8×8 fits (6 + 3 + 4 + 2 = 15).
+        assert!(BitDiffPpm::new(&Topology::mesh2d(8), 0.1).is_ok());
+        assert!(matches!(
+            BitDiffPpm::new(&Topology::mesh2d(16), 0.1),
+            Err(PpmError::FieldTooSmall { .. })
+        ));
+    }
+}

@@ -1,0 +1,348 @@
+//! Irregular networks — the last §6.3 family.
+//!
+//! "Moreover, hybrid networks and irregular networks do not have a
+//! universal regularity and it may need a completely different
+//! approach." (§6.3). An irregular cluster network (switches cabled
+//! ad hoc, NOW/Autonet style) has no coordinate system, so DDPM's
+//! distance vector has **no analog at all** — there is nothing to
+//! subtract. This module makes that claim concrete, and then shows
+//! which of the repository's schemes still works:
+//!
+//! * [`IrregularNet`] — an explicit connected graph of switches with
+//!   **up\*/down\*** routing (the classic deadlock-free routing for
+//!   irregular networks: a BFS spanning tree orients every link; legal
+//!   paths climb zero or more "up" links then descend "down" links,
+//!   never turning down→up);
+//! * [`hop_marking`] — the map-based marking that *does* carry over:
+//!   switches stamp an identity hash + distance (exactly the AMS idea
+//!   from `ddpm_core::ams`), and the victim walks its complete cabling
+//!   map upstream. Needs many packets and route stability, but unlike
+//!   DDPM it never needed coordinates in the first place.
+//!
+//! The trade-off table §6.3 implies, now executable: regularity buys
+//! DDPM's single-packet identification; give up regularity and you fall
+//! back to collect-and-map traceback.
+
+use ddpm_topology::NodeId;
+use rand::Rng;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// An undirected, connected, irregular switch graph.
+#[derive(Clone, Debug)]
+pub struct IrregularNet {
+    adj: Vec<Vec<u32>>,
+    /// BFS level of each node in the up*/down* spanning tree (root 0).
+    level: Vec<u32>,
+}
+
+impl IrregularNet {
+    /// Builds a network from an undirected edge list.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, an endpoint is out of range, an edge is a
+    /// self-loop, or the graph is disconnected.
+    #[must_use]
+    pub fn new(n: u32, edges: &[(u32, u32)]) -> Self {
+        assert!(n > 0, "need at least one switch");
+        let mut adj = vec![Vec::new(); n as usize];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-loops are not links");
+            if !adj[a as usize].contains(&b) {
+                adj[a as usize].push(b);
+                adj[b as usize].push(a);
+            }
+        }
+        for l in &mut adj {
+            l.sort_unstable();
+        }
+        // BFS from node 0: levels for up*/down* and a connectivity check.
+        let mut level = vec![u32::MAX; n as usize];
+        level[0] = 0;
+        let mut q = VecDeque::from([0u32]);
+        while let Some(v) = q.pop_front() {
+            for &nb in &adj[v as usize] {
+                if level[nb as usize] == u32::MAX {
+                    level[nb as usize] = level[v as usize] + 1;
+                    q.push_back(nb);
+                }
+            }
+        }
+        assert!(
+            level.iter().all(|&l| l != u32::MAX),
+            "irregular network must be connected"
+        );
+        Self { adj, level }
+    }
+
+    /// A random connected irregular network: a random spanning tree plus
+    /// `extra_edges` random chords.
+    pub fn random<R: Rng + ?Sized>(n: u32, extra_edges: u32, rng: &mut R) -> Self {
+        assert!(n >= 2);
+        let mut edges = Vec::new();
+        // Random attachment tree: node i links to a random earlier node.
+        for i in 1..n {
+            edges.push((i, rng.gen_range(0..i)));
+        }
+        let mut added = 0;
+        // Attempt budget: small or near-complete graphs may not have
+        // room for all requested chords; stop rather than spin.
+        let mut attempts = 0u64;
+        let max_attempts = 64 * u64::from(extra_edges.max(1));
+        while added < extra_edges && attempts < max_attempts {
+            attempts += 1;
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b && !edges.contains(&(a, b)) && !edges.contains(&(b, a)) {
+                edges.push((a, b));
+                added += 1;
+            }
+        }
+        Self::new(n, &edges)
+    }
+
+    /// Switch count.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.adj.len() as u32
+    }
+
+    /// True if the network has no switches (cannot be constructed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Neighbours of a switch.
+    #[must_use]
+    pub fn neighbors(&self, v: NodeId) -> &[u32] {
+        &self.adj[v.as_usize()]
+    }
+
+    /// True if the directed hop `a → b` is an "up" link (towards the
+    /// spanning-tree root: lower level, ties broken by smaller id).
+    #[must_use]
+    pub fn is_up(&self, a: NodeId, b: NodeId) -> bool {
+        let (la, lb) = (self.level[a.as_usize()], self.level[b.as_usize()]);
+        lb < la || (lb == la && b.0 < a.0)
+    }
+
+    /// An up*/down* route from `src` to `dst`: BFS over the *legal*
+    /// state graph (node, has-descended) so the returned path is a
+    /// shortest legal path. Up*/down* guarantees one exists on any
+    /// connected graph.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    #[must_use]
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        assert!(src.0 < self.len() && dst.0 < self.len());
+        if src == dst {
+            return vec![src];
+        }
+        let n = self.adj.len();
+        // State: node * 2 + descended(0/1).
+        let mut prev: Vec<Option<usize>> = vec![None; n * 2];
+        let start = src.as_usize() * 2;
+        let mut seen = vec![false; n * 2];
+        seen[start] = true;
+        let mut q = VecDeque::from([start]);
+        while let Some(state) = q.pop_front() {
+            let (v, descended) = (state / 2, state % 2 == 1);
+            for &nb in &self.adj[v] {
+                let up = self.is_up(NodeId(v as u32), NodeId(nb));
+                if up && descended {
+                    continue; // down→up turns are illegal
+                }
+                let ns = nb as usize * 2 + usize::from(!up);
+                if !seen[ns] {
+                    seen[ns] = true;
+                    prev[ns] = Some(state);
+                    if nb == dst.0 {
+                        // Reconstruct.
+                        let mut path = vec![NodeId(nb)];
+                        let mut cur = ns;
+                        while let Some(p) = prev[cur] {
+                            path.push(NodeId((p / 2) as u32));
+                            cur = p;
+                        }
+                        // `src` state has prev None; ensure it is included.
+                        if *path.last().unwrap() != src {
+                            path.push(src);
+                        }
+                        path.reverse();
+                        return path;
+                    }
+                    q.push_back(ns);
+                }
+            }
+        }
+        unreachable!("up*/down* always connects a connected graph")
+    }
+}
+
+impl fmt::Display for IrregularNet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let links: usize = self.adj.iter().map(Vec::len).sum::<usize>() / 2;
+        write!(f, "irregular net ({} switches, {links} links)", self.len())
+    }
+}
+
+/// The AMS-style marks a stable up*/down* route deposits (one per
+/// marking position), for map-guided traceback on irregular networks.
+/// Reuses `ddpm_core::ams::hash11` semantics: `(distance, hash)`.
+#[must_use]
+pub fn hop_marking(path: &[NodeId]) -> Vec<(u16, u16)> {
+    let h = path.len().saturating_sub(1);
+    (0..h)
+        .map(|i| ((h - i - 1) as u16, ddpm_core_hash11(path[i])))
+        .collect()
+}
+
+// A local copy of the 11-bit identity hash so this crate does not
+// depend on ddpm-core (the bit pattern must match ddpm_core::ams for
+// interoperability; pinned by a test there and here).
+fn ddpm_core_hash11(node: NodeId) -> u16 {
+    let mut x = node.0.wrapping_add(0x7F4A_7C15);
+    x ^= x >> 13;
+    x = x.wrapping_mul(0x85EB_CA6B);
+    x ^= x >> 16;
+    (x & 0x7FF) as u16
+}
+
+/// Map-guided reconstruction on the irregular graph (the victim holds
+/// the full cabling map): at each distance level accept neighbours of
+/// the previous frontier whose hash was observed.
+#[must_use]
+pub fn reconstruct_irregular(
+    net: &IrregularNet,
+    victim: NodeId,
+    marks: &[(u16, u16)],
+) -> Vec<Vec<NodeId>> {
+    use std::collections::{HashMap, HashSet};
+    let mut by_dist: HashMap<u16, HashSet<u16>> = HashMap::new();
+    let mut max_d = 0;
+    for &(d, h) in marks {
+        by_dist.entry(d).or_default().insert(h);
+        max_d = max_d.max(d);
+    }
+    let mut levels = Vec::new();
+    let mut frontier = vec![victim];
+    for d in 0..=max_d {
+        let Some(hashes) = by_dist.get(&d) else { break };
+        let mut next: Vec<NodeId> = Vec::new();
+        for &f in &frontier {
+            for &nb in net.neighbors(f) {
+                let id = NodeId(nb);
+                if hashes.contains(&ddpm_core_hash11(id)) && !next.contains(&id) {
+                    next.push(id);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        next.sort_unstable();
+        levels.push(next.clone());
+        frontier = next;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn sample() -> IrregularNet {
+        // A small NOW-style cabling: not a mesh, not a tree.
+        IrregularNet::new(
+            8,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (2, 5),
+                (5, 6),
+                (4, 6),
+                (6, 7),
+                (1, 7),
+            ],
+        )
+    }
+
+    #[test]
+    fn routes_connect_all_pairs_legally() {
+        let net = sample();
+        for s in 0..net.len() {
+            for d in 0..net.len() {
+                let path = net.route(NodeId(s), NodeId(d));
+                assert_eq!(path[0], NodeId(s));
+                assert_eq!(*path.last().unwrap(), NodeId(d));
+                // Consecutive nodes are linked; no down→up turn.
+                let mut descended = false;
+                for w in path.windows(2) {
+                    assert!(net.neighbors(w[0]).contains(&w[1].0), "not a link");
+                    let up = net.is_up(w[0], w[1]);
+                    assert!(!(up && descended), "illegal down->up turn");
+                    if !up {
+                        descended = true;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_networks_are_connected_and_routable() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for n in [2u32, 5, 16, 40] {
+            let net = IrregularNet::random(n, n / 2, &mut rng);
+            assert_eq!(net.len(), n);
+            let path = net.route(NodeId(0), NodeId(n - 1));
+            assert_eq!(*path.last().unwrap(), NodeId(n - 1));
+        }
+    }
+
+    #[test]
+    fn ams_style_marking_traces_back_on_the_map() {
+        let net = sample();
+        let src = NodeId(4);
+        let victim = NodeId(0);
+        let path = net.route(src, victim);
+        let marks = hop_marking(&path);
+        let levels = reconstruct_irregular(&net, victim, &marks);
+        assert_eq!(levels.len(), path.len() - 1);
+        // The deepest level contains the true source.
+        assert!(levels.last().unwrap().contains(&src));
+    }
+
+    #[test]
+    fn routes_are_deterministic_hence_marking_stable() {
+        let net = sample();
+        let p1 = net.route(NodeId(5), NodeId(7));
+        let p2 = net.route(NodeId(5), NodeId(7));
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_rejected() {
+        let _ = IrregularNet::new(4, &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn hash_matches_ddpm_core_ams() {
+        // Interop pin: the local hash must equal ddpm_core::ams::hash11.
+        for i in [0u32, 1, 77, 9999] {
+            assert_eq!(
+                ddpm_core_hash11(NodeId(i)),
+                ddpm_core::ams::hash11(NodeId(i))
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Indirect networks — the paper's §6.3 future-work direction, built.
+//!
+//! "Our approach is limited to direct networks. A lot of cluster
+//! systems employ indirect networks or hybrid networks. Since the
+//! properties of the networks are different, a new approach may be
+//! necessary to solve the source identification problem in such
+//! networks." (§6.3). The paper itself names the family: "Crossbar and
+//! Multistage Interconnection Networks (MIN) are examples of these
+//! networks" (§3).
+//!
+//! This crate supplies that new approach for the canonical MIN:
+//!
+//! * [`butterfly::Butterfly`] — the k-ary n-fly: `k^n` terminals, `n`
+//!   stages of `k^{n-1}` switches of radix `k`, destination-tag
+//!   routing, **unique path** between every terminal pair;
+//! * [`marking::PortMarking`] — *stage-port marking*: at stage `i` the
+//!   switch writes the **input port** the packet arrived on into the
+//!   `i`-th sub-field of the 16-bit Marking Field. In a butterfly the
+//!   input port at stage `i` is exactly digit `i` of the **source**
+//!   terminal, so after `n` stages the MF spells the true source —
+//!   single-packet identification again, DDPM's philosophy transplanted
+//!   (record *where you came from*, not the path);
+//! * [`sim::MinSimulation`] — a compact discrete-event model of the
+//!   fabric with per-output-port serialisation and finite buffers, so
+//!   floods congest and identification can be scored under load.
+//!
+//! Scalability analog of Table 3: `n·⌈log₂k⌉ ≤ 16` marking bits, so a
+//! binary 16-fly (65 536 terminals) or a radix-4 8-fly (65 536) fit —
+//! the same 2¹⁶ ceiling DDPM reaches on the hypercube.
+
+#![warn(missing_docs)]
+
+pub mod butterfly;
+pub mod hybrid;
+pub mod irregular;
+pub mod marking;
+pub mod sim;
+
+pub use butterfly::{Butterfly, SwitchHop};
+pub use hybrid::{HybridCluster, HybridMarking, HybridMarkingError};
+pub use irregular::{reconstruct_irregular, IrregularNet};
+pub use marking::{max_binary_fly, port_marking_bits, PortMarking, PortMarkingError};
+pub use sim::{MinDelivered, MinSimulation, MinStats};

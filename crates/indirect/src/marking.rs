@@ -1,0 +1,202 @@
+//! Stage-port marking: DDPM's philosophy transplanted to MINs.
+//!
+//! DDPM works on direct networks because switch positions *are* node
+//! coordinates, so per-hop displacements accumulate into
+//! `destination ⊖ source`. A MIN has no such coordinate system — the
+//! §6.3 observation that "a new approach may be necessary". The new
+//! approach: in a butterfly the **input port at stage `i` equals digit
+//! `i` of the source terminal** (a structural fact, proven in
+//! `butterfly::tests`), so switches simply record their input port:
+//!
+//! * stage `i` writes `in_port` into the `i`-th sub-field of the MF;
+//! * after the last stage the MF spells the source address in base `k`;
+//! * the victim decodes it from a **single packet** — same guarantee,
+//!   same field, same per-switch cost class as DDPM.
+//!
+//! The injection edge (terminal → stage-0 switch) also clears the MF,
+//! so a forged field dies at entry exactly as in DDPM (§5's zeroing
+//! rule). Because routing in a butterfly is deterministic and unique,
+//! path stability is a non-issue here; what port marking buys over a
+//! naive "trust the header" is immunity to **address spoofing**, which
+//! the fabric cannot otherwise see.
+
+use crate::butterfly::Butterfly;
+use ddpm_net::{MarkingField, MF_BITS};
+use ddpm_topology::NodeId;
+use std::fmt;
+
+/// Bits stage-port marking needs on `fly`: `n · ⌈log₂ k⌉`.
+#[must_use]
+pub fn port_marking_bits(fly: &Butterfly) -> u32 {
+    let port_bits = u32::from(fly.radix() - 1).ilog2() + 1;
+    u32::from(fly.stages()) * port_bits
+}
+
+/// Errors from building a [`PortMarking`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PortMarkingError {
+    /// `n·⌈log₂k⌉` exceeds the 16-bit MF — the scalability boundary,
+    /// mirroring Table 3.
+    FieldTooSmall {
+        /// Bits the layout would need.
+        needed: u32,
+    },
+}
+
+impl fmt::Display for PortMarkingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortMarkingError::FieldTooSmall { needed } => {
+                write!(f, "port marking needs {needed} bits, MF has {MF_BITS}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PortMarkingError {}
+
+/// The stage-port marking scheme for one butterfly.
+#[derive(Clone, Copy, Debug)]
+pub struct PortMarking {
+    fly: Butterfly,
+    port_bits: u32,
+}
+
+impl PortMarking {
+    /// Builds the scheme.
+    ///
+    /// # Errors
+    /// [`PortMarkingError::FieldTooSmall`] past the 16-bit boundary.
+    pub fn new(fly: Butterfly) -> Result<Self, PortMarkingError> {
+        let needed = port_marking_bits(&fly);
+        if needed > MF_BITS {
+            return Err(PortMarkingError::FieldTooSmall { needed });
+        }
+        let port_bits = u32::from(fly.radix() - 1).ilog2() + 1;
+        Ok(Self { fly, port_bits })
+    }
+
+    /// The butterfly this scheme is laid out for.
+    #[must_use]
+    pub fn fly(&self) -> &Butterfly {
+        &self.fly
+    }
+
+    /// Marking bits used.
+    #[must_use]
+    pub fn bits_used(&self) -> u32 {
+        u32::from(self.fly.stages()) * self.port_bits
+    }
+
+    fn offset(&self, stage: u8) -> u32 {
+        // Stage 0 most significant, mirroring digit order.
+        (u32::from(self.fly.stages()) - 1 - u32::from(stage)) * self.port_bits
+    }
+
+    /// The injection-edge reset (terminal → stage-0 switch).
+    pub fn on_inject(&self, mf: &mut MarkingField) {
+        mf.clear();
+    }
+
+    /// The per-stage marking action: record the arrival port.
+    ///
+    /// # Panics
+    /// Panics if `stage` or `in_port` are out of range (cannot happen
+    /// for hops produced by [`Butterfly::route`]).
+    pub fn on_stage(&self, mf: &mut MarkingField, stage: u8, in_port: u16) {
+        assert!(stage < self.fly.stages());
+        assert!(in_port < self.fly.radix());
+        mf.set_bits(self.offset(stage), self.port_bits, in_port);
+    }
+
+    /// Victim-side identification: decode the recorded ports into the
+    /// source terminal. Single packet, no path knowledge.
+    #[must_use]
+    pub fn identify(&self, mf: MarkingField) -> NodeId {
+        let digits: Vec<u16> = (0..self.fly.stages())
+            .map(|stage| mf.get_bits(self.offset(stage), self.port_bits))
+            .collect();
+        self.fly.from_digits(&digits)
+    }
+
+    /// Marks a whole route (convenience for non-DES experiments).
+    #[must_use]
+    pub fn mark_route(&self, src: NodeId, dst: NodeId) -> MarkingField {
+        let mut mf = MarkingField::zero();
+        self.on_inject(&mut mf);
+        for hop in self.fly.route(src, dst) {
+            self.on_stage(&mut mf, hop.stage, hop.in_port);
+        }
+        mf
+    }
+}
+
+/// Largest binary butterfly (k = 2) within a marking-bit budget.
+#[must_use]
+pub fn max_binary_fly(budget: u32) -> u8 {
+    let mut best = 0;
+    for n in 1..=16u8 {
+        if port_marking_bits(&Butterfly::new(2, n)) <= budget {
+            best = n;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalability_mirrors_table3() {
+        // Binary 16-fly: 65 536 terminals at 16 bits — the same 2^16
+        // ceiling as the 16-cube hypercube row of Table 3.
+        assert_eq!(max_binary_fly(16), 16);
+        assert_eq!(Butterfly::new(2, 16).terminals(), 65_536);
+        // Radix-4 8-fly reaches the same terminal count at 16 bits.
+        assert_eq!(port_marking_bits(&Butterfly::new(4, 8)), 16);
+        // Radix-8 6-fly needs 18 bits: too big.
+        assert!(matches!(
+            PortMarking::new(Butterfly::new(8, 6)),
+            Err(PortMarkingError::FieldTooSmall { needed: 18 })
+        ));
+    }
+
+    #[test]
+    fn identify_recovers_every_pair() {
+        for fly in [
+            Butterfly::new(2, 4),
+            Butterfly::new(3, 3),
+            Butterfly::new(4, 2),
+        ] {
+            let scheme = PortMarking::new(fly).unwrap();
+            for s in fly.all_terminals() {
+                for d in fly.all_terminals() {
+                    let mf = scheme.mark_route(s, d);
+                    assert_eq!(scheme.identify(mf), s, "{fly}: {s} -> {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injection_reset_kills_forged_fields() {
+        let fly = Butterfly::new(2, 4);
+        let scheme = PortMarking::new(fly).unwrap();
+        let mut mf = MarkingField::new(0xFFFF); // forged by the attacker
+        scheme.on_inject(&mut mf);
+        for hop in fly.route(NodeId(5), NodeId(11)) {
+            scheme.on_stage(&mut mf, hop.stage, hop.in_port);
+        }
+        assert_eq!(scheme.identify(mf), NodeId(5));
+    }
+
+    #[test]
+    fn non_power_of_two_radix_wastes_bits_but_works() {
+        let fly = Butterfly::new(3, 3); // 27 terminals, 2 bits per port
+        let scheme = PortMarking::new(fly).unwrap();
+        assert_eq!(scheme.bits_used(), 6);
+        let mf = scheme.mark_route(NodeId(26), NodeId(0));
+        assert_eq!(scheme.identify(mf), NodeId(26));
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests for the indirect-network extension.
+
+use ddpm_indirect::{port_marking_bits, Butterfly, PortMarking};
+use ddpm_topology::NodeId;
+use proptest::prelude::*;
+
+fn arb_fly() -> impl Strategy<Value = Butterfly> {
+    prop_oneof![
+        (1u8..=8).prop_map(|n| Butterfly::new(2, n)),
+        (1u8..=5).prop_map(|n| Butterfly::new(3, n)),
+        (1u8..=4).prop_map(|n| Butterfly::new(4, n)),
+        (1u8..=2).prop_map(|n| Butterfly::new(7, n)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn route_is_unique_and_well_formed(fly in arb_fly(), seed in any::<u64>()) {
+        let t = fly.terminals();
+        let s = NodeId((seed % t) as u32);
+        let d = NodeId(((seed >> 20) % t) as u32);
+        let r1 = fly.route(s, d);
+        let r2 = fly.route(s, d);
+        prop_assert_eq!(&r1, &r2, "route must be deterministic");
+        prop_assert_eq!(r1.len(), usize::from(fly.stages()));
+        for (i, h) in r1.iter().enumerate() {
+            prop_assert_eq!(usize::from(h.stage), i);
+            prop_assert!(h.in_port < fly.radix());
+            prop_assert!(h.out_port < fly.radix());
+            prop_assert!(u64::from(h.switch) < fly.switches_per_stage());
+        }
+    }
+
+    #[test]
+    fn marking_identifies_the_source_for_any_pair(fly in arb_fly(), seed in any::<u64>()) {
+        prop_assume!(port_marking_bits(&fly) <= 16);
+        let scheme = PortMarking::new(fly).unwrap();
+        let t = fly.terminals();
+        let s = NodeId((seed % t) as u32);
+        let d = NodeId(((seed >> 17) % t) as u32);
+        let mf = scheme.mark_route(s, d);
+        prop_assert_eq!(scheme.identify(mf), s);
+    }
+
+    #[test]
+    fn inport_sequence_is_injective_in_source(fly in arb_fly(), seed in any::<u64>()) {
+        // Two different sources to the same destination never produce
+        // the same in-port sequence — no misattribution is possible.
+        let t = fly.terminals();
+        let s1 = NodeId((seed % t) as u32);
+        let s2 = NodeId(((seed >> 13) % t) as u32);
+        prop_assume!(s1 != s2);
+        let d = NodeId(((seed >> 29) % t) as u32);
+        let seq = |s| fly.route(s, d).iter().map(|h| h.in_port).collect::<Vec<_>>();
+        prop_assert_ne!(seq(s1), seq(s2));
+    }
+
+    #[test]
+    fn digits_bijective(fly in arb_fly(), seed in any::<u64>()) {
+        let t = NodeId((seed % fly.terminals()) as u32);
+        prop_assert_eq!(fly.from_digits(&fly.digits(t)), t);
+    }
+}

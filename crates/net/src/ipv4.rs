@@ -1,0 +1,368 @@
+//! The IPv4 header model.
+//!
+//! The paper's assumption set (§4.1) requires cluster traffic to be IP:
+//! "in many cluster-level networks, to be connected to the Internet, they
+//! should use IP address … every packet still contains IP header.
+//! Therefore, we can feasibly use the IP header for storing marking
+//! information." We model the real 20-byte header (no options — the paper
+//! explicitly rejects storing marks in IP options because rewriting them
+//! in flight is too expensive for high-performance switches, §4.2), with
+//! the standard Internet checksum so header rewrites by marking switches
+//! are observable as checksum updates, exactly as on real hardware.
+
+use crate::marking_field::MarkingField;
+use bytes::{Buf, BufMut};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Transport protocol carried by a packet.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Protocol {
+    /// ICMP (protocol number 1).
+    Icmp,
+    /// TCP (protocol number 6).
+    Tcp,
+    /// UDP (protocol number 17).
+    Udp,
+    /// Any other IANA protocol number.
+    Other(u8),
+}
+
+impl Protocol {
+    /// IANA protocol number.
+    #[must_use]
+    pub fn number(self) -> u8 {
+        match self {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(n) => n,
+        }
+    }
+
+    /// From an IANA protocol number.
+    #[must_use]
+    pub fn from_number(n: u8) -> Self {
+        match n {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+}
+
+/// A 20-byte IPv4 header (IHL fixed at 5, no options).
+///
+/// The `identification` field doubles as the Marking Field: every marking
+/// scheme in the paper overwrites it in flight ("To store sufficient
+/// trace back information in the 16-bit IP identification field", §2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Ipv4Header {
+    /// DSCP/ECN byte (kept for wire fidelity; unused by the schemes).
+    pub tos: u8,
+    /// Total datagram length in bytes (header + payload).
+    pub total_length: u16,
+    /// The Identification field — the Marking Field.
+    pub identification: MarkingField,
+    /// Flags (3 bits) + fragment offset (13 bits).
+    pub flags_fragment: u16,
+    /// Time to live; decremented by each switch. DPM keys its marking
+    /// position off this field ("The marking position is decided by
+    /// TTL mod 16", §4.3).
+    pub ttl: u8,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// Source address — **spoofable by attackers** (§4.1: "attackers
+    /// generate packets with spoofed IP addresses").
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+}
+
+/// Default initial TTL for cluster traffic. 64 comfortably exceeds the
+/// diameter of every topology Table 3 can address (max 16-cube → 16).
+pub const DEFAULT_TTL: u8 = 64;
+
+/// Errors from header parsing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HeaderError {
+    /// Fewer than 20 bytes available.
+    Truncated,
+    /// Version nibble is not 4 or IHL is not 5.
+    BadVersionIhl(u8),
+    /// Checksum verification failed.
+    BadChecksum {
+        /// Checksum the header contents imply.
+        expected: u16,
+        /// Checksum the wire bytes carried.
+        got: u16,
+    },
+}
+
+impl fmt::Display for HeaderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeaderError::Truncated => write!(f, "header truncated"),
+            HeaderError::BadVersionIhl(b) => write!(f, "bad version/IHL byte {b:#04x}"),
+            HeaderError::BadChecksum { expected, got } => {
+                write!(f, "bad checksum: expected {expected:#06x}, got {got:#06x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HeaderError {}
+
+impl Ipv4Header {
+    /// A fresh header for a datagram of `payload_len` bytes.
+    #[must_use]
+    pub fn new(src: Ipv4Addr, dst: Ipv4Addr, protocol: Protocol, payload_len: u16) -> Self {
+        Self {
+            tos: 0,
+            total_length: 20 + payload_len,
+            identification: MarkingField::zero(),
+            flags_fragment: 0x4000, // DF set: cluster MTUs are uniform
+            ttl: DEFAULT_TTL,
+            protocol,
+            src,
+            dst,
+        }
+    }
+
+    /// The Internet checksum (RFC 1071) over the 20 header bytes with the
+    /// checksum field taken as zero.
+    #[must_use]
+    pub fn checksum(&self) -> u16 {
+        let bytes = self.serialize_with_checksum(0);
+        internet_checksum(&bytes)
+    }
+
+    fn serialize_with_checksum(&self, checksum: u16) -> [u8; 20] {
+        let mut buf = [0u8; 20];
+        {
+            let mut w = &mut buf[..];
+            w.put_u8(0x45); // version 4, IHL 5
+            w.put_u8(self.tos);
+            w.put_u16(self.total_length);
+            w.put_u16(self.identification.raw());
+            w.put_u16(self.flags_fragment);
+            w.put_u8(self.ttl);
+            w.put_u8(self.protocol.number());
+            w.put_u16(checksum);
+            w.put_slice(&self.src.octets());
+            w.put_slice(&self.dst.octets());
+        }
+        buf
+    }
+
+    /// Serialises the header to its 20-byte wire form, checksum included.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; 20] {
+        let c = self.checksum();
+        self.serialize_with_checksum(c)
+    }
+
+    /// Parses and checksum-verifies a wire-format header.
+    ///
+    /// # Errors
+    /// Returns a [`HeaderError`] on truncation, bad version/IHL, or a
+    /// checksum mismatch.
+    pub fn parse(mut bytes: &[u8]) -> Result<Self, HeaderError> {
+        if bytes.len() < 20 {
+            return Err(HeaderError::Truncated);
+        }
+        let sum = internet_checksum(&bytes[..20]);
+        let version_ihl = bytes.get_u8();
+        if version_ihl != 0x45 {
+            return Err(HeaderError::BadVersionIhl(version_ihl));
+        }
+        let tos = bytes.get_u8();
+        let total_length = bytes.get_u16();
+        let identification = MarkingField::new(bytes.get_u16());
+        let flags_fragment = bytes.get_u16();
+        let ttl = bytes.get_u8();
+        let protocol = Protocol::from_number(bytes.get_u8());
+        let got = bytes.get_u16();
+        let mut src = [0u8; 4];
+        bytes.copy_to_slice(&mut src);
+        let mut dst = [0u8; 4];
+        bytes.copy_to_slice(&mut dst);
+        // With the checksum field included, a valid header sums to zero.
+        if sum != 0 {
+            let hdr = Self {
+                tos,
+                total_length,
+                identification,
+                flags_fragment,
+                ttl,
+                protocol,
+                src: Ipv4Addr::from(src),
+                dst: Ipv4Addr::from(dst),
+            };
+            return Err(HeaderError::BadChecksum {
+                expected: hdr.checksum(),
+                got,
+            });
+        }
+        Ok(Self {
+            tos,
+            total_length,
+            identification,
+            flags_fragment,
+            ttl,
+            protocol,
+            src: Ipv4Addr::from(src),
+            dst: Ipv4Addr::from(dst),
+        })
+    }
+
+    /// Decrements TTL, returning false if the packet must be dropped
+    /// (TTL exhausted).
+    pub fn decrement_ttl(&mut self) -> bool {
+        if self.ttl <= 1 {
+            self.ttl = 0;
+            false
+        } else {
+            self.ttl -= 1;
+            true
+        }
+    }
+}
+
+/// RFC 1071 Internet checksum of `data` (even length assumed for the
+/// 20-byte header case; a trailing odd byte is zero-padded).
+#[must_use]
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Header {
+        Ipv4Header::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 14),
+            Protocol::Udp,
+            100,
+        )
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let h = sample();
+        let bytes = h.to_bytes();
+        let parsed = Ipv4Header::parse(&bytes).expect("valid header parses");
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn checksum_matches_reference_vector() {
+        // The classic example from RFC 1071 discussions:
+        // 45 00 00 73 00 00 40 00 40 11 ?? ?? c0 a8 00 01 c0 a8 00 c7
+        // has checksum 0xb861.
+        let h = Ipv4Header {
+            tos: 0,
+            total_length: 0x0073,
+            identification: MarkingField::zero(),
+            flags_fragment: 0x4000,
+            ttl: 64,
+            protocol: Protocol::Udp,
+            src: Ipv4Addr::new(192, 168, 0, 1),
+            dst: Ipv4Addr::new(192, 168, 0, 199),
+        };
+        assert_eq!(h.checksum(), 0xb861);
+    }
+
+    #[test]
+    fn corrupting_any_field_breaks_checksum() {
+        let h = sample();
+        let mut bytes = h.to_bytes();
+        bytes[8] ^= 0x01; // flip a TTL bit
+        assert!(matches!(
+            Ipv4Header::parse(&bytes),
+            Err(HeaderError::BadChecksum { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(Ipv4Header::parse(&[0u8; 19]), Err(HeaderError::Truncated));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let h = sample();
+        let mut bytes = h.to_bytes();
+        bytes[0] = 0x46;
+        // Fix up the checksum so the version check is what fires.
+        bytes[10] = 0;
+        bytes[11] = 0;
+        let sum = internet_checksum(&{
+            let mut b = bytes;
+            b[10] = 0;
+            b[11] = 0;
+            b
+        });
+        bytes[10..12].copy_from_slice(&sum.to_be_bytes());
+        assert!(matches!(
+            Ipv4Header::parse(&bytes),
+            Err(HeaderError::BadVersionIhl(0x46))
+        ));
+    }
+
+    #[test]
+    fn remarking_changes_checksum() {
+        // A switch that rewrites the MF must also refresh the checksum —
+        // this is the per-hop cost §6.2 discusses.
+        let mut h = sample();
+        let c0 = h.checksum();
+        h.identification = MarkingField::new(0x1234);
+        assert_ne!(h.checksum(), c0);
+        let bytes = h.to_bytes();
+        assert!(Ipv4Header::parse(&bytes).is_ok());
+    }
+
+    #[test]
+    fn ttl_decrement_floor() {
+        let mut h = sample();
+        h.ttl = 2;
+        assert!(h.decrement_ttl());
+        assert_eq!(h.ttl, 1);
+        assert!(!h.decrement_ttl());
+        assert_eq!(h.ttl, 0);
+        assert!(!h.decrement_ttl());
+    }
+
+    #[test]
+    fn protocol_numbers_roundtrip() {
+        for p in [
+            Protocol::Icmp,
+            Protocol::Tcp,
+            Protocol::Udp,
+            Protocol::Other(89),
+        ] {
+            assert_eq!(Protocol::from_number(p.number()), p);
+        }
+    }
+
+    #[test]
+    fn odd_length_checksum_pads() {
+        // Smoke: one trailing byte contributes as high-order.
+        assert_eq!(internet_checksum(&[0xFF]), !0xFF00);
+    }
+}

@@ -1,0 +1,210 @@
+//! Minimal transport-layer model.
+//!
+//! The paper's motivating attack is the TCP SYN flood: "TCP SYN flooding
+//! attack makes as many TCP half-open connections as the victim host is
+//! limited to receive. However, the individual connection has nothing
+//! wrong except that the connection does not complete three-way
+//! handshaking." (§1). Modelling SYN/SYN-ACK/ACK flags (plus UDP and
+//! ICMP for volumetric floods) lets the attack crate express those
+//! workloads and the detector count half-open connections.
+
+use serde::{Deserialize, Serialize};
+
+/// TCP flags relevant to the handshake model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct TcpFlags {
+    /// Synchronise (connection open).
+    pub syn: bool,
+    /// Acknowledge.
+    pub ack: bool,
+    /// Finish (connection close).
+    pub fin: bool,
+    /// Reset.
+    pub rst: bool,
+}
+
+impl TcpFlags {
+    /// The opening SYN of a handshake.
+    #[must_use]
+    pub fn syn() -> Self {
+        Self {
+            syn: true,
+            ..Self::default()
+        }
+    }
+
+    /// The SYN-ACK reply.
+    #[must_use]
+    pub fn syn_ack() -> Self {
+        Self {
+            syn: true,
+            ack: true,
+            ..Self::default()
+        }
+    }
+
+    /// The final ACK completing the handshake.
+    #[must_use]
+    pub fn ack() -> Self {
+        Self {
+            ack: true,
+            ..Self::default()
+        }
+    }
+
+    /// Wire encoding (low byte of the TCP flags field).
+    #[must_use]
+    pub fn to_byte(self) -> u8 {
+        u8::from(self.fin)
+            | (u8::from(self.syn) << 1)
+            | (u8::from(self.rst) << 2)
+            | (u8::from(self.ack) << 4)
+    }
+
+    /// Decodes the wire byte (unknown bits ignored).
+    #[must_use]
+    pub fn from_byte(b: u8) -> Self {
+        Self {
+            fin: b & 0x01 != 0,
+            syn: b & 0x02 != 0,
+            rst: b & 0x04 != 0,
+            ack: b & 0x10 != 0,
+        }
+    }
+}
+
+/// Transport header: just enough structure for the paper's workloads.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum L4 {
+    /// UDP datagram (volumetric floods à la trinoo/TFN, §1).
+    Udp {
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+    },
+    /// TCP segment with handshake flags (SYN floods).
+    Tcp {
+        /// Source port.
+        src_port: u16,
+        /// Destination port.
+        dst_port: u16,
+        /// Handshake flags.
+        flags: TcpFlags,
+        /// Sequence number.
+        seq: u32,
+    },
+    /// ICMP message (`echo`-style floods).
+    Icmp {
+        /// ICMP type (8 = echo request).
+        kind: u8,
+    },
+}
+
+impl L4 {
+    /// A plain UDP datagram.
+    #[must_use]
+    pub fn udp(src_port: u16, dst_port: u16) -> Self {
+        L4::Udp { src_port, dst_port }
+    }
+
+    /// An opening TCP SYN.
+    #[must_use]
+    pub fn tcp_syn(src_port: u16, dst_port: u16, seq: u32) -> Self {
+        L4::Tcp {
+            src_port,
+            dst_port,
+            flags: TcpFlags::syn(),
+            seq,
+        }
+    }
+
+    /// True for segments that open a half-open connection at the victim.
+    #[must_use]
+    pub fn is_syn(self) -> bool {
+        matches!(
+            self,
+            L4::Tcp {
+                flags: TcpFlags {
+                    syn: true,
+                    ack: false,
+                    ..
+                },
+                ..
+            }
+        )
+    }
+
+    /// True for the handshake-completing ACK.
+    #[must_use]
+    pub fn is_handshake_ack(self) -> bool {
+        matches!(
+            self,
+            L4::Tcp {
+                flags: TcpFlags {
+                    syn: false,
+                    ack: true,
+                    ..
+                },
+                ..
+            }
+        )
+    }
+
+    /// Destination port, where meaningful.
+    #[must_use]
+    pub fn dst_port(self) -> Option<u16> {
+        match self {
+            L4::Udp { dst_port, .. } | L4::Tcp { dst_port, .. } => Some(dst_port),
+            L4::Icmp { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_byte_roundtrip() {
+        for f in [
+            TcpFlags::syn(),
+            TcpFlags::syn_ack(),
+            TcpFlags::ack(),
+            TcpFlags {
+                fin: true,
+                rst: true,
+                ..TcpFlags::default()
+            },
+        ] {
+            assert_eq!(TcpFlags::from_byte(f.to_byte()), f);
+        }
+    }
+
+    #[test]
+    fn syn_classification() {
+        assert!(L4::tcp_syn(1234, 80, 9).is_syn());
+        assert!(!L4::udp(1, 2).is_syn());
+        let syn_ack = L4::Tcp {
+            src_port: 80,
+            dst_port: 1234,
+            flags: TcpFlags::syn_ack(),
+            seq: 0,
+        };
+        assert!(!syn_ack.is_syn());
+        assert!(!syn_ack.is_handshake_ack());
+        let ack = L4::Tcp {
+            src_port: 1234,
+            dst_port: 80,
+            flags: TcpFlags::ack(),
+            seq: 10,
+        };
+        assert!(ack.is_handshake_ack());
+    }
+
+    #[test]
+    fn dst_ports() {
+        assert_eq!(L4::udp(5, 53).dst_port(), Some(53));
+        assert_eq!(L4::Icmp { kind: 8 }.dst_port(), None);
+    }
+}

@@ -1,0 +1,36 @@
+//! Network-layer substrate for the DDPM reproduction.
+//!
+//! The paper's marking schemes all write into the 16-bit IPv4
+//! Identification field — the "Marking Field" (MF) — of packets crossing
+//! the cluster interconnect: "direct networks use IP … the MF is located
+//! in the IP header" (§4.1). This crate provides:
+//!
+//! * a faithful [`ipv4::Ipv4Header`] model (real wire layout, checksum,
+//!   TTL) plus a minimal transport layer ([`l4::L4`]) so SYN floods are
+//!   expressible;
+//! * [`marking_field::MarkingField`] — typed bit-level access to the MF;
+//! * [`codec::DistanceCodec`] — the packing of DDPM distance vectors into
+//!   the MF, in both the paper's signed convention (Table 3) and a
+//!   tighter residue convention (documented extension);
+//! * [`mapping::AddrMap`] — the IP-address ↔ node-index mapping table the
+//!   paper posits ("After establishing a mapping table between IP
+//!   addresses and indexes, switches look for this index alone", §4.1);
+//! * [`packet::Packet`] — the unit the simulator moves around, carrying
+//!   ground-truth provenance for evaluation alongside the (spoofable)
+//!   header.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod ipv4;
+pub mod l4;
+pub mod mapping;
+pub mod marking_field;
+pub mod packet;
+
+pub use codec::{CodecError, CodecMode, DistanceCodec};
+pub use ipv4::{Ipv4Header, Protocol};
+pub use l4::{TcpFlags, L4};
+pub use mapping::AddrMap;
+pub use marking_field::{MarkingField, MF_BITS};
+pub use packet::{Packet, PacketId, TrafficClass};

@@ -1,0 +1,147 @@
+//! The IP-address ↔ node-index mapping table.
+//!
+//! "Even though only a front-end system uses a real IP address and other
+//! systems use private IP addresses, each IP address should be unique
+//! inside the network. … After establishing a mapping table between IP
+//! addresses and indexes, switches look for this index alone." (§4.1)
+//!
+//! [`AddrMap`] realises that table: a bijection between the private
+//! address block assigned to the cluster and the dense node indices of
+//! the topology. Victims use it to translate an identified coordinate
+//! back to the machine to quarantine; detectors use it to check whether a
+//! claimed source address is even plausible.
+
+use ddpm_topology::{NodeId, Topology};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// A bijection between cluster node indices and IPv4 addresses.
+///
+/// Addresses are assigned contiguously from a base address, e.g.
+/// `10.0.0.0` + index. The default block is RFC 1918 space, matching the
+/// paper's private-address deployment model.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct AddrMap {
+    base: Ipv4Addr,
+    num_nodes: u32,
+}
+
+impl AddrMap {
+    /// Default base for cluster address blocks.
+    pub const DEFAULT_BASE: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 0);
+
+    /// Builds the map for `topo` starting at `base`.
+    ///
+    /// # Panics
+    /// Panics if the block would wrap the 32-bit address space.
+    #[must_use]
+    pub fn new(topo: &Topology, base: Ipv4Addr) -> Self {
+        let n = topo.num_nodes();
+        assert!(n <= u64::from(u32::MAX), "address block too large");
+        let n = n as u32;
+        assert!(
+            u32::from(base).checked_add(n).is_some(),
+            "address block wraps the IPv4 space"
+        );
+        Self { base, num_nodes: n }
+    }
+
+    /// Builds the map with the default `10.0.0.0` base.
+    #[must_use]
+    pub fn for_topology(topo: &Topology) -> Self {
+        Self::new(topo, Self::DEFAULT_BASE)
+    }
+
+    /// Number of mapped nodes.
+    #[must_use]
+    pub fn len(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// True if the cluster has no nodes (cannot happen for real
+    /// topologies; kept for API completeness).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.num_nodes == 0
+    }
+
+    /// The IP address of a node.
+    ///
+    /// # Panics
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn ip_of(&self, node: NodeId) -> Ipv4Addr {
+        assert!(node.0 < self.num_nodes, "node {node} out of range");
+        Ipv4Addr::from(u32::from(self.base) + node.0)
+    }
+
+    /// The node owning an IP address, or `None` if the address is outside
+    /// the cluster block — the ingress-filtering check of §2 ("blocks all
+    /// packets with bogus source addresses"), which works *only* for
+    /// addresses outside the block; inside-block spoofing is exactly what
+    /// DDPM exists to catch.
+    #[must_use]
+    pub fn node_of(&self, addr: Ipv4Addr) -> Option<NodeId> {
+        let off = u32::from(addr).checked_sub(u32::from(self.base))?;
+        (off < self.num_nodes).then_some(NodeId(off))
+    }
+
+    /// True if `addr` belongs to the cluster block.
+    #[must_use]
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        self.node_of(addr).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bijection() {
+        let topo = Topology::mesh2d(4);
+        let map = AddrMap::for_topology(&topo);
+        for i in 0..16u32 {
+            let ip = map.ip_of(NodeId(i));
+            assert_eq!(map.node_of(ip), Some(NodeId(i)));
+        }
+    }
+
+    #[test]
+    fn outside_block_is_none() {
+        let topo = Topology::mesh2d(4);
+        let map = AddrMap::for_topology(&topo);
+        assert_eq!(map.node_of(Ipv4Addr::new(10, 0, 0, 16)), None);
+        assert_eq!(map.node_of(Ipv4Addr::new(9, 255, 255, 255)), None);
+        assert_eq!(map.node_of(Ipv4Addr::new(192, 168, 0, 1)), None);
+    }
+
+    #[test]
+    fn custom_base() {
+        let topo = Topology::hypercube(3);
+        let map = AddrMap::new(&topo, Ipv4Addr::new(172, 16, 5, 0));
+        assert_eq!(map.ip_of(NodeId(7)), Ipv4Addr::new(172, 16, 5, 7));
+        assert_eq!(map.len(), 8);
+    }
+
+    #[test]
+    fn large_cluster_spans_octets() {
+        // 128×128 mesh = 16384 nodes spans the third octet.
+        let topo = Topology::mesh2d(128);
+        let map = AddrMap::for_topology(&topo);
+        assert_eq!(map.ip_of(NodeId(256)), Ipv4Addr::new(10, 0, 1, 0));
+        assert_eq!(
+            map.node_of(Ipv4Addr::new(10, 0, 63, 255)),
+            Some(NodeId(16_383))
+        );
+        assert_eq!(map.node_of(Ipv4Addr::new(10, 0, 64, 0)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ip_of_out_of_range_panics() {
+        let topo = Topology::mesh2d(2);
+        let map = AddrMap::for_topology(&topo);
+        let _ = map.ip_of(NodeId(4));
+    }
+}

@@ -1,0 +1,183 @@
+//! The 16-bit Marking Field (MF).
+//!
+//! Every scheme in the paper treats the IPv4 Identification field as a
+//! scratch register that switches rewrite in flight. The schemes slice it
+//! differently:
+//!
+//! * simple PPM on a 4×4 mesh: two 4-bit node indices + a distance field
+//!   (§4.2, Fig. 3(a));
+//! * DPM: sixteen 1-bit slots indexed by `TTL mod 16` (§4.3);
+//! * DDPM: per-dimension distance sub-fields (§5, Table 3).
+//!
+//! [`MarkingField`] provides the bit-slicing primitives all of them share,
+//! with explicit bounds checking so a mis-sized scheme fails loudly
+//! instead of silently corrupting neighbouring sub-fields.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Width of the marking field in bits (the IPv4 Identification field).
+pub const MF_BITS: u32 = 16;
+
+/// A 16-bit marking field with checked sub-field access.
+///
+/// Bit 0 is the least significant bit. Sub-fields are addressed as
+/// `(offset, width)` with `offset + width <= 16`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct MarkingField(u16);
+
+impl MarkingField {
+    /// An all-zero field — the state in which packets enter the network
+    /// ("V is set to a zero vector when the packet first enters a switch
+    /// from a computing node", §5).
+    #[must_use]
+    pub fn zero() -> Self {
+        Self(0)
+    }
+
+    /// Wraps a raw 16-bit value.
+    #[must_use]
+    pub fn new(raw: u16) -> Self {
+        Self(raw)
+    }
+
+    /// The raw 16-bit value.
+    #[must_use]
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Reads the sub-field of `width` bits at `offset`.
+    ///
+    /// # Panics
+    /// Panics if `offset + width > 16` or `width == 0`.
+    #[must_use]
+    pub fn get_bits(self, offset: u32, width: u32) -> u16 {
+        assert!(
+            width > 0 && offset + width <= MF_BITS,
+            "sub-field ({offset}, {width}) out of the 16-bit MF"
+        );
+        let mask = if width == MF_BITS {
+            u16::MAX
+        } else {
+            (1u16 << width) - 1
+        };
+        (self.0 >> offset) & mask
+    }
+
+    /// Writes `value` into the sub-field of `width` bits at `offset`.
+    ///
+    /// # Panics
+    /// Panics if the sub-field is out of range or `value` does not fit in
+    /// `width` bits.
+    pub fn set_bits(&mut self, offset: u32, width: u32, value: u16) {
+        assert!(
+            width > 0 && offset + width <= MF_BITS,
+            "sub-field ({offset}, {width}) out of the 16-bit MF"
+        );
+        let mask = if width == MF_BITS {
+            u16::MAX
+        } else {
+            (1u16 << width) - 1
+        };
+        assert!(
+            value <= mask,
+            "value {value:#x} does not fit in a {width}-bit sub-field"
+        );
+        self.0 = (self.0 & !(mask << offset)) | (value << offset);
+    }
+
+    /// Reads bit `pos` (the DPM slot addressed by `TTL mod 16`).
+    #[must_use]
+    pub fn get_bit(self, pos: u32) -> bool {
+        assert!(pos < MF_BITS);
+        (self.0 >> pos) & 1 == 1
+    }
+
+    /// Writes bit `pos`.
+    pub fn set_bit(&mut self, pos: u32, value: bool) {
+        assert!(pos < MF_BITS);
+        if value {
+            self.0 |= 1 << pos;
+        } else {
+            self.0 &= !(1 << pos);
+        }
+    }
+
+    /// Clears the whole field.
+    pub fn clear(&mut self) {
+        self.0 = 0;
+    }
+}
+
+impl fmt::Debug for MarkingField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MF({:#018b})", self.0)
+    }
+}
+
+impl fmt::Display for MarkingField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016b}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut mf = MarkingField::zero();
+        mf.set_bits(0, 8, 0xAB);
+        mf.set_bits(8, 8, 0xCD);
+        assert_eq!(mf.get_bits(0, 8), 0xAB);
+        assert_eq!(mf.get_bits(8, 8), 0xCD);
+        assert_eq!(mf.raw(), 0xCDAB);
+    }
+
+    #[test]
+    fn full_width_field() {
+        let mut mf = MarkingField::zero();
+        mf.set_bits(0, 16, 0xFFFF);
+        assert_eq!(mf.get_bits(0, 16), 0xFFFF);
+    }
+
+    #[test]
+    fn set_does_not_disturb_neighbors() {
+        let mut mf = MarkingField::new(0xFFFF);
+        mf.set_bits(4, 4, 0);
+        assert_eq!(mf.raw(), 0xFF0F);
+        assert_eq!(mf.get_bits(0, 4), 0xF);
+        assert_eq!(mf.get_bits(8, 8), 0xFF);
+    }
+
+    #[test]
+    fn single_bits() {
+        let mut mf = MarkingField::zero();
+        mf.set_bit(15, true);
+        mf.set_bit(0, true);
+        assert!(mf.get_bit(15) && mf.get_bit(0) && !mf.get_bit(7));
+        mf.set_bit(15, false);
+        assert_eq!(mf.raw(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of the 16-bit MF")]
+    fn out_of_range_subfield_panics() {
+        let mf = MarkingField::zero();
+        let _ = mf.get_bits(10, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        let mut mf = MarkingField::zero();
+        mf.set_bits(0, 4, 16);
+    }
+
+    #[test]
+    fn display_is_binary() {
+        assert_eq!(MarkingField::new(5).to_string(), "0000000000000101");
+    }
+}

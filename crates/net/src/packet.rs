@@ -1,0 +1,115 @@
+//! The simulated packet.
+//!
+//! A [`Packet`] carries the (spoofable) IPv4 header plus out-of-band
+//! ground truth used **only** by the evaluation harness: the node that
+//! really injected it and a traffic-class tag. Scheme logic never reads
+//! the ground truth — that would be cheating; it exists so experiments
+//! can score identification accuracy, exactly like the "true source"
+//! column of a traceback evaluation.
+
+use crate::ipv4::Ipv4Header;
+use crate::l4::L4;
+use ddpm_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Globally unique packet identifier (assigned by the injector).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct PacketId(pub u64);
+
+/// Evaluation-only traffic class.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum TrafficClass {
+    /// Legitimate cluster traffic.
+    Benign,
+    /// DDoS attack traffic (possibly spoofed).
+    Attack,
+}
+
+/// A packet in flight through the interconnect.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Packet {
+    /// Unique id.
+    pub id: PacketId,
+    /// The IP header switches read and rewrite. `header.src` may be
+    /// spoofed; `header.identification` is the Marking Field.
+    pub header: Ipv4Header,
+    /// Transport header (drives SYN-flood semantics).
+    pub l4: L4,
+    /// Ground truth: the node that physically injected the packet.
+    /// Invisible to switches and victims.
+    pub true_source: NodeId,
+    /// Ground truth: destination node (consistent with `header.dst`
+    /// through the address map).
+    pub dest_node: NodeId,
+    /// Evaluation tag.
+    pub class: TrafficClass,
+}
+
+impl Packet {
+    /// Total wire size in bytes (IP header + notional payload).
+    #[must_use]
+    pub fn wire_bytes(&self) -> u32 {
+        u32::from(self.header.total_length)
+    }
+
+    /// True if the header's source address differs from what the address
+    /// map says the true source should use — i.e. the packet is spoofed.
+    /// Evaluation-only (uses ground truth).
+    #[must_use]
+    pub fn is_spoofed(&self, map: &crate::mapping::AddrMap) -> bool {
+        map.ip_of(self.true_source) != self.header.src
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ipv4::Protocol;
+    use crate::mapping::AddrMap;
+    use ddpm_topology::Topology;
+
+    #[test]
+    fn spoof_detection_against_ground_truth() {
+        let topo = Topology::mesh2d(4);
+        let map = AddrMap::for_topology(&topo);
+        let honest = Packet {
+            id: PacketId(1),
+            header: Ipv4Header::new(
+                map.ip_of(NodeId(3)),
+                map.ip_of(NodeId(9)),
+                Protocol::Udp,
+                64,
+            ),
+            l4: L4::udp(1000, 53),
+            true_source: NodeId(3),
+            dest_node: NodeId(9),
+            class: TrafficClass::Benign,
+        };
+        assert!(!honest.is_spoofed(&map));
+
+        let mut spoofed = honest;
+        spoofed.header.src = map.ip_of(NodeId(12));
+        spoofed.class = TrafficClass::Attack;
+        assert!(spoofed.is_spoofed(&map));
+    }
+
+    #[test]
+    fn wire_bytes_includes_header() {
+        let topo = Topology::mesh2d(4);
+        let map = AddrMap::for_topology(&topo);
+        let p = Packet {
+            id: PacketId(0),
+            header: Ipv4Header::new(
+                map.ip_of(NodeId(0)),
+                map.ip_of(NodeId(1)),
+                Protocol::Udp,
+                80,
+            ),
+            l4: L4::udp(1, 2),
+            true_source: NodeId(0),
+            dest_node: NodeId(1),
+            class: TrafficClass::Benign,
+        };
+        assert_eq!(p.wire_bytes(), 100);
+    }
+}

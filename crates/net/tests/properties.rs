@@ -1,0 +1,124 @@
+//! Property-based tests for the network substrate.
+
+use ddpm_net::{CodecMode, DistanceCodec, Ipv4Header, MarkingField, Protocol};
+use ddpm_topology::{NodeId, Topology};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_header() -> impl Strategy<Value = Ipv4Header> {
+    (
+        any::<u8>(),
+        20u16..=1500,
+        any::<u16>(),
+        any::<u16>(),
+        1u8..=255,
+        any::<u8>(),
+        any::<u32>(),
+        any::<u32>(),
+    )
+        .prop_map(|(tos, len, ident, ff, ttl, proto, src, dst)| Ipv4Header {
+            tos,
+            total_length: len,
+            identification: MarkingField::new(ident),
+            flags_fragment: ff,
+            ttl,
+            protocol: Protocol::from_number(proto),
+            src: Ipv4Addr::from(src),
+            dst: Ipv4Addr::from(dst),
+        })
+}
+
+fn arb_codec_topo() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (2u16..=100, 2u16..=100).prop_map(|(a, b)| Topology::mesh(&[a, b])),
+        (2u16..=100, 2u16..=100).prop_map(|(a, b)| Topology::torus(&[a, b])),
+        (2u16..=16, 2u16..=16, 2u16..=16).prop_map(|(a, b, c)| Topology::mesh(&[a, b, c])),
+        (1usize..=16).prop_map(Topology::hypercube),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn header_wire_roundtrip(h in arb_header()) {
+        let bytes = h.to_bytes();
+        prop_assert_eq!(Ipv4Header::parse(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn header_single_bitflip_detected(h in arb_header(), byte in 0usize..20, bit in 0u8..8) {
+        let mut bytes = h.to_bytes();
+        bytes[byte] ^= 1 << bit;
+        // Any single-bit corruption is caught (by checksum or the
+        // version/IHL check); it can never parse back to the same header.
+        if let Ok(parsed) = Ipv4Header::parse(&bytes) { prop_assert_ne!(parsed, h) }
+    }
+
+    #[test]
+    fn codec_roundtrips_for_random_pairs(
+        topo in arb_codec_topo(),
+        mode in prop_oneof![Just(CodecMode::Signed), Just(CodecMode::Residue)],
+        seed in any::<u64>()
+    ) {
+        let codec = match DistanceCodec::for_topology(&topo, mode) {
+            Ok(c) => c,
+            Err(_) => return Ok(()), // exceeds MF budget: Table 3 boundary
+        };
+        let n = topo.num_nodes();
+        let s = topo.coord(NodeId((seed % n) as u32));
+        let d = topo.coord(NodeId(((seed >> 16) % n) as u32));
+        let v = topo.expected_distance(&s, &d);
+        let mf = codec.encode(&v).unwrap();
+        prop_assert_eq!(codec.recover_source(&topo, &d, mf), Some(s));
+    }
+
+    #[test]
+    fn marking_subfields_independent(
+        raw in any::<u16>(),
+        off1 in 0u32..8, w1 in 1u32..=8,
+        val in any::<u16>()
+    ) {
+        // Writing one sub-field never disturbs bits outside it.
+        let mut mf = MarkingField::new(raw);
+        let w1 = w1.min(16 - off1);
+        let val = val & ((1u16 << w1) - 1).max(1);
+        let val = if w1 == 16 { val } else { val & ((1 << w1) - 1) };
+        mf.set_bits(off1, w1, val);
+        for bit in 0..16 {
+            if bit >= off1 && bit < off1 + w1 {
+                prop_assert_eq!(mf.get_bit(bit), (val >> (bit - off1)) & 1 == 1);
+            } else {
+                prop_assert_eq!(mf.get_bit(bit), (raw >> bit) & 1 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_hop_equals_decode_accumulate_encode(
+        topo in arb_codec_topo(),
+        mode in prop_oneof![Just(CodecMode::Signed), Just(CodecMode::Residue)],
+        seed in any::<u64>(),
+        walk in proptest::collection::vec(0usize..64, 1..30),
+    ) {
+        let codec = match DistanceCodec::for_topology(&topo, mode) {
+            Ok(c) => c,
+            Err(_) => return Ok(()),
+        };
+        let n = topo.num_nodes();
+        let mut cur = topo.coord(NodeId((seed % n) as u32));
+        let mut mf_fast = codec.encode(&ddpm_topology::Coord::zero(topo.ndims())).unwrap();
+        let mut v_slow = ddpm_topology::Coord::zero(topo.ndims());
+        for pick in walk {
+            let nbs = topo.neighbors(&cur);
+            let next = nbs[pick % nbs.len()].1;
+            let delta = topo.hop_displacement(&cur, &next).unwrap();
+            // Fast path.
+            codec.apply_hop(&mut mf_fast, &delta).unwrap();
+            // Reference path.
+            v_slow = topo.accumulate(&v_slow, &delta);
+            let mf_slow = codec.encode(&v_slow).unwrap();
+            prop_assert_eq!(mf_fast.raw(), mf_slow.raw(),
+                "apply_hop diverged at {} -> {}", cur, next);
+            cur = next;
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Routing algorithms for direct networks.
+//!
+//! Section 3 of the paper classifies routing by adaptivity and
+//! illustrates the three classes on a 4×4 mesh (Fig. 2):
+//!
+//! * **deterministic** — XY / dimension-order routing: one fixed path;
+//! * **partially adaptive** — turn-model routing (west-first): some
+//!   turns are forbidden, others chosen at run time;
+//! * **fully adaptive** — any direction, subject to a livelock-avoidance
+//!   budget ("adaptive routing algorithms on the direct networks provide
+//!   livelock avoidance (or, recovery) schemes", §4.1).
+//!
+//! Route *instability* under adaptive routing is the paper's central
+//! motivation: path-recording traceback (PPM/DPM) assumes stable routes,
+//! DDPM does not. The [`Router`] enum exposes all classes behind one
+//! API so the experiment harness can sweep them.
+//!
+//! ## Orientation conventions (2-D mesh)
+//!
+//! Matching Fig. 2's compass vocabulary: **east** = `+d0`, **west** =
+//! `−d0`, **north** = `+d1`, **south** = `−d1`. A 2-D coordinate is
+//! `(x, y)` with `x` the east–west axis.
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod dor;
+pub mod route;
+pub mod selection;
+pub mod state;
+pub mod turn_model;
+
+pub use route::{Adaptivity, Candidate, RouteCtx, RouteError, Router};
+pub use selection::{trace_path, SelectionPolicy};
+pub use state::RouteState;

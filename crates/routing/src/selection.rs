@@ -1,0 +1,211 @@
+//! Output-port selection and standalone path tracing.
+//!
+//! A routing algorithm supplies *candidates*; a selection policy picks
+//! one. The split mirrors real router microarchitecture (routing function
+//! vs. selection function) and gives experiments a determinism dial: the
+//! same adaptive algorithm produces stable paths under
+//! [`SelectionPolicy::First`] and unstable ones under
+//! [`SelectionPolicy::Random`] — the instability that breaks PPM/DPM
+//! (§4.2–4.3) while DDPM shrugs it off.
+
+use crate::route::{RouteCtx, RouteError, Router};
+use crate::state::RouteState;
+use ddpm_topology::{Coord, FaultSet, Topology};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a switch picks among candidate output ports.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum SelectionPolicy {
+    /// Always the first candidate (deterministic given the algorithm).
+    First,
+    /// Uniformly random among all candidates — maximal route instability.
+    Random,
+    /// Random among productive candidates; misroute only when no
+    /// productive port is available. The sensible default.
+    ProductiveFirstRandom,
+}
+
+impl SelectionPolicy {
+    /// Picks one candidate index, or `None` if the list is empty.
+    pub fn pick<R: Rng + ?Sized>(
+        self,
+        candidates: &[crate::route::Candidate],
+        rng: &mut R,
+    ) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        match self {
+            SelectionPolicy::First => Some(0),
+            SelectionPolicy::Random => Some(rng.gen_range(0..candidates.len())),
+            SelectionPolicy::ProductiveFirstRandom => {
+                let productive = candidates.iter().filter(|c| c.productive).count();
+                if productive > 0 {
+                    Some(rng.gen_range(0..productive))
+                } else {
+                    Some(rng.gen_range(0..candidates.len()))
+                }
+            }
+        }
+    }
+}
+
+/// Traces the full path a packet takes from `src` to `dst`, without the
+/// discrete-event machinery — the workhorse of the marking experiments,
+/// which only need node sequences.
+///
+/// `max_hops` bounds the walk (livelock guard).
+///
+/// # Errors
+/// [`RouteError::Blocked`] if the algorithm offers no admissible port;
+/// [`RouteError::HopBudgetExhausted`] if `max_hops` runs out first.
+#[allow(clippy::too_many_arguments)]
+pub fn trace_path<R: Rng + ?Sized>(
+    topo: &Topology,
+    faults: &FaultSet,
+    router: Router,
+    policy: SelectionPolicy,
+    rng: &mut R,
+    src: &Coord,
+    dst: &Coord,
+    max_hops: u32,
+) -> Result<Vec<Coord>, RouteError> {
+    let ctx = RouteCtx::new(topo, faults);
+    let mut state = RouteState::with_budget(router.misroute_budget());
+    let mut cur = *src;
+    let mut path = Vec::with_capacity(topo.min_hops(src, dst) as usize + 1);
+    path.push(cur);
+    while cur != *dst {
+        if state.hops >= max_hops {
+            return Err(RouteError::HopBudgetExhausted { at: cur });
+        }
+        let candidates = router.candidates(&ctx, &cur, dst, &state);
+        let Some(i) = policy.pick(&candidates, rng) else {
+            return Err(RouteError::Blocked { at: cur });
+        };
+        let chosen = candidates[i];
+        state.record_hop(chosen.productive, chosen.dir);
+        cur = chosen.next;
+        path.push(cur);
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::route::Candidate;
+    use ddpm_topology::Direction;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn cand(productive: bool) -> Candidate {
+        Candidate {
+            next: Coord::new(&[0, 0]),
+            dir: Direction::plus(0),
+            productive,
+        }
+    }
+
+    #[test]
+    fn pick_empty_is_none() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(SelectionPolicy::Random.pick(&[], &mut rng), None);
+    }
+
+    #[test]
+    fn productive_first_never_misroutes_when_possible() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let cands = vec![cand(true), cand(true), cand(false)];
+        for _ in 0..100 {
+            let i = SelectionPolicy::ProductiveFirstRandom
+                .pick(&cands, &mut rng)
+                .unwrap();
+            assert!(i < 2);
+        }
+        // But misroutes when nothing productive remains.
+        let only_misroutes = vec![cand(false), cand(false)];
+        let i = SelectionPolicy::ProductiveFirstRandom
+            .pick(&only_misroutes, &mut rng)
+            .unwrap();
+        assert!(i < 2);
+    }
+
+    #[test]
+    fn first_policy_is_deterministic() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let cands = vec![cand(true), cand(true)];
+        for _ in 0..10 {
+            assert_eq!(SelectionPolicy::First.pick(&cands, &mut rng), Some(0));
+        }
+    }
+
+    #[test]
+    fn trace_path_self_delivery() {
+        let topo = Topology::mesh2d(4);
+        let faults = FaultSet::none();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let c = Coord::new(&[1, 1]);
+        let path = trace_path(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &mut rng,
+            &c,
+            &c,
+            16,
+        )
+        .unwrap();
+        assert_eq!(path, vec![c]);
+    }
+
+    #[test]
+    fn random_selection_produces_route_instability() {
+        // The §4.1 assumption: "a route from an attacker to a victim is
+        // not stable due to the adaptive routing." Two runs of the same
+        // (src, dst) under Random selection should (eventually) differ.
+        let topo = Topology::mesh2d(8);
+        let faults = FaultSet::none();
+        let s = Coord::new(&[0, 0]);
+        let d = Coord::new(&[7, 7]);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..20 {
+            let p = trace_path(
+                &topo,
+                &faults,
+                Router::MinimalAdaptive,
+                SelectionPolicy::Random,
+                &mut rng,
+                &s,
+                &d,
+                64,
+            )
+            .unwrap();
+            distinct.insert(p);
+        }
+        assert!(
+            distinct.len() > 1,
+            "adaptive routing with random selection must vary paths"
+        );
+        // While dimension-order is perfectly stable.
+        let mut dor_paths = std::collections::HashSet::new();
+        for _ in 0..20 {
+            let p = trace_path(
+                &topo,
+                &faults,
+                Router::DimensionOrder,
+                SelectionPolicy::Random,
+                &mut rng,
+                &s,
+                &d,
+                64,
+            )
+            .unwrap();
+            dor_paths.insert(p);
+        }
+        assert_eq!(dor_paths.len(), 1);
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-packet routing state.
+
+use ddpm_topology::Direction;
+use serde::{Deserialize, Serialize};
+
+/// Mutable routing state carried by a packet through the network.
+///
+/// Only the *switch-visible* routing bookkeeping lives here: hop count,
+/// the misroute budget that implements livelock avoidance for the fully
+/// adaptive router (§4.1), and a compact record of which directions the
+/// packet has already travelled — what the turn-model algorithms need
+/// to enforce their phase invariants (e.g. west-first may never turn
+/// back west once it has moved in any other direction).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct RouteState {
+    /// Hops taken so far.
+    pub hops: u32,
+    /// Non-productive hops taken so far.
+    pub misroutes_used: u32,
+    /// Non-productive hops this packet may still take.
+    pub misroute_budget: u32,
+    /// Bitmask of dimensions travelled in the positive direction.
+    pub moved_plus: u16,
+    /// Bitmask of dimensions travelled in the negative direction.
+    pub moved_minus: u16,
+}
+
+impl RouteState {
+    /// Fresh state for a packet granted `misroute_budget` non-minimal
+    /// hops.
+    #[must_use]
+    pub fn with_budget(misroute_budget: u32) -> Self {
+        Self {
+            misroute_budget,
+            ..Self::default()
+        }
+    }
+
+    /// True if the packet may still take a non-productive hop.
+    #[must_use]
+    pub fn can_misroute(&self) -> bool {
+        self.misroutes_used < self.misroute_budget
+    }
+
+    /// Records a hop in direction `dir`; `productive` says whether it
+    /// reduced the remaining distance.
+    pub fn record_hop(&mut self, productive: bool, dir: Direction) {
+        self.hops += 1;
+        if !productive {
+            self.misroutes_used += 1;
+        }
+        let bit = 1u16 << dir.dim();
+        match dir.sign {
+            ddpm_topology::Sign::Plus => self.moved_plus |= bit,
+            ddpm_topology::Sign::Minus => self.moved_minus |= bit,
+        }
+    }
+
+    /// True if the packet has already travelled in `dir`.
+    #[must_use]
+    pub fn has_moved(&self, dir: Direction) -> bool {
+        let bit = 1u16 << dir.dim();
+        match dir.sign {
+            ddpm_topology::Sign::Plus => self.moved_plus & bit != 0,
+            ddpm_topology::Sign::Minus => self.moved_minus & bit != 0,
+        }
+    }
+
+    /// True if the packet has travelled in any direction *other than*
+    /// `dir` — the west-first legality test: turning (back) to west is
+    /// only allowed while west is the sole direction ever taken.
+    #[must_use]
+    pub fn moved_any_except(&self, dir: Direction) -> bool {
+        let bit = 1u16 << dir.dim();
+        let (same, other) = match dir.sign {
+            ddpm_topology::Sign::Plus => (self.moved_plus, self.moved_minus),
+            ddpm_topology::Sign::Minus => (self.moved_minus, self.moved_plus),
+        };
+        (same & !bit) != 0 || other != 0
+    }
+
+    /// True if the packet has travelled in any positive direction —
+    /// negative-first's phase-transition test.
+    #[must_use]
+    pub fn moved_any_positive(&self) -> bool {
+        self.moved_plus != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_accounting() {
+        let mut s = RouteState::with_budget(2);
+        assert!(s.can_misroute());
+        s.record_hop(true, Direction::plus(0));
+        assert_eq!(s.hops, 1);
+        assert!(s.can_misroute());
+        s.record_hop(false, Direction::plus(1));
+        s.record_hop(false, Direction::minus(0));
+        assert!(!s.can_misroute());
+        assert_eq!(s.misroutes_used, 2);
+        assert_eq!(s.hops, 3);
+    }
+
+    #[test]
+    fn movement_history() {
+        let mut s = RouteState::default();
+        assert!(!s.has_moved(Direction::minus(0)));
+        s.record_hop(true, Direction::minus(0)); // west
+        assert!(s.has_moved(Direction::minus(0)));
+        assert!(!s.moved_any_except(Direction::minus(0)));
+        s.record_hop(true, Direction::plus(1)); // north
+        assert!(s.moved_any_except(Direction::minus(0)));
+        assert!(s.moved_any_positive());
+    }
+
+    #[test]
+    fn moved_any_except_distinguishes_signs() {
+        let mut s = RouteState::default();
+        s.record_hop(true, Direction::plus(0)); // east
+                                                // East counts as "other than west".
+        assert!(s.moved_any_except(Direction::minus(0)));
+        // But not as "other than east".
+        assert!(!s.moved_any_except(Direction::plus(0)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the routing algorithms.
+//!
+//! The key invariants:
+//! * on a healthy network every algorithm delivers every pair;
+//! * deterministic routing is path-stable, adaptive routing is not
+//!   forced to be;
+//! * minimal algorithms produce minimal paths;
+//! * candidates never include faulty links;
+//! * the fully adaptive misroute budget bounds path inflation.
+
+use ddpm_routing::{trace_path, RouteCtx, RouteState, Router, SelectionPolicy};
+use ddpm_topology::{FaultSet, NodeId, Topology};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (3u16..=8, 3u16..=8).prop_map(|(a, b)| Topology::mesh(&[a, b])),
+        (3u16..=6, 3u16..=6).prop_map(|(a, b)| Topology::torus(&[a, b])),
+        (2usize..=6).prop_map(Topology::hypercube),
+        (2u16..=4, 2u16..=4, 2u16..=4).prop_map(|(a, b, c)| Topology::mesh(&[a, b, c])),
+    ]
+}
+
+fn arb_case() -> impl Strategy<Value = (Topology, u32, u32, u64)> {
+    arb_topology().prop_flat_map(|t| {
+        let n = t.num_nodes() as u32;
+        (Just(t), 0..n, 0..n, any::<u64>())
+    })
+}
+
+proptest! {
+    #[test]
+    fn all_routers_deliver_on_healthy_network((topo, si, di, seed) in arb_case()) {
+        let s = topo.coord(NodeId(si));
+        let d = topo.coord(NodeId(di));
+        let faults = FaultSet::none();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for router in Router::all_for(&topo) {
+            let max = topo.diameter() * 4 + router.misroute_budget() + 8;
+            let path = trace_path(
+                &topo, &faults, router,
+                SelectionPolicy::ProductiveFirstRandom,
+                &mut rng, &s, &d, max,
+            );
+            let path = path.unwrap_or_else(|e| panic!("{router} failed {s}->{d} on {topo}: {e}"));
+            prop_assert_eq!(path.first(), Some(&s));
+            prop_assert_eq!(path.last(), Some(&d));
+            // Consecutive entries are single hops.
+            for w in path.windows(2) {
+                prop_assert_eq!(topo.min_hops(&w[0], &w[1]), 1);
+            }
+            // Productive-first selection on a healthy network: minimal.
+            prop_assert_eq!(path.len() as u32 - 1, topo.min_hops(&s, &d));
+        }
+    }
+
+    #[test]
+    fn deterministic_router_is_path_stable((topo, si, di, seed) in arb_case()) {
+        let s = topo.coord(NodeId(si));
+        let d = topo.coord(NodeId(di));
+        let faults = FaultSet::none();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p1 = trace_path(&topo, &faults, Router::DimensionOrder,
+            SelectionPolicy::Random, &mut rng, &s, &d, 256).unwrap();
+        let p2 = trace_path(&topo, &faults, Router::DimensionOrder,
+            SelectionPolicy::Random, &mut rng, &s, &d, 256).unwrap();
+        prop_assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn candidates_never_cross_faults((topo, si, di, seed) in arb_case()) {
+        let s = topo.coord(NodeId(si));
+        let d = topo.coord(NodeId(di));
+        if s == d { return Ok(()); }
+        let mut counter = seed;
+        let faults = FaultSet::random(&topo, 0.3, || {
+            // xorshift-ish deterministic sampler
+            counter ^= counter << 13;
+            counter ^= counter >> 7;
+            counter ^= counter << 17;
+            (counter % 1000) as f64 / 1000.0
+        });
+        for router in Router::all_for(&topo) {
+            let ctx = RouteCtx::new(&topo, &faults);
+            let state = RouteState::with_budget(router.misroute_budget());
+            for c in router.candidates(&ctx, &s, &d, &state) {
+                prop_assert!(!faults.is_faulty(&topo, &s, &c.next),
+                    "{} offered faulty link {} -> {}", router, s, c.next);
+                prop_assert_eq!(
+                    c.productive,
+                    topo.min_hops(&c.next, &d) < topo.min_hops(&s, &d)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fully_adaptive_path_length_bounded((topo, si, di, seed) in arb_case()) {
+        let s = topo.coord(NodeId(si));
+        let d = topo.coord(NodeId(di));
+        let faults = FaultSet::none();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let budget = 6;
+        let path = trace_path(
+            &topo, &faults,
+            Router::FullyAdaptive { misroute_budget: budget },
+            SelectionPolicy::Random, // misroutes whenever it fancies
+            &mut rng, &s, &d,
+            topo.diameter() + 2 * budget + 4,
+        );
+        if let Ok(path) = &path {
+            // Each misroute adds at most 2 hops of inflation.
+            prop_assert!(
+                path.len() as u32 - 1 <= topo.min_hops(&s, &d) + 2 * budget,
+                "path too long: {} vs minimal {}", path.len() - 1, topo.min_hops(&s, &d)
+            );
+        }
+        // HopBudgetExhausted is impossible: budget accounting caps
+        // wandering below the max_hops we passed. Blocked is impossible on
+        // a healthy network. So the trace must succeed.
+        prop_assert!(path.is_ok());
+    }
+}

@@ -1,0 +1,76 @@
+//! Simulator configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of a simulation run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Propagation latency of one link, in cycles.
+    pub link_latency: u64,
+    /// Serialisation time of one packet through one output port, in
+    /// cycles (1/port bandwidth).
+    pub service_cycles: u64,
+    /// Output-buffer capacity per port, in packets. When a port's backlog
+    /// reaches this depth, further packets are dropped — the resource the
+    /// volumetric DDoS attacks of §1 exhaust.
+    pub buffer_packets: u32,
+    /// Hard per-packet hop limit (livelock guard, in addition to TTL).
+    pub max_hops: u32,
+    /// Record the full node path of every delivered packet. Costs memory;
+    /// used by path-reconstruction experiments and debugging.
+    pub record_paths: bool,
+    /// Per-traversal probability that a link flips one random bit of the
+    /// 20-byte IP header. The receiving switch verifies the Internet
+    /// checksum and discards damaged packets (every single-bit error is
+    /// detected by RFC 1071 arithmetic), so corruption costs delivery,
+    /// never correctness.
+    pub bit_error_rate: f64,
+    /// RNG seed. Identical configs + identical injections ⇒ identical
+    /// runs.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            link_latency: 2,
+            service_cycles: 4,
+            buffer_packets: 16,
+            max_hops: 256,
+            record_paths: false,
+            bit_error_rate: 0.0,
+            seed: 0xDD9A,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Config with a given seed, other parameters default.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Config with paths recorded (reconstruction experiments).
+    #[must_use]
+    pub fn with_paths(mut self) -> Self {
+        self.record_paths = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let c = SimConfig::seeded(42).with_paths();
+        assert_eq!(c.seed, 42);
+        assert!(c.record_paths);
+        assert_eq!(c.link_latency, SimConfig::default().link_latency);
+    }
+}

@@ -1,0 +1,129 @@
+//! The event queue.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// A compute node hands a packet to its local switch.
+    Inject {
+        /// In-flight packet handle.
+        pkt: usize,
+    },
+    /// A packet arrives at the switch of `node`.
+    Arrive {
+        /// In-flight packet handle.
+        pkt: usize,
+        /// Dense index of the switch it arrives at.
+        node: u32,
+    },
+}
+
+/// A scheduled event. Ordered by time, ties broken by insertion sequence
+/// so runs are bit-for-bit reproducible.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Insertion sequence number (tie-breaker).
+    pub seq: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` at `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), EventKind::Inject { pkt: 0 });
+        q.push(SimTime(1), EventKind::Inject { pkt: 1 });
+        q.push(SimTime(3), EventKind::Inject { pkt: 2 });
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.0).collect();
+        assert_eq!(times, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(7), EventKind::Inject { pkt: 10 });
+        q.push(SimTime(7), EventKind::Inject { pkt: 20 });
+        q.push(SimTime(7), EventKind::Inject { pkt: 30 });
+        let pkts: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Inject { pkt } => pkt,
+                EventKind::Arrive { pkt, .. } => pkt,
+            })
+            .collect();
+        assert_eq!(pkts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn len_tracks() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime(0), EventKind::Inject { pkt: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

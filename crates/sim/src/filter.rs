@@ -1,0 +1,39 @@
+//! Mitigation filter hooks.
+//!
+//! "Once a source or a path is identified, we can protect our system by
+//! blocking packets from that source or that path." (§2). Filters are
+//! the enforcement half of that sentence: trusted switch-resident rules
+//! consulted at two points —
+//!
+//! * **injection**: the switch attached to the offending compute node
+//!   refuses traffic its own node injects (source quarantine — possible
+//!   because switch and node are separate entities, §4.1);
+//! * **delivery**: the victim's switch discards matching packets before
+//!   they reach the victim node (e.g. DPM's signature blocking: "The
+//!   victim can block all following traffic with that marking value",
+//!   §2).
+//!
+//! Implementations with interior mutability (see `ddpm_core::filter`)
+//! can be updated mid-run as traceback identifies new sources.
+
+use ddpm_net::Packet;
+use ddpm_topology::Coord;
+
+/// A switch-resident blocking policy.
+pub trait Filter: Sync {
+    /// True to drop `pkt` at its source switch (quarantine).
+    fn block_at_injection(&self, _pkt: &Packet, _src: &Coord) -> bool {
+        false
+    }
+
+    /// True to drop `pkt` at the destination switch (victim-side guard).
+    fn block_at_delivery(&self, _pkt: &Packet, _dst: &Coord) -> bool {
+        false
+    }
+}
+
+/// The pass-everything policy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFilter;
+
+impl Filter for NoFilter {}

@@ -1,0 +1,84 @@
+//! The switch-side marking hook.
+//!
+//! Marking schemes (PPM, DPM, DDPM — implemented in `ddpm-core`) plug
+//! into the simulator through [`Marker`]. The two call sites mirror the
+//! paper's switch behaviour:
+//!
+//! * [`Marker::on_inject`] fires when a compute node hands a packet to
+//!   its local switch — "V is set to a zero vector when the packet first
+//!   enters a switch from a computing node" (§5). Because the *switch*
+//!   resets the field, an attacker pre-loading a forged marking value
+//!   gains nothing.
+//! * [`Marker::on_forward`] fires each time a switch has chosen the next
+//!   hop and is about to transmit — the body of Fig. 4's algorithm.
+//!
+//! Markers are trusted code running on switches, which the paper assumes
+//! cannot be compromised (§4.1).
+
+use ddpm_net::Packet;
+use ddpm_topology::{Coord, Topology};
+use rand::rngs::SmallRng;
+
+/// Read-only context handed to marking hooks.
+pub struct MarkEnv<'a> {
+    /// The network topology (switches know their own coordinates and the
+    /// regular structure — §4.1's index mapping).
+    pub topo: &'a Topology,
+}
+
+/// A packet-marking scheme, as executed by switches.
+pub trait Marker: Sync {
+    /// Scheme name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Called at the source switch when the compute node injects the
+    /// packet. Typical implementations reset the marking field.
+    fn on_inject(&self, pkt: &mut Packet, src: &Coord, env: &MarkEnv<'_>);
+
+    /// Called at switch `cur` after routing selected `next`, before the
+    /// packet leaves. `rng` supports probabilistic schemes (PPM).
+    fn on_forward(
+        &self,
+        pkt: &mut Packet,
+        cur: &Coord,
+        next: &Coord,
+        env: &MarkEnv<'_>,
+        rng: &mut SmallRng,
+    );
+
+    /// Called at the destination switch just before handing the packet
+    /// to the victim's compute node. The PPM example of Fig. 3(a) needs
+    /// this step: the victim's own switch completes or ages pending edge
+    /// marks (the edge `(0110, 1110, 0)` has its end written by victim
+    /// switch `1110`). Default: no-op.
+    fn on_deliver(
+        &self,
+        _pkt: &mut Packet,
+        _dest: &Coord,
+        _env: &MarkEnv<'_>,
+        _rng: &mut SmallRng,
+    ) {
+    }
+}
+
+/// The do-nothing scheme: baseline runs without traceback support.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoMarking;
+
+impl Marker for NoMarking {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn on_inject(&self, _pkt: &mut Packet, _src: &Coord, _env: &MarkEnv<'_>) {}
+
+    fn on_forward(
+        &self,
+        _pkt: &mut Packet,
+        _cur: &Coord,
+        _next: &Coord,
+        _env: &MarkEnv<'_>,
+        _rng: &mut SmallRng,
+    ) {
+    }
+}

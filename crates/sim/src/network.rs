@@ -1,0 +1,663 @@
+//! The simulation engine.
+
+use crate::config::SimConfig;
+use crate::event::{EventKind, EventQueue};
+use crate::filter::{Filter, NoFilter};
+use crate::mark::{MarkEnv, Marker};
+use crate::stats::SimStats;
+use crate::time::SimTime;
+use ddpm_net::{Packet, TrafficClass};
+use ddpm_routing::{RouteCtx, RouteState, Router, SelectionPolicy};
+use ddpm_topology::{Coord, Direction, FaultSet, NodeId, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Why a packet was discarded.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DropReason {
+    /// Output buffer full — congestion loss, the resource DDoS exhausts.
+    BufferOverflow,
+    /// TTL reached zero.
+    TtlExpired,
+    /// Routing offered no admissible output port (Fig. 2 blocking).
+    Blocked,
+    /// Per-packet hop limit hit (livelock guard).
+    HopLimit,
+    /// Discarded by an installed mitigation filter.
+    Filtered,
+    /// Header damaged in transit; checksum verification failed at the
+    /// receiving switch.
+    Corrupted,
+}
+
+/// A packet that reached its destination compute node.
+#[derive(Clone, Debug)]
+pub struct Delivered {
+    /// The packet as received — its header carries the final marking
+    /// field the victim analyses.
+    pub packet: Packet,
+    /// When the source compute node injected it.
+    pub injected_at: SimTime,
+    /// When the destination compute node received it.
+    pub delivered_at: SimTime,
+    /// Switch-to-switch hops taken.
+    pub hops: u32,
+    /// Full node path, present when [`SimConfig::record_paths`] is set.
+    pub path: Option<Vec<NodeId>>,
+}
+
+impl Delivered {
+    /// End-to-end latency in cycles.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.delivered_at - self.injected_at
+    }
+}
+
+struct InFlight {
+    packet: Packet,
+    state: RouteState,
+    injected_at: SimTime,
+    path: Vec<NodeId>,
+}
+
+/// A discrete-event simulation run over one network.
+///
+/// Typical usage:
+/// 1. build with [`Simulation::new`] (or [`Simulation::with_filter`]);
+/// 2. [`Simulation::schedule`] packets at their injection times;
+/// 3. [`Simulation::run`] to quiescence;
+/// 4. inspect [`Simulation::stats`], [`Simulation::delivered`] and
+///    [`Simulation::drops`].
+pub struct Simulation<'a> {
+    topo: &'a Topology,
+    faults: &'a FaultSet,
+    router: Router,
+    policy: SelectionPolicy,
+    marker: &'a dyn Marker,
+    filter: &'a dyn Filter,
+    cfg: SimConfig,
+    rng: SmallRng,
+    queue: EventQueue,
+    pkts: Vec<InFlight>,
+    /// Per directed output port: the cycle until which it is busy.
+    ports: HashMap<(u32, Direction), u64>,
+    now: SimTime,
+    stats: SimStats,
+    delivered: Vec<Delivered>,
+    drops: Vec<(ddpm_net::PacketId, DropReason)>,
+}
+
+static NO_FILTER: NoFilter = NoFilter;
+
+impl<'a> Simulation<'a> {
+    /// Builds a simulation without mitigation filters.
+    #[must_use]
+    pub fn new(
+        topo: &'a Topology,
+        faults: &'a FaultSet,
+        router: Router,
+        policy: SelectionPolicy,
+        marker: &'a dyn Marker,
+        cfg: SimConfig,
+    ) -> Self {
+        Self::with_filter(topo, faults, router, policy, marker, &NO_FILTER, cfg)
+    }
+
+    /// Builds a simulation with a mitigation [`Filter`] installed.
+    #[must_use]
+    pub fn with_filter(
+        topo: &'a Topology,
+        faults: &'a FaultSet,
+        router: Router,
+        policy: SelectionPolicy,
+        marker: &'a dyn Marker,
+        filter: &'a dyn Filter,
+        cfg: SimConfig,
+    ) -> Self {
+        Self {
+            topo,
+            faults,
+            router,
+            policy,
+            marker,
+            filter,
+            cfg,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            queue: EventQueue::new(),
+            pkts: Vec::new(),
+            ports: HashMap::new(),
+            now: SimTime::ZERO,
+            stats: SimStats::default(),
+            delivered: Vec::new(),
+            drops: Vec::new(),
+        }
+    }
+
+    /// Schedules `packet` for injection at `time`. Returns its in-flight
+    /// handle (useful only for debugging).
+    pub fn schedule(&mut self, time: SimTime, packet: Packet) -> usize {
+        let idx = self.pkts.len();
+        self.pkts.push(InFlight {
+            packet,
+            state: RouteState::with_budget(self.router.misroute_budget()),
+            injected_at: time,
+            path: Vec::new(),
+        });
+        self.queue.push(time, EventKind::Inject { pkt: idx });
+        idx
+    }
+
+    /// Runs the event loop to quiescence and returns the statistics.
+    pub fn run(&mut self) -> SimStats {
+        while let Some(ev) = self.queue.pop() {
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            match ev.kind {
+                EventKind::Inject { pkt } => self.handle_inject(pkt),
+                EventKind::Arrive { pkt, node } => self.handle_arrive(pkt, node),
+            }
+        }
+        self.stats.end_time = self.now.cycles();
+        debug_assert!(self.stats.accounted(0), "packet conservation violated");
+        self.stats
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Packets delivered so far, in delivery order — the victim's view.
+    #[must_use]
+    pub fn delivered(&self) -> &[Delivered] {
+        &self.delivered
+    }
+
+    /// Drop log: `(packet id, reason)` in drop order.
+    #[must_use]
+    pub fn drops(&self) -> &[(ddpm_net::PacketId, DropReason)] {
+        &self.drops
+    }
+
+    /// Consumes the simulation, returning the delivered list (avoids a
+    /// clone for large runs).
+    #[must_use]
+    pub fn into_delivered(self) -> Vec<Delivered> {
+        self.delivered
+    }
+
+    fn class_of(&self, pkt: usize) -> TrafficClass {
+        self.pkts[pkt].packet.class
+    }
+
+    fn drop_packet(&mut self, pkt: usize, reason: DropReason) {
+        let class = self.class_of(pkt);
+        let c = self.stats.class_mut(class);
+        match reason {
+            DropReason::BufferOverflow => c.dropped_buffer += 1,
+            DropReason::TtlExpired => c.dropped_ttl += 1,
+            DropReason::Blocked => c.dropped_blocked += 1,
+            DropReason::HopLimit => c.dropped_hop_limit += 1,
+            DropReason::Filtered => c.dropped_filtered += 1,
+            DropReason::Corrupted => c.dropped_corrupt += 1,
+        }
+        self.drops.push((self.pkts[pkt].packet.id, reason));
+    }
+
+    fn handle_inject(&mut self, pkt: usize) {
+        let src_id = self.pkts[pkt].packet.true_source;
+        let src = self.topo.coord(src_id);
+        self.stats.class_mut(self.class_of(pkt)).injected += 1;
+        if self.cfg.record_paths {
+            self.pkts[pkt].path.push(src_id);
+        }
+        // The source switch resets the marking field (§5) — forged MF
+        // values die here.
+        let env = MarkEnv { topo: self.topo };
+        self.marker
+            .on_inject(&mut self.pkts[pkt].packet, &src, &env);
+        if self.filter.block_at_injection(&self.pkts[pkt].packet, &src) {
+            self.drop_packet(pkt, DropReason::Filtered);
+            return;
+        }
+        self.forward_from(pkt, &src);
+    }
+
+    fn handle_arrive(&mut self, pkt: usize, node: u32) {
+        // Link-level bit errors: flip one random header bit in transit;
+        // the receiving switch checksums and discards the damaged packet.
+        if self.cfg.bit_error_rate > 0.0 && self.rng.gen_bool(self.cfg.bit_error_rate) {
+            let mut bytes = self.pkts[pkt].packet.header.to_bytes();
+            let bit = self.rng.gen_range(0..160u32);
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+            match ddpm_net::Ipv4Header::parse(&bytes) {
+                Ok(h) => {
+                    // A flip that still parses (impossible for single-bit
+                    // errors under RFC 1071, kept for defence in depth).
+                    self.pkts[pkt].packet.header = h;
+                }
+                Err(_) => {
+                    self.drop_packet(pkt, DropReason::Corrupted);
+                    return;
+                }
+            }
+        }
+        let node_id = NodeId(node);
+        let cur = self.topo.coord(node_id);
+        if self.cfg.record_paths {
+            self.pkts[pkt].path.push(node_id);
+        }
+        if node_id == self.pkts[pkt].packet.dest_node {
+            // The destination switch runs marking logic one final time
+            // before delivery (needed by PPM's edge completion).
+            let env = MarkEnv { topo: self.topo };
+            self.marker
+                .on_deliver(&mut self.pkts[pkt].packet, &cur, &env, &mut self.rng);
+            if self.filter.block_at_delivery(&self.pkts[pkt].packet, &cur) {
+                self.drop_packet(pkt, DropReason::Filtered);
+                return;
+            }
+            let class = self.class_of(pkt);
+            let inflight = &self.pkts[pkt];
+            let c = self.stats.class_mut(class);
+            c.delivered += 1;
+            let latency = self.now - inflight.injected_at;
+            c.latency.record(latency);
+            c.total_hops += u64::from(inflight.state.hops);
+            self.delivered.push(Delivered {
+                packet: inflight.packet,
+                injected_at: inflight.injected_at,
+                delivered_at: self.now,
+                hops: inflight.state.hops,
+                path: self.cfg.record_paths.then(|| inflight.path.clone()),
+            });
+            return;
+        }
+        // Intermediate switch: TTL check, then forward.
+        if !self.pkts[pkt].packet.header.decrement_ttl() {
+            self.drop_packet(pkt, DropReason::TtlExpired);
+            return;
+        }
+        self.forward_from(pkt, &cur);
+    }
+
+    fn forward_from(&mut self, pkt: usize, cur: &Coord) {
+        if self.pkts[pkt].state.hops >= self.cfg.max_hops {
+            self.drop_packet(pkt, DropReason::HopLimit);
+            return;
+        }
+        let dst = self.topo.coord(self.pkts[pkt].packet.dest_node);
+        let ctx = RouteCtx::new(self.topo, self.faults);
+        let candidates = self
+            .router
+            .candidates(&ctx, cur, &dst, &self.pkts[pkt].state);
+        let Some(i) = self.policy.pick(&candidates, &mut self.rng) else {
+            self.drop_packet(pkt, DropReason::Blocked);
+            return;
+        };
+        let chosen = candidates[i];
+
+        // Output-port contention: the port serialises one packet per
+        // `service_cycles`; backlog beyond `buffer_packets` is dropped.
+        let key = (self.topo.index(cur).0, chosen.dir);
+        let busy_until = self.ports.get(&key).copied().unwrap_or(0);
+        let backlog = busy_until.saturating_sub(self.now.cycles()) / self.cfg.service_cycles.max(1);
+        if backlog >= u64::from(self.cfg.buffer_packets) {
+            self.drop_packet(pkt, DropReason::BufferOverflow);
+            return;
+        }
+
+        // Switch-side marking happens once the output port is decided
+        // (Fig. 4: Routing() first, then Δ computed and stored).
+        let env = MarkEnv { topo: self.topo };
+        self.marker.on_forward(
+            &mut self.pkts[pkt].packet,
+            cur,
+            &chosen.next,
+            &env,
+            &mut self.rng,
+        );
+        self.pkts[pkt]
+            .state
+            .record_hop(chosen.productive, chosen.dir);
+
+        let depart = busy_until.max(self.now.cycles()) + self.cfg.service_cycles;
+        self.ports.insert(key, depart);
+        let arrive = depart + self.cfg.link_latency;
+        let next_id = self.topo.index(&chosen.next).0;
+        self.queue
+            .push(SimTime(arrive), EventKind::Arrive { pkt, node: next_id });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mark::NoMarking;
+    use ddpm_net::{AddrMap, Ipv4Header, PacketId, Protocol, L4};
+
+    fn mk_packet(map: &AddrMap, id: u64, src: NodeId, dst: NodeId, class: TrafficClass) -> Packet {
+        Packet {
+            id: PacketId(id),
+            header: Ipv4Header::new(map.ip_of(src), map.ip_of(dst), Protocol::Udp, 64),
+            l4: L4::udp(4000, 53),
+            true_source: src,
+            dest_node: dst,
+            class,
+        }
+    }
+
+    #[test]
+    fn single_packet_delivery_latency() {
+        let topo = Topology::mesh2d(4);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let cfg = SimConfig {
+            link_latency: 2,
+            service_cycles: 4,
+            ..SimConfig::default()
+        };
+        let marker = NoMarking;
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            cfg,
+        );
+        // (0,0) -> (3,0): 3 hops, each hop = 4 service + 2 link = 6.
+        sim.schedule(
+            SimTime(10),
+            mk_packet(&map, 1, NodeId(0), NodeId(12), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.benign.delivered, 1);
+        assert_eq!(sim.delivered().len(), 1);
+        let d = &sim.delivered()[0];
+        assert_eq!(d.hops, 3);
+        assert_eq!(d.latency(), 18);
+        assert_eq!(d.delivered_at, SimTime(28));
+    }
+
+    #[test]
+    fn paths_recorded_when_enabled() {
+        let topo = Topology::mesh2d(4);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            SimConfig::default().with_paths(),
+        );
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 1, NodeId(0), NodeId(5), TrafficClass::Benign),
+        );
+        sim.run();
+        let d = &sim.delivered()[0];
+        let path = d.path.as_ref().unwrap();
+        // (0,0) -> (1,0) -> (1,1): dimension order.
+        assert_eq!(path, &[NodeId(0), NodeId(4), NodeId(5)]);
+    }
+
+    #[test]
+    fn port_serialisation_queues_packets() {
+        // Two packets leaving the same switch on the same port: the
+        // second is delayed by one service time.
+        let topo = Topology::mesh2d(4);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let cfg = SimConfig {
+            link_latency: 1,
+            service_cycles: 10,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            cfg,
+        );
+        for id in 0..2 {
+            sim.schedule(
+                SimTime::ZERO,
+                mk_packet(&map, id, NodeId(0), NodeId(4), TrafficClass::Benign),
+            );
+        }
+        sim.run();
+        let times: Vec<u64> = sim.delivered().iter().map(|d| d.delivered_at.0).collect();
+        assert_eq!(times, vec![11, 21]);
+    }
+
+    #[test]
+    fn buffer_overflow_drops_under_flood() {
+        let topo = Topology::mesh2d(4);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let cfg = SimConfig {
+            link_latency: 1,
+            service_cycles: 10,
+            buffer_packets: 4,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            cfg,
+        );
+        // 20 packets injected simultaneously into one port of capacity 4.
+        for id in 0..20 {
+            sim.schedule(
+                SimTime::ZERO,
+                mk_packet(&map, id, NodeId(0), NodeId(4), TrafficClass::Attack),
+            );
+        }
+        let stats = sim.run();
+        assert!(stats.attack.dropped_buffer > 0, "flood must overflow");
+        assert_eq!(
+            stats.attack.delivered + stats.attack.dropped(),
+            stats.attack.injected
+        );
+    }
+
+    #[test]
+    fn ttl_expiry_drops() {
+        let topo = Topology::mesh2d(8);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            SimConfig::default(),
+        );
+        let mut p = mk_packet(&map, 1, NodeId(0), NodeId(63), TrafficClass::Benign);
+        p.header.ttl = 3; // needs 14 hops
+        sim.schedule(SimTime::ZERO, p);
+        let stats = sim.run();
+        assert_eq!(stats.benign.dropped_ttl, 1);
+        assert_eq!(stats.benign.delivered, 0);
+    }
+
+    #[test]
+    fn blocked_routing_drops() {
+        let topo = Topology::mesh2d(4);
+        let mut faults = FaultSet::none();
+        // Isolate (0,0) partially: XY from (0,0) to (2,0) needs east.
+        faults.add(&topo, &Coord::new(&[0, 0]), &Coord::new(&[1, 0]));
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            SimConfig::default(),
+        );
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 1, NodeId(0), NodeId(8), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.benign.dropped_blocked, 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = Topology::mesh2d(6);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(
+                &topo,
+                &faults,
+                Router::fully_adaptive_for(&topo),
+                SelectionPolicy::Random,
+                &marker,
+                SimConfig::seeded(seed).with_paths(),
+            );
+            for id in 0..50u64 {
+                let s = NodeId((id % 36) as u32);
+                let d = NodeId(((id * 7 + 3) % 36) as u32);
+                if s == d {
+                    continue;
+                }
+                let mut p = mk_packet(&map, id, s, d, TrafficClass::Benign);
+                p.header.ttl = 64;
+                sim.schedule(SimTime(id), p);
+            }
+            sim.run();
+            sim.delivered()
+                .iter()
+                .map(|d| (d.packet.id, d.delivered_at, d.path.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(123), run(123), "same seed must reproduce exactly");
+        assert_ne!(run(123), run(456), "different seeds should diverge");
+    }
+
+    #[test]
+    fn injection_filter_quarantines_source() {
+        struct BlockNode0;
+        impl Filter for BlockNode0 {
+            fn block_at_injection(&self, _pkt: &Packet, src: &Coord) -> bool {
+                *src == Coord::new(&[0, 0])
+            }
+        }
+        let topo = Topology::mesh2d(4);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let filter = BlockNode0;
+        let mut sim = Simulation::with_filter(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            &filter,
+            SimConfig::default(),
+        );
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 1, NodeId(0), NodeId(5), TrafficClass::Attack),
+        );
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 2, NodeId(1), NodeId(5), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.attack.dropped_filtered, 1);
+        assert_eq!(stats.benign.delivered, 1);
+    }
+
+    #[test]
+    fn adaptive_routing_spreads_over_multiple_paths() {
+        // §4.1: "Depending on the network's state and the adaptivity of
+        // the routing, packets with the same source and the same
+        // destination may take very different paths."
+        let topo = Topology::mesh2d(6);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::MinimalAdaptive,
+            SelectionPolicy::Random,
+            &marker,
+            SimConfig::seeded(5).with_paths(),
+        );
+        for id in 0..40u64 {
+            sim.schedule(
+                SimTime(id * 3),
+                mk_packet(&map, id, NodeId(0), NodeId(35), TrafficClass::Benign),
+            );
+        }
+        sim.run();
+        let distinct: std::collections::HashSet<_> = sim
+            .delivered()
+            .iter()
+            .map(|d| d.path.clone().unwrap())
+            .collect();
+        assert!(distinct.len() > 5, "expected many distinct paths");
+    }
+
+    #[test]
+    fn link_corruption_is_detected_and_dropped() {
+        let topo = Topology::mesh2d(8);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let cfg = SimConfig {
+            bit_error_rate: 0.05,
+            ..SimConfig::seeded(13)
+        };
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            cfg,
+        );
+        for id in 0..300u64 {
+            sim.schedule(
+                SimTime(id * 4),
+                mk_packet(&map, id, NodeId(0), NodeId(63), TrafficClass::Benign),
+            );
+        }
+        let stats = sim.run();
+        assert!(
+            stats.benign.dropped_corrupt > 0,
+            "5% BER over 14 hops must corrupt some packets"
+        );
+        assert!(stats.benign.delivered > 0, "most packets still arrive");
+        assert!(stats.accounted(0));
+        // Single-bit damage is always caught: no delivered packet can
+        // carry a corrupted header (checksum would have failed).
+        for d in sim.delivered() {
+            assert!(ddpm_net::Ipv4Header::parse(&d.packet.header.to_bytes()).is_ok());
+        }
+    }
+}

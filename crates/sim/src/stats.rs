@@ -1,0 +1,203 @@
+//! Run statistics.
+
+use ddpm_net::TrafficClass;
+use serde::{Deserialize, Serialize};
+
+/// Streaming latency summary (count / sum / min / max).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, in cycles.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Records one latency sample, in cycles.
+    pub fn record(&mut self, cycles: u64) {
+        if self.count == 0 {
+            self.min = cycles;
+            self.max = cycles;
+        } else {
+            self.min = self.min.min(cycles);
+            self.max = self.max.max(cycles);
+        }
+        self.count += 1;
+        self.sum += cycles;
+    }
+
+    /// Mean latency, or `None` with no samples.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// Counters for one traffic class.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ClassStats {
+    /// Packets handed to source switches.
+    pub injected: u64,
+    /// Packets delivered to their destination compute node.
+    pub delivered: u64,
+    /// Packets dropped on output-buffer overflow (congestion loss).
+    pub dropped_buffer: u64,
+    /// Packets dropped on TTL exhaustion.
+    pub dropped_ttl: u64,
+    /// Packets dropped because routing offered no admissible port.
+    pub dropped_blocked: u64,
+    /// Packets dropped by the per-packet hop limit.
+    pub dropped_hop_limit: u64,
+    /// Packets dropped by an installed traceback filter (mitigation).
+    pub dropped_filtered: u64,
+    /// Packets discarded after link corruption (checksum mismatch).
+    pub dropped_corrupt: u64,
+    /// End-to-end latency of delivered packets.
+    pub latency: LatencyStats,
+    /// Total hops of delivered packets.
+    pub total_hops: u64,
+}
+
+impl ClassStats {
+    /// All drops combined.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped_buffer
+            + self.dropped_ttl
+            + self.dropped_blocked
+            + self.dropped_hop_limit
+            + self.dropped_filtered
+            + self.dropped_corrupt
+    }
+
+    /// Delivered fraction of injected.
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.injected == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / self.injected as f64
+    }
+
+    /// Mean hops of delivered packets.
+    #[must_use]
+    pub fn mean_hops(&self) -> Option<f64> {
+        (self.delivered > 0).then(|| self.total_hops as f64 / self.delivered as f64)
+    }
+}
+
+/// Full-run statistics, split by traffic class.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Counters for benign traffic.
+    pub benign: ClassStats,
+    /// Counters for attack traffic.
+    pub attack: ClassStats,
+    /// Simulated end time (cycles at last event).
+    pub end_time: u64,
+}
+
+impl SimStats {
+    /// The counter block for `class`.
+    #[must_use]
+    pub fn class(&self, class: TrafficClass) -> &ClassStats {
+        match class {
+            TrafficClass::Benign => &self.benign,
+            TrafficClass::Attack => &self.attack,
+        }
+    }
+
+    /// Mutable counter block for `class`.
+    pub fn class_mut(&mut self, class: TrafficClass) -> &mut ClassStats {
+        match class {
+            TrafficClass::Benign => &mut self.benign,
+            TrafficClass::Attack => &mut self.attack,
+        }
+    }
+
+    /// Combined totals across classes.
+    #[must_use]
+    pub fn total(&self) -> ClassStats {
+        let mut t = self.benign;
+        let a = &self.attack;
+        t.injected += a.injected;
+        t.delivered += a.delivered;
+        t.dropped_buffer += a.dropped_buffer;
+        t.dropped_ttl += a.dropped_ttl;
+        t.dropped_blocked += a.dropped_blocked;
+        t.dropped_hop_limit += a.dropped_hop_limit;
+        t.dropped_filtered += a.dropped_filtered;
+        t.dropped_corrupt += a.dropped_corrupt;
+        t.total_hops += a.total_hops;
+        t.latency.count += a.latency.count;
+        t.latency.sum += a.latency.sum;
+        if a.latency.count > 0 {
+            if t.latency.count == a.latency.count {
+                t.latency.min = a.latency.min;
+                t.latency.max = a.latency.max;
+            } else {
+                t.latency.min = t.latency.min.min(a.latency.min);
+                t.latency.max = t.latency.max.max(a.latency.max);
+            }
+        }
+        t
+    }
+
+    /// Conservation check: every injected packet is delivered, dropped,
+    /// or still in flight.
+    #[must_use]
+    pub fn accounted(&self, in_flight: u64) -> bool {
+        let t = self.total();
+        t.injected == t.delivered + t.dropped() + in_flight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_streaming() {
+        let mut l = LatencyStats::default();
+        assert_eq!(l.mean(), None);
+        l.record(10);
+        l.record(20);
+        l.record(3);
+        assert_eq!(l.count, 3);
+        assert_eq!(l.min, 3);
+        assert_eq!(l.max, 20);
+        assert_eq!(l.mean(), Some(11.0));
+    }
+
+    #[test]
+    fn totals_combine() {
+        let mut s = SimStats::default();
+        s.benign.injected = 10;
+        s.benign.delivered = 8;
+        s.benign.dropped_buffer = 2;
+        s.attack.injected = 5;
+        s.attack.delivered = 5;
+        s.benign.latency.record(4);
+        s.attack.latency.record(2);
+        s.attack.latency.record(8);
+        let t = s.total();
+        assert_eq!(t.injected, 15);
+        assert_eq!(t.delivered, 13);
+        assert_eq!(t.dropped(), 2);
+        assert_eq!(t.latency.count, 3);
+        assert_eq!(t.latency.min, 2);
+        assert_eq!(t.latency.max, 8);
+        assert!(s.accounted(0));
+        assert!(!s.accounted(1));
+    }
+
+    #[test]
+    fn delivery_ratio_empty_is_one() {
+        let c = ClassStats::default();
+        assert_eq!(c.delivery_ratio(), 1.0);
+    }
+}

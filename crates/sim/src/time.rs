@@ -1,0 +1,79 @@
+//! Simulation time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in switch cycles.
+///
+/// One cycle is the simulator's base unit; [`crate::SimConfig`] expresses
+/// link latency and per-packet service time in cycles.
+#[derive(
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The raw cycle count.
+    #[must_use]
+    pub fn cycles(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference `self - earlier`.
+    #[must_use]
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cyc", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(10);
+        assert_eq!(t + 5, SimTime(15));
+        assert_eq!(SimTime(15) - t, 5);
+        assert_eq!(t - SimTime(15), 0, "saturating");
+        assert_eq!(SimTime(15).since(t), 5);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime(1) < SimTime(2));
+        assert_eq!(SimTime::ZERO, SimTime(0));
+    }
+}

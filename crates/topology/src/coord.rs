@@ -1,0 +1,368 @@
+//! Node coordinates and distance vectors.
+//!
+//! A [`Coord`] is a small fixed-capacity vector of signed per-dimension
+//! values. It serves double duty, exactly as in the paper:
+//!
+//! * as a **node coordinate** `(x_0, …, x_{n-1})` with `x_i ∈ [0, k_i)`;
+//! * as a **distance vector** `V = (v_0, …, v_{n-1})` accumulated by the
+//!   DDPM marking algorithm, where components may be negative.
+//!
+//! The capacity is [`MAX_DIMS`] = 16, enough for the largest network the
+//! paper's 16-bit marking field can address (a 16-cube hypercube).
+
+use serde::de::{SeqAccess, Visitor};
+use serde::ser::SerializeSeq;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+use std::fmt;
+use std::ops::{Add, Index, Neg, Sub};
+
+/// Maximum number of dimensions supported by [`Coord`].
+///
+/// 16 covers every topology the paper's 16-bit marking field can encode
+/// (the extreme case is the 16-cube hypercube of §5, Table 3).
+pub const MAX_DIMS: usize = 16;
+
+/// A coordinate or distance vector in up to [`MAX_DIMS`] dimensions.
+///
+/// `Coord` is `Copy` (34 bytes) so it can be passed around freely in the
+/// simulator's hot path without allocation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Coord {
+    ndims: u8,
+    c: [i16; MAX_DIMS],
+}
+
+impl Coord {
+    /// Builds a coordinate from a slice of per-dimension values.
+    ///
+    /// # Panics
+    /// Panics if `values.len() > MAX_DIMS` or `values` is empty.
+    #[must_use]
+    pub fn new(values: &[i16]) -> Self {
+        assert!(
+            !values.is_empty() && values.len() <= MAX_DIMS,
+            "coordinate must have 1..={MAX_DIMS} dimensions, got {}",
+            values.len()
+        );
+        let mut c = [0i16; MAX_DIMS];
+        c[..values.len()].copy_from_slice(values);
+        Self {
+            ndims: values.len() as u8,
+            c,
+        }
+    }
+
+    /// The all-zero vector in `ndims` dimensions — the initial marking
+    /// value ("V is set to a zero vector when the packet first enters a
+    /// switch from a computing node", §5).
+    #[must_use]
+    pub fn zero(ndims: usize) -> Self {
+        assert!((1..=MAX_DIMS).contains(&ndims));
+        Self {
+            ndims: ndims as u8,
+            c: [0; MAX_DIMS],
+        }
+    }
+
+    /// Number of dimensions.
+    #[must_use]
+    pub fn ndims(&self) -> usize {
+        self.ndims as usize
+    }
+
+    /// Component in dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim >= self.ndims()`.
+    #[must_use]
+    pub fn get(&self, dim: usize) -> i16 {
+        assert!(dim < self.ndims());
+        self.c[dim]
+    }
+
+    /// Sets the component in dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim >= self.ndims()`.
+    pub fn set(&mut self, dim: usize, value: i16) {
+        assert!(dim < self.ndims());
+        self.c[dim] = value;
+    }
+
+    /// Returns a copy with dimension `dim` replaced by `value`.
+    #[must_use]
+    pub fn with(&self, dim: usize, value: i16) -> Self {
+        let mut out = *self;
+        out.set(dim, value);
+        out
+    }
+
+    /// Iterator over the components.
+    pub fn iter(&self) -> impl Iterator<Item = i16> + '_ {
+        self.c[..self.ndims()].iter().copied()
+    }
+
+    /// The components as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[i16] {
+        &self.c[..self.ndims()]
+    }
+
+    /// The components as an owned `Vec`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<i16> {
+        self.as_slice().to_vec()
+    }
+
+    /// True if every component is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.iter().all(|v| v == 0)
+    }
+
+    /// Component-wise XOR — the hypercube distance-vector combination used
+    /// by DDPM ("it uses XOR rather than addition and subtraction", §5).
+    #[must_use]
+    pub fn xor(&self, other: &Self) -> Self {
+        assert_eq!(self.ndims, other.ndims, "dimension mismatch");
+        let mut out = *self;
+        for d in 0..self.ndims() {
+            out.c[d] ^= other.c[d];
+        }
+        out
+    }
+
+    /// L1 norm — the number of hops a minimal mesh path would take to
+    /// realise this vector as a displacement.
+    #[must_use]
+    pub fn l1_norm(&self) -> u32 {
+        self.iter().map(|v| v.unsigned_abs() as u32).sum()
+    }
+
+    /// Hamming weight of the components taken mod 2 — the minimal hop
+    /// count of this vector interpreted as a hypercube displacement.
+    #[must_use]
+    pub fn hamming_weight(&self) -> u32 {
+        self.iter().filter(|v| v & 1 == 1).count() as u32
+    }
+
+    /// Number of dimensions in which `self` and `other` differ.
+    #[must_use]
+    pub fn differing_dims(&self, other: &Self) -> usize {
+        assert_eq!(self.ndims, other.ndims, "dimension mismatch");
+        (0..self.ndims())
+            .filter(|&d| self.c[d] != other.c[d])
+            .count()
+    }
+}
+
+impl Index<usize> for Coord {
+    type Output = i16;
+
+    fn index(&self, dim: usize) -> &i16 {
+        assert!(dim < self.ndims());
+        &self.c[dim]
+    }
+}
+
+impl Add for Coord {
+    type Output = Coord;
+
+    /// Component-wise wrapping addition: the DDPM accumulation `V' = V + Δ`.
+    fn add(self, rhs: Coord) -> Coord {
+        assert_eq!(self.ndims, rhs.ndims, "dimension mismatch");
+        let mut out = self;
+        for d in 0..self.ndims() {
+            out.c[d] = out.c[d].wrapping_add(rhs.c[d]);
+        }
+        out
+    }
+}
+
+impl Sub for Coord {
+    type Output = Coord;
+
+    /// Component-wise wrapping subtraction: the victim-side `S = D − V`.
+    fn sub(self, rhs: Coord) -> Coord {
+        assert_eq!(self.ndims, rhs.ndims, "dimension mismatch");
+        let mut out = self;
+        for d in 0..self.ndims() {
+            out.c[d] = out.c[d].wrapping_sub(rhs.c[d]);
+        }
+        out
+    }
+}
+
+impl Neg for Coord {
+    type Output = Coord;
+
+    fn neg(self) -> Coord {
+        let mut out = self;
+        for d in 0..self.ndims() {
+            out.c[d] = out.c[d].wrapping_neg();
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Serialize for Coord {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.ndims()))?;
+        for v in self.iter() {
+            seq.serialize_element(&v)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Coord {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct CoordVisitor;
+
+        impl<'de> Visitor<'de> for CoordVisitor {
+            type Value = Coord;
+
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "a sequence of 1..={MAX_DIMS} i16 components")
+            }
+
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Coord, A::Error> {
+                let mut values = Vec::with_capacity(seq.size_hint().unwrap_or(2));
+                while let Some(v) = seq.next_element::<i16>()? {
+                    if values.len() == MAX_DIMS {
+                        return Err(serde::de::Error::invalid_length(values.len() + 1, &self));
+                    }
+                    values.push(v);
+                }
+                if values.is_empty() {
+                    return Err(serde::de::Error::invalid_length(0, &self));
+                }
+                Ok(Coord::new(&values))
+            }
+        }
+
+        deserializer.deserialize_seq(CoordVisitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_get_roundtrip() {
+        let c = Coord::new(&[1, -2, 3]);
+        assert_eq!(c.ndims(), 3);
+        assert_eq!(c.get(0), 1);
+        assert_eq!(c.get(1), -2);
+        assert_eq!(c.get(2), 3);
+        assert_eq!(c.to_vec(), vec![1, -2, 3]);
+    }
+
+    #[test]
+    fn zero_is_zero() {
+        let z = Coord::zero(4);
+        assert!(z.is_zero());
+        assert_eq!(z.ndims(), 4);
+        assert_eq!(z.l1_norm(), 0);
+    }
+
+    #[test]
+    fn add_sub_are_inverse() {
+        let a = Coord::new(&[3, 4]);
+        let b = Coord::new(&[1, -2]);
+        assert_eq!((a + b) - b, a);
+        assert_eq!(a - a, Coord::zero(2));
+    }
+
+    #[test]
+    fn paper_fig3b_example_subtraction() {
+        // Victim (2,3) receives V = (1,2) and identifies source (1,1) (§5).
+        let dest = Coord::new(&[2, 3]);
+        let v = Coord::new(&[1, 2]);
+        assert_eq!(dest - v, Coord::new(&[1, 1]));
+    }
+
+    #[test]
+    fn paper_fig3c_example_xor() {
+        // Victim (0,0,0) XORs V = (1,1,0) and identifies source (1,1,0).
+        let dest = Coord::new(&[0, 0, 0]);
+        let v = Coord::new(&[1, 1, 0]);
+        assert_eq!(dest.xor(&v), Coord::new(&[1, 1, 0]));
+    }
+
+    #[test]
+    fn xor_is_self_inverse() {
+        let a = Coord::new(&[1, 0, 1, 1]);
+        let b = Coord::new(&[0, 1, 1, 0]);
+        assert_eq!(a.xor(&b).xor(&b), a);
+    }
+
+    #[test]
+    fn l1_and_hamming() {
+        let v = Coord::new(&[2, -3, 0]);
+        assert_eq!(v.l1_norm(), 5);
+        let h = Coord::new(&[1, 0, 1]);
+        assert_eq!(h.hamming_weight(), 2);
+    }
+
+    #[test]
+    fn display_formats_like_paper() {
+        assert_eq!(Coord::new(&[1, -1]).to_string(), "(1,-1)");
+        assert_eq!(Coord::new(&[0, 1, 1]).to_string(), "(0,1,1)");
+    }
+
+    #[test]
+    fn with_replaces_single_dim() {
+        let c = Coord::new(&[5, 6, 7]);
+        assert_eq!(c.with(1, 9), Coord::new(&[5, 9, 7]));
+        // original untouched
+        assert_eq!(c.get(1), 6);
+    }
+
+    #[test]
+    fn differing_dims_counts() {
+        let a = Coord::new(&[1, 2, 3]);
+        let b = Coord::new(&[1, 5, 4]);
+        assert_eq!(a.differing_dims(&b), 2);
+        assert_eq!(a.differing_dims(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn add_rejects_dim_mismatch() {
+        let _ = Coord::new(&[1]) + Coord::new(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_out_of_range_panics() {
+        let c = Coord::new(&[1, 2]);
+        let _ = c.get(2);
+    }
+
+    #[test]
+    fn neg_negates() {
+        let v = Coord::new(&[2, -5]);
+        assert_eq!(-v, Coord::new(&[-2, 5]));
+    }
+}

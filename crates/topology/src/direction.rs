@@ -1,0 +1,127 @@
+//! Port directions of a direct-network switch.
+//!
+//! Every switch in an n-dimensional mesh or torus has up to `2n` network
+//! ports (one per dimension per sign); a hypercube switch has `n` ports
+//! (one per dimension — a hop toggles that dimension's bit, so sign is
+//! meaningless and normalised to [`Sign::Plus`]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The sign of a hop along a dimension.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Sign {
+    /// Towards increasing coordinate.
+    Plus,
+    /// Towards decreasing coordinate.
+    Minus,
+}
+
+impl Sign {
+    /// The per-hop coordinate increment: `+1` or `-1`.
+    #[must_use]
+    pub fn delta(self) -> i16 {
+        match self {
+            Sign::Plus => 1,
+            Sign::Minus => -1,
+        }
+    }
+
+    /// The opposite sign.
+    #[must_use]
+    pub fn flip(self) -> Sign {
+        match self {
+            Sign::Plus => Sign::Minus,
+            Sign::Minus => Sign::Plus,
+        }
+    }
+}
+
+/// A switch output direction: a dimension and a travel sign.
+///
+/// In the 2-D mesh figures of the paper, dimension 0 is the X (column)
+/// axis and dimension 1 the Y (row) axis, so `{dim: 0, sign: Plus}` is
+/// "east", `{dim: 0, sign: Minus}` is "west", and so on — the vocabulary
+/// used by the turn-model routing algorithms (west-first, §3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Direction {
+    /// Dimension index, `< Topology::ndims()`.
+    pub dim: u8,
+    /// Travel sign along that dimension.
+    pub sign: Sign,
+}
+
+impl Direction {
+    /// Positive direction along `dim`.
+    #[must_use]
+    pub fn plus(dim: usize) -> Self {
+        Self {
+            dim: dim as u8,
+            sign: Sign::Plus,
+        }
+    }
+
+    /// Negative direction along `dim`.
+    #[must_use]
+    pub fn minus(dim: usize) -> Self {
+        Self {
+            dim: dim as u8,
+            sign: Sign::Minus,
+        }
+    }
+
+    /// Dimension as `usize` for indexing.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim as usize
+    }
+
+    /// The reverse direction (same dimension, opposite sign).
+    #[must_use]
+    pub fn reverse(&self) -> Self {
+        Self {
+            dim: self.dim,
+            sign: self.sign.flip(),
+        }
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self.sign {
+            Sign::Plus => '+',
+            Sign::Minus => '-',
+        };
+        write!(f, "{s}d{}", self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sign_delta() {
+        assert_eq!(Sign::Plus.delta(), 1);
+        assert_eq!(Sign::Minus.delta(), -1);
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        assert_eq!(Sign::Plus.flip(), Sign::Minus);
+        assert_eq!(Sign::Minus.flip().flip(), Sign::Minus);
+    }
+
+    #[test]
+    fn reverse_is_involution() {
+        let d = Direction::plus(2);
+        assert_eq!(d.reverse(), Direction::minus(2));
+        assert_eq!(d.reverse().reverse(), d);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Direction::plus(0).to_string(), "+d0");
+        assert_eq!(Direction::minus(3).to_string(), "-d3");
+    }
+}

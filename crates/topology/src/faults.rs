@@ -1,0 +1,153 @@
+//! Link-fault sets.
+//!
+//! Figure 2 of the paper motivates adaptive routing with failed links
+//! ("there are two small blocks on the right side of sources, meaning that
+//! those links failed for some reasons"). A [`FaultSet`] is an undirected
+//! set of dead links; routing algorithms and the simulator consult it when
+//! enumerating candidate output ports.
+
+use crate::coord::Coord;
+use crate::topology::{NodeId, Topology};
+use std::collections::HashSet;
+
+/// An undirected set of failed links, stored as normalised
+/// `(min NodeId, max NodeId)` pairs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSet {
+    dead: HashSet<(NodeId, NodeId)>,
+}
+
+impl FaultSet {
+    /// The empty fault set (a healthy network).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    fn key(topo: &Topology, a: &Coord, b: &Coord) -> (NodeId, NodeId) {
+        let (ia, ib) = (topo.index(a), topo.index(b));
+        if ia <= ib {
+            (ia, ib)
+        } else {
+            (ib, ia)
+        }
+    }
+
+    /// Marks the link between neighbouring nodes `a` and `b` as failed.
+    ///
+    /// # Panics
+    /// Panics if `a` and `b` are not neighbours (a fault must name a real
+    /// link).
+    pub fn add(&mut self, topo: &Topology, a: &Coord, b: &Coord) {
+        assert!(
+            topo.neighbors(a).iter().any(|(_, nb)| nb == b),
+            "{a} and {b} are not neighbours; cannot fail a non-existent link"
+        );
+        self.dead.insert(Self::key(topo, a, b));
+    }
+
+    /// Restores a previously failed link. Returns true if it was failed.
+    pub fn remove(&mut self, topo: &Topology, a: &Coord, b: &Coord) -> bool {
+        self.dead.remove(&Self::key(topo, a, b))
+    }
+
+    /// True if the link `a — b` is failed.
+    #[must_use]
+    pub fn is_faulty(&self, topo: &Topology, a: &Coord, b: &Coord) -> bool {
+        !self.dead.is_empty() && self.dead.contains(&Self::key(topo, a, b))
+    }
+
+    /// Number of failed links.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dead.len()
+    }
+
+    /// True if no link is failed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dead.is_empty()
+    }
+
+    /// Fails each link of the topology independently with probability
+    /// `rate`, using the caller-supplied uniform samples for determinism.
+    ///
+    /// `sampler` is called once per undirected link and must return a
+    /// uniform value in `[0, 1)` (pass a closure over an RNG).
+    pub fn random(topo: &Topology, rate: f64, mut sampler: impl FnMut() -> f64) -> Self {
+        let mut out = Self::none();
+        for a in topo.all_nodes() {
+            let ia = topo.index(&a);
+            for (_, b) in topo.neighbors(&a) {
+                let ib = topo.index(&b);
+                if ia < ib && sampler() < rate {
+                    out.dead.insert((ia, ib));
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterator over failed links as `(NodeId, NodeId)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.dead.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_undirected() {
+        let topo = Topology::mesh2d(4);
+        let a = Coord::new(&[1, 1]);
+        let b = Coord::new(&[1, 2]);
+        let mut f = FaultSet::none();
+        f.add(&topo, &a, &b);
+        assert!(f.is_faulty(&topo, &a, &b));
+        assert!(f.is_faulty(&topo, &b, &a));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn remove_restores() {
+        let topo = Topology::mesh2d(4);
+        let a = Coord::new(&[0, 0]);
+        let b = Coord::new(&[0, 1]);
+        let mut f = FaultSet::none();
+        f.add(&topo, &a, &b);
+        assert!(f.remove(&topo, &a, &b));
+        assert!(!f.is_faulty(&topo, &a, &b));
+        assert!(!f.remove(&topo, &a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "not neighbours")]
+    fn add_rejects_non_links() {
+        let topo = Topology::mesh2d(4);
+        let mut f = FaultSet::none();
+        f.add(&topo, &Coord::new(&[0, 0]), &Coord::new(&[2, 2]));
+    }
+
+    #[test]
+    fn random_rate_zero_and_one() {
+        let topo = Topology::mesh2d(4);
+        let f0 = FaultSet::random(&topo, 0.0, || 0.5);
+        assert!(f0.is_empty());
+        let f1 = FaultSet::random(&topo, 1.1, || 0.999);
+        // 4x4 mesh has 2*4*3 = 24 links.
+        assert_eq!(f1.len(), 24);
+    }
+
+    #[test]
+    fn duplicate_add_is_idempotent() {
+        let topo = Topology::torus(&[4, 4]);
+        let a = Coord::new(&[3, 0]);
+        let b = Coord::new(&[0, 0]);
+        let mut f = FaultSet::none();
+        f.add(&topo, &a, &b);
+        f.add(&topo, &b, &a);
+        assert_eq!(f.len(), 1);
+    }
+}

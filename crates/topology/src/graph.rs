@@ -1,0 +1,172 @@
+//! Graph algorithms over topologies: BFS distances, diameter, and
+//! connectivity under link faults.
+//!
+//! These provide ground truth against which the closed-form diameter and
+//! minimal-hop formulas of §3 are validated (Fig. 1 reproduction), and the
+//! reachability checks behind the Fig. 2 routing scenarios.
+
+use crate::coord::Coord;
+use crate::faults::FaultSet;
+use crate::topology::{NodeId, Topology};
+use std::collections::VecDeque;
+
+/// BFS hop distances from `start` to every node, avoiding faulty links.
+///
+/// Unreachable nodes get `u32::MAX`.
+#[must_use]
+pub fn bfs_distances(topo: &Topology, start: &Coord, faults: &FaultSet) -> Vec<u32> {
+    let n = topo.num_nodes() as usize;
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::with_capacity(n);
+    let s = topo.index(start).as_usize();
+    dist[s] = 0;
+    queue.push_back(*start);
+    while let Some(cur) = queue.pop_front() {
+        let dcur = dist[topo.index(&cur).as_usize()];
+        for (_, nb) in topo.neighbors(&cur) {
+            if faults.is_faulty(topo, &cur, &nb) {
+                continue;
+            }
+            let i = topo.index(&nb).as_usize();
+            if dist[i] == u32::MAX {
+                dist[i] = dcur + 1;
+                queue.push_back(nb);
+            }
+        }
+    }
+    dist
+}
+
+/// Exact diameter by all-pairs BFS (O(V·E)); used to validate the §3
+/// closed forms in tests and the Fig. 1 report.
+#[must_use]
+pub fn diameter_by_bfs(topo: &Topology) -> u32 {
+    let faults = FaultSet::none();
+    let mut max = 0;
+    for c in topo.all_nodes() {
+        let d = bfs_distances(topo, &c, &faults);
+        for v in d {
+            assert_ne!(v, u32::MAX, "topology must be connected");
+            max = max.max(v);
+        }
+    }
+    max
+}
+
+/// Size of the connected component containing `start` under `faults`.
+#[must_use]
+pub fn connected_component_size(topo: &Topology, start: &Coord, faults: &FaultSet) -> usize {
+    bfs_distances(topo, start, faults)
+        .iter()
+        .filter(|&&d| d != u32::MAX)
+        .count()
+}
+
+/// BFS parent tree from `start`; `parents[i]` is the predecessor of node
+/// `i` on one shortest path, or `None` for `start`/unreachable nodes.
+#[must_use]
+pub fn bfs_parents(topo: &Topology, start: &Coord, faults: &FaultSet) -> Vec<Option<NodeId>> {
+    let n = topo.num_nodes() as usize;
+    let mut dist = vec![u32::MAX; n];
+    let mut parent: Vec<Option<NodeId>> = vec![None; n];
+    let mut queue = VecDeque::with_capacity(n);
+    let s = topo.index(start);
+    dist[s.as_usize()] = 0;
+    queue.push_back(*start);
+    while let Some(cur) = queue.pop_front() {
+        let cur_id = topo.index(&cur);
+        let dcur = dist[cur_id.as_usize()];
+        for (_, nb) in topo.neighbors(&cur) {
+            if faults.is_faulty(topo, &cur, &nb) {
+                continue;
+            }
+            let i = topo.index(&nb).as_usize();
+            if dist[i] == u32::MAX {
+                dist[i] = dcur + 1;
+                parent[i] = Some(cur_id);
+                queue.push_back(nb);
+            }
+        }
+    }
+    parent
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_form_diameters_match_bfs() {
+        for topo in [
+            Topology::mesh2d(4),
+            Topology::mesh(&[3, 5]),
+            Topology::torus(&[4, 4]),
+            Topology::torus(&[5, 3]),
+            Topology::hypercube(4),
+        ] {
+            assert_eq!(
+                topo.diameter(),
+                diameter_by_bfs(&topo),
+                "diameter formula wrong for {topo}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_hops_matches_bfs() {
+        let faults = FaultSet::none();
+        for topo in [
+            Topology::mesh2d(4),
+            Topology::torus(&[4, 4]),
+            Topology::hypercube(3),
+        ] {
+            for a in topo.all_nodes() {
+                let d = bfs_distances(&topo, &a, &faults);
+                for b in topo.all_nodes() {
+                    assert_eq!(
+                        topo.min_hops(&a, &b),
+                        d[topo.index(&b).as_usize()],
+                        "min_hops wrong for {topo}: {a} -> {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faults_disconnect() {
+        // Cutting both links of a 2x2 mesh corner isolates it.
+        let topo = Topology::mesh2d(2);
+        let mut faults = FaultSet::none();
+        faults.add(&topo, &Coord::new(&[0, 0]), &Coord::new(&[0, 1]));
+        faults.add(&topo, &Coord::new(&[0, 0]), &Coord::new(&[1, 0]));
+        assert_eq!(
+            connected_component_size(&topo, &Coord::new(&[0, 0]), &faults),
+            1
+        );
+        assert_eq!(
+            connected_component_size(&topo, &Coord::new(&[1, 1]), &faults),
+            3
+        );
+    }
+
+    #[test]
+    fn parents_form_shortest_paths() {
+        let topo = Topology::mesh2d(4);
+        let faults = FaultSet::none();
+        let start = Coord::new(&[0, 0]);
+        let parents = bfs_parents(&topo, &start, &faults);
+        let dist = bfs_distances(&topo, &start, &faults);
+        for c in topo.all_nodes() {
+            let mut cur = topo.index(&c);
+            let mut hops = 0;
+            while let Some(p) = parents[cur.as_usize()] {
+                cur = p;
+                hops += 1;
+                assert!(hops <= topo.diameter());
+            }
+            assert_eq!(cur, topo.index(&start));
+            assert_eq!(hops, dist[topo.index(&c).as_usize()]);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Reflected binary (Gray) codes.
+//!
+//! The worked example of §4.2 / Fig. 3(a) labels the 16 nodes of a 4×4
+//! mesh with 4-bit strings (`0001`, `0011`, `0110`, `1110`, …) such that
+//! physically adjacent nodes differ in exactly one bit — i.e. each 2-bit
+//! half of the label is the *Gray code* of the corresponding coordinate.
+//! ("Since there is only one bit difference between neighboring nodes, the
+//! XOR value always has only one bit set to one", §4.2.)
+//!
+//! This module provides the encoding so the Fig. 3(a) reproduction can
+//! print the exact labels the paper uses.
+
+use crate::coord::Coord;
+use crate::topology::Topology;
+
+/// Gray code of `x`.
+#[must_use]
+pub fn gray_encode(x: u32) -> u32 {
+    x ^ (x >> 1)
+}
+
+/// Inverse Gray code (prefix XOR).
+#[must_use]
+pub fn gray_decode(g: u32) -> u32 {
+    let mut x = g;
+    let mut shift = 1;
+    while (g >> shift) != 0 {
+        x ^= g >> shift;
+        shift += 1;
+    }
+    x
+}
+
+/// Bits needed to Gray-label one dimension of radix `k`.
+#[must_use]
+pub fn bits_for_radix(k: u16) -> u32 {
+    debug_assert!(k >= 2);
+    u32::from(k - 1).ilog2() + 1
+}
+
+/// Gray-coded node label: each coordinate is Gray-encoded into
+/// `⌈log2 k_i⌉` bits and the per-dimension fields are concatenated,
+/// dimension 0 most significant — the labelling of Fig. 3(a).
+///
+/// # Panics
+/// Panics if `c` is not a node of `topo`.
+#[must_use]
+pub fn gray_label(topo: &Topology, c: &Coord) -> u32 {
+    assert!(topo.contains(c), "{c} is not a node");
+    let dims = topo.dims();
+    let mut label = 0u32;
+    for (d, &k) in dims.iter().enumerate() {
+        let bits = bits_for_radix(k);
+        label = (label << bits) | gray_encode(c.get(d) as u32);
+    }
+    label
+}
+
+/// Total label width in bits for `topo`.
+#[must_use]
+pub fn gray_label_bits(topo: &Topology) -> u32 {
+    topo.dims().iter().map(|&k| bits_for_radix(k)).sum()
+}
+
+/// Renders a Gray label as a fixed-width binary string, e.g. `0110`.
+#[must_use]
+pub fn gray_label_string(topo: &Topology, c: &Coord) -> String {
+    let bits = gray_label_bits(topo) as usize;
+    let label = gray_label(topo, c);
+    format!("{label:0width$b}", width = bits)
+}
+
+/// Looks a node up by its Gray label. Returns `None` if no node carries
+/// the label (possible when a radix is not a power of two).
+#[must_use]
+pub fn node_from_gray_label(topo: &Topology, label: u32) -> Option<Coord> {
+    let dims = topo.dims();
+    let mut rem = label;
+    let mut vals = vec![0i16; dims.len()];
+    for d in (0..dims.len()).rev() {
+        let bits = bits_for_radix(dims[d]);
+        let mask = (1u32 << bits) - 1;
+        let v = gray_decode(rem & mask);
+        rem >>= bits;
+        if v >= u32::from(dims[d]) {
+            return None;
+        }
+        vals[d] = v as i16;
+    }
+    if rem != 0 {
+        return None;
+    }
+    let c = Coord::new(&vals);
+    topo.contains(&c).then_some(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gray_roundtrip() {
+        for x in 0..1024 {
+            assert_eq!(gray_decode(gray_encode(x)), x);
+        }
+    }
+
+    #[test]
+    fn consecutive_gray_codes_differ_by_one_bit() {
+        for x in 0..255u32 {
+            let diff = gray_encode(x) ^ gray_encode(x + 1);
+            assert_eq!(diff.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn paper_fig3a_labels() {
+        // Decode the node labels used in the §4.2 example on the 4×4 mesh:
+        // the attack paths are 0001→0011→0010→0110→1110 and
+        // 0101→0111→0110→1110, all single mesh hops.
+        let topo = Topology::mesh2d(4);
+        let path1: Vec<u32> = vec![0b0001, 0b0011, 0b0010, 0b0110, 0b1110];
+        let coords: Vec<Coord> = path1
+            .iter()
+            .map(|&l| node_from_gray_label(&topo, l).expect("valid label"))
+            .collect();
+        for w in coords.windows(2) {
+            assert_eq!(
+                topo.min_hops(&w[0], &w[1]),
+                1,
+                "paper path must be single hops: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+        // And the labels round-trip.
+        for (l, c) in path1.iter().zip(&coords) {
+            assert_eq!(gray_label(&topo, c), *l);
+        }
+        // Victim 1110 and second source 0101 are nodes too.
+        assert!(node_from_gray_label(&topo, 0b1110).is_some());
+        let path2: Vec<u32> = vec![0b0101, 0b0111, 0b0110, 0b1110];
+        let coords2: Vec<Coord> = path2
+            .iter()
+            .map(|&l| node_from_gray_label(&topo, l).unwrap())
+            .collect();
+        for w in coords2.windows(2) {
+            assert_eq!(topo.min_hops(&w[0], &w[1]), 1);
+        }
+    }
+
+    #[test]
+    fn label_strings_are_fixed_width() {
+        let topo = Topology::mesh2d(4);
+        assert_eq!(gray_label_bits(&topo), 4);
+        let c = node_from_gray_label(&topo, 0b0001).unwrap();
+        assert_eq!(gray_label_string(&topo, &c), "0001");
+    }
+
+    #[test]
+    fn all_nodes_have_unique_labels() {
+        for topo in [
+            Topology::mesh2d(4),
+            Topology::mesh2d(8),
+            Topology::hypercube(4),
+        ] {
+            let mut seen = std::collections::HashSet::new();
+            for c in topo.all_nodes() {
+                assert!(seen.insert(gray_label(&topo, &c)), "duplicate label");
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_radix_rejects_bad_labels() {
+        let topo = Topology::mesh(&[3, 3]);
+        // Label with per-dim value 3 (gray 10) is out of range for k=3…
+        // gray_encode(3) = 0b10; radix 3 needs 2 bits; value 3 >= 3 -> None.
+        let bad = (0b10 << 2) | 0b10; // (3, 3)
+        assert_eq!(node_from_gray_label(&topo, bad), None);
+    }
+}

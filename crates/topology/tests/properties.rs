@@ -1,0 +1,138 @@
+//! Property-based tests for the topology substrate.
+//!
+//! These pin down the invariants every marking scheme relies on:
+//! index/coordinate bijectivity, neighbour symmetry, hop-displacement
+//! correctness, and — most importantly — that distance-vector
+//! accumulation along *arbitrary* walks (the adaptive-routing model of
+//! §4.1: "the route is not stable") always lets the endpoint recover the
+//! walk's origin.
+
+use ddpm_topology::{bfs_distances, Coord, FaultSet, NodeId, Topology};
+use proptest::prelude::*;
+
+/// Strategy producing a varied topology plus its node count.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (2u16..=8, 2u16..=8).prop_map(|(a, b)| Topology::mesh(&[a, b])),
+        (2u16..=5, 2u16..=5, 2u16..=5).prop_map(|(a, b, c)| Topology::mesh(&[a, b, c])),
+        (2u16..=8, 2u16..=8).prop_map(|(a, b)| Topology::torus(&[a, b])),
+        (2u16..=4, 2u16..=4, 2u16..=4).prop_map(|(a, b, c)| Topology::torus(&[a, b, c])),
+        (1usize..=8).prop_map(Topology::hypercube),
+    ]
+}
+
+fn arb_topology_and_node() -> impl Strategy<Value = (Topology, Coord)> {
+    arb_topology().prop_flat_map(|t| {
+        let n = t.num_nodes() as u32;
+        (Just(t), 0..n).prop_map(|(t, i)| {
+            let c = t.coord(NodeId(i));
+            (t, c)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn index_coord_bijection((topo, c) in arb_topology_and_node()) {
+        let id = topo.index(&c);
+        prop_assert_eq!(topo.coord(id), c);
+        prop_assert!(id.0 < topo.num_nodes() as u32);
+    }
+
+    #[test]
+    fn neighbor_relation_symmetric((topo, c) in arb_topology_and_node()) {
+        for (_, nb) in topo.neighbors(&c) {
+            prop_assert!(topo.contains(&nb));
+            prop_assert!(
+                topo.neighbors(&nb).iter().any(|(_, back)| *back == c),
+                "asymmetric neighbourship {} / {}", c, nb
+            );
+            prop_assert_eq!(topo.min_hops(&c, &nb), 1);
+        }
+    }
+
+    #[test]
+    fn degree_bound((topo, c) in arb_topology_and_node()) {
+        prop_assert!(topo.neighbors(&c).len() <= topo.degree());
+    }
+
+    #[test]
+    fn min_hops_matches_bfs_from_node((topo, c) in arb_topology_and_node()) {
+        let dist = bfs_distances(&topo, &c, &FaultSet::none());
+        for other in topo.all_nodes() {
+            prop_assert_eq!(
+                topo.min_hops(&c, &other),
+                dist[topo.index(&other).as_usize()]
+            );
+        }
+    }
+
+    #[test]
+    fn random_walk_source_recovery(
+        (topo, src) in arb_topology_and_node(),
+        steps in proptest::collection::vec(0usize..64, 1..40)
+    ) {
+        // Walk anywhere (revisits allowed, non-minimal allowed) while
+        // accumulating the DDPM distance vector; the origin must be
+        // recoverable from every intermediate node. This is the paper's
+        // central claim: "Regardless of the routing algorithm used, the
+        // final distance vector V should be the exact difference from the
+        // source to the destination" (§5).
+        let mut cur = src;
+        let mut v = Coord::zero(topo.ndims());
+        for pick in steps {
+            let nbs = topo.neighbors(&cur);
+            let next = nbs[pick % nbs.len()].1;
+            let delta = topo.hop_displacement(&cur, &next).unwrap();
+            v = topo.accumulate(&v, &delta);
+            cur = next;
+            prop_assert_eq!(topo.source_from_distance(&cur, &v), Some(src));
+        }
+        // The accumulated vector equals the canonical expected distance.
+        prop_assert_eq!(v, topo.expected_distance(&src, &cur));
+    }
+
+    #[test]
+    fn expected_distance_within_field_bounds((topo, a) in arb_topology_and_node()) {
+        // Canonical distances stay within the per-dimension bound that the
+        // marking-field codecs assume: |v_i| <= k_i - 1 on the mesh,
+        // |v_i| <= ceil(k_i/2) on the torus, v_i in {0,1} on the cube.
+        for b in topo.all_nodes() {
+            let v = topo.expected_distance(&a, &b);
+            for (d, &k) in topo.dims().iter().enumerate() {
+                let bound = match topo.kind() {
+                    ddpm_topology::TopologyKind::Mesh => i32::from(k) - 1,
+                    ddpm_topology::TopologyKind::Torus => (i32::from(k) + 1) / 2,
+                    ddpm_topology::TopologyKind::Hypercube => 1,
+                };
+                prop_assert!(i32::from(v.get(d)).abs() <= bound,
+                    "{}: component {} of {} exceeds bound {}", topo, d, v, bound);
+            }
+        }
+    }
+
+    #[test]
+    fn gray_labels_bijective(topo in prop_oneof![
+        (1u16..=4).prop_map(|p| Topology::mesh2d(1 << p)),
+        (1usize..=8).prop_map(Topology::hypercube),
+    ]) {
+        use ddpm_topology::gray::{gray_label, node_from_gray_label};
+        for c in topo.all_nodes() {
+            let l = gray_label(&topo, &c);
+            prop_assert_eq!(node_from_gray_label(&topo, l), Some(c));
+        }
+    }
+
+    #[test]
+    fn random_faults_respect_rate_extremes(topo in arb_topology()) {
+        let all = FaultSet::random(&topo, 2.0, || 0.0);
+        let none = FaultSet::random(&topo, 0.0, || 0.0);
+        prop_assert!(none.is_empty());
+        // Every link failed: each node has zero usable neighbours.
+        let start = topo.coord(NodeId(0));
+        prop_assert_eq!(
+            ddpm_topology::connected_component_size(&topo, &start, &all),
+            1
+        );
+    }
+}

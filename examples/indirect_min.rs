@@ -1,0 +1,84 @@
+//! Source identification on an indirect network — the §6.3 extension.
+//!
+//! ```text
+//! cargo run --release --example indirect_min
+//! ```
+//!
+//! The paper closes by noting that its scheme "is limited to direct
+//! networks" and that indirect networks (crossbars, Multistage
+//! Interconnection Networks) "may need a completely different
+//! approach". This example runs that approach: on a radix-4 butterfly,
+//! switches record the *input port* a packet arrives on at each stage;
+//! in a butterfly the stage-i input port is exactly digit i of the
+//! source terminal, so the marking field spells the true source on
+//! delivery — single-packet identification, carried over to MINs.
+
+use ddpm::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    // A 4-ary 4-fly: 256 terminals, 4 stages of 64 radix-4 switches.
+    let fly = Butterfly::new(4, 4);
+    let scheme = PortMarking::new(fly).expect("4*2 = 8 marking bits fit easily");
+    println!(
+        "fabric: {fly}; stage-port marking uses {} of 16 MF bits",
+        scheme.bits_used()
+    );
+
+    // Address pool for headers (any pool of >= 256 addresses works).
+    let pool = Topology::mesh2d(16);
+    let map = AddrMap::for_topology(&pool);
+
+    // Three compromised terminals flood terminal 200, every header
+    // spoofed with a fresh random address.
+    let zombies = [NodeId(17), NodeId(99), NodeId(244)];
+    let victim = NodeId(200);
+    let mut rng = SmallRng::seed_from_u64(2004);
+    let mut sim = MinSimulation::new(fly, scheme);
+    let mut id = 0u64;
+    for &z in &zombies {
+        for k in 0..200u64 {
+            let spoof = NodeId(rng.gen_range(0..256));
+            let pkt = Packet {
+                id: PacketId(id),
+                header: Ipv4Header::new(map.ip_of(spoof), map.ip_of(victim), Protocol::Udp, 512),
+                l4: L4::udp(4444, 7),
+                true_source: z,
+                dest_node: victim,
+                class: TrafficClass::Attack,
+            };
+            sim.schedule(SimTime(k * 6), pkt);
+            id += 1;
+        }
+    }
+    let stats = sim.run();
+    println!(
+        "flood: {} injected, {} delivered, {} dropped at full buffers",
+        stats.attack.injected, stats.attack.delivered, stats.attack.dropped_buffer
+    );
+
+    // The victim reads the marking field of each packet.
+    let mut census = std::collections::HashMap::new();
+    for d in sim.delivered() {
+        let src = scheme.identify(d.packet.header.identification);
+        assert_eq!(src, d.packet.true_source, "identification is exact");
+        *census.entry(src).or_insert(0u64) += 1;
+    }
+    println!("\nidentified sources (from marking fields alone):");
+    let mut rows: Vec<(NodeId, u64)> = census.into_iter().collect();
+    rows.sort_by_key(|&(n, c)| (std::cmp::Reverse(c), n));
+    for (node, count) in &rows {
+        println!("  terminal {node}: {count} packets");
+    }
+    let found: Vec<NodeId> = rows.iter().map(|&(n, _)| n).collect();
+    let mut expected = zombies.to_vec();
+    expected.sort();
+    let mut sorted = found.clone();
+    sorted.sort();
+    assert_eq!(sorted, expected);
+    println!(
+        "\nall {} zombies identified; no innocent implicated.",
+        zombies.len()
+    );
+}

@@ -1,0 +1,178 @@
+//! SYN-flood traceback and mitigation: the full §1–§2 pipeline.
+//!
+//! ```text
+//! cargo run --release --example syn_flood_traceback
+//! ```
+//!
+//! Five compromised nodes SYN-flood a service node on an 8×8 torus with
+//! spoofed in-cluster addresses, denying service to legitimate clients
+//! (the half-open table fills). The victim detects the flood, uses DDPM
+//! to identify the zombies, and quarantines them at their own switches;
+//! the replay shows service restored with zero collateral damage.
+
+use ddpm::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Feed the victim's delivered stream through the TCP model and the
+/// detectors; returns (table, entropy verdict, half-open verdict).
+fn victim_stack(
+    delivered: &[Delivered],
+    victim: NodeId,
+) -> (HalfOpenTable, DetectionVerdict, DetectionVerdict) {
+    let mut table = HalfOpenTable::new(128, 2_000);
+    let mut entropy = EntropyDetector::new(64, 4.5);
+    let mut halfopen = SynHalfOpenDetector::new(96);
+    for d in delivered {
+        if d.packet.dest_node != victim {
+            continue;
+        }
+        table.on_packet(&d.packet, d.delivered_at);
+        entropy.observe(&d.packet, d.delivered_at);
+        halfopen.observe(&table, d.delivered_at);
+    }
+    (table, entropy.verdict(), halfopen.verdict())
+}
+
+fn main() {
+    let topo = Topology::torus(&[8, 8]);
+    let faults = FaultSet::none();
+    let router = Router::fully_adaptive_for(&topo);
+    let map = AddrMap::for_topology(&topo);
+    let scheme = DdpmScheme::new(&topo).expect("fits");
+    let victim = NodeId(27);
+    let zombies = [NodeId(3), NodeId(12), NodeId(40), NodeId(55), NodeId(61)];
+    let clients = [NodeId(5), NodeId(18), NodeId(33), NodeId(48)];
+
+    // Build one workload used by both phases: benign clients opening
+    // connections + background chatter + the flood.
+    let mut factory = PacketFactory::new(map.clone());
+    let mut rng = SmallRng::seed_from_u64(41);
+    let mut workload =
+        BackgroundTraffic::uniform(24, 8_000).generate(&topo, &mut factory, &mut rng);
+    for (i, c) in clients.iter().enumerate() {
+        for k in 0..120u64 {
+            let l4 = L4::tcp_syn(3000 + k as u16, 80, k as u32);
+            workload.push((
+                SimTime(k * 60 + i as u64 * 17),
+                factory.benign(*c, victim, l4, 40),
+            ));
+        }
+    }
+    let flood = SynFloodAttack {
+        start: SimTime(1_500),
+        interval: 6,
+        syns_per_zombie: 600,
+        ..SynFloodAttack::new(zombies.to_vec(), victim)
+    };
+    workload.extend(flood.generate(&mut factory, &mut rng));
+
+    let run = |quarantine: Option<&SourceQuarantine>| {
+        let default_q = SourceQuarantine::new();
+        let q = quarantine.unwrap_or(&default_q);
+        let mut sim = Simulation::with_filter(
+            &topo,
+            &faults,
+            router,
+            SelectionPolicy::ProductiveFirstRandom,
+            &scheme,
+            q,
+            SimConfig {
+                buffer_packets: 64,
+                ..SimConfig::seeded(41)
+            },
+        );
+        for (t, p) in &workload {
+            sim.schedule(*t, *p);
+        }
+        let stats = sim.run();
+        (stats, sim.into_delivered())
+    };
+
+    // ---- Phase A: undefended -------------------------------------
+    println!("== Phase A: attack, no defence ==");
+    let (stats_a, delivered_a) = run(None);
+    let (table_a, entropy_a, halfopen_a) = victim_stack(&delivered_a, victim);
+    println!(
+        "attack SYNs delivered to victim: {}   benign packets delivered: {}",
+        stats_a.attack.delivered, stats_a.benign.delivered
+    );
+    println!(
+        "benign connection attempts rejected (service denied): {} of {}",
+        table_a.rejected_benign,
+        table_a.rejected_benign + table_a.accepted
+    );
+    println!("entropy detector : {entropy_a:?}");
+    println!("half-open detector: {halfopen_a:?}");
+    assert!(
+        entropy_a.is_alarm() || halfopen_a.is_alarm(),
+        "flood must be detected"
+    );
+
+    // ---- Identification -------------------------------------------
+    let census = attack_census(&topo, &scheme, &delivered_a);
+    let mut heavy: Vec<(NodeId, u64)> = census.into_iter().filter(|&(_, c)| c >= 50).collect();
+    heavy.sort_by_key(|&(n, c)| (std::cmp::Reverse(c), n));
+    println!("\n== DDPM identification ==");
+    for (node, count) in &heavy {
+        println!("  {node} at {}: {count} attack packets", topo.coord(*node));
+    }
+    let identified: Vec<NodeId> = heavy.iter().map(|&(n, _)| n).collect();
+    let mut sorted = identified.clone();
+    sorted.sort();
+    let mut truth = zombies.to_vec();
+    truth.sort();
+    assert_eq!(sorted, truth, "identified set must equal the true zombies");
+    println!(
+        "identified = ground truth: all {} zombies, no innocents",
+        truth.len()
+    );
+
+    // ---- Phase B: quarantine -------------------------------------
+    println!("\n== Phase B: zombies quarantined at their switches ==");
+    let quarantine = SourceQuarantine::new();
+    for n in &identified {
+        quarantine.block(topo.coord(*n));
+    }
+    let (stats_b, delivered_b) = run(Some(&quarantine));
+    let (table_b, _, _) = victim_stack(&delivered_b, victim);
+    println!(
+        "attack SYNs delivered to victim: {} (was {})",
+        stats_b.attack.delivered, stats_a.attack.delivered
+    );
+    println!(
+        "benign packets delivered: {} (was {})",
+        stats_b.benign.delivered, stats_a.benign.delivered
+    );
+    println!(
+        "benign connection attempts rejected: {} (was {})",
+        table_b.rejected_benign, table_a.rejected_benign
+    );
+    assert_eq!(
+        stats_b.attack.delivered, 0,
+        "quarantine kills the flood at source"
+    );
+    assert!(table_b.rejected_benign < table_a.rejected_benign);
+    // The only filtered benign traffic is what the quarantined machines
+    // themselves generate — the intended effect of quarantining a
+    // compromised host, not misattribution. No *innocent* node loses
+    // traffic.
+    let innocent_benign_a = delivered_a
+        .iter()
+        .filter(|d| {
+            d.packet.class == TrafficClass::Benign && !zombies.contains(&d.packet.true_source)
+        })
+        .count();
+    let innocent_benign_b = delivered_b
+        .iter()
+        .filter(|d| {
+            d.packet.class == TrafficClass::Benign && !zombies.contains(&d.packet.true_source)
+        })
+        .count();
+    println!(
+        "\nservice restored. Benign traffic of quarantined machines filtered: {};\n\
+         benign traffic of innocent nodes: {} before vs {} after (>= before: congestion relief)",
+        stats_b.benign.dropped_filtered, innocent_benign_a, innocent_benign_b
+    );
+    assert!(innocent_benign_b >= innocent_benign_a);
+}

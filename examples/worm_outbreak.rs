@@ -1,0 +1,134 @@
+//! Worm outbreak: tracing an epidemic back to patient zero.
+//!
+//! ```text
+//! cargo run --release --example worm_outbreak
+//! ```
+//!
+//! The paper's second-generation attack (§1): a scanning worm spreads
+//! exponentially through a 64-node cluster, each infected node probing
+//! random targets behind spoofed addresses. Every probed node can use
+//! DDPM to identify who probed it — so the infection *graph* (who
+//! infected whom, round by round) is reconstructible, all the way back
+//! to the seed, even though every probe lies about its source address.
+
+use ddpm::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+fn main() {
+    let topo = Topology::mesh2d(8);
+    let faults = FaultSet::none();
+    let map = AddrMap::for_topology(&topo);
+    let scheme = DdpmScheme::new(&topo).expect("fits");
+    let seed_node = NodeId(21);
+
+    // Generate the epidemic: 1 seed, 4 scans per round, 10 rounds.
+    let mut factory = PacketFactory::new(map.clone());
+    let mut rng = SmallRng::seed_from_u64(1988);
+    let worm = WormOutbreak {
+        rounds: 10,
+        ..WormOutbreak::new(seed_node, topo.num_nodes() as u32)
+    };
+    let trace = worm.generate(&mut factory, &mut rng);
+    println!("infection curve (nodes infected at the start of each round):");
+    for (r, n) in trace.infected_per_round.iter().enumerate() {
+        println!("  round {r:2}: {n:3} {}", "#".repeat(*n as usize));
+    }
+
+    // Push the probe traffic through the adaptively routed network.
+    let mut sim = Simulation::new(
+        &topo,
+        &faults,
+        Router::MinimalAdaptive,
+        SelectionPolicy::Random,
+        &scheme,
+        SimConfig::seeded(1988),
+    );
+    for (t, p) in &trace.workload {
+        sim.schedule(*t, *p);
+    }
+    let stats = sim.run();
+    println!(
+        "\nworm probes: {} injected, {} delivered",
+        stats.attack.injected, stats.attack.delivered
+    );
+
+    // Every probed node identifies its prober via DDPM — assemble the
+    // who-probed-whom graph and count spoofing.
+    let mut probed_by: HashMap<NodeId, HashSet<NodeId>> = HashMap::new();
+    let mut spoofed = 0u64;
+    for d in sim.delivered() {
+        let dest = topo.coord(d.packet.dest_node);
+        let prober = scheme
+            .identify_node(&topo, &dest, d.packet.header.identification)
+            .expect("DDPM identifies every probe");
+        assert_eq!(prober, d.packet.true_source, "identification is exact");
+        probed_by
+            .entry(d.packet.dest_node)
+            .or_default()
+            .insert(prober);
+        if d.packet.is_spoofed(&map) {
+            spoofed += 1;
+        }
+    }
+    println!(
+        "{spoofed} of {} delivered probes were spoofed — and all were still attributed correctly",
+        stats.attack.delivered
+    );
+
+    // Forensics from victim-side evidence alone. Two observations:
+    //
+    // * the prober of the earliest delivered probe in the whole epidemic
+    //   must already have been infected at round 0 — that is patient
+    //   zero;
+    // * each node's *first* received probe came from a node infected in
+    //   an earlier round, so following first-probe edges backward walks
+    //   the infection tree toward the seed, with strictly decreasing
+    //   infection rounds (no cycles possible).
+    let mut first_in: HashMap<NodeId, (SimTime, NodeId)> = HashMap::new();
+    let mut patient_zero = (SimTime(u64::MAX), seed_node);
+    for d in sim.delivered() {
+        let dest = topo.coord(d.packet.dest_node);
+        let prober = scheme
+            .identify_node(&topo, &dest, d.packet.header.identification)
+            .expect("identifies");
+        let e = first_in
+            .entry(d.packet.dest_node)
+            .or_insert((d.delivered_at, prober));
+        if d.delivered_at < e.0 {
+            *e = (d.delivered_at, prober);
+        }
+        if d.delivered_at < patient_zero.0 {
+            patient_zero = (d.delivered_at, prober);
+        }
+    }
+    println!(
+        "\npatient zero (prober of the first probe ever delivered): {} (ground truth: {seed_node})",
+        patient_zero.1
+    );
+    assert_eq!(patient_zero.1, seed_node);
+
+    // Walk one infection chain backward to the seed.
+    let mut cursor = *trace.infected.last().expect("someone is infected");
+    let mut chain = vec![cursor];
+    while cursor != seed_node {
+        let (_, prober) = first_in[&cursor];
+        assert!(
+            !chain.contains(&prober),
+            "first-probe edges cannot cycle (rounds strictly decrease)"
+        );
+        cursor = prober;
+        chain.push(cursor);
+    }
+    println!(
+        "infection chain of {}: {}",
+        chain[0],
+        chain
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" <- ")
+    );
+    assert_eq!(*chain.last().unwrap(), seed_node);
+}

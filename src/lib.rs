@@ -1,0 +1,116 @@
+//! # ddpm — Deterministic Distance Packet Marking
+//!
+//! A production-quality reproduction of *"A Source Identification Scheme
+//! against DDoS Attacks in Cluster Interconnects"* (Manhee Lee, Eun Jung
+//! Kim, Cheol Won Lee — ICPP 2004): packet-marking traceback for direct
+//! networks (mesh, torus, hypercube), including the full substrate the
+//! paper evaluates on — topologies, routing algorithms, an IP packet
+//! model, a discrete-event interconnect simulator, DDoS workloads and
+//! detectors — plus the PPM and DPM baselines the paper compares
+//! against.
+//!
+//! ## The one-minute version
+//!
+//! A compromised node inside a cluster floods a victim with spoofed
+//! source addresses. Internet traceback breaks down here: cluster paths
+//! are long, the 16-bit IP Identification field is tiny, and adaptive
+//! routing makes paths unstable. **DDPM** sidesteps paths entirely:
+//! every switch adds the hop displacement `Δ = next − current` into the
+//! Identification field, so on delivery the field holds exactly
+//! `destination ⊖ source` — and the victim recovers the true source
+//! from a *single packet*, no matter which route it took.
+//!
+//! ```
+//! use ddpm::prelude::*;
+//!
+//! // An 8x8 torus cluster with fully adaptive routing.
+//! let topo = Topology::torus(&[8, 8]);
+//! let scheme = DdpmScheme::new(&topo).expect("within Table 3 scale");
+//! let map = AddrMap::for_topology(&topo);
+//! let faults = FaultSet::none();
+//!
+//! let mut sim = Simulation::new(
+//!     &topo, &faults,
+//!     Router::fully_adaptive_for(&topo),
+//!     SelectionPolicy::Random,
+//!     &scheme,
+//!     SimConfig::seeded(7),
+//! );
+//!
+//! // A zombie at node 9 attacks node 50, spoofing node 3's address.
+//! let zombie = NodeId(9);
+//! let victim = NodeId(50);
+//! let mut pkt = Packet {
+//!     id: PacketId(0),
+//!     header: Ipv4Header::new(map.ip_of(NodeId(3)), map.ip_of(victim),
+//!                             Protocol::Udp, 512),
+//!     l4: L4::udp(4444, 7),
+//!     true_source: zombie,
+//!     dest_node: victim,
+//!     class: TrafficClass::Attack,
+//! };
+//! pkt.header.src = map.ip_of(NodeId(3)); // spoofed!
+//! sim.schedule(SimTime::ZERO, pkt);
+//! sim.run();
+//!
+//! // The victim identifies the real attacker from the one packet.
+//! let received = &sim.delivered()[0];
+//! let source = scheme
+//!     .identify_node(&topo, &topo.coord(victim), received.packet.header.identification)
+//!     .expect("honest marking always identifies");
+//! assert_eq!(source, zombie);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`topology`] | mesh / torus / hypercube, coordinates, faults, Gray labels |
+//! | [`net`] | IPv4 header, marking field, distance codecs, address map |
+//! | [`routing`] | dimension-order, turn-model, fully adaptive routing |
+//! | [`sim`] | deterministic discrete-event interconnect simulator |
+//! | [`core`] | DDPM + PPM/DPM baselines, reconstruction, filters, analysis |
+//! | [`attack`] | floods, SYN floods, worms, spoofing, background, detectors |
+//! | [`indirect`] | §6.3 extension: butterfly MINs + stage-port marking |
+//!
+//! The experiment harness reproducing every table and figure of the
+//! paper lives in the (unexported) `ddpm-bench` crate:
+//! `cargo run --release -p ddpm-bench --bin report -- all`.
+
+pub use ddpm_attack as attack;
+pub use ddpm_core as core;
+pub use ddpm_indirect as indirect;
+pub use ddpm_net as net;
+pub use ddpm_routing as routing;
+pub use ddpm_sim as sim;
+pub use ddpm_topology as topology;
+
+/// The commonly used types in one import.
+pub mod prelude {
+    pub use ddpm_attack::{
+        BackgroundTraffic, DetectionVerdict, EntropyDetector, FloodAttack, HalfOpenTable,
+        PacketFactory, RateDetector, SpoofStrategy, SynFloodAttack, SynHalfOpenDetector,
+        TrafficPattern, WormOutbreak,
+    };
+    pub use ddpm_attack::{CompromisedSwitch, ConsoleConfig, EvilBehavior, VictimConsole};
+    pub use ddpm_core::auth::{AuthDdpm, AuthOutcome};
+    pub use ddpm_core::filter::{
+        DdpmDeliveryFilter, IngressFilter, SignatureFilter, SourceQuarantine,
+    };
+    pub use ddpm_core::identify::{attack_census, score_ddpm, IdentificationReport};
+    pub use ddpm_core::{
+        reconstruct_ams, reconstruct_fms, reconstruct_paths, AmsScheme, BitDiffPpm, DdpmScheme,
+        DpmScheme, DpmVictim, EdgeMark, EdgePpm, FmsScheme, XorPpm,
+    };
+    pub use ddpm_indirect::{Butterfly, HybridCluster, HybridMarking, MinSimulation, PortMarking};
+    pub use ddpm_net::{
+        AddrMap, CodecMode, DistanceCodec, Ipv4Header, MarkingField, Packet, PacketId, Protocol,
+        TcpFlags, TrafficClass, L4,
+    };
+    pub use ddpm_routing::{trace_path, RouteState, Router, SelectionPolicy};
+    pub use ddpm_sim::{
+        Delivered, DropReason, Filter, MarkEnv, Marker, NoMarking, SimConfig, SimStats, SimTime,
+        Simulation,
+    };
+    pub use ddpm_topology::{Coord, Direction, FaultSet, NodeId, Sign, Topology, TopologyKind};
+}

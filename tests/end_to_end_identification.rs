@@ -1,0 +1,213 @@
+//! Cross-crate integration: the full workload → simulator → marking →
+//! victim-identification pipeline, exercised through the public facade.
+
+use ddpm::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn run_attack(
+    topo: &Topology,
+    router: Router,
+    policy: SelectionPolicy,
+    zombies: &[NodeId],
+    victim: NodeId,
+    seed: u64,
+) -> (Vec<Delivered>, SimStats, DdpmScheme) {
+    let scheme = DdpmScheme::new(topo).expect("within Table 3 scale");
+    let faults = FaultSet::none();
+    let map = AddrMap::for_topology(topo);
+    let mut factory = PacketFactory::new(map);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let flood = FloodAttack {
+        packets_per_zombie: 60,
+        ..FloodAttack::new(zombies.to_vec(), victim)
+    };
+    let workload = flood.generate(&mut factory, &mut rng);
+    let mut sim = Simulation::new(
+        topo,
+        &faults,
+        router,
+        policy,
+        &scheme,
+        SimConfig::seeded(seed),
+    );
+    for (t, p) in workload {
+        sim.schedule(t, p);
+    }
+    let stats = sim.run();
+    (sim.into_delivered(), stats, scheme)
+}
+
+#[test]
+fn flood_census_names_exactly_the_zombies_on_every_topology() {
+    for topo in [
+        Topology::mesh2d(8),
+        Topology::torus(&[6, 6]),
+        Topology::hypercube(6),
+        Topology::mesh(&[4, 4, 4]),
+    ] {
+        let n = topo.num_nodes() as u32;
+        let victim = NodeId(n - 1);
+        let zombies = [NodeId(1), NodeId(n / 3), NodeId(n / 2)];
+        let (delivered, stats, scheme) = run_attack(
+            &topo,
+            Router::fully_adaptive_for(&topo),
+            SelectionPolicy::Random,
+            &zombies,
+            victim,
+            77,
+        );
+        assert!(stats.attack.delivered > 0, "{topo}: flood must land");
+        let census = attack_census(&topo, &scheme, &delivered);
+        let mut found: Vec<NodeId> = census.keys().copied().collect();
+        found.sort();
+        let mut want = zombies.to_vec();
+        want.sort();
+        assert_eq!(found, want, "{topo}: census must name exactly the zombies");
+        // Every zombie's packet count matches what was delivered from it.
+        for (&node, &count) in &census {
+            let truth = delivered
+                .iter()
+                .filter(|d| d.packet.true_source == node)
+                .count() as u64;
+            assert_eq!(count, truth, "{topo}: census count mismatch for {node}");
+        }
+    }
+}
+
+#[test]
+fn identification_is_perfect_under_every_router() {
+    let topo = Topology::mesh2d(8);
+    let victim = NodeId(63);
+    let zombies = [NodeId(0), NodeId(20)];
+    for router in Router::all_for(&topo) {
+        let (delivered, _, scheme) = run_attack(
+            &topo,
+            router,
+            SelectionPolicy::ProductiveFirstRandom,
+            &zombies,
+            victim,
+            13,
+        );
+        let report = score_ddpm(&topo, &scheme, &delivered);
+        assert_eq!(
+            report.accuracy(),
+            1.0,
+            "{router}: {} wrong, {} unidentified",
+            report.wrong,
+            report.unidentified
+        );
+    }
+}
+
+#[test]
+fn detection_identification_mitigation_loop_converges() {
+    // Iterative defence: detect, identify the heaviest source,
+    // quarantine it, repeat — after k rounds all k zombies are gone.
+    let topo = Topology::torus(&[6, 6]);
+    let scheme = DdpmScheme::new(&topo).unwrap();
+    let faults = FaultSet::none();
+    let map = AddrMap::for_topology(&topo);
+    let victim = NodeId(35);
+    let zombies = [NodeId(2), NodeId(17), NodeId(30)];
+    let quarantine = SourceQuarantine::new();
+    let mut blocked: Vec<NodeId> = Vec::new();
+    for round in 0..3 {
+        let mut factory = PacketFactory::new(map.clone());
+        let mut rng = SmallRng::seed_from_u64(round);
+        let flood = FloodAttack {
+            packets_per_zombie: 40,
+            ..FloodAttack::new(zombies.to_vec(), victim)
+        };
+        let workload = flood.generate(&mut factory, &mut rng);
+        let mut sim = Simulation::with_filter(
+            &topo,
+            &faults,
+            Router::MinimalAdaptive,
+            SelectionPolicy::Random,
+            &scheme,
+            &quarantine,
+            SimConfig::seeded(round),
+        );
+        for (t, p) in workload {
+            sim.schedule(t, p);
+        }
+        sim.run();
+        let census = attack_census(&topo, &scheme, sim.delivered());
+        let heaviest = census
+            .into_iter()
+            .max_by_key(|&(n, c)| (c, std::cmp::Reverse(n.0)))
+            .expect("attack still flowing")
+            .0;
+        assert!(zombies.contains(&heaviest), "never quarantine an innocent");
+        assert!(!blocked.contains(&heaviest), "no double-identification");
+        quarantine.block(topo.coord(heaviest));
+        blocked.push(heaviest);
+    }
+    assert_eq!(blocked.len(), 3);
+
+    // Final round: nothing attack-classed gets through.
+    let mut factory = PacketFactory::new(map);
+    let mut rng = SmallRng::seed_from_u64(99);
+    let flood = FloodAttack {
+        packets_per_zombie: 20,
+        ..FloodAttack::new(zombies.to_vec(), victim)
+    };
+    let workload = flood.generate(&mut factory, &mut rng);
+    let mut sim = Simulation::with_filter(
+        &topo,
+        &faults,
+        Router::MinimalAdaptive,
+        SelectionPolicy::Random,
+        &scheme,
+        &quarantine,
+        SimConfig::seeded(99),
+    );
+    for (t, p) in workload {
+        sim.schedule(t, p);
+    }
+    let stats = sim.run();
+    assert_eq!(stats.attack.delivered, 0);
+    assert_eq!(stats.attack.dropped_filtered, stats.attack.injected);
+}
+
+#[test]
+fn framing_an_innocent_node_fails() {
+    // A zombie spoofs one fixed innocent node's address on every packet
+    // (SpoofStrategy::FrameNode). Address-based attribution convicts the
+    // innocent; DDPM convicts the zombie.
+    let topo = Topology::mesh2d(6);
+    let scheme = DdpmScheme::new(&topo).unwrap();
+    let faults = FaultSet::none();
+    let map = AddrMap::for_topology(&topo);
+    let zombie = NodeId(7);
+    let framed = NodeId(22);
+    let victim = NodeId(35);
+    let mut factory = PacketFactory::new(map.clone());
+    let mut rng = SmallRng::seed_from_u64(3);
+    let flood = FloodAttack {
+        spoof: SpoofStrategy::FrameNode(framed),
+        packets_per_zombie: 50,
+        ..FloodAttack::new(vec![zombie], victim)
+    };
+    let workload = flood.generate(&mut factory, &mut rng);
+    let mut sim = Simulation::new(
+        &topo,
+        &faults,
+        Router::MinimalAdaptive,
+        SelectionPolicy::Random,
+        &scheme,
+        SimConfig::seeded(3),
+    );
+    for (t, p) in workload {
+        sim.schedule(t, p);
+    }
+    sim.run();
+    // Naive (address-based) census blames the framed node…
+    let naive = ddpm::core::identify::naive_census(&map, sim.delivered());
+    assert_eq!(naive.get(&Some(framed)).copied().unwrap_or(0), 50);
+    // …DDPM blames the zombie and never the framed node.
+    let census = attack_census(&topo, &scheme, sim.delivered());
+    assert_eq!(census.get(&zombie).copied().unwrap_or(0), 50);
+    assert!(!census.contains_key(&framed));
+}

@@ -1,0 +1,133 @@
+//! Repo-level property tests: random topologies, random workloads,
+//! random fault patterns — the paper's invariants must hold everywhere.
+
+use ddpm::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (3u16..=8, 3u16..=8).prop_map(|(a, b)| Topology::mesh(&[a, b])),
+        (3u16..=8, 3u16..=8).prop_map(|(a, b)| Topology::torus(&[a, b])),
+        (2usize..=7).prop_map(Topology::hypercube),
+        (2u16..=4, 2u16..=4, 2u16..=4).prop_map(|(a, b, c)| Topology::torus(&[a, b, c])),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The central theorem of the paper, end to end: for any topology,
+    /// any router, any fault pattern that still lets packets through,
+    /// and any (src, dst) mix, every delivered packet's marking field
+    /// identifies its true injector.
+    #[test]
+    fn delivered_packets_always_identify_their_injector(
+        topo in arb_topology(),
+        seed in any::<u64>(),
+        fault_rate in 0.0f64..0.08,
+        n_packets in 20u64..120,
+    ) {
+        let scheme = DdpmScheme::new(&topo).unwrap();
+        let map = AddrMap::for_topology(&topo);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let faults = FaultSet::random(&topo, fault_rate, || {
+            use rand::Rng;
+            rng.gen::<f64>()
+        });
+        let router = Router::fully_adaptive_for(&topo);
+        let mut factory = PacketFactory::new(map.clone());
+        let mut sim = Simulation::new(
+            &topo, &faults, router, SelectionPolicy::Random, &scheme,
+            SimConfig::seeded(seed),
+        );
+        let n = topo.num_nodes() as u32;
+        for k in 0..n_packets {
+            let s = NodeId(((seed >> 3) as u32 + k as u32 * 7) % n);
+            let d = NodeId(((seed >> 11) as u32 + k as u32 * 13 + 1) % n);
+            if s == d { continue; }
+            let claimed = SpoofStrategy::RandomInCluster.claimed_ip(&map, s, &mut rng);
+            sim.schedule(SimTime(k * 5), factory.attack(s, claimed, d, L4::udp(1, 7), 128));
+        }
+        let stats = sim.run();
+        // Conservation always holds, delivered or not.
+        prop_assert!(stats.accounted(0));
+        for del in sim.delivered() {
+            let dest = topo.coord(del.packet.dest_node);
+            prop_assert_eq!(
+                scheme.identify_node(&topo, &dest, del.packet.header.identification),
+                Some(del.packet.true_source),
+                "{}: packet {:?} misattributed", topo, del.packet.id
+            );
+        }
+    }
+
+    /// Simulator sanity under arbitrary congestion: packets are
+    /// conserved and latency is bounded below by the physical minimum.
+    #[test]
+    fn conservation_and_latency_floor(
+        topo in arb_topology(),
+        seed in any::<u64>(),
+        burst in 1u64..200,
+    ) {
+        let map = AddrMap::for_topology(&topo);
+        let mut factory = PacketFactory::new(map);
+        let faults = FaultSet::none();
+        let marker = NoMarking;
+        let cfg = SimConfig { buffer_packets: 4, ..SimConfig::seeded(seed) };
+        let mut sim = Simulation::new(
+            &topo, &faults, Router::DimensionOrder, SelectionPolicy::First,
+            &marker, cfg,
+        );
+        let n = topo.num_nodes() as u32;
+        let victim = NodeId(n - 1);
+        for k in 0..burst {
+            let s = NodeId((k as u32 * 3) % (n - 1));
+            sim.schedule(SimTime::ZERO, factory.benign(s, victim, L4::udp(1, 7), 64));
+        }
+        let stats = sim.run();
+        prop_assert!(stats.accounted(0));
+        let per_hop = cfg.service_cycles + cfg.link_latency;
+        for d in sim.delivered() {
+            let src = topo.coord(d.packet.true_source);
+            let dst = topo.coord(d.packet.dest_node);
+            let min = u64::from(topo.min_hops(&src, &dst)) * per_hop;
+            prop_assert!(d.latency() >= min,
+                "latency {} below physical floor {}", d.latency(), min);
+            prop_assert!(d.hops >= topo.min_hops(&src, &dst));
+        }
+    }
+
+    /// Marking-field arithmetic is closed: whatever garbage an attacker
+    /// preloads into the Identification field, after injection-reset and
+    /// honest forwarding the victim still recovers the true source.
+    #[test]
+    fn forged_fields_never_survive_injection(
+        topo in arb_topology(),
+        forged in any::<u16>(),
+        seed in any::<u64>(),
+    ) {
+        let scheme = DdpmScheme::new(&topo).unwrap();
+        let map = AddrMap::for_topology(&topo);
+        let faults = FaultSet::none();
+        let mut sim = Simulation::new(
+            &topo, &faults, Router::fully_adaptive_for(&topo),
+            SelectionPolicy::Random, &scheme, SimConfig::seeded(seed),
+        );
+        let n = topo.num_nodes() as u32;
+        let s = NodeId((seed as u32) % n);
+        let d = NodeId((seed as u32 + 1 + (seed >> 32) as u32 % (n - 1)) % n);
+        prop_assume!(s != d);
+        let mut factory = PacketFactory::new(map.clone());
+        let mut pkt = factory.attack(s, map.ip_of(d), d, L4::udp(1, 7), 64);
+        pkt.header.identification = MarkingField::new(forged);
+        sim.schedule(SimTime::ZERO, pkt);
+        sim.run();
+        let del = &sim.delivered()[0];
+        prop_assert_eq!(
+            scheme.identify_node(&topo, &topo.coord(d), del.packet.header.identification),
+            Some(s)
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Cross-crate integration: the paper's comparative claims, asserted as
+//! executable facts about the three scheme families.
+
+use ddpm::prelude::*;
+use std::collections::HashSet;
+
+fn one_flow(
+    topo: &Topology,
+    router: Router,
+    policy: SelectionPolicy,
+    marker: &dyn Marker,
+    packets: u64,
+    seed: u64,
+) -> Vec<Delivered> {
+    let faults = FaultSet::none();
+    let map = AddrMap::for_topology(topo);
+    let mut factory = PacketFactory::new(map);
+    let mut sim = Simulation::new(
+        topo,
+        &faults,
+        router,
+        policy,
+        marker,
+        SimConfig::seeded(seed),
+    );
+    let src = NodeId(0);
+    let dst = NodeId(topo.num_nodes() as u32 - 1);
+    for k in 0..packets {
+        sim.schedule(SimTime(k * 8), factory.benign(src, dst, L4::udp(1, 7), 128));
+    }
+    sim.run();
+    sim.into_delivered()
+}
+
+/// §1: "The victim needs only one packet to identify the source" —
+/// literally the first delivered packet suffices, under adaptive
+/// routing, on every topology family.
+#[test]
+fn ddpm_first_packet_identifies() {
+    for topo in [
+        Topology::mesh2d(8),
+        Topology::torus(&[8, 8]),
+        Topology::hypercube(6),
+    ] {
+        let scheme = DdpmScheme::new(&topo).unwrap();
+        let delivered = one_flow(
+            &topo,
+            Router::fully_adaptive_for(&topo),
+            SelectionPolicy::Random,
+            &scheme,
+            1,
+            5,
+        );
+        assert_eq!(delivered.len(), 1);
+        let d = &delivered[0];
+        assert_eq!(
+            scheme.identify_node(
+                &topo,
+                &topo.coord(d.packet.dest_node),
+                d.packet.header.identification
+            ),
+            Some(NodeId(0)),
+            "{topo}"
+        );
+    }
+}
+
+/// §4.2 vs §5: PPM needs many packets where DDPM needs one — measured
+/// head-to-head on the same flow.
+#[test]
+fn ppm_needs_many_packets_where_ddpm_needs_one() {
+    let topo = Topology::mesh(&[2, 8]); // fits EdgePpm's flagged layout
+    let ppm = EdgePpm::new(&topo, 0.1).unwrap();
+    let delivered = one_flow(
+        &topo,
+        Router::DimensionOrder,
+        SelectionPolicy::First,
+        &ppm,
+        3_000,
+        1,
+    );
+    let victim = NodeId(topo.num_nodes() as u32 - 1);
+    let mut marks = HashSet::new();
+    let mut needed = None;
+    for (i, d) in delivered.iter().enumerate() {
+        if let Some(m) = ppm.extract(d.packet.header.identification) {
+            marks.insert(m);
+            let r = reconstruct_paths(victim, &marks, 100_000);
+            if r.sources.contains(&NodeId(0)) && r.paths.iter().any(|p| p.len() == 9) {
+                needed = Some(i + 1);
+                break;
+            }
+        }
+    }
+    let needed = needed.expect("PPM should eventually reconstruct");
+    assert!(
+        needed > 10,
+        "8-hop path at p=0.1 needs well over ten packets, got {needed}"
+    );
+}
+
+/// §4.3: DPM's blocking value collapses under adaptive routing while
+/// DDPM-keyed blocking is exact.
+#[test]
+fn dpm_signature_blocking_leaks_ddpm_blocking_does_not() {
+    let topo = Topology::mesh2d(8);
+    let faults = FaultSet::none();
+    let map = AddrMap::for_topology(&topo);
+    let zombie = NodeId(0);
+    let victim = NodeId(63);
+
+    // Learn DPM signatures from a first wave.
+    let dpm = DpmScheme;
+    let wave1 = one_flow(
+        &topo,
+        Router::MinimalAdaptive,
+        SelectionPolicy::Random,
+        &dpm,
+        150,
+        10,
+    );
+    let filter = SignatureFilter::new();
+    filter.block_all(wave1.iter().map(|d| d.packet.header.identification.raw()));
+
+    // Second wave with the filter: some packets take fresh paths whose
+    // signatures were never learned, and leak.
+    let mut factory = PacketFactory::new(map.clone());
+    let mut sim = Simulation::with_filter(
+        &topo,
+        &faults,
+        Router::MinimalAdaptive,
+        SelectionPolicy::Random,
+        &dpm,
+        &filter,
+        SimConfig::seeded(11),
+    );
+    for k in 0..150u64 {
+        sim.schedule(
+            SimTime(k * 8),
+            factory.attack(zombie, map.ip_of(NodeId(9)), victim, L4::udp(1, 7), 256),
+        );
+    }
+    let stats = sim.run();
+    assert!(
+        stats.attack.delivered > 0,
+        "DPM signature blocking must leak under adaptive routing"
+    );
+
+    // Same second wave under DDPM-keyed delivery filtering: exact.
+    let ddpm = DdpmScheme::new(&topo).unwrap();
+    let dfilter = DdpmDeliveryFilter::new(topo.clone(), ddpm.clone());
+    dfilter.block(topo.coord(zombie));
+    let mut factory = PacketFactory::new(map.clone());
+    let mut sim = Simulation::with_filter(
+        &topo,
+        &faults,
+        Router::MinimalAdaptive,
+        SelectionPolicy::Random,
+        &ddpm,
+        &dfilter,
+        SimConfig::seeded(11),
+    );
+    for k in 0..150u64 {
+        sim.schedule(
+            SimTime(k * 8),
+            factory.attack(zombie, map.ip_of(NodeId(9)), victim, L4::udp(1, 7), 256),
+        );
+    }
+    let stats = sim.run();
+    assert_eq!(stats.attack.delivered, 0, "DDPM-keyed blocking is exact");
+    assert_eq!(stats.attack.dropped_filtered, stats.attack.injected);
+}
+
+/// All three schemes coexist with the simulator's congestion model:
+/// marking never perturbs delivery/drop accounting.
+#[test]
+fn marking_does_not_change_traffic_outcomes() {
+    let topo = Topology::mesh2d(6);
+    let baseline = one_flow(
+        &topo,
+        Router::DimensionOrder,
+        SelectionPolicy::First,
+        &NoMarking,
+        200,
+        21,
+    );
+    let ddpm = DdpmScheme::new(&topo).unwrap();
+    let marked = one_flow(
+        &topo,
+        Router::DimensionOrder,
+        SelectionPolicy::First,
+        &ddpm,
+        200,
+        21,
+    );
+    assert_eq!(baseline.len(), marked.len());
+    for (a, b) in baseline.iter().zip(marked.iter()) {
+        assert_eq!(a.delivered_at, b.delivered_at);
+        assert_eq!(a.hops, b.hops);
+        assert_eq!(a.packet.id, b.packet.id);
+        // Only the marking field differs.
+        assert_ne!(
+            a.packet.header.identification,
+            b.packet.header.identification
+        );
+    }
+}
+
+/// The TTL interplay: DPM keys off TTL, the simulator decrements it,
+/// and delivered packets' TTL loss equals hops minus one (no decrement
+/// at the injection switch).
+#[test]
+fn ttl_accounting_matches_hops() {
+    let topo = Topology::mesh2d(8);
+    let delivered = one_flow(
+        &topo,
+        Router::MinimalAdaptive,
+        SelectionPolicy::Random,
+        &DpmScheme,
+        50,
+        31,
+    );
+    for d in &delivered {
+        let lost = u32::from(ddpm::net::ipv4::DEFAULT_TTL) - u32::from(d.packet.header.ttl);
+        assert_eq!(lost, d.hops - 1, "TTL loss must equal hops-1");
+    }
+}
