@@ -17,10 +17,9 @@ use ddpm_net::L4;
 use ddpm_sim::SimTime;
 use ddpm_topology::{NodeId, Topology};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// The spatial distribution of benign traffic.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum TrafficPattern {
     /// Uniform random destinations.
     Uniform,
@@ -39,7 +38,7 @@ pub enum TrafficPattern {
 }
 
 /// A benign background workload.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BackgroundTraffic {
     /// Destination distribution.
     pub pattern: TrafficPattern,

@@ -17,7 +17,7 @@
 use ddpm_net::{MarkingField, Packet};
 use ddpm_sim::{MarkEnv, Marker};
 use ddpm_topology::{Coord, Topology};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -109,7 +109,7 @@ impl<'a> CompromisedSwitch<'a> {
     /// Packets the evil switch has manipulated so far.
     #[must_use]
     pub fn tampered(&self) -> u64 {
-        *self.tampered.lock()
+        *self.tampered.lock().unwrap()
     }
 
     /// The compromised switch's coordinate.
@@ -144,7 +144,7 @@ impl Marker for CompromisedSwitch<'_> {
             self.inner.on_forward(pkt, cur, next, env, rng);
             return;
         }
-        *self.tampered.lock() += 1;
+        *self.tampered.lock().unwrap() += 1;
         match self.behavior {
             EvilBehavior::SkipMarking => {}
             EvilBehavior::Garbage => {
@@ -241,24 +241,38 @@ mod tests {
         for behavior in [EvilBehavior::SkipMarking, EvilBehavior::Garbage] {
             let evil = CompromisedSwitch::new(&auth, Coord::new(&[2, 0]), behavior);
             let delivered = run_through_evil(&evil, &topo);
+            assert!(!delivered.is_empty());
+            let mut garbage_verified = 0u32;
             for d in &delivered {
                 let dest = topo.coord(d.packet.dest_node);
                 match auth.identify_verified(&topo, &dest, &d.packet) {
-                    // SkipMarking leaves a stale-but-tagged vector: the
-                    // tag still verifies over the stale V, but recovery
-                    // then points at the wrong node… no wait — the tag
-                    // covers V, so a stale V *verifies*. See the
-                    // dedicated test below for the skip case.
                     AuthOutcome::Verified(src) => {
                         if behavior == EvilBehavior::Garbage {
-                            panic!("garbage must not verify");
+                            // A random field carries a valid 8-bit tag
+                            // with probability 2^-8 per verification, so
+                            // zero accidental acceptances cannot be
+                            // asserted — only that the rate stays at the
+                            // documented 2^-t residual, not wholesale.
+                            garbage_verified += 1;
+                        } else {
+                            // Skip: stale V yields a neighbour, which
+                            // DOES verify (the tag covers the stale V).
+                            // This is the measured residual gap.
+                            assert_eq!(src, Coord::new(&[1, 0]));
                         }
-                        // Skip: stale V yields a neighbour, which DOES
-                        // verify. This is the measured residual gap.
-                        assert_eq!(src, Coord::new(&[1, 0]));
                     }
                     AuthOutcome::Invalid => {}
                 }
+            }
+            if behavior == EvilBehavior::Garbage {
+                // 40 packets x ~3 verification points at 2^-8 each:
+                // expectation ~0.5 accidental acceptances; 5+ would mean
+                // the tag is not doing its job.
+                assert!(
+                    garbage_verified < 5,
+                    "garbage verified {garbage_verified}/{} times, far above the 2^-8 residual",
+                    delivered.len()
+                );
             }
         }
     }

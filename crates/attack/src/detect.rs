@@ -16,12 +16,11 @@
 use crate::synflood::HalfOpenTable;
 use ddpm_net::Packet;
 use ddpm_sim::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// A detector's view after one observation.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum DetectionVerdict {
     /// Nothing anomalous (yet).
     Normal,

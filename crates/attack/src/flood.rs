@@ -14,13 +14,12 @@ use ddpm_net::L4;
 use ddpm_sim::SimTime;
 use ddpm_topology::NodeId;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// Payload carried by flood packets (bytes).
 const FLOOD_PAYLOAD: u16 = 512;
 
 /// A coordinated volumetric flood.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FloodAttack {
     /// Compromised nodes injecting attack traffic.
     pub zombies: Vec<NodeId>,

@@ -9,11 +9,10 @@
 use ddpm_net::AddrMap;
 use ddpm_topology::NodeId;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
 /// How an attacker forges the source-address field.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SpoofStrategy {
     /// No spoofing: the attacker's real address (naïve attacker).
     None,

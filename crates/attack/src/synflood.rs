@@ -16,12 +16,11 @@ use ddpm_net::{Packet, TrafficClass, L4};
 use ddpm_sim::SimTime;
 use ddpm_topology::NodeId;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// A distributed SYN flood.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SynFloodAttack {
     /// Compromised nodes sending the SYNs.
     pub zombies: Vec<NodeId>,

@@ -19,10 +19,9 @@ use ddpm_net::L4;
 use ddpm_sim::SimTime;
 use ddpm_topology::NodeId;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// An epidemic scanning worm.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct WormOutbreak {
     /// Nodes infected at time zero (patient zero set).
     pub seeds: Vec<NodeId>,

@@ -44,7 +44,7 @@ fn bench_scheme(c: &mut Criterion, name: &str, topo: &Topology, marker: &dyn Mar
     // vectors stay bounded however many iterations Criterion runs — a
     // packet ping-ponging one link is a legal walk for every scheme.
     let mut flip = false;
-    c.bench_function(&format!("mark/on_forward/{name}"), |b| {
+    c.bench_function(format!("mark/on_forward/{name}"), |b| {
         b.iter(|| {
             let (a, z) = if flip { (&next, &cur) } else { (&cur, &next) };
             flip = !flip;

@@ -16,6 +16,7 @@
 //! | [`exp_dpm`] | §4.3 DPM signature instability |
 //! | [`exp_identification`] | §5 single-packet identification |
 //! | [`exp_end_to_end`] | §1/§2 detect → identify → block pipeline |
+//! | [`exp_resilience`] | §4.1 attribution under dynamic fault churn |
 
 pub mod exp_ablation;
 pub mod exp_ambiguity;
@@ -27,6 +28,7 @@ pub mod exp_flooding_traceback;
 pub mod exp_identification;
 pub mod exp_indirect;
 pub mod exp_ppm_convergence;
+pub mod exp_resilience;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -61,5 +63,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("indirect", exp_indirect::run),
         ("flooding", exp_flooding_traceback::run),
         ("ablation", exp_ablation::run),
+        ("resilience", exp_resilience::run),
     ]
 }

@@ -14,19 +14,123 @@ use ddpm_core::{DdpmScheme, DpmScheme};
 use ddpm_net::{AddrMap, CodecMode};
 use ddpm_routing::{Router, SelectionPolicy};
 use ddpm_sim::{Marker, NoMarking, SimConfig, SimStats, SimTime, Simulation};
-use ddpm_topology::{FaultSet, NodeId, Topology};
+use ddpm_topology::{FaultEvent, FaultSchedule, FaultSet, NodeId, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
-use serde_json::json;
+use serde_json::{json, Error as JsonError, FromJson, Value};
+
+// ---------------------------------------------------------------------
+// Manual JSON extraction helpers.
+//
+// The vendored `serde_json` shim (see vendor/README.md) has no derive
+// macros, so the config types below implement `FromJson` by hand. The
+// wire format is unchanged from the original serde derives: externally
+// the enums are snake_case strings, the struct-like variants are
+// objects tagged with `"kind"`, and absent fields take the documented
+// defaults.
+// ---------------------------------------------------------------------
+
+fn req<'a>(v: &'a Value, key: &str) -> Result<&'a Value, JsonError> {
+    match v.get(key) {
+        Some(x) if !x.is_null() => Ok(x),
+        _ => Err(JsonError::msg(format!("missing field `{key}`"))),
+    }
+}
+
+fn as_u64(v: &Value, key: &str) -> Result<u64, JsonError> {
+    req(v, key)?
+        .as_u64()
+        .ok_or_else(|| JsonError::msg(format!("`{key}` must be a non-negative integer")))
+}
+
+fn as_u32(v: &Value, key: &str) -> Result<u32, JsonError> {
+    u32::try_from(as_u64(v, key)?)
+        .map_err(|_| JsonError::msg(format!("`{key}` does not fit in u32")))
+}
+
+fn opt_u64(v: &Value, key: &str, default: u64) -> Result<u64, JsonError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(x) => x
+            .as_u64()
+            .ok_or_else(|| JsonError::msg(format!("`{key}` must be a non-negative integer"))),
+    }
+}
+
+fn opt_u32(v: &Value, key: &str, default: u32) -> Result<u32, JsonError> {
+    u32::try_from(opt_u64(v, key, u64::from(default))?)
+        .map_err(|_| JsonError::msg(format!("`{key}` does not fit in u32")))
+}
+
+fn opt_f64(v: &Value, key: &str, default: f64) -> Result<f64, JsonError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(default),
+        Some(x) => x
+            .as_f64()
+            .ok_or_else(|| JsonError::msg(format!("`{key}` must be a number"))),
+    }
+}
+
+fn kind_tag<'a>(v: &'a Value, what: &str) -> Result<&'a str, JsonError> {
+    if v.as_object().is_none() {
+        return Err(JsonError::msg(format!("{what} must be an object")));
+    }
+    req(v, "kind")?
+        .as_str()
+        .ok_or_else(|| JsonError::msg(format!("{what} `kind` must be a string")))
+}
+
+fn u32_list(v: &Value, key: &str) -> Result<Vec<u32>, JsonError> {
+    let arr = req(v, key)?
+        .as_array()
+        .ok_or_else(|| JsonError::msg(format!("`{key}` must be an array")))?;
+    arr.iter()
+        .map(|x| {
+            x.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| JsonError::msg(format!("`{key}` entries must be u32")))
+        })
+        .collect()
+}
+
+fn dims_list(v: &Value, key: &str) -> Result<Vec<u16>, JsonError> {
+    let arr = req(v, key)?
+        .as_array()
+        .ok_or_else(|| JsonError::msg(format!("`{key}` must be an array")))?;
+    arr.iter()
+        .map(|x| {
+            x.as_u64()
+                .and_then(|n| u16::try_from(n).ok())
+                .ok_or_else(|| JsonError::msg(format!("`{key}` entries must be u16")))
+        })
+        .collect()
+}
 
 /// Topology selection.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Clone, Debug)]
 pub enum TopologySpec {
     Mesh { dims: Vec<u16> },
     Torus { dims: Vec<u16> },
     Hypercube { n: usize },
+}
+
+impl FromJson for TopologySpec {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match kind_tag(v, "topology")? {
+            "mesh" => Ok(TopologySpec::Mesh {
+                dims: dims_list(v, "dims")?,
+            }),
+            "torus" => Ok(TopologySpec::Torus {
+                dims: dims_list(v, "dims")?,
+            }),
+            "hypercube" => Ok(TopologySpec::Hypercube {
+                n: as_u64(v, "n")? as usize,
+            }),
+            other => Err(JsonError::msg(format!(
+                "unknown topology kind `{other}` (expected mesh, torus or hypercube)"
+            ))),
+        }
+    }
 }
 
 impl TopologySpec {
@@ -40,8 +144,7 @@ impl TopologySpec {
 }
 
 /// Routing selection.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug)]
 pub enum RouterSpec {
     DimensionOrder,
     WestFirst,
@@ -49,6 +152,23 @@ pub enum RouterSpec {
     NegativeFirst,
     MinimalAdaptive,
     FullyAdaptive,
+}
+
+impl FromJson for RouterSpec {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("dimension_order") => Ok(RouterSpec::DimensionOrder),
+            Some("west_first") => Ok(RouterSpec::WestFirst),
+            Some("north_last") => Ok(RouterSpec::NorthLast),
+            Some("negative_first") => Ok(RouterSpec::NegativeFirst),
+            Some("minimal_adaptive") => Ok(RouterSpec::MinimalAdaptive),
+            Some("fully_adaptive") => Ok(RouterSpec::FullyAdaptive),
+            _ => Err(JsonError::msg(
+                "router must be one of dimension_order, west_first, north_last, \
+                 negative_first, minimal_adaptive, fully_adaptive",
+            )),
+        }
+    }
 }
 
 impl RouterSpec {
@@ -65,8 +185,7 @@ impl RouterSpec {
 }
 
 /// Marking-scheme selection.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
+#[derive(Clone, Copy, Debug)]
 pub enum MarkingSpec {
     None,
     Ddpm,
@@ -74,9 +193,22 @@ pub enum MarkingSpec {
     Dpm,
 }
 
+impl FromJson for MarkingSpec {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match v.as_str() {
+            Some("none") => Ok(MarkingSpec::None),
+            Some("ddpm") => Ok(MarkingSpec::Ddpm),
+            Some("ddpm_residue") => Ok(MarkingSpec::DdpmResidue),
+            Some("dpm") => Ok(MarkingSpec::Dpm),
+            _ => Err(JsonError::msg(
+                "marking must be one of none, ddpm, ddpm_residue, dpm",
+            )),
+        }
+    }
+}
+
 /// Attack selection.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Clone, Debug)]
 pub enum AttackSpec {
     UdpFlood {
         zombies: Vec<u32>,
@@ -92,34 +224,118 @@ pub enum AttackSpec {
     },
 }
 
+impl FromJson for AttackSpec {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        match kind_tag(v, "attack")? {
+            "udp_flood" => Ok(AttackSpec::UdpFlood {
+                zombies: u32_list(v, "zombies")?,
+                victim: as_u32(v, "victim")?,
+                packets_per_zombie: as_u32(v, "packets_per_zombie")?,
+                interval: as_u64(v, "interval")?,
+            }),
+            "syn_flood" => Ok(AttackSpec::SynFlood {
+                zombies: u32_list(v, "zombies")?,
+                victim: as_u32(v, "victim")?,
+                syns_per_zombie: as_u32(v, "syns_per_zombie")?,
+                interval: as_u64(v, "interval")?,
+            }),
+            other => Err(JsonError::msg(format!(
+                "unknown attack kind `{other}` (expected udp_flood or syn_flood)"
+            ))),
+        }
+    }
+}
+
+/// One timestamped fault event of a scenario's `fault_schedule`.
+///
+/// Wire format: `{"at": 100, "kind": "link_down", "a": 0, "b": 1}` for
+/// link events, `{"at": 100, "kind": "switch_down", "node": 5}` for
+/// switch events.
+fn fault_event(v: &Value) -> Result<(u64, FaultEvent), JsonError> {
+    let at = as_u64(v, "at")?;
+    let ev = match kind_tag(v, "fault event")? {
+        "link_down" => FaultEvent::LinkDown {
+            a: NodeId(as_u32(v, "a")?),
+            b: NodeId(as_u32(v, "b")?),
+        },
+        "link_up" => FaultEvent::LinkUp {
+            a: NodeId(as_u32(v, "a")?),
+            b: NodeId(as_u32(v, "b")?),
+        },
+        "switch_down" => FaultEvent::SwitchDown {
+            node: NodeId(as_u32(v, "node")?),
+        },
+        "switch_up" => FaultEvent::SwitchUp {
+            node: NodeId(as_u32(v, "node")?),
+        },
+        other => {
+            return Err(JsonError::msg(format!(
+                "unknown fault event kind `{other}` (expected link_down, \
+                 link_up, switch_down or switch_up)"
+            )))
+        }
+    };
+    Ok((at, ev))
+}
+
+fn fault_schedule(v: &Value) -> Result<Vec<(u64, FaultEvent)>, JsonError> {
+    match v.get("fault_schedule") {
+        None | Some(Value::Null) => Ok(Vec::new()),
+        Some(x) => x
+            .as_array()
+            .ok_or_else(|| JsonError::msg("`fault_schedule` must be an array"))?
+            .iter()
+            .map(fault_event)
+            .collect(),
+    }
+}
+
 /// Full scenario description.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ScenarioConfig {
     pub topology: TopologySpec,
     pub router: RouterSpec,
     pub marking: MarkingSpec,
-    #[serde(default = "default_seed")]
+    /// RNG seed (default 2004).
     pub seed: u64,
-    /// Random link-failure rate, 0.0..1.0.
-    #[serde(default)]
+    /// Random link-failure rate, 0.0..1.0 (default 0).
     pub fault_rate: f64,
-    /// Benign per-node injection interval in cycles (0 = no background).
-    #[serde(default = "default_bg_interval")]
+    /// Benign per-node injection interval in cycles (0 = no background;
+    /// default 32).
     pub background_interval: u64,
-    /// Simulation horizon for the background, in cycles.
-    #[serde(default = "default_horizon")]
+    /// Simulation horizon for the background, in cycles (default 4000).
     pub horizon: u64,
     pub attack: Option<AttackSpec>,
+    /// Timestamped dynamic fault events (link/switch fail and repair),
+    /// applied mid-run by the simulator. Empty by default.
+    pub fault_schedule: Vec<(u64, FaultEvent)>,
+    /// Injection/reroute retry budget for graceful degradation under the
+    /// fault schedule (default 0 = fail-fast, the historical behaviour).
+    pub fault_retries: u32,
 }
 
-fn default_seed() -> u64 {
-    2004
-}
-fn default_bg_interval() -> u64 {
-    32
-}
-fn default_horizon() -> u64 {
-    4000
+impl FromJson for ScenarioConfig {
+    fn from_json(v: &Value) -> Result<Self, JsonError> {
+        if v.as_object().is_none() {
+            return Err(JsonError::msg("scenario config must be a JSON object"));
+        }
+        let attack = match v.get("attack") {
+            None | Some(Value::Null) => None,
+            Some(a) => Some(AttackSpec::from_json(a)?),
+        };
+        Ok(Self {
+            topology: TopologySpec::from_json(req(v, "topology")?)?,
+            router: RouterSpec::from_json(req(v, "router")?)?,
+            marking: MarkingSpec::from_json(req(v, "marking")?)?,
+            seed: opt_u64(v, "seed", 2004)?,
+            fault_rate: opt_f64(v, "fault_rate", 0.0)?,
+            background_interval: opt_u64(v, "background_interval", 32)?,
+            horizon: opt_u64(v, "horizon", 4000)?,
+            attack,
+            fault_schedule: fault_schedule(v)?,
+            fault_retries: opt_u32(v, "fault_retries", 0)?,
+        })
+    }
 }
 
 /// The runner's output: human text plus machine JSON.
@@ -141,6 +357,10 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
     let map = AddrMap::for_topology(&topo);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let faults = FaultSet::random(&topo, cfg.fault_rate, || rng.gen::<f64>());
+    let schedule = FaultSchedule::from_events(cfg.fault_schedule.clone());
+    schedule
+        .validate(&topo)
+        .map_err(|e| format!("fault_schedule: {e}"))?;
 
     let ddpm = match cfg.marking {
         MarkingSpec::Ddpm => Some(DdpmScheme::new(&topo).map_err(|e| format!("ddpm: {e}"))?),
@@ -216,14 +436,19 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
         None => {}
     }
 
+    let mut sim_cfg = SimConfig::seeded(cfg.seed);
+    if cfg.fault_retries > 0 {
+        sim_cfg = sim_cfg.with_fault_tolerance(cfg.fault_retries, 256);
+    }
     let mut sim = Simulation::new(
         &topo,
         &faults,
         router,
         SelectionPolicy::ProductiveFirstRandom,
         marker,
-        SimConfig::seeded(cfg.seed),
+        sim_cfg,
     );
+    sim.schedule_faults(&schedule);
     for (t, p) in workload {
         sim.schedule(t, p);
     }
@@ -235,7 +460,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
          attack : {} injected, {} delivered, {} dropped\n",
         router,
         cfg.marking,
-        faults.len(),
+        faults.failed_links(),
         stats.benign.injected,
         stats.benign.delivered,
         stats.benign.delivery_ratio() * 100.0,
@@ -244,6 +469,16 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
         stats.attack.delivered,
         stats.attack.dropped(),
     );
+    if !schedule.is_empty() {
+        text.push_str(&format!(
+            "faults : {} events applied, {} fault drops, \
+             fault-window delivery {:.1}%, {} degraded cycles\n",
+            stats.faults.events_applied,
+            stats.fault_drops(),
+            stats.faults.window_delivery_ratio() * 100.0,
+            stats.faults.degraded_cycles,
+        ));
+    }
     let mut census_json = json!(null);
     if let Some(scheme) = &ddpm {
         let census = attack_census(&topo, scheme, sim.delivered());
@@ -268,7 +503,13 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
     let json = json!({
         "topology": topo.describe(),
         "router": router.name(),
-        "failed_links": faults.len(),
+        "failed_links": faults.failed_links(),
+        "faults": {
+            "events_applied": stats.faults.events_applied,
+            "fault_drops": stats.fault_drops(),
+            "window_delivery_ratio": stats.faults.window_delivery_ratio(),
+            "degraded_cycles": stats.faults.degraded_cycles,
+        },
         "benign": {
             "injected": stats.benign.injected,
             "delivered": stats.benign.delivered,
@@ -342,6 +583,47 @@ mod tests {
         // …but the residue codec handles it.
         cfg.marking = MarkingSpec::DdpmResidue;
         assert!(run_scenario(&cfg).is_ok());
+    }
+
+    #[test]
+    fn fault_schedule_parses_applies_and_is_reported() {
+        let cfg: ScenarioConfig = serde_json::from_str(
+            r#"{
+                "topology": {"kind": "mesh", "dims": [4, 4]},
+                "router": "minimal_adaptive",
+                "marking": "ddpm",
+                "background_interval": 8,
+                "horizon": 2000,
+                "fault_retries": 4,
+                "fault_schedule": [
+                    {"at": 100, "kind": "link_down", "a": 0, "b": 1},
+                    {"at": 300, "kind": "switch_down", "node": 5},
+                    {"at": 900, "kind": "switch_up", "node": 5},
+                    {"at": 900, "kind": "link_up", "a": 0, "b": 1}
+                ]
+            }"#,
+        )
+        .expect("valid config");
+        assert_eq!(cfg.fault_schedule.len(), 4);
+        assert_eq!(cfg.fault_retries, 4);
+        let out = run_scenario(&cfg).expect("runs");
+        assert!(out.text.contains("faults :"), "{}", out.text);
+        assert_eq!(out.json["faults"]["events_applied"], 4u64);
+    }
+
+    #[test]
+    fn invalid_fault_schedule_is_rejected() {
+        let mut cfg = sample_cfg();
+        // Nodes 0 and 5 are not adjacent in an 8x8 torus.
+        cfg.fault_schedule = vec![(
+            10,
+            FaultEvent::LinkDown {
+                a: NodeId(0),
+                b: NodeId(5),
+            },
+        )];
+        let err = run_scenario(&cfg).unwrap_err();
+        assert!(err.contains("fault_schedule"), "{err}");
     }
 
     #[test]

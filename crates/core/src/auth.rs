@@ -49,7 +49,7 @@ use crate::ddpm::DdpmScheme;
 use ddpm_net::{CodecError, CodecMode, MarkingField, Packet, MF_BITS};
 use ddpm_sim::{MarkEnv, Marker};
 use ddpm_topology::{Coord, NodeId, Topology};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use rand::rngs::SmallRng;
 use std::fmt;
 use std::net::Ipv4Addr;
@@ -192,7 +192,7 @@ impl AuthDdpm {
     /// Tamper events honest switches have detected so far.
     #[must_use]
     pub fn tampered_seen(&self) -> u64 {
-        *self.tampered_seen.lock()
+        *self.tampered_seen.lock().unwrap()
     }
 
     fn tag_for(&self, vec_bits_value: u16, src: Ipv4Addr, dst: Ipv4Addr) -> u16 {
@@ -288,7 +288,7 @@ impl Marker for AuthDdpm {
     ) {
         // Verify BEFORE updating; never re-legitimise a corrupted field.
         if !self.verify_field(pkt) {
-            *self.tampered_seen.lock() += 1;
+            *self.tampered_seen.lock().unwrap() += 1;
             return;
         }
         let (vec, _) = self.split(pkt.header.identification);

@@ -27,7 +27,7 @@
 //!   cold — but not the attack: an attacker that floods under its own
 //!   address sails through, which is why identification still matters.
 //!
-//! All mutable filters use interior mutability (`parking_lot::RwLock`)
+//! All mutable filters use interior mutability (`std::sync::RwLock`)
 //! so a detection pipeline can extend blocklists while a simulation
 //! runs.
 
@@ -35,7 +35,7 @@ use crate::ddpm::DdpmScheme;
 use ddpm_net::{AddrMap, Packet};
 use ddpm_sim::Filter;
 use ddpm_topology::{Coord, Topology};
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use std::collections::HashSet;
 
 /// Quarantine at the source switch.
@@ -53,25 +53,25 @@ impl SourceQuarantine {
 
     /// Quarantines the node at `coord`.
     pub fn block(&self, coord: Coord) {
-        self.blocked.write().insert(coord);
+        self.blocked.write().unwrap().insert(coord);
     }
 
     /// Number of quarantined nodes.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.blocked.read().len()
+        self.blocked.read().unwrap().len()
     }
 
     /// True if nothing is quarantined.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.blocked.read().is_empty()
+        self.blocked.read().unwrap().is_empty()
     }
 }
 
 impl Filter for SourceQuarantine {
     fn block_at_injection(&self, _pkt: &Packet, src: &Coord) -> bool {
-        let blocked = self.blocked.read();
+        let blocked = self.blocked.read().unwrap();
         !blocked.is_empty() && blocked.contains(src)
     }
 }
@@ -97,25 +97,25 @@ impl DdpmDeliveryFilter {
 
     /// Blocks traffic whose recovered source is `coord`.
     pub fn block(&self, coord: Coord) {
-        self.blocked.write().insert(coord);
+        self.blocked.write().unwrap().insert(coord);
     }
 
     /// Number of blocked sources.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.blocked.read().len()
+        self.blocked.read().unwrap().len()
     }
 
     /// True if the blocklist is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.blocked.read().is_empty()
+        self.blocked.read().unwrap().is_empty()
     }
 }
 
 impl Filter for DdpmDeliveryFilter {
     fn block_at_delivery(&self, pkt: &Packet, dst: &Coord) -> bool {
-        let blocked = self.blocked.read();
+        let blocked = self.blocked.read().unwrap();
         if blocked.is_empty() {
             return false;
         }
@@ -144,31 +144,31 @@ impl SignatureFilter {
 
     /// Blocks a signature.
     pub fn block(&self, signature: u16) {
-        self.blocked.write().insert(signature);
+        self.blocked.write().unwrap().insert(signature);
     }
 
     /// Blocks every signature in `signatures`.
     pub fn block_all(&self, signatures: impl IntoIterator<Item = u16>) {
-        let mut w = self.blocked.write();
+        let mut w = self.blocked.write().unwrap();
         w.extend(signatures);
     }
 
     /// Number of blocked signatures.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.blocked.read().len()
+        self.blocked.read().unwrap().len()
     }
 
     /// True if the blocklist is empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.blocked.read().is_empty()
+        self.blocked.read().unwrap().is_empty()
     }
 }
 
 impl Filter for SignatureFilter {
     fn block_at_delivery(&self, pkt: &Packet, _dst: &Coord) -> bool {
-        let blocked = self.blocked.read();
+        let blocked = self.blocked.read().unwrap();
         !blocked.is_empty() && blocked.contains(&pkt.header.identification.raw())
     }
 }

@@ -9,12 +9,11 @@ use crate::ddpm::DdpmScheme;
 use ddpm_net::TrafficClass;
 use ddpm_sim::Delivered;
 use ddpm_topology::{NodeId, Topology};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Outcome counts of scoring an identification scheme against ground
 /// truth.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct IdentificationReport {
     /// Packets examined.
     pub total: u64,

@@ -17,11 +17,10 @@
 //!   stage `i` is `s_i`, regardless of `d`.
 
 use ddpm_topology::NodeId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A k-ary n-fly.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Butterfly {
     k: u16,
     n: u8,

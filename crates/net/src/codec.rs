@@ -20,11 +20,10 @@
 
 use crate::marking_field::{MarkingField, MF_BITS};
 use ddpm_topology::{Coord, Topology, TopologyKind};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How per-dimension distances are represented in the MF.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CodecMode {
     /// The paper's convention: two's-complement signed distance,
     /// `⌈log₂ k⌉ + 1` bits per mesh/torus dimension.
@@ -84,7 +83,7 @@ impl std::error::Error for CodecError {}
 ///
 /// Dimension 0 occupies the most significant bits, mirroring the
 /// row-major node indexing.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct DistanceCodec {
     kind: TopologyKind,
     dims: Vec<u16>,

@@ -11,13 +11,11 @@
 //! are observable as checksum updates, exactly as on real hardware.
 
 use crate::marking_field::MarkingField;
-use bytes::{Buf, BufMut};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 
 /// Transport protocol carried by a packet.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Protocol {
     /// ICMP (protocol number 1).
     Icmp,
@@ -58,7 +56,7 @@ impl Protocol {
 /// The `identification` field doubles as the Marking Field: every marking
 /// scheme in the paper overwrites it in flight ("To store sufficient
 /// trace back information in the 16-bit IP identification field", §2).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Ipv4Header {
     /// DSCP/ECN byte (kept for wire fidelity; unused by the schemes).
     pub tos: u8,
@@ -141,19 +139,16 @@ impl Ipv4Header {
 
     fn serialize_with_checksum(&self, checksum: u16) -> [u8; 20] {
         let mut buf = [0u8; 20];
-        {
-            let mut w = &mut buf[..];
-            w.put_u8(0x45); // version 4, IHL 5
-            w.put_u8(self.tos);
-            w.put_u16(self.total_length);
-            w.put_u16(self.identification.raw());
-            w.put_u16(self.flags_fragment);
-            w.put_u8(self.ttl);
-            w.put_u8(self.protocol.number());
-            w.put_u16(checksum);
-            w.put_slice(&self.src.octets());
-            w.put_slice(&self.dst.octets());
-        }
+        buf[0] = 0x45; // version 4, IHL 5
+        buf[1] = self.tos;
+        buf[2..4].copy_from_slice(&self.total_length.to_be_bytes());
+        buf[4..6].copy_from_slice(&self.identification.raw().to_be_bytes());
+        buf[6..8].copy_from_slice(&self.flags_fragment.to_be_bytes());
+        buf[8] = self.ttl;
+        buf[9] = self.protocol.number();
+        buf[10..12].copy_from_slice(&checksum.to_be_bytes());
+        buf[12..16].copy_from_slice(&self.src.octets());
+        buf[16..20].copy_from_slice(&self.dst.octets());
         buf
     }
 
@@ -169,26 +164,27 @@ impl Ipv4Header {
     /// # Errors
     /// Returns a [`HeaderError`] on truncation, bad version/IHL, or a
     /// checksum mismatch.
-    pub fn parse(mut bytes: &[u8]) -> Result<Self, HeaderError> {
+    pub fn parse(bytes: &[u8]) -> Result<Self, HeaderError> {
         if bytes.len() < 20 {
             return Err(HeaderError::Truncated);
         }
+        let be16 = |i: usize| u16::from_be_bytes([bytes[i], bytes[i + 1]]);
         let sum = internet_checksum(&bytes[..20]);
-        let version_ihl = bytes.get_u8();
+        let version_ihl = bytes[0];
         if version_ihl != 0x45 {
             return Err(HeaderError::BadVersionIhl(version_ihl));
         }
-        let tos = bytes.get_u8();
-        let total_length = bytes.get_u16();
-        let identification = MarkingField::new(bytes.get_u16());
-        let flags_fragment = bytes.get_u16();
-        let ttl = bytes.get_u8();
-        let protocol = Protocol::from_number(bytes.get_u8());
-        let got = bytes.get_u16();
+        let tos = bytes[1];
+        let total_length = be16(2);
+        let identification = MarkingField::new(be16(4));
+        let flags_fragment = be16(6);
+        let ttl = bytes[8];
+        let protocol = Protocol::from_number(bytes[9]);
+        let got = be16(10);
         let mut src = [0u8; 4];
-        bytes.copy_to_slice(&mut src);
+        src.copy_from_slice(&bytes[12..16]);
         let mut dst = [0u8; 4];
-        bytes.copy_to_slice(&mut dst);
+        dst.copy_from_slice(&bytes[16..20]);
         // With the checksum field included, a valid header sums to zero.
         if sum != 0 {
             let hdr = Self {

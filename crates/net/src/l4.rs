@@ -8,10 +8,9 @@
 //! ICMP for volumetric floods) lets the attack crate express those
 //! workloads and the detector count half-open connections.
 
-use serde::{Deserialize, Serialize};
 
 /// TCP flags relevant to the handshake model.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub struct TcpFlags {
     /// Synchronise (connection open).
     pub syn: bool,
@@ -74,7 +73,7 @@ impl TcpFlags {
 }
 
 /// Transport header: just enough structure for the paper's workloads.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum L4 {
     /// UDP datagram (volumetric floods à la trinoo/TFN, §1).
     Udp {

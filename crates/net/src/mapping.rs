@@ -12,7 +12,6 @@
 //! claimed source address is even plausible.
 
 use ddpm_topology::{NodeId, Topology};
-use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
 
 /// A bijection between cluster node indices and IPv4 addresses.
@@ -20,7 +19,7 @@ use std::net::Ipv4Addr;
 /// Addresses are assigned contiguously from a base address, e.g.
 /// `10.0.0.0` + index. The default block is RFC 1918 space, matching the
 /// paper's private-address deployment model.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct AddrMap {
     base: Ipv4Addr,
     num_nodes: u32,

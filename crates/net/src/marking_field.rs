@@ -13,7 +13,6 @@
 //! with explicit bounds checking so a mis-sized scheme fails loudly
 //! instead of silently corrupting neighbouring sub-fields.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Width of the marking field in bits (the IPv4 Identification field).
@@ -23,7 +22,7 @@ pub const MF_BITS: u32 = 16;
 ///
 /// Bit 0 is the least significant bit. Sub-fields are addressed as
 /// `(offset, width)` with `offset + width <= 16`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct MarkingField(u16);
 
 impl MarkingField {

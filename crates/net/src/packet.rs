@@ -10,14 +10,13 @@
 use crate::ipv4::Ipv4Header;
 use crate::l4::L4;
 use ddpm_topology::NodeId;
-use serde::{Deserialize, Serialize};
 
 /// Globally unique packet identifier (assigned by the injector).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct PacketId(pub u64);
 
 /// Evaluation-only traffic class.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum TrafficClass {
     /// Legitimate cluster traffic.
     Benign,
@@ -26,7 +25,7 @@ pub enum TrafficClass {
 }
 
 /// A packet in flight through the interconnect.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Packet {
     /// Unique id.
     pub id: PacketId,

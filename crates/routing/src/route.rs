@@ -3,7 +3,6 @@
 use crate::state::RouteState;
 use crate::{adaptive, dor, turn_model};
 use ddpm_topology::{Coord, Direction, FaultSet, Topology};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Immutable routing context: the network and its failed links.
@@ -54,7 +53,7 @@ pub struct Candidate {
 
 /// Routing adaptivity class (§3: "Depending on the adaptivity, an
 /// algorithm is called partially or fully adaptive").
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Adaptivity {
     /// One fixed path per (src, dst) pair.
     Deterministic,
@@ -94,7 +93,7 @@ impl fmt::Display for RouteError {
 impl std::error::Error for RouteError {}
 
 /// A routing algorithm. `Copy`, cheaply cloned into simulator configs.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Router {
     /// Dimension-order (XY on 2-D mesh, e-cube on hypercube): the
     /// deterministic baseline of Fig. 2(a).

@@ -12,10 +12,9 @@ use crate::route::{RouteCtx, RouteError, Router};
 use crate::state::RouteState;
 use ddpm_topology::{Coord, FaultSet, Topology};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// How a switch picks among candidate output ports.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum SelectionPolicy {
     /// Always the first candidate (deterministic given the algorithm).
     First,

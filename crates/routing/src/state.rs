@@ -1,7 +1,6 @@
 //! Per-packet routing state.
 
 use ddpm_topology::Direction;
-use serde::{Deserialize, Serialize};
 
 /// Mutable routing state carried by a packet through the network.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// packet has already travelled — what the turn-model algorithms need
 /// to enforce their phase invariants (e.g. west-first may never turn
 /// back west once it has moved in any other direction).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct RouteState {
     /// Hops taken so far.
     pub hops: u32,

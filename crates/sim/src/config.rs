@@ -1,9 +1,57 @@
 //! Simulator configuration.
 
-use serde::{Deserialize, Serialize};
+/// A bounded exponential-backoff retry policy, used for graceful
+/// degradation under dynamic faults: source-side injection retries when
+/// the local switch is down, and in-network reroute retries when a
+/// packet is stranded with no admissible output port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries before the packet is dropped (0 = fail
+    /// immediately, the pre-fault-tolerance behaviour).
+    pub retries: u32,
+    /// Delay before the first retry, in cycles. Doubles per attempt.
+    pub backoff: u64,
+    /// Upper bound on the per-attempt delay, in cycles.
+    pub max_delay: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: fail on first contact with a fault.
+    pub const OFF: Self = Self {
+        retries: 0,
+        backoff: 0,
+        max_delay: 0,
+    };
+
+    /// `retries` attempts with exponential backoff starting at `backoff`
+    /// cycles, capped at `max_delay`.
+    #[must_use]
+    pub fn capped(retries: u32, backoff: u64, max_delay: u64) -> Self {
+        Self {
+            retries,
+            backoff,
+            max_delay,
+        }
+    }
+
+    /// Delay before retry number `attempt` (0-based):
+    /// `min(backoff · 2^attempt, max_delay)`, and at least one cycle so
+    /// retries always advance simulated time.
+    #[must_use]
+    pub fn delay(&self, attempt: u32) -> u64 {
+        let shifted = self.backoff.saturating_mul(1u64 << attempt.min(32));
+        shifted.min(self.max_delay).max(1)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::OFF
+    }
+}
 
 /// Tunable parameters of a simulation run.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SimConfig {
     /// Propagation latency of one link, in cycles.
     pub link_latency: u64,
@@ -25,6 +73,17 @@ pub struct SimConfig {
     /// detected by RFC 1071 arithmetic), so corruption costs delivery,
     /// never correctness.
     pub bit_error_rate: f64,
+    /// Source-side injection retry policy: when a packet's local switch
+    /// is down at injection time, the compute node re-offers the packet
+    /// after a backoff instead of losing it. [`RetryPolicy::OFF`]
+    /// (default) drops immediately.
+    pub inject_retry: RetryPolicy,
+    /// In-network reroute retry policy: when routing offers no admissible
+    /// output port (a transient fault may heal), the switch parks the
+    /// packet and re-queries the *live* fault state after a backoff.
+    /// [`RetryPolicy::OFF`] (default) drops as `Blocked` immediately —
+    /// the pre-fault-tolerance behaviour.
+    pub reroute_retry: RetryPolicy,
     /// RNG seed. Identical configs + identical injections ⇒ identical
     /// runs.
     pub seed: u64,
@@ -39,6 +98,8 @@ impl Default for SimConfig {
             max_hops: 256,
             record_paths: false,
             bit_error_rate: 0.0,
+            inject_retry: RetryPolicy::OFF,
+            reroute_retry: RetryPolicy::OFF,
             seed: 0xDD9A,
         }
     }
@@ -60,6 +121,16 @@ impl SimConfig {
         self.record_paths = true;
         self
     }
+
+    /// Config with graceful degradation enabled: `retries` reroute and
+    /// injection attempts each, with exponential backoff starting at one
+    /// service time and capped at `cap` cycles.
+    #[must_use]
+    pub fn with_fault_tolerance(mut self, retries: u32, cap: u64) -> Self {
+        self.inject_retry = RetryPolicy::capped(retries, self.service_cycles.max(1), cap);
+        self.reroute_retry = RetryPolicy::capped(retries, self.service_cycles.max(1), cap);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -72,5 +143,20 @@ mod tests {
         assert_eq!(c.seed, 42);
         assert!(c.record_paths);
         assert_eq!(c.link_latency, SimConfig::default().link_latency);
+        assert_eq!(c.reroute_retry, RetryPolicy::OFF);
+        let ft = c.with_fault_tolerance(4, 100);
+        assert_eq!(ft.reroute_retry.retries, 4);
+        assert_eq!(ft.inject_retry.retries, 4);
+    }
+
+    #[test]
+    fn retry_delay_doubles_and_caps() {
+        let p = RetryPolicy::capped(6, 8, 50);
+        assert_eq!(p.delay(0), 8);
+        assert_eq!(p.delay(1), 16);
+        assert_eq!(p.delay(2), 32);
+        assert_eq!(p.delay(3), 50, "capped");
+        assert_eq!(p.delay(63), 50, "huge attempts saturate, no overflow");
+        assert_eq!(RetryPolicy::OFF.delay(0), 1, "time always advances");
     }
 }

@@ -1,6 +1,7 @@
 //! The event queue.
 
 use crate::time::SimTime;
+use ddpm_topology::FaultEvent;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -18,6 +19,23 @@ pub enum EventKind {
         pkt: usize,
         /// Dense index of the switch it arrives at.
         node: u32,
+        /// Dense index of the switch it departed from (`node` itself for
+        /// source-switch entry). Identifies the traversed link so a
+        /// mid-flight link failure can claim the packet.
+        from: u32,
+    },
+    /// A stranded packet retries routing at the switch of `node` after a
+    /// backoff (graceful degradation under faults).
+    Reroute {
+        /// In-flight packet handle.
+        pkt: usize,
+        /// Dense index of the switch holding the packet.
+        node: u32,
+    },
+    /// A scheduled change to the network's health is applied.
+    Fault {
+        /// The change.
+        event: FaultEvent,
     },
 }
 
@@ -75,6 +93,21 @@ impl EventQueue {
         self.heap.pop()
     }
 
+    /// Removes and returns every pending event matching `pred`, in
+    /// `(time, seq)` order. Used for fail-stop semantics: when a switch
+    /// or link dies, the packets committed to it are claimed (and
+    /// counted) instead of silently firing later.
+    pub fn extract(&mut self, mut pred: impl FnMut(&EventKind) -> bool) -> Vec<Event> {
+        let (out, keep): (Vec<Event>, Vec<Event>) = std::mem::take(&mut self.heap)
+            .into_vec()
+            .into_iter()
+            .partition(|e| pred(&e.kind));
+        self.heap = keep.into();
+        let mut out = out;
+        out.sort_by_key(|e| (e.time, e.seq));
+        out
+    }
+
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -110,11 +143,34 @@ mod tests {
         q.push(SimTime(7), EventKind::Inject { pkt: 30 });
         let pkts: Vec<usize> = std::iter::from_fn(|| q.pop())
             .map(|e| match e.kind {
-                EventKind::Inject { pkt } => pkt,
-                EventKind::Arrive { pkt, .. } => pkt,
+                EventKind::Inject { pkt }
+                | EventKind::Arrive { pkt, .. }
+                | EventKind::Reroute { pkt, .. } => pkt,
+                EventKind::Fault { .. } => unreachable!("no faults queued"),
             })
             .collect();
         assert_eq!(pkts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn extract_claims_matching_events_in_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(9), EventKind::Arrive { pkt: 0, node: 7, from: 3 });
+        q.push(SimTime(2), EventKind::Arrive { pkt: 1, node: 5, from: 7 });
+        q.push(SimTime(4), EventKind::Arrive { pkt: 2, node: 7, from: 6 });
+        q.push(SimTime(1), EventKind::Inject { pkt: 3 });
+        let claimed = q.extract(|k| matches!(k, EventKind::Arrive { node, from, .. } if *node == 7 || *from == 7));
+        let pkts: Vec<usize> = claimed
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Arrive { pkt, .. } => pkt,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(pkts, vec![1, 2, 0], "claimed in (time, seq) order");
+        assert_eq!(q.len(), 1, "unrelated events survive");
+        // The queue still pops correctly after the rebuild.
+        assert_eq!(q.pop().unwrap().kind, EventKind::Inject { pkt: 3 });
     }
 
     #[test]

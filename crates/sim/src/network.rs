@@ -8,7 +8,7 @@ use crate::stats::SimStats;
 use crate::time::SimTime;
 use ddpm_net::{Packet, TrafficClass};
 use ddpm_routing::{RouteCtx, RouteState, Router, SelectionPolicy};
-use ddpm_topology::{Coord, Direction, FaultSet, NodeId, Topology};
+use ddpm_topology::{Coord, Direction, FaultEvent, FaultSchedule, FaultSet, NodeId, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -29,6 +29,18 @@ pub enum DropReason {
     /// Header damaged in transit; checksum verification failed at the
     /// receiving switch.
     Corrupted,
+    /// Lost fail-stop at a switch that failed: the packet was queued at
+    /// the switch or committed to one of its links when it died.
+    SwitchDown,
+    /// Lost on the wire of a link that failed mid-flight.
+    LinkDown,
+    /// Stranded by faults with no admissible output port; the reroute
+    /// retry budget ([`crate::RetryPolicy`]) ran out before the network
+    /// healed.
+    RerouteExhausted,
+    /// The packet's source switch was down at injection time and the
+    /// injection retry budget ran out.
+    SourceDown,
 }
 
 /// A packet that reached its destination compute node.
@@ -60,19 +72,34 @@ struct InFlight {
     state: RouteState,
     injected_at: SimTime,
     path: Vec<NodeId>,
+    /// Injection attempts made against a downed source switch.
+    inject_attempts: u32,
+    /// Reroute retries consumed while stranded (cumulative per packet).
+    reroutes: u32,
+    /// True if injected while at least one fault was active (feeds the
+    /// fault-window delivery ratio).
+    under_fault: bool,
 }
 
 /// A discrete-event simulation run over one network.
 ///
 /// Typical usage:
 /// 1. build with [`Simulation::new`] (or [`Simulation::with_filter`]);
-/// 2. [`Simulation::schedule`] packets at their injection times;
-/// 3. [`Simulation::run`] to quiescence;
-/// 4. inspect [`Simulation::stats`], [`Simulation::delivered`] and
+/// 2. optionally [`Simulation::schedule_faults`] a dynamic
+///    [`FaultSchedule`];
+/// 3. [`Simulation::schedule`] packets at their injection times;
+/// 4. [`Simulation::run`] to quiescence;
+/// 5. inspect [`Simulation::stats`], [`Simulation::delivered`] and
 ///    [`Simulation::drops`].
+///
+/// The `faults` argument seeds the simulation's **live** fault state;
+/// every per-hop routing decision consults the live state, so scheduled
+/// [`FaultEvent`]s take effect on packets already in the network.
 pub struct Simulation<'a> {
     topo: &'a Topology,
-    faults: &'a FaultSet,
+    /// Live fault state: the initial `FaultSet` plus every applied
+    /// [`FaultEvent`] so far.
+    live: FaultSet,
     router: Router,
     policy: SelectionPolicy,
     marker: &'a dyn Marker,
@@ -87,6 +114,11 @@ pub struct Simulation<'a> {
     stats: SimStats,
     delivered: Vec<Delivered>,
     drops: Vec<(ddpm_net::PacketId, DropReason)>,
+    /// When the current degraded period started, if one is open.
+    degraded_since: Option<u64>,
+    /// Set when the last repair restored full health; cleared (and
+    /// recorded as time-to-recovery) by the next delivery.
+    pending_recovery: Option<u64>,
 }
 
 static NO_FILTER: NoFilter = NoFilter;
@@ -96,7 +128,7 @@ impl<'a> Simulation<'a> {
     #[must_use]
     pub fn new(
         topo: &'a Topology,
-        faults: &'a FaultSet,
+        faults: &FaultSet,
         router: Router,
         policy: SelectionPolicy,
         marker: &'a dyn Marker,
@@ -109,16 +141,17 @@ impl<'a> Simulation<'a> {
     #[must_use]
     pub fn with_filter(
         topo: &'a Topology,
-        faults: &'a FaultSet,
+        faults: &FaultSet,
         router: Router,
         policy: SelectionPolicy,
         marker: &'a dyn Marker,
         filter: &'a dyn Filter,
         cfg: SimConfig,
     ) -> Self {
+        let degraded_since = (!faults.is_empty()).then_some(0);
         Self {
             topo,
-            faults,
+            live: faults.clone(),
             router,
             policy,
             marker,
@@ -132,7 +165,25 @@ impl<'a> Simulation<'a> {
             stats: SimStats::default(),
             delivered: Vec::new(),
             drops: Vec::new(),
+            degraded_since,
+            pending_recovery: None,
         }
+    }
+
+    /// Schedules every event of a dynamic [`FaultSchedule`]. Call before
+    /// scheduling traffic: the queue breaks time ties by insertion
+    /// order, so faults registered first apply before same-cycle packet
+    /// events.
+    pub fn schedule_faults(&mut self, schedule: &FaultSchedule) {
+        for (t, event) in schedule.iter() {
+            self.queue.push(SimTime(t), EventKind::Fault { event });
+        }
+    }
+
+    /// The live fault state (initial faults plus applied events).
+    #[must_use]
+    pub fn live_faults(&self) -> &FaultSet {
+        &self.live
     }
 
     /// Schedules `packet` for injection at `time`. Returns its in-flight
@@ -144,6 +195,9 @@ impl<'a> Simulation<'a> {
             state: RouteState::with_budget(self.router.misroute_budget()),
             injected_at: time,
             path: Vec::new(),
+            inject_attempts: 0,
+            reroutes: 0,
+            under_fault: false,
         });
         self.queue.push(time, EventKind::Inject { pkt: idx });
         idx
@@ -156,8 +210,13 @@ impl<'a> Simulation<'a> {
             self.now = ev.time;
             match ev.kind {
                 EventKind::Inject { pkt } => self.handle_inject(pkt),
-                EventKind::Arrive { pkt, node } => self.handle_arrive(pkt, node),
+                EventKind::Arrive { pkt, node, .. } => self.handle_arrive(pkt, node),
+                EventKind::Reroute { pkt, node } => self.handle_reroute(pkt, node),
+                EventKind::Fault { event } => self.handle_fault(event),
             }
+        }
+        if let Some(t0) = self.degraded_since.take() {
+            self.stats.faults.degraded_cycles += self.now.cycles() - t0;
         }
         self.stats.end_time = self.now.cycles();
         debug_assert!(self.stats.accounted(0), "packet conservation violated");
@@ -203,14 +262,90 @@ impl<'a> Simulation<'a> {
             DropReason::HopLimit => c.dropped_hop_limit += 1,
             DropReason::Filtered => c.dropped_filtered += 1,
             DropReason::Corrupted => c.dropped_corrupt += 1,
+            DropReason::SwitchDown => c.dropped_switch_down += 1,
+            DropReason::LinkDown => c.dropped_link_down += 1,
+            DropReason::RerouteExhausted => c.dropped_reroute += 1,
+            DropReason::SourceDown => c.dropped_source_down += 1,
         }
         self.drops.push((self.pkts[pkt].packet.id, reason));
+    }
+
+    /// Applies one scheduled [`FaultEvent`] to the live fault state and
+    /// enforces fail-stop semantics: packets committed to a component
+    /// that just died are claimed now, with a typed drop — never
+    /// silently lost.
+    fn handle_fault(&mut self, ev: FaultEvent) {
+        let was_healthy = self.live.is_empty();
+        self.live.apply(self.topo, ev);
+        self.stats.faults.events_applied += 1;
+        match ev {
+            FaultEvent::LinkDown { a, b } => {
+                // Packets on the wire of this link die with it.
+                let lost = self.queue.extract(|k| {
+                    matches!(k, EventKind::Arrive { node, from, .. }
+                        if (NodeId(*node), NodeId(*from)) == (a, b)
+                            || (NodeId(*node), NodeId(*from)) == (b, a))
+                });
+                for e in lost {
+                    if let EventKind::Arrive { pkt, .. } = e.kind {
+                        self.drop_packet(pkt, DropReason::LinkDown);
+                    }
+                }
+            }
+            FaultEvent::SwitchDown { node } => {
+                // Fail-stop: the switch's buffers vanish. That claims
+                // packets in flight toward it, packets it had already
+                // committed to an output port (future arrivals with
+                // `from == node`), and packets parked at it awaiting a
+                // reroute retry.
+                let lost = self.queue.extract(|k| match k {
+                    EventKind::Arrive { node: n, from, .. } => *n == node.0 || *from == node.0,
+                    EventKind::Reroute { node: n, .. } => *n == node.0,
+                    EventKind::Inject { .. } | EventKind::Fault { .. } => false,
+                });
+                for e in lost {
+                    if let EventKind::Arrive { pkt, .. } | EventKind::Reroute { pkt, .. } = e.kind {
+                        self.drop_packet(pkt, DropReason::SwitchDown);
+                    }
+                }
+            }
+            FaultEvent::LinkUp { .. } | FaultEvent::SwitchUp { .. } => {}
+        }
+        if was_healthy && !self.live.is_empty() {
+            self.degraded_since = Some(self.now.cycles());
+        } else if !was_healthy && self.live.is_empty() {
+            if let Some(t0) = self.degraded_since.take() {
+                self.stats.faults.degraded_cycles += self.now.cycles() - t0;
+            }
+            self.pending_recovery = Some(self.now.cycles());
+        }
     }
 
     fn handle_inject(&mut self, pkt: usize) {
         let src_id = self.pkts[pkt].packet.true_source;
         let src = self.topo.coord(src_id);
-        self.stats.class_mut(self.class_of(pkt)).injected += 1;
+        if self.pkts[pkt].inject_attempts == 0 {
+            self.stats.class_mut(self.class_of(pkt)).injected += 1;
+            let under = !self.live.is_empty();
+            self.pkts[pkt].under_fault = under;
+            if under {
+                self.stats.faults.window_injected += 1;
+            }
+        }
+        // Source-side graceful degradation: a downed local switch makes
+        // the compute node hold the packet and retry with exponential
+        // backoff (the injection RetryPolicy) rather than lose it.
+        if self.live.is_node_dead(src_id) {
+            let attempt = self.pkts[pkt].inject_attempts;
+            if attempt < self.cfg.inject_retry.retries {
+                self.pkts[pkt].inject_attempts = attempt + 1;
+                let at = self.now.cycles() + self.cfg.inject_retry.delay(attempt);
+                self.queue.push(SimTime(at), EventKind::Inject { pkt });
+            } else {
+                self.drop_packet(pkt, DropReason::SourceDown);
+            }
+            return;
+        }
         if self.cfg.record_paths {
             self.pkts[pkt].path.push(src_id);
         }
@@ -262,6 +397,12 @@ impl<'a> Simulation<'a> {
             }
             let class = self.class_of(pkt);
             let inflight = &self.pkts[pkt];
+            if inflight.under_fault {
+                self.stats.faults.window_delivered += 1;
+            }
+            if let Some(t0) = self.pending_recovery.take() {
+                self.stats.faults.recovery.record(self.now.cycles() - t0);
+            }
             let c = self.stats.class_mut(class);
             c.delivered += 1;
             let latency = self.now - inflight.injected_at;
@@ -290,12 +431,29 @@ impl<'a> Simulation<'a> {
             return;
         }
         let dst = self.topo.coord(self.pkts[pkt].packet.dest_node);
-        let ctx = RouteCtx::new(self.topo, self.faults);
+        // Per-hop re-query against the LIVE fault state: links and
+        // switches that died since the previous hop are excluded, ones
+        // that healed are available again.
+        let ctx = RouteCtx::new(self.topo, &self.live);
         let candidates = self
             .router
             .candidates(&ctx, cur, &dst, &self.pkts[pkt].state);
         let Some(i) = self.policy.pick(&candidates, &mut self.rng) else {
-            self.drop_packet(pkt, DropReason::Blocked);
+            // Stranded. With a reroute budget the switch parks the
+            // packet and retries after a backoff — transient faults may
+            // heal. Without one (the default), this is a Blocked drop,
+            // as before dynamic faults existed.
+            let tried = self.pkts[pkt].reroutes;
+            if tried < self.cfg.reroute_retry.retries {
+                self.pkts[pkt].reroutes = tried + 1;
+                let at = self.now.cycles() + self.cfg.reroute_retry.delay(tried);
+                let node = self.topo.index(cur).0;
+                self.queue.push(SimTime(at), EventKind::Reroute { pkt, node });
+            } else if self.cfg.reroute_retry.retries > 0 {
+                self.drop_packet(pkt, DropReason::RerouteExhausted);
+            } else {
+                self.drop_packet(pkt, DropReason::Blocked);
+            }
             return;
         };
         let chosen = candidates[i];
@@ -328,8 +486,26 @@ impl<'a> Simulation<'a> {
         self.ports.insert(key, depart);
         let arrive = depart + self.cfg.link_latency;
         let next_id = self.topo.index(&chosen.next).0;
-        self.queue
-            .push(SimTime(arrive), EventKind::Arrive { pkt, node: next_id });
+        self.queue.push(
+            SimTime(arrive),
+            EventKind::Arrive {
+                pkt,
+                node: next_id,
+                from: self.topo.index(cur).0,
+            },
+        );
+    }
+
+    /// A parked packet's backoff expired: re-query routing against the
+    /// live fault state.
+    fn handle_reroute(&mut self, pkt: usize, node: u32) {
+        let node_id = NodeId(node);
+        debug_assert!(
+            !self.live.is_node_dead(node_id),
+            "SwitchDown claims parked packets eagerly"
+        );
+        let cur = self.topo.coord(node_id);
+        self.forward_from(pkt, &cur);
     }
 }
 
@@ -621,6 +797,273 @@ mod tests {
             .map(|d| d.path.clone().unwrap())
             .collect();
         assert!(distinct.len() > 5, "expected many distinct paths");
+    }
+
+    #[test]
+    fn link_down_mid_flight_claims_packet() {
+        use ddpm_topology::{FaultEvent, FaultSchedule};
+        let topo = Topology::mesh2d(4);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            SimConfig::default(),
+        );
+        // Injected at 0, the packet departs (0,0) at cycle 4 and is on
+        // the wire to (1,0) until cycle 6. The link dies at cycle 5.
+        sim.schedule_faults(&FaultSchedule::from_events(vec![(
+            5,
+            FaultEvent::LinkDown {
+                a: NodeId(0),
+                b: NodeId(4),
+            },
+        )]));
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 1, NodeId(0), NodeId(12), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.benign.dropped_link_down, 1, "lost on the wire");
+        assert_eq!(stats.benign.delivered, 0);
+        assert_eq!(sim.drops(), &[(ddpm_net::PacketId(1), DropReason::LinkDown)]);
+        assert_eq!(stats.faults.events_applied, 1);
+        assert!(stats.accounted(0), "fail-stop, never silent loss");
+    }
+
+    #[test]
+    fn switch_down_fail_stop_claims_queued_packets() {
+        use ddpm_topology::{FaultEvent, FaultSchedule};
+        let topo = Topology::mesh2d(4);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let cfg = SimConfig {
+            link_latency: 1,
+            service_cycles: 10,
+            ..SimConfig::default()
+        };
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            cfg,
+        );
+        // Switch (1,0) dies at cycle 15 with a backlog serialising
+        // through it; everything committed to it is claimed.
+        sim.schedule_faults(&FaultSchedule::from_events(vec![(
+            15,
+            FaultEvent::SwitchDown { node: NodeId(4) },
+        )]));
+        for id in 0..6 {
+            sim.schedule(
+                SimTime::ZERO,
+                mk_packet(&map, id, NodeId(0), NodeId(8), TrafficClass::Benign),
+            );
+        }
+        let stats = sim.run();
+        assert!(stats.benign.dropped_switch_down > 0, "fail-stop losses");
+        assert!(
+            stats.benign.delivered < 6,
+            "the outage must cost deliveries"
+        );
+        assert!(stats.accounted(0));
+    }
+
+    #[test]
+    fn reroute_retry_rides_out_a_transient_fault() {
+        use ddpm_topology::{FaultEvent, FaultSchedule};
+        let topo = Topology::mesh2d(4);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            SimConfig::default().with_fault_tolerance(8, 64),
+        );
+        // XY from (0,0) to (2,0) needs the east link, down during
+        // [1, 50): without retries this is a Blocked drop (see
+        // `blocked_routing_drops`); with them the switch parks the
+        // packet until the repair.
+        sim.schedule_faults(&FaultSchedule::from_events(vec![
+            (
+                1,
+                FaultEvent::LinkDown {
+                    a: NodeId(0),
+                    b: NodeId(4),
+                },
+            ),
+            (
+                50,
+                FaultEvent::LinkUp {
+                    a: NodeId(0),
+                    b: NodeId(4),
+                },
+            ),
+        ]));
+        sim.schedule(
+            SimTime(5),
+            mk_packet(&map, 1, NodeId(0), NodeId(8), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.benign.delivered, 1, "the packet waits out the outage");
+        assert_eq!(stats.benign.dropped(), 0);
+        assert_eq!(stats.faults.window_injected, 1);
+        assert_eq!(stats.faults.window_delivered, 1);
+        assert_eq!(stats.faults.window_delivery_ratio(), 1.0);
+        assert_eq!(stats.faults.recovery.count, 1, "time-to-recovery sampled");
+        assert!(stats.faults.degraded_cycles >= 49);
+    }
+
+    #[test]
+    fn reroute_exhaustion_is_a_typed_drop() {
+        use ddpm_topology::{FaultEvent, FaultSchedule};
+        let topo = Topology::mesh2d(4);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            SimConfig::default().with_fault_tolerance(2, 32),
+        );
+        // The east link never comes back: the budget runs dry.
+        sim.schedule_faults(&FaultSchedule::from_events(vec![(
+            1,
+            FaultEvent::LinkDown {
+                a: NodeId(0),
+                b: NodeId(4),
+            },
+        )]));
+        sim.schedule(
+            SimTime(5),
+            mk_packet(&map, 1, NodeId(0), NodeId(8), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.benign.dropped_reroute, 1);
+        assert_eq!(stats.benign.dropped_blocked, 0, "typed, not generic");
+        assert_eq!(
+            sim.drops(),
+            &[(ddpm_net::PacketId(1), DropReason::RerouteExhausted)]
+        );
+    }
+
+    #[test]
+    fn inject_retry_waits_out_a_source_switch_outage() {
+        use ddpm_topology::{FaultEvent, FaultSchedule};
+        let topo = Topology::mesh2d(4);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            SimConfig::default().with_fault_tolerance(8, 64),
+        );
+        sim.schedule_faults(&FaultSchedule::from_events(vec![
+            (1, FaultEvent::SwitchDown { node: NodeId(0) }),
+            (40, FaultEvent::SwitchUp { node: NodeId(0) }),
+        ]));
+        sim.schedule(
+            SimTime(5),
+            mk_packet(&map, 1, NodeId(0), NodeId(5), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.benign.injected, 1, "counted once across retries");
+        assert_eq!(stats.benign.delivered, 1);
+        assert!(
+            sim.delivered()[0].delivered_at > SimTime(40),
+            "held until the switch came back"
+        );
+    }
+
+    #[test]
+    fn source_down_without_retries_is_a_typed_drop() {
+        use ddpm_topology::{FaultEvent, FaultSchedule};
+        let topo = Topology::mesh2d(4);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            SimConfig::default(),
+        );
+        sim.schedule_faults(&FaultSchedule::from_events(vec![(
+            1,
+            FaultEvent::SwitchDown { node: NodeId(0) },
+        )]));
+        sim.schedule(
+            SimTime(5),
+            mk_packet(&map, 1, NodeId(0), NodeId(5), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.benign.dropped_source_down, 1);
+        assert_eq!(
+            sim.drops(),
+            &[(ddpm_net::PacketId(1), DropReason::SourceDown)]
+        );
+        assert!(stats.accounted(0));
+    }
+
+    #[test]
+    fn adaptive_routing_detours_around_a_dynamic_fault() {
+        use ddpm_topology::{FaultEvent, FaultSchedule};
+        // The per-hop live re-query in action: an adaptive router picks
+        // a different productive port when its preferred link dies
+        // mid-journey — no retries needed.
+        let topo = Topology::mesh2d(4);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::MinimalAdaptive,
+            SelectionPolicy::First,
+            &marker,
+            SimConfig::default().with_paths(),
+        );
+        // Kill the (0,0)–(1,0) link before the packet leaves; minimal
+        // adaptive still has the (0,0)–(0,1) productive hop.
+        sim.schedule_faults(&FaultSchedule::from_events(vec![(
+            1,
+            FaultEvent::LinkDown {
+                a: NodeId(0),
+                b: NodeId(4),
+            },
+        )]));
+        sim.schedule(
+            SimTime(5),
+            mk_packet(&map, 1, NodeId(0), NodeId(5), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.benign.delivered, 1);
+        let path = sim.delivered()[0].path.as_ref().unwrap();
+        assert_eq!(
+            path,
+            &[NodeId(0), NodeId(1), NodeId(5)],
+            "detoured via (0,1)"
+        );
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! Run statistics.
 
 use ddpm_net::TrafficClass;
-use serde::{Deserialize, Serialize};
 
 /// Streaming latency summary (count / sum / min / max).
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct LatencyStats {
     /// Samples recorded.
     pub count: u64,
@@ -38,7 +37,7 @@ impl LatencyStats {
 }
 
 /// Counters for one traffic class.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct ClassStats {
     /// Packets handed to source switches.
     pub injected: u64,
@@ -56,6 +55,17 @@ pub struct ClassStats {
     pub dropped_filtered: u64,
     /// Packets discarded after link corruption (checksum mismatch).
     pub dropped_corrupt: u64,
+    /// Packets lost fail-stop at a failed switch (queued or in flight
+    /// toward it when it died).
+    pub dropped_switch_down: u64,
+    /// Packets lost on the wire of a link that failed mid-flight.
+    pub dropped_link_down: u64,
+    /// Packets dropped after exhausting reroute retries while stranded
+    /// by faults.
+    pub dropped_reroute: u64,
+    /// Packets dropped after exhausting injection retries at a downed
+    /// source switch.
+    pub dropped_source_down: u64,
     /// End-to-end latency of delivered packets.
     pub latency: LatencyStats,
     /// Total hops of delivered packets.
@@ -72,6 +82,17 @@ impl ClassStats {
             + self.dropped_hop_limit
             + self.dropped_filtered
             + self.dropped_corrupt
+            + self.dropped_fault()
+    }
+
+    /// Drops directly caused by dynamic faults (fail-stop losses plus
+    /// exhausted retries).
+    #[must_use]
+    pub fn dropped_fault(&self) -> u64 {
+        self.dropped_switch_down
+            + self.dropped_link_down
+            + self.dropped_reroute
+            + self.dropped_source_down
     }
 
     /// Delivered fraction of injected.
@@ -90,13 +111,45 @@ impl ClassStats {
     }
 }
 
+/// Dynamic-fault bookkeeping for one run (aggregate across traffic
+/// classes; the per-class fault drops live in [`ClassStats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaultStats {
+    /// Fault events applied from the schedule.
+    pub events_applied: u64,
+    /// Packets injected while at least one fault was active.
+    pub window_injected: u64,
+    /// Of those, packets that were still delivered.
+    pub window_delivered: u64,
+    /// Total cycles during which at least one fault was active.
+    pub degraded_cycles: u64,
+    /// Time-to-recovery samples: cycles from the repair that restored
+    /// full health to the next successful delivery.
+    pub recovery: LatencyStats,
+}
+
+impl FaultStats {
+    /// Delivery ratio of packets injected while faults were active —
+    /// the graceful-degradation headline number. `1.0` when no packet
+    /// was injected under faults.
+    #[must_use]
+    pub fn window_delivery_ratio(&self) -> f64 {
+        if self.window_injected == 0 {
+            return 1.0;
+        }
+        self.window_delivered as f64 / self.window_injected as f64
+    }
+}
+
 /// Full-run statistics, split by traffic class.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SimStats {
     /// Counters for benign traffic.
     pub benign: ClassStats,
     /// Counters for attack traffic.
     pub attack: ClassStats,
+    /// Dynamic-fault bookkeeping (zeroed when no schedule is installed).
+    pub faults: FaultStats,
     /// Simulated end time (cycles at last event).
     pub end_time: u64,
 }
@@ -132,6 +185,10 @@ impl SimStats {
         t.dropped_hop_limit += a.dropped_hop_limit;
         t.dropped_filtered += a.dropped_filtered;
         t.dropped_corrupt += a.dropped_corrupt;
+        t.dropped_switch_down += a.dropped_switch_down;
+        t.dropped_link_down += a.dropped_link_down;
+        t.dropped_reroute += a.dropped_reroute;
+        t.dropped_source_down += a.dropped_source_down;
         t.total_hops += a.total_hops;
         t.latency.count += a.latency.count;
         t.latency.sum += a.latency.sum;
@@ -145,6 +202,12 @@ impl SimStats {
             }
         }
         t
+    }
+
+    /// Fault-caused drops across both traffic classes.
+    #[must_use]
+    pub fn fault_drops(&self) -> u64 {
+        self.benign.dropped_fault() + self.attack.dropped_fault()
     }
 
     /// Conservation check: every injected packet is delivered, dropped,
@@ -199,5 +262,31 @@ mod tests {
     fn delivery_ratio_empty_is_one() {
         let c = ClassStats::default();
         assert_eq!(c.delivery_ratio(), 1.0);
+    }
+
+    #[test]
+    fn fault_drops_roll_up() {
+        let mut s = SimStats::default();
+        s.benign.injected = 4;
+        s.benign.dropped_switch_down = 1;
+        s.benign.dropped_link_down = 1;
+        s.attack.injected = 3;
+        s.attack.dropped_reroute = 1;
+        s.attack.dropped_source_down = 1;
+        assert_eq!(s.fault_drops(), 4);
+        assert_eq!(s.total().dropped(), 4, "fault drops count as drops");
+        assert!(s.accounted(3));
+    }
+
+    #[test]
+    fn window_ratio_defaults_to_one() {
+        let f = FaultStats::default();
+        assert_eq!(f.window_delivery_ratio(), 1.0);
+        let f = FaultStats {
+            window_injected: 8,
+            window_delivered: 6,
+            ..FaultStats::default()
+        };
+        assert_eq!(f.window_delivery_ratio(), 0.75);
     }
 }

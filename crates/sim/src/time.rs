@@ -1,6 +1,5 @@
 //! Simulation time.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -9,7 +8,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// One cycle is the simulator's base unit; [`crate::SimConfig`] expresses
 /// link latency and per-packet service time in cycles.
 #[derive(
-    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Default,
 )]
 pub struct SimTime(pub u64);
 

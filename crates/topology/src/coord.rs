@@ -10,9 +10,6 @@
 //! The capacity is [`MAX_DIMS`] = 16, enough for the largest network the
 //! paper's 16-bit marking field can address (a 16-cube hypercube).
 
-use serde::de::{SeqAccess, Visitor};
-use serde::ser::SerializeSeq;
-use serde::{Deserialize, Deserializer, Serialize, Serializer};
 use std::fmt;
 use std::ops::{Add, Index, Neg, Sub};
 
@@ -221,46 +218,6 @@ impl fmt::Display for Coord {
             write!(f, "{v}")?;
         }
         write!(f, ")")
-    }
-}
-
-impl Serialize for Coord {
-    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        let mut seq = serializer.serialize_seq(Some(self.ndims()))?;
-        for v in self.iter() {
-            seq.serialize_element(&v)?;
-        }
-        seq.end()
-    }
-}
-
-impl<'de> Deserialize<'de> for Coord {
-    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        struct CoordVisitor;
-
-        impl<'de> Visitor<'de> for CoordVisitor {
-            type Value = Coord;
-
-            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-                write!(f, "a sequence of 1..={MAX_DIMS} i16 components")
-            }
-
-            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Coord, A::Error> {
-                let mut values = Vec::with_capacity(seq.size_hint().unwrap_or(2));
-                while let Some(v) = seq.next_element::<i16>()? {
-                    if values.len() == MAX_DIMS {
-                        return Err(serde::de::Error::invalid_length(values.len() + 1, &self));
-                    }
-                    values.push(v);
-                }
-                if values.is_empty() {
-                    return Err(serde::de::Error::invalid_length(0, &self));
-                }
-                Ok(Coord::new(&values))
-            }
-        }
-
-        deserializer.deserialize_seq(CoordVisitor)
     }
 }
 

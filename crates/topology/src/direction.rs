@@ -5,11 +5,10 @@
 //! (one per dimension — a hop toggles that dimension's bit, so sign is
 //! meaningless and normalised to [`Sign::Plus`]).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The sign of a hop along a dimension.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub enum Sign {
     /// Towards increasing coordinate.
     Plus,
@@ -43,7 +42,7 @@ impl Sign {
 /// axis and dimension 1 the Y (row) axis, so `{dim: 0, sign: Plus}` is
 /// "east", `{dim: 0, sign: Minus}` is "west", and so on — the vocabulary
 /// used by the turn-model routing algorithms (west-first, §3).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
 pub struct Direction {
     /// Dimension index, `< Topology::ndims()`.
     pub dim: u8,

@@ -1,20 +1,30 @@
-//! Link-fault sets.
+//! Link- and switch-fault sets, plus timestamped fault schedules.
 //!
 //! Figure 2 of the paper motivates adaptive routing with failed links
 //! ("there are two small blocks on the right side of sources, meaning that
-//! those links failed for some reasons"). A [`FaultSet`] is an undirected
-//! set of dead links; routing algorithms and the simulator consult it when
-//! enumerating candidate output ports.
+//! those links failed for some reasons"). A [`FaultSet`] is the network's
+//! health at one instant: an undirected set of dead links plus a set of
+//! dead (fail-stop) switches; routing algorithms and the simulator consult
+//! it when enumerating candidate output ports.
+//!
+//! A [`FaultSchedule`] extends the static picture to *dynamic* faults: a
+//! time-ordered list of [`FaultEvent`]s (links and switches going down and
+//! coming back) that the simulator applies to its live [`FaultSet`] as
+//! simulated time passes. [`FaultSchedule::churn`] generates random
+//! fail/repair churn for resilience experiments.
 
 use crate::coord::Coord;
 use crate::topology::{NodeId, Topology};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
-/// An undirected set of failed links, stored as normalised
-/// `(min NodeId, max NodeId)` pairs.
+/// The network's health: an undirected set of failed links (stored as
+/// normalised `(min NodeId, max NodeId)` pairs) plus a set of failed
+/// switches. A failed switch is fail-stop: every link incident to it is
+/// unusable while it is down.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultSet {
     dead: HashSet<(NodeId, NodeId)>,
+    dead_nodes: HashSet<NodeId>,
 }
 
 impl FaultSet {
@@ -51,22 +61,85 @@ impl FaultSet {
         self.dead.remove(&Self::key(topo, a, b))
     }
 
-    /// True if the link `a — b` is failed.
-    #[must_use]
-    pub fn is_faulty(&self, topo: &Topology, a: &Coord, b: &Coord) -> bool {
-        !self.dead.is_empty() && self.dead.contains(&Self::key(topo, a, b))
+    /// Marks the switch at `node` as failed (fail-stop: all its links
+    /// become unusable).
+    pub fn fail_switch(&mut self, node: NodeId) {
+        self.dead_nodes.insert(node);
     }
 
-    /// Number of failed links.
+    /// Restores a previously failed switch. Returns true if it was down.
+    pub fn restore_switch(&mut self, node: NodeId) -> bool {
+        self.dead_nodes.remove(&node)
+    }
+
+    /// True if the switch at `node` is down.
+    #[must_use]
+    pub fn is_node_dead(&self, node: NodeId) -> bool {
+        !self.dead_nodes.is_empty() && self.dead_nodes.contains(&node)
+    }
+
+    /// True if the link `a — b` is unusable: the link itself failed, or
+    /// either endpoint switch is down.
+    #[must_use]
+    pub fn is_faulty(&self, topo: &Topology, a: &Coord, b: &Coord) -> bool {
+        if self.dead.is_empty() && self.dead_nodes.is_empty() {
+            return false;
+        }
+        let k = Self::key(topo, a, b);
+        self.dead_nodes.contains(&k.0) || self.dead_nodes.contains(&k.1) || self.dead.contains(&k)
+    }
+
+    /// Total number of faults (failed links + failed switches).
     #[must_use]
     pub fn len(&self) -> usize {
+        self.dead.len() + self.dead_nodes.len()
+    }
+
+    /// Number of failed links (not counting links implied by dead
+    /// switches).
+    #[must_use]
+    pub fn failed_links(&self) -> usize {
         self.dead.len()
     }
 
-    /// True if no link is failed.
+    /// Number of failed switches.
+    #[must_use]
+    pub fn failed_switches(&self) -> usize {
+        self.dead_nodes.len()
+    }
+
+    /// True if the network is fully healthy.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.dead.is_empty()
+        self.dead.is_empty() && self.dead_nodes.is_empty()
+    }
+
+    /// Applies one fault event. Down events are idempotent; up events on
+    /// healthy components are no-ops.
+    ///
+    /// # Panics
+    /// Panics if a link event names a non-link or a switch event names a
+    /// node outside the topology (validate schedules from untrusted input
+    /// with [`FaultSchedule::validate`] first).
+    pub fn apply(&mut self, topo: &Topology, ev: FaultEvent) {
+        match ev {
+            FaultEvent::LinkDown { a, b } => {
+                self.add(topo, &topo.coord(a), &topo.coord(b));
+            }
+            FaultEvent::LinkUp { a, b } => {
+                self.remove(topo, &topo.coord(a), &topo.coord(b));
+            }
+            FaultEvent::SwitchDown { node } => {
+                assert!(
+                    u64::from(node.0) < topo.num_nodes(),
+                    "switch {node} outside the topology"
+                );
+                self.fail_switch(node);
+            }
+            FaultEvent::SwitchUp { node } => {
+                self.restore_switch(node);
+            }
+        }
     }
 
     /// Fails each link of the topology independently with probability
@@ -91,6 +164,182 @@ impl FaultSet {
     /// Iterator over failed links as `(NodeId, NodeId)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.dead.iter().copied()
+    }
+}
+
+/// One timestamped change to the network's health.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The link `a — b` fails. Packets on the wire are lost (fail-stop).
+    LinkDown {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The link `a — b` is repaired.
+    LinkUp {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The switch at `node` fails (fail-stop: queued and in-flight
+    /// packets at the switch are lost; its compute node cannot inject).
+    SwitchDown {
+        /// The failing switch.
+        node: NodeId,
+    },
+    /// The switch at `node` is repaired (empty buffers, fresh state).
+    SwitchUp {
+        /// The repaired switch.
+        node: NodeId,
+    },
+}
+
+/// Parameters for [`FaultSchedule::churn`]: periodic random fail/repair
+/// rounds over a horizon.
+#[derive(Clone, Copy, Debug)]
+pub struct ChurnConfig {
+    /// Fault rounds happen at `period, 2·period, …` up to (excluding)
+    /// this time.
+    pub horizon: u64,
+    /// Cycles between fault rounds.
+    pub period: u64,
+    /// Per-round probability that each healthy link fails.
+    pub link_rate: f64,
+    /// Per-round probability that each healthy switch fails.
+    pub switch_rate: f64,
+    /// Cycles until a failed component is repaired.
+    pub down_time: u64,
+}
+
+/// A time-ordered list of [`FaultEvent`]s the simulator applies as
+/// simulated time passes. Events at equal times apply in list order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    events: Vec<(u64, FaultEvent)>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no dynamic faults).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a schedule from `(time, event)` pairs, sorting by time
+    /// (stable: equal-time events keep their given order).
+    #[must_use]
+    pub fn from_events(mut events: Vec<(u64, FaultEvent)>) -> Self {
+        events.sort_by_key(|&(t, _)| t);
+        Self { events }
+    }
+
+    /// Appends `ev` at `at`, keeping the schedule sorted (after any
+    /// events already at the same time).
+    pub fn push(&mut self, at: u64, ev: FaultEvent) {
+        let idx = self.events.partition_point(|&(t, _)| t <= at);
+        self.events.insert(idx, (at, ev));
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterator over `(time, event)` in application order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, FaultEvent)> + '_ {
+        self.events.iter().copied()
+    }
+
+    /// Checks every event against `topo`: link events must name real
+    /// links, switch events real nodes.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first invalid event.
+    pub fn validate(&self, topo: &Topology) -> Result<(), String> {
+        let n = topo.num_nodes();
+        for &(t, ev) in &self.events {
+            match ev {
+                FaultEvent::LinkDown { a, b } | FaultEvent::LinkUp { a, b } => {
+                    if u64::from(a.0) >= n || u64::from(b.0) >= n {
+                        return Err(format!(
+                            "fault at t={t}: node {} or {} outside the {n}-node topology",
+                            a.0, b.0
+                        ));
+                    }
+                    let (ca, cb) = (topo.coord(a), topo.coord(b));
+                    if !topo.neighbors(&ca).iter().any(|(_, nb)| *nb == cb) {
+                        return Err(format!(
+                            "fault at t={t}: {ca} and {cb} are not neighbours"
+                        ));
+                    }
+                }
+                FaultEvent::SwitchDown { node } | FaultEvent::SwitchUp { node } => {
+                    if u64::from(node.0) >= n {
+                        return Err(format!(
+                            "fault at t={t}: switch {} outside the {n}-node topology",
+                            node.0
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Generates random fail/repair churn: every `cfg.period` cycles each
+    /// healthy link fails with probability `cfg.link_rate` and each
+    /// healthy switch with `cfg.switch_rate`; a matching repair event
+    /// follows `cfg.down_time` cycles later. Components already down are
+    /// not re-failed (no overlapping outages of one component).
+    ///
+    /// `sampler` must return uniform values in `[0, 1)` (pass a closure
+    /// over an RNG); iteration order is deterministic, so one seed yields
+    /// one schedule.
+    pub fn churn(topo: &Topology, cfg: &ChurnConfig, mut sampler: impl FnMut() -> f64) -> Self {
+        let mut out = Self::new();
+        let mut link_down_until: HashMap<(NodeId, NodeId), u64> = HashMap::new();
+        let mut node_down_until: HashMap<NodeId, u64> = HashMap::new();
+        let mut t = cfg.period.max(1);
+        while t < cfg.horizon {
+            for a in topo.all_nodes() {
+                let ia = topo.index(&a);
+                for (_, b) in topo.neighbors(&a) {
+                    let ib = topo.index(&b);
+                    if ia >= ib {
+                        continue;
+                    }
+                    let busy = link_down_until.get(&(ia, ib)).copied().unwrap_or(0);
+                    if t < busy || sampler() >= cfg.link_rate {
+                        continue;
+                    }
+                    out.push(t, FaultEvent::LinkDown { a: ia, b: ib });
+                    out.push(t + cfg.down_time, FaultEvent::LinkUp { a: ia, b: ib });
+                    link_down_until.insert((ia, ib), t + cfg.down_time);
+                }
+            }
+            for a in topo.all_nodes() {
+                let ia = topo.index(&a);
+                let busy = node_down_until.get(&ia).copied().unwrap_or(0);
+                if t < busy || sampler() >= cfg.switch_rate {
+                    continue;
+                }
+                out.push(t, FaultEvent::SwitchDown { node: ia });
+                out.push(t + cfg.down_time, FaultEvent::SwitchUp { node: ia });
+                node_down_until.insert(ia, t + cfg.down_time);
+            }
+            t += cfg.period.max(1);
+        }
+        out
     }
 }
 
@@ -149,5 +398,139 @@ mod tests {
         f.add(&topo, &a, &b);
         f.add(&topo, &b, &a);
         assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn dead_switch_poisons_its_links() {
+        let topo = Topology::mesh2d(4);
+        let mid = Coord::new(&[1, 1]);
+        let mut f = FaultSet::none();
+        f.fail_switch(topo.index(&mid));
+        assert!(f.is_node_dead(topo.index(&mid)));
+        assert!(!f.is_empty());
+        assert_eq!(f.failed_links(), 0);
+        assert_eq!(f.failed_switches(), 1);
+        // Every link incident to the dead switch reads as faulty, in
+        // both directions; unrelated links are untouched.
+        for (_, nb) in topo.neighbors(&mid) {
+            assert!(f.is_faulty(&topo, &mid, &nb));
+            assert!(f.is_faulty(&topo, &nb, &mid));
+        }
+        let far_a = Coord::new(&[3, 3]);
+        let far_b = Coord::new(&[3, 2]);
+        assert!(!f.is_faulty(&topo, &far_a, &far_b));
+        assert!(f.restore_switch(topo.index(&mid)));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn apply_round_trips_every_event_kind() {
+        let topo = Topology::mesh2d(4);
+        let (a, b) = (NodeId(0), NodeId(1));
+        let mut f = FaultSet::none();
+        f.apply(&topo, FaultEvent::LinkDown { a, b });
+        f.apply(&topo, FaultEvent::SwitchDown { node: NodeId(5) });
+        assert_eq!(f.len(), 2);
+        f.apply(&topo, FaultEvent::LinkUp { a, b });
+        f.apply(&topo, FaultEvent::SwitchUp { node: NodeId(5) });
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn schedule_sorts_and_keeps_equal_time_order() {
+        let down = FaultEvent::SwitchDown { node: NodeId(1) };
+        let up = FaultEvent::SwitchUp { node: NodeId(1) };
+        let s = FaultSchedule::from_events(vec![(20, up), (10, down), (20, down)]);
+        let order: Vec<(u64, FaultEvent)> = s.iter().collect();
+        assert_eq!(order, vec![(10, down), (20, up), (20, down)]);
+        let mut s2 = FaultSchedule::new();
+        s2.push(20, up);
+        s2.push(10, down);
+        s2.push(20, down);
+        assert_eq!(s2.iter().collect::<Vec<_>>(), order);
+    }
+
+    #[test]
+    fn validate_rejects_bad_events() {
+        let topo = Topology::mesh2d(4);
+        let ok = FaultSchedule::from_events(vec![
+            (5, FaultEvent::LinkDown { a: NodeId(0), b: NodeId(1) }),
+            (9, FaultEvent::SwitchDown { node: NodeId(15) }),
+        ]);
+        assert!(ok.validate(&topo).is_ok());
+        let bad_link = FaultSchedule::from_events(vec![(1, FaultEvent::LinkDown {
+            a: NodeId(0),
+            b: NodeId(5),
+        })]);
+        assert!(bad_link.validate(&topo).unwrap_err().contains("not neighbours"));
+        let bad_node = FaultSchedule::from_events(vec![(1, FaultEvent::SwitchUp {
+            node: NodeId(99),
+        })]);
+        assert!(bad_node.validate(&topo).unwrap_err().contains("outside"));
+    }
+
+    #[test]
+    fn churn_pairs_every_failure_with_a_repair() {
+        let topo = Topology::mesh2d(4);
+        let cfg = ChurnConfig {
+            horizon: 1000,
+            period: 100,
+            link_rate: 0.2,
+            switch_rate: 0.1,
+            down_time: 150,
+        };
+        // A cheap deterministic sampler cycling through [0, 1).
+        let mut x = 0u64;
+        let sched = FaultSchedule::churn(&topo, &cfg, move || {
+            x = (x * 69069 + 1) % 1000;
+            x as f64 / 1000.0
+        });
+        assert!(!sched.is_empty(), "20% link churn over 9 rounds must fire");
+        assert!(sched.validate(&topo).is_ok());
+        let mut downs = 0i64;
+        let mut last_t = 0;
+        for (t, ev) in sched.iter() {
+            assert!(t >= last_t, "sorted by time");
+            last_t = t;
+            match ev {
+                FaultEvent::LinkDown { .. } | FaultEvent::SwitchDown { .. } => downs += 1,
+                FaultEvent::LinkUp { .. } | FaultEvent::SwitchUp { .. } => downs -= 1,
+            }
+        }
+        assert_eq!(downs, 0, "every down event has a matching up event");
+        // Applying the whole schedule leaves a healthy network.
+        let mut f = FaultSet::none();
+        for (_, ev) in sched.iter() {
+            f.apply(&topo, ev);
+        }
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn churn_never_overlaps_outages_of_one_component() {
+        let topo = Topology::mesh2d(3);
+        let cfg = ChurnConfig {
+            horizon: 2000,
+            period: 50,
+            link_rate: 0.9,
+            switch_rate: 0.9,
+            down_time: 300,
+        };
+        let mut x = 7u64;
+        let sched = FaultSchedule::churn(&topo, &cfg, move || {
+            x = (x * 69069 + 5) % 1000;
+            x as f64 / 1000.0
+        });
+        // Replaying must never fail an already-down component.
+        let mut down_links: HashSet<(NodeId, NodeId)> = HashSet::new();
+        let mut down_nodes: HashSet<NodeId> = HashSet::new();
+        for (_, ev) in sched.iter() {
+            match ev {
+                FaultEvent::LinkDown { a, b } => assert!(down_links.insert((a, b))),
+                FaultEvent::LinkUp { a, b } => assert!(down_links.remove(&(a, b))),
+                FaultEvent::SwitchDown { node } => assert!(down_nodes.insert(node)),
+                FaultEvent::SwitchUp { node } => assert!(down_nodes.remove(&node)),
+            }
+        }
     }
 }

@@ -10,10 +10,9 @@
 
 use crate::coord::Coord;
 use crate::direction::{Direction, Sign};
-use serde::{Deserialize, Serialize};
 
 /// An n-cube hypercube, `1 ≤ n ≤ 16`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Hypercube {
     n: u8,
 }

@@ -37,7 +37,7 @@ pub mod torus;
 
 pub use coord::{Coord, MAX_DIMS};
 pub use direction::{Direction, Sign};
-pub use faults::FaultSet;
+pub use faults::{ChurnConfig, FaultEvent, FaultSchedule, FaultSet};
 pub use graph::{bfs_distances, connected_component_size, diameter_by_bfs};
 pub use hypercube::Hypercube;
 pub use mesh::Mesh;

@@ -7,10 +7,9 @@
 
 use crate::coord::Coord;
 use crate::direction::{Direction, Sign};
-use serde::{Deserialize, Serialize};
 
 /// An n-dimensional mesh with per-dimension radices `k_i ≥ 2`.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Mesh {
     dims: Vec<u16>,
 }

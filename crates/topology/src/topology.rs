@@ -10,11 +10,10 @@ use crate::direction::Direction;
 use crate::hypercube::Hypercube;
 use crate::mesh::Mesh;
 use crate::torus::Torus;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A dense node identifier, `0 .. num_nodes`.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -32,7 +31,7 @@ impl fmt::Display for NodeId {
 }
 
 /// Which family a [`Topology`] belongs to.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum TopologyKind {
     /// n-dimensional mesh (no wrap-around).
     Mesh,
@@ -84,7 +83,7 @@ impl fmt::Display for TopologyError {
 impl std::error::Error for TopologyError {}
 
 /// A direct network: mesh, torus, or hypercube.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Topology {
     /// An n-dimensional mesh.
     Mesh(Mesh),

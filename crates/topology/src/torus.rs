@@ -19,10 +19,9 @@
 
 use crate::coord::Coord;
 use crate::direction::{Direction, Sign};
-use serde::{Deserialize, Serialize};
 
 /// A k-ary n-cube with per-dimension radices `k_i ≥ 2`.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Torus {
     dims: Vec<u16>,
 }

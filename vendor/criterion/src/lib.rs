@@ -1,0 +1,244 @@
+//! Offline, API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors the slice of Criterion's API its benches use (policy in
+//! `vendor/README.md`). Measurement is a plain calibrated timing loop —
+//! median-of-samples nanoseconds per iteration, printed to stdout — with
+//! none of upstream's statistics, plotting or baseline storage.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for bench code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` groups setup outputs; accepted for compatibility,
+/// the shim re-runs setup per iteration regardless.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        Self { id: s.clone() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Drives the measured routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+const SAMPLES: usize = 11;
+const TARGET_SAMPLE: Duration = Duration::from_millis(40);
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Benchmarks `routine` in a timing loop.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Calibrate: find an iteration count filling the target sample.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 24 {
+                self.iters_per_sample = iters;
+                break;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                (iters * 2).max(
+                    (iters as u128 * TARGET_SAMPLE.as_nanos() / elapsed.as_nanos().max(1)) as u64,
+                )
+            };
+        }
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    /// Benchmarks `routine` with fresh per-iteration input from `setup`
+    /// (setup time excluded from the measurement).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // One measured call per sample: batched routines in this
+        // workspace are whole-simulation runs, far above timer
+        // resolution.
+        self.iters_per_sample = 1;
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<50} (no samples)");
+            return;
+        }
+        let mut ns: Vec<u128> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() / u128::from(self.iters_per_sample.max(1)))
+            .collect();
+        ns.sort_unstable();
+        let median = ns[ns.len() / 2];
+        let (lo, hi) = (ns[0], ns[ns.len() - 1]);
+        println!("{id:<50} median {} [{} .. {}]", fmt_ns(median), fmt_ns(lo), fmt_ns(hi));
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        run_one(&id.into().id, f);
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Runs one benchmark within the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        run_one(&format!("{}/{}", self.name, id.into().id), f);
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&format!("{}/{}", self.name, id.into().id), |b| {
+            f(b, input);
+        });
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one(id: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    b.report(id);
+}
+
+/// Declares a group runner function, as upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, as upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags like `--bench`; the
+            // shim has no filtering, so arguments are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new();
+        b.iter(|| black_box(7u64).wrapping_mul(13));
+        assert_eq!(b.samples.len(), SAMPLES);
+        b.report("smoke");
+    }
+}

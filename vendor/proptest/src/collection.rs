@@ -1,0 +1,45 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A strategy for `Vec<S::Value>` with length drawn from a range.
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// `Vec` strategy with element strategy `elem` and length in `len`, as
+/// upstream's `proptest::collection::vec`.
+#[must_use]
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(!len.is_empty(), "empty length range");
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let s = vec(3u8..7, 1..5);
+        let mut rng = rng_for("collection-tests");
+        for _ in 0..300 {
+            let v = s.sample(&mut rng);
+            assert!((1..5).contains(&v.len()));
+            assert!(v.iter().all(|e| (3..7).contains(e)));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Offline, API-compatible subset of the `proptest` crate.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors the slice of proptest it uses (policy in `vendor/README.md`):
+//! the [`proptest!`] macro, range/tuple/`Just`/`prop_oneof!` strategies,
+//! `prop_map`/`prop_flat_map`, [`collection::vec`], `any::<T>()`, and the
+//! `prop_assert*`/`prop_assume!` family.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its case number; runs are
+//!   seeded deterministically per test (from the test's module path), so
+//!   a failure reproduces exactly by re-running the test.
+//! * Generation quality: uniform sampling only, no recursive strategies,
+//!   no regex strategies — none of which the workspace uses.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+pub use strategy::any;
+
+/// Defines property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` that samples its strategies
+/// [`ProptestConfig::cases`](test_runner::ProptestConfig) times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let mut __rng = $crate::test_runner::rng_for(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut __ran: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __ran < __config.cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __config.cases.saturating_mul(20).max(1000),
+                        "proptest {}: too many prop_assume! rejections",
+                        stringify!($name),
+                    );
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __ran += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            ::std::panic!(
+                                "proptest {} failed at case {} of {}: {}\n\
+                                 (deterministic per-test seed; rerun this test to reproduce)",
+                                stringify!($name), __ran, __config.cases, __msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        );
+    };
+}
+
+/// A strategy choosing among several sub-strategies (optionally
+/// weighted), as upstream's `prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fails the current case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            ::std::format!($($fmt)+), __l, __r,
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "{}\n  both: {:?}",
+            ::std::format!($($fmt)+), __l,
+        );
+    }};
+}
+
+/// Discards the current case (resampled, not counted) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

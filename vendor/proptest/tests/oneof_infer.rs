@@ -1,0 +1,39 @@
+use proptest::prelude::*;
+use proptest::strategy::{boxed, Union};
+use proptest::test_runner::rng_for;
+
+#[derive(Clone, Debug, PartialEq)]
+struct Thing(usize);
+
+fn build16(p: u16) -> Thing {
+    Thing(usize::from(p))
+}
+
+#[test]
+fn manual_union() {
+    let u = Union::new(vec![
+        (1u32, boxed((1u16..=4).prop_map(|p| build16(1 << p)))),
+        (1u32, boxed((1usize..=8).prop_map(Thing))),
+    ]);
+    let mut rng = rng_for("manual_union");
+    let t = Strategy::sample(&u, &mut rng);
+    assert!(t.0 >= 1);
+}
+
+proptest! {
+    #[test]
+    fn oneof_two_map_arms(t in prop_oneof![
+        (1u16..=4).prop_map(|p| build16(1 << p)),
+        (1usize..=8).prop_map(Thing),
+    ]) {
+        prop_assert!(t.0 >= 1);
+    }
+
+    #[test]
+    fn oneof_weighted(x in prop_oneof![
+        3 => Just(1u8),
+        1 => 5u8..10,
+    ]) {
+        prop_assert!(x == 1 || (5..10).contains(&x));
+    }
+}

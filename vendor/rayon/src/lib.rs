@@ -1,0 +1,178 @@
+//! Offline, API-compatible subset of the `rayon` crate.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors the slice of rayon's API it uses (policy in
+//! `vendor/README.md`): `slice.par_iter().enumerate().map(f).collect()`.
+//!
+//! Execution model: instead of a work-stealing pool, the `collect`
+//! terminal splits the index space into contiguous chunks — one per
+//! available hardware thread — runs them under [`std::thread::scope`],
+//! and reassembles results in input order. Semantics match upstream for
+//! the supported pipeline (deterministic order, panics propagate).
+
+#![warn(missing_docs)]
+
+/// The traits needed to call `.par_iter()` and pipeline adapters.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Mirror of upstream's `IntoParallelRefIterator`: `&collection` →
+/// parallel iterator over `&item`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: 'a;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// A parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { items: self }
+    }
+}
+
+/// A parallel pipeline: adapters are recorded lazily; `collect` runs the
+/// whole pipeline across threads.
+pub trait ParallelIterator: Sized {
+    /// The element type flowing out of this stage.
+    type Item: Send;
+
+    #[doc(hidden)]
+    fn len(&self) -> usize;
+
+    #[doc(hidden)]
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[doc(hidden)]
+    /// Produces the element at position `idx` (stateless per call, so
+    /// chunks can run on any thread).
+    fn at(&self, idx: usize) -> Self::Item;
+
+    /// Pairs each item with its index, as upstream `enumerate`.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Applies `f` to each item, as upstream `map`.
+    fn map<O: Send, F: Fn(Self::Item) -> O + Sync>(self, f: F) -> MapIter<Self, F> {
+        MapIter { inner: self, f }
+    }
+
+    /// Runs the pipeline and gathers results in input order.
+    fn collect<B: FromIterator<Self::Item>>(self) -> B
+    where
+        Self: Sync,
+    {
+        let n = self.len();
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            return (0..n).map(|i| self.at(i)).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut out: Vec<Option<Self::Item>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let me = &self;
+        std::thread::scope(|scope| {
+            for (slot_chunk, base) in out.chunks_mut(chunk).zip((0..n).step_by(chunk)) {
+                scope.spawn(move || {
+                    for (off, slot) in slot_chunk.iter_mut().enumerate() {
+                        *slot = Some(me.at(base + off));
+                    }
+                });
+            }
+        });
+        out.into_iter().map(|v| v.expect("chunk filled")).collect()
+    }
+}
+
+/// Parallel iterator over a slice.
+pub struct ParSlice<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+    fn at(&self, idx: usize) -> &'a T {
+        &self.items[idx]
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn at(&self, idx: usize) -> (usize, I::Item) {
+        (idx, self.inner.at(idx))
+    }
+}
+
+/// See [`ParallelIterator::map`].
+pub struct MapIter<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, O, F> ParallelIterator for MapIter<I, F>
+where
+    I: ParallelIterator,
+    O: Send,
+    F: Fn(I::Item) -> O + Sync,
+{
+    type Item = O;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn at(&self, idx: usize) -> O {
+        (self.f)(self.inner.at(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_enumerate_map_collect() {
+        let xs: Vec<u64> = (0..257).collect();
+        let got: Vec<(usize, u64)> = xs.par_iter().enumerate().map(|(i, v)| (i, v * 2)).collect();
+        let want: Vec<(usize, u64)> = (0..257).map(|v| (v as usize, v * 2)).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let xs: Vec<u32> = vec![];
+        let got: Vec<u32> = xs.par_iter().map(|v| *v).collect();
+        assert!(got.is_empty());
+        let one = [41u32];
+        let got: Vec<u32> = one.par_iter().map(|v| v + 1).collect();
+        assert_eq!(got, vec![42]);
+    }
+}

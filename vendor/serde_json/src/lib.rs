@@ -1,0 +1,727 @@
+//! Offline, API-compatible subset of the `serde_json` crate.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors the slice of `serde_json` it uses (policy in
+//! `vendor/README.md`): the [`Value`] tree, the [`json!`] macro, a
+//! strict parser ([`from_str`]), and pretty printing
+//! ([`to_string_pretty`]).
+//!
+//! One deliberate difference from upstream: there is no `serde` data
+//! model underneath. Typed deserialization goes through the [`FromJson`]
+//! trait, which types implement by hand against [`Value`] (see
+//! `ddpm-bench`'s `scenario_config` for the pattern). Objects preserve
+//! insertion order.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+mod parse;
+
+pub use parse::from_str;
+
+/// A JSON number: integers are kept exact, everything else is `f64`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Number {
+    /// A non-negative integer.
+    U(u64),
+    /// A negative integer.
+    I(i64),
+    /// A float.
+    F(f64),
+}
+
+impl Number {
+    /// The value as `f64` (integers convert losslessly up to 2^53).
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U(u) => u as f64,
+            Number::I(i) => i as f64,
+            Number::F(f) => f,
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `value` under `key`, replacing any previous entry.
+    pub fn insert(&mut self, key: String, value: Value) {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// The value under `key`, if present.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// True if `key` is present.
+    #[must_use]
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterator over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Iterator over the keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+}
+
+/// A JSON document tree.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (insertion-ordered).
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// True if the value is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The boolean, if this is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is an exactly-representable non-negative
+    /// integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(u)) => Some(*u),
+            Value::Number(Number::I(i)) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` if it is an exactly-representable integer.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::U(u)) => i64::try_from(*u).ok(),
+            Value::Number(Number::I(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` if it is any number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element vector, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The map, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Object member lookup; `None` for non-objects and absent keys.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Self { Value::Number(Number::U(n as u64)) }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(n: $t) -> Self {
+                if n >= 0 {
+                    Value::Number(Number::U(n as u64))
+                } else {
+                    Value::Number(Number::I(n as i64))
+                }
+            }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Number(Number::F(f))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(f: f32) -> Self {
+        Value::Number(Number::F(f64::from(f)))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(s: &String) -> Self {
+        Value::String(s.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        o.map_or(Value::Null, Into::into)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Self {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl From<Map> for Value {
+    fn from(m: Map) -> Self {
+        Value::Object(m)
+    }
+}
+
+// Direct comparisons against primitives, as upstream:
+// `assert_eq!(v["k"], 8)`, `assert_eq!(v["s"], "text")`.
+macro_rules! eq_via_from {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                #[allow(clippy::cmp_owned)]
+                { *self == Value::from(*other) }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                #[allow(clippy::cmp_owned)]
+                { Value::from(*self) == *other }
+            }
+        }
+    )*};
+}
+eq_via_from!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, &str);
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+/// By-reference conversion used by the [`json!`](crate::json) macro's
+/// value positions, mirroring how upstream serializes expressions
+/// without consuming them. The reference blanket makes any depth of
+/// `&`-indirection (e.g. an `&&str` loop variable) collapse to the base
+/// impl.
+pub trait ToValue {
+    /// The JSON representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Fresh array buffer for the [`json!`](crate::json) macro (a plain
+/// `Vec::new()` would trip clippy's `vec_init_then_push` at every
+/// expansion site).
+#[doc(hidden)]
+#[must_use]
+pub fn new_array() -> Vec<Value> {
+    Vec::new()
+}
+
+/// Free-function form of [`ToValue`], the macro's entry point.
+pub fn to_value<T: ToValue + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}
+
+impl<T: ToValue + ?Sized> ToValue for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! to_value_via_from {
+    ($($t:ty),*) => {$(
+        impl ToValue for $t {
+            fn to_value(&self) -> Value { Value::from(*self) }
+        }
+    )*};
+}
+to_value_via_from!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl ToValue for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToValue for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToValue for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToValue for Map {
+    fn to_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl<T: ToValue> ToValue for Option<T> {
+    fn to_value(&self) -> Value {
+        self.as_ref().map_or(Value::Null, ToValue::to_value)
+    }
+}
+
+impl<T: ToValue> ToValue for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(ToValue::to_value).collect())
+    }
+}
+
+impl<T: ToValue> ToValue for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: ToValue, const N: usize> ToValue for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+macro_rules! to_value_tuple {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: ToValue),+> ToValue for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                let ($($name,)+) = self;
+                Value::Array(vec![$($name.to_value()),+])
+            }
+        }
+    )*};
+}
+to_value_tuple!((A, B)(A, B, C)(A, B, C, D));
+
+/// A parse or conversion error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with the given message.
+    #[must_use]
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Typed extraction from a parsed [`Value`] — the offline stand-in for
+/// `serde::Deserialize`. Implement by hand for config types.
+pub trait FromJson: Sized {
+    /// Builds `Self` from `v`, with a path-qualified error on mismatch.
+    ///
+    /// # Errors
+    /// Returns a human-readable message naming the offending field.
+    fn from_json(v: &Value) -> Result<Self, Error>;
+}
+
+impl FromJson for Value {
+    fn from_json(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::U(u) => out.push_str(&u.to_string()),
+        Number::I(i) => out.push_str(&i.to_string()),
+        Number::F(f) => {
+            if f.is_finite() {
+                let s = format!("{f}");
+                out.push_str(&s);
+                // `{}` prints integral floats without a point; keep the
+                // float-ness on the wire so the types round-trip.
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                // JSON has no Inf/NaN; serialise as null like upstream's
+                // arbitrary_precision-less behaviour.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                write_value(out, item, indent + 1, pretty);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if pretty {
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                }
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, item, indent + 1, pretty);
+            }
+            if pretty {
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serialises `v` compactly.
+///
+/// # Errors
+/// Never fails for [`Value`] input; the `Result` mirrors upstream's
+/// signature.
+pub fn to_string(v: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, v, 0, false);
+    Ok(out)
+}
+
+/// Serialises `v` with two-space indentation.
+///
+/// # Errors
+/// Never fails for [`Value`] input; the `Result` mirrors upstream's
+/// signature.
+pub fn to_string_pretty(v: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, v, 0, true);
+    Ok(out)
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, 0, f.alternate());
+        f.write_str(&out)
+    }
+}
+
+/// Builds a [`Value`] from a JSON-ish literal, as upstream's `json!`.
+///
+/// Supports `null`, object and array literals (arbitrarily nested) and
+/// arbitrary Rust expressions convertible to [`Value`] via [`From`].
+/// Object keys must be string literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($body:tt)+ }) => {{
+        let mut __map = $crate::Map::new();
+        $crate::json_object!(__map; $($body)+);
+        $crate::Value::Object(__map)
+    }};
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($body:tt)+ ]) => {{
+        let mut __arr = $crate::new_array();
+        $crate::json_array!(__arr; [] $($body)+);
+        $crate::Value::Array(__arr)
+    }};
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal: munches `key : value` pairs, splitting on top-level commas.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    ($map:ident;) => {};
+    ($map:ident; $key:literal : $($rest:tt)+) => {
+        $crate::json_object_value!($map; $key; [] $($rest)+);
+    };
+}
+
+/// Internal: accumulates one object value until a top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_value {
+    // Trailing comma or end of pair list.
+    ($map:ident; $key:literal; [$($val:tt)+]) => {
+        $map.insert($key.to_string(), $crate::json!($($val)+));
+    };
+    ($map:ident; $key:literal; [$($val:tt)+] , $($rest:tt)*) => {
+        $map.insert($key.to_string(), $crate::json!($($val)+));
+        $crate::json_object!($map; $($rest)*);
+    };
+    ($map:ident; $key:literal; [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_object_value!($map; $key; [$($val)* $next] $($rest)*);
+    };
+}
+
+/// Internal: munches array elements, splitting on top-level commas.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    ($arr:ident; [$($val:tt)+]) => {
+        $arr.push($crate::json!($($val)+));
+    };
+    ($arr:ident; [$($val:tt)+] , $($rest:tt)*) => {
+        $arr.push($crate::json!($($val)+));
+        $crate::json_array!($arr; [] $($rest)*);
+    };
+    ($arr:ident; []) => {};
+    ($arr:ident; [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_array!($arr; [$($val)* $next] $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_nested_trees() {
+        let rows = vec![json!({"node": 3u32, "packets": 7u64})];
+        let mean: Option<f64> = Some(1.5);
+        let missing: Option<f64> = None;
+        let v = json!({
+            "name": "test",
+            "count": 42u64,
+            "neg": -3,
+            "ok": true,
+            "mean": mean,
+            "absent": missing,
+            "nested": { "a": [1, 2, 3], "b": null },
+            "rows": rows,
+            "expr": 6u32 * 7,
+        });
+        assert_eq!(v["name"].as_str(), Some("test"));
+        assert_eq!(v["count"].as_u64(), Some(42));
+        assert_eq!(v["neg"].as_i64(), Some(-3));
+        assert_eq!(v["mean"].as_f64(), Some(1.5));
+        assert!(v["absent"].is_null());
+        assert_eq!(v["nested"]["a"][1].as_u64(), Some(2));
+        assert!(v["nested"]["b"].is_null());
+        assert_eq!(v["rows"][0]["node"].as_u64(), Some(3));
+        assert_eq!(v["expr"].as_u64(), Some(42));
+        assert!(v["nonexistent"].is_null());
+    }
+
+    #[test]
+    fn roundtrip_through_text() {
+        let v = json!({
+            "s": "a \"quoted\"\nline",
+            "xs": [1, 2.5, -4, true, null],
+            "o": {"inner": []}
+        });
+        for rendered in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let back: Value = from_str(&rendered).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let s = to_string_pretty(&json!({"a": [1]})).unwrap();
+        assert_eq!(s, "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let v = json!({"z": 1, "a": 2, "m": 3});
+        let keys: Vec<&String> = v.as_object().unwrap().keys().collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+}
