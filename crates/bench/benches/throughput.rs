@@ -1,0 +1,125 @@
+//! E2E simulator throughput (packets/sec) per topology × routing,
+//! telemetry off vs on — the perf baseline the telemetry overhead
+//! contract is measured against (DESIGN.md "Observability").
+//!
+//! Besides the Criterion console report, the run writes
+//! `BENCH_sim_throughput.json` at the workspace root: one row per
+//! (topology, router, telemetry) cell with median packets/sec, so later
+//! PRs can diff throughput without re-parsing bench output.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use ddpm_attack::PacketFactory;
+use ddpm_core::DdpmScheme;
+use ddpm_net::{AddrMap, L4};
+use ddpm_routing::{Router, SelectionPolicy};
+use ddpm_sim::{SimConfig, SimTime, Simulation};
+use ddpm_telemetry::{shared, NullSink, TelemetryConfig};
+use ddpm_topology::{FaultSet, NodeId, Topology};
+use serde_json::json;
+use std::time::Instant;
+
+const PACKETS: u64 = 2_000;
+
+/// The swept grid: a representative shape per topology family and the
+/// deterministic vs fully adaptive routing extremes.
+fn grid() -> Vec<(Topology, Router)> {
+    let mut g = Vec::new();
+    for topo in [
+        Topology::mesh2d(8),
+        Topology::torus(&[8, 8]),
+        Topology::hypercube(6),
+    ] {
+        for router in Router::all_for(&topo) {
+            if matches!(router, Router::DimensionOrder | Router::FullyAdaptive { .. }) {
+                g.push((topo.clone(), router));
+            }
+        }
+    }
+    g
+}
+
+/// One full simulation: inject `PACKETS` uniform benign packets, run to
+/// quiescence, return packets injected (the throughput numerator).
+fn run_sim(topo: &Topology, router: Router, tcfg: TelemetryConfig) -> u64 {
+    let scheme = DdpmScheme::new(topo).expect("bench shapes fit the MF");
+    let map = AddrMap::for_topology(topo);
+    let faults = FaultSet::none();
+    let mut factory = PacketFactory::new(map);
+    let mut sim = Simulation::new(
+        topo,
+        &faults,
+        router,
+        SelectionPolicy::ProductiveFirstRandom,
+        &scheme,
+        SimConfig::seeded(42).to_builder().telemetry(tcfg).build(),
+    );
+    let n = topo.num_nodes() as u32;
+    for k in 0..PACKETS {
+        let s = NodeId((k as u32 * 13 + 1) % n);
+        let d = NodeId((k as u32 * 29 + 7) % n);
+        if s == d {
+            continue;
+        }
+        sim.schedule(SimTime(k * 3), factory.benign(s, d, L4::udp(1, 7), 128));
+    }
+    sim.run();
+    PACKETS
+}
+
+/// A telemetry variant under test, as a fresh-config factory (configs
+/// holding sinks are consumed per run).
+type Variant = (&'static str, fn() -> TelemetryConfig);
+
+/// Disabled (the zero-cost contract) and events-on into a discarding
+/// sink (the enabled-overhead ceiling without file I/O noise).
+fn variants() -> [Variant; 2] {
+    [
+        ("telemetry-off", TelemetryConfig::off as fn() -> TelemetryConfig),
+        ("telemetry-on", || TelemetryConfig::events_to(shared(NullSink))),
+    ]
+}
+
+/// Median packets/sec over `samples` full-simulation runs.
+fn measure_pps(topo: &Topology, router: Router, tcfg: fn() -> TelemetryConfig, samples: usize) -> f64 {
+    let mut pps: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            let pkts = run_sim(topo, router, tcfg());
+            pkts as f64 / t.elapsed().as_secs_f64()
+        })
+        .collect();
+    pps.sort_by(|a, b| a.total_cmp(b));
+    pps[pps.len() / 2]
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_throughput");
+    let mut rows = Vec::new();
+    for (topo, router) in grid() {
+        for (tname, tcfg) in variants() {
+            let label = format!("{}/{}/{tname}", topo.describe(), router.name());
+            group.bench_with_input(BenchmarkId::from(label), &(), |b, ()| {
+                b.iter_batched(|| (), |()| run_sim(&topo, router, tcfg()), BatchSize::SmallInput);
+            });
+            let pps = measure_pps(&topo, router, tcfg, 5);
+            rows.push(json!({
+                "topology": topo.describe(),
+                "router": router.name(),
+                "telemetry": tname,
+                "packets": PACKETS,
+                "packets_per_sec": pps,
+            }));
+        }
+    }
+    group.finish();
+
+    // Workspace root, independent of the bench harness's cwd.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_throughput.json");
+    let doc = json!({ "bench": "sim_throughput", "rows": rows });
+    std::fs::write(out, serde_json::to_string_pretty(&doc).expect("serialises"))
+        .expect("write BENCH_sim_throughput.json");
+    println!("wrote {out}");
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -3,78 +3,199 @@
 //! ```text
 //! cargo run --release -p ddpm-bench --bin report -- all
 //! cargo run --release -p ddpm-bench --bin report -- table3 fig2 ident
+//! cargo run --release -p ddpm-bench --bin report -- --json results ident
+//! cargo run --release -p ddpm-bench --bin report -- --trace traces ident
 //! cargo run --release -p ddpm-bench --bin report -- --list
 //! ```
 //!
-//! Each experiment prints its paper-style table and, when `--json DIR`
-//! is given, writes machine-readable results to `DIR/<key>.json`.
+//! Each experiment prints its paper-style table; `--json DIR` writes
+//! machine-readable results to `DIR/<key>.json`, `--trace DIR` makes
+//! simulator-backed experiments write NDJSON packet traces to
+//! `DIR/<key>.ndjson`.
 
-use ddpm_bench::all_experiments;
+use ddpm_bench::{all_experiments, RunCtx};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn usage() -> String {
-    let keys: Vec<&str> = all_experiments().iter().map(|(k, _)| *k).collect();
-    format!(
-        "usage: report [--json DIR] [--list] <experiment>... | all\n\
-         experiments: {}",
-        keys.join(" ")
-    )
+/// What parsing one flag does to the accumulating CLI state.
+enum Apply {
+    JsonDir,
+    TraceDir,
+    Seed,
+    Threads,
+    Quick,
+    List,
+    Help,
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut json_dir: Option<PathBuf> = None;
-    let mut wanted: Vec<String> = Vec::new();
+/// One CLI flag: spelling, whether it consumes a value, help text.
+struct Flag {
+    name: &'static str,
+    value: Option<&'static str>,
+    help: &'static str,
+    apply: Apply,
+}
+
+/// The whole CLI, declaratively. `usage()` and the parse loop both walk
+/// this table, so a new flag is one new row — not a new match arm plus
+/// hand-maintained help text.
+const FLAGS: &[Flag] = &[
+    Flag {
+        name: "--json",
+        value: Some("DIR"),
+        help: "write machine-readable results to DIR/<key>.json",
+        apply: Apply::JsonDir,
+    },
+    Flag {
+        name: "--trace",
+        value: Some("DIR"),
+        help: "write NDJSON packet traces to DIR/<key>.ndjson",
+        apply: Apply::TraceDir,
+    },
+    Flag {
+        name: "--seed",
+        value: Some("N"),
+        help: "override every experiment's built-in RNG seed",
+        apply: Apply::Seed,
+    },
+    Flag {
+        name: "--threads",
+        value: Some("N"),
+        help: "cap worker threads for parallel sweeps (default: all cores)",
+        apply: Apply::Threads,
+    },
+    Flag {
+        name: "--quick",
+        value: None,
+        help: "shrink workloads ~8x (smoke-test mode)",
+        apply: Apply::Quick,
+    },
+    Flag {
+        name: "--list",
+        value: None,
+        help: "print the experiment keys and exit",
+        apply: Apply::List,
+    },
+    Flag {
+        name: "--help",
+        value: None,
+        help: "print this help",
+        apply: Apply::Help,
+    },
+];
+
+fn usage() -> String {
+    let mut s = String::from("usage: report [flags] <experiment>... | all\n\nflags:\n");
+    for f in FLAGS {
+        let head = match f.value {
+            Some(v) => format!("{} {v}", f.name),
+            None => f.name.to_string(),
+        };
+        s.push_str(&format!("  {head:<14} {}\n", f.help));
+    }
+    let keys: Vec<&str> = all_experiments().iter().map(|(k, _)| *k).collect();
+    s.push_str(&format!("\nexperiments: {}", keys.join(" ")));
+    s
+}
+
+struct Cli {
+    json_dir: Option<PathBuf>,
+    ctx: RunCtx,
+    threads: Option<usize>,
+    wanted: Vec<String>,
+}
+
+/// Parses argv. `Ok(None)` means an informational flag (`--list`,
+/// `--help`) already printed its output.
+fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
+    let mut cli = Cli {
+        json_dir: None,
+        ctx: RunCtx::default(),
+        threads: None,
+        wanted: Vec::new(),
+    };
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
-        match a.as_str() {
-            "--json" => match it.next() {
-                Some(dir) => json_dir = Some(PathBuf::from(dir)),
-                None => {
-                    eprintln!("--json needs a directory\n{}", usage());
-                    return ExitCode::FAILURE;
-                }
-            },
-            "--list" => {
+        let Some(flag) = FLAGS
+            .iter()
+            .find(|f| f.name == a || (a == "-h" && f.name == "--help"))
+        else {
+            if a.starts_with('-') {
+                return Err(format!("unknown flag `{a}`"));
+            }
+            cli.wanted.push(a);
+            continue;
+        };
+        let mut value = || {
+            it.next()
+                .ok_or_else(|| format!("{} needs a {}", flag.name, flag.value.unwrap_or("value")))
+        };
+        match flag.apply {
+            Apply::JsonDir => cli.json_dir = Some(PathBuf::from(value()?)),
+            Apply::TraceDir => cli.ctx.trace_dir = Some(PathBuf::from(value()?)),
+            Apply::Seed => {
+                let v = value()?;
+                cli.ctx.seed = Some(v.parse().map_err(|_| format!("bad --seed value `{v}`"))?);
+            }
+            Apply::Threads => {
+                let v = value()?;
+                cli.threads = Some(v.parse().map_err(|_| format!("bad --threads value `{v}`"))?);
+            }
+            Apply::Quick => cli.ctx.quick = true,
+            Apply::List => {
                 for (k, _) in all_experiments() {
                     println!("{k}");
                 }
-                return ExitCode::SUCCESS;
+                return Ok(None);
             }
-            "-h" | "--help" => {
+            Apply::Help => {
                 println!("{}", usage());
-                return ExitCode::SUCCESS;
+                return Ok(None);
             }
-            other => wanted.push(other.to_string()),
         }
     }
-    if wanted.is_empty() {
-        eprintln!("{}", usage());
-        return ExitCode::FAILURE;
+    if cli.wanted.is_empty() {
+        return Err("no experiments named".into());
     }
-    let run_all = wanted.iter().any(|w| w == "all");
+    Ok(Some(cli))
+}
+
+fn main() -> ExitCode {
+    let cli = match parse(std::env::args().skip(1).collect()) {
+        Ok(Some(cli)) => cli,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(n) = cli.threads {
+        // The sweeps parallelise through rayon; its pool sizes itself
+        // from this variable at spawn time.
+        std::env::set_var("RAYON_NUM_THREADS", n.to_string());
+    }
+    let run_all = cli.wanted.iter().any(|w| w == "all");
     let experiments = all_experiments();
     let known: Vec<&str> = experiments.iter().map(|(k, _)| *k).collect();
-    for w in &wanted {
+    for w in &cli.wanted {
         if w != "all" && !known.contains(&w.as_str()) {
-            eprintln!("unknown experiment `{w}`\n{}", usage());
+            eprintln!("unknown experiment `{w}`\n\n{}", usage());
             return ExitCode::FAILURE;
         }
     }
-    if let Some(dir) = &json_dir {
+    for dir in [&cli.json_dir, &cli.ctx.trace_dir].into_iter().flatten() {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create {}: {e}", dir.display());
             return ExitCode::FAILURE;
         }
     }
     for (key, runner) in experiments {
-        if !run_all && !wanted.iter().any(|w| w == key) {
+        if !run_all && !cli.wanted.iter().any(|w| w == key) {
             continue;
         }
-        let report = runner();
+        let report = runner(&cli.ctx);
         println!("{}", report.render());
-        if let Some(dir) = &json_dir {
+        if let Some(dir) = &cli.json_dir {
             let path = dir.join(format!("{key}.json"));
             match serde_json::to_string_pretty(&report.json) {
                 Ok(s) => {

@@ -9,7 +9,7 @@
 //! 4. **Codec mode**: the paper's signed packing vs. our residue
 //!    extension — identical accuracy, double capacity.
 
-use crate::util::{fnum, Report, TextTable};
+use crate::util::{RunCtx, fnum, Report, TextTable};
 use ddpm_attack::{BackgroundTraffic, FloodAttack, PacketFactory};
 use ddpm_core::identify::score_ddpm;
 use ddpm_core::DdpmScheme;
@@ -22,12 +22,12 @@ use rand::{Rng, SeedableRng};
 use serde_json::json;
 
 /// Misroute-budget sweep under random faults.
-fn misroute_sweep(t: &mut TextTable) -> Vec<serde_json::Value> {
+fn misroute_sweep(t: &mut TextTable, ctx: &RunCtx) -> Vec<serde_json::Value> {
     let topo = Topology::mesh2d(8);
     let map = AddrMap::for_topology(&topo);
     let mut rows = Vec::new();
     for budget in [0u32, 2, 4, 8, 16] {
-        let mut rng = SmallRng::seed_from_u64(77);
+        let mut rng = SmallRng::seed_from_u64(ctx.seed_or(77));
         let faults = FaultSet::random(&topo, 0.06, || rng.gen::<f64>());
         let marker = NoMarking;
         let mut factory = PacketFactory::new(map.clone());
@@ -39,9 +39,9 @@ fn misroute_sweep(t: &mut TextTable) -> Vec<serde_json::Value> {
             },
             SelectionPolicy::ProductiveFirstRandom,
             &marker,
-            SimConfig::seeded(77),
+            SimConfig::seeded(ctx.seed_or(77)),
         );
-        for k in 0..600u64 {
+        for k in 0..ctx.scaled(600) {
             let s = NodeId((k as u32 * 13 + 1) % 64);
             let d = NodeId((k as u32 * 29 + 7) % 64);
             if s == d {
@@ -67,19 +67,19 @@ fn misroute_sweep(t: &mut TextTable) -> Vec<serde_json::Value> {
 }
 
 /// Buffer-depth sweep under a flood.
-fn buffer_sweep(t: &mut TextTable) -> Vec<serde_json::Value> {
+fn buffer_sweep(t: &mut TextTable, ctx: &RunCtx) -> Vec<serde_json::Value> {
     let topo = Topology::torus(&[8, 8]);
     let map = AddrMap::for_topology(&topo);
     let mut rows = Vec::new();
     for buffer in [4u32, 8, 16, 32, 64] {
         let faults = FaultSet::none();
         let marker = NoMarking;
-        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rng = SmallRng::seed_from_u64(ctx.seed_or(5));
         let mut factory = PacketFactory::new(map.clone());
-        let mut workload =
-            BackgroundTraffic::uniform(24, 3_000).generate(&topo, &mut factory, &mut rng);
+        let mut workload = BackgroundTraffic::uniform(24, ctx.scaled(3_000))
+            .generate(&topo, &mut factory, &mut rng);
         let flood = FloodAttack {
-            packets_per_zombie: 400,
+            packets_per_zombie: ctx.scaled32(400),
             interval: 4,
             ..FloodAttack::new(vec![NodeId(3), NodeId(40)], NodeId(27))
         };
@@ -90,10 +90,10 @@ fn buffer_sweep(t: &mut TextTable) -> Vec<serde_json::Value> {
             Router::fully_adaptive_for(&topo),
             SelectionPolicy::ProductiveFirstRandom,
             &marker,
-            SimConfig {
-                buffer_packets: buffer,
-                ..SimConfig::seeded(5)
-            },
+            SimConfig::seeded(ctx.seed_or(5))
+                .to_builder()
+                .buffer_packets(buffer)
+                .build(),
         );
         for (time, p) in workload {
             sim.schedule(time, p);
@@ -116,7 +116,7 @@ fn buffer_sweep(t: &mut TextTable) -> Vec<serde_json::Value> {
 }
 
 /// Selection-policy sweep on a loaded healthy mesh.
-fn selection_sweep(t: &mut TextTable) -> Vec<serde_json::Value> {
+fn selection_sweep(t: &mut TextTable, ctx: &RunCtx) -> Vec<serde_json::Value> {
     let topo = Topology::mesh2d(8);
     let map = AddrMap::for_topology(&topo);
     let mut rows = Vec::new();
@@ -134,10 +134,10 @@ fn selection_sweep(t: &mut TextTable) -> Vec<serde_json::Value> {
             Router::FullyAdaptive { misroute_budget: 8 },
             policy,
             &marker,
-            SimConfig::seeded(9),
+            SimConfig::seeded(ctx.seed_or(9)),
         );
         // Transpose-like load that benefits from path diversity.
-        for k in 0..800u64 {
+        for k in 0..ctx.scaled(800) {
             let s = NodeId((k % 64) as u32);
             let c = topo.coord(s);
             let d = topo.index(&ddpm_topology::Coord::new(&[c.get(1), c.get(0)]));
@@ -164,7 +164,7 @@ fn selection_sweep(t: &mut TextTable) -> Vec<serde_json::Value> {
 }
 
 /// Codec-mode comparison: accuracy and capacity.
-fn codec_sweep(t: &mut TextTable) -> Vec<serde_json::Value> {
+fn codec_sweep(t: &mut TextTable, ctx: &RunCtx) -> Vec<serde_json::Value> {
     let mut rows = Vec::new();
     for (mode, name) in [
         (CodecMode::Signed, "signed (paper)"),
@@ -181,9 +181,9 @@ fn codec_sweep(t: &mut TextTable) -> Vec<serde_json::Value> {
             Router::fully_adaptive_for(&topo),
             SelectionPolicy::Random,
             &scheme,
-            SimConfig::seeded(4),
+            SimConfig::seeded(ctx.seed_or(4)),
         );
-        for k in 0..500u64 {
+        for k in 0..ctx.scaled(500) {
             let s = NodeId((k as u32 * 7 + 3) % 256);
             let d = NodeId((k as u32 * 31 + 11) % 256);
             if s == d {
@@ -211,25 +211,25 @@ fn codec_sweep(t: &mut TextTable) -> Vec<serde_json::Value> {
 
 /// Runs the ablation battery.
 #[must_use]
-pub fn run() -> Report {
+pub fn run(ctx: &RunCtx) -> Report {
     let mut t1 = TextTable::new(&[
         "misroute budget",
         "delivery ratio (6% faults)",
         "mean hops",
         "blocked drops",
     ]);
-    let r1 = misroute_sweep(&mut t1);
+    let r1 = misroute_sweep(&mut t1, ctx);
     let mut t2 = TextTable::new(&[
         "buffer (pkts/port)",
         "benign delivery",
         "attack delivery",
         "benign latency",
     ]);
-    let r2 = buffer_sweep(&mut t2);
+    let r2 = buffer_sweep(&mut t2, ctx);
     let mut t3 = TextTable::new(&["selection policy", "latency", "mean hops", "delivery"]);
-    let r3 = selection_sweep(&mut t3);
+    let r3 = selection_sweep(&mut t3, ctx);
     let mut t4 = TextTable::new(&["codec", "MF bits (16x16)", "accuracy", "max square mesh"]);
-    let r4 = codec_sweep(&mut t4);
+    let r4 = codec_sweep(&mut t4, ctx);
     let body = format!(
         "Misroute budget under 6% link faults (fully adaptive, 8x8 mesh):\n{}\n\
          Output-buffer depth under a 2-zombie flood (8x8 torus):\n{}\n\
@@ -257,7 +257,7 @@ mod tests {
     #[test]
     fn misroute_budget_buys_delivery_under_faults() {
         let mut t = TextTable::new(&["a", "b", "c", "d"]);
-        let rows = misroute_sweep(&mut t);
+        let rows = misroute_sweep(&mut t, &RunCtx::default());
         let ratio = |i: usize| rows[i]["delivery_ratio"].as_f64().unwrap();
         // Budget 0 = minimal adaptive only: blocked flows exist.
         assert!(ratio(0) < 1.0);
@@ -268,7 +268,7 @@ mod tests {
     #[test]
     fn small_buffers_hurt_everyone() {
         let mut t = TextTable::new(&["a", "b", "c", "d"]);
-        let rows = buffer_sweep(&mut t);
+        let rows = buffer_sweep(&mut t, &RunCtx::default());
         let benign = |i: usize| rows[i]["benign_delivery"].as_f64().unwrap();
         assert!(
             benign(0) < benign(4),
@@ -279,7 +279,7 @@ mod tests {
     #[test]
     fn codec_modes_are_equally_accurate() {
         let mut t = TextTable::new(&["a", "b", "c", "d"]);
-        let rows = codec_sweep(&mut t);
+        let rows = codec_sweep(&mut t, &RunCtx::default());
         for r in &rows {
             assert_eq!(r["accuracy"], 1.0);
         }

@@ -12,7 +12,7 @@
 //! * adaptive routing multiplies the mark population and with it the
 //!   candidate-source set.
 
-use crate::util::{fnum, Report, TextTable};
+use crate::util::{RunCtx, fnum, Report, TextTable};
 use ddpm_core::analysis::{xor_ambiguity_expected, xor_ambiguity_measured};
 use ddpm_core::ppm::{EdgeMark, XorMark};
 use ddpm_core::reconstruct::{reconstruct_paths, reconstruct_paths_xor};
@@ -83,7 +83,7 @@ fn reconstruction_ambiguity(
 
 /// Runs the ambiguity experiment.
 #[must_use]
-pub fn run() -> Report {
+pub fn run(_ctx: &RunCtx) -> Report {
     let (t1, rows1) = xor_value_ambiguity();
 
     let topo = Topology::mesh2d(8);
@@ -198,7 +198,7 @@ mod tests {
 
     #[test]
     fn report_runs() {
-        let r = run();
+        let r = run(&RunCtx::default());
         assert!(r.body.contains("XOR"));
         assert!(r.json["edges_per_value"].as_array().unwrap().len() == 4);
     }

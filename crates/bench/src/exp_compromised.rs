@@ -13,7 +13,7 @@
 //!    addressable cluster (the §6.2 "trade-off between performance and
 //!    security", quantified).
 
-use crate::util::{fnum, Report, TextTable};
+use crate::util::{RunCtx, fnum, Report, TextTable};
 use ddpm_attack::{CompromisedSwitch, EvilBehavior, PacketFactory};
 use ddpm_core::auth::MIN_TAG_BITS;
 use ddpm_core::{AuthDdpm, AuthOutcome, DdpmScheme};
@@ -133,7 +133,7 @@ fn capacity_rows(t: &mut TextTable) -> Vec<serde_json::Value> {
 
 /// Runs the compromised-switch experiment.
 #[must_use]
-pub fn run() -> Report {
+pub fn run(_ctx: &RunCtx) -> Report {
     let topo = Topology::mesh2d(8);
     let evil_at = Coord::new(&[3, 0]);
     let framed = Coord::new(&[6, 6]);
@@ -246,7 +246,7 @@ mod tests {
 
     #[test]
     fn framing_contained_by_auth() {
-        let r = run();
+        let r = run(&RunCtx::default());
         let rows = r.json["outcomes"].as_array().unwrap();
         let find = |marking: &str, behavior: &str| {
             rows.iter()

@@ -13,7 +13,7 @@
 //! DDPM identify → quarantine. Reported: attack packets delivered and
 //! benign collateral, per cell.
 
-use crate::util::{Report, TextTable};
+use crate::util::{RunCtx, Report, TextTable};
 use ddpm_attack::{BackgroundTraffic, FloodAttack, PacketFactory, SpoofStrategy, Workload};
 use ddpm_core::dpm::DpmScheme;
 use ddpm_core::filter::{IngressFilter, SignatureFilter, SourceQuarantine};
@@ -22,20 +22,27 @@ use ddpm_core::DdpmScheme;
 use ddpm_net::AddrMap;
 use ddpm_routing::{Router, SelectionPolicy};
 use ddpm_sim::{Filter, Marker, NoFilter, SimConfig, SimStats, Simulation};
+use ddpm_telemetry::TelemetryConfig;
 use ddpm_topology::{FaultSet, NodeId, Topology};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde_json::json;
 
-fn build_workload(topo: &Topology, spoof: SpoofStrategy, seed: u64) -> (Workload, Vec<NodeId>) {
+fn build_workload(
+    topo: &Topology,
+    spoof: SpoofStrategy,
+    seed: u64,
+    ctx: &RunCtx,
+) -> (Workload, Vec<NodeId>) {
     let map = AddrMap::for_topology(topo);
     let mut factory = PacketFactory::new(map);
     let mut rng = SmallRng::seed_from_u64(seed);
     let zombies = vec![NodeId(3), NodeId(40), NodeId(61)];
-    let mut w = BackgroundTraffic::uniform(32, 4_000).generate(topo, &mut factory, &mut rng);
+    let mut w =
+        BackgroundTraffic::uniform(32, ctx.scaled(4_000)).generate(topo, &mut factory, &mut rng);
     let flood = FloodAttack {
         spoof,
-        packets_per_zombie: 300,
+        packets_per_zombie: ctx.scaled32(300),
         interval: 8,
         ..FloodAttack::new(zombies.clone(), NodeId(27))
     };
@@ -49,6 +56,7 @@ fn run(
     marker: &dyn Marker,
     filter: &dyn Filter,
     seed: u64,
+    tcfg: TelemetryConfig,
 ) -> (SimStats, Vec<ddpm_sim::Delivered>) {
     let faults = FaultSet::none();
     let mut sim = Simulation::with_filter(
@@ -58,10 +66,11 @@ fn run(
         SelectionPolicy::ProductiveFirstRandom,
         marker,
         filter,
-        SimConfig {
-            buffer_packets: 64,
-            ..SimConfig::seeded(seed)
-        },
+        SimConfig::seeded(seed)
+            .to_builder()
+            .buffer_packets(64)
+            .telemetry(tcfg)
+            .build(),
     );
     for (t, p) in workload {
         sim.schedule(*t, *p);
@@ -78,8 +87,11 @@ fn defense_rows(
     profile: &str,
     t: &mut TextTable,
     rows: &mut Vec<serde_json::Value>,
+    ctx: &RunCtx,
+    tcfg: TelemetryConfig,
 ) {
-    let (workload, zombies) = build_workload(topo, spoof, 17);
+    let seed = ctx.seed_or(17);
+    let (workload, zombies) = build_workload(topo, spoof, seed, ctx);
     let map = AddrMap::for_topology(topo);
     let ddpm = DdpmScheme::new(topo).unwrap();
 
@@ -99,13 +111,13 @@ fn defense_rows(
         }));
     };
 
-    // 1. No defence.
-    let (stats, delivered) = run(topo, &workload, &ddpm, &NoFilter, 17);
+    // 1. No defence (carries the --trace output when tracing is on).
+    let (stats, delivered) = run(topo, &workload, &ddpm, &NoFilter, seed, tcfg);
     push("none", &stats);
 
     // 2. Ingress filtering.
     let ingress = IngressFilter::new(topo.clone(), map.clone());
-    let (stats, _) = run(topo, &workload, &ddpm, &ingress, 17);
+    let (stats, _) = run(topo, &workload, &ddpm, &ingress, seed, TelemetryConfig::off());
     push("ingress filter", &stats);
 
     // 3. DPM signature blocking: the victim learns signatures during a
@@ -114,7 +126,7 @@ fn defense_rows(
     //    keeps minting unseen signatures (leak), and colliding benign
     //    flows get caught in the blocklist (collateral).
     let dpm = DpmScheme;
-    let (_, learn) = run(topo, &workload, &dpm, &NoFilter, 17);
+    let (_, learn) = run(topo, &workload, &dpm, &NoFilter, seed, TelemetryConfig::off());
     let sigfilter = SignatureFilter::new();
     sigfilter.block_all(
         learn
@@ -123,25 +135,26 @@ fn defense_rows(
             .take(40)
             .map(|d| d.packet.header.identification.raw()),
     );
-    let (stats, _) = run(topo, &workload, &dpm, &sigfilter, 18);
+    let (stats, _) = run(topo, &workload, &dpm, &sigfilter, seed + 1, TelemetryConfig::off());
     push("dpm signature blocking", &stats);
 
     // 4. DDPM identify -> quarantine (census from the undefended run).
     let census = attack_census(topo, &ddpm, &delivered);
     let quarantine = SourceQuarantine::new();
+    let census_floor = ctx.scaled(50);
     for (node, count) in census {
-        if count >= 50 {
+        if count >= census_floor {
             assert!(zombies.contains(&node), "never quarantine an innocent");
             quarantine.block(topo.coord(node));
         }
     }
-    let (stats, _) = run(topo, &workload, &ddpm, &quarantine, 18);
+    let (stats, _) = run(topo, &workload, &ddpm, &quarantine, seed + 1, TelemetryConfig::off());
     push("ddpm quarantine", &stats);
 }
 
 /// Runs the defence matrix.
 #[must_use]
-pub fn run_experiment() -> Report {
+pub fn run_experiment(ctx: &RunCtx) -> Report {
     let topo = Topology::torus(&[8, 8]);
     let mut t = TextTable::new(&[
         "attacker",
@@ -157,6 +170,8 @@ pub fn run_experiment() -> Report {
         "spoofing flood",
         &mut t,
         &mut rows,
+        ctx,
+        ctx.telemetry_for("defenses"),
     );
     defense_rows(
         &topo,
@@ -164,6 +179,8 @@ pub fn run_experiment() -> Report {
         "non-spoofing flood",
         &mut t,
         &mut rows,
+        ctx,
+        TelemetryConfig::off(),
     );
     let body = format!(
         "3 zombies flood node n27 of the {topo} under fully adaptive routing.\n\n{}\n\
@@ -188,7 +205,7 @@ mod tests {
 
     #[test]
     fn matrix_shapes_match_the_papers_survey() {
-        let r = run_experiment();
+        let r = run_experiment(&RunCtx::default());
         let rows = r.json["rows"].as_array().unwrap();
         let cell = |profile: &str, defense: &str| -> u64 {
             rows.iter()

@@ -13,7 +13,7 @@
 //!    `ddpm_core::dpm` tests; here we report the signature-information
 //!    loss by path length).
 
-use crate::util::{fnum, Report, TextTable};
+use crate::util::{RunCtx, fnum, Report, TextTable};
 use ddpm_attack::{PacketFactory, SpoofStrategy};
 use ddpm_core::dpm::{DpmScheme, DpmVictim};
 use ddpm_core::filter::SignatureFilter;
@@ -131,7 +131,7 @@ fn blocking_efficacy(topo: &Topology, seed: u64) -> (f64, f64) {
 
 /// Runs the DPM experiment.
 #[must_use]
-pub fn run() -> Report {
+pub fn run(_ctx: &RunCtx) -> Report {
     let topo = Topology::mesh2d(8);
     let src = NodeId(0);
     let dst = NodeId(63);

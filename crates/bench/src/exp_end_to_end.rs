@@ -13,7 +13,7 @@
 //! latency. Phase B re-runs the same workload with the identified
 //! sources quarantined and measures suppression and collateral damage.
 
-use crate::util::{fnum, Report, TextTable};
+use crate::util::{RunCtx, fnum, Report, TextTable};
 use ddpm_attack::{
     BackgroundTraffic, DetectionVerdict, EntropyDetector, HalfOpenTable, PacketFactory,
     SynFloodAttack, SynHalfOpenDetector, Workload,
@@ -24,6 +24,7 @@ use ddpm_core::DdpmScheme;
 use ddpm_net::AddrMap;
 use ddpm_routing::{Router, SelectionPolicy};
 use ddpm_sim::{Delivered, SimConfig, SimStats, SimTime, Simulation};
+use ddpm_telemetry::TelemetryConfig;
 use ddpm_topology::{FaultSet, NodeId, Topology};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -59,10 +60,10 @@ pub struct PhaseOutcome {
     pub delivered: Vec<Delivered>,
 }
 
-fn build_workload(sc: &E2eScenario, factory: &mut PacketFactory) -> Workload {
+fn build_workload(sc: &E2eScenario, factory: &mut PacketFactory, ctx: &RunCtx) -> Workload {
     let mut rng = SmallRng::seed_from_u64(sc.seed);
     // Benign background including benign SYNs to the victim's service.
-    let bg = BackgroundTraffic::uniform(24, 6_000);
+    let bg = BackgroundTraffic::uniform(24, ctx.scaled(6_000));
     let mut w = bg.generate(&sc.topo, factory, &mut rng);
     // Benign clients opening connections to the victim: one SYN each
     // every ~60 cycles.
@@ -70,7 +71,7 @@ fn build_workload(sc: &E2eScenario, factory: &mut PacketFactory) -> Workload {
         .iter()
         .enumerate()
     {
-        for k in 0..100u64 {
+        for k in 0..ctx.scaled(100) {
             let t = SimTime(k * 60 + i as u64 * 13);
             let l4 = ddpm_net::L4::tcp_syn(2000 + k as u16, 80, k as u32);
             w.push((t, factory.benign(*client, sc.victim, l4, 40)));
@@ -80,7 +81,7 @@ fn build_workload(sc: &E2eScenario, factory: &mut PacketFactory) -> Workload {
     let flood = SynFloodAttack {
         start: SimTime(1_500),
         interval: 6,
-        syns_per_zombie: 500,
+        syns_per_zombie: ctx.scaled32(500),
         ..SynFloodAttack::new(sc.zombies.clone(), sc.victim)
     };
     w.extend(flood.generate(factory, &mut rng));
@@ -92,13 +93,15 @@ fn run_phase(
     workload: &Workload,
     quarantine: Option<&SourceQuarantine>,
     scheme: &DdpmScheme,
+    tcfg: TelemetryConfig,
 ) -> PhaseOutcome {
     let faults = FaultSet::none();
     let router = Router::fully_adaptive_for(&sc.topo);
-    let cfg = SimConfig {
-        buffer_packets: 64,
-        ..SimConfig::seeded(sc.seed)
-    };
+    let cfg = SimConfig::seeded(sc.seed)
+        .to_builder()
+        .buffer_packets(64)
+        .telemetry(tcfg)
+        .build();
     let default_q = SourceQuarantine::new();
     let q = quarantine.unwrap_or(&default_q);
     let mut sim = Simulation::with_filter(
@@ -143,15 +146,18 @@ fn run_phase(
 
 /// Runs the end-to-end pipeline experiment.
 #[must_use]
-pub fn run() -> Report {
-    let sc = E2eScenario::default();
+pub fn run(ctx: &RunCtx) -> Report {
+    let sc = E2eScenario {
+        seed: ctx.seed_or(2004),
+        ..E2eScenario::default()
+    };
     let scheme = DdpmScheme::new(&sc.topo).expect("8x8 torus fits");
     let map = AddrMap::for_topology(&sc.topo);
     let mut factory = PacketFactory::new(map);
-    let workload = build_workload(&sc, &mut factory);
+    let workload = build_workload(&sc, &mut factory, ctx);
 
-    // Phase A: undefended.
-    let a = run_phase(&sc, &workload, None, &scheme);
+    // Phase A: undefended (carries the --trace output when tracing is on).
+    let a = run_phase(&sc, &workload, None, &scheme, ctx.telemetry_for("e2e"));
 
     // Identification: census of DDPM-identified sources over the
     // victim's attack-class stream (in deployment the "attack" label
@@ -166,7 +172,7 @@ pub fn run() -> Report {
     let census = attack_census(&sc.topo, &scheme, &victim_stream);
     let mut identified: Vec<(NodeId, u64)> = census.into_iter().collect();
     identified.sort_by_key(|&(n, c)| (std::cmp::Reverse(c), n));
-    let threshold = 50u64;
+    let threshold = ctx.scaled(50);
     let identified_sources: HashSet<NodeId> = identified
         .iter()
         .filter(|&&(_, c)| c >= threshold)
@@ -181,7 +187,7 @@ pub fn run() -> Report {
     for n in &identified_sources {
         quarantine.block(sc.topo.coord(*n));
     }
-    let b = run_phase(&sc, &workload, Some(&quarantine), &scheme);
+    let b = run_phase(&sc, &workload, Some(&quarantine), &scheme, TelemetryConfig::off());
 
     let suppression =
         1.0 - b.stats.attack.delivered as f64 / a.stats.attack.delivered.max(1) as f64;
@@ -265,7 +271,7 @@ mod tests {
 
     #[test]
     fn pipeline_identifies_and_suppresses() {
-        let r = run();
+        let r = run(&RunCtx::default());
         assert_eq!(r.json["precision_ok"], true, "{}", r.body);
         assert_eq!(r.json["recall_ok"], true, "{}", r.body);
         let suppression = r.json["suppression"].as_f64().unwrap();

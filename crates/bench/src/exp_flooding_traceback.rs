@@ -18,7 +18,7 @@
 //! probing itself costs the victim real attack-window time and the
 //! network real bandwidth — where DDPM reads one packet.
 
-use crate::util::{Report, TextTable};
+use crate::util::{RunCtx, Report, TextTable};
 use ddpm_attack::PacketFactory;
 use ddpm_net::{AddrMap, L4};
 use ddpm_routing::{trace_path, Router, SelectionPolicy};
@@ -130,7 +130,7 @@ fn controlled_flooding_traceback(
 
 /// Runs the controlled-flooding experiment.
 #[must_use]
-pub fn run() -> Report {
+pub fn run(_ctx: &RunCtx) -> Report {
     let topo = Topology::mesh2d(8);
     let zombie = NodeId(2); // (0,2)
     let victim = NodeId(50); // (6,2)
@@ -227,7 +227,7 @@ mod tests {
 
     #[test]
     fn walk_finds_the_source_on_a_stable_route() {
-        let r = run();
+        let r = run(&RunCtx::default());
         assert_eq!(r.json["found_source"], true, "{}", r.body);
         assert!(r.json["probe_windows"].as_u64().unwrap() > 10);
     }

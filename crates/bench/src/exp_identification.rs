@@ -15,7 +15,7 @@
 //! packets-to-identify comparison against PPM (DPM identifies a
 //! signature, not a source, so it has no entry).
 
-use crate::util::{fnum, Report, TextTable};
+use crate::util::{RunCtx, fnum, Report, TextTable};
 use ddpm_attack::{PacketFactory, SpoofStrategy};
 use ddpm_core::analysis::ppm_expected_packets;
 use ddpm_core::identify::score_ddpm;
@@ -23,6 +23,7 @@ use ddpm_core::DdpmScheme;
 use ddpm_net::{AddrMap, L4};
 use ddpm_routing::{Router, SelectionPolicy};
 use ddpm_sim::{SimConfig, SimTime, Simulation};
+use ddpm_telemetry::TelemetryConfig;
 use ddpm_topology::{FaultSet, NodeId, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -40,6 +41,7 @@ struct Cell {
     accuracy: f64,
 }
 
+#[allow(clippy::too_many_arguments)] // a flat sweep-cell descriptor
 fn run_cell(
     topo: &Topology,
     router: Router,
@@ -47,6 +49,8 @@ fn run_cell(
     spoof: SpoofStrategy,
     spoof_name: &'static str,
     seed: u64,
+    packets: u64,
+    tcfg: TelemetryConfig,
 ) -> Cell {
     let scheme = DdpmScheme::new(topo).expect("within Table 3 scale");
     let map = AddrMap::for_topology(topo);
@@ -59,11 +63,14 @@ fn run_cell(
         router,
         SelectionPolicy::Random,
         &scheme,
-        SimConfig::seeded(seed ^ 0xABCD),
+        SimConfig::seeded(seed ^ 0xABCD)
+            .to_builder()
+            .telemetry(tcfg)
+            .build(),
     );
     let n = topo.num_nodes() as u32;
     let victim = NodeId(n - 1);
-    for k in 0..600u64 {
+    for k in 0..packets {
         let src = NodeId(rng.gen_range(0..n - 1));
         let claimed = spoof.claimed_ip(&map, src, &mut rng);
         let p = factory.attack(src, claimed, victim, L4::udp(1, 7), 256);
@@ -145,7 +152,9 @@ fn packets_to_identify_all(
 
 /// Runs the identification sweep.
 #[must_use]
-pub fn run() -> Report {
+pub fn run(ctx: &RunCtx) -> Report {
+    let packets = ctx.scaled(600);
+    let base_seed = ctx.seed_or(1000);
     let topologies = vec![
         Topology::mesh2d(8),
         Topology::mesh2d(16),
@@ -185,7 +194,23 @@ pub fn run() -> Report {
         .par_iter()
         .enumerate()
         .map(|(i, (topo, router, fr, spoof, spoof_name))| {
-            run_cell(topo, *router, *fr, *spoof, spoof_name, 1000 + i as u64)
+            // One representative cell carries the --trace output; every
+            // cell writing the same file would clobber it.
+            let tcfg = if i == 0 {
+                ctx.telemetry_for("ident")
+            } else {
+                TelemetryConfig::off()
+            };
+            run_cell(
+                topo,
+                *router,
+                *fr,
+                *spoof,
+                spoof_name,
+                base_seed + i as u64,
+                packets,
+                tcfg,
+            )
         })
         .collect();
 
@@ -284,7 +309,7 @@ mod tests {
 
     #[test]
     fn every_swept_cell_is_perfectly_accurate() {
-        let r = run();
+        let r = run(&RunCtx::default());
         assert_eq!(r.json["min_accuracy"], 1.0, "{}", r.body);
         assert!(r.json["total_delivered"].as_u64().unwrap() > 10_000);
     }
@@ -299,6 +324,8 @@ mod tests {
             SpoofStrategy::RandomInCluster,
             "random",
             77,
+            600,
+            TelemetryConfig::off(),
         );
         assert!(c.delivered > 0);
         assert_eq!(c.accuracy, 1.0);

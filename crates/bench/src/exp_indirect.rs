@@ -8,7 +8,7 @@
 //!    accuracy must be 1.0 on every delivered packet, mirroring the
 //!    direct-network result.
 
-use crate::util::{check, Report, TextTable};
+use crate::util::{RunCtx, check, Report, TextTable};
 use ddpm_indirect::{
     irregular, max_binary_fly, port_marking_bits, Butterfly, HybridCluster, HybridMarking,
     IrregularNet, MinSimulation, PortMarking,
@@ -183,7 +183,7 @@ fn irregular_demo() -> (u64, u64, serde_json::Value) {
 
 /// Runs the indirect-network experiment.
 #[must_use]
-pub fn run() -> Report {
+pub fn run(_ctx: &RunCtx) -> Report {
     let mut t = TextTable::new(&["butterfly", "marking bits", "fits 16-bit MF"]);
     let rows = scalability(&mut t);
     let max_fly = max_binary_fly(16);
@@ -235,7 +235,7 @@ pub fn run() -> Report {
 mod tests {
     #[test]
     fn indirect_identification_is_perfect() {
-        let r = super::run();
+        let r = super::run(&crate::util::RunCtx::default());
         assert_eq!(r.json["accuracy"], 1.0, "{}", r.body);
         assert_eq!(r.json["max_binary_fly"], 16);
         assert!(r.json["delivered"].as_u64().unwrap() > 1000);

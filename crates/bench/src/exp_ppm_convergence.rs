@@ -17,7 +17,7 @@
 //!    flagged layout fits the MF with a long axis), packets until
 //!    [`ddpm_core::reconstruct_paths`] recovers the true source.
 
-use crate::util::{fnum, Report, TextTable};
+use crate::util::{RunCtx, fnum, Report, TextTable};
 use ddpm_core::analysis::ppm_expected_packets;
 use ddpm_core::ppm::{EdgeMark, EdgePpm};
 use ddpm_core::reconstruct_paths;
@@ -164,8 +164,9 @@ fn full_stack_packets(p: f64, seeds: u32) -> f64 {
 
 /// Runs the convergence experiment.
 #[must_use]
-pub fn run() -> Report {
-    let mut rng = SmallRng::seed_from_u64(0xC0FFEE);
+pub fn run(ctx: &RunCtx) -> Report {
+    let mut rng = SmallRng::seed_from_u64(ctx.seed_or(0xC0FFEE));
+    let trials = ctx.scaled32(40);
     let p = 0.04; // Savage's canonical marking probability
     let mut t = TextTable::new(&[
         "path length d",
@@ -178,7 +179,7 @@ pub fn run() -> Report {
     // 32x32 mesh the paper calls a "middle size cluster").
     for d in [5u32, 10, 15, 20, 30, 40, 62] {
         let bound = ppm_expected_packets(d, p);
-        let measured = packets_to_collect_path(d, p, 40, &mut rng);
+        let measured = packets_to_collect_path(d, p, trials, &mut rng);
         t.row(&[
             d.to_string(),
             fnum(bound),
@@ -187,8 +188,8 @@ pub fn run() -> Report {
         ]);
         rows.push(json!({"d": d, "bound": bound, "measured": measured}));
     }
-    let internet = packets_to_collect_path(15, p, 40, &mut rng);
-    let cluster = packets_to_collect_path(62, p, 40, &mut rng);
+    let internet = packets_to_collect_path(15, p, trials, &mut rng);
+    let cluster = packets_to_collect_path(62, p, trials, &mut rng);
     let blowup = cluster / internet;
 
     // FMS (§2's k-fragment scheme): measured vs. Savage's bound.
@@ -201,7 +202,7 @@ pub fn run() -> Report {
     let mut fms_rows = Vec::new();
     for d in [5u32, 10, 15, 20, 30] {
         let bound = ddpm_core::analysis::savage_expected_packets(ddpm_core::fms::K, d, p);
-        let measured = fms_packets_to_collect(d, p, 30, &mut rng);
+        let measured = fms_packets_to_collect(d, p, ctx.scaled32(30), &mut rng);
         tf.row(&[
             d.to_string(),
             fnum(bound),
@@ -211,7 +212,7 @@ pub fn run() -> Report {
         fms_rows.push(json!({"d": d, "bound": bound, "measured": measured}));
     }
 
-    let fs = full_stack_packets(0.2, 5);
+    let fs = full_stack_packets(0.2, ctx.scaled32(5));
     let fs_bound = ppm_expected_packets(8, 0.2);
     let body = format!(
         "Marking probability p = {p}\n{}\n\

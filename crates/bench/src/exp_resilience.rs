@@ -15,12 +15,12 @@
 //! receives still identifies its true source exactly, while the typed
 //! fault-drop counters account for every loss.
 
-use crate::util::{fnum, Report, TextTable};
+use crate::util::{RunCtx, fnum, Report, TextTable};
 use ddpm_attack::PacketFactory;
 use ddpm_core::DdpmScheme;
 use ddpm_net::{AddrMap, L4};
 use ddpm_routing::{Router, SelectionPolicy};
-use ddpm_sim::{SimConfig, SimTime, Simulation};
+use ddpm_sim::{RetryPolicy, SimConfig, SimTime, Simulation};
 use ddpm_topology::{ChurnConfig, FaultSchedule, FaultSet, NodeId, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -87,12 +87,13 @@ fn run_once(
     level: ChurnLevel,
     retries: u32,
     seed: u64,
+    packets: u64,
 ) -> RunOutcome {
     let scheme = DdpmScheme::new(topo).expect("sweep topologies fit the field");
     let map = AddrMap::for_topology(topo);
     let mut rng = SmallRng::seed_from_u64(seed);
     let churn = ChurnConfig {
-        horizon: PACKETS * INJECT_EVERY,
+        horizon: packets * INJECT_EVERY,
         period: 250,
         link_rate: level.link_rate,
         switch_rate: level.switch_rate,
@@ -101,7 +102,11 @@ fn run_once(
     let schedule = FaultSchedule::churn(topo, &churn, || rng.gen::<f64>());
     let mut cfg = SimConfig::seeded(seed ^ 0x5EED);
     if retries > 0 {
-        cfg = cfg.with_fault_tolerance(retries, 256);
+        let backoff = cfg.service_cycles.max(1);
+        cfg = cfg
+            .to_builder()
+            .fault_tolerance(RetryPolicy::capped(retries, backoff, 256))
+            .build();
     }
     let faults = FaultSet::none();
     // Productive-first selection: turn-model routers (west-first) are
@@ -118,7 +123,7 @@ fn run_once(
     sim.schedule_faults(&schedule);
     let n = topo.num_nodes() as u32;
     let mut factory = PacketFactory::new(map);
-    for k in 0..PACKETS {
+    for k in 0..packets {
         let src = NodeId(rng.gen_range(0..n));
         let mut dst = NodeId(rng.gen_range(0..n));
         while dst == src {
@@ -152,19 +157,27 @@ fn run_once(
     }
 }
 
-fn run_cell(topo: &Topology, router: Router, level: ChurnLevel, seed: u64) -> Cell {
+fn run_cell(
+    topo: &Topology,
+    router: Router,
+    level: ChurnLevel,
+    seed: u64,
+    packets: u64,
+) -> Cell {
     Cell {
         topo: topo.describe(),
         router: router.name(),
         churn: level.name,
-        tolerant: run_once(topo, router, level, 6, seed),
-        brittle: run_once(topo, router, level, 0, seed),
+        tolerant: run_once(topo, router, level, 6, seed, packets),
+        brittle: run_once(topo, router, level, 0, seed, packets),
     }
 }
 
 /// Runs the resilience sweep.
 #[must_use]
-pub fn run() -> Report {
+pub fn run(ctx: &RunCtx) -> Report {
+    let packets = ctx.scaled(PACKETS);
+    let base_seed = ctx.seed_or(0xC11A0);
     let topologies = vec![
         Topology::mesh2d(8),
         Topology::torus(&[8, 8]),
@@ -189,7 +202,7 @@ pub fn run() -> Report {
     let cells: Vec<Cell> = jobs
         .par_iter()
         .enumerate()
-        .map(|(i, (topo, router, level))| run_cell(topo, *router, *level, 0xC11A0 + i as u64))
+        .map(|(i, (topo, router, level))| run_cell(topo, *router, *level, base_seed + i as u64, packets))
         .collect();
 
     let mut t = TextTable::new(&[
@@ -288,7 +301,7 @@ mod tests {
 
     #[test]
     fn sweep_is_fault_bitten_yet_perfectly_attributed() {
-        let r = run();
+        let r = run(&RunCtx::default());
         // ≥3 topologies × ≥3 routings × 3 churn levels.
         assert!(r.json["cells"].as_array().unwrap().len() >= 27, "{}", r.body);
         assert_eq!(r.json["total_misattributed"], 0u64, "{}", r.body);
@@ -309,7 +322,7 @@ mod tests {
     #[test]
     fn single_cell_dor_mesh_under_high_churn() {
         let topo = Topology::mesh2d(8);
-        let c = run_cell(&topo, Router::DimensionOrder, LEVELS[2], 42);
+        let c = run_cell(&topo, Router::DimensionOrder, LEVELS[2], 42, PACKETS);
         assert_eq!(c.tolerant.misattributed + c.brittle.misattributed, 0);
         assert!(c.tolerant.fault_events > 0);
         assert!(c.tolerant.delivered > 0);

@@ -5,13 +5,13 @@
 //! `Σ ⌊k/2⌋ = 4`; the 3-cube has degree and diameter 3. We verify the
 //! closed forms against brute-force BFS on the actual graphs.
 
-use crate::util::{check, Report, TextTable};
+use crate::util::{RunCtx, check, Report, TextTable};
 use ddpm_topology::{diameter_by_bfs, Topology};
 use serde_json::json;
 
 /// Runs the Fig. 1 property check.
 #[must_use]
-pub fn run() -> Report {
+pub fn run(_ctx: &RunCtx) -> Report {
     let cases = [
         (Topology::mesh2d(4), 4usize, 6u32),
         (Topology::torus(&[4, 4]), 4, 4),
@@ -58,7 +58,7 @@ pub fn run() -> Report {
 mod tests {
     #[test]
     fn fig1_matches_paper() {
-        let r = super::run();
+        let r = super::run(&crate::util::RunCtx::default());
         assert_eq!(r.json["all_match_paper"], true, "{}", r.body);
     }
 }

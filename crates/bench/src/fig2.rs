@@ -18,7 +18,7 @@
 //!
 //! Geometry: east = `+x` (dim 0). S1 = (0,3), S2 = (0,1), D = (2,2).
 
-use crate::util::{check, Report, TextTable};
+use crate::util::{RunCtx, check, Report, TextTable};
 use ddpm_routing::{trace_path, Router, SelectionPolicy};
 use ddpm_topology::{Coord, FaultSet, Topology};
 use rand::rngs::SmallRng;
@@ -98,7 +98,7 @@ fn delivers(topo: &Topology, faults: &FaultSet, router: Router, src: &Coord, dst
 
 /// Runs the Fig. 2 deliverability matrix.
 #[must_use]
-pub fn run() -> Report {
+pub fn run(_ctx: &RunCtx) -> Report {
     let topo = Topology::mesh2d(4);
     let routers = [
         Router::DimensionOrder,
@@ -181,7 +181,7 @@ pub fn run() -> Report {
 mod tests {
     #[test]
     fn fig2_matrix_matches_paper() {
-        let r = super::run();
+        let r = super::run(&crate::util::RunCtx::default());
         assert_eq!(r.json["all_match_paper"], true, "{}", r.body);
     }
 }

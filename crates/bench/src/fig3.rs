@@ -11,7 +11,7 @@
 //!   (0,0,1) (0,1,1) (0,1,0) (1,1,0); the victim XORs (0,0,0) ⊕
 //!   (1,1,0) = (1,1,0).
 
-use crate::util::{check, Report, TextTable};
+use crate::util::{RunCtx, check, Report, TextTable};
 use ddpm_core::ppm::EdgePpm;
 use ddpm_core::DdpmScheme;
 use ddpm_net::{AddrMap, Ipv4Header, Packet, PacketId, Protocol, TrafficClass, L4};
@@ -24,7 +24,7 @@ use serde_json::json;
 
 /// Fig. 3(a): enumerate the PPM edge marks of both attack paths.
 #[must_use]
-pub fn run_fig3a() -> Report {
+pub fn run_fig3a(_ctx: &RunCtx) -> Report {
     let topo = Topology::mesh2d(4);
     type LabeledPath = (&'static str, Vec<u32>, Vec<(u32, u32, u32)>);
     let paths: [LabeledPath; 2] = [
@@ -127,7 +127,7 @@ fn replay_ddpm(
 
 /// Fig. 3(b): the DDPM vector trace on the 2-D mesh.
 #[must_use]
-pub fn run_fig3b() -> Report {
+pub fn run_fig3b(_ctx: &RunCtx) -> Report {
     let topo = Topology::mesh2d(4);
     let path = [
         Coord::new(&[1, 1]),
@@ -173,7 +173,7 @@ pub fn run_fig3b() -> Report {
 
 /// Fig. 3(c): the DDPM vector trace on the 3-cube.
 #[must_use]
-pub fn run_fig3c() -> Report {
+pub fn run_fig3c(_ctx: &RunCtx) -> Report {
     let topo = Topology::hypercube(3);
     let path = [
         Coord::new(&[1, 1, 0]),
@@ -217,20 +217,20 @@ pub fn run_fig3c() -> Report {
 mod tests {
     #[test]
     fn fig3a_matches() {
-        let r = super::run_fig3a();
+        let r = super::run_fig3a(&crate::util::RunCtx::default());
         assert_eq!(r.json["all_match_paper"], true, "{}", r.body);
     }
 
     #[test]
     fn fig3b_matches() {
-        let r = super::run_fig3b();
+        let r = super::run_fig3b(&crate::util::RunCtx::default());
         assert_eq!(r.json["sequence_matches"], true, "{}", r.body);
         assert_eq!(r.json["identified_source_matches"], true);
     }
 
     #[test]
     fn fig3c_matches() {
-        let r = super::run_fig3c();
+        let r = super::run_fig3c(&crate::util::RunCtx::default());
         assert_eq!(r.json["sequence_matches"], true, "{}", r.body);
         assert_eq!(r.json["identified_source_matches"], true);
     }

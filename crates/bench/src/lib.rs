@@ -36,10 +36,11 @@ pub mod scenario_config;
 pub mod tables;
 pub mod util;
 
-pub use util::{Report, TextTable};
+pub use util::{Report, RunCtx, TextTable};
 
-/// An experiment entry: its key and runner.
-pub type Experiment = (&'static str, fn() -> Report);
+/// An experiment entry: its key and runner. Every runner takes the
+/// shared [`RunCtx`] (seed override, quick mode, trace directory).
+pub type Experiment = (&'static str, fn(&RunCtx) -> Report);
 
 /// Every experiment, in paper order: `(key, title, runner)`.
 #[must_use]

@@ -13,7 +13,7 @@ use ddpm_core::identify::attack_census;
 use ddpm_core::{DdpmScheme, DpmScheme};
 use ddpm_net::{AddrMap, CodecMode};
 use ddpm_routing::{Router, SelectionPolicy};
-use ddpm_sim::{Marker, NoMarking, SimConfig, SimStats, SimTime, Simulation};
+use ddpm_sim::{Marker, NoMarking, RetryPolicy, SimConfig, SimStats, SimTime, Simulation};
 use ddpm_topology::{FaultEvent, FaultSchedule, FaultSet, NodeId, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -438,7 +438,11 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
 
     let mut sim_cfg = SimConfig::seeded(cfg.seed);
     if cfg.fault_retries > 0 {
-        sim_cfg = sim_cfg.with_fault_tolerance(cfg.fault_retries, 256);
+        let backoff = sim_cfg.service_cycles.max(1);
+        sim_cfg = sim_cfg
+            .to_builder()
+            .fault_tolerance(RetryPolicy::capped(cfg.fault_retries, backoff, 256))
+            .build();
     }
     let mut sim = Simulation::new(
         &topo,

@@ -5,7 +5,7 @@
 //! from the implementation ([`ddpm_core::analysis`]) and compare against
 //! the paper's printed values.
 
-use crate::util::{check, Report, TextTable};
+use crate::util::{RunCtx, check, Report, TextTable};
 use ddpm_core::analysis::{
     bitdiff_ppm_bits, ddpm_bits, max_hypercube, max_square_mesh, simple_ppm_bits,
 };
@@ -39,7 +39,7 @@ fn sweep_rows(t: &mut TextTable, bits: impl Fn(&Topology) -> u32 + Copy) -> (u16
 
 /// Table 1 — Scalability of simple PPM.
 #[must_use]
-pub fn table1() -> Report {
+pub fn table1(_ctx: &RunCtx) -> Report {
     let mut t = TextTable::new(&["topology", "size", "required field", "fits 16-bit MF"]);
     let (max_mesh, max_cube) = sweep_rows(&mut t, simple_ppm_bits);
     let body = format!(
@@ -67,7 +67,7 @@ pub fn table1() -> Report {
 
 /// Table 2 — Scalability of simple bit-difference PPM.
 #[must_use]
-pub fn table2() -> Report {
+pub fn table2(_ctx: &RunCtx) -> Report {
     let mut t = TextTable::new(&["topology", "size", "required field", "fits 16-bit MF"]);
     let (max_mesh, max_cube) = sweep_rows(&mut t, bitdiff_ppm_bits);
     let body = format!(
@@ -93,7 +93,7 @@ pub fn table2() -> Report {
 
 /// Table 3 — Scalability of DDPM.
 #[must_use]
-pub fn table3() -> Report {
+pub fn table3(_ctx: &RunCtx) -> Report {
     let signed = |t: &Topology| ddpm_bits(t, CodecMode::Signed);
     let residue = |t: &Topology| ddpm_bits(t, CodecMode::Residue);
     let mut t = TextTable::new(&["topology", "size", "required field", "fits 16-bit MF"]);
@@ -136,7 +136,7 @@ mod tests {
 
     #[test]
     fn table1_matches_paper() {
-        let r = table1();
+        let r = table1(&RunCtx::default());
         assert_eq!(r.json["max_square_mesh"], 8);
         assert_eq!(r.json["max_hypercube_dim"], 6);
         assert!(!r.body.contains("MISMATCH"), "{}", r.body);
@@ -144,7 +144,7 @@ mod tests {
 
     #[test]
     fn table2_matches_paper() {
-        let r = table2();
+        let r = table2(&RunCtx::default());
         assert_eq!(r.json["max_hypercube_dim"], 8);
         assert_eq!(r.json["max_square_mesh"], 16);
         assert!(!r.body.contains("MISMATCH"), "{}", r.body);
@@ -152,7 +152,7 @@ mod tests {
 
     #[test]
     fn table3_matches_paper() {
-        let r = table3();
+        let r = table3(&RunCtx::default());
         assert_eq!(r.json["max_square_mesh_signed"], 128);
         assert_eq!(r.json["max_hypercube_dim"], 16);
         assert_eq!(r.json["max_square_mesh_residue"], 256);

@@ -1,7 +1,63 @@
-//! Report plumbing: plain-text tables and machine-readable output.
+//! Report plumbing: the run context every experiment receives,
+//! plain-text tables and machine-readable output.
 
+use ddpm_telemetry::TelemetryConfig;
 use serde_json::Value;
 use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// What the driver passes to every experiment runner: reproducibility
+/// and output knobs shared across the whole suite.
+///
+/// `Default` is a full-fidelity run with each experiment's built-in
+/// seed and no tracing — exactly what `report <key>` did before this
+/// context existed.
+#[derive(Clone, Debug, Default)]
+pub struct RunCtx {
+    /// Override the experiment's built-in RNG seed (`--seed`).
+    pub seed: Option<u64>,
+    /// Shrink workloads for smoke testing (`--quick`): statistical
+    /// claims are still exercised but at reduced sample counts.
+    pub quick: bool,
+    /// Directory for NDJSON packet traces (`--trace DIR`): experiments
+    /// that run a simulator write `<key>.ndjson` there.
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl RunCtx {
+    /// The seed to use: the `--seed` override, else `default`.
+    #[must_use]
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// Scales a workload size: full size normally, `n/8` (min 1) under
+    /// `--quick`.
+    #[must_use]
+    pub fn scaled(&self, n: u64) -> u64 {
+        if self.quick {
+            (n / 8).max(1)
+        } else {
+            n
+        }
+    }
+
+    /// `scaled` for `u32` workload knobs.
+    #[must_use]
+    pub fn scaled32(&self, n: u32) -> u32 {
+        self.scaled(u64::from(n)) as u32
+    }
+
+    /// Telemetry for a simulation inside experiment `key`: an NDJSON
+    /// trace into `trace_dir` when `--trace` was given, otherwise off.
+    #[must_use]
+    pub fn telemetry_for(&self, key: &str) -> TelemetryConfig {
+        match &self.trace_dir {
+            Some(dir) => TelemetryConfig::trace_to(dir.join(format!("{key}.ndjson"))),
+            None => TelemetryConfig::off(),
+        }
+    }
+}
 
 /// One experiment's output: human-readable body + JSON payload.
 #[derive(Clone, Debug)]

@@ -1,0 +1,59 @@
+//! Quick-profile smoke: every registered experiment must run under
+//! `--quick` scaling and produce JSON that round-trips losslessly —
+//! the contract `report --quick all` and CI rely on.
+
+use ddpm_bench::{all_experiments, RunCtx};
+
+#[test]
+fn every_experiment_runs_quick_and_roundtrips_json() {
+    let ctx = RunCtx {
+        quick: true,
+        ..RunCtx::default()
+    };
+    let mut seen = Vec::new();
+    for (key, runner) in all_experiments() {
+        let report = runner(&ctx);
+        assert_eq!(report.key, key, "registry key must match the report's");
+        assert!(!report.title.is_empty(), "{key}: empty title");
+        assert!(!report.body.is_empty(), "{key}: empty body");
+        assert!(
+            !report.json.is_null(),
+            "{key}: machine-readable payload missing"
+        );
+        let text = serde_json::to_string_pretty(&report.json)
+            .unwrap_or_else(|e| panic!("{key}: unserialisable JSON: {e}"));
+        let back: serde_json::Value = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("{key}: JSON does not parse back: {e}"));
+        assert_eq!(back, report.json, "{key}: JSON round-trip lost data");
+        seen.push(key);
+    }
+    assert!(seen.len() >= 19, "experiment registry shrank: {seen:?}");
+}
+
+#[test]
+fn quick_tracing_writes_an_ndjson_trace() {
+    let dir = std::env::temp_dir().join(format!("ddpm-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ctx = RunCtx {
+        quick: true,
+        trace_dir: Some(dir.clone()),
+        ..RunCtx::default()
+    };
+    let (_, runner) = all_experiments()
+        .into_iter()
+        .find(|(k, _)| *k == "ident")
+        .expect("ident experiment registered");
+    runner(&ctx);
+    let trace = dir.join("ident.ndjson");
+    let body = std::fs::read_to_string(&trace).expect("trace file written");
+    assert!(body.lines().count() > 0, "trace is empty");
+    for line in body.lines().take(50) {
+        let v: serde_json::Value = serde_json::from_str(line).expect("each line is JSON");
+        assert!(
+            v["cycle"].as_u64().is_some()
+                && v["event"].as_str().is_some()
+                && v["pkt"].as_u64().is_some()
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

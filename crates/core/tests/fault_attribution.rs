@@ -10,7 +10,7 @@
 use ddpm_core::DdpmScheme;
 use ddpm_net::{AddrMap, Ipv4Header, Packet, PacketId, Protocol, TrafficClass, L4};
 use ddpm_routing::{Router, SelectionPolicy};
-use ddpm_sim::{SimConfig, SimTime, Simulation};
+use ddpm_sim::{RetryPolicy, SimConfig, SimTime, Simulation};
 use ddpm_topology::{ChurnConfig, FaultSchedule, FaultSet, NodeId, Topology};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -79,7 +79,10 @@ proptest! {
         let faults = FaultSet::none();
         let mut sim = Simulation::new(
             &topo, &faults, router, SelectionPolicy::Random, &scheme,
-            SimConfig::seeded(seed ^ 0xFA17).with_fault_tolerance(retries, 64),
+            SimConfig::seeded(seed ^ 0xFA17)
+                .to_builder()
+                .fault_tolerance(RetryPolicy::capped(retries, 4, 64))
+                .build(),
         );
         sim.schedule_faults(&schedule);
         let nodes = topo.num_nodes() as u32;
@@ -121,7 +124,11 @@ proptest! {
         let faults = FaultSet::none();
         let mut sim = Simulation::new(
             &topo, &faults, Router::DimensionOrder, SelectionPolicy::First,
-            &scheme, SimConfig::seeded(seed).with_fault_tolerance(retries, 64),
+            &scheme,
+            SimConfig::seeded(seed)
+                .to_builder()
+                .fault_tolerance(RetryPolicy::capped(retries, 4, 64))
+                .build(),
         );
         let mut rng = SmallRng::seed_from_u64(seed);
         let nodes = topo.num_nodes() as u32;

@@ -1,0 +1,122 @@
+//! The acceptance test for the telemetry event schema's core promise:
+//! the mark-event trail of a traced DDPM run is the victim's evidence.
+//! For sampled packets, the *accumulated* marking vector — the last
+//! `Mark` event's `mf` — must reproduce exactly what `identify()`
+//! answers from the delivered packet, and that answer must be the true
+//! injector.
+
+use ddpm_core::DdpmScheme;
+use ddpm_net::{AddrMap, Ipv4Header, MarkingField, Packet, PacketId, Protocol, TrafficClass, L4};
+use ddpm_routing::{Router, SelectionPolicy};
+use ddpm_sim::{SimConfig, SimTime, Simulation};
+use ddpm_telemetry::{shared, EventKind, MemorySink, TelemetryConfig};
+use ddpm_topology::{FaultSet, NodeId, Topology};
+
+fn mk_packet(map: &AddrMap, id: u64, src: NodeId, dst: NodeId) -> Packet {
+    Packet {
+        id: PacketId(id),
+        header: Ipv4Header::new(map.ip_of(src), map.ip_of(dst), Protocol::Udp, 64),
+        l4: L4::udp(1, 7),
+        true_source: src,
+        dest_node: dst,
+        class: TrafficClass::Attack,
+    }
+}
+
+#[test]
+fn mark_trail_reproduces_identify_answer() {
+    let topo = Topology::mesh2d(8);
+    let scheme = DdpmScheme::new(&topo).unwrap();
+    let map = AddrMap::for_topology(&topo);
+    let faults = FaultSet::none();
+    let sink = MemorySink::new();
+    let cfg = SimConfig::seeded(7)
+        .to_builder()
+        .telemetry(TelemetryConfig::events_to(shared(sink.clone())))
+        .build();
+    let mut sim = Simulation::new(
+        &topo,
+        &faults,
+        Router::fully_adaptive_for(&topo),
+        SelectionPolicy::Random,
+        &scheme,
+        cfg,
+    );
+    let victim = NodeId(63);
+    // A spread of sources, including corner/edge/interior placements.
+    let sources = [NodeId(0), NodeId(5), NodeId(17), NodeId(42), NodeId(56)];
+    for (k, src) in sources.iter().enumerate() {
+        sim.schedule(SimTime(k as u64 * 10), mk_packet(&map, k as u64, *src, victim));
+    }
+    sim.run();
+
+    let delivered = sim.delivered();
+    assert_eq!(delivered.len(), sources.len(), "lossless healthy run");
+    let dest_coord = topo.coord(victim);
+    for d in delivered {
+        let pkt = d.packet.id.0;
+        let trail = sink.events_for(pkt);
+        assert!(!trail.is_empty(), "packet {pkt} left no events");
+
+        // The accumulated marking vector: the last Mark event's mf.
+        let last_mark = trail
+            .iter()
+            .rev()
+            .find_map(|e| match e.kind {
+                EventKind::Mark { mf } => Some(mf),
+                _ => None,
+            })
+            .expect("DDPM marks every packet at least at injection");
+
+        // It must be byte-identical to what the victim received...
+        assert_eq!(last_mark, d.packet.header.identification.raw());
+        let deliver_mf = trail
+            .iter()
+            .find_map(|e| match e.kind {
+                EventKind::Deliver { mf, .. } => Some(mf),
+                _ => None,
+            })
+            .expect("delivered packet must have a Deliver event");
+        assert_eq!(last_mark, deliver_mf);
+
+        // ...and identify() on that accumulated vector must name the
+        // true injector — the single-packet identification claim, now
+        // auditable hop by hop from the trace.
+        let identified = scheme
+            .identify_node(&topo, &dest_coord, MarkingField::new(last_mark))
+            .expect("in-range marking vector");
+        assert_eq!(identified, d.packet.true_source, "packet {pkt}");
+    }
+}
+
+#[test]
+fn traced_run_equals_untraced_run() {
+    // Telemetry must observe, never perturb: same seed with and without
+    // a sink must deliver the same packets with the same markings.
+    let topo = Topology::torus(&[4, 4]);
+    let scheme = DdpmScheme::new(&topo).unwrap();
+    let map = AddrMap::for_topology(&topo);
+    let faults = FaultSet::none();
+    let run = |tcfg: TelemetryConfig| {
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::fully_adaptive_for(&topo),
+            SelectionPolicy::Random,
+            &scheme,
+            SimConfig::seeded(99).to_builder().telemetry(tcfg).build(),
+        );
+        for k in 0..40u64 {
+            let src = NodeId((k % 15) as u32);
+            sim.schedule(SimTime(k * 3), mk_packet(&map, k, src, NodeId(15)));
+        }
+        sim.run();
+        sim.delivered()
+            .iter()
+            .map(|d| (d.packet.id.0, d.packet.header.identification.raw(), d.delivered_at))
+            .collect::<Vec<_>>()
+    };
+    let plain = run(TelemetryConfig::off());
+    let traced = run(TelemetryConfig::events_to(shared(MemorySink::new())));
+    assert_eq!(plain, traced);
+}

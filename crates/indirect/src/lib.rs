@@ -40,4 +40,8 @@ pub use butterfly::{Butterfly, SwitchHop};
 pub use hybrid::{HybridCluster, HybridMarking, HybridMarkingError};
 pub use irregular::{reconstruct_irregular, IrregularNet};
 pub use marking::{max_binary_fly, port_marking_bits, PortMarking, PortMarkingError};
-pub use sim::{MinDelivered, MinSimulation, MinStats};
+pub use sim::{MinDelivered, MinSimulation};
+// The butterfly reports through the same counter shape as the direct
+// simulator (the stats-unification satellite) — re-exported here so
+// MIN-only callers need not depend on ddpm-sim directly.
+pub use ddpm_sim::{ClassCounters, SimStats};

@@ -5,59 +5,20 @@
 //! to the staged fabric: a packet's route is the unique
 //! [`crate::Butterfly::route`], so the event loop only has to arbitrate
 //! port contention, apply the marking scheme, and deliver.
+//!
+//! Statistics use the same [`SimStats`]/[`ddpm_sim::ClassCounters`]
+//! shape as the direct-network simulator, and telemetry emits the same
+//! NDJSON event schema — one trace consumer and one report shape work
+//! for every topology family.
 
 use crate::butterfly::Butterfly;
 use crate::marking::PortMarking;
-use ddpm_net::{Packet, TrafficClass};
-use ddpm_sim::SimTime;
+use ddpm_net::Packet;
+use ddpm_sim::{SimConfig, SimStats, SimTime};
+use ddpm_telemetry::{EventKind as TelEvent, PacketEvent, Telemetry, TelemetryConfig};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
-
-/// Per-class counters.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct MinClassStats {
-    /// Packets injected at source terminals.
-    pub injected: u64,
-    /// Packets delivered to destination terminals.
-    pub delivered: u64,
-    /// Packets lost to output-buffer overflow.
-    pub dropped_buffer: u64,
-    /// Sum of delivery latencies, in cycles.
-    pub latency_sum: u64,
-}
-
-impl MinClassStats {
-    /// Mean delivery latency in cycles.
-    #[must_use]
-    pub fn mean_latency(&self) -> Option<f64> {
-        (self.delivered > 0).then(|| self.latency_sum as f64 / self.delivered as f64)
-    }
-}
-
-/// Run statistics.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct MinStats {
-    /// Counters for benign traffic.
-    pub benign: MinClassStats,
-    /// Counters for attack traffic.
-    pub attack: MinClassStats,
-}
-
-impl MinStats {
-    fn class_mut(&mut self, c: TrafficClass) -> &mut MinClassStats {
-        match c {
-            TrafficClass::Benign => &mut self.benign,
-            TrafficClass::Attack => &mut self.attack,
-        }
-    }
-
-    /// Conservation check.
-    #[must_use]
-    pub fn accounted(&self) -> bool {
-        let t = |c: &MinClassStats| c.injected == c.delivered + c.dropped_buffer;
-        t(&self.benign) && t(&self.attack)
-    }
-}
+use std::time::Instant;
 
 /// A packet delivered to its destination terminal.
 #[derive(Clone, Debug)]
@@ -95,27 +56,52 @@ pub struct MinSimulation {
     seq: u64,
     /// (stage, switch, out_port) -> busy-until cycle.
     ports: HashMap<(u8, u32, u16), u64>,
-    stats: MinStats,
+    stats: SimStats,
     delivered: Vec<MinDelivered>,
+    /// Live telemetry, `None` when disabled — the zero-cost path.
+    tele: Option<Box<Telemetry>>,
 }
 
 impl MinSimulation {
-    /// Builds a run over `fly` with `scheme` installed in every switch.
+    /// Builds a run over `fly` with `scheme` installed in every switch,
+    /// default timing and no telemetry.
     #[must_use]
     pub fn new(fly: Butterfly, scheme: PortMarking) -> Self {
+        Self::with_config(fly, scheme, &SimConfig::default())
+    }
+
+    /// Builds a run taking timing, buffering and telemetry from `cfg`
+    /// (the same [`SimConfig`] the direct-network simulator uses; knobs
+    /// with no butterfly counterpart — routing retries, bit errors —
+    /// are ignored).
+    #[must_use]
+    pub fn with_config(fly: Butterfly, scheme: PortMarking, cfg: &SimConfig) -> Self {
         Self {
             fly,
             scheme,
-            service_cycles: 4,
-            link_latency: 2,
-            buffer_packets: 16,
+            service_cycles: cfg.service_cycles,
+            link_latency: cfg.link_latency,
+            buffer_packets: cfg.buffer_packets,
             pkts: Vec::new(),
             events: BinaryHeap::new(),
             seq: 0,
             ports: HashMap::new(),
-            stats: MinStats::default(),
+            stats: SimStats::default(),
             delivered: Vec::new(),
+            tele: Telemetry::from_config(&cfg.telemetry).map(Box::new),
         }
+    }
+
+    /// Installs telemetry on an already-built run (keeps the terse
+    /// `new()` + field-tweak construction style usable with tracing).
+    pub fn set_telemetry(&mut self, cfg: &TelemetryConfig) {
+        self.tele = Telemetry::from_config(cfg).map(Box::new);
+    }
+
+    /// Live telemetry state, when enabled.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.tele.as_deref()
     }
 
     /// Schedules `packet` for injection at `time`.
@@ -136,12 +122,60 @@ impl MinSimulation {
         }));
     }
 
+    /// Dense trace-node index of a stage switch. Terminals keep their
+    /// own ids; switches are numbered after them, stage-major, so every
+    /// node in a trace line is unambiguous.
+    fn switch_node(&self, stage: u8, switch: u32) -> u32 {
+        let base = self.fly.terminals() + u64::from(stage) * self.fly.switches_per_stage();
+        (base + u64::from(switch)) as u32
+    }
+
+    #[inline]
+    fn tele_on(&self) -> bool {
+        self.tele.as_ref().is_some_and(|t| t.events_on())
+    }
+
+    /// Records one lifecycle event. Only call behind
+    /// [`MinSimulation::tele_on`].
+    fn emit(&mut self, cycle: u64, pkt: usize, node: u32, kind: TelEvent) {
+        let ev = PacketEvent {
+            cycle,
+            pkt: self.pkts[pkt].0.id.0,
+            node,
+            kind,
+        };
+        self.tele
+            .as_mut()
+            .expect("emit() called with telemetry off")
+            .record(ev);
+    }
+
     /// Runs to quiescence.
-    pub fn run(&mut self) -> MinStats {
+    pub fn run(&mut self) -> SimStats {
+        let profiling = self.tele.as_ref().is_some_and(|t| t.profiling());
+        let mut end = 0u64;
         while let Some(Reverse(ev)) = self.events.pop() {
+            end = end.max(ev.time.cycles());
+            let t0 = profiling.then(Instant::now);
+            let phase = if ev.stage == self.fly.stages() {
+                "deliver"
+            } else {
+                "stage"
+            };
             self.handle(ev);
+            if let Some(t0) = t0 {
+                let elapsed = t0.elapsed();
+                self.tele
+                    .as_mut()
+                    .expect("profiling implies telemetry")
+                    .profile(phase, elapsed);
+            }
         }
-        debug_assert!(self.stats.accounted(), "packet conservation violated");
+        self.stats.end_time = self.stats.end_time.max(end);
+        debug_assert!(self.stats.accounted(0), "packet conservation violated");
+        if let Some(t) = self.tele.as_mut() {
+            t.finish();
+        }
         self.stats
     }
 
@@ -150,16 +184,43 @@ impl MinSimulation {
         let (packet, injected_at) = self.pkts[ev.pkt];
         if ev.stage == 0 && ev.time == injected_at {
             self.stats.class_mut(packet.class).injected += 1;
+            if self.tele_on() {
+                self.emit(ev.time.cycles(), ev.pkt, packet.true_source.0, TelEvent::Inject);
+            }
             // Injection edge: the fabric clears the marking field.
+            let before = self.pkts[ev.pkt].0.header.identification.raw();
             self.scheme
                 .on_inject(&mut self.pkts[ev.pkt].0.header.identification);
+            let after = self.pkts[ev.pkt].0.header.identification.raw();
+            if after != before && self.tele_on() {
+                self.emit(
+                    ev.time.cycles(),
+                    ev.pkt,
+                    packet.true_source.0,
+                    TelEvent::Mark { mf: after },
+                );
+            }
         }
         if ev.stage == n {
             // Arrived at the destination terminal.
             let (packet, injected_at) = self.pkts[ev.pkt];
+            let latency = ev.time - injected_at;
             let c = self.stats.class_mut(packet.class);
             c.delivered += 1;
-            c.latency_sum += ev.time - injected_at;
+            c.latency.record(latency);
+            c.total_hops += u64::from(n);
+            if self.tele_on() {
+                self.emit(
+                    ev.time.cycles(),
+                    ev.pkt,
+                    packet.dest_node.0,
+                    TelEvent::Deliver {
+                        mf: packet.header.identification.raw(),
+                        latency,
+                        hops: u32::from(n),
+                    },
+                );
+            }
             self.delivered.push(MinDelivered {
                 packet,
                 injected_at,
@@ -168,21 +229,47 @@ impl MinSimulation {
             return;
         }
         // Cross stage `ev.stage`.
-        let hop = self.fly.route(packet.true_source, packet.dest_node)[usize::from(ev.stage)];
+        let route = self.fly.route(packet.true_source, packet.dest_node);
+        let hop = route[usize::from(ev.stage)];
+        let here = self.switch_node(hop.stage, hop.switch);
         let key = (hop.stage, hop.switch, hop.out_port);
         let busy = self.ports.get(&key).copied().unwrap_or(0);
         let backlog = busy.saturating_sub(ev.time.cycles()) / self.service_cycles.max(1);
         if backlog >= u64::from(self.buffer_packets) {
             self.stats.class_mut(packet.class).dropped_buffer += 1;
+            if self.tele_on() {
+                self.emit(
+                    ev.time.cycles(),
+                    ev.pkt,
+                    here,
+                    TelEvent::Drop {
+                        reason: "buffer_overflow",
+                    },
+                );
+            }
             return;
         }
+        let before = self.pkts[ev.pkt].0.header.identification.raw();
         self.scheme.on_stage(
             &mut self.pkts[ev.pkt].0.header.identification,
             hop.stage,
             hop.in_port,
         );
+        let after = self.pkts[ev.pkt].0.header.identification.raw();
         let depart = busy.max(ev.time.cycles()) + self.service_cycles;
         self.ports.insert(key, depart);
+        if self.tele_on() {
+            if after != before {
+                self.emit(ev.time.cycles(), ev.pkt, here, TelEvent::Mark { mf: after });
+            }
+            let next = if usize::from(ev.stage) + 1 < route.len() {
+                let h = route[usize::from(ev.stage) + 1];
+                self.switch_node(h.stage, h.switch)
+            } else {
+                packet.dest_node.0
+            };
+            self.emit(ev.time.cycles(), ev.pkt, here, TelEvent::Forward { next });
+        }
         self.push_ev(SimTime(depart + self.link_latency), ev.pkt, ev.stage + 1);
     }
 
@@ -194,7 +281,7 @@ impl MinSimulation {
 
     /// Statistics so far.
     #[must_use]
-    pub fn stats(&self) -> &MinStats {
+    pub fn stats(&self) -> &SimStats {
         &self.stats
     }
 }
@@ -202,7 +289,9 @@ impl MinSimulation {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ddpm_net::{AddrMap, Ipv4Header, PacketId, Protocol, L4};
+    use ddpm_net::{AddrMap, Ipv4Header, PacketId, Protocol, TrafficClass, L4};
+    use ddpm_sim::ClassCounters;
+    use ddpm_telemetry::{shared, MemorySink};
     use ddpm_topology::{NodeId, Topology};
 
     fn mk_packet(map: &AddrMap, id: u64, src: NodeId, dst: NodeId, class: TrafficClass) -> Packet {
@@ -282,7 +371,7 @@ mod tests {
         }
         let stats = sim.run();
         assert!(stats.attack.dropped_buffer > 0, "hotspot must congest");
-        assert!(stats.accounted());
+        assert!(stats.accounted(0));
     }
 
     #[test]
@@ -303,5 +392,68 @@ mod tests {
         let t: Vec<u64> = sim.delivered().iter().map(|d| d.delivered_at.0).collect();
         assert_eq!(t.len(), 2);
         assert!(t[1] > t[0], "second packet must queue behind the first");
+    }
+
+    #[test]
+    fn stats_share_the_direct_network_shape() {
+        // The unification satellite: one counter block for both
+        // simulators, so exp_* reports read the same fields everywhere.
+        let fly = Butterfly::new(2, 4);
+        let scheme = PortMarking::new(fly).unwrap();
+        let map = map_for(&fly);
+        let mut sim = MinSimulation::new(fly, scheme);
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 0, NodeId(0), NodeId(15), TrafficClass::Benign),
+        );
+        let stats: SimStats = sim.run();
+        let total: ClassCounters = stats.total();
+        assert_eq!(total.injected, 1);
+        assert_eq!(total.delivered, 1);
+        assert_eq!(total.latency.count, 1);
+        assert_eq!(total.latency.max, 24);
+        assert_eq!(stats.benign.mean_hops(), Some(4.0));
+        assert_eq!(stats.end_time, 24);
+    }
+
+    #[test]
+    fn trace_spells_the_source_digit_by_digit() {
+        // Same schema as the direct simulator: inject → (mark, forward)
+        // per stage → deliver, and the last mark equals the delivered MF.
+        let fly = Butterfly::new(2, 4);
+        let scheme = PortMarking::new(fly).unwrap();
+        let map = map_for(&fly);
+        let sink = MemorySink::new();
+        let cfg = SimConfig::builder()
+            .telemetry(TelemetryConfig::events_to(shared(sink.clone())))
+            .build();
+        let mut sim = MinSimulation::with_config(fly, scheme, &cfg);
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 7, NodeId(9), NodeId(15), TrafficClass::Attack),
+        );
+        sim.run();
+        let events = sink.events_for(7);
+        assert!(matches!(events[0].kind, TelEvent::Inject));
+        let marks: Vec<u16> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TelEvent::Mark { mf } => Some(mf),
+                _ => None,
+            })
+            .collect();
+        let last = events.last().unwrap();
+        let TelEvent::Deliver { mf, latency, hops } = last.kind else {
+            panic!("trace must end with deliver, got {last:?}");
+        };
+        assert_eq!(marks.last().copied(), Some(mf), "marks reproduce the MF");
+        assert_eq!(latency, 24);
+        assert_eq!(hops, 4);
+        assert_eq!(
+            scheme.identify(ddpm_net::MarkingField::new(mf)),
+            NodeId(9),
+            "the victim identifies the true source from the traced MF"
+        );
+        assert_eq!(sim.telemetry().unwrap().count_of("forward"), 4);
     }
 }

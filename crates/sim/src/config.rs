@@ -1,5 +1,7 @@
 //! Simulator configuration.
 
+use ddpm_telemetry::TelemetryConfig;
+
 /// A bounded exponential-backoff retry policy, used for graceful
 /// degradation under dynamic faults: source-side injection retries when
 /// the local switch is down, and in-network reroute retries when a
@@ -51,7 +53,22 @@ impl Default for RetryPolicy {
 }
 
 /// Tunable parameters of a simulation run.
-#[derive(Clone, Copy, Debug)]
+///
+/// Construct via [`SimConfig::builder`]:
+///
+/// ```
+/// use ddpm_sim::{RetryPolicy, SimConfig};
+/// let cfg = SimConfig::builder()
+///     .link_latency(1)
+///     .seed(42)
+///     .fault_tolerance(RetryPolicy::capped(6, 4, 256))
+///     .build();
+/// assert_eq!(cfg.reroute_retry.retries, 6);
+/// ```
+///
+/// `Default` and direct field access remain available so existing
+/// callers migrate incrementally.
+#[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Propagation latency of one link, in cycles.
     pub link_latency: u64,
@@ -84,6 +101,9 @@ pub struct SimConfig {
     /// [`RetryPolicy::OFF`] (default) drops as `Blocked` immediately —
     /// the pre-fault-tolerance behaviour.
     pub reroute_retry: RetryPolicy,
+    /// What the run records and where it goes (events, profiling,
+    /// sinks). Fully off by default — the zero-cost path.
+    pub telemetry: TelemetryConfig,
     /// RNG seed. Identical configs + identical injections ⇒ identical
     /// runs.
     pub seed: u64,
@@ -100,12 +120,28 @@ impl Default for SimConfig {
             bit_error_rate: 0.0,
             inject_retry: RetryPolicy::OFF,
             reroute_retry: RetryPolicy::OFF,
+            telemetry: TelemetryConfig::default(),
             seed: 0xDD9A,
         }
     }
 }
 
 impl SimConfig {
+    /// Starts a builder from the defaults.
+    #[must_use]
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// Continues building from an existing config (e.g. one parsed from
+    /// a scenario file).
+    #[must_use]
+    pub fn to_builder(self) -> SimConfigBuilder {
+        SimConfigBuilder { cfg: self }
+    }
+
     /// Config with a given seed, other parameters default.
     #[must_use]
     pub fn seeded(seed: u64) -> Self {
@@ -121,15 +157,100 @@ impl SimConfig {
         self.record_paths = true;
         self
     }
+}
 
-    /// Config with graceful degradation enabled: `retries` reroute and
-    /// injection attempts each, with exponential backoff starting at one
-    /// service time and capped at `cap` cycles.
+/// Fluent constructor for [`SimConfig`]; finish with
+/// [`SimConfigBuilder::build`].
+#[derive(Clone, Debug, Default)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    /// Sets the per-link propagation latency, in cycles.
     #[must_use]
-    pub fn with_fault_tolerance(mut self, retries: u32, cap: u64) -> Self {
-        self.inject_retry = RetryPolicy::capped(retries, self.service_cycles.max(1), cap);
-        self.reroute_retry = RetryPolicy::capped(retries, self.service_cycles.max(1), cap);
+    pub fn link_latency(mut self, cycles: u64) -> Self {
+        self.cfg.link_latency = cycles;
         self
+    }
+
+    /// Sets the per-port packet serialisation time, in cycles.
+    #[must_use]
+    pub fn service_cycles(mut self, cycles: u64) -> Self {
+        self.cfg.service_cycles = cycles;
+        self
+    }
+
+    /// Sets the output-buffer depth per port, in packets.
+    #[must_use]
+    pub fn buffer_packets(mut self, packets: u32) -> Self {
+        self.cfg.buffer_packets = packets;
+        self
+    }
+
+    /// Sets the per-packet hop limit.
+    #[must_use]
+    pub fn max_hops(mut self, hops: u32) -> Self {
+        self.cfg.max_hops = hops;
+        self
+    }
+
+    /// Records the full node path of every delivered packet.
+    #[must_use]
+    pub fn record_paths(mut self, on: bool) -> Self {
+        self.cfg.record_paths = on;
+        self
+    }
+
+    /// Sets the per-traversal single-bit link error probability.
+    #[must_use]
+    pub fn bit_error_rate(mut self, rate: f64) -> Self {
+        self.cfg.bit_error_rate = rate;
+        self
+    }
+
+    /// Enables graceful degradation: `policy` governs both injection and
+    /// reroute retries. (This folds the old `with_fault_tolerance`
+    /// constructor into the builder.)
+    #[must_use]
+    pub fn fault_tolerance(mut self, policy: RetryPolicy) -> Self {
+        self.cfg.inject_retry = policy;
+        self.cfg.reroute_retry = policy;
+        self
+    }
+
+    /// Sets the source-side injection retry policy alone.
+    #[must_use]
+    pub fn inject_retry(mut self, policy: RetryPolicy) -> Self {
+        self.cfg.inject_retry = policy;
+        self
+    }
+
+    /// Sets the in-network reroute retry policy alone.
+    #[must_use]
+    pub fn reroute_retry(mut self, policy: RetryPolicy) -> Self {
+        self.cfg.reroute_retry = policy;
+        self
+    }
+
+    /// Sets the telemetry configuration.
+    #[must_use]
+    pub fn telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.cfg.telemetry = telemetry;
+        self
+    }
+
+    /// Sets the RNG seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Finishes, yielding the config.
+    #[must_use]
+    pub fn build(self) -> SimConfig {
+        self.cfg
     }
 }
 
@@ -138,15 +259,58 @@ mod tests {
     use super::*;
 
     #[test]
-    fn builders() {
+    fn builder_covers_every_knob() {
+        let cfg = SimConfig::builder()
+            .link_latency(1)
+            .service_cycles(3)
+            .buffer_packets(9)
+            .max_hops(77)
+            .record_paths(true)
+            .bit_error_rate(0.25)
+            .fault_tolerance(RetryPolicy::capped(4, 2, 100))
+            .telemetry(TelemetryConfig::profiled())
+            .seed(42)
+            .build();
+        assert_eq!(cfg.link_latency, 1);
+        assert_eq!(cfg.service_cycles, 3);
+        assert_eq!(cfg.buffer_packets, 9);
+        assert_eq!(cfg.max_hops, 77);
+        assert!(cfg.record_paths);
+        assert_eq!(cfg.bit_error_rate, 0.25);
+        assert_eq!(cfg.inject_retry.retries, 4);
+        assert_eq!(cfg.reroute_retry, cfg.inject_retry);
+        assert!(cfg.telemetry.profile);
+        assert_eq!(cfg.seed, 42);
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        let built = SimConfig::builder().build();
+        let def = SimConfig::default();
+        assert_eq!(built.link_latency, def.link_latency);
+        assert_eq!(built.seed, def.seed);
+        assert_eq!(built.reroute_retry, RetryPolicy::OFF);
+        assert!(!built.telemetry.enabled());
+    }
+
+    #[test]
+    fn to_builder_resumes_from_existing_config() {
+        let cfg = SimConfig::seeded(7)
+            .to_builder()
+            .reroute_retry(RetryPolicy::capped(2, 1, 10))
+            .build();
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.reroute_retry.retries, 2);
+        assert_eq!(cfg.inject_retry, RetryPolicy::OFF, "only reroute set");
+    }
+
+    #[test]
+    fn legacy_shorthands_still_work() {
         let c = SimConfig::seeded(42).with_paths();
         assert_eq!(c.seed, 42);
         assert!(c.record_paths);
         assert_eq!(c.link_latency, SimConfig::default().link_latency);
         assert_eq!(c.reroute_retry, RetryPolicy::OFF);
-        let ft = c.with_fault_tolerance(4, 100);
-        assert_eq!(ft.reroute_retry.retries, 4);
-        assert_eq!(ft.inject_retry.retries, 4);
     }
 
     #[test]

@@ -35,9 +35,9 @@ pub mod network;
 pub mod stats;
 pub mod time;
 
-pub use config::{RetryPolicy, SimConfig};
+pub use config::{RetryPolicy, SimConfig, SimConfigBuilder};
 pub use filter::{Filter, NoFilter};
 pub use mark::{MarkEnv, Marker, NoMarking};
 pub use network::{Delivered, DropReason, Simulation};
-pub use stats::{ClassStats, FaultStats, LatencyStats, SimStats};
+pub use stats::{ClassCounters, ClassStats, FaultStats, LatencyStats, SimStats};
 pub use time::SimTime;

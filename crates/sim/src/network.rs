@@ -8,10 +8,12 @@ use crate::stats::SimStats;
 use crate::time::SimTime;
 use ddpm_net::{Packet, TrafficClass};
 use ddpm_routing::{RouteCtx, RouteState, Router, SelectionPolicy};
+use ddpm_telemetry::{EventKind as TelEvent, PacketEvent, RetryKind, Telemetry};
 use ddpm_topology::{Coord, Direction, FaultEvent, FaultSchedule, FaultSet, NodeId, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Why a packet was discarded.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -41,6 +43,25 @@ pub enum DropReason {
     /// The packet's source switch was down at injection time and the
     /// injection retry budget ran out.
     SourceDown,
+}
+
+impl DropReason {
+    /// Stable identifier used in telemetry `drop` events.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::BufferOverflow => "buffer_overflow",
+            Self::TtlExpired => "ttl_expired",
+            Self::Blocked => "blocked",
+            Self::HopLimit => "hop_limit",
+            Self::Filtered => "filtered",
+            Self::Corrupted => "corrupted",
+            Self::SwitchDown => "switch_down",
+            Self::LinkDown => "link_down",
+            Self::RerouteExhausted => "reroute_exhausted",
+            Self::SourceDown => "source_down",
+        }
+    }
 }
 
 /// A packet that reached its destination compute node.
@@ -119,6 +140,9 @@ pub struct Simulation<'a> {
     /// Set when the last repair restored full health; cleared (and
     /// recorded as time-to-recovery) by the next delivery.
     pending_recovery: Option<u64>,
+    /// Live telemetry, `None` when [`SimConfig::telemetry`] is off — the
+    /// zero-cost path: every hook below is one `Option` check.
+    tele: Option<Box<Telemetry>>,
 }
 
 static NO_FILTER: NoFilter = NoFilter;
@@ -149,6 +173,7 @@ impl<'a> Simulation<'a> {
         cfg: SimConfig,
     ) -> Self {
         let degraded_since = (!faults.is_empty()).then_some(0);
+        let tele = Telemetry::from_config(&cfg.telemetry).map(Box::new);
         Self {
             topo,
             live: faults.clone(),
@@ -156,8 +181,8 @@ impl<'a> Simulation<'a> {
             policy,
             marker,
             filter,
-            cfg,
             rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
             queue: EventQueue::new(),
             pkts: Vec::new(),
             ports: HashMap::new(),
@@ -167,6 +192,7 @@ impl<'a> Simulation<'a> {
             drops: Vec::new(),
             degraded_since,
             pending_recovery: None,
+            tele,
         }
     }
 
@@ -205,14 +231,35 @@ impl<'a> Simulation<'a> {
 
     /// Runs the event loop to quiescence and returns the statistics.
     pub fn run(&mut self) -> SimStats {
+        let profiling = self.tele.as_ref().is_some_and(|t| t.profiling());
         while let Some(ev) = self.queue.pop() {
             debug_assert!(ev.time >= self.now, "time went backwards");
             self.now = ev.time;
-            match ev.kind {
-                EventKind::Inject { pkt } => self.handle_inject(pkt),
-                EventKind::Arrive { pkt, node, .. } => self.handle_arrive(pkt, node),
-                EventKind::Reroute { pkt, node } => self.handle_reroute(pkt, node),
-                EventKind::Fault { event } => self.handle_fault(event),
+            let t0 = profiling.then(Instant::now);
+            let phase = match ev.kind {
+                EventKind::Inject { pkt } => {
+                    self.handle_inject(pkt);
+                    "inject"
+                }
+                EventKind::Arrive { pkt, node, .. } => {
+                    self.handle_arrive(pkt, node);
+                    "arrive"
+                }
+                EventKind::Reroute { pkt, node } => {
+                    self.handle_reroute(pkt, node);
+                    "reroute"
+                }
+                EventKind::Fault { event } => {
+                    self.handle_fault(event);
+                    "fault"
+                }
+            };
+            if let Some(t0) = t0 {
+                let elapsed = t0.elapsed();
+                self.tele
+                    .as_mut()
+                    .expect("profiling implies telemetry")
+                    .profile(phase, elapsed);
             }
         }
         if let Some(t0) = self.degraded_since.take() {
@@ -220,6 +267,9 @@ impl<'a> Simulation<'a> {
         }
         self.stats.end_time = self.now.cycles();
         debug_assert!(self.stats.accounted(0), "packet conservation violated");
+        if let Some(t) = self.tele.as_mut() {
+            t.finish();
+        }
         self.stats
     }
 
@@ -248,11 +298,40 @@ impl<'a> Simulation<'a> {
         self.delivered
     }
 
+    /// Live telemetry state, when enabled. Lets callers read event
+    /// counts, the latency histogram and the phase profile after a run.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.tele.as_deref()
+    }
+
     fn class_of(&self, pkt: usize) -> TrafficClass {
         self.pkts[pkt].packet.class
     }
 
-    fn drop_packet(&mut self, pkt: usize, reason: DropReason) {
+    /// Are lifecycle events being recorded? The single check guarding
+    /// every emission site.
+    #[inline]
+    fn tele_on(&self) -> bool {
+        self.tele.as_ref().is_some_and(|t| t.events_on())
+    }
+
+    /// Records one lifecycle event for in-flight packet `pkt` at switch
+    /// `node`. Only call behind [`Simulation::tele_on`].
+    fn emit(&mut self, pkt: usize, node: u32, kind: TelEvent) {
+        let ev = PacketEvent {
+            cycle: self.now.cycles(),
+            pkt: self.pkts[pkt].packet.id.0,
+            node,
+            kind,
+        };
+        self.tele
+            .as_mut()
+            .expect("emit() called with telemetry off")
+            .record(ev);
+    }
+
+    fn drop_packet(&mut self, pkt: usize, node: u32, reason: DropReason) {
         let class = self.class_of(pkt);
         let c = self.stats.class_mut(class);
         match reason {
@@ -268,6 +347,15 @@ impl<'a> Simulation<'a> {
             DropReason::SourceDown => c.dropped_source_down += 1,
         }
         self.drops.push((self.pkts[pkt].packet.id, reason));
+        if self.tele_on() {
+            self.emit(
+                pkt,
+                node,
+                TelEvent::Drop {
+                    reason: reason.as_str(),
+                },
+            );
+        }
     }
 
     /// Applies one scheduled [`FaultEvent`] to the live fault state and
@@ -287,8 +375,8 @@ impl<'a> Simulation<'a> {
                             || (NodeId(*node), NodeId(*from)) == (b, a))
                 });
                 for e in lost {
-                    if let EventKind::Arrive { pkt, .. } = e.kind {
-                        self.drop_packet(pkt, DropReason::LinkDown);
+                    if let EventKind::Arrive { pkt, node, .. } = e.kind {
+                        self.drop_packet(pkt, node, DropReason::LinkDown);
                     }
                 }
             }
@@ -304,8 +392,10 @@ impl<'a> Simulation<'a> {
                     EventKind::Inject { .. } | EventKind::Fault { .. } => false,
                 });
                 for e in lost {
-                    if let EventKind::Arrive { pkt, .. } | EventKind::Reroute { pkt, .. } = e.kind {
-                        self.drop_packet(pkt, DropReason::SwitchDown);
+                    if let EventKind::Arrive { pkt, node, .. } | EventKind::Reroute { pkt, node } =
+                        e.kind
+                    {
+                        self.drop_packet(pkt, node, DropReason::SwitchDown);
                     }
                 }
             }
@@ -341,10 +431,23 @@ impl<'a> Simulation<'a> {
                 self.pkts[pkt].inject_attempts = attempt + 1;
                 let at = self.now.cycles() + self.cfg.inject_retry.delay(attempt);
                 self.queue.push(SimTime(at), EventKind::Inject { pkt });
+                if self.tele_on() {
+                    self.emit(
+                        pkt,
+                        src_id.0,
+                        TelEvent::Retry {
+                            what: RetryKind::Inject,
+                            attempt,
+                        },
+                    );
+                }
             } else {
-                self.drop_packet(pkt, DropReason::SourceDown);
+                self.drop_packet(pkt, src_id.0, DropReason::SourceDown);
             }
             return;
+        }
+        if self.tele_on() {
+            self.emit(pkt, src_id.0, TelEvent::Inject);
         }
         if self.cfg.record_paths {
             self.pkts[pkt].path.push(src_id);
@@ -352,10 +455,15 @@ impl<'a> Simulation<'a> {
         // The source switch resets the marking field (§5) — forged MF
         // values die here.
         let env = MarkEnv { topo: self.topo };
+        let mf_before = self.pkts[pkt].packet.header.identification.raw();
         self.marker
             .on_inject(&mut self.pkts[pkt].packet, &src, &env);
+        let mf_after = self.pkts[pkt].packet.header.identification.raw();
+        if mf_after != mf_before && self.tele_on() {
+            self.emit(pkt, src_id.0, TelEvent::Mark { mf: mf_after });
+        }
         if self.filter.block_at_injection(&self.pkts[pkt].packet, &src) {
-            self.drop_packet(pkt, DropReason::Filtered);
+            self.drop_packet(pkt, src_id.0, DropReason::Filtered);
             return;
         }
         self.forward_from(pkt, &src);
@@ -375,7 +483,7 @@ impl<'a> Simulation<'a> {
                     self.pkts[pkt].packet.header = h;
                 }
                 Err(_) => {
-                    self.drop_packet(pkt, DropReason::Corrupted);
+                    self.drop_packet(pkt, node, DropReason::Corrupted);
                     return;
                 }
             }
@@ -389,10 +497,15 @@ impl<'a> Simulation<'a> {
             // The destination switch runs marking logic one final time
             // before delivery (needed by PPM's edge completion).
             let env = MarkEnv { topo: self.topo };
+            let mf_before = self.pkts[pkt].packet.header.identification.raw();
             self.marker
                 .on_deliver(&mut self.pkts[pkt].packet, &cur, &env, &mut self.rng);
+            let mf_after = self.pkts[pkt].packet.header.identification.raw();
+            if mf_after != mf_before && self.tele_on() {
+                self.emit(pkt, node, TelEvent::Mark { mf: mf_after });
+            }
             if self.filter.block_at_delivery(&self.pkts[pkt].packet, &cur) {
-                self.drop_packet(pkt, DropReason::Filtered);
+                self.drop_packet(pkt, node, DropReason::Filtered);
                 return;
             }
             let class = self.class_of(pkt);
@@ -408,26 +521,39 @@ impl<'a> Simulation<'a> {
             let latency = self.now - inflight.injected_at;
             c.latency.record(latency);
             c.total_hops += u64::from(inflight.state.hops);
+            let hops = inflight.state.hops;
             self.delivered.push(Delivered {
                 packet: inflight.packet,
                 injected_at: inflight.injected_at,
                 delivered_at: self.now,
-                hops: inflight.state.hops,
+                hops,
                 path: self.cfg.record_paths.then(|| inflight.path.clone()),
             });
+            if self.tele_on() {
+                self.emit(
+                    pkt,
+                    node,
+                    TelEvent::Deliver {
+                        mf: mf_after,
+                        latency,
+                        hops,
+                    },
+                );
+            }
             return;
         }
         // Intermediate switch: TTL check, then forward.
         if !self.pkts[pkt].packet.header.decrement_ttl() {
-            self.drop_packet(pkt, DropReason::TtlExpired);
+            self.drop_packet(pkt, node, DropReason::TtlExpired);
             return;
         }
         self.forward_from(pkt, &cur);
     }
 
     fn forward_from(&mut self, pkt: usize, cur: &Coord) {
+        let node = self.topo.index(cur).0;
         if self.pkts[pkt].state.hops >= self.cfg.max_hops {
-            self.drop_packet(pkt, DropReason::HopLimit);
+            self.drop_packet(pkt, node, DropReason::HopLimit);
             return;
         }
         let dst = self.topo.coord(self.pkts[pkt].packet.dest_node);
@@ -447,12 +573,21 @@ impl<'a> Simulation<'a> {
             if tried < self.cfg.reroute_retry.retries {
                 self.pkts[pkt].reroutes = tried + 1;
                 let at = self.now.cycles() + self.cfg.reroute_retry.delay(tried);
-                let node = self.topo.index(cur).0;
                 self.queue.push(SimTime(at), EventKind::Reroute { pkt, node });
+                if self.tele_on() {
+                    self.emit(
+                        pkt,
+                        node,
+                        TelEvent::Retry {
+                            what: RetryKind::Reroute,
+                            attempt: tried,
+                        },
+                    );
+                }
             } else if self.cfg.reroute_retry.retries > 0 {
-                self.drop_packet(pkt, DropReason::RerouteExhausted);
+                self.drop_packet(pkt, node, DropReason::RerouteExhausted);
             } else {
-                self.drop_packet(pkt, DropReason::Blocked);
+                self.drop_packet(pkt, node, DropReason::Blocked);
             }
             return;
         };
@@ -460,17 +595,18 @@ impl<'a> Simulation<'a> {
 
         // Output-port contention: the port serialises one packet per
         // `service_cycles`; backlog beyond `buffer_packets` is dropped.
-        let key = (self.topo.index(cur).0, chosen.dir);
+        let key = (node, chosen.dir);
         let busy_until = self.ports.get(&key).copied().unwrap_or(0);
         let backlog = busy_until.saturating_sub(self.now.cycles()) / self.cfg.service_cycles.max(1);
         if backlog >= u64::from(self.cfg.buffer_packets) {
-            self.drop_packet(pkt, DropReason::BufferOverflow);
+            self.drop_packet(pkt, node, DropReason::BufferOverflow);
             return;
         }
 
         // Switch-side marking happens once the output port is decided
         // (Fig. 4: Routing() first, then Δ computed and stored).
         let env = MarkEnv { topo: self.topo };
+        let mf_before = self.pkts[pkt].packet.header.identification.raw();
         self.marker.on_forward(
             &mut self.pkts[pkt].packet,
             cur,
@@ -478,6 +614,7 @@ impl<'a> Simulation<'a> {
             &env,
             &mut self.rng,
         );
+        let mf_after = self.pkts[pkt].packet.header.identification.raw();
         self.pkts[pkt]
             .state
             .record_hop(chosen.productive, chosen.dir);
@@ -486,12 +623,18 @@ impl<'a> Simulation<'a> {
         self.ports.insert(key, depart);
         let arrive = depart + self.cfg.link_latency;
         let next_id = self.topo.index(&chosen.next).0;
+        if self.tele_on() {
+            if mf_after != mf_before {
+                self.emit(pkt, node, TelEvent::Mark { mf: mf_after });
+            }
+            self.emit(pkt, node, TelEvent::Forward { next: next_id });
+        }
         self.queue.push(
             SimTime(arrive),
             EventKind::Arrive {
                 pkt,
                 node: next_id,
-                from: self.topo.index(cur).0,
+                from: node,
             },
         );
     }
@@ -512,6 +655,7 @@ impl<'a> Simulation<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RetryPolicy;
     use crate::mark::NoMarking;
     use ddpm_net::{AddrMap, Ipv4Header, PacketId, Protocol, L4};
 
@@ -889,7 +1033,9 @@ mod tests {
             Router::DimensionOrder,
             SelectionPolicy::First,
             &marker,
-            SimConfig::default().with_fault_tolerance(8, 64),
+            SimConfig::builder()
+                .fault_tolerance(RetryPolicy::capped(8, 4, 64))
+                .build(),
         );
         // XY from (0,0) to (2,0) needs the east link, down during
         // [1, 50): without retries this is a Blocked drop (see
@@ -938,7 +1084,9 @@ mod tests {
             Router::DimensionOrder,
             SelectionPolicy::First,
             &marker,
-            SimConfig::default().with_fault_tolerance(2, 32),
+            SimConfig::builder()
+                .fault_tolerance(RetryPolicy::capped(2, 4, 32))
+                .build(),
         );
         // The east link never comes back: the budget runs dry.
         sim.schedule_faults(&FaultSchedule::from_events(vec![(
@@ -974,7 +1122,9 @@ mod tests {
             Router::DimensionOrder,
             SelectionPolicy::First,
             &marker,
-            SimConfig::default().with_fault_tolerance(8, 64),
+            SimConfig::builder()
+                .fault_tolerance(RetryPolicy::capped(8, 4, 64))
+                .build(),
         );
         sim.schedule_faults(&FaultSchedule::from_events(vec![
             (1, FaultEvent::SwitchDown { node: NodeId(0) }),

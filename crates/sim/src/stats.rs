@@ -1,118 +1,20 @@
 //! Run statistics.
+//!
+//! The per-class counter block lives in `ddpm-telemetry` as
+//! [`ClassCounters`] — one shape shared by this simulator, the indirect
+//! (`ddpm-indirect`) simulator, and every experiment report. This module
+//! keeps the direct-network aggregates built on top of it.
 
 use ddpm_net::TrafficClass;
 
-/// Streaming latency summary (count / sum / min / max).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct LatencyStats {
-    /// Samples recorded.
-    pub count: u64,
-    /// Sum of all samples, in cycles.
-    pub sum: u64,
-    /// Smallest sample.
-    pub min: u64,
-    /// Largest sample.
-    pub max: u64,
-}
+pub use ddpm_telemetry::{ClassCounters, LatencyStats};
 
-impl LatencyStats {
-    /// Records one latency sample, in cycles.
-    pub fn record(&mut self, cycles: u64) {
-        if self.count == 0 {
-            self.min = cycles;
-            self.max = cycles;
-        } else {
-            self.min = self.min.min(cycles);
-            self.max = self.max.max(cycles);
-        }
-        self.count += 1;
-        self.sum += cycles;
-    }
-
-    /// Mean latency, or `None` with no samples.
-    #[must_use]
-    pub fn mean(&self) -> Option<f64> {
-        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
-    }
-}
-
-/// Counters for one traffic class.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ClassStats {
-    /// Packets handed to source switches.
-    pub injected: u64,
-    /// Packets delivered to their destination compute node.
-    pub delivered: u64,
-    /// Packets dropped on output-buffer overflow (congestion loss).
-    pub dropped_buffer: u64,
-    /// Packets dropped on TTL exhaustion.
-    pub dropped_ttl: u64,
-    /// Packets dropped because routing offered no admissible port.
-    pub dropped_blocked: u64,
-    /// Packets dropped by the per-packet hop limit.
-    pub dropped_hop_limit: u64,
-    /// Packets dropped by an installed traceback filter (mitigation).
-    pub dropped_filtered: u64,
-    /// Packets discarded after link corruption (checksum mismatch).
-    pub dropped_corrupt: u64,
-    /// Packets lost fail-stop at a failed switch (queued or in flight
-    /// toward it when it died).
-    pub dropped_switch_down: u64,
-    /// Packets lost on the wire of a link that failed mid-flight.
-    pub dropped_link_down: u64,
-    /// Packets dropped after exhausting reroute retries while stranded
-    /// by faults.
-    pub dropped_reroute: u64,
-    /// Packets dropped after exhausting injection retries at a downed
-    /// source switch.
-    pub dropped_source_down: u64,
-    /// End-to-end latency of delivered packets.
-    pub latency: LatencyStats,
-    /// Total hops of delivered packets.
-    pub total_hops: u64,
-}
-
-impl ClassStats {
-    /// All drops combined.
-    #[must_use]
-    pub fn dropped(&self) -> u64 {
-        self.dropped_buffer
-            + self.dropped_ttl
-            + self.dropped_blocked
-            + self.dropped_hop_limit
-            + self.dropped_filtered
-            + self.dropped_corrupt
-            + self.dropped_fault()
-    }
-
-    /// Drops directly caused by dynamic faults (fail-stop losses plus
-    /// exhausted retries).
-    #[must_use]
-    pub fn dropped_fault(&self) -> u64 {
-        self.dropped_switch_down
-            + self.dropped_link_down
-            + self.dropped_reroute
-            + self.dropped_source_down
-    }
-
-    /// Delivered fraction of injected.
-    #[must_use]
-    pub fn delivery_ratio(&self) -> f64 {
-        if self.injected == 0 {
-            return 1.0;
-        }
-        self.delivered as f64 / self.injected as f64
-    }
-
-    /// Mean hops of delivered packets.
-    #[must_use]
-    pub fn mean_hops(&self) -> Option<f64> {
-        (self.delivered > 0).then(|| self.total_hops as f64 / self.delivered as f64)
-    }
-}
+/// Per-traffic-class counters. Alias kept so existing callers migrate
+/// incrementally; the canonical name is [`ClassCounters`].
+pub type ClassStats = ClassCounters;
 
 /// Dynamic-fault bookkeeping for one run (aggregate across traffic
-/// classes; the per-class fault drops live in [`ClassStats`]).
+/// classes; the per-class fault drops live in [`ClassCounters`]).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct FaultStats {
     /// Fault events applied from the schedule.
@@ -145,9 +47,9 @@ impl FaultStats {
 #[derive(Clone, Copy, Debug, Default)]
 pub struct SimStats {
     /// Counters for benign traffic.
-    pub benign: ClassStats,
+    pub benign: ClassCounters,
     /// Counters for attack traffic.
-    pub attack: ClassStats,
+    pub attack: ClassCounters,
     /// Dynamic-fault bookkeeping (zeroed when no schedule is installed).
     pub faults: FaultStats,
     /// Simulated end time (cycles at last event).
@@ -157,7 +59,7 @@ pub struct SimStats {
 impl SimStats {
     /// The counter block for `class`.
     #[must_use]
-    pub fn class(&self, class: TrafficClass) -> &ClassStats {
+    pub fn class(&self, class: TrafficClass) -> &ClassCounters {
         match class {
             TrafficClass::Benign => &self.benign,
             TrafficClass::Attack => &self.attack,
@@ -165,7 +67,7 @@ impl SimStats {
     }
 
     /// Mutable counter block for `class`.
-    pub fn class_mut(&mut self, class: TrafficClass) -> &mut ClassStats {
+    pub fn class_mut(&mut self, class: TrafficClass) -> &mut ClassCounters {
         match class {
             TrafficClass::Benign => &mut self.benign,
             TrafficClass::Attack => &mut self.attack,
@@ -174,33 +76,9 @@ impl SimStats {
 
     /// Combined totals across classes.
     #[must_use]
-    pub fn total(&self) -> ClassStats {
+    pub fn total(&self) -> ClassCounters {
         let mut t = self.benign;
-        let a = &self.attack;
-        t.injected += a.injected;
-        t.delivered += a.delivered;
-        t.dropped_buffer += a.dropped_buffer;
-        t.dropped_ttl += a.dropped_ttl;
-        t.dropped_blocked += a.dropped_blocked;
-        t.dropped_hop_limit += a.dropped_hop_limit;
-        t.dropped_filtered += a.dropped_filtered;
-        t.dropped_corrupt += a.dropped_corrupt;
-        t.dropped_switch_down += a.dropped_switch_down;
-        t.dropped_link_down += a.dropped_link_down;
-        t.dropped_reroute += a.dropped_reroute;
-        t.dropped_source_down += a.dropped_source_down;
-        t.total_hops += a.total_hops;
-        t.latency.count += a.latency.count;
-        t.latency.sum += a.latency.sum;
-        if a.latency.count > 0 {
-            if t.latency.count == a.latency.count {
-                t.latency.min = a.latency.min;
-                t.latency.max = a.latency.max;
-            } else {
-                t.latency.min = t.latency.min.min(a.latency.min);
-                t.latency.max = t.latency.max.max(a.latency.max);
-            }
-        }
+        t.absorb(&self.attack);
         t
     }
 
@@ -224,19 +102,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn latency_streaming() {
-        let mut l = LatencyStats::default();
-        assert_eq!(l.mean(), None);
-        l.record(10);
-        l.record(20);
-        l.record(3);
-        assert_eq!(l.count, 3);
-        assert_eq!(l.min, 3);
-        assert_eq!(l.max, 20);
-        assert_eq!(l.mean(), Some(11.0));
-    }
-
-    #[test]
     fn totals_combine() {
         let mut s = SimStats::default();
         s.benign.injected = 10;
@@ -256,12 +121,6 @@ mod tests {
         assert_eq!(t.latency.max, 8);
         assert!(s.accounted(0));
         assert!(!s.accounted(1));
-    }
-
-    #[test]
-    fn delivery_ratio_empty_is_one() {
-        let c = ClassStats::default();
-        assert_eq!(c.delivery_ratio(), 1.0);
     }
 
     #[test]

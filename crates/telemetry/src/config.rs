@@ -1,0 +1,107 @@
+//! Telemetry configuration — the single switchboard both simulators
+//! honour (carried inside `ddpm_sim::SimConfig`).
+
+use crate::sink::SharedSink;
+use std::path::PathBuf;
+
+/// What a simulation records and where it goes. The default is
+/// everything off: the simulators then carry a single `Option` check
+/// per lifecycle point and no other cost.
+#[derive(Clone, Default)]
+pub struct TelemetryConfig {
+    /// Record packet lifecycle events (inject / forward / mark / retry /
+    /// drop / deliver) into metrics and sinks.
+    pub events: bool,
+    /// Profile the event loop per dispatch phase (wall clock).
+    pub profile: bool,
+    /// Print a run summary (event counts, latency histogram, phase
+    /// profile) to stdout when the run finishes.
+    pub console_summary: bool,
+    /// Stream events as NDJSON to this file.
+    pub trace_path: Option<PathBuf>,
+    /// Additional custom sink (e.g. [`crate::MemorySink`] in tests).
+    pub sink: Option<SharedSink>,
+}
+
+impl std::fmt::Debug for TelemetryConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryConfig")
+            .field("events", &self.events)
+            .field("profile", &self.profile)
+            .field("console_summary", &self.console_summary)
+            .field("trace_path", &self.trace_path)
+            .field("sink", &self.sink.as_ref().map(|_| "<sink>"))
+            .finish()
+    }
+}
+
+impl TelemetryConfig {
+    /// Everything off (the default).
+    #[must_use]
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Anything at all enabled?
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.events || self.profile || self.console_summary
+    }
+
+    /// Events on, streamed as NDJSON to `path`.
+    #[must_use]
+    pub fn trace_to(path: impl Into<PathBuf>) -> Self {
+        Self {
+            events: true,
+            trace_path: Some(path.into()),
+            ..Self::default()
+        }
+    }
+
+    /// Events on, delivered to `sink`.
+    #[must_use]
+    pub fn events_to(sink: SharedSink) -> Self {
+        Self {
+            events: true,
+            sink: Some(sink),
+            ..Self::default()
+        }
+    }
+
+    /// Phase profiling on (events stay off).
+    #[must_use]
+    pub fn profiled() -> Self {
+        Self {
+            profile: true,
+            ..Self::default()
+        }
+    }
+
+    /// Same config with the console summary enabled.
+    #[must_use]
+    pub fn with_console_summary(mut self) -> Self {
+        self.console_summary = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_fully_off() {
+        let c = TelemetryConfig::default();
+        assert!(!c.enabled());
+        assert!(c.trace_path.is_none() && c.sink.is_none());
+    }
+
+    #[test]
+    fn constructors_enable_the_right_parts() {
+        assert!(TelemetryConfig::trace_to("/tmp/x.ndjson").events);
+        assert!(TelemetryConfig::profiled().profile);
+        assert!(TelemetryConfig::off().with_console_summary().enabled());
+        let dbg = format!("{:?}", TelemetryConfig::events_to(crate::sink::shared(crate::MemorySink::new())));
+        assert!(dbg.contains("<sink>"), "{dbg}");
+    }
+}

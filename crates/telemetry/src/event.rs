@@ -1,0 +1,227 @@
+//! Packet lifecycle events and their NDJSON wire format.
+//!
+//! Both simulators (`ddpm-sim`'s direct networks and `ddpm-indirect`'s
+//! staged fabrics) emit the **same** event schema, so one trace consumer
+//! works for every topology family. The schema is pinned by a golden
+//! test; extend it by *adding* keys, never by renaming or reordering the
+//! existing ones.
+
+/// Which retry loop a [`EventKind::Retry`] event came from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RetryKind {
+    /// Source-side injection retry: the local switch was down.
+    Inject,
+    /// In-network reroute retry: routing offered no admissible port.
+    Reroute,
+}
+
+impl RetryKind {
+    /// Stable identifier used on the wire.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Inject => "inject",
+            Self::Reroute => "reroute",
+        }
+    }
+}
+
+/// What happened to the packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EventKind {
+    /// A compute node handed the packet to its local switch.
+    Inject,
+    /// A switch committed the packet to an output port toward `next`.
+    Forward {
+        /// Dense index of the next switch.
+        next: u32,
+    },
+    /// A switch rewrote the marking field; `mf` is the value *after* the
+    /// update. The sequence of mark events for one packet is the full
+    /// evidence trail behind the victim's `identify()` answer.
+    Mark {
+        /// Marking-field value after the update.
+        mf: u16,
+    },
+    /// A retry was scheduled (graceful degradation under faults).
+    Retry {
+        /// Which retry loop.
+        what: RetryKind,
+        /// 0-based attempt number.
+        attempt: u32,
+    },
+    /// The packet was discarded.
+    Drop {
+        /// Stable drop-reason identifier (e.g. `buffer_overflow`).
+        reason: &'static str,
+    },
+    /// The packet reached its destination compute node.
+    Deliver {
+        /// Final marking-field value as received by the victim.
+        mf: u16,
+        /// End-to-end latency in cycles.
+        latency: u64,
+        /// Switch-to-switch hops taken.
+        hops: u32,
+    },
+}
+
+impl EventKind {
+    /// Number of distinct kinds (for counter arrays).
+    pub const COUNT: usize = 6;
+
+    /// Dense index of this kind, stable across runs.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        match self {
+            Self::Inject => 0,
+            Self::Forward { .. } => 1,
+            Self::Mark { .. } => 2,
+            Self::Retry { .. } => 3,
+            Self::Drop { .. } => 4,
+            Self::Deliver { .. } => 5,
+        }
+    }
+
+    /// Stable identifier used on the wire.
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Inject => "inject",
+            Self::Forward { .. } => "forward",
+            Self::Mark { .. } => "mark",
+            Self::Retry { .. } => "retry",
+            Self::Drop { .. } => "drop",
+            Self::Deliver { .. } => "deliver",
+        }
+    }
+
+    /// Names in [`EventKind::index`] order (for summaries).
+    #[must_use]
+    pub fn names() -> [&'static str; Self::COUNT] {
+        ["inject", "forward", "mark", "retry", "drop", "deliver"]
+    }
+}
+
+/// One packet lifecycle event with its cycle timestamp.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PacketEvent {
+    /// Simulated cycle at which the event happened.
+    pub cycle: u64,
+    /// Packet id (`ddpm_net::PacketId`'s raw value).
+    pub pkt: u64,
+    /// Dense index of the switch (or terminal) where it happened.
+    pub node: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl PacketEvent {
+    /// Renders the event as one NDJSON line (no trailing newline).
+    ///
+    /// Every line carries `cycle`, `event`, `pkt`, `node` in that order,
+    /// followed by kind-specific keys. All values are numbers or
+    /// fixed-vocabulary strings, so no escaping is ever needed.
+    #[must_use]
+    pub fn to_ndjson(&self) -> String {
+        let head = format!(
+            "{{\"cycle\":{},\"event\":\"{}\",\"pkt\":{},\"node\":{}",
+            self.cycle,
+            self.kind.as_str(),
+            self.pkt,
+            self.node
+        );
+        match self.kind {
+            EventKind::Inject => format!("{head}}}"),
+            EventKind::Forward { next } => format!("{head},\"next\":{next}}}"),
+            EventKind::Mark { mf } => format!("{head},\"mf\":{mf}}}"),
+            EventKind::Retry { what, attempt } => {
+                format!("{head},\"kind\":\"{}\",\"attempt\":{attempt}}}", what.as_str())
+            }
+            EventKind::Drop { reason } => format!("{head},\"reason\":\"{reason}\"}}"),
+            EventKind::Deliver { mf, latency, hops } => {
+                format!("{head},\"mf\":{mf},\"latency\":{latency},\"hops\":{hops}}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind) -> PacketEvent {
+        PacketEvent {
+            cycle: 12,
+            pkt: 7,
+            node: 3,
+            kind,
+        }
+    }
+
+    /// Golden test: the NDJSON schema both simulators emit. Changing any
+    /// of these lines is a breaking change for trace consumers — add
+    /// keys instead.
+    #[test]
+    fn ndjson_schema_is_pinned() {
+        assert_eq!(
+            ev(EventKind::Inject).to_ndjson(),
+            r#"{"cycle":12,"event":"inject","pkt":7,"node":3}"#
+        );
+        assert_eq!(
+            ev(EventKind::Forward { next: 9 }).to_ndjson(),
+            r#"{"cycle":12,"event":"forward","pkt":7,"node":3,"next":9}"#
+        );
+        assert_eq!(
+            ev(EventKind::Mark { mf: 0x21 }).to_ndjson(),
+            r#"{"cycle":12,"event":"mark","pkt":7,"node":3,"mf":33}"#
+        );
+        assert_eq!(
+            ev(EventKind::Retry {
+                what: RetryKind::Reroute,
+                attempt: 2
+            })
+            .to_ndjson(),
+            r#"{"cycle":12,"event":"retry","pkt":7,"node":3,"kind":"reroute","attempt":2}"#
+        );
+        assert_eq!(
+            ev(EventKind::Drop {
+                reason: "buffer_overflow"
+            })
+            .to_ndjson(),
+            r#"{"cycle":12,"event":"drop","pkt":7,"node":3,"reason":"buffer_overflow"}"#
+        );
+        assert_eq!(
+            ev(EventKind::Deliver {
+                mf: 33,
+                latency: 18,
+                hops: 3
+            })
+            .to_ndjson(),
+            r#"{"cycle":12,"event":"deliver","pkt":7,"node":3,"mf":33,"latency":18,"hops":3}"#
+        );
+    }
+
+    #[test]
+    fn kind_indices_are_dense_and_stable() {
+        let kinds = [
+            EventKind::Inject,
+            EventKind::Forward { next: 0 },
+            EventKind::Mark { mf: 0 },
+            EventKind::Retry {
+                what: RetryKind::Inject,
+                attempt: 0,
+            },
+            EventKind::Drop { reason: "x" },
+            EventKind::Deliver {
+                mf: 0,
+                latency: 0,
+                hops: 0,
+            },
+        ];
+        for (i, k) in kinds.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(EventKind::names()[i], k.as_str());
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Streaming metrics: latency summaries and log₂-bucketed histograms.
+
+/// Streaming latency summary (count / sum / min / max).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencyStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, in cycles.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+}
+
+impl LatencyStats {
+    /// Records one latency sample, in cycles.
+    pub fn record(&mut self, cycles: u64) {
+        if self.count == 0 {
+            self.min = cycles;
+            self.max = cycles;
+        } else {
+            self.min = self.min.min(cycles);
+            self.max = self.max.max(cycles);
+        }
+        self.count += 1;
+        self.sum += cycles;
+    }
+
+    /// Mean latency, or `None` with no samples.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Folds `other` into `self`.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Number of log₂ buckets: bucket `i` holds samples in `[2^(i-1), 2^i)`
+/// (bucket 0 holds `0`), covering the full `u64` range.
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram with streaming min/max/sum — constant
+/// memory, O(1) insert, good-enough percentiles for cycle latencies.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    /// Exact streaming summary alongside the buckets.
+    pub summary: LatencyStats,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            summary: LatencyStats::default(),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.summary.record(v);
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.summary.count
+    }
+
+    /// An upper bound for the `q`-quantile (`0.0 ..= 1.0`): the top edge
+    /// of the bucket containing it. Returns `None` with no samples.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.summary.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.summary.count as f64).ceil() as u64)
+            .clamp(1, self.summary.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Top edge of bucket i, clamped to the observed max.
+                let edge = if i == 0 { 0 } else { (1u128 << i) - 1 } as u64;
+                return Some(edge.min(self.summary.max));
+            }
+        }
+        Some(self.summary.max)
+    }
+
+    /// Non-empty buckets as `(bucket upper edge, count)` pairs.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let edge = if i == 0 { 0 } else { ((1u128 << i) - 1) as u64 };
+                (edge, n)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_streaming() {
+        let mut l = LatencyStats::default();
+        assert_eq!(l.mean(), None);
+        l.record(10);
+        l.record(20);
+        l.record(3);
+        assert_eq!(l.count, 3);
+        assert_eq!(l.min, 3);
+        assert_eq!(l.max, 20);
+        assert_eq!(l.mean(), Some(11.0));
+    }
+
+    #[test]
+    fn latency_merge() {
+        let mut a = LatencyStats::default();
+        a.record(4);
+        let mut b = LatencyStats::default();
+        b.record(2);
+        b.record(8);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.min, 2);
+        assert_eq!(a.max, 8);
+        assert_eq!(a.sum, 14);
+        let mut empty = LatencyStats::default();
+        empty.merge(&a);
+        assert_eq!(empty.count, 3);
+        a.merge(&LatencyStats::default());
+        assert_eq!(a.count, 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        for v in [0u64, 1, 2, 3, 4, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.summary.min, 0);
+        assert_eq!(h.summary.max, 1000);
+        // Median of 7 samples is the 4th (value 3): its bucket [2,4) has
+        // upper edge 3.
+        assert_eq!(h.quantile(0.5), Some(3));
+        // The max quantile is clamped to the observed max.
+        assert_eq!(h.quantile(1.0), Some(1000));
+        assert_eq!(h.quantile(0.0), Some(0));
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz.iter().map(|&(_, n)| n).sum::<u64>(), 7);
+    }
+}

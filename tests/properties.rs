@@ -76,6 +76,7 @@ proptest! {
         let faults = FaultSet::none();
         let marker = NoMarking;
         let cfg = SimConfig { buffer_packets: 4, ..SimConfig::seeded(seed) };
+        let per_hop = cfg.service_cycles + cfg.link_latency;
         let mut sim = Simulation::new(
             &topo, &faults, Router::DimensionOrder, SelectionPolicy::First,
             &marker, cfg,
@@ -88,7 +89,6 @@ proptest! {
         }
         let stats = sim.run();
         prop_assert!(stats.accounted(0));
-        let per_hop = cfg.service_cycles + cfg.link_latency;
         for d in sim.delivered() {
             let src = topo.coord(d.packet.true_source);
             let dst = topo.coord(d.packet.dest_node);

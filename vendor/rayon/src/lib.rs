@@ -79,10 +79,7 @@ pub trait ParallelIterator: Sized {
         Self: Sync,
     {
         let n = self.len();
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(n.max(1));
+        let threads = pool_size().min(n.max(1));
         if threads <= 1 || n <= 1 {
             return (0..n).map(|i| self.at(i)).collect();
         }
@@ -101,6 +98,22 @@ pub trait ParallelIterator: Sized {
         });
         out.into_iter().map(|v| v.expect("chunk filled")).collect()
     }
+}
+
+/// Worker count: `RAYON_NUM_THREADS` (upstream's env knob, read per
+/// `collect` since there is no persistent pool here) when set to a
+/// positive number, else all hardware threads.
+fn pool_size() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Parallel iterator over a slice.
@@ -174,5 +187,17 @@ mod tests {
         let one = [41u32];
         let got: Vec<u32> = one.par_iter().map(|v| v + 1).collect();
         assert_eq!(got, vec![42]);
+    }
+
+    #[test]
+    fn env_var_caps_pool() {
+        // collect()'s output is order-stable regardless of thread
+        // count, so this only checks the env path doesn't break it.
+        std::env::set_var("RAYON_NUM_THREADS", "2");
+        let xs: Vec<u64> = (0..100).collect();
+        let got: Vec<u64> = xs.par_iter().map(|v| v + 1).collect();
+        std::env::remove_var("RAYON_NUM_THREADS");
+        assert_eq!(got, (1..=100).collect::<Vec<u64>>());
+        assert!(super::pool_size() >= 1);
     }
 }
