@@ -24,6 +24,8 @@ enum Apply {
     Seed,
     Threads,
     Quick,
+    SoakSecs,
+    SoakDir,
     List,
     Help,
 }
@@ -71,6 +73,18 @@ const FLAGS: &[Flag] = &[
         apply: Apply::Quick,
     },
     Flag {
+        name: "--soak-secs",
+        value: Some("N"),
+        help: "wall-clock budget for the `soak` experiment, in seconds",
+        apply: Apply::SoakSecs,
+    },
+    Flag {
+        name: "--soak-dir",
+        value: Some("DIR"),
+        help: "where `soak` writes repro bundles (default target/soak-bundles)",
+        apply: Apply::SoakDir,
+    },
+    Flag {
         name: "--list",
         value: None,
         help: "print the experiment keys and exit",
@@ -85,7 +99,10 @@ const FLAGS: &[Flag] = &[
 ];
 
 fn usage() -> String {
-    let mut s = String::from("usage: report [flags] <experiment>... | all\n\nflags:\n");
+    let mut s = String::from(
+        "usage: report [flags] <experiment>... | all\n\
+         \x20      report [flags] replay <bundle.json>\n\nflags:\n",
+    );
     for f in FLAGS {
         let head = match f.value {
             Some(v) => format!("{} {v}", f.name),
@@ -142,6 +159,12 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
                 cli.threads = Some(v.parse().map_err(|_| format!("bad --threads value `{v}`"))?);
             }
             Apply::Quick => cli.ctx.quick = true,
+            Apply::SoakSecs => {
+                let v = value()?;
+                cli.ctx.soak_secs =
+                    Some(v.parse().map_err(|_| format!("bad --soak-secs value `{v}`"))?);
+            }
+            Apply::SoakDir => cli.ctx.soak_dir = Some(PathBuf::from(value()?)),
             Apply::List => {
                 for (k, _) in all_experiments() {
                     println!("{k}");
@@ -174,6 +197,28 @@ fn main() -> ExitCode {
         // from this variable at spawn time.
         std::env::set_var("RAYON_NUM_THREADS", n.to_string());
     }
+    // `replay <bundle>` is a positional subcommand, not an experiment:
+    // it re-runs a captured soak failure and verifies it reproduces.
+    if cli.wanted.first().map(String::as_str) == Some("replay") {
+        let Some(bundle) = cli.wanted.get(1) else {
+            eprintln!("replay needs a bundle path\n\n{}", usage());
+            return ExitCode::FAILURE;
+        };
+        return match ddpm_bench::exp_soak::replay(std::path::Path::new(bundle)) {
+            Ok(report) => {
+                println!("{}", report.render());
+                if report.json["reproduced"].as_bool() == Some(true) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let run_all = cli.wanted.iter().any(|w| w == "all");
     let experiments = all_experiments();
     let known: Vec<&str> = experiments.iter().map(|(k, _)| *k).collect();
@@ -189,12 +234,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    let mut failed = false;
     for (key, runner) in experiments {
         if !run_all && !cli.wanted.iter().any(|w| w == key) {
             continue;
         }
         let report = runner(&cli.ctx);
         println!("{}", report.render());
+        // The chaos soak is a pass/fail check, not a measurement: any
+        // invariant violation must fail the invocation (CI keys off the
+        // exit code and uploads the repro bundles it names).
+        if key == "soak" && report.json["violations"].as_u64().unwrap_or(0) > 0 {
+            failed = true;
+        }
         if let Some(dir) = &cli.json_dir {
             let path = dir.join(format!("{key}.json"));
             match serde_json::to_string_pretty(&report.json) {
@@ -211,5 +263,9 @@ fn main() -> ExitCode {
             }
         }
     }
-    ExitCode::SUCCESS
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

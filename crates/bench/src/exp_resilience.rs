@@ -20,7 +20,7 @@ use ddpm_attack::PacketFactory;
 use ddpm_core::DdpmScheme;
 use ddpm_net::{AddrMap, L4};
 use ddpm_routing::{Router, SelectionPolicy};
-use ddpm_sim::{RetryPolicy, SimConfig, SimTime, Simulation};
+use ddpm_sim::{InvariantConfig, RetryPolicy, SimConfig, SimTime, Simulation};
 use ddpm_topology::{ChurnConfig, FaultSchedule, FaultSet, NodeId, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -69,6 +69,7 @@ struct RunOutcome {
     recovery_mean: Option<f64>,
     degraded_cycles: u64,
     fault_events: u64,
+    violations: u64,
 }
 
 /// One sweep cell: the same churn schedule with retries on and off.
@@ -100,7 +101,12 @@ fn run_once(
         down_time: 400,
     };
     let schedule = FaultSchedule::churn(topo, &churn, || rng.gen::<f64>());
-    let mut cfg = SimConfig::seeded(seed ^ 0x5EED);
+    // Recording (not strict) so the whole sweep doubles as an invariant
+    // audit: violations are tallied into the report instead of aborting.
+    let mut cfg = SimConfig::seeded(seed ^ 0x5EED)
+        .to_builder()
+        .invariants(InvariantConfig::recording())
+        .build();
     if retries > 0 {
         let backoff = cfg.service_cycles.max(1);
         cfg = cfg
@@ -109,9 +115,10 @@ fn run_once(
             .build();
     }
     let faults = FaultSet::none();
-    // Productive-first selection: turn-model routers (west-first) are
-    // only livelock-free when productive ports win; pure Random strands
-    // packets even on a healthy mesh.
+    // Productive-first selection. Since PR 3 `SelectionPolicy::Random`
+    // self-upgrades to productive-first on turn-model routers (see
+    // `SelectionPolicy::pick_for`), so this pin is belt-and-braces: the
+    // sweep measures resilience, not selection-policy variance.
     let mut sim = Simulation::new(
         topo,
         &faults,
@@ -154,6 +161,7 @@ fn run_once(
         recovery_mean: stats.faults.recovery.mean(),
         degraded_cycles: stats.faults.degraded_cycles,
         fault_events: stats.faults.events_applied,
+        violations: sim.violations().len() as u64,
     }
 }
 
@@ -221,12 +229,14 @@ pub fn run(ctx: &RunCtx) -> Report {
     let mut total_fault_drops = 0u64;
     let mut total_mis = 0u64;
     let mut total_delivered = 0u64;
+    let mut total_violations = 0u64;
     let (mut retry_ratio_sum, mut brittle_ratio_sum) = (0.0f64, 0.0f64);
     for c in &cells {
         let ratio = |o: &RunOutcome| o.delivered as f64 / o.injected.max(1) as f64;
         total_fault_drops += c.tolerant.fault_drops + c.brittle.fault_drops;
         total_mis += c.tolerant.misattributed + c.brittle.misattributed;
         total_delivered += c.tolerant.delivered + c.brittle.delivered;
+        total_violations += c.tolerant.violations + c.brittle.violations;
         retry_ratio_sum += ratio(&c.tolerant);
         brittle_ratio_sum += ratio(&c.brittle);
         t.row(&[
@@ -267,6 +277,7 @@ pub fn run(ctx: &RunCtx) -> Report {
         "{}\nSweep cells: {} (each run twice: retries on / off, same churn schedule)\n\
          Delivered packets checked for attribution: {}   misattributed: {} (expected 0)\n\
          Fault-typed drops across the sweep: {} (expected > 0: churn really bites)\n\
+         Runtime invariant violations (checker recording on every run): {} (expected 0)\n\
          Mean delivery ratio: {} with graceful degradation vs {} without\n\n\
          Faults cost delivery, never attribution: every delivered packet still\n\
          carries a complete distance vector, so the victim's single-packet\n\
@@ -276,6 +287,7 @@ pub fn run(ctx: &RunCtx) -> Report {
         total_delivered,
         total_mis,
         total_fault_drops,
+        total_violations,
         fnum(retry_ratio_sum / ncells),
         fnum(brittle_ratio_sum / ncells),
     );
@@ -288,6 +300,7 @@ pub fn run(ctx: &RunCtx) -> Report {
             "cells": rows,
             "total_misattributed": total_mis,
             "total_fault_drops": total_fault_drops,
+            "total_violations": total_violations,
             "total_delivered": total_delivered,
             "mean_delivery_retry": retry_ratio_sum / ncells,
             "mean_delivery_no_retry": brittle_ratio_sum / ncells,
@@ -305,6 +318,7 @@ mod tests {
         // ≥3 topologies × ≥3 routings × 3 churn levels.
         assert!(r.json["cells"].as_array().unwrap().len() >= 27, "{}", r.body);
         assert_eq!(r.json["total_misattributed"], 0u64, "{}", r.body);
+        assert_eq!(r.json["total_violations"], 0u64, "{}", r.body);
         assert!(
             r.json["total_fault_drops"].as_u64().unwrap() > 0,
             "churn must cause typed drops\n{}",

@@ -17,6 +17,7 @@
 //! | [`exp_identification`] | §5 single-packet identification |
 //! | [`exp_end_to_end`] | §1/§2 detect → identify → block pipeline |
 //! | [`exp_resilience`] | §4.1 attribution under dynamic fault churn |
+//! | [`exp_soak`] | liveness/invariant chaos soak + failure replay |
 
 pub mod exp_ablation;
 pub mod exp_ambiguity;
@@ -29,6 +30,7 @@ pub mod exp_identification;
 pub mod exp_indirect;
 pub mod exp_ppm_convergence;
 pub mod exp_resilience;
+pub mod exp_soak;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
@@ -65,5 +67,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("flooding", exp_flooding_traceback::run),
         ("ablation", exp_ablation::run),
         ("resilience", exp_resilience::run),
+        ("soak", exp_soak::run),
     ]
 }

@@ -13,8 +13,11 @@ use ddpm_core::identify::attack_census;
 use ddpm_core::{DdpmScheme, DpmScheme};
 use ddpm_net::{AddrMap, CodecMode};
 use ddpm_routing::{Router, SelectionPolicy};
-use ddpm_sim::{Marker, NoMarking, RetryPolicy, SimConfig, SimStats, SimTime, Simulation};
-use ddpm_topology::{FaultEvent, FaultSchedule, FaultSet, NodeId, Topology};
+use ddpm_sim::{
+    InvariantConfig, Marker, NoMarking, RetryPolicy, SimConfig, SimStats, SimTime, Simulation,
+    WatchdogConfig,
+};
+use ddpm_topology::{FaultEvent, FaultSchedule, FaultSet, NodeId, Topology, MAX_DIMS};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde_json::{json, Error as JsonError, FromJson, Value};
@@ -29,6 +32,26 @@ use serde_json::{json, Error as JsonError, FromJson, Value};
 // objects tagged with `"kind"`, and absent fields take the documented
 // defaults.
 // ---------------------------------------------------------------------
+
+/// Rejects typo'd / unsupported keys. A silently ignored field is the
+/// worst failure mode a declarative config can have — a user writing
+/// `"fault_retires": 6` would get fail-fast behaviour with no hint —
+/// so every object in the schema is checked against its full key list
+/// and the error names both the offender and the accepted spellings.
+fn reject_unknown(v: &Value, what: &str, allowed: &[&str]) -> Result<(), JsonError> {
+    let Some(obj) = v.as_object() else {
+        return Ok(()); // non-objects are diagnosed by the caller
+    };
+    for key in obj.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(JsonError::msg(format!(
+                "unknown field `{key}` in {what} (accepted fields: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
 
 fn req<'a>(v: &'a Value, key: &str) -> Result<&'a Value, JsonError> {
     match v.get(key) {
@@ -114,18 +137,55 @@ pub enum TopologySpec {
     Hypercube { n: usize },
 }
 
+/// Largest cluster a scenario may describe. `NodeId` is a `u32` and the
+/// simulator allocates per-node state, so an absurd radix list (say
+/// `[60000, 60000]`) must be an error message, not an OOM or overflow.
+const MAX_SCENARIO_NODES: u64 = 1 << 20;
+
+/// Validates radices the way `Topology::mesh`/`torus` would assert
+/// them, but as an actionable error instead of a panic.
+fn checked_dims(v: &Value, what: &str) -> Result<Vec<u16>, JsonError> {
+    let dims = dims_list(v, "dims")?;
+    if dims.is_empty() || dims.len() > MAX_DIMS {
+        return Err(JsonError::msg(format!(
+            "{what} `dims` must have 1..={MAX_DIMS} entries, got {}",
+            dims.len()
+        )));
+    }
+    if let Some(&k) = dims.iter().find(|&&k| k < 2) {
+        return Err(JsonError::msg(format!(
+            "{what} radix {k} out of range: every `dims` entry must be >= 2"
+        )));
+    }
+    let nodes = dims.iter().map(|&k| u64::from(k)).product::<u64>();
+    if nodes > MAX_SCENARIO_NODES {
+        return Err(JsonError::msg(format!(
+            "{what} with dims {dims:?} has {nodes} nodes; \
+             the scenario runner caps clusters at {MAX_SCENARIO_NODES}"
+        )));
+    }
+    Ok(dims)
+}
+
 impl FromJson for TopologySpec {
     fn from_json(v: &Value) -> Result<Self, JsonError> {
+        reject_unknown(v, "topology", &["kind", "dims", "n"])?;
         match kind_tag(v, "topology")? {
             "mesh" => Ok(TopologySpec::Mesh {
-                dims: dims_list(v, "dims")?,
+                dims: checked_dims(v, "mesh")?,
             }),
             "torus" => Ok(TopologySpec::Torus {
-                dims: dims_list(v, "dims")?,
+                dims: checked_dims(v, "torus")?,
             }),
-            "hypercube" => Ok(TopologySpec::Hypercube {
-                n: as_u64(v, "n")? as usize,
-            }),
+            "hypercube" => {
+                let n = as_u64(v, "n")?;
+                if !(1..=MAX_DIMS as u64).contains(&n) {
+                    return Err(JsonError::msg(format!(
+                        "hypercube dimension {n} out of range 1..={MAX_DIMS}"
+                    )));
+                }
+                Ok(TopologySpec::Hypercube { n: n as usize })
+            }
             other => Err(JsonError::msg(format!(
                 "unknown topology kind `{other}` (expected mesh, torus or hypercube)"
             ))),
@@ -134,7 +194,9 @@ impl FromJson for TopologySpec {
 }
 
 impl TopologySpec {
-    fn build(&self) -> Topology {
+    /// Materialises the topology.
+    #[must_use]
+    pub fn build(&self) -> Topology {
         match self {
             TopologySpec::Mesh { dims } => Topology::mesh(dims),
             TopologySpec::Torus { dims } => Topology::torus(dims),
@@ -172,7 +234,9 @@ impl FromJson for RouterSpec {
 }
 
 impl RouterSpec {
-    fn build(self, topo: &Topology) -> Router {
+    /// Materialises the router for `topo`.
+    #[must_use]
+    pub fn build(self, topo: &Topology) -> Router {
         match self {
             RouterSpec::DimensionOrder => Router::DimensionOrder,
             RouterSpec::WestFirst => Router::WestFirst,
@@ -226,6 +290,18 @@ pub enum AttackSpec {
 
 impl FromJson for AttackSpec {
     fn from_json(v: &Value) -> Result<Self, JsonError> {
+        reject_unknown(
+            v,
+            "attack",
+            &[
+                "kind",
+                "zombies",
+                "victim",
+                "packets_per_zombie",
+                "syns_per_zombie",
+                "interval",
+            ],
+        )?;
         match kind_tag(v, "attack")? {
             "udp_flood" => Ok(AttackSpec::UdpFlood {
                 zombies: u32_list(v, "zombies")?,
@@ -252,6 +328,7 @@ impl FromJson for AttackSpec {
 /// link events, `{"at": 100, "kind": "switch_down", "node": 5}` for
 /// switch events.
 fn fault_event(v: &Value) -> Result<(u64, FaultEvent), JsonError> {
+    reject_unknown(v, "fault event", &["at", "kind", "a", "b", "node"])?;
     let at = as_u64(v, "at")?;
     let ev = match kind_tag(v, "fault event")? {
         "link_down" => FaultEvent::LinkDown {
@@ -276,6 +353,53 @@ fn fault_event(v: &Value) -> Result<(u64, FaultEvent), JsonError> {
         }
     };
     Ok((at, ev))
+}
+
+/// Optional liveness-watchdog block.
+///
+/// Wire format: `{"check_period": 128, "max_age": 4096, "stall_cycles":
+/// 2048, "escape": "dor"}`, every field optional with the
+/// [`WatchdogConfig`] defaults; `"escape": "off"` drops overage packets
+/// without the recovery-reroute stage. Absent block = watchdog off
+/// (the historical behaviour).
+fn watchdog_block(v: &Value) -> Result<Option<WatchdogConfig>, JsonError> {
+    let Some(w) = v.get("watchdog").filter(|w| !w.is_null()) else {
+        return Ok(None);
+    };
+    if w.as_object().is_none() {
+        return Err(JsonError::msg("`watchdog` must be an object"));
+    }
+    reject_unknown(
+        w,
+        "watchdog",
+        &["check_period", "max_age", "stall_cycles", "escape"],
+    )?;
+    let defaults = WatchdogConfig::default();
+    let escape = match w.get("escape") {
+        None | Some(Value::Null) => defaults.escape,
+        Some(e) => match e.as_str() {
+            Some("dor") | Some("dimension_order") => Some(Router::DimensionOrder),
+            Some("minimal_adaptive") => Some(Router::MinimalAdaptive),
+            Some("off") => None,
+            _ => {
+                return Err(JsonError::msg(
+                    "`watchdog.escape` must be one of dor, minimal_adaptive, off",
+                ))
+            }
+        },
+    };
+    let cfg = WatchdogConfig {
+        check_period: opt_u64(w, "check_period", defaults.check_period)?,
+        max_age: opt_u64(w, "max_age", defaults.max_age)?,
+        stall_cycles: opt_u64(w, "stall_cycles", defaults.stall_cycles)?,
+        escape,
+    };
+    if cfg.check_period == 0 || cfg.max_age == 0 || cfg.stall_cycles == 0 {
+        return Err(JsonError::msg(
+            "`watchdog` periods must be positive (use no watchdog block to disable it)",
+        ));
+    }
+    Ok(Some(cfg))
 }
 
 fn fault_schedule(v: &Value) -> Result<Vec<(u64, FaultEvent)>, JsonError> {
@@ -312,6 +436,12 @@ pub struct ScenarioConfig {
     /// Injection/reroute retry budget for graceful degradation under the
     /// fault schedule (default 0 = fail-fast, the historical behaviour).
     pub fault_retries: u32,
+    /// Liveness watchdog (`"watchdog": {...}` block; absent = off).
+    pub watchdog: Option<WatchdogConfig>,
+    /// Run with the invariant checker recording violations
+    /// (`"invariants": true`); the runner reports any violations in its
+    /// output instead of panicking. Default false.
+    pub invariants: bool,
 }
 
 impl FromJson for ScenarioConfig {
@@ -319,21 +449,53 @@ impl FromJson for ScenarioConfig {
         if v.as_object().is_none() {
             return Err(JsonError::msg("scenario config must be a JSON object"));
         }
+        reject_unknown(
+            v,
+            "scenario config",
+            &[
+                "topology",
+                "router",
+                "marking",
+                "seed",
+                "fault_rate",
+                "background_interval",
+                "horizon",
+                "attack",
+                "fault_schedule",
+                "fault_retries",
+                "watchdog",
+                "invariants",
+            ],
+        )?;
         let attack = match v.get("attack") {
             None | Some(Value::Null) => None,
             Some(a) => Some(AttackSpec::from_json(a)?),
+        };
+        let fault_rate = opt_f64(v, "fault_rate", 0.0)?;
+        if !(0.0..=1.0).contains(&fault_rate) {
+            return Err(JsonError::msg(format!(
+                "`fault_rate` {fault_rate} out of range 0.0..=1.0"
+            )));
+        }
+        let invariants = match v.get("invariants") {
+            None | Some(Value::Null) => false,
+            Some(b) => b
+                .as_bool()
+                .ok_or_else(|| JsonError::msg("`invariants` must be a boolean"))?,
         };
         Ok(Self {
             topology: TopologySpec::from_json(req(v, "topology")?)?,
             router: RouterSpec::from_json(req(v, "router")?)?,
             marking: MarkingSpec::from_json(req(v, "marking")?)?,
             seed: opt_u64(v, "seed", 2004)?,
-            fault_rate: opt_f64(v, "fault_rate", 0.0)?,
+            fault_rate,
             background_interval: opt_u64(v, "background_interval", 32)?,
             horizon: opt_u64(v, "horizon", 4000)?,
             attack,
             fault_schedule: fault_schedule(v)?,
             fault_retries: opt_u32(v, "fault_retries", 0)?,
+            watchdog: watchdog_block(v)?,
+            invariants,
         })
     }
 }
@@ -444,6 +606,17 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
             .fault_tolerance(RetryPolicy::capped(cfg.fault_retries, backoff, 256))
             .build();
     }
+    if let Some(wd) = cfg.watchdog {
+        sim_cfg = sim_cfg.to_builder().watchdog(wd).build();
+    }
+    if cfg.invariants {
+        // Recording, not strict: a scenario run should report the
+        // violation to its user, not abort the process.
+        sim_cfg = sim_cfg
+            .to_builder()
+            .invariants(InvariantConfig::recording())
+            .build();
+    }
     let mut sim = Simulation::new(
         &topo,
         &faults,
@@ -483,6 +656,27 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
             stats.faults.degraded_cycles,
         ));
     }
+    if cfg.watchdog.is_some() {
+        let wd = &stats.watchdog;
+        text.push_str(&format!(
+            "liveness: {} sweeps — {} livelocks, {} starvations, {} deadlocks, \
+             {} escapes (oldest in-flight age {} cyc)\n",
+            wd.checks, wd.livelocks, wd.starvations, wd.deadlocks, wd.escapes, wd.max_age_seen,
+        ));
+    }
+    if cfg.invariants {
+        let violations = sim.violations();
+        match violations.first() {
+            None => text.push_str("invariants: 0 violations\n"),
+            Some(first) => text.push_str(&format!(
+                "invariants: {} VIOLATIONS — first at cycle {}: {} ({})\n",
+                violations.len(),
+                first.cycle,
+                first.invariant,
+                first.detail,
+            )),
+        }
+    }
     let mut census_json = json!(null);
     if let Some(scheme) = &ddpm {
         let census = attack_census(&topo, scheme, sim.delivered());
@@ -504,10 +698,39 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
             .map(|&(node, c)| json!({"node": node.0, "packets": c}))
             .collect::<Vec<_>>());
     }
+    let watchdog_json = if cfg.watchdog.is_some() {
+        json!({
+            "checks": stats.watchdog.checks,
+            "livelocks": stats.watchdog.livelocks,
+            "starvations": stats.watchdog.starvations,
+            "deadlocks": stats.watchdog.deadlocks,
+            "escapes": stats.watchdog.escapes,
+            "max_age_seen": stats.watchdog.max_age_seen,
+        })
+    } else {
+        json!(null)
+    };
+    let invariants_json = if cfg.invariants {
+        json!(sim
+            .violations()
+            .iter()
+            .map(|v| json!({
+                "cycle": v.cycle,
+                "pkt": v.pkt,
+                "node": v.node,
+                "invariant": v.invariant,
+                "detail": v.detail.clone(),
+            }))
+            .collect::<Vec<_>>())
+    } else {
+        json!(null)
+    };
     let json = json!({
         "topology": topo.describe(),
         "router": router.name(),
         "failed_links": faults.failed_links(),
+        "watchdog": watchdog_json,
+        "violations": invariants_json,
         "faults": {
             "events_applied": stats.faults.events_applied,
             "fault_drops": stats.fault_drops(),
@@ -631,6 +854,120 @@ mod tests {
     }
 
     #[test]
+    fn unknown_top_level_field_is_rejected_with_spellings() {
+        let err = serde_json::from_str::<ScenarioConfig>(
+            r#"{
+                "topology": {"kind": "mesh", "dims": [4, 4]},
+                "router": "dimension_order",
+                "marking": "ddpm",
+                "fault_retires": 6
+            }"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown field `fault_retires`"), "{err}");
+        assert!(err.contains("fault_retries"), "lists accepted fields: {err}");
+    }
+
+    #[test]
+    fn unknown_nested_fields_are_rejected() {
+        for (raw, offender) in [
+            (
+                r#"{"topology": {"kind": "mesh", "dims": [4, 4], "wrap": true},
+                    "router": "dimension_order", "marking": "none"}"#,
+                "`wrap` in topology",
+            ),
+            (
+                r#"{"topology": {"kind": "mesh", "dims": [4, 4]},
+                    "router": "dimension_order", "marking": "none",
+                    "attack": {"kind": "udp_flood", "zombies": [1], "victim": 2,
+                               "packets_per_zombie": 1, "interval": 1, "rate": 9}}"#,
+                "`rate` in attack",
+            ),
+            (
+                r#"{"topology": {"kind": "mesh", "dims": [4, 4]},
+                    "router": "dimension_order", "marking": "none",
+                    "fault_schedule": [{"at": 1, "kind": "switch_down", "node": 0, "sev": 2}]}"#,
+                "`sev` in fault event",
+            ),
+            (
+                r#"{"topology": {"kind": "mesh", "dims": [4, 4]},
+                    "router": "dimension_order", "marking": "none",
+                    "watchdog": {"max_age": 64, "periods": 3}}"#,
+                "`periods` in watchdog",
+            ),
+        ] {
+            let err = serde_json::from_str::<ScenarioConfig>(raw)
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains(offender), "expected {offender}, got: {err}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_topologies_error_instead_of_panicking() {
+        for (raw, needle) in [
+            (r#"{"kind": "mesh", "dims": []}"#, "1..=16 entries"),
+            (r#"{"kind": "torus", "dims": [4, 1]}"#, "radix 1 out of range"),
+            (r#"{"kind": "mesh", "dims": [1200, 1200]}"#, "caps clusters"),
+            (r#"{"kind": "hypercube", "n": 40}"#, "out of range 1..=16"),
+        ] {
+            let err = serde_json::from_str::<TopologySpec>(raw)
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains(needle), "expected `{needle}`, got: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_scalar_ranges_are_rejected() {
+        let base = |extra: &str| {
+            format!(
+                r#"{{"topology": {{"kind": "mesh", "dims": [4, 4]}},
+                    "router": "dimension_order", "marking": "none", {extra}}}"#
+            )
+        };
+        let err = serde_json::from_str::<ScenarioConfig>(&base(r#""fault_rate": 1.5"#))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("out of range 0.0..=1.0"), "{err}");
+        let err = serde_json::from_str::<ScenarioConfig>(&base(r#""watchdog": {"max_age": 0}"#))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("must be positive"), "{err}");
+        let err = serde_json::from_str::<ScenarioConfig>(&base(r#""invariants": "yes""#))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("must be a boolean"), "{err}");
+    }
+
+    #[test]
+    fn watchdog_and_invariants_knobs_parse_and_report() {
+        let cfg: ScenarioConfig = serde_json::from_str(
+            r#"{
+                "topology": {"kind": "mesh", "dims": [4, 4]},
+                "router": "minimal_adaptive",
+                "marking": "ddpm",
+                "background_interval": 16,
+                "horizon": 1500,
+                "invariants": true,
+                "watchdog": {"check_period": 32, "max_age": 96, "stall_cycles": 4096,
+                             "escape": "dor"}
+            }"#,
+        )
+        .expect("valid config");
+        let wd = cfg.watchdog.expect("watchdog installed");
+        assert_eq!((wd.check_period, wd.max_age), (32, 96));
+        assert_eq!(wd.escape, Some(Router::DimensionOrder));
+        assert!(cfg.invariants);
+        let out = run_scenario(&cfg).expect("runs");
+        assert!(out.text.contains("liveness:"), "{}", out.text);
+        assert!(out.text.contains("invariants: 0 violations"), "{}", out.text);
+        assert_eq!(out.json["violations"].as_array().map(Vec::len), Some(0));
+        assert!(out.json["watchdog"]["checks"].as_u64().unwrap() > 0);
+    }
+
+    #[test]
     fn shipped_scenario_files_parse_and_run() {
         // The JSON files under scenarios/ are part of the public
         // interface; keep them loadable and runnable.
@@ -649,7 +986,7 @@ mod tests {
             assert!(out.text.contains("scenario:"));
         }
         assert!(
-            found >= 3,
+            found >= 5,
             "expected the shipped scenario files, found {found}"
         );
     }

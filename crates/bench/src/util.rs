@@ -22,6 +22,12 @@ pub struct RunCtx {
     /// Directory for NDJSON packet traces (`--trace DIR`): experiments
     /// that run a simulator write `<key>.ndjson` there.
     pub trace_dir: Option<PathBuf>,
+    /// Wall-clock budget for the chaos soak (`--soak-secs N`); the soak
+    /// experiment picks its own small default when unset.
+    pub soak_secs: Option<u64>,
+    /// Where the soak writes repro bundles on failure (`--soak-dir`).
+    /// Defaults to `target/soak-bundles`.
+    pub soak_dir: Option<PathBuf>,
 }
 
 impl RunCtx {

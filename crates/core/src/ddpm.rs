@@ -110,9 +110,22 @@ impl Marker for DdpmScheme {
             .topo
             .hop_displacement(cur, next)
             .expect("simulator only forwards along real links");
-        self.codec
-            .apply_hop(&mut pkt.header.identification, &delta)
-            .expect("honest single-hop updates stay in range");
+        // On an honestly marked packet the accumulated vector telescopes
+        // to `cur − src`, so a single-hop update can never leave the
+        // codec range. A *tampered* vector (a compromised switch
+        // skipping or forging its update, §6.2 threat) can push the
+        // honest update out of range — and this switch cannot tell
+        // tampering from truth, so it must not crash the fabric over
+        // it. Leaving the field untouched keeps the packet flowing;
+        // the garbage vector then misattributes or is rejected at the
+        // victim, which is exactly how the compromised-switch
+        // experiments score tampering.
+        if let Err(e) = self.codec.apply_hop(&mut pkt.header.identification, &delta) {
+            debug_assert!(
+                matches!(e, ddpm_net::CodecError::ComponentOutOfRange { .. }),
+                "only adversarial out-of-range is tolerated, got {e:?}"
+            );
+        }
     }
 }
 

@@ -14,7 +14,7 @@
 use crate::butterfly::Butterfly;
 use crate::marking::PortMarking;
 use ddpm_net::Packet;
-use ddpm_sim::{SimConfig, SimStats, SimTime};
+use ddpm_sim::{InvariantChecker, SimConfig, SimStats, SimTime, Violation};
 use ddpm_telemetry::{EventKind as TelEvent, PacketEvent, Telemetry, TelemetryConfig};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -52,14 +52,22 @@ pub struct MinSimulation {
     /// Output buffer depth per port.
     pub buffer_packets: u32,
     pkts: Vec<(Packet, SimTime)>,
+    /// Stages actually crossed per packet — the `stage_coverage`
+    /// invariant compares this against the fabric depth at delivery.
+    crossed: Vec<u8>,
     events: BinaryHeap<Reverse<Ev>>,
     seq: u64,
     /// (stage, switch, out_port) -> busy-until cycle.
     ports: HashMap<(u8, u32, u16), u64>,
     stats: SimStats,
     delivered: Vec<MinDelivered>,
+    /// Packets injected but not yet delivered or dropped.
+    live: u64,
     /// Live telemetry, `None` when disabled — the zero-cost path.
     tele: Option<Box<Telemetry>>,
+    /// Runtime invariant checking — the same machinery (and defaults)
+    /// as the direct-network simulator.
+    checker: InvariantChecker,
 }
 
 impl MinSimulation {
@@ -83,12 +91,15 @@ impl MinSimulation {
             link_latency: cfg.link_latency,
             buffer_packets: cfg.buffer_packets,
             pkts: Vec::new(),
+            crossed: Vec::new(),
             events: BinaryHeap::new(),
             seq: 0,
             ports: HashMap::new(),
             stats: SimStats::default(),
             delivered: Vec::new(),
+            live: 0,
             tele: Telemetry::from_config(&cfg.telemetry).map(Box::new),
+            checker: InvariantChecker::new(cfg.invariants),
         }
     }
 
@@ -108,6 +119,7 @@ impl MinSimulation {
     pub fn schedule(&mut self, time: SimTime, packet: Packet) {
         let idx = self.pkts.len();
         self.pkts.push((packet, time));
+        self.crossed.push(0);
         self.push_ev(time, idx, 0);
     }
 
@@ -135,8 +147,15 @@ impl MinSimulation {
         self.tele.as_ref().is_some_and(|t| t.events_on())
     }
 
-    /// Records one lifecycle event. Only call behind
-    /// [`MinSimulation::tele_on`].
+    /// True when lifecycle events have at least one consumer: live
+    /// telemetry, or the invariant checker's trace tail.
+    #[inline]
+    fn obs_on(&self) -> bool {
+        self.tele_on() || self.checker.tail_on()
+    }
+
+    /// Records one lifecycle event to every active consumer. Only call
+    /// behind [`MinSimulation::obs_on`].
     fn emit(&mut self, cycle: u64, pkt: usize, node: u32, kind: TelEvent) {
         let ev = PacketEvent {
             cycle,
@@ -144,10 +163,35 @@ impl MinSimulation {
             node,
             kind,
         };
-        self.tele
-            .as_mut()
-            .expect("emit() called with telemetry off")
-            .record(ev);
+        if self.tele_on() {
+            self.tele
+                .as_mut()
+                .expect("tele_on implies telemetry")
+                .record(ev);
+        }
+        self.checker.record_tail(ev);
+    }
+
+    /// Records (and, per config, panics on) one invariant violation.
+    fn report_violation(
+        &mut self,
+        cycle: u64,
+        pkt: u64,
+        node: u32,
+        invariant: &'static str,
+        detail: String,
+    ) {
+        let v = Violation {
+            cycle,
+            pkt,
+            node,
+            invariant,
+            detail,
+        };
+        let msg = format!("invariant violation: {v:?}");
+        if self.checker.report(v) {
+            panic!("{msg}");
+        }
     }
 
     /// Runs to quiescence.
@@ -163,6 +207,9 @@ impl MinSimulation {
                 "stage"
             };
             self.handle(ev);
+            if self.checker.enabled() {
+                self.post_event_checks(ev.time.cycles());
+            }
             if let Some(t0) = t0 {
                 let elapsed = t0.elapsed();
                 self.tele
@@ -172,6 +219,7 @@ impl MinSimulation {
             }
         }
         self.stats.end_time = self.stats.end_time.max(end);
+        debug_assert_eq!(self.live, 0, "run ended with packets unaccounted");
         debug_assert!(self.stats.accounted(0), "packet conservation violated");
         if let Some(t) = self.tele.as_mut() {
             t.finish();
@@ -179,12 +227,46 @@ impl MinSimulation {
         self.stats
     }
 
+    /// Checks that run after every event while the checker is enabled:
+    /// packet conservation, and the synthetic self-test violation.
+    fn post_event_checks(&mut self, cycle: u64) {
+        if let Some(at) = self.checker.selftest_pending() {
+            if cycle >= at {
+                self.checker.mark_selftest_fired();
+                self.report_violation(
+                    cycle,
+                    0,
+                    u32::MAX,
+                    "selftest",
+                    format!("synthetic self-test violation requested at cycle {at}"),
+                );
+            }
+        }
+        if !self.stats.accounted(self.live) {
+            let t = self.stats.total();
+            self.report_violation(
+                cycle,
+                0,
+                u32::MAX,
+                "conservation",
+                format!(
+                    "injected {} != delivered {} + dropped {} + in_flight {}",
+                    t.injected,
+                    t.delivered,
+                    t.dropped(),
+                    self.live
+                ),
+            );
+        }
+    }
+
     fn handle(&mut self, ev: Ev) {
         let n = self.fly.stages();
         let (packet, injected_at) = self.pkts[ev.pkt];
         if ev.stage == 0 && ev.time == injected_at {
             self.stats.class_mut(packet.class).injected += 1;
-            if self.tele_on() {
+            self.live += 1;
+            if self.obs_on() {
                 self.emit(ev.time.cycles(), ev.pkt, packet.true_source.0, TelEvent::Inject);
             }
             // Injection edge: the fabric clears the marking field.
@@ -192,7 +274,7 @@ impl MinSimulation {
             self.scheme
                 .on_inject(&mut self.pkts[ev.pkt].0.header.identification);
             let after = self.pkts[ev.pkt].0.header.identification.raw();
-            if after != before && self.tele_on() {
+            if after != before && self.obs_on() {
                 self.emit(
                     ev.time.cycles(),
                     ev.pkt,
@@ -209,7 +291,20 @@ impl MinSimulation {
             c.delivered += 1;
             c.latency.record(latency);
             c.total_hops += u64::from(n);
-            if self.tele_on() {
+            self.live -= 1;
+            if self.checker.enabled() && self.crossed[ev.pkt] != n {
+                self.report_violation(
+                    ev.time.cycles(),
+                    packet.id.0,
+                    packet.dest_node.0,
+                    "stage_coverage",
+                    format!(
+                        "delivered after crossing {} stages, fabric has {n}",
+                        self.crossed[ev.pkt]
+                    ),
+                );
+            }
+            if self.obs_on() {
                 self.emit(
                     ev.time.cycles(),
                     ev.pkt,
@@ -237,7 +332,8 @@ impl MinSimulation {
         let backlog = busy.saturating_sub(ev.time.cycles()) / self.service_cycles.max(1);
         if backlog >= u64::from(self.buffer_packets) {
             self.stats.class_mut(packet.class).dropped_buffer += 1;
-            if self.tele_on() {
+            self.live -= 1;
+            if self.obs_on() {
                 self.emit(
                     ev.time.cycles(),
                     ev.pkt,
@@ -258,7 +354,8 @@ impl MinSimulation {
         let after = self.pkts[ev.pkt].0.header.identification.raw();
         let depart = busy.max(ev.time.cycles()) + self.service_cycles;
         self.ports.insert(key, depart);
-        if self.tele_on() {
+        self.crossed[ev.pkt] += 1;
+        if self.obs_on() {
             if after != before {
                 self.emit(ev.time.cycles(), ev.pkt, here, TelEvent::Mark { mf: after });
             }
@@ -283,6 +380,18 @@ impl MinSimulation {
     #[must_use]
     pub fn stats(&self) -> &SimStats {
         &self.stats
+    }
+
+    /// Invariant violations recorded so far (empty in a correct run).
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        self.checker.violations()
+    }
+
+    /// The checker's trailing lifecycle events, oldest first.
+    #[must_use]
+    pub fn trace_tail(&self) -> Vec<ddpm_telemetry::PacketEvent> {
+        self.checker.tail_events()
     }
 }
 
@@ -455,5 +564,56 @@ mod tests {
             "the victim identifies the true source from the traced MF"
         );
         assert_eq!(sim.telemetry().unwrap().count_of("forward"), 4);
+    }
+
+    #[test]
+    fn checked_run_records_no_violations() {
+        // The butterfly mirror of the direct simulator's invariant
+        // checking: conservation after every event and stage coverage
+        // at delivery, clean across a congested run with drops.
+        let fly = Butterfly::new(2, 4);
+        let scheme = PortMarking::new(fly).unwrap();
+        let map = map_for(&fly);
+        let cfg = SimConfig::builder()
+            .invariants(ddpm_sim::InvariantConfig::strict())
+            .buffer_packets(4)
+            .build();
+        let mut sim = MinSimulation::with_config(fly, scheme, &cfg);
+        for id in 0..100u64 {
+            let s = NodeId((id % 15) as u32);
+            sim.schedule(
+                SimTime::ZERO,
+                mk_packet(&map, id, s, NodeId(15), TrafficClass::Attack),
+            );
+        }
+        let stats = sim.run();
+        assert!(stats.attack.dropped_buffer > 0, "drops must be exercised");
+        assert!(sim.violations().is_empty());
+    }
+
+    #[test]
+    fn selftest_violation_is_recorded_with_a_trace_tail() {
+        // The chaos self-test drives the violation machinery end to end
+        // without a real bug — same contract as the direct simulator.
+        let fly = Butterfly::new(2, 4);
+        let scheme = PortMarking::new(fly).unwrap();
+        let map = map_for(&fly);
+        let cfg = SimConfig::builder()
+            .invariants(ddpm_sim::InvariantConfig {
+                selftest_at: Some(5),
+                ..ddpm_sim::InvariantConfig::recording()
+            })
+            .build();
+        let mut sim = MinSimulation::with_config(fly, scheme, &cfg);
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 1, NodeId(0), NodeId(15), TrafficClass::Benign),
+        );
+        sim.run();
+        let vs = sim.violations();
+        assert_eq!(vs.len(), 1, "self-test fires exactly once");
+        assert_eq!(vs[0].invariant, "selftest");
+        assert!(vs[0].cycle >= 5);
+        assert!(!sim.trace_tail().is_empty(), "tail captured for the bundle");
     }
 }

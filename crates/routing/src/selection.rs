@@ -8,7 +8,7 @@
 //! [`SelectionPolicy::Random`] — the instability that breaks PPM/DPM
 //! (§4.2–4.3) while DDPM shrugs it off.
 
-use crate::route::{RouteCtx, RouteError, Router};
+use crate::route::{Adaptivity, RouteCtx, RouteError, Router};
 use crate::state::RouteState;
 use ddpm_topology::{Coord, FaultSet, Topology};
 use rand::Rng;
@@ -48,6 +48,34 @@ impl SelectionPolicy {
             }
         }
     }
+
+    /// Like [`SelectionPolicy::pick`], but aware of the routing
+    /// algorithm: on turn-model (partially adaptive) routers, `Random`
+    /// is upgraded to productive-first with random tiebreak.
+    ///
+    /// The turn rules make unproductive wandering unrecoverable — under
+    /// west-first, a packet that drifts away from a westward destination
+    /// may never turn back west, so uniform selection over *permitted*
+    /// ports strands packets even on a healthy mesh (the E-RESIL
+    /// livelock). Preferring permitted productive ports keeps the
+    /// route-instability the experiments need while restoring the
+    /// turn model's delivery guarantee. Deterministic and fully
+    /// adaptive routers are unaffected: the former offer one candidate,
+    /// the latter tolerate misroutes by construction (misroute budget).
+    pub fn pick_for<R: Rng + ?Sized>(
+        self,
+        router: &Router,
+        candidates: &[crate::route::Candidate],
+        rng: &mut R,
+    ) -> Option<usize> {
+        let effective = match (self, router.adaptivity()) {
+            (SelectionPolicy::Random, Adaptivity::PartiallyAdaptive) => {
+                SelectionPolicy::ProductiveFirstRandom
+            }
+            _ => self,
+        };
+        effective.pick(candidates, rng)
+    }
 }
 
 /// Traces the full path a packet takes from `src` to `dst`, without the
@@ -80,7 +108,7 @@ pub fn trace_path<R: Rng + ?Sized>(
             return Err(RouteError::HopBudgetExhausted { at: cur });
         }
         let candidates = router.candidates(&ctx, &cur, dst, &state);
-        let Some(i) = policy.pick(&candidates, rng) else {
+        let Some(i) = policy.pick_for(&router, &candidates, rng) else {
             return Err(RouteError::Blocked { at: cur });
         };
         let chosen = candidates[i];
@@ -158,6 +186,60 @@ mod tests {
         )
         .unwrap();
         assert_eq!(path, vec![c]);
+    }
+
+    #[test]
+    fn pick_for_upgrades_random_on_turn_model_routers() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cands = vec![cand(true), cand(false), cand(false)];
+        // West-first is partially adaptive: Random must always take the
+        // productive port when one is permitted.
+        for _ in 0..100 {
+            let i = SelectionPolicy::Random
+                .pick_for(&Router::WestFirst, &cands, &mut rng)
+                .unwrap();
+            assert_eq!(i, 0, "productive-first on turn-model routers");
+        }
+        // Fully adaptive routers keep genuine uniform selection.
+        let picks: std::collections::HashSet<usize> = (0..100)
+            .map(|_| {
+                SelectionPolicy::Random
+                    .pick_for(&Router::MinimalAdaptive, &cands, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        assert!(picks.len() > 1, "uniform selection untouched elsewhere");
+    }
+
+    #[test]
+    fn west_first_random_delivers_on_a_healthy_mesh() {
+        // Regression for the E-RESIL livelock: before pick_for, pure
+        // Random selection under west-first stranded ~70% of packets on
+        // a fault-free mesh. Every trace must now terminate delivered.
+        let topo = Topology::mesh2d(8);
+        let faults = FaultSet::none();
+        let mut rng = SmallRng::seed_from_u64(7);
+        for s in 0..64u32 {
+            for d in [0u32, 7, 56, 63, 27] {
+                if s == d {
+                    continue;
+                }
+                let src = topo.coord(ddpm_topology::NodeId(s));
+                let dst = topo.coord(ddpm_topology::NodeId(d));
+                let path = trace_path(
+                    &topo,
+                    &faults,
+                    Router::WestFirst,
+                    SelectionPolicy::Random,
+                    &mut rng,
+                    &src,
+                    &dst,
+                    256,
+                )
+                .unwrap_or_else(|e| panic!("{src} -> {dst} failed: {e}"));
+                assert_eq!(path.last(), Some(&dst));
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Simulator configuration.
 
+use crate::invariant::InvariantConfig;
+use crate::watchdog::WatchdogConfig;
 use ddpm_telemetry::TelemetryConfig;
 
 /// A bounded exponential-backoff retry policy, used for graceful
@@ -104,6 +106,13 @@ pub struct SimConfig {
     /// What the run records and where it goes (events, profiling,
     /// sinks). Fully off by default — the zero-cost path.
     pub telemetry: TelemetryConfig,
+    /// Liveness watchdog (deadlock/livelock/starvation detection with
+    /// escape-route recovery). `None` (default) disables it.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Runtime invariant checking (conservation, mark-in-transit,
+    /// fault coherence, path consistency). On by default in debug
+    /// builds, opt-in for release.
+    pub invariants: InvariantConfig,
     /// RNG seed. Identical configs + identical injections ⇒ identical
     /// runs.
     pub seed: u64,
@@ -121,6 +130,8 @@ impl Default for SimConfig {
             inject_retry: RetryPolicy::OFF,
             reroute_retry: RetryPolicy::OFF,
             telemetry: TelemetryConfig::default(),
+            watchdog: None,
+            invariants: InvariantConfig::default(),
             seed: 0xDD9A,
         }
     }
@@ -240,6 +251,20 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Installs the liveness watchdog.
+    #[must_use]
+    pub fn watchdog(mut self, watchdog: WatchdogConfig) -> Self {
+        self.cfg.watchdog = Some(watchdog);
+        self
+    }
+
+    /// Sets the invariant-checker configuration.
+    #[must_use]
+    pub fn invariants(mut self, invariants: InvariantConfig) -> Self {
+        self.cfg.invariants = invariants;
+        self
+    }
+
     /// Sets the RNG seed.
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
@@ -269,6 +294,8 @@ mod tests {
             .bit_error_rate(0.25)
             .fault_tolerance(RetryPolicy::capped(4, 2, 100))
             .telemetry(TelemetryConfig::profiled())
+            .watchdog(WatchdogConfig::default())
+            .invariants(InvariantConfig::strict())
             .seed(42)
             .build();
         assert_eq!(cfg.link_latency, 1);
@@ -280,6 +307,8 @@ mod tests {
         assert_eq!(cfg.inject_retry.retries, 4);
         assert_eq!(cfg.reroute_retry, cfg.inject_retry);
         assert!(cfg.telemetry.profile);
+        assert_eq!(cfg.watchdog, Some(WatchdogConfig::default()));
+        assert!(cfg.invariants.enabled && cfg.invariants.panic_on_violation);
         assert_eq!(cfg.seed, 42);
     }
 
@@ -291,6 +320,12 @@ mod tests {
         assert_eq!(built.seed, def.seed);
         assert_eq!(built.reroute_retry, RetryPolicy::OFF);
         assert!(!built.telemetry.enabled());
+        assert_eq!(built.watchdog, None, "watchdog is opt-in");
+        assert_eq!(
+            built.invariants.enabled,
+            cfg!(debug_assertions),
+            "checker defaults on in debug, off in release"
+        );
     }
 
     #[test]

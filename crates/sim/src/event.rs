@@ -37,6 +37,10 @@ pub enum EventKind {
         /// The change.
         event: FaultEvent,
     },
+    /// A liveness-watchdog sweep (see [`crate::WatchdogConfig`]): checks
+    /// network progress and per-packet ages, then reschedules itself
+    /// while packets are live.
+    Watchdog,
 }
 
 /// A scheduled event. Ordered by time, ties broken by insertion sequence
@@ -146,7 +150,9 @@ mod tests {
                 EventKind::Inject { pkt }
                 | EventKind::Arrive { pkt, .. }
                 | EventKind::Reroute { pkt, .. } => pkt,
-                EventKind::Fault { .. } => unreachable!("no faults queued"),
+                EventKind::Fault { .. } | EventKind::Watchdog => {
+                    unreachable!("no faults or watchdog ticks queued")
+                }
             })
             .collect();
         assert_eq!(pkts, vec![10, 20, 30]);

@@ -30,14 +30,18 @@
 pub mod config;
 pub mod event;
 pub mod filter;
+pub mod invariant;
 pub mod mark;
 pub mod network;
 pub mod stats;
 pub mod time;
+pub mod watchdog;
 
 pub use config::{RetryPolicy, SimConfig, SimConfigBuilder};
 pub use filter::{Filter, NoFilter};
+pub use invariant::{InvariantChecker, InvariantConfig, Violation};
 pub use mark::{MarkEnv, Marker, NoMarking};
 pub use network::{Delivered, DropReason, Simulation};
 pub use stats::{ClassCounters, ClassStats, FaultStats, LatencyStats, SimStats};
 pub use time::SimTime;
+pub use watchdog::{WatchdogConfig, WatchdogStats};

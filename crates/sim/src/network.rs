@@ -1,8 +1,9 @@
 //! The simulation engine.
 
 use crate::config::SimConfig;
-use crate::event::{EventKind, EventQueue};
+use crate::event::{Event, EventKind, EventQueue};
 use crate::filter::{Filter, NoFilter};
+use crate::invariant::{InvariantChecker, Violation};
 use crate::mark::{MarkEnv, Marker};
 use crate::stats::SimStats;
 use crate::time::SimTime;
@@ -12,7 +13,7 @@ use ddpm_telemetry::{EventKind as TelEvent, PacketEvent, RetryKind, Telemetry};
 use ddpm_topology::{Coord, Direction, FaultEvent, FaultSchedule, FaultSet, NodeId, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Why a packet was discarded.
@@ -43,6 +44,15 @@ pub enum DropReason {
     /// The packet's source switch was down at injection time and the
     /// injection retry budget ran out.
     SourceDown,
+    /// The liveness watchdog escalated: the packet exceeded
+    /// [`crate::WatchdogConfig::max_age`], was rerouted onto the escape
+    /// router, and still failed to arrive within another `max_age`.
+    LivelockEscaped,
+    /// The liveness watchdog declared a network-wide deadlock (no
+    /// delivery or forward for [`crate::WatchdogConfig::stall_cycles`])
+    /// and dropped every live packet — a typed outcome where a lesser
+    /// simulator would hang.
+    DeadlockVictim,
 }
 
 impl DropReason {
@@ -60,6 +70,8 @@ impl DropReason {
             Self::LinkDown => "link_down",
             Self::RerouteExhausted => "reroute_exhausted",
             Self::SourceDown => "source_down",
+            Self::LivelockEscaped => "livelock_escaped",
+            Self::DeadlockVictim => "deadlock_victim",
         }
     }
 }
@@ -100,6 +112,30 @@ struct InFlight {
     /// True if injected while at least one fault was active (feeds the
     /// fault-window delivery ratio).
     under_fault: bool,
+    /// False once delivered or dropped. Guards handlers against stale
+    /// events (defence in depth next to eager queue extraction).
+    alive: bool,
+    /// True once the injection was counted (`injected` incremented) —
+    /// only launched packets participate in conservation and watchdog
+    /// accounting.
+    launched: bool,
+    /// True once the watchdog rerouted the packet onto the escape
+    /// router.
+    escaped: bool,
+    /// Cycle of the escape (starts the second `max_age` grace period).
+    escaped_at: u64,
+    /// Cycle of the packet's most recent hop (injection counts as hop
+    /// zero). Recent hops with an over-age packet mean livelock; a long
+    /// hop drought means starvation — and, after an escape, a drought
+    /// is what escalates to the typed drop (a packet still hopping
+    /// under the escape router is converging and is left alone).
+    last_hop_at: u64,
+    /// Last switch that handled the packet — where watchdog actions and
+    /// drops are attributed.
+    last_node: u32,
+    /// Marking-field value when the packet was committed to the wire;
+    /// the checker asserts links never rewrite it.
+    wire_mf: u16,
 }
 
 /// A discrete-event simulation run over one network.
@@ -143,6 +179,17 @@ pub struct Simulation<'a> {
     /// Live telemetry, `None` when [`SimConfig::telemetry`] is off — the
     /// zero-cost path: every hook below is one `Option` check.
     tele: Option<Box<Telemetry>>,
+    /// Packets launched (injection counted) but not yet delivered or
+    /// dropped — the `in_flight` term of the conservation invariant.
+    live_count: u64,
+    /// Cycle of the last delivery or forward: the network-level
+    /// progress signal the watchdog's deadlock detector watches.
+    last_progress: u64,
+    /// True while a watchdog sweep is scheduled. The watchdog arms at
+    /// the first injection and disarms when nothing is live.
+    watchdog_armed: bool,
+    /// Runtime invariant checker (violation log + trace tail).
+    checker: InvariantChecker,
 }
 
 static NO_FILTER: NoFilter = NoFilter;
@@ -174,6 +221,7 @@ impl<'a> Simulation<'a> {
     ) -> Self {
         let degraded_since = (!faults.is_empty()).then_some(0);
         let tele = Telemetry::from_config(&cfg.telemetry).map(Box::new);
+        let checker = InvariantChecker::new(cfg.invariants);
         Self {
             topo,
             live: faults.clone(),
@@ -193,6 +241,10 @@ impl<'a> Simulation<'a> {
             degraded_since,
             pending_recovery: None,
             tele,
+            live_count: 0,
+            last_progress: 0,
+            watchdog_armed: false,
+            checker,
         }
     }
 
@@ -216,6 +268,7 @@ impl<'a> Simulation<'a> {
     /// handle (useful only for debugging).
     pub fn schedule(&mut self, time: SimTime, packet: Packet) -> usize {
         let idx = self.pkts.len();
+        let wire_mf = packet.header.identification.raw();
         self.pkts.push(InFlight {
             packet,
             state: RouteState::with_budget(self.router.misroute_budget()),
@@ -224,6 +277,13 @@ impl<'a> Simulation<'a> {
             inject_attempts: 0,
             reroutes: 0,
             under_fault: false,
+            alive: true,
+            launched: false,
+            escaped: false,
+            escaped_at: 0,
+            last_hop_at: time.cycles(),
+            last_node: u32::MAX,
+            wire_mf,
         });
         self.queue.push(time, EventKind::Inject { pkt: idx });
         idx
@@ -253,7 +313,14 @@ impl<'a> Simulation<'a> {
                     self.handle_fault(event);
                     "fault"
                 }
+                EventKind::Watchdog => {
+                    self.handle_watchdog();
+                    "watchdog"
+                }
             };
+            if self.checker.enabled() {
+                self.post_event_checks(&ev);
+            }
             if let Some(t0) = t0 {
                 let elapsed = t0.elapsed();
                 self.tele
@@ -266,6 +333,7 @@ impl<'a> Simulation<'a> {
             self.stats.faults.degraded_cycles += self.now.cycles() - t0;
         }
         self.stats.end_time = self.now.cycles();
+        debug_assert_eq!(self.live_count, 0, "run ended with live packets");
         debug_assert!(self.stats.accounted(0), "packet conservation violated");
         if let Some(t) = self.tele.as_mut() {
             t.finish();
@@ -305,19 +373,47 @@ impl<'a> Simulation<'a> {
         self.tele.as_deref()
     }
 
+    /// Invariant violations detected this run (empty when correct, or
+    /// when the checker is disabled).
+    #[must_use]
+    pub fn violations(&self) -> &[Violation] {
+        self.checker.violations()
+    }
+
+    /// The trailing window of lifecycle events kept by the invariant
+    /// checker for repro bundles, oldest first.
+    #[must_use]
+    pub fn trace_tail(&self) -> Vec<PacketEvent> {
+        self.checker.tail_events()
+    }
+
+    /// Packets launched but not yet delivered or dropped.
+    #[must_use]
+    pub fn live_count(&self) -> u64 {
+        self.live_count
+    }
+
     fn class_of(&self, pkt: usize) -> TrafficClass {
         self.pkts[pkt].packet.class
     }
 
-    /// Are lifecycle events being recorded? The single check guarding
-    /// every emission site.
+    /// Are lifecycle events being recorded by telemetry?
     #[inline]
     fn tele_on(&self) -> bool {
         self.tele.as_ref().is_some_and(|t| t.events_on())
     }
 
+    /// Is anyone observing lifecycle events — telemetry, the invariant
+    /// checker's trace tail, or both? The single check guarding every
+    /// emission site.
+    #[inline]
+    fn obs_on(&self) -> bool {
+        self.tele_on() || self.checker.tail_on()
+    }
+
     /// Records one lifecycle event for in-flight packet `pkt` at switch
-    /// `node`. Only call behind [`Simulation::tele_on`].
+    /// `node`, feeding both telemetry (when events are on) and the
+    /// checker's trace tail. Only call behind [`Simulation::obs_on`].
     fn emit(&mut self, pkt: usize, node: u32, kind: TelEvent) {
         let ev = PacketEvent {
             cycle: self.now.cycles(),
@@ -325,13 +421,90 @@ impl<'a> Simulation<'a> {
             node,
             kind,
         };
-        self.tele
-            .as_mut()
-            .expect("emit() called with telemetry off")
-            .record(ev);
+        if let Some(t) = self.tele.as_mut() {
+            if t.events_on() {
+                t.record(ev);
+            }
+        }
+        self.checker.record_tail(ev);
+    }
+
+    /// Records an invariant violation: telemetry event, trace tail,
+    /// violation log — then panics if the config says so.
+    fn report_violation(&mut self, pkt: u64, node: u32, invariant: &'static str, detail: String) {
+        let cycle = self.now.cycles();
+        let ev = PacketEvent {
+            cycle,
+            pkt,
+            node,
+            kind: TelEvent::Violation { invariant },
+        };
+        if let Some(t) = self.tele.as_mut() {
+            if t.events_on() {
+                t.record(ev);
+            }
+        }
+        self.checker.record_tail(ev);
+        let panic_now = self.checker.report(Violation {
+            cycle,
+            pkt,
+            node,
+            invariant,
+            detail,
+        });
+        if panic_now {
+            let v = self.checker.violations().last().expect("just pushed");
+            panic!(
+                "invariant violation `{invariant}` at cycle {cycle}, pkt {pkt}, node {node}: {}",
+                v.detail
+            );
+        }
+    }
+
+    /// Post-event invariant checks: conservation after every handled
+    /// event, plus the synthetic self-test injection when configured.
+    fn post_event_checks(&mut self, ev: &Event) {
+        let (pkt_id, node) = match ev.kind {
+            EventKind::Inject { pkt }
+            | EventKind::Arrive { pkt, .. }
+            | EventKind::Reroute { pkt, .. } => {
+                (self.pkts[pkt].packet.id.0, self.pkts[pkt].last_node)
+            }
+            EventKind::Fault { .. } | EventKind::Watchdog => (0, u32::MAX),
+        };
+        if !self.stats.accounted(self.live_count) {
+            let t = self.stats.total();
+            self.report_violation(
+                pkt_id,
+                node,
+                "conservation",
+                format!(
+                    "injected {} != delivered {} + dropped {} + in_flight {}",
+                    t.injected,
+                    t.delivered,
+                    t.dropped(),
+                    self.live_count
+                ),
+            );
+        }
+        if let Some(at) = self.checker.selftest_pending() {
+            if self.now.cycles() >= at {
+                self.checker.mark_selftest_fired();
+                self.report_violation(
+                    pkt_id,
+                    node,
+                    "selftest",
+                    format!("synthetic violation scheduled at cycle {at} (InvariantConfig::selftest_at)"),
+                );
+            }
+        }
     }
 
     fn drop_packet(&mut self, pkt: usize, node: u32, reason: DropReason) {
+        debug_assert!(self.pkts[pkt].alive, "double drop of packet {pkt}");
+        debug_assert!(self.pkts[pkt].launched, "drop of an uninjected packet");
+        self.pkts[pkt].alive = false;
+        self.live_count -= 1;
         let class = self.class_of(pkt);
         let c = self.stats.class_mut(class);
         match reason {
@@ -345,9 +518,11 @@ impl<'a> Simulation<'a> {
             DropReason::LinkDown => c.dropped_link_down += 1,
             DropReason::RerouteExhausted => c.dropped_reroute += 1,
             DropReason::SourceDown => c.dropped_source_down += 1,
+            DropReason::LivelockEscaped => c.dropped_livelock += 1,
+            DropReason::DeadlockVictim => c.dropped_deadlock += 1,
         }
         self.drops.push((self.pkts[pkt].packet.id, reason));
-        if self.tele_on() {
+        if self.obs_on() {
             self.emit(
                 pkt,
                 node,
@@ -389,7 +564,9 @@ impl<'a> Simulation<'a> {
                 let lost = self.queue.extract(|k| match k {
                     EventKind::Arrive { node: n, from, .. } => *n == node.0 || *from == node.0,
                     EventKind::Reroute { node: n, .. } => *n == node.0,
-                    EventKind::Inject { .. } | EventKind::Fault { .. } => false,
+                    EventKind::Inject { .. } | EventKind::Fault { .. } | EventKind::Watchdog => {
+                        false
+                    }
                 });
                 for e in lost {
                     if let EventKind::Arrive { pkt, node, .. } | EventKind::Reroute { pkt, node } =
@@ -412,14 +589,33 @@ impl<'a> Simulation<'a> {
     }
 
     fn handle_inject(&mut self, pkt: usize) {
+        if !self.pkts[pkt].alive {
+            return;
+        }
         let src_id = self.pkts[pkt].packet.true_source;
         let src = self.topo.coord(src_id);
+        self.pkts[pkt].last_node = src_id.0;
         if self.pkts[pkt].inject_attempts == 0 {
+            self.pkts[pkt].launched = true;
+            self.live_count += 1;
             self.stats.class_mut(self.class_of(pkt)).injected += 1;
             let under = !self.live.is_empty();
             self.pkts[pkt].under_fault = under;
             if under {
                 self.stats.faults.window_injected += 1;
+            }
+        }
+        // Lazy watchdog arming: the first injection of a quiet period
+        // schedules the sweep cadence; `last_progress` starts *now* so a
+        // late first injection is not misread as a historic stall.
+        if let Some(wd) = self.cfg.watchdog {
+            if !self.watchdog_armed {
+                self.watchdog_armed = true;
+                self.last_progress = self.now.cycles();
+                self.queue.push(
+                    SimTime(self.now.cycles() + wd.check_period.max(1)),
+                    EventKind::Watchdog,
+                );
             }
         }
         // Source-side graceful degradation: a downed local switch makes
@@ -431,7 +627,7 @@ impl<'a> Simulation<'a> {
                 self.pkts[pkt].inject_attempts = attempt + 1;
                 let at = self.now.cycles() + self.cfg.inject_retry.delay(attempt);
                 self.queue.push(SimTime(at), EventKind::Inject { pkt });
-                if self.tele_on() {
+                if self.obs_on() {
                     self.emit(
                         pkt,
                         src_id.0,
@@ -446,7 +642,7 @@ impl<'a> Simulation<'a> {
             }
             return;
         }
-        if self.tele_on() {
+        if self.obs_on() {
             self.emit(pkt, src_id.0, TelEvent::Inject);
         }
         if self.cfg.record_paths {
@@ -459,7 +655,7 @@ impl<'a> Simulation<'a> {
         self.marker
             .on_inject(&mut self.pkts[pkt].packet, &src, &env);
         let mf_after = self.pkts[pkt].packet.header.identification.raw();
-        if mf_after != mf_before && self.tele_on() {
+        if mf_after != mf_before && self.obs_on() {
             self.emit(pkt, src_id.0, TelEvent::Mark { mf: mf_after });
         }
         if self.filter.block_at_injection(&self.pkts[pkt].packet, &src) {
@@ -470,6 +666,25 @@ impl<'a> Simulation<'a> {
     }
 
     fn handle_arrive(&mut self, pkt: usize, node: u32) {
+        if !self.pkts[pkt].alive {
+            return;
+        }
+        // Mark-in-transit invariant: links never rewrite the marking
+        // field — it must arrive exactly as the previous switch sent it
+        // (modelled bit errors happen below, at arrival processing).
+        if self.checker.enabled() {
+            let got = self.pkts[pkt].packet.header.identification.raw();
+            let sent = self.pkts[pkt].wire_mf;
+            if got != sent {
+                self.report_violation(
+                    self.pkts[pkt].packet.id.0,
+                    node,
+                    "mark_in_transit",
+                    format!("marking field changed on the wire: sent {sent:#06x}, arrived {got:#06x}"),
+                );
+            }
+        }
+        self.pkts[pkt].last_node = node;
         // Link-level bit errors: flip one random header bit in transit;
         // the receiving switch checksums and discards the damaged packet.
         if self.cfg.bit_error_rate > 0.0 && self.rng.gen_bool(self.cfg.bit_error_rate) {
@@ -501,7 +716,7 @@ impl<'a> Simulation<'a> {
             self.marker
                 .on_deliver(&mut self.pkts[pkt].packet, &cur, &env, &mut self.rng);
             let mf_after = self.pkts[pkt].packet.header.identification.raw();
-            if mf_after != mf_before && self.tele_on() {
+            if mf_after != mf_before && self.obs_on() {
                 self.emit(pkt, node, TelEvent::Mark { mf: mf_after });
             }
             if self.filter.block_at_delivery(&self.pkts[pkt].packet, &cur) {
@@ -529,7 +744,22 @@ impl<'a> Simulation<'a> {
                 hops,
                 path: self.cfg.record_paths.then(|| inflight.path.clone()),
             });
-            if self.tele_on() {
+            self.pkts[pkt].alive = false;
+            self.live_count -= 1;
+            self.last_progress = self.now.cycles();
+            if self.checker.enabled() && self.cfg.record_paths {
+                let want = self.pkts[pkt].state.hops as usize + 1;
+                let got = self.pkts[pkt].path.len();
+                if got != want {
+                    self.report_violation(
+                        self.pkts[pkt].packet.id.0,
+                        node,
+                        "path_consistency",
+                        format!("recorded path has {got} nodes, expected hops+1 = {want}"),
+                    );
+                }
+            }
+            if self.obs_on() {
                 self.emit(
                     pkt,
                     node,
@@ -557,14 +787,26 @@ impl<'a> Simulation<'a> {
             return;
         }
         let dst = self.topo.coord(self.pkts[pkt].packet.dest_node);
+        // Escaped packets travel the watchdog's recovery router under
+        // deterministic selection; everyone else uses the configured
+        // pair. `pick_for` upgrades `Random` to productive-first on
+        // turn-model routers (the E-RESIL livelock fix).
+        let (router, policy) = if self.pkts[pkt].escaped {
+            let esc = self
+                .cfg
+                .watchdog
+                .and_then(|w| w.escape)
+                .unwrap_or(self.router);
+            (esc, SelectionPolicy::First)
+        } else {
+            (self.router, self.policy)
+        };
         // Per-hop re-query against the LIVE fault state: links and
         // switches that died since the previous hop are excluded, ones
         // that healed are available again.
         let ctx = RouteCtx::new(self.topo, &self.live);
-        let candidates = self
-            .router
-            .candidates(&ctx, cur, &dst, &self.pkts[pkt].state);
-        let Some(i) = self.policy.pick(&candidates, &mut self.rng) else {
+        let candidates = router.candidates(&ctx, cur, &dst, &self.pkts[pkt].state);
+        let Some(i) = policy.pick_for(&router, &candidates, &mut self.rng) else {
             // Stranded. With a reroute budget the switch parks the
             // packet and retries after a backoff — transient faults may
             // heal. Without one (the default), this is a Blocked drop,
@@ -574,7 +816,7 @@ impl<'a> Simulation<'a> {
                 self.pkts[pkt].reroutes = tried + 1;
                 let at = self.now.cycles() + self.cfg.reroute_retry.delay(tried);
                 self.queue.push(SimTime(at), EventKind::Reroute { pkt, node });
-                if self.tele_on() {
+                if self.obs_on() {
                     self.emit(
                         pkt,
                         node,
@@ -592,6 +834,17 @@ impl<'a> Simulation<'a> {
             return;
         };
         let chosen = candidates[i];
+
+        // Fault-coherence invariant: routing already filtered faulty
+        // links, so a chosen hop onto one is a simulator bug.
+        if self.checker.enabled() && self.live.is_faulty(self.topo, cur, &chosen.next) {
+            self.report_violation(
+                self.pkts[pkt].packet.id.0,
+                node,
+                "fault_coherence",
+                format!("routing committed {cur} -> {} over a faulty link", chosen.next),
+            );
+        }
 
         // Output-port contention: the port serialises one packet per
         // `service_cycles`; backlog beyond `buffer_packets` is dropped.
@@ -618,12 +871,15 @@ impl<'a> Simulation<'a> {
         self.pkts[pkt]
             .state
             .record_hop(chosen.productive, chosen.dir);
+        self.pkts[pkt].wire_mf = mf_after;
+        self.pkts[pkt].last_hop_at = self.now.cycles();
+        self.last_progress = self.now.cycles();
 
         let depart = busy_until.max(self.now.cycles()) + self.cfg.service_cycles;
         self.ports.insert(key, depart);
         let arrive = depart + self.cfg.link_latency;
         let next_id = self.topo.index(&chosen.next).0;
-        if self.tele_on() {
+        if self.obs_on() {
             if mf_after != mf_before {
                 self.emit(pkt, node, TelEvent::Mark { mf: mf_after });
             }
@@ -642,6 +898,9 @@ impl<'a> Simulation<'a> {
     /// A parked packet's backoff expired: re-query routing against the
     /// live fault state.
     fn handle_reroute(&mut self, pkt: usize, node: u32) {
+        if !self.pkts[pkt].alive {
+            return;
+        }
         let node_id = NodeId(node);
         debug_assert!(
             !self.live.is_node_dead(node_id),
@@ -649,6 +908,154 @@ impl<'a> Simulation<'a> {
         );
         let cur = self.topo.coord(node_id);
         self.forward_from(pkt, &cur);
+    }
+
+    /// Removes every pending event belonging to a packet in `doomed`
+    /// (its single Inject/Arrive/Reroute) so nothing fires on the dead.
+    fn extract_events_of(&mut self, doomed: &HashSet<usize>) {
+        self.queue.extract(|k| match k {
+            EventKind::Inject { pkt }
+            | EventKind::Arrive { pkt, .. }
+            | EventKind::Reroute { pkt, .. } => doomed.contains(pkt),
+            EventKind::Fault { .. } | EventKind::Watchdog => false,
+        });
+    }
+
+    /// One watchdog sweep: deadlock detection at network level, then
+    /// per-packet age checks with two-stage escalation (escape route,
+    /// then typed drop). Reschedules itself while packets are live.
+    fn handle_watchdog(&mut self) {
+        let Some(wd) = self.cfg.watchdog else {
+            return;
+        };
+        if self.live_count == 0 {
+            // Quiet network: disarm. The next injection re-arms.
+            self.watchdog_armed = false;
+            return;
+        }
+        self.stats.watchdog.checks += 1;
+        let now = self.now.cycles();
+
+        // Network-level stall: nothing delivered or forwarded for
+        // `stall_cycles` while packets are live — every one of them is
+        // parked or retrying against each other. Declare deadlock and
+        // recover by claiming all victims with a typed drop.
+        if now.saturating_sub(self.last_progress) >= wd.stall_cycles {
+            self.stats.watchdog.deadlocks += 1;
+            let victims: Vec<usize> = self
+                .pkts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.alive && p.launched)
+                .map(|(i, _)| i)
+                .collect();
+            let doomed: HashSet<usize> = victims.iter().copied().collect();
+            self.extract_events_of(&doomed);
+            for pkt in victims {
+                let node = self.pkts[pkt].last_node;
+                if self.obs_on() {
+                    self.emit(
+                        pkt,
+                        node,
+                        TelEvent::Watchdog {
+                            action: "deadlock_detected",
+                        },
+                    );
+                }
+                self.drop_packet(pkt, node, DropReason::DeadlockVictim);
+            }
+            self.watchdog_armed = false;
+            return;
+        }
+
+        // Per-packet age checks. A first breach of `max_age` is
+        // classified (hopped recently = livelock, hop drought =
+        // starvation) and escalated to the escape router. After the
+        // escape, the typed drop fires only when the packet is past the
+        // grace period *and* has stopped hopping — one still moving
+        // under the (deterministic, deadlock-free) escape router is
+        // converging on its destination, and `max_hops` bounds it
+        // regardless.
+        let mut detected: Vec<(usize, bool)> = Vec::new();
+        let mut drop_now: Vec<usize> = Vec::new();
+        for (i, p) in self.pkts.iter_mut().enumerate() {
+            if !(p.alive && p.launched) {
+                continue;
+            }
+            let age = now.saturating_sub(p.injected_at.cycles());
+            self.stats.watchdog.max_age_seen = self.stats.watchdog.max_age_seen.max(age);
+            let drought = now.saturating_sub(p.last_hop_at) >= wd.max_age;
+            if !p.escaped {
+                if age >= wd.max_age {
+                    detected.push((i, !drought));
+                }
+            } else if now.saturating_sub(p.escaped_at) >= wd.max_age && drought {
+                drop_now.push(i);
+            }
+        }
+
+        for &(i, moving) in &detected {
+            if moving {
+                self.stats.watchdog.livelocks += 1;
+            } else {
+                self.stats.watchdog.starvations += 1;
+            }
+            if self.obs_on() {
+                let node = self.pkts[i].last_node;
+                let action = if moving {
+                    "livelock_detected"
+                } else {
+                    "starvation_detected"
+                };
+                self.emit(i, node, TelEvent::Watchdog { action });
+            }
+        }
+
+        if wd.escape.is_some() {
+            // Recovery stage: put detected packets on the escape router
+            // with a fresh reroute allowance, and wake any that are
+            // parked in a long retry backoff so the escape takes effect
+            // promptly.
+            let escaping: HashSet<usize> = detected.iter().map(|&(i, _)| i).collect();
+            let parked = self
+                .queue
+                .extract(|k| matches!(k, EventKind::Reroute { pkt, .. } if escaping.contains(pkt)));
+            for e in parked {
+                if let EventKind::Reroute { pkt, node } = e.kind {
+                    self.queue.push(SimTime(now + 1), EventKind::Reroute { pkt, node });
+                }
+            }
+            for (i, _) in detected {
+                self.stats.watchdog.escapes += 1;
+                self.pkts[i].escaped = true;
+                self.pkts[i].escaped_at = now;
+                self.pkts[i].reroutes = 0;
+                if self.obs_on() {
+                    let node = self.pkts[i].last_node;
+                    self.emit(i, node, TelEvent::Watchdog { action: "escape" });
+                }
+            }
+        } else {
+            // No recovery router configured: escalate straight to the
+            // typed drop.
+            drop_now.extend(detected.iter().map(|&(i, _)| i));
+        }
+
+        if !drop_now.is_empty() {
+            let doomed: HashSet<usize> = drop_now.iter().copied().collect();
+            self.extract_events_of(&doomed);
+            for pkt in drop_now {
+                let node = self.pkts[pkt].last_node;
+                self.drop_packet(pkt, node, DropReason::LivelockEscaped);
+            }
+        }
+
+        if self.live_count > 0 {
+            self.queue
+                .push(SimTime(now + wd.check_period.max(1)), EventKind::Watchdog);
+        } else {
+            self.watchdog_armed = false;
+        }
     }
 }
 
@@ -1214,6 +1621,236 @@ mod tests {
             &[NodeId(0), NodeId(1), NodeId(5)],
             "detoured via (0,1)"
         );
+    }
+
+    #[test]
+    fn watchdog_starvation_escape_rescues_a_blocked_packet() {
+        use crate::watchdog::WatchdogConfig;
+        // XY from (0,0) to (1,1) is blocked by a dead east link and a
+        // huge retry backoff parks the packet far beyond max_age. The
+        // watchdog classifies it starved (no hop progress) and escapes
+        // it onto minimal-adaptive, which detours via (0,1) — rescued,
+        // not dropped.
+        let topo = Topology::mesh2d(4);
+        let mut faults = FaultSet::none();
+        faults.add(&topo, &Coord::new(&[0, 0]), &Coord::new(&[1, 0]));
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let cfg = SimConfig::builder()
+            .fault_tolerance(RetryPolicy::capped(100, 512, 512))
+            .watchdog(WatchdogConfig {
+                check_period: 16,
+                max_age: 64,
+                stall_cycles: 1 << 40,
+                escape: Some(Router::MinimalAdaptive),
+            })
+            .build();
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            cfg,
+        );
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 1, NodeId(0), NodeId(5), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.benign.delivered, 1, "escape route rescued it");
+        assert_eq!(stats.benign.dropped(), 0);
+        assert_eq!(stats.watchdog.starvations, 1);
+        assert_eq!(stats.watchdog.escapes, 1);
+        assert_eq!(stats.watchdog.livelocks, 0);
+        assert!(stats.watchdog.checks >= 4);
+        assert!(sim.violations().is_empty());
+    }
+
+    #[test]
+    fn watchdog_deadlock_is_a_typed_drop_never_a_hang() {
+        use crate::watchdog::WatchdogConfig;
+        // Same blocked packet, but the stall detector is armed tighter
+        // than the retry backoff: the network makes no progress, so the
+        // watchdog declares deadlock and claims the packet with a typed
+        // reason instead of letting retries spin.
+        let topo = Topology::mesh2d(4);
+        let mut faults = FaultSet::none();
+        faults.add(&topo, &Coord::new(&[0, 0]), &Coord::new(&[1, 0]));
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let cfg = SimConfig::builder()
+            .fault_tolerance(RetryPolicy::capped(1000, 512, 512))
+            .watchdog(WatchdogConfig {
+                check_period: 16,
+                max_age: 1 << 40,
+                stall_cycles: 128,
+                escape: Some(Router::DimensionOrder),
+            })
+            .build();
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            cfg,
+        );
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 1, NodeId(0), NodeId(8), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.benign.dropped_deadlock, 1);
+        assert_eq!(stats.watchdog.deadlocks, 1);
+        assert_eq!(
+            sim.drops(),
+            &[(ddpm_net::PacketId(1), DropReason::DeadlockVictim)]
+        );
+        assert!(stats.accounted(0));
+        assert!(
+            stats.end_time < 1000,
+            "deadlock recovery must cut the retry spin short"
+        );
+    }
+
+    #[test]
+    fn watchdog_escalates_to_livelock_escaped_when_escape_also_fails() {
+        use crate::watchdog::WatchdogConfig;
+        // The escape router is dimension-order — blocked by the same
+        // dead link. One max_age after the escape, the second escalation
+        // stage fires: the typed LivelockEscaped drop.
+        let topo = Topology::mesh2d(4);
+        let mut faults = FaultSet::none();
+        faults.add(&topo, &Coord::new(&[0, 0]), &Coord::new(&[1, 0]));
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let cfg = SimConfig::builder()
+            .fault_tolerance(RetryPolicy::capped(1000, 32, 32))
+            .watchdog(WatchdogConfig {
+                check_period: 16,
+                max_age: 64,
+                stall_cycles: 1 << 40,
+                escape: Some(Router::DimensionOrder),
+            })
+            .build();
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            cfg,
+        );
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 1, NodeId(0), NodeId(8), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.benign.dropped_livelock, 1);
+        assert_eq!(stats.watchdog.escapes, 1);
+        assert_eq!(
+            sim.drops(),
+            &[(ddpm_net::PacketId(1), DropReason::LivelockEscaped)]
+        );
+        assert!(stats.accounted(0));
+    }
+
+    #[test]
+    fn watchdog_classifies_a_moving_overage_packet_as_livelock() {
+        use crate::watchdog::WatchdogConfig;
+        // With max_age tightened below normal transit time, a healthy
+        // long-haul packet is over age *while still making hops* — the
+        // livelock classification — and the DOR escape still lands it.
+        let topo = Topology::mesh2d(8);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let cfg = SimConfig::builder()
+            .watchdog(WatchdogConfig {
+                check_period: 4,
+                max_age: 8,
+                stall_cycles: 1 << 40,
+                escape: Some(Router::DimensionOrder),
+            })
+            .build();
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::MinimalAdaptive,
+            SelectionPolicy::Random,
+            &marker,
+            cfg,
+        );
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 1, NodeId(0), NodeId(63), TrafficClass::Benign),
+        );
+        let stats = sim.run();
+        assert_eq!(stats.benign.delivered, 1);
+        assert_eq!(stats.watchdog.livelocks, 1);
+        assert_eq!(stats.watchdog.starvations, 0);
+        assert!(stats.watchdog.max_age_seen >= 8);
+    }
+
+    #[test]
+    fn invariant_selftest_injects_a_recorded_violation() {
+        use crate::invariant::InvariantConfig;
+        // The chaos self-test: a synthetic violation at a chosen cycle
+        // proves the detection → record → trace-tail pipeline works
+        // end-to-end (the soak harness replays bundles through this).
+        let topo = Topology::mesh2d(4);
+        let faults = FaultSet::none();
+        let map = AddrMap::for_topology(&topo);
+        let marker = NoMarking;
+        let cfg = SimConfig::builder()
+            .invariants(InvariantConfig {
+                selftest_at: Some(10),
+                ..InvariantConfig::recording()
+            })
+            .build();
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            cfg,
+        );
+        sim.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 1, NodeId(0), NodeId(12), TrafficClass::Benign),
+        );
+        sim.run();
+        let vs = sim.violations();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].invariant, "selftest");
+        assert!(vs[0].cycle >= 10);
+        assert!(
+            !sim.trace_tail().is_empty(),
+            "the repro tail captured events"
+        );
+        // Determinism: a second identical run reports the identical
+        // violation identity — the property replay relies on.
+        let mut sim2 = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &marker,
+            SimConfig::builder()
+                .invariants(InvariantConfig {
+                    selftest_at: Some(10),
+                    ..InvariantConfig::recording()
+                })
+                .build(),
+        );
+        sim2.schedule(
+            SimTime::ZERO,
+            mk_packet(&map, 1, NodeId(0), NodeId(12), TrafficClass::Benign),
+        );
+        sim2.run();
+        assert_eq!(sim2.violations()[0].identity(), vs[0].identity());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! (`ddpm-indirect`) simulator, and every experiment report. This module
 //! keeps the direct-network aggregates built on top of it.
 
+use crate::watchdog::WatchdogStats;
 use ddpm_net::TrafficClass;
 
 pub use ddpm_telemetry::{ClassCounters, LatencyStats};
@@ -52,6 +53,9 @@ pub struct SimStats {
     pub attack: ClassCounters,
     /// Dynamic-fault bookkeeping (zeroed when no schedule is installed).
     pub faults: FaultStats,
+    /// Liveness-watchdog bookkeeping (zeroed when no watchdog is
+    /// installed).
+    pub watchdog: WatchdogStats,
     /// Simulated end time (cycles at last event).
     pub end_time: u64,
 }

@@ -37,6 +37,12 @@ pub struct ClassCounters {
     /// Packets dropped after exhausting injection retries at a downed
     /// source switch.
     pub dropped_source_down: u64,
+    /// Packets dropped by the liveness watchdog after the escape path
+    /// also failed to deliver them (livelock escalation).
+    pub dropped_livelock: u64,
+    /// Packets dropped by the liveness watchdog when the whole network
+    /// stopped making progress (deadlock recovery).
+    pub dropped_deadlock: u64,
     /// End-to-end latency of delivered packets.
     pub latency: LatencyStats,
     /// Total hops of delivered packets.
@@ -54,6 +60,15 @@ impl ClassCounters {
             + self.dropped_filtered
             + self.dropped_corrupt
             + self.dropped_fault()
+            + self.dropped_liveness()
+    }
+
+    /// Drops taken by the liveness watchdog (livelock escalation plus
+    /// deadlock recovery) — typed outcomes where a lesser simulator
+    /// would simply hang.
+    #[must_use]
+    pub fn dropped_liveness(&self) -> u64 {
+        self.dropped_livelock + self.dropped_deadlock
     }
 
     /// Drops directly caused by dynamic faults (fail-stop losses plus
@@ -96,6 +111,8 @@ impl ClassCounters {
         self.dropped_link_down += other.dropped_link_down;
         self.dropped_reroute += other.dropped_reroute;
         self.dropped_source_down += other.dropped_source_down;
+        self.dropped_livelock += other.dropped_livelock;
+        self.dropped_deadlock += other.dropped_deadlock;
         self.total_hops += other.total_hops;
         self.latency.merge(&other.latency);
     }
@@ -147,5 +164,16 @@ mod tests {
         };
         assert_eq!(c.dropped_fault(), 4);
         assert_eq!(c.dropped(), 4);
+    }
+
+    #[test]
+    fn liveness_drops_roll_up_into_dropped() {
+        let c = ClassCounters {
+            dropped_livelock: 2,
+            dropped_deadlock: 3,
+            ..ClassCounters::default()
+        };
+        assert_eq!(c.dropped_liveness(), 5);
+        assert_eq!(c.dropped(), 5);
     }
 }

@@ -64,11 +64,26 @@ pub enum EventKind {
         /// Switch-to-switch hops taken.
         hops: u32,
     },
+    /// The liveness watchdog acted on the packet (detection or
+    /// escalation). `action` is a stable identifier such as
+    /// `livelock_detected`, `starvation_detected`, `deadlock_detected`
+    /// or `escape` (rerouted onto the escape router).
+    Watchdog {
+        /// Stable action identifier.
+        action: &'static str,
+    },
+    /// The runtime invariant checker recorded a violation (conservation,
+    /// per-hop consistency or fault-set coherence). Every violation also
+    /// produces an on-disk repro bundle when the harness asks for one.
+    Violation {
+        /// Stable invariant identifier (e.g. `conservation`).
+        invariant: &'static str,
+    },
 }
 
 impl EventKind {
     /// Number of distinct kinds (for counter arrays).
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 8;
 
     /// Dense index of this kind, stable across runs.
     #[must_use]
@@ -80,6 +95,8 @@ impl EventKind {
             Self::Retry { .. } => 3,
             Self::Drop { .. } => 4,
             Self::Deliver { .. } => 5,
+            Self::Watchdog { .. } => 6,
+            Self::Violation { .. } => 7,
         }
     }
 
@@ -93,13 +110,24 @@ impl EventKind {
             Self::Retry { .. } => "retry",
             Self::Drop { .. } => "drop",
             Self::Deliver { .. } => "deliver",
+            Self::Watchdog { .. } => "watchdog",
+            Self::Violation { .. } => "violation",
         }
     }
 
     /// Names in [`EventKind::index`] order (for summaries).
     #[must_use]
     pub fn names() -> [&'static str; Self::COUNT] {
-        ["inject", "forward", "mark", "retry", "drop", "deliver"]
+        [
+            "inject",
+            "forward",
+            "mark",
+            "retry",
+            "drop",
+            "deliver",
+            "watchdog",
+            "violation",
+        ]
     }
 }
 
@@ -141,6 +169,10 @@ impl PacketEvent {
             EventKind::Drop { reason } => format!("{head},\"reason\":\"{reason}\"}}"),
             EventKind::Deliver { mf, latency, hops } => {
                 format!("{head},\"mf\":{mf},\"latency\":{latency},\"hops\":{hops}}}")
+            }
+            EventKind::Watchdog { action } => format!("{head},\"action\":\"{action}\"}}"),
+            EventKind::Violation { invariant } => {
+                format!("{head},\"invariant\":\"{invariant}\"}}")
             }
         }
     }
@@ -200,6 +232,20 @@ mod tests {
             .to_ndjson(),
             r#"{"cycle":12,"event":"deliver","pkt":7,"node":3,"mf":33,"latency":18,"hops":3}"#
         );
+        assert_eq!(
+            ev(EventKind::Watchdog {
+                action: "livelock_detected"
+            })
+            .to_ndjson(),
+            r#"{"cycle":12,"event":"watchdog","pkt":7,"node":3,"action":"livelock_detected"}"#
+        );
+        assert_eq!(
+            ev(EventKind::Violation {
+                invariant: "conservation"
+            })
+            .to_ndjson(),
+            r#"{"cycle":12,"event":"violation","pkt":7,"node":3,"invariant":"conservation"}"#
+        );
     }
 
     #[test]
@@ -218,6 +264,8 @@ mod tests {
                 latency: 0,
                 hops: 0,
             },
+            EventKind::Watchdog { action: "x" },
+            EventKind::Violation { invariant: "x" },
         ];
         for (i, k) in kinds.iter().enumerate() {
             assert_eq!(k.index(), i);
