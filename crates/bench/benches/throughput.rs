@@ -1,18 +1,20 @@
 //! E2E simulator throughput (packets/sec) per topology × routing,
 //! telemetry off vs on — the perf baseline the telemetry overhead
-//! contract is measured against (DESIGN.md "Observability").
+//! contract is measured against (DESIGN.md "Observability") — plus the
+//! serial vs sharded engine sweep over 8×8–64×64 fabrics (DESIGN.md
+//! "Parallel execution", EXPERIMENTS.md E-PERF).
 //!
 //! Besides the Criterion console report, the run writes
 //! `BENCH_sim_throughput.json` at the workspace root: one row per
-//! (topology, router, telemetry) cell with median packets/sec, so later
-//! PRs can diff throughput without re-parsing bench output.
+//! (topology, router, telemetry, engine) cell with median packets/sec,
+//! so later PRs can diff throughput without re-parsing bench output.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use ddpm_attack::PacketFactory;
 use ddpm_core::DdpmScheme;
 use ddpm_net::{AddrMap, L4};
 use ddpm_routing::{Router, SelectionPolicy};
-use ddpm_sim::{SimConfig, SimTime, Simulation};
+use ddpm_sim::{Engine, SimConfig, SimTime, Simulation};
 use ddpm_telemetry::{shared, NullSink, TelemetryConfig};
 use ddpm_topology::{FaultSet, NodeId, Topology};
 use serde_json::json;
@@ -39,8 +41,9 @@ fn grid() -> Vec<(Topology, Router)> {
 }
 
 /// One full simulation: inject `PACKETS` uniform benign packets, run to
-/// quiescence, return packets injected (the throughput numerator).
-fn run_sim(topo: &Topology, router: Router, tcfg: TelemetryConfig) -> u64 {
+/// quiescence under `engine`, return packets injected (the throughput
+/// numerator).
+fn run_sim_on(topo: &Topology, router: Router, tcfg: TelemetryConfig, engine: Engine) -> u64 {
     let scheme = DdpmScheme::new(topo).expect("bench shapes fit the MF");
     let map = AddrMap::for_topology(topo);
     let faults = FaultSet::none();
@@ -51,7 +54,11 @@ fn run_sim(topo: &Topology, router: Router, tcfg: TelemetryConfig) -> u64 {
         router,
         SelectionPolicy::ProductiveFirstRandom,
         &scheme,
-        SimConfig::seeded(42).to_builder().telemetry(tcfg).build(),
+        SimConfig::seeded(42)
+            .to_builder()
+            .telemetry(tcfg)
+            .engine(engine)
+            .build(),
     );
     let n = topo.num_nodes() as u32;
     for k in 0..PACKETS {
@@ -62,8 +69,12 @@ fn run_sim(topo: &Topology, router: Router, tcfg: TelemetryConfig) -> u64 {
         }
         sim.schedule(SimTime(k * 3), factory.benign(s, d, L4::udp(1, 7), 128));
     }
-    sim.run();
+    ddpm_engine::run(&mut sim);
     PACKETS
+}
+
+fn run_sim(topo: &Topology, router: Router, tcfg: TelemetryConfig) -> u64 {
+    run_sim_on(topo, router, tcfg, Engine::Serial)
 }
 
 /// A telemetry variant under test, as a fresh-config factory (configs
@@ -92,6 +103,40 @@ fn measure_pps(topo: &Topology, router: Router, tcfg: fn() -> TelemetryConfig, s
     pps[pps.len() / 2]
 }
 
+/// The engine-sweep fabrics: 8×8 up to 64×64, with the 32×32 torus as
+/// the headline speedup shape.
+fn engine_fabrics() -> Vec<Topology> {
+    vec![
+        Topology::mesh2d(8),
+        Topology::torus(&[16, 16]),
+        Topology::torus(&[32, 32]),
+        Topology::torus(&[64, 64]),
+    ]
+}
+
+/// The swept engines: the serial loop, then the sharded engine at 1
+/// (serial-fallback overhead check), 2, 4 and 8 spatial shards.
+fn engines() -> Vec<(String, Engine)> {
+    let mut e = vec![("serial".to_string(), Engine::Serial)];
+    for shards in [1usize, 2, 4, 8] {
+        e.push((format!("sharded-{shards}"), Engine::Sharded { shards }));
+    }
+    e
+}
+
+/// Median packets/sec over `samples` runs under `engine`.
+fn measure_pps_on(topo: &Topology, router: Router, engine: Engine, samples: usize) -> f64 {
+    let mut pps: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            let pkts = run_sim_on(topo, router, TelemetryConfig::off(), engine);
+            pkts as f64 / t.elapsed().as_secs_f64()
+        })
+        .collect();
+    pps.sort_by(|a, b| a.total_cmp(b));
+    pps[pps.len() / 2]
+}
+
 fn bench_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_throughput");
     let mut rows = Vec::new();
@@ -106,6 +151,36 @@ fn bench_throughput(c: &mut Criterion) {
                 "topology": topo.describe(),
                 "router": router.name(),
                 "telemetry": tname,
+                "engine": "serial",
+                "packets": PACKETS,
+                "packets_per_sec": pps,
+            }));
+        }
+    }
+
+    // Serial vs sharded engine sweep, telemetry off. The Criterion
+    // console entries cover the headline 32×32 torus; the JSON rows
+    // cover the full fabric × engine grid.
+    for topo in engine_fabrics() {
+        let router = Router::DimensionOrder;
+        let headline = topo.describe() == "32x32 torus";
+        for (ename, engine) in engines() {
+            if headline {
+                let label = format!("{}/{}/{ename}", topo.describe(), router.name());
+                group.bench_with_input(BenchmarkId::from(label), &(), |b, ()| {
+                    b.iter_batched(
+                        || (),
+                        |()| run_sim_on(&topo, router, TelemetryConfig::off(), engine),
+                        BatchSize::SmallInput,
+                    );
+                });
+            }
+            let pps = measure_pps_on(&topo, router, engine, 3);
+            rows.push(json!({
+                "topology": topo.describe(),
+                "router": router.name(),
+                "telemetry": "telemetry-off",
+                "engine": ename,
                 "packets": PACKETS,
                 "packets_per_sec": pps,
             }));

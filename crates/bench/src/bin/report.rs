@@ -14,6 +14,7 @@
 //! `DIR/<key>.ndjson`.
 
 use ddpm_bench::{all_experiments, RunCtx};
+use ddpm_sim::Engine;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -26,6 +27,8 @@ enum Apply {
     Quick,
     SoakSecs,
     SoakDir,
+    Engine,
+    Shards,
     List,
     Help,
 }
@@ -85,6 +88,18 @@ const FLAGS: &[Flag] = &[
         apply: Apply::SoakDir,
     },
     Flag {
+        name: "--engine",
+        value: Some("NAME"),
+        help: "pin the execution engine: serial or sharded (see --shards)",
+        apply: Apply::Engine,
+    },
+    Flag {
+        name: "--shards",
+        value: Some("N"),
+        help: "spatial shard count for the sharded engine (implies --engine sharded)",
+        apply: Apply::Shards,
+    },
+    Flag {
         name: "--list",
         value: None,
         help: "print the experiment keys and exit",
@@ -119,6 +134,8 @@ struct Cli {
     json_dir: Option<PathBuf>,
     ctx: RunCtx,
     threads: Option<usize>,
+    engine_name: Option<String>,
+    shards: Option<usize>,
     wanted: Vec<String>,
 }
 
@@ -129,6 +146,8 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
         json_dir: None,
         ctx: RunCtx::default(),
         threads: None,
+        engine_name: None,
+        shards: None,
         wanted: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -165,6 +184,11 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
                     Some(v.parse().map_err(|_| format!("bad --soak-secs value `{v}`"))?);
             }
             Apply::SoakDir => cli.ctx.soak_dir = Some(PathBuf::from(value()?)),
+            Apply::Engine => cli.engine_name = Some(value()?),
+            Apply::Shards => {
+                let v = value()?;
+                cli.shards = Some(v.parse().map_err(|_| format!("bad --shards value `{v}`"))?);
+            }
             Apply::List => {
                 for (k, _) in all_experiments() {
                     println!("{k}");
@@ -177,6 +201,13 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
             }
         }
     }
+    // `--engine`/`--shards` compose in either order; a bare `--shards N`
+    // (N > 1) is an unambiguous ask for the sharded engine.
+    cli.ctx.engine = match (&cli.engine_name, cli.shards) {
+        (Some(name), shards) => Some(Engine::parse(name, shards.unwrap_or(1).max(1))?),
+        (None, Some(n)) if n > 1 => Some(Engine::Sharded { shards: n }),
+        _ => None,
+    };
     if cli.wanted.is_empty() {
         return Err("no experiments named".into());
     }

@@ -26,8 +26,8 @@ use ddpm_core::DdpmScheme;
 use ddpm_net::{AddrMap, L4};
 use ddpm_routing::{Router, SelectionPolicy};
 use ddpm_sim::{
-    InvariantConfig, Marker, RetryPolicy, SimConfig, SimStats, SimTime, Simulation, Violation,
-    WatchdogConfig,
+    Engine, InvariantConfig, Marker, RetryPolicy, SimConfig, SimStats, SimTime, Simulation,
+    Violation, WatchdogConfig,
 };
 use ddpm_telemetry::PacketEvent;
 use ddpm_topology::{ChurnConfig, FaultEvent, FaultSchedule, FaultSet, NodeId};
@@ -78,6 +78,11 @@ pub struct SoakCase {
     /// Chaos self-test: inject one synthetic violation at this cycle
     /// (exercises the violation → bundle → replay pipeline).
     pub selftest_at: Option<u64>,
+    /// Execution engine the case runs under. Part of the fuzzed axis
+    /// space: engines are deterministically equivalent, so a violation
+    /// found under one engine must replay identically under the same
+    /// engine — and the bundle records which one produced it.
+    pub engine: Engine,
 }
 
 fn policy_name(p: SelectionPolicy) -> &'static str {
@@ -122,6 +127,28 @@ fn dims_json(dims: &[u16]) -> Value {
     Value::Array(dims.iter().map(|&d| json!(u64::from(d))).collect())
 }
 
+fn engine_json(e: Engine) -> Value {
+    match e {
+        Engine::Serial => json!({"name": "serial"}),
+        Engine::Sharded { shards } => json!({"name": "sharded", "shards": shards as u64}),
+    }
+}
+
+fn engine_from(v: Option<&Value>) -> Result<Engine, JsonError> {
+    match v {
+        // Pre-engine bundles (all serial) parse unchanged.
+        None | Some(Value::Null) => Ok(Engine::Serial),
+        Some(e) => {
+            let name = e
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or_else(|| JsonError::msg("`engine.name` must be a string"))?;
+            let shards = e.get("shards").and_then(Value::as_u64).unwrap_or(1) as usize;
+            Engine::parse(name, shards).map_err(JsonError::msg)
+        }
+    }
+}
+
 impl SoakCase {
     /// Serialises the case; `from_json` inverts this exactly.
     #[must_use]
@@ -147,6 +174,7 @@ impl SoakCase {
                 "stall_cycles": self.stall_cycles,
             },
             "selftest_at": self.selftest_at.map_or(Value::Null, |c| json!(c)),
+            "engine": engine_json(self.engine),
         })
     }
 }
@@ -208,6 +236,7 @@ impl FromJson for SoakCase {
             max_age: sub(wd, "max_age")?,
             stall_cycles: sub(wd, "stall_cycles")?,
             selftest_at,
+            engine: engine_from(v.get("engine"))?,
         })
     }
 }
@@ -262,6 +291,7 @@ pub fn run_case(case: &SoakCase) -> Result<CaseOutcome, String> {
     let schedule = FaultSchedule::churn(&topo, &churn, || rng.gen::<f64>());
     let mut builder = SimConfig::builder()
         .seed(case.seed ^ 0x50AC)
+        .engine(case.engine)
         .watchdog(WatchdogConfig {
             check_period: case.check_period,
             max_age: case.max_age,
@@ -291,7 +321,7 @@ pub fn run_case(case: &SoakCase) -> Result<CaseOutcome, String> {
             factory.benign(src, dst, L4::udp(9, 9), 64),
         );
     }
-    let stats = sim.run();
+    let stats = ddpm_engine::run(&mut sim);
     Ok(CaseOutcome {
         stats,
         violations: sim.violations().to_vec(),
@@ -319,6 +349,9 @@ pub fn bundle_json(case: &SoakCase, out: &CaseOutcome) -> Value {
     json!({
         "schema": BUNDLE_SCHEMA,
         "case": case.to_json(),
+        // Which engine produced the violation, duplicated out of the
+        // case for greppability across a bundle directory.
+        "engine": engine_json(case.engine),
         "violation": {
             "cycle": v.cycle,
             "pkt": v.pkt,
@@ -401,10 +434,11 @@ pub fn replay(path: &Path) -> Result<Report, String> {
         ),
     };
     let body = format!(
-        "bundle : {}\ncase   : seed {:#x}, {} packets\nverdict: {verdict}\n",
+        "bundle : {}\ncase   : seed {:#x}, {} packets, {} engine\nverdict: {verdict}\n",
         path.display(),
         case.seed,
         case.packets,
+        case.engine.as_str(),
     );
     Ok(Report {
         key: "replay",
@@ -426,7 +460,7 @@ pub fn replay(path: &Path) -> Result<Report, String> {
 /// Draws the next fuzz case. Everything derives from `rng` (itself
 /// seeded from the soak's base seed) plus the per-case `seed`, so the
 /// whole soak is reproducible from `--seed`.
-fn random_case(rng: &mut SmallRng, seed: u64, quick: bool) -> SoakCase {
+fn random_case(rng: &mut SmallRng, seed: u64, quick: bool, engine: Option<Engine>) -> SoakCase {
     let topology = match rng.gen_range(0..5u32) {
         0 => TopologySpec::Mesh { dims: vec![4, 4] },
         1 => TopologySpec::Mesh { dims: vec![8, 8] },
@@ -472,6 +506,15 @@ fn random_case(rng: &mut SmallRng, seed: u64, quick: bool) -> SoakCase {
         max_age: [96, 512, 2048][rng.gen_range(0..3usize)],
         stall_cycles: 2048,
         selftest_at: None,
+        // The engine axis: serial and sharded runs of the same case are
+        // interchangeable (deterministic equivalence), so fuzzing it
+        // doubles as a continuous cross-engine consistency check. A
+        // `--engine` override (CI's sharded smoke) pins every case.
+        engine: engine.unwrap_or_else(|| match rng.gen_range(0..3u32) {
+            0 => Engine::Serial,
+            1 => Engine::Sharded { shards: 2 },
+            _ => Engine::Sharded { shards: 4 },
+        }),
     }
 }
 
@@ -494,7 +537,7 @@ pub fn run(ctx: &RunCtx) -> Report {
     let mut errors: Vec<String> = Vec::new();
     // Always at least one case, however small the budget.
     while cases == 0 || start.elapsed() < budget {
-        let case = random_case(&mut rng, base.wrapping_add(cases), ctx.quick);
+        let case = random_case(&mut rng, base.wrapping_add(cases), ctx.quick, ctx.engine);
         cases += 1;
         match run_case(&case) {
             Ok(out) => {
@@ -586,6 +629,7 @@ mod tests {
             max_age: 1024,
             stall_cycles: 2048,
             selftest_at: None,
+            engine: Engine::Serial,
         }
     }
 
@@ -598,6 +642,7 @@ mod tests {
         let mut c2 = tiny_case(1);
         c2.compromised = None;
         c2.selftest_at = Some(9);
+        c2.engine = Engine::Sharded { shards: 4 };
         let b2 = SoakCase::from_json(&c2.to_json()).expect("parses back");
         assert_eq!(c2.to_json(), b2.to_json());
     }
@@ -618,6 +663,9 @@ mod tests {
         // must survive the disk round-trip and replay byte-identically.
         let mut case = tiny_case(0xFA11);
         case.selftest_at = Some(50);
+        // Run the repro pipeline under the sharded engine: the bundle
+        // must record it and the replay must honour it.
+        case.engine = Engine::Sharded { shards: 2 };
         let out = run_case(&case).expect("runs");
         assert_eq!(out.violations.len(), 1, "{:?}", out.violations);
         assert!(!out.tail.is_empty(), "tail captured");

@@ -14,8 +14,8 @@ use ddpm_core::{DdpmScheme, DpmScheme};
 use ddpm_net::{AddrMap, CodecMode};
 use ddpm_routing::{Router, SelectionPolicy};
 use ddpm_sim::{
-    InvariantConfig, Marker, NoMarking, RetryPolicy, SimConfig, SimStats, SimTime, Simulation,
-    WatchdogConfig,
+    Engine, InvariantConfig, Marker, NoMarking, RetryPolicy, SimConfig, SimStats, SimTime,
+    Simulation, WatchdogConfig,
 };
 use ddpm_topology::{FaultEvent, FaultSchedule, FaultSet, NodeId, Topology, MAX_DIMS};
 use rand::rngs::SmallRng;
@@ -442,6 +442,11 @@ pub struct ScenarioConfig {
     /// (`"invariants": true`); the runner reports any violations in its
     /// output instead of panicking. Default false.
     pub invariants: bool,
+    /// Execution engine (`"engine": "serial" | "sharded"` plus
+    /// `"shards": N`; default serial). The sharded engine is
+    /// deterministically equivalent to the serial loop, so this knob
+    /// only changes wall-clock behaviour, never results.
+    pub engine: Engine,
 }
 
 impl FromJson for ScenarioConfig {
@@ -465,6 +470,8 @@ impl FromJson for ScenarioConfig {
                 "fault_retries",
                 "watchdog",
                 "invariants",
+                "engine",
+                "shards",
             ],
         )?;
         let attack = match v.get("attack") {
@@ -483,6 +490,23 @@ impl FromJson for ScenarioConfig {
                 .as_bool()
                 .ok_or_else(|| JsonError::msg("`invariants` must be a boolean"))?,
         };
+        let shards = opt_u64(v, "shards", 0)? as usize;
+        let engine = match v.get("engine") {
+            None | Some(Value::Null) => {
+                if shards > 1 {
+                    // `"shards": N` alone is an unambiguous ask.
+                    Engine::Sharded { shards }
+                } else {
+                    Engine::Serial
+                }
+            }
+            Some(e) => {
+                let name = e
+                    .as_str()
+                    .ok_or_else(|| JsonError::msg("`engine` must be a string"))?;
+                Engine::parse(name, shards.max(1)).map_err(JsonError::msg)?
+            }
+        };
         Ok(Self {
             topology: TopologySpec::from_json(req(v, "topology")?)?,
             router: RouterSpec::from_json(req(v, "router")?)?,
@@ -496,6 +520,7 @@ impl FromJson for ScenarioConfig {
             fault_retries: opt_u32(v, "fault_retries", 0)?,
             watchdog: watchdog_block(v)?,
             invariants,
+            engine,
         })
     }
 }
@@ -505,6 +530,24 @@ impl FromJson for ScenarioConfig {
 pub struct ScenarioOutcome {
     pub text: String,
     pub json: serde_json::Value,
+    /// Order-sensitive fingerprint of everything the run observed:
+    /// an FNV-1a hash over the delivered-packet stream (ids, headers
+    /// with final marking fields, timestamps, hops), the typed drop
+    /// stream, every invariant violation, and the full [`SimStats`],
+    /// plus human-readable counts. Two runs are behaviourally
+    /// identical iff their digests match — the equivalence suite uses
+    /// this to prove the sharded engine bit-identical to the serial
+    /// loop.
+    pub digest: String,
+}
+
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// Executes a scenario.
@@ -598,7 +641,10 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
         None => {}
     }
 
-    let mut sim_cfg = SimConfig::seeded(cfg.seed);
+    let mut sim_cfg = SimConfig::seeded(cfg.seed)
+        .to_builder()
+        .engine(cfg.engine)
+        .build();
     if cfg.fault_retries > 0 {
         let backoff = sim_cfg.service_cycles.max(1);
         sim_cfg = sim_cfg
@@ -629,7 +675,29 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
     for (t, p) in workload {
         sim.schedule(t, p);
     }
-    let stats: SimStats = sim.run();
+    let stats: SimStats = ddpm_engine::run(&mut sim);
+
+    let mut dump = String::new();
+    for d in sim.delivered() {
+        dump.push_str(&format!(
+            "D {:?} {:?} {:?} {} {:?}\n",
+            d.packet, d.injected_at, d.delivered_at, d.hops, d.path
+        ));
+    }
+    for (id, reason) in sim.drops() {
+        dump.push_str(&format!("X {id:?} {reason:?}\n"));
+    }
+    for v in sim.violations() {
+        dump.push_str(&format!("V {v:?}\n"));
+    }
+    dump.push_str(&format!("S {stats:?}\n"));
+    let digest = format!(
+        "{:016x} delivered={} dropped={} violations={}",
+        fnv64(&dump),
+        sim.delivered().len(),
+        sim.drops().len(),
+        sim.violations().len(),
+    );
 
     let mut text = format!(
         "scenario: {topo}, {} routing, {:?} marking, {} failed links\n\
@@ -749,7 +817,7 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
         },
         "census": census_json,
     });
-    Ok(ScenarioOutcome { text, json })
+    Ok(ScenarioOutcome { text, json, digest })
 }
 
 #[cfg(test)]

@@ -1,0 +1,928 @@
+//! Conservative, spatially-sharded parallel execution for the DDPM
+//! simulator.
+//!
+//! [`run`] executes a [`ddpm_sim::Simulation`] under the engine selected
+//! by its [`ddpm_sim::Engine`] config: the serial event loop, or this
+//! crate's sharded engine. The sharded engine partitions the topology's
+//! switches into spatial shards (block partition over the dense node
+//! index — see `ddpm_topology::Partition`), gives each shard its own
+//! event queue and worker thread, and advances the whole system through
+//! **conservative cycle windows** bounded by the one-hop lookahead
+//! `L = service_cycles + link_latency`: every event inside a window
+//! `[t0, t0+L)` can only schedule consequences at or after `t0+L`, so
+//! shards never need to see each other's events mid-window. Packets that
+//! hop across a shard boundary travel through per-shard mailboxes,
+//! drained at the window barrier.
+//!
+//! ## Deterministic equivalence
+//!
+//! The engines are **bit-identical**: delivered packets, typed drops,
+//! marks, `SimStats`, telemetry event streams and invariant verdicts
+//! match the serial engine exactly, independent of shard count and
+//! worker-thread count. Three mechanisms carry the proof:
+//!
+//! 1. **Per-packet RNG.** Every in-flight packet owns an RNG stream
+//!    seeded from `(run seed, handle)`, so its random decisions cannot
+//!    depend on cross-packet interleaving.
+//! 2. **Canonical event order.** The serial queue orders same-cycle
+//!    events by `(cycle, rank, packet, seq)`; each shard tags every
+//!    captured artefact (event, delivery, drop, violation) with the same
+//!    key, and the coordinator merges per-shard capture streams by
+//!    sorting on it — reproducing the serial emission order no matter
+//!    which worker ran which shard first.
+//! 3. **Coordinator-owned global events.** Faults and watchdog sweeps
+//!    need a global view, so the coordinator executes them *between*
+//!    windows, replicating the serial handlers' decision order exactly
+//!    (shards only gather state and apply verdicts).
+//!
+//! One relaxation is documented in DESIGN.md §8: the conservation
+//! invariant is checked once per barrier instead of once per event (the
+//! terms of the global sum only exist at barriers). A conservation bug
+//! is still caught, at the end of the window that introduced it.
+//!
+//! ## Fallbacks
+//!
+//! `Engine::Serial`, one shard, a one-node topology or a zero lookahead
+//! (`service_cycles + link_latency == 0`, where no window can make
+//! progress) all fall back to the serial loop — same results, by
+//! construction.
+
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Barrier, Mutex, PoisonError};
+use std::time::Instant;
+
+use ddpm_net::PacketId;
+use ddpm_sim::network::{
+    new_inboxes, EventKey, FaultVictim, WdAction, WdActionKind, WdPacket, WindowReport,
+};
+use ddpm_sim::{
+    Delivered, DropReason, Engine, FaultStats, LatencyStats, SimStats, Simulation, Violation,
+    WatchdogStats,
+};
+use ddpm_telemetry::{
+    BarrierWait, EngineProfile, EventKind as TelKind, PacketEvent, PhaseProfiler, Telemetry,
+};
+use ddpm_topology::{FaultEvent, FaultSet, Partition, PartitionStrategy};
+
+/// Runs `sim` to completion under its configured [`Engine`] and returns
+/// the final statistics — a drop-in replacement for `Simulation::run`.
+pub fn run(sim: &mut Simulation<'_>) -> SimStats {
+    let cfg = sim.config();
+    let lookahead = cfg.service_cycles + cfg.link_latency;
+    let shards = match cfg.engine {
+        Engine::Serial => return sim.run(),
+        Engine::Sharded { shards } => shards,
+    };
+    if shards <= 1 || lookahead == 0 {
+        return sim.run();
+    }
+    let part = Arc::new(Partition::new(
+        sim.topology(),
+        shards,
+        PartitionStrategy::Block,
+    ));
+    if part.shards() <= 1 {
+        return sim.run();
+    }
+    run_sharded(sim, &part, lookahead)
+}
+
+/// One coordinator-published round. Every round is a uniform
+/// three-barrier exchange (start → execute → mid → install/reply →
+/// done), so workers never need to know what kind of round is coming.
+#[derive(Clone)]
+enum Plan {
+    /// Run every pending event with fire time `< end`.
+    Window {
+        /// Exclusive window end.
+        end: u64,
+    },
+    /// Apply one coordinator-ordered fault; reply with claimed victims.
+    Fault {
+        /// The fault event.
+        ev: FaultEvent,
+    },
+    /// Reply with watchdog state for every live launched packet.
+    WdGather,
+    /// Execute the coordinator's watchdog verdicts.
+    WdAct {
+        /// Per-packet actions (non-resident handles are skipped).
+        actions: Arc<Vec<WdAction>>,
+        /// Sweep cycle.
+        now: u64,
+    },
+    /// Exit the worker loop and hand the shard simulations back.
+    Finish,
+}
+
+fn plan_phase(p: &Plan) -> &'static str {
+    match p {
+        Plan::Window { .. } => "window",
+        Plan::Fault { .. } => "fault",
+        Plan::WdGather | Plan::WdAct { .. } => "watchdog",
+        Plan::Finish => "finish",
+    }
+}
+
+/// What one shard hands back at the end of a round.
+struct Reply {
+    report: WindowReport,
+    victims: Vec<FaultVictim>,
+    wd: Vec<WdPacket>,
+}
+
+fn empty_report() -> WindowReport {
+    WindowReport {
+        next_time: None,
+        min_inject: None,
+        last_progress: 0,
+        live: 0,
+        injected: 0,
+        delivered_total: 0,
+        dropped_total: 0,
+        max_processed: None,
+        events: Vec::new(),
+        delivered: Vec::new(),
+        drops: Vec::new(),
+        violations: Vec::new(),
+        selftest: None,
+    }
+}
+
+type PanicPayload = Box<dyn Any + Send>;
+
+/// The shared round state: the coordinator publishes a [`Plan`], workers
+/// execute it and fill their per-shard [`Reply`] slots. A worker that
+/// panics (e.g. a strict invariant violation inside a shard) parks its
+/// payload here and keeps participating in the barrier protocol with
+/// empty replies, so the coordinator can shut the fleet down cleanly and
+/// re-raise the original panic.
+struct Rounds<'e> {
+    plan: &'e Mutex<Plan>,
+    replies: &'e [Mutex<Option<Reply>>],
+    barrier: &'e Barrier,
+    panic_slot: &'e Mutex<Option<PanicPayload>>,
+}
+
+impl Rounds<'_> {
+    /// Publishes `p`, drives the three barriers and collects one reply
+    /// per shard (in shard order). Re-raises any worker panic.
+    fn run(&self, p: Plan) -> Vec<Reply> {
+        *self.plan.lock().unwrap_or_else(PoisonError::into_inner) = p;
+        self.barrier.wait();
+        self.barrier.wait();
+        self.barrier.wait();
+        if let Some(payload) = self
+            .panic_slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            resume_unwind(payload);
+        }
+        self.replies
+            .iter()
+            .map(|slot| {
+                slot.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take()
+                    .expect("worker reply missing")
+            })
+            .collect()
+    }
+
+    fn store_panic(&self, payload: PanicPayload) {
+        let mut slot = self
+            .panic_slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+fn timed_wait(barrier: &Barrier, waits: &mut BarrierWait) {
+    let t0 = Instant::now();
+    barrier.wait();
+    waits.add(t0.elapsed());
+}
+
+type ShardOut<'a> = (usize, Simulation<'a>, PhaseProfiler);
+
+/// One worker's loop: owns shards `w, w+W, w+2W, …` (in shard order) and
+/// executes the published plan against each, every round, until
+/// [`Plan::Finish`].
+fn worker<'a>(
+    mut owned: Vec<(usize, Simulation<'a>)>,
+    rounds: &Rounds<'_>,
+    profiling: bool,
+) -> (Vec<ShardOut<'a>>, BarrierWait) {
+    let mut waits = BarrierWait::default();
+    let mut profs: Vec<PhaseProfiler> = owned.iter().map(|_| PhaseProfiler::default()).collect();
+    let mut dead = false;
+    loop {
+        timed_wait(rounds.barrier, &mut waits);
+        let p = rounds
+            .plan
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        if matches!(p, Plan::Finish) {
+            break;
+        }
+        let phase = plan_phase(&p);
+        // Phase A: execute the plan against every owned shard.
+        let mut extras: Vec<(Vec<FaultVictim>, Vec<WdPacket>)> = Vec::new();
+        if !dead {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                owned
+                    .iter_mut()
+                    .zip(profs.iter_mut())
+                    .map(|((_, sim), prof)| {
+                        let t0 = profiling.then(Instant::now);
+                        let extra = match &p {
+                            Plan::Window { end } => {
+                                sim.run_window(*end);
+                                (Vec::new(), Vec::new())
+                            }
+                            Plan::Fault { ev } => (sim.shard_apply_fault(*ev), Vec::new()),
+                            Plan::WdGather => (Vec::new(), sim.watchdog_report()),
+                            Plan::WdAct { actions, now } => {
+                                sim.exec_wd_actions(actions, *now);
+                                (Vec::new(), Vec::new())
+                            }
+                            Plan::Finish => unreachable!("handled above"),
+                        };
+                        if let Some(t0) = t0 {
+                            prof.add(phase, t0.elapsed());
+                        }
+                        extra
+                    })
+                    .collect::<Vec<_>>()
+            }));
+            match result {
+                Ok(v) => extras = v,
+                Err(payload) => {
+                    dead = true;
+                    rounds.store_panic(payload);
+                }
+            }
+        }
+        // Mid barrier: every sender has finished pushing handoffs.
+        timed_wait(rounds.barrier, &mut waits);
+        // Phase B: drain mailboxes and reply.
+        if !dead {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                for (i, (s, sim)) in owned.iter_mut().enumerate() {
+                    sim.install_inbox();
+                    let report = sim.take_window_report();
+                    let (victims, wd) = std::mem::take(&mut extras[i]);
+                    *rounds.replies[*s]
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner) =
+                        Some(Reply { report, victims, wd });
+                }
+            }));
+            if let Err(payload) = result {
+                dead = true;
+                rounds.store_panic(payload);
+            }
+        }
+        if dead {
+            for (s, _) in &owned {
+                let mut slot = rounds.replies[*s]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                if slot.is_none() {
+                    *slot = Some(Reply {
+                        report: empty_report(),
+                        victims: Vec::new(),
+                        wd: Vec::new(),
+                    });
+                }
+            }
+        }
+        timed_wait(rounds.barrier, &mut waits);
+    }
+    let out = owned
+        .into_iter()
+        .zip(profs)
+        .map(|((s, sim), prof)| (s, sim, prof))
+        .collect();
+    (out, waits)
+}
+
+/// Latest per-shard progress snapshot, refreshed from every round's
+/// reports. The conservation terms are cumulative run totals.
+struct Snap {
+    next: Vec<Option<u64>>,
+    live: Vec<u64>,
+    progress: Vec<u64>,
+    injected: Vec<u64>,
+    delivered: Vec<u64>,
+    dropped: Vec<u64>,
+}
+
+impl Snap {
+    fn new(next: Vec<Option<u64>>) -> Self {
+        let n = next.len();
+        Self {
+            next,
+            live: vec![0; n],
+            progress: vec![0; n],
+            injected: vec![0; n],
+            delivered: vec![0; n],
+            dropped: vec![0; n],
+        }
+    }
+
+    fn live_total(&self) -> u64 {
+        self.live.iter().sum()
+    }
+}
+
+/// One round's concatenated capture streams, merged by canonical key.
+#[derive(Default)]
+struct Merge {
+    events: Vec<(EventKey, PacketEvent)>,
+    delivered: Vec<(EventKey, Delivered)>,
+    drops: Vec<(EventKey, (PacketId, DropReason))>,
+    violations: Vec<(EventKey, Violation)>,
+    candidate: Option<(EventKey, u64, u32)>,
+}
+
+/// Folds one round's replies into the snapshot and the merge buffers.
+/// Returns `(merge, round min-inject, fault victims, watchdog packets)`.
+fn collect(
+    replies: Vec<Reply>,
+    snap: &mut Snap,
+    end_time: &mut u64,
+) -> (Merge, Option<u64>, Vec<FaultVictim>, Vec<WdPacket>) {
+    let mut merge = Merge::default();
+    let mut min_inject: Option<u64> = None;
+    let mut victims = Vec::new();
+    let mut wd = Vec::new();
+    for (s, mut r) in replies.into_iter().enumerate() {
+        snap.next[s] = r.report.next_time;
+        snap.live[s] = r.report.live;
+        snap.progress[s] = r.report.last_progress;
+        snap.injected[s] = r.report.injected;
+        snap.delivered[s] = r.report.delivered_total;
+        snap.dropped[s] = r.report.dropped_total;
+        if let Some(m) = r.report.max_processed {
+            *end_time = (*end_time).max(m);
+        }
+        min_inject = match (min_inject, r.report.min_inject) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        merge.events.append(&mut r.report.events);
+        merge.delivered.append(&mut r.report.delivered);
+        merge.drops.append(&mut r.report.drops);
+        merge.violations.append(&mut r.report.violations);
+        if let Some(c) = r.report.selftest {
+            merge.candidate = Some(match merge.candidate {
+                Some(prev) if prev.0 <= c.0 => prev,
+                _ => c,
+            });
+        }
+        victims.append(&mut r.victims);
+        wd.append(&mut r.wd);
+    }
+    (merge, min_inject, victims, wd)
+}
+
+/// Replays one round's merged artefacts into the master in canonical
+/// order — exactly the order the serial engine would have emitted them.
+fn replay(
+    master: &mut Simulation<'_>,
+    mut m: Merge,
+    pending_recovery: &mut Option<u64>,
+    recovery: &mut LatencyStats,
+) {
+    m.events.sort_by_key(|a| a.0);
+    for (_, ev) in m.events {
+        master.merged_event(ev);
+    }
+    m.delivered.sort_by_key(|a| a.0);
+    for (key, d) in m.delivered {
+        if let Some(t0) = pending_recovery.take() {
+            recovery.record(key.0 - t0);
+        }
+        master.merged_delivered(d);
+    }
+    m.drops.sort_by_key(|a| a.0);
+    for (_, (id, reason)) in m.drops {
+        master.merged_drop_entry(id, reason);
+    }
+    m.violations.sort_by_key(|a| a.0);
+    for (_, v) in m.violations {
+        master.merged_violation(v);
+    }
+}
+
+/// Barrier-level conservation check (the engine's counterpart of the
+/// serial per-event check — see the module docs for the relaxation).
+fn check_conservation(master: &mut Simulation<'_>, snap: &Snap, cycle: u64) {
+    let injected: u64 = snap.injected.iter().sum();
+    let delivered: u64 = snap.delivered.iter().sum();
+    let dropped: u64 = snap.dropped.iter().sum();
+    let live = snap.live_total();
+    if injected != delivered + dropped + live {
+        master.merged_event(PacketEvent {
+            cycle,
+            pkt: 0,
+            node: u32::MAX,
+            kind: TelKind::Violation {
+                invariant: "conservation",
+            },
+        });
+        master.merged_violation(Violation {
+            cycle,
+            pkt: 0,
+            node: u32::MAX,
+            invariant: "conservation",
+            detail: format!(
+                "injected {injected} != delivered {delivered} + dropped {dropped} + in_flight {live}"
+            ),
+        });
+    }
+}
+
+/// Fires the pending synthetic self-test violation the way the serial
+/// post-event hook does after a coordinator-owned (fault/watchdog)
+/// event.
+fn coord_selftest(master: &mut Simulation<'_>, pending: &mut Option<u64>, now: u64) {
+    let Some(at) = *pending else { return };
+    if now < at {
+        return;
+    }
+    *pending = None;
+    master.mark_selftest_fired();
+    master.merged_event(PacketEvent {
+        cycle: now,
+        pkt: 0,
+        node: u32::MAX,
+        kind: TelKind::Violation {
+            invariant: "selftest",
+        },
+    });
+    master.merged_violation(Violation {
+        cycle: now,
+        pkt: 0,
+        node: u32::MAX,
+        invariant: "selftest",
+        detail: format!("synthetic violation scheduled at cycle {at} (InvariantConfig::selftest_at)"),
+    });
+}
+
+/// What the coordinator owns at the end of the run; merged with the
+/// per-shard statistics into the final [`SimStats`].
+struct CoordOut {
+    fstats: FaultStats,
+    wstats: WatchdogStats,
+    end_time: u64,
+    live_faults: FaultSet,
+}
+
+/// The coordinator loop: picks the next global time `t0` (earliest shard
+/// event, scheduled fault or due watchdog sweep), runs coordinator
+/// rounds for global events and bounded windows for everything else, and
+/// merges each round's artefacts back into the master in serial order.
+#[allow(clippy::too_many_lines)]
+fn coordinate<'a>(
+    master: &mut Simulation<'a>,
+    rounds: &Rounds<'_>,
+    faults: Vec<(u64, FaultEvent)>,
+    init_next: Vec<Option<u64>>,
+    lookahead: u64,
+    prof: &mut Option<PhaseProfiler>,
+) -> CoordOut {
+    let topo = master.topology();
+    let wd_cfg = master.config().watchdog;
+    let observing = master.observing();
+    let checking = master.checking();
+    let mut selftest_pending = master.selftest_pending();
+
+    let mut snap = Snap::new(init_next);
+    let mut fault_iter = faults.into_iter().peekable();
+    let mut live_faults: FaultSet = master.live_faults().clone();
+    let mut degraded_since: Option<u64> = (!live_faults.is_empty()).then_some(0);
+    let mut pending_recovery: Option<u64> = None;
+    let mut fstats = FaultStats::default();
+    let mut wstats = WatchdogStats::default();
+    let mut wd_due: Option<u64> = None;
+    let mut arm_floor: u64 = 0;
+    let mut end_time: u64 = 0;
+
+    let timed_round = |prof: &mut Option<PhaseProfiler>, p: Plan| -> Vec<Reply> {
+        let name = plan_phase(&p);
+        let t0 = prof.is_some().then(Instant::now);
+        let replies = rounds.run(p);
+        if let (Some(prof), Some(t0)) = (prof.as_mut(), t0) {
+            prof.add(name, t0.elapsed());
+        }
+        replies
+    };
+
+    loop {
+        let shard_next = snap.next.iter().filter_map(|t| *t).min();
+        let fault_next = fault_iter.peek().map(|&(t, _)| t);
+        let Some(t0) = [shard_next, fault_next, wd_due]
+            .into_iter()
+            .flatten()
+            .min()
+        else {
+            break;
+        };
+
+        if fault_next == Some(t0) {
+            // Fault round: serial rank order puts fault events before
+            // the watchdog and all packet events of the same cycle.
+            let (_, ev) = fault_iter.next().expect("peeked above");
+            end_time = end_time.max(t0);
+            fstats.events_applied += 1;
+            let was_healthy = live_faults.is_empty();
+            live_faults.apply(topo, ev);
+            let replies = timed_round(prof, Plan::Fault { ev });
+            let (merge, _, mut victims, _) = collect(replies, &mut snap, &mut end_time);
+            replay(master, merge, &mut pending_recovery, &mut fstats.recovery);
+            // Victims sorted by (claim time, handle) — the order the
+            // serial queue extraction yields them in.
+            victims.sort_by_key(|v| (v.time, v.handle));
+            let reason = match ev {
+                FaultEvent::LinkDown { .. } => DropReason::LinkDown,
+                _ => DropReason::SwitchDown,
+            };
+            for v in &victims {
+                master.merged_drop(t0, PacketId(v.pkt_id), v.node, reason);
+            }
+            if was_healthy && !live_faults.is_empty() {
+                degraded_since = Some(t0);
+            } else if !was_healthy && live_faults.is_empty() {
+                if let Some(since) = degraded_since.take() {
+                    fstats.degraded_cycles += t0 - since;
+                }
+                pending_recovery = Some(t0);
+            }
+            if checking {
+                check_conservation(master, &snap, t0);
+                coord_selftest(master, &mut selftest_pending, t0);
+            }
+            continue;
+        }
+
+        if wd_due == Some(t0) {
+            watchdog_round(WdRound {
+                master,
+                rounds,
+                prof,
+                snap: &mut snap,
+                wstats: &mut wstats,
+                wd_due: &mut wd_due,
+                arm_floor,
+                end_time: &mut end_time,
+                observing,
+                now: t0,
+            });
+            end_time = end_time.max(t0);
+            if checking {
+                check_conservation(master, &snap, t0);
+                coord_selftest(master, &mut selftest_pending, t0);
+            }
+            continue;
+        }
+
+        // Window round. Bounded by the one-hop lookahead, the next
+        // coordinator event, and — while the watchdog is configured but
+        // not yet armed — one check period, so an arming injection
+        // inside the window can never owe a sweep before the window end.
+        let mut w_end = t0.saturating_add(lookahead);
+        if let Some(c) = [fault_next, wd_due].into_iter().flatten().min() {
+            w_end = w_end.min(c);
+        }
+        if let Some(wd) = wd_cfg {
+            if wd_due.is_none() {
+                w_end = w_end.min(t0.saturating_add(wd.check_period.max(1)));
+            }
+        }
+        let replies = timed_round(prof, Plan::Window { end: w_end });
+        let (mut merge, min_inject, _, _) = collect(replies, &mut snap, &mut end_time);
+        if let (Some(at), Some((key, pkt, node))) = (selftest_pending, merge.candidate) {
+            // Elected: the globally-first event at or after the
+            // scheduled cycle. The synthetic artefacts sort right after
+            // that event's own emissions, exactly where the serial
+            // post-event hook fires.
+            selftest_pending = None;
+            master.mark_selftest_fired();
+            merge.events.push((
+                key,
+                PacketEvent {
+                    cycle: key.0,
+                    pkt,
+                    node,
+                    kind: TelKind::Violation {
+                        invariant: "selftest",
+                    },
+                },
+            ));
+            merge.violations.push((
+                key,
+                Violation {
+                    cycle: key.0,
+                    pkt,
+                    node,
+                    invariant: "selftest",
+                    detail: format!(
+                        "synthetic violation scheduled at cycle {at} (InvariantConfig::selftest_at)"
+                    ),
+                },
+            ));
+        }
+        replay(master, merge, &mut pending_recovery, &mut fstats.recovery);
+        if checking {
+            check_conservation(master, &snap, end_time);
+        }
+        // Lazy arming: the earliest injection any shard processed is
+        // exactly the first injection the serial engine would have seen.
+        if let (Some(wd), None, Some(mi)) = (wd_cfg, wd_due, min_inject) {
+            wd_due = Some(mi.saturating_add(wd.check_period.max(1)));
+            arm_floor = mi;
+        }
+    }
+
+    if let Some(since) = degraded_since.take() {
+        fstats.degraded_cycles += end_time - since;
+    }
+    CoordOut {
+        fstats,
+        wstats,
+        end_time,
+        live_faults,
+    }
+}
+
+/// Borrowed state for one watchdog sweep.
+struct WdRound<'w, 'm, 'a, 'e> {
+    master: &'m mut Simulation<'a>,
+    rounds: &'w Rounds<'e>,
+    prof: &'w mut Option<PhaseProfiler>,
+    snap: &'w mut Snap,
+    wstats: &'w mut WatchdogStats,
+    wd_due: &'w mut Option<u64>,
+    arm_floor: u64,
+    end_time: &'w mut u64,
+    observing: bool,
+    now: u64,
+}
+
+/// One watchdog sweep, replicating the serial `handle_watchdog` decision
+/// and emission order exactly: deadlock check first, then per-packet age
+/// classification, detection events, escape (or straight drop)
+/// escalation, drops, reschedule.
+fn watchdog_round(ctx: WdRound<'_, '_, '_, '_>) {
+    let WdRound {
+        master,
+        rounds,
+        prof,
+        snap,
+        wstats,
+        wd_due,
+        arm_floor,
+        end_time,
+        observing,
+        now,
+    } = ctx;
+    let wd = master.config().watchdog.expect("armed implies configured");
+    if snap.live_total() == 0 {
+        // Quiet network: disarm. The next injection re-arms.
+        *wd_due = None;
+        return;
+    }
+    wstats.checks += 1;
+
+    let timed_round = |prof: &mut Option<PhaseProfiler>, p: Plan| -> Vec<Reply> {
+        let t0 = prof.is_some().then(Instant::now);
+        let replies = rounds.run(p);
+        if let (Some(prof), Some(t0)) = (prof.as_mut(), t0) {
+            prof.add("watchdog", t0.elapsed());
+        }
+        replies
+    };
+
+    let replies = timed_round(prof, Plan::WdGather);
+    let (_, _, _, mut pkts) = collect(replies, snap, end_time);
+    pkts.sort_by_key(|p| p.handle);
+
+    // Network-level stall: `last_progress` is the max over the arming
+    // floor and every shard's latest delivery/forward — identical to the
+    // serial engine's single counter.
+    let progress = arm_floor.max(snap.progress.iter().copied().max().unwrap_or(0));
+    if now.saturating_sub(progress) >= wd.stall_cycles {
+        wstats.deadlocks += 1;
+        let actions: Vec<WdAction> = pkts
+            .iter()
+            .map(|p| WdAction {
+                handle: p.handle,
+                kind: WdActionKind::Drop(DropReason::DeadlockVictim),
+            })
+            .collect();
+        for p in &pkts {
+            if observing {
+                master.merged_event(PacketEvent {
+                    cycle: now,
+                    pkt: p.pkt_id,
+                    node: p.last_node,
+                    kind: TelKind::Watchdog {
+                        action: "deadlock_detected",
+                    },
+                });
+            }
+            master.merged_drop(now, PacketId(p.pkt_id), p.last_node, DropReason::DeadlockVictim);
+        }
+        let replies = timed_round(prof, Plan::WdAct {
+            actions: Arc::new(actions),
+            now,
+        });
+        collect(replies, snap, end_time);
+        *wd_due = None;
+        return;
+    }
+
+    // Per-packet age checks: indices into `pkts`, which is in handle
+    // order — the serial sweep order.
+    let mut detected: Vec<(usize, bool)> = Vec::new();
+    let mut drop_now: Vec<usize> = Vec::new();
+    for (i, p) in pkts.iter().enumerate() {
+        let age = now.saturating_sub(p.injected_at);
+        wstats.max_age_seen = wstats.max_age_seen.max(age);
+        let drought = now.saturating_sub(p.last_hop_at) >= wd.max_age;
+        if !p.escaped {
+            if age >= wd.max_age {
+                detected.push((i, !drought));
+            }
+        } else if now.saturating_sub(p.escaped_at) >= wd.max_age && drought {
+            drop_now.push(i);
+        }
+    }
+
+    for &(i, moving) in &detected {
+        if moving {
+            wstats.livelocks += 1;
+        } else {
+            wstats.starvations += 1;
+        }
+        if observing {
+            let action = if moving {
+                "livelock_detected"
+            } else {
+                "starvation_detected"
+            };
+            master.merged_event(PacketEvent {
+                cycle: now,
+                pkt: pkts[i].pkt_id,
+                node: pkts[i].last_node,
+                kind: TelKind::Watchdog { action },
+            });
+        }
+    }
+
+    let mut actions: Vec<WdAction> = Vec::new();
+    if wd.escape.is_some() {
+        for &(i, _) in &detected {
+            wstats.escapes += 1;
+            actions.push(WdAction {
+                handle: pkts[i].handle,
+                kind: WdActionKind::Escape,
+            });
+            if observing {
+                master.merged_event(PacketEvent {
+                    cycle: now,
+                    pkt: pkts[i].pkt_id,
+                    node: pkts[i].last_node,
+                    kind: TelKind::Watchdog { action: "escape" },
+                });
+            }
+        }
+    } else {
+        drop_now.extend(detected.iter().map(|&(i, _)| i));
+    }
+
+    for &i in &drop_now {
+        let p = &pkts[i];
+        master.merged_drop(now, PacketId(p.pkt_id), p.last_node, DropReason::LivelockEscaped);
+        actions.push(WdAction {
+            handle: p.handle,
+            kind: WdActionKind::Drop(DropReason::LivelockEscaped),
+        });
+    }
+
+    if !actions.is_empty() {
+        let replies = timed_round(prof, Plan::WdAct {
+            actions: Arc::new(actions),
+            now,
+        });
+        collect(replies, snap, end_time);
+    }
+    *wd_due = if snap.live_total() > 0 {
+        Some(now.saturating_add(wd.check_period.max(1)))
+    } else {
+        None
+    };
+}
+
+/// The sharded run: split, spawn one worker per `min(shards, pool
+/// size)` threads (honoring `RAYON_NUM_THREADS`), coordinate, merge.
+fn run_sharded<'a>(master: &mut Simulation<'a>, part: &Arc<Partition>, lookahead: u64) -> SimStats {
+    let shards = part.shards();
+    let inboxes = new_inboxes(shards);
+    let (mut sims, faults) = master.engine_split(part, &inboxes);
+    let init_next: Vec<Option<u64>> = sims.iter().map(Simulation::next_event_time).collect();
+    let profiling = master.telemetry().is_some_and(Telemetry::profiling);
+
+    let workers = shards.min(rayon::pool_size()).max(1);
+    let mut per_worker: Vec<Vec<(usize, Simulation<'a>)>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    for (s, sim) in sims.drain(..).enumerate() {
+        per_worker[s % workers].push((s, sim));
+    }
+
+    let plan = Mutex::new(Plan::WdGather); // placeholder; published per round
+    let replies: Vec<Mutex<Option<Reply>>> = (0..shards).map(|_| Mutex::new(None)).collect();
+    let barrier = Barrier::new(workers + 1);
+    let panic_slot: Mutex<Option<PanicPayload>> = Mutex::new(None);
+    let rounds = Rounds {
+        plan: &plan,
+        replies: &replies,
+        barrier: &barrier,
+        panic_slot: &panic_slot,
+    };
+
+    let (outcome, mut shard_out, waits) = std::thread::scope(|scope| {
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .map(|owned| {
+                let rounds = &rounds;
+                scope.spawn(move || worker(owned, rounds, profiling))
+            })
+            .collect();
+        let mut prof = profiling.then(PhaseProfiler::default);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            coordinate(master, &rounds, faults, init_next, lookahead, &mut prof)
+        }));
+        // Always release the fleet — even when the coordinator (or a
+        // worker, re-raised at a round boundary) panicked — so the
+        // scope can join and the panic propagates instead of hanging.
+        *rounds.plan.lock().unwrap_or_else(PoisonError::into_inner) = Plan::Finish;
+        rounds.barrier.wait();
+        let mut shard_out: Vec<ShardOut<'a>> = Vec::new();
+        let mut waits: Vec<BarrierWait> = Vec::new();
+        for h in handles {
+            match h.join() {
+                Ok((out, w)) => {
+                    shard_out.extend(out);
+                    waits.push(w);
+                }
+                Err(payload) => resume_unwind(payload),
+            }
+        }
+        (outcome.map(move |c| (c, prof)), shard_out, waits)
+    });
+    let (coord, prof) = match outcome {
+        Ok(v) => v,
+        Err(payload) => resume_unwind(payload),
+    };
+
+    shard_out.sort_by_key(|(s, ..)| *s);
+    let mut stats = SimStats::default();
+    for (_, sim, _) in &shard_out {
+        let s = sim.stats();
+        stats.benign.absorb(&s.benign);
+        stats.attack.absorb(&s.attack);
+        stats.faults.window_injected += s.faults.window_injected;
+        stats.faults.window_delivered += s.faults.window_delivered;
+    }
+    stats.faults.events_applied = coord.fstats.events_applied;
+    stats.faults.degraded_cycles = coord.fstats.degraded_cycles;
+    stats.faults.recovery = coord.fstats.recovery;
+    stats.watchdog = coord.wstats;
+    stats.end_time = coord.end_time;
+    master.set_live_faults(coord.live_faults);
+    if profiling {
+        let profile = EngineProfile {
+            rounds: prof.unwrap_or_default(),
+            shards: shard_out.iter().map(|(_, _, p)| p.clone()).collect(),
+            barrier_waits: waits,
+        };
+        master
+            .telemetry_mut()
+            .expect("profiling implies telemetry")
+            .set_engine_profile(profile);
+    }
+    master.set_final_stats(stats);
+    stats
+}

@@ -54,6 +54,52 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Which execution engine runs the event loop.
+///
+/// The engines are **deterministically equivalent**: for a given config
+/// and injection schedule, delivered packets, typed drops, marks,
+/// statistics and invariant verdicts are bit-identical. `Sharded` only
+/// changes wall-clock cost, never results — the property the
+/// `ddpm-engine` equivalence suite pins.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The single-threaded event loop (`Simulation::run`).
+    #[default]
+    Serial,
+    /// The conservative spatially-sharded parallel engine
+    /// (`ddpm-engine`): switches are partitioned into `shards` shards,
+    /// each with its own event queue and worker, synchronizing on cycle
+    /// windows bounded by the 1-hop lookahead.
+    Sharded {
+        /// Number of spatial shards (clamped to at least 1; a value of
+        /// 1 falls back to the serial loop).
+        shards: usize,
+    },
+}
+
+impl Engine {
+    /// Parses the scenario-file / CLI spelling: `serial` or `sharded`
+    /// (shard count supplied separately).
+    pub fn parse(name: &str, shards: usize) -> Result<Self, String> {
+        match name {
+            "serial" => Ok(Self::Serial),
+            "sharded" => Ok(Self::Sharded {
+                shards: shards.max(1),
+            }),
+            other => Err(format!("unknown engine `{other}` (serial|sharded)")),
+        }
+    }
+
+    /// Stable name (`serial` / `sharded`).
+    #[must_use]
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Serial => "serial",
+            Self::Sharded { .. } => "sharded",
+        }
+    }
+}
+
 /// Tunable parameters of a simulation run.
 ///
 /// Construct via [`SimConfig::builder`]:
@@ -116,6 +162,9 @@ pub struct SimConfig {
     /// RNG seed. Identical configs + identical injections ⇒ identical
     /// runs.
     pub seed: u64,
+    /// Which execution engine runs the event loop. Results are
+    /// engine-invariant; only wall-clock cost changes.
+    pub engine: Engine,
 }
 
 impl Default for SimConfig {
@@ -133,6 +182,7 @@ impl Default for SimConfig {
             watchdog: None,
             invariants: InvariantConfig::default(),
             seed: 0xDD9A,
+            engine: Engine::Serial,
         }
     }
 }
@@ -272,6 +322,13 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Selects the execution engine (results are engine-invariant).
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.cfg.engine = engine;
+        self
+    }
+
     /// Finishes, yielding the config.
     #[must_use]
     pub fn build(self) -> SimConfig {
@@ -297,6 +354,7 @@ mod tests {
             .watchdog(WatchdogConfig::default())
             .invariants(InvariantConfig::strict())
             .seed(42)
+            .engine(Engine::Sharded { shards: 4 })
             .build();
         assert_eq!(cfg.link_latency, 1);
         assert_eq!(cfg.service_cycles, 3);
@@ -310,6 +368,25 @@ mod tests {
         assert_eq!(cfg.watchdog, Some(WatchdogConfig::default()));
         assert!(cfg.invariants.enabled && cfg.invariants.panic_on_violation);
         assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.engine, Engine::Sharded { shards: 4 });
+    }
+
+    #[test]
+    fn engine_parses_and_defaults_serial() {
+        assert_eq!(SimConfig::default().engine, Engine::Serial);
+        assert_eq!(Engine::parse("serial", 8), Ok(Engine::Serial));
+        assert_eq!(
+            Engine::parse("sharded", 4),
+            Ok(Engine::Sharded { shards: 4 })
+        );
+        assert_eq!(
+            Engine::parse("sharded", 0),
+            Ok(Engine::Sharded { shards: 1 }),
+            "shard count clamps to 1"
+        );
+        assert!(Engine::parse("warp", 4).is_err());
+        assert_eq!(Engine::Serial.as_str(), "serial");
+        assert_eq!(Engine::Sharded { shards: 2 }.as_str(), "sharded");
     }
 
     #[test]

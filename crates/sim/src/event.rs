@@ -43,25 +43,48 @@ pub enum EventKind {
     Watchdog,
 }
 
-/// A scheduled event. Ordered by time, ties broken by insertion sequence
-/// so runs are bit-for-bit reproducible.
+/// A scheduled event, ordered by the **canonical key**
+/// `(time, rank, packet, seq)`:
+///
+/// * `rank` — fault events first, then the watchdog sweep, then packet
+///   events. Global events at a cycle always precede packet events at
+///   that cycle, in every engine.
+/// * `packet` — the in-flight handle, for packet events. A live packet
+///   has at most one pending event, so `(time, packet)` is unique and
+///   the same-cycle order is identical however events were inserted —
+///   the property that lets the sharded engine (`ddpm-engine`) merge
+///   per-shard streams bit-identically to the serial run.
+/// * `seq` — insertion sequence, the final tie-break (same-cycle fault
+///   events apply in schedule order).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct Event {
     /// When the event fires.
     pub time: SimTime,
-    /// Insertion sequence number (tie-breaker).
+    /// Insertion sequence number (final tie-breaker).
     pub seq: u64,
     /// What happens.
     pub kind: EventKind,
 }
 
+impl Event {
+    /// The canonical ordering key shared by every engine.
+    #[must_use]
+    pub fn canonical_key(&self) -> (u64, u8, u64, u64) {
+        let (rank, pkey) = match self.kind {
+            EventKind::Fault { .. } => (0, 0),
+            EventKind::Watchdog => (1, 0),
+            EventKind::Inject { pkt }
+            | EventKind::Arrive { pkt, .. }
+            | EventKind::Reroute { pkt, .. } => (2, pkt as u64),
+        };
+        (self.time.0, rank, pkey, self.seq)
+    }
+}
+
 impl Ord for Event {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.canonical_key().cmp(&self.canonical_key())
     }
 }
 
@@ -98,9 +121,9 @@ impl EventQueue {
     }
 
     /// Removes and returns every pending event matching `pred`, in
-    /// `(time, seq)` order. Used for fail-stop semantics: when a switch
-    /// or link dies, the packets committed to it are claimed (and
-    /// counted) instead of silently firing later.
+    /// canonical `(time, rank, packet, seq)` order. Used for fail-stop
+    /// semantics: when a switch or link dies, the packets committed to
+    /// it are claimed (and counted) instead of silently firing later.
     pub fn extract(&mut self, mut pred: impl FnMut(&EventKind) -> bool) -> Vec<Event> {
         let (out, keep): (Vec<Event>, Vec<Event>) = std::mem::take(&mut self.heap)
             .into_vec()
@@ -108,8 +131,15 @@ impl EventQueue {
             .partition(|e| pred(&e.kind));
         self.heap = keep.into();
         let mut out = out;
-        out.sort_by_key(|e| (e.time, e.seq));
+        out.sort_by_key(Event::canonical_key);
         out
+    }
+
+    /// Fire time of the earliest pending event, without popping it. The
+    /// sharded engine uses this to bound its cycle windows.
+    #[must_use]
+    pub fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.time.0)
     }
 
     /// Number of pending events.
@@ -177,6 +207,39 @@ mod tests {
         assert_eq!(q.len(), 1, "unrelated events survive");
         // The queue still pops correctly after the rebuild.
         assert_eq!(q.pop().unwrap().kind, EventKind::Inject { pkt: 3 });
+    }
+
+    #[test]
+    fn canonical_order_is_insertion_independent() {
+        use ddpm_topology::NodeId;
+        // Same cycle, inserted in scrambled order: faults first (in
+        // schedule order), then the watchdog, then packet events by
+        // handle — regardless of insertion sequence.
+        let mut q = EventQueue::new();
+        q.push(SimTime(4), EventKind::Inject { pkt: 9 });
+        q.push(SimTime(4), EventKind::Watchdog);
+        q.push(
+            SimTime(4),
+            EventKind::Fault {
+                event: FaultEvent::SwitchDown { node: NodeId(1) },
+            },
+        );
+        q.push(SimTime(4), EventKind::Arrive { pkt: 2, node: 1, from: 0 });
+        let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+        assert!(matches!(kinds[0], EventKind::Fault { .. }));
+        assert!(matches!(kinds[1], EventKind::Watchdog));
+        assert!(matches!(kinds[2], EventKind::Arrive { pkt: 2, .. }));
+        assert!(matches!(kinds[3], EventKind::Inject { pkt: 9 }));
+    }
+
+    #[test]
+    fn next_time_peeks_without_popping() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.push(SimTime(9), EventKind::Inject { pkt: 0 });
+        q.push(SimTime(3), EventKind::Inject { pkt: 1 });
+        assert_eq!(q.next_time(), Some(3));
+        assert_eq!(q.len(), 2, "peek leaves the queue intact");
     }
 
     #[test]

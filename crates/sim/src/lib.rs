@@ -21,9 +21,14 @@
 //!
 //! ## Determinism
 //!
-//! Runs are exactly reproducible: one seeded [`rand::rngs::SmallRng`]
-//! drives all randomness, and the event queue breaks time ties by
-//! insertion sequence number.
+//! Runs are exactly reproducible: every in-flight packet carries its own
+//! [`rand::rngs::SmallRng`] stream seeded from `(run seed, handle)`, so
+//! a packet's random decisions are independent of how other packets'
+//! events interleave, and the event queue orders same-cycle events by a
+//! canonical `(time, rank, packet, seq)` key rather than raw insertion
+//! order. Together these make the serial engine and the sharded engine
+//! (`ddpm-engine`, selected via [`config::Engine`]) produce bit-identical
+//! results.
 
 #![warn(missing_docs)]
 
@@ -37,7 +42,7 @@ pub mod stats;
 pub mod time;
 pub mod watchdog;
 
-pub use config::{RetryPolicy, SimConfig, SimConfigBuilder};
+pub use config::{Engine, RetryPolicy, SimConfig, SimConfigBuilder};
 pub use filter::{Filter, NoFilter};
 pub use invariant::{InvariantChecker, InvariantConfig, Violation};
 pub use mark::{MarkEnv, Marker, NoMarking};

@@ -7,13 +7,17 @@ use crate::invariant::{InvariantChecker, Violation};
 use crate::mark::{MarkEnv, Marker};
 use crate::stats::SimStats;
 use crate::time::SimTime;
-use ddpm_net::{Packet, TrafficClass};
+use ddpm_net::{Packet, PacketId, TrafficClass};
 use ddpm_routing::{RouteCtx, RouteState, Router, SelectionPolicy};
-use ddpm_telemetry::{EventKind as TelEvent, PacketEvent, RetryKind, Telemetry};
-use ddpm_topology::{Coord, Direction, FaultEvent, FaultSchedule, FaultSet, NodeId, Topology};
+use ddpm_telemetry::{EventKind as TelEvent, PacketEvent, RetryKind, Telemetry, TelemetryConfig};
+use ddpm_topology::{
+    Coord, Direction, FaultEvent, FaultSchedule, FaultSet, NodeId, Partition, Topology,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
+use std::ops::{Index, IndexMut};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Why a packet was discarded.
@@ -103,6 +107,13 @@ impl Delivered {
 struct InFlight {
     packet: Packet,
     state: RouteState,
+    /// Per-packet RNG stream, seeded from `(SimConfig::seed, handle)`.
+    /// Giving every packet its own stream (instead of one global RNG
+    /// consumed in processing order) makes each packet's random
+    /// decisions independent of how *other* packets' events interleave
+    /// — the property that lets the sharded engine reproduce the serial
+    /// run bit-for-bit.
+    rng: SmallRng,
     injected_at: SimTime,
     path: Vec<NodeId>,
     /// Injection attempts made against a downed source switch.
@@ -138,6 +149,215 @@ struct InFlight {
     wire_mf: u16,
 }
 
+/// In-flight packet storage: a handle-indexed slot table. In the serial
+/// engine every scheduled packet stays resident for the whole run; in
+/// the sharded engine a slot is `None` while the packet is owned by
+/// another shard (handles are global, storage is per-shard).
+struct Pkts(Vec<Option<Box<InFlight>>>);
+
+impl Pkts {
+    fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn push(&mut self, flight: InFlight) -> usize {
+        self.0.push(Some(Box::new(flight)));
+        self.0.len() - 1
+    }
+
+    /// Grows the table to `n` empty slots (shard setup).
+    fn ensure_len(&mut self, n: usize) {
+        if self.0.len() < n {
+            self.0.resize_with(n, || None);
+        }
+    }
+
+    fn get(&self, i: usize) -> Option<&InFlight> {
+        self.0.get(i).and_then(|s| s.as_deref())
+    }
+
+    /// Removes the packet for a cross-shard handoff.
+    fn take(&mut self, i: usize) -> Box<InFlight> {
+        self.0[i].take().expect("packet resident in this shard")
+    }
+
+    /// Installs a handed-off packet.
+    fn put(&mut self, i: usize, flight: Box<InFlight>) {
+        debug_assert!(self.0[i].is_none(), "slot {i} already occupied");
+        self.0[i] = Some(flight);
+    }
+
+    /// Resident packets, in handle order.
+    fn iter_live(&self) -> impl Iterator<Item = (usize, &InFlight)> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_deref().map(|p| (i, p)))
+    }
+}
+
+impl Index<usize> for Pkts {
+    type Output = InFlight;
+    fn index(&self, i: usize) -> &InFlight {
+        self.0[i].as_deref().expect("packet resident in this shard")
+    }
+}
+
+impl IndexMut<usize> for Pkts {
+    fn index_mut(&mut self, i: usize) -> &mut InFlight {
+        self.0[i]
+            .as_deref_mut()
+            .expect("packet resident in this shard")
+    }
+}
+
+/// Canonical merge key of one captured artefact in shard mode:
+/// `(cycle, rank, packet-key, emission-seq)` — sorting per-shard capture
+/// streams by this key reproduces the exact order the serial engine
+/// emits artefacts in (see [`Event::canonical_key`]).
+#[doc(hidden)]
+pub type EventKey = (u64, u8, u64, u32);
+
+/// A packet crossing a shard boundary: the full in-flight record plus
+/// the `Arrive` event it travels as. Opaque outside this crate.
+#[doc(hidden)]
+pub struct Handoff {
+    time: u64,
+    pkt: usize,
+    node: u32,
+    from: u32,
+    flight: Box<InFlight>,
+}
+
+/// Per-shard mailboxes for cross-shard handoffs, indexed by destination
+/// shard. Senders push during a window; owners drain at the barrier.
+#[doc(hidden)]
+pub type Inboxes = Arc<Vec<Mutex<Vec<Handoff>>>>;
+
+/// Builds the empty mailbox array for `shards` shards.
+#[doc(hidden)]
+#[must_use]
+pub fn new_inboxes(shards: usize) -> Inboxes {
+    Arc::new((0..shards).map(|_| Mutex::new(Vec::new())).collect())
+}
+
+/// Everything a shard hands the coordinator at a barrier: captured
+/// artefacts (already in canonical order), progress markers and the
+/// conservation totals.
+#[doc(hidden)]
+pub struct WindowReport {
+    /// Fire time of the shard's earliest pending event, post-install.
+    pub next_time: Option<u64>,
+    /// Earliest injection processed since the last report (arms the
+    /// watchdog exactly as the serial engine's first-inject rule).
+    pub min_inject: Option<u64>,
+    /// Cycle of the shard's latest delivery or forward (cumulative).
+    pub last_progress: u64,
+    /// Packets launched and still resident in this shard.
+    pub live: u64,
+    /// Cumulative injected count (conservation term).
+    pub injected: u64,
+    /// Cumulative delivered count (conservation term).
+    pub delivered_total: u64,
+    /// Cumulative dropped count (conservation term).
+    pub dropped_total: u64,
+    /// Latest cycle this shard processed an event at (cumulative).
+    pub max_processed: Option<u64>,
+    /// Lifecycle events captured since the last report.
+    pub events: Vec<(EventKey, PacketEvent)>,
+    /// Deliveries captured since the last report.
+    pub delivered: Vec<(EventKey, Delivered)>,
+    /// Typed drops captured since the last report.
+    pub drops: Vec<(EventKey, (PacketId, DropReason))>,
+    /// Invariant violations captured since the last report.
+    pub violations: Vec<(EventKey, Violation)>,
+    /// First self-test candidate `(key, pkt id, node)` seen by this
+    /// shard, if any — the coordinator elects the global minimum.
+    pub selftest: Option<(EventKey, u64, u32)>,
+}
+
+/// A packet claimed by a fault the coordinator ordered: where and when
+/// the serial engine would have dropped it.
+#[doc(hidden)]
+pub struct FaultVictim {
+    /// Fire time of the claimed event (serial drop order, major).
+    pub time: u64,
+    /// In-flight handle (serial drop order, minor).
+    pub handle: usize,
+    /// Packet id, for the master drop log.
+    pub pkt_id: u64,
+    /// Node the claimed event addressed — where the drop is attributed.
+    pub node: u32,
+}
+
+/// One live packet's watchdog-relevant state, gathered at a sweep.
+#[doc(hidden)]
+pub struct WdPacket {
+    /// In-flight handle (sweep order).
+    pub handle: usize,
+    /// Packet id.
+    pub pkt_id: u64,
+    /// Injection cycle.
+    pub injected_at: u64,
+    /// Cycle of the most recent hop.
+    pub last_hop_at: u64,
+    /// True once escalated onto the escape router.
+    pub escaped: bool,
+    /// Cycle of the escape.
+    pub escaped_at: u64,
+    /// Last switch that handled the packet.
+    pub last_node: u32,
+}
+
+/// What a watchdog sweep decided for one packet.
+#[doc(hidden)]
+#[derive(Clone, Copy)]
+pub enum WdActionKind {
+    /// Reroute onto the escape router with a fresh retry allowance.
+    Escape,
+    /// Claim with a typed drop.
+    Drop(DropReason),
+}
+
+/// A coordinator-ordered watchdog action against one packet.
+#[doc(hidden)]
+#[derive(Clone, Copy)]
+pub struct WdAction {
+    /// In-flight handle.
+    pub handle: usize,
+    /// What to do.
+    pub kind: WdActionKind,
+}
+
+/// Shard-mode state carried by a [`Simulation`] that acts as one shard
+/// of the parallel engine.
+struct ShardCtx {
+    shard: usize,
+    part: Arc<Partition>,
+    inboxes: Inboxes,
+    /// Mirror of the master's observer flag: capture lifecycle events
+    /// for the merge (the master replays them into telemetry and the
+    /// checker's trace tail).
+    capture: bool,
+    selftest_at: Option<u64>,
+    selftest_done: bool,
+    /// `(packet id, last node)` of the most recent cross-shard handoff,
+    /// so the post-event hook can attribute a self-test violation to an
+    /// event whose packet just left the shard.
+    departed_info: (u64, u32),
+    events: Vec<(EventKey, PacketEvent)>,
+    delivered: Vec<(EventKey, Delivered)>,
+    drops: Vec<(EventKey, (PacketId, DropReason))>,
+    violations: Vec<(EventKey, Violation)>,
+    selftest_candidate: Option<(EventKey, u64, u32)>,
+    min_inject: Option<u64>,
+    max_processed: Option<u64>,
+}
+
 /// A discrete-event simulation run over one network.
 ///
 /// Typical usage:
@@ -162,9 +382,8 @@ pub struct Simulation<'a> {
     marker: &'a dyn Marker,
     filter: &'a dyn Filter,
     cfg: SimConfig,
-    rng: SmallRng,
     queue: EventQueue,
-    pkts: Vec<InFlight>,
+    pkts: Pkts,
     /// Per directed output port: the cycle until which it is busy.
     ports: HashMap<(u32, Direction), u64>,
     now: SimTime,
@@ -190,6 +409,20 @@ pub struct Simulation<'a> {
     watchdog_armed: bool,
     /// Runtime invariant checker (violation log + trace tail).
     checker: InvariantChecker,
+    /// Cached "is anyone observing lifecycle events" flag — telemetry,
+    /// the checker's trace tail, or (in shard mode) the capture buffers.
+    /// Hoisted out of the hot loop: both inputs are fixed for a run.
+    obs: bool,
+    /// Cached [`InvariantChecker::enabled`], likewise fixed for a run.
+    checking: bool,
+    /// Present when this simulation is one shard of the parallel engine.
+    shard: Option<Box<ShardCtx>>,
+    /// Canonical key of the event being processed (shard mode only):
+    /// cycle, rank, packet key, next emission sequence.
+    cur_cycle: u64,
+    cur_rank: u8,
+    cur_pkey: u64,
+    emit_seq: u32,
 }
 
 static NO_FILTER: NoFilter = NoFilter;
@@ -222,6 +455,8 @@ impl<'a> Simulation<'a> {
         let degraded_since = (!faults.is_empty()).then_some(0);
         let tele = Telemetry::from_config(&cfg.telemetry).map(Box::new);
         let checker = InvariantChecker::new(cfg.invariants);
+        let obs = tele.as_ref().is_some_and(|t| t.events_on()) || checker.tail_on();
+        let checking = checker.enabled();
         Self {
             topo,
             live: faults.clone(),
@@ -229,10 +464,9 @@ impl<'a> Simulation<'a> {
             policy,
             marker,
             filter,
-            rng: SmallRng::seed_from_u64(cfg.seed),
             cfg,
             queue: EventQueue::new(),
-            pkts: Vec::new(),
+            pkts: Pkts::new(),
             ports: HashMap::new(),
             now: SimTime::ZERO,
             stats: SimStats::default(),
@@ -245,6 +479,13 @@ impl<'a> Simulation<'a> {
             last_progress: 0,
             watchdog_armed: false,
             checker,
+            obs,
+            checking,
+            shard: None,
+            cur_cycle: 0,
+            cur_rank: 0,
+            cur_pkey: 0,
+            emit_seq: 0,
         }
     }
 
@@ -269,9 +510,15 @@ impl<'a> Simulation<'a> {
     pub fn schedule(&mut self, time: SimTime, packet: Packet) -> usize {
         let idx = self.pkts.len();
         let wire_mf = packet.header.identification.raw();
+        // Decorrelate per-packet streams from the run seed with a
+        // splitmix of the handle (golden-ratio increment).
+        let rng = SmallRng::seed_from_u64(
+            self.cfg.seed ^ (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         self.pkts.push(InFlight {
             packet,
             state: RouteState::with_budget(self.router.misroute_budget()),
+            rng,
             injected_at: time,
             path: Vec::new(),
             inject_attempts: 0,
@@ -291,7 +538,11 @@ impl<'a> Simulation<'a> {
 
     /// Runs the event loop to quiescence and returns the statistics.
     pub fn run(&mut self) -> SimStats {
+        // Observer and checker status are fixed for a run: hoist both
+        // out of the per-event path (`checking` here, `self.obs` at
+        // every emission site) so a telemetry-off run pays nothing.
         let profiling = self.tele.as_ref().is_some_and(|t| t.profiling());
+        let checking = self.checking;
         while let Some(ev) = self.queue.pop() {
             debug_assert!(ev.time >= self.now, "time went backwards");
             self.now = ev.time;
@@ -318,7 +569,7 @@ impl<'a> Simulation<'a> {
                     "watchdog"
                 }
             };
-            if self.checker.enabled() {
+            if checking {
                 self.post_event_checks(&ev);
             }
             if let Some(t0) = t0 {
@@ -397,23 +648,19 @@ impl<'a> Simulation<'a> {
         self.pkts[pkt].packet.class
     }
 
-    /// Are lifecycle events being recorded by telemetry?
+    /// The next emission key for the event being processed (shard mode).
     #[inline]
-    fn tele_on(&self) -> bool {
-        self.tele.as_ref().is_some_and(|t| t.events_on())
-    }
-
-    /// Is anyone observing lifecycle events — telemetry, the invariant
-    /// checker's trace tail, or both? The single check guarding every
-    /// emission site.
-    #[inline]
-    fn obs_on(&self) -> bool {
-        self.tele_on() || self.checker.tail_on()
+    fn bump_key(&mut self) -> EventKey {
+        let k = (self.cur_cycle, self.cur_rank, self.cur_pkey, self.emit_seq);
+        self.emit_seq += 1;
+        k
     }
 
     /// Records one lifecycle event for in-flight packet `pkt` at switch
-    /// `node`, feeding both telemetry (when events are on) and the
-    /// checker's trace tail. Only call behind [`Simulation::obs_on`].
+    /// `node`. Serially this feeds telemetry (when events are on) and
+    /// the checker's trace tail; in shard mode it is captured with its
+    /// canonical key for the coordinator's merge. Only call behind
+    /// `self.obs`.
     fn emit(&mut self, pkt: usize, node: u32, kind: TelEvent) {
         let ev = PacketEvent {
             cycle: self.now.cycles(),
@@ -421,6 +668,19 @@ impl<'a> Simulation<'a> {
             node,
             kind,
         };
+        self.sink_event(ev);
+    }
+
+    fn sink_event(&mut self, ev: PacketEvent) {
+        if self.shard.is_some() {
+            let key = self.bump_key();
+            self.shard
+                .as_mut()
+                .expect("just checked")
+                .events
+                .push((key, ev));
+            return;
+        }
         if let Some(t) = self.tele.as_mut() {
             if t.events_on() {
                 t.record(ev);
@@ -430,7 +690,9 @@ impl<'a> Simulation<'a> {
     }
 
     /// Records an invariant violation: telemetry event, trace tail,
-    /// violation log — then panics if the config says so.
+    /// violation log — then panics if the config says so. A shard
+    /// captures the violation (and its event, when observing) keyed for
+    /// the merge instead, preserving the panic behaviour.
     fn report_violation(&mut self, pkt: u64, node: u32, invariant: &'static str, detail: String) {
         let cycle = self.now.cycles();
         let ev = PacketEvent {
@@ -439,6 +701,30 @@ impl<'a> Simulation<'a> {
             node,
             kind: TelEvent::Violation { invariant },
         };
+        if self.shard.is_some() {
+            let key = self.bump_key();
+            let panic_now = self.checker.config().panic_on_violation;
+            let ctx = self.shard.as_mut().expect("just checked");
+            if ctx.capture {
+                ctx.events.push((key, ev));
+            }
+            ctx.violations.push((
+                key,
+                Violation {
+                    cycle,
+                    pkt,
+                    node,
+                    invariant,
+                    detail: detail.clone(),
+                },
+            ));
+            if panic_now {
+                panic!(
+                    "invariant violation `{invariant}` at cycle {cycle}, pkt {pkt}, node {node}: {detail}"
+                );
+            }
+            return;
+        }
         if let Some(t) = self.tele.as_mut() {
             if t.events_on() {
                 t.record(ev);
@@ -500,7 +786,12 @@ impl<'a> Simulation<'a> {
         }
     }
 
-    fn drop_packet(&mut self, pkt: usize, node: u32, reason: DropReason) {
+    /// The state-and-stats half of a drop: kills the packet and bumps
+    /// the typed per-class counter, with no log entry and no event.
+    /// Shards use it alone for coordinator-ordered drops (fault claims,
+    /// watchdog escalations) — the coordinator writes the log entry and
+    /// the event into the master in serial order.
+    fn account_drop(&mut self, pkt: usize, reason: DropReason) {
         debug_assert!(self.pkts[pkt].alive, "double drop of packet {pkt}");
         debug_assert!(self.pkts[pkt].launched, "drop of an uninjected packet");
         self.pkts[pkt].alive = false;
@@ -521,8 +812,18 @@ impl<'a> Simulation<'a> {
             DropReason::LivelockEscaped => c.dropped_livelock += 1,
             DropReason::DeadlockVictim => c.dropped_deadlock += 1,
         }
-        self.drops.push((self.pkts[pkt].packet.id, reason));
-        if self.obs_on() {
+    }
+
+    fn drop_packet(&mut self, pkt: usize, node: u32, reason: DropReason) {
+        self.account_drop(pkt, reason);
+        let id = self.pkts[pkt].packet.id;
+        let key = (self.cur_cycle, self.cur_rank, self.cur_pkey, 0);
+        if let Some(ctx) = self.shard.as_mut() {
+            ctx.drops.push((key, (id, reason)));
+        } else {
+            self.drops.push((id, reason));
+        }
+        if self.obs {
             self.emit(
                 pkt,
                 node,
@@ -607,15 +908,19 @@ impl<'a> Simulation<'a> {
         }
         // Lazy watchdog arming: the first injection of a quiet period
         // schedules the sweep cadence; `last_progress` starts *now* so a
-        // late first injection is not misread as a historic stall.
+        // late first injection is not misread as a historic stall. A
+        // shard only notes the injection time — arming is coordinator
+        // business (it takes the minimum across shards, which is exactly
+        // the first injection the serial engine would have seen).
         if let Some(wd) = self.cfg.watchdog {
-            if !self.watchdog_armed {
+            let t = self.now.cycles();
+            if let Some(ctx) = self.shard.as_mut() {
+                ctx.min_inject = Some(ctx.min_inject.map_or(t, |m| m.min(t)));
+            } else if !self.watchdog_armed {
                 self.watchdog_armed = true;
-                self.last_progress = self.now.cycles();
-                self.queue.push(
-                    SimTime(self.now.cycles() + wd.check_period.max(1)),
-                    EventKind::Watchdog,
-                );
+                self.last_progress = t;
+                self.queue
+                    .push(SimTime(t + wd.check_period.max(1)), EventKind::Watchdog);
             }
         }
         // Source-side graceful degradation: a downed local switch makes
@@ -627,7 +932,7 @@ impl<'a> Simulation<'a> {
                 self.pkts[pkt].inject_attempts = attempt + 1;
                 let at = self.now.cycles() + self.cfg.inject_retry.delay(attempt);
                 self.queue.push(SimTime(at), EventKind::Inject { pkt });
-                if self.obs_on() {
+                if self.obs {
                     self.emit(
                         pkt,
                         src_id.0,
@@ -642,7 +947,7 @@ impl<'a> Simulation<'a> {
             }
             return;
         }
-        if self.obs_on() {
+        if self.obs {
             self.emit(pkt, src_id.0, TelEvent::Inject);
         }
         if self.cfg.record_paths {
@@ -655,7 +960,7 @@ impl<'a> Simulation<'a> {
         self.marker
             .on_inject(&mut self.pkts[pkt].packet, &src, &env);
         let mf_after = self.pkts[pkt].packet.header.identification.raw();
-        if mf_after != mf_before && self.obs_on() {
+        if mf_after != mf_before && self.obs {
             self.emit(pkt, src_id.0, TelEvent::Mark { mf: mf_after });
         }
         if self.filter.block_at_injection(&self.pkts[pkt].packet, &src) {
@@ -672,7 +977,7 @@ impl<'a> Simulation<'a> {
         // Mark-in-transit invariant: links never rewrite the marking
         // field — it must arrive exactly as the previous switch sent it
         // (modelled bit errors happen below, at arrival processing).
-        if self.checker.enabled() {
+        if self.checking {
             let got = self.pkts[pkt].packet.header.identification.raw();
             let sent = self.pkts[pkt].wire_mf;
             if got != sent {
@@ -687,20 +992,28 @@ impl<'a> Simulation<'a> {
         self.pkts[pkt].last_node = node;
         // Link-level bit errors: flip one random header bit in transit;
         // the receiving switch checksums and discards the damaged packet.
-        if self.cfg.bit_error_rate > 0.0 && self.rng.gen_bool(self.cfg.bit_error_rate) {
-            let mut bytes = self.pkts[pkt].packet.header.to_bytes();
-            let bit = self.rng.gen_range(0..160u32);
-            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
-            match ddpm_net::Ipv4Header::parse(&bytes) {
-                Ok(h) => {
-                    // A flip that still parses (impossible for single-bit
-                    // errors under RFC 1071, kept for defence in depth).
-                    self.pkts[pkt].packet.header = h;
+        if self.cfg.bit_error_rate > 0.0 {
+            let ber = self.cfg.bit_error_rate;
+            let p = &mut self.pkts[pkt];
+            let corrupted = if p.rng.gen_bool(ber) {
+                let mut bytes = p.packet.header.to_bytes();
+                let bit = p.rng.gen_range(0..160u32);
+                bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+                match ddpm_net::Ipv4Header::parse(&bytes) {
+                    Ok(h) => {
+                        // A flip that still parses (impossible for single-bit
+                        // errors under RFC 1071, kept for defence in depth).
+                        p.packet.header = h;
+                        false
+                    }
+                    Err(_) => true,
                 }
-                Err(_) => {
-                    self.drop_packet(pkt, node, DropReason::Corrupted);
-                    return;
-                }
+            } else {
+                false
+            };
+            if corrupted {
+                self.drop_packet(pkt, node, DropReason::Corrupted);
+                return;
             }
         }
         let node_id = NodeId(node);
@@ -712,11 +1025,11 @@ impl<'a> Simulation<'a> {
             // The destination switch runs marking logic one final time
             // before delivery (needed by PPM's edge completion).
             let env = MarkEnv { topo: self.topo };
-            let mf_before = self.pkts[pkt].packet.header.identification.raw();
-            self.marker
-                .on_deliver(&mut self.pkts[pkt].packet, &cur, &env, &mut self.rng);
-            let mf_after = self.pkts[pkt].packet.header.identification.raw();
-            if mf_after != mf_before && self.obs_on() {
+            let p = &mut self.pkts[pkt];
+            let mf_before = p.packet.header.identification.raw();
+            self.marker.on_deliver(&mut p.packet, &cur, &env, &mut p.rng);
+            let mf_after = p.packet.header.identification.raw();
+            if mf_after != mf_before && self.obs {
                 self.emit(pkt, node, TelEvent::Mark { mf: mf_after });
             }
             if self.filter.block_at_delivery(&self.pkts[pkt].packet, &cur) {
@@ -737,17 +1050,23 @@ impl<'a> Simulation<'a> {
             c.latency.record(latency);
             c.total_hops += u64::from(inflight.state.hops);
             let hops = inflight.state.hops;
-            self.delivered.push(Delivered {
+            let d = Delivered {
                 packet: inflight.packet,
                 injected_at: inflight.injected_at,
                 delivered_at: self.now,
                 hops,
                 path: self.cfg.record_paths.then(|| inflight.path.clone()),
-            });
+            };
+            let key = (self.cur_cycle, self.cur_rank, self.cur_pkey, 0);
+            if let Some(ctx) = self.shard.as_mut() {
+                ctx.delivered.push((key, d));
+            } else {
+                self.delivered.push(d);
+            }
             self.pkts[pkt].alive = false;
             self.live_count -= 1;
             self.last_progress = self.now.cycles();
-            if self.checker.enabled() && self.cfg.record_paths {
+            if self.checking && self.cfg.record_paths {
                 let want = self.pkts[pkt].state.hops as usize + 1;
                 let got = self.pkts[pkt].path.len();
                 if got != want {
@@ -759,7 +1078,7 @@ impl<'a> Simulation<'a> {
                     );
                 }
             }
-            if self.obs_on() {
+            if self.obs {
                 self.emit(
                     pkt,
                     node,
@@ -806,7 +1125,7 @@ impl<'a> Simulation<'a> {
         // that healed are available again.
         let ctx = RouteCtx::new(self.topo, &self.live);
         let candidates = router.candidates(&ctx, cur, &dst, &self.pkts[pkt].state);
-        let Some(i) = policy.pick_for(&router, &candidates, &mut self.rng) else {
+        let Some(i) = policy.pick_for(&router, &candidates, &mut self.pkts[pkt].rng) else {
             // Stranded. With a reroute budget the switch parks the
             // packet and retries after a backoff — transient faults may
             // heal. Without one (the default), this is a Blocked drop,
@@ -816,7 +1135,7 @@ impl<'a> Simulation<'a> {
                 self.pkts[pkt].reroutes = tried + 1;
                 let at = self.now.cycles() + self.cfg.reroute_retry.delay(tried);
                 self.queue.push(SimTime(at), EventKind::Reroute { pkt, node });
-                if self.obs_on() {
+                if self.obs {
                     self.emit(
                         pkt,
                         node,
@@ -837,7 +1156,7 @@ impl<'a> Simulation<'a> {
 
         // Fault-coherence invariant: routing already filtered faulty
         // links, so a chosen hop onto one is a simulator bug.
-        if self.checker.enabled() && self.live.is_faulty(self.topo, cur, &chosen.next) {
+        if self.checking && self.live.is_faulty(self.topo, cur, &chosen.next) {
             self.report_violation(
                 self.pkts[pkt].packet.id.0,
                 node,
@@ -859,31 +1178,48 @@ impl<'a> Simulation<'a> {
         // Switch-side marking happens once the output port is decided
         // (Fig. 4: Routing() first, then Δ computed and stored).
         let env = MarkEnv { topo: self.topo };
-        let mf_before = self.pkts[pkt].packet.header.identification.raw();
-        self.marker.on_forward(
-            &mut self.pkts[pkt].packet,
-            cur,
-            &chosen.next,
-            &env,
-            &mut self.rng,
-        );
-        let mf_after = self.pkts[pkt].packet.header.identification.raw();
-        self.pkts[pkt]
-            .state
-            .record_hop(chosen.productive, chosen.dir);
-        self.pkts[pkt].wire_mf = mf_after;
-        self.pkts[pkt].last_hop_at = self.now.cycles();
+        let p = &mut self.pkts[pkt];
+        let mf_before = p.packet.header.identification.raw();
+        self.marker
+            .on_forward(&mut p.packet, cur, &chosen.next, &env, &mut p.rng);
+        let mf_after = p.packet.header.identification.raw();
+        p.state.record_hop(chosen.productive, chosen.dir);
+        p.wire_mf = mf_after;
+        p.last_hop_at = self.now.cycles();
         self.last_progress = self.now.cycles();
 
         let depart = busy_until.max(self.now.cycles()) + self.cfg.service_cycles;
         self.ports.insert(key, depart);
         let arrive = depart + self.cfg.link_latency;
         let next_id = self.topo.index(&chosen.next).0;
-        if self.obs_on() {
+        if self.obs {
             if mf_after != mf_before {
                 self.emit(pkt, node, TelEvent::Mark { mf: mf_after });
             }
             self.emit(pkt, node, TelEvent::Forward { next: next_id });
+        }
+        // Cross-shard handoff: when the next switch belongs to another
+        // shard, the packet travels through that shard's mailbox and the
+        // Arrive fires there. Windows are bounded by one hop's latency
+        // (`service_cycles + link_latency`), so the arrival can never
+        // land inside the window being executed.
+        let handoff_dest = self.shard.as_deref().and_then(|ctx| {
+            let dest = ctx.part.owner(NodeId(next_id));
+            (dest != ctx.shard).then_some(dest)
+        });
+        if let Some(dest) = handoff_dest {
+            let flight = self.pkts.take(pkt);
+            self.live_count -= 1;
+            let ctx = self.shard.as_deref_mut().expect("shard mode");
+            ctx.departed_info = (flight.packet.id.0, flight.last_node);
+            ctx.inboxes[dest].lock().expect("inbox poisoned").push(Handoff {
+                time: arrive,
+                pkt,
+                node: next_id,
+                from: node,
+                flight,
+            });
+            return;
         }
         self.queue.push(
             SimTime(arrive),
@@ -944,8 +1280,7 @@ impl<'a> Simulation<'a> {
             self.stats.watchdog.deadlocks += 1;
             let victims: Vec<usize> = self
                 .pkts
-                .iter()
-                .enumerate()
+                .iter_live()
                 .filter(|(_, p)| p.alive && p.launched)
                 .map(|(i, _)| i)
                 .collect();
@@ -953,7 +1288,7 @@ impl<'a> Simulation<'a> {
             self.extract_events_of(&doomed);
             for pkt in victims {
                 let node = self.pkts[pkt].last_node;
-                if self.obs_on() {
+                if self.obs {
                     self.emit(
                         pkt,
                         node,
@@ -978,7 +1313,7 @@ impl<'a> Simulation<'a> {
         // regardless.
         let mut detected: Vec<(usize, bool)> = Vec::new();
         let mut drop_now: Vec<usize> = Vec::new();
-        for (i, p) in self.pkts.iter_mut().enumerate() {
+        for (i, p) in self.pkts.iter_live() {
             if !(p.alive && p.launched) {
                 continue;
             }
@@ -1000,7 +1335,7 @@ impl<'a> Simulation<'a> {
             } else {
                 self.stats.watchdog.starvations += 1;
             }
-            if self.obs_on() {
+            if self.obs {
                 let node = self.pkts[i].last_node;
                 let action = if moving {
                     "livelock_detected"
@@ -1030,7 +1365,7 @@ impl<'a> Simulation<'a> {
                 self.pkts[i].escaped = true;
                 self.pkts[i].escaped_at = now;
                 self.pkts[i].reroutes = 0;
-                if self.obs_on() {
+                if self.obs {
                     let node = self.pkts[i].last_node;
                     self.emit(i, node, TelEvent::Watchdog { action: "escape" });
                 }
@@ -1056,6 +1391,444 @@ impl<'a> Simulation<'a> {
         } else {
             self.watchdog_armed = false;
         }
+    }
+
+    /// The configuration this simulation was built with.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The topology this simulation runs over (engine partitioning).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn topology(&self) -> &'a Topology {
+        self.topo
+    }
+
+    // ------------------------------------------------------------------
+    // Sharded-engine support (`ddpm-engine`). Everything below is
+    // `#[doc(hidden)]` plumbing: a master simulation is split into
+    // per-shard simulations that execute bounded cycle windows, and the
+    // coordinator merges their captured artefacts back into the master
+    // in canonical order — bit-identical to a serial run.
+    // ------------------------------------------------------------------
+
+    /// Splits this (not yet run) simulation into one simulation per
+    /// shard of `part`, moving scheduled packets and their `Inject`
+    /// events to the shard owning each packet's source switch. Returns
+    /// the shard simulations and the drained fault schedule
+    /// (coordinator-owned), in schedule order.
+    #[doc(hidden)]
+    pub fn engine_split(
+        &mut self,
+        part: &Arc<Partition>,
+        inboxes: &Inboxes,
+    ) -> (Vec<Simulation<'a>>, Vec<(u64, FaultEvent)>) {
+        let capture = self.obs;
+        let selftest_at = if self.checking {
+            self.checker.selftest_pending()
+        } else {
+            None
+        };
+        let mut shard_cfg = self.cfg.clone();
+        // Shards never own sinks or profilers; the master replays the
+        // merged event stream into its own telemetry.
+        shard_cfg.telemetry = TelemetryConfig::default();
+        let mut sims: Vec<Simulation<'a>> = (0..part.shards())
+            .map(|s| {
+                let mut sim = Simulation::with_filter(
+                    self.topo,
+                    &self.live,
+                    self.router,
+                    self.policy,
+                    self.marker,
+                    self.filter,
+                    shard_cfg.clone(),
+                );
+                sim.obs = capture;
+                // Degraded-window accounting is coordinator-owned.
+                sim.degraded_since = None;
+                sim.shard = Some(Box::new(ShardCtx {
+                    shard: s,
+                    part: Arc::clone(part),
+                    inboxes: Arc::clone(inboxes),
+                    capture,
+                    selftest_at,
+                    selftest_done: false,
+                    departed_info: (0, u32::MAX),
+                    events: Vec::new(),
+                    delivered: Vec::new(),
+                    drops: Vec::new(),
+                    violations: Vec::new(),
+                    selftest_candidate: None,
+                    min_inject: None,
+                    max_processed: None,
+                }));
+                sim.pkts.ensure_len(self.pkts.len());
+                sim
+            })
+            .collect();
+        let mut faults: Vec<(u64, FaultEvent)> = Vec::new();
+        while let Some(ev) = self.queue.pop() {
+            match ev.kind {
+                EventKind::Inject { pkt } => {
+                    let owner = part.owner(self.pkts[pkt].packet.true_source);
+                    sims[owner].queue.push(ev.time, EventKind::Inject { pkt });
+                }
+                EventKind::Fault { event } => faults.push((ev.time.0, event)),
+                EventKind::Arrive { .. } | EventKind::Reroute { .. } | EventKind::Watchdog => {
+                    unreachable!("split happens before the run starts")
+                }
+            }
+        }
+        for idx in 0..self.pkts.len() {
+            if let Some(flight) = self.pkts.0[idx].take() {
+                let owner = part.owner(flight.packet.true_source);
+                sims[owner].pkts.put(idx, flight);
+            }
+        }
+        (sims, faults)
+    }
+
+    /// Runs every pending event with fire time strictly below `end` —
+    /// one conservative window. Shard mode only.
+    #[doc(hidden)]
+    pub fn run_window(&mut self, end: u64) {
+        debug_assert!(self.shard.is_some(), "run_window outside shard mode");
+        while self.queue.next_time().is_some_and(|t| t < end) {
+            let ev = self.queue.pop().expect("peeked above");
+            debug_assert!(ev.time >= self.now, "time went backwards");
+            self.now = ev.time;
+            let (cycle, rank, pkey, _) = ev.canonical_key();
+            self.cur_cycle = cycle;
+            self.cur_rank = rank;
+            self.cur_pkey = pkey;
+            self.emit_seq = 0;
+            if let Some(ctx) = self.shard.as_deref_mut() {
+                ctx.max_processed = Some(cycle);
+            }
+            match ev.kind {
+                EventKind::Inject { pkt } => self.handle_inject(pkt),
+                EventKind::Arrive { pkt, node, .. } => self.handle_arrive(pkt, node),
+                EventKind::Reroute { pkt, node } => self.handle_reroute(pkt, node),
+                EventKind::Fault { .. } | EventKind::Watchdog => {
+                    unreachable!("global events are coordinator-owned in shard mode")
+                }
+            }
+            self.window_post_event(&ev);
+        }
+    }
+
+    /// Shard-mode post-event hook: captures the first self-test
+    /// candidate. (The per-event conservation check moves to the
+    /// engine's barrier, where the terms of the global sum exist.)
+    fn window_post_event(&mut self, ev: &Event) {
+        let Some(ctx) = self.shard.as_deref() else {
+            return;
+        };
+        let Some(at) = ctx.selftest_at else { return };
+        if ctx.selftest_done || self.now.cycles() < at {
+            return;
+        }
+        let (pkt_id, node) = match ev.kind {
+            EventKind::Inject { pkt }
+            | EventKind::Arrive { pkt, .. }
+            | EventKind::Reroute { pkt, .. } => match self.pkts.get(pkt) {
+                Some(p) => (p.packet.id.0, p.last_node),
+                // The event's packet was just handed off mid-event.
+                None => ctx.departed_info,
+            },
+            EventKind::Fault { .. } | EventKind::Watchdog => (0, u32::MAX),
+        };
+        // `u32::MAX` sorts the candidate after every emission of its
+        // event — where the serial post-event check fires.
+        let key = (self.cur_cycle, self.cur_rank, self.cur_pkey, u32::MAX);
+        let ctx = self.shard.as_deref_mut().expect("shard mode");
+        ctx.selftest_done = true;
+        ctx.selftest_candidate = Some((key, pkt_id, node));
+    }
+
+    /// Drains this shard's mailbox: installs handed-off packets and
+    /// queues their arrivals. Call after the handoff barrier (every
+    /// sender finished writing) and before reporting.
+    #[doc(hidden)]
+    pub fn install_inbox(&mut self) {
+        let Some(ctx) = self.shard.as_deref() else {
+            return;
+        };
+        let items: Vec<Handoff> =
+            std::mem::take(&mut *ctx.inboxes[ctx.shard].lock().expect("inbox poisoned"));
+        for h in items {
+            self.pkts.put(h.pkt, h.flight);
+            self.live_count += 1;
+            self.queue.push(
+                SimTime(h.time),
+                EventKind::Arrive {
+                    pkt: h.pkt,
+                    node: h.node,
+                    from: h.from,
+                },
+            );
+        }
+    }
+
+    /// Drains the capture buffers and snapshots progress state for the
+    /// coordinator. Shard mode only.
+    #[doc(hidden)]
+    pub fn take_window_report(&mut self) -> WindowReport {
+        let next_time = self.queue.next_time();
+        let live = self.live_count;
+        let last_progress = self.last_progress;
+        let totals = self.stats.total();
+        let ctx = self.shard.as_deref_mut().expect("shard mode");
+        WindowReport {
+            next_time,
+            min_inject: ctx.min_inject.take(),
+            last_progress,
+            live,
+            injected: totals.injected,
+            delivered_total: totals.delivered,
+            dropped_total: totals.dropped(),
+            max_processed: ctx.max_processed,
+            events: std::mem::take(&mut ctx.events),
+            delivered: std::mem::take(&mut ctx.delivered),
+            drops: std::mem::take(&mut ctx.drops),
+            violations: std::mem::take(&mut ctx.violations),
+            selftest: ctx.selftest_candidate.take(),
+        }
+    }
+
+    /// Fire time of the earliest pending event (engine scheduling).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn next_event_time(&self) -> Option<u64> {
+        self.queue.next_time()
+    }
+
+    /// Applies one coordinator-ordered fault to this shard: updates the
+    /// live fault state and claims doomed events from the local queue,
+    /// killing their packets silently (stats only). Returns the victims
+    /// so the coordinator can write the drop log and events in serial
+    /// order.
+    #[doc(hidden)]
+    pub fn shard_apply_fault(&mut self, ev: FaultEvent) -> Vec<FaultVictim> {
+        self.live.apply(self.topo, ev);
+        let (lost, reason) = match ev {
+            FaultEvent::LinkDown { a, b } => (
+                self.queue.extract(|k| {
+                    matches!(k, EventKind::Arrive { node, from, .. }
+                        if (NodeId(*node), NodeId(*from)) == (a, b)
+                            || (NodeId(*node), NodeId(*from)) == (b, a))
+                }),
+                DropReason::LinkDown,
+            ),
+            FaultEvent::SwitchDown { node } => (
+                self.queue.extract(|k| match k {
+                    EventKind::Arrive { node: n, from, .. } => *n == node.0 || *from == node.0,
+                    EventKind::Reroute { node: n, .. } => *n == node.0,
+                    EventKind::Inject { .. } | EventKind::Fault { .. } | EventKind::Watchdog => {
+                        false
+                    }
+                }),
+                DropReason::SwitchDown,
+            ),
+            FaultEvent::LinkUp { .. } | FaultEvent::SwitchUp { .. } => return Vec::new(),
+        };
+        lost.into_iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Arrive { pkt, node, .. } | EventKind::Reroute { pkt, node } => {
+                    let pkt_id = self.pkts[pkt].packet.id.0;
+                    self.account_drop(pkt, reason);
+                    Some(FaultVictim {
+                        time: e.time.0,
+                        handle: pkt,
+                        pkt_id,
+                        node,
+                    })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Gathers watchdog-relevant state for every live launched packet in
+    /// this shard, in handle order.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn watchdog_report(&self) -> Vec<WdPacket> {
+        self.pkts
+            .iter_live()
+            .filter(|(_, p)| p.alive && p.launched)
+            .map(|(handle, p)| WdPacket {
+                handle,
+                pkt_id: p.packet.id.0,
+                injected_at: p.injected_at.cycles(),
+                last_hop_at: p.last_hop_at,
+                escaped: p.escaped,
+                escaped_at: p.escaped_at,
+                last_node: p.last_node,
+            })
+            .collect()
+    }
+
+    /// Executes coordinator-ordered watchdog actions against resident
+    /// packets (non-resident handles are another shard's business).
+    /// Drops are silent here — the coordinator writes the log.
+    #[doc(hidden)]
+    pub fn exec_wd_actions(&mut self, actions: &[WdAction], now: u64) {
+        for a in actions {
+            let pkt = a.handle;
+            if self.pkts.get(pkt).is_none() {
+                continue;
+            }
+            match a.kind {
+                WdActionKind::Escape => {
+                    // Wake a parked retry so the escape takes effect
+                    // promptly, exactly like the serial sweep.
+                    let parked = self
+                        .queue
+                        .extract(|k| matches!(k, EventKind::Reroute { pkt: p, .. } if *p == pkt));
+                    for e in parked {
+                        if let EventKind::Reroute { pkt, node } = e.kind {
+                            self.queue
+                                .push(SimTime(now + 1), EventKind::Reroute { pkt, node });
+                        }
+                    }
+                    let p = &mut self.pkts[pkt];
+                    p.escaped = true;
+                    p.escaped_at = now;
+                    p.reroutes = 0;
+                }
+                WdActionKind::Drop(reason) => {
+                    self.queue.extract(|k| match k {
+                        EventKind::Inject { pkt: p }
+                        | EventKind::Arrive { pkt: p, .. }
+                        | EventKind::Reroute { pkt: p, .. } => *p == pkt,
+                        EventKind::Fault { .. } | EventKind::Watchdog => false,
+                    });
+                    self.account_drop(pkt, reason);
+                }
+            }
+        }
+    }
+
+    // --- master-side merge sinks -------------------------------------
+
+    /// Is the master observing lifecycle events? Mirrors what the
+    /// shards captured.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn observing(&self) -> bool {
+        self.obs
+    }
+
+    /// Replays one merged lifecycle event into the master's telemetry
+    /// and trace tail.
+    #[doc(hidden)]
+    pub fn merged_event(&mut self, ev: PacketEvent) {
+        if let Some(t) = self.tele.as_mut() {
+            if t.events_on() {
+                t.record(ev);
+            }
+        }
+        self.checker.record_tail(ev);
+    }
+
+    /// Appends one merged delivery to the master's delivered log.
+    #[doc(hidden)]
+    pub fn merged_delivered(&mut self, d: Delivered) {
+        self.delivered.push(d);
+    }
+
+    /// Appends one merged drop to the master's drop log (with its event,
+    /// when observing). Used for drops the coordinator ordered itself.
+    #[doc(hidden)]
+    pub fn merged_drop(&mut self, cycle: u64, id: PacketId, node: u32, reason: DropReason) {
+        self.drops.push((id, reason));
+        if self.obs {
+            self.merged_event(PacketEvent {
+                cycle,
+                pkt: id.0,
+                node,
+                kind: TelEvent::Drop {
+                    reason: reason.as_str(),
+                },
+            });
+        }
+    }
+
+    /// Appends one merged drop whose `Drop` event already travelled in
+    /// the merged event stream (shard-captured drops).
+    #[doc(hidden)]
+    pub fn merged_drop_entry(&mut self, id: PacketId, reason: DropReason) {
+        self.drops.push((id, reason));
+    }
+
+    /// Records a merged violation in the master's checker, preserving
+    /// the serial panic behaviour. The violation's telemetry event
+    /// travels separately in the merged event stream.
+    #[doc(hidden)]
+    pub fn merged_violation(&mut self, v: Violation) {
+        let (invariant, cycle, pkt, node) = (v.invariant, v.cycle, v.pkt, v.node);
+        let panic_now = self.checker.report(v);
+        if panic_now {
+            let v = self.checker.violations().last().expect("just pushed");
+            panic!(
+                "invariant violation `{invariant}` at cycle {cycle}, pkt {pkt}, node {node}: {}",
+                v.detail
+            );
+        }
+    }
+
+    /// The master's pending self-test cycle, if the checker is armed.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn selftest_pending(&self) -> Option<u64> {
+        if self.checking {
+            self.checker.selftest_pending()
+        } else {
+            None
+        }
+    }
+
+    /// Marks the master's self-test as fired (coordinator election).
+    #[doc(hidden)]
+    pub fn mark_selftest_fired(&mut self) {
+        self.checker.mark_selftest_fired();
+    }
+
+    /// Installs the merged final statistics and closes out the master:
+    /// `now` jumps to the merged end time and telemetry is finished.
+    #[doc(hidden)]
+    pub fn set_final_stats(&mut self, stats: SimStats) {
+        self.stats = stats;
+        self.now = SimTime(stats.end_time);
+        self.live_count = 0;
+        if let Some(t) = self.tele.as_mut() {
+            t.finish();
+        }
+    }
+
+    /// Installs the final live fault state (identical in every shard —
+    /// all of them applied the full coordinator-ordered sequence).
+    #[doc(hidden)]
+    pub fn set_live_faults(&mut self, live: FaultSet) {
+        self.live = live;
+    }
+
+    /// Mutable telemetry access for the engine profile attachment.
+    #[doc(hidden)]
+    pub fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        self.tele.as_deref_mut()
+    }
+
+    /// Is the invariant checker active? The coordinator mirrors the
+    /// serial engine's hoisted `checking` flag with this.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn checking(&self) -> bool {
+        self.checking
     }
 }
 

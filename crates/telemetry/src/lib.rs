@@ -41,7 +41,7 @@ pub use config::TelemetryConfig;
 pub use counters::ClassCounters;
 pub use event::{EventKind, PacketEvent, RetryKind};
 pub use metrics::{Histogram, LatencyStats};
-pub use profile::{PhaseCost, PhaseProfiler};
+pub use profile::{BarrierWait, EngineProfile, PhaseCost, PhaseProfiler};
 pub use sink::{shared, EventSink, MemorySink, NdjsonSink, NullSink, SharedSink};
 
 use std::time::Duration;
@@ -57,6 +57,7 @@ pub struct Telemetry {
     counts: [u64; EventKind::COUNT],
     latency: Histogram,
     profiler: Option<PhaseProfiler>,
+    engine: Option<EngineProfile>,
     sinks: Vec<SharedSink>,
 }
 
@@ -88,6 +89,7 @@ impl Telemetry {
             counts: [0; EventKind::COUNT],
             latency: Histogram::default(),
             profiler: cfg.profile.then(PhaseProfiler::default),
+            engine: None,
             sinks,
         })
     }
@@ -153,6 +155,19 @@ impl Telemetry {
         self.profiler.as_ref()
     }
 
+    /// Attaches the sharded engine's run profile (coordinator round
+    /// costs + per-worker barrier waits). The engine calls this once
+    /// before `finish()` when profiling is on.
+    pub fn set_engine_profile(&mut self, profile: EngineProfile) {
+        self.engine = Some(profile);
+    }
+
+    /// The sharded engine's run profile, when one was attached.
+    #[must_use]
+    pub fn engine_profile(&self) -> Option<&EngineProfile> {
+        self.engine.as_ref()
+    }
+
     /// The run summary as printable text.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -173,6 +188,9 @@ impl Telemetry {
         }
         if let Some(p) = &self.profiler {
             out.push_str(&p.render());
+        }
+        if let Some(e) = &self.engine {
+            out.push_str(&e.render());
         }
         out
     }
@@ -244,5 +262,19 @@ mod tests {
         assert_eq!(p.phases().len(), 1);
         assert_eq!(p.phases()[0].count, 2);
         assert!(t.summary().contains("arrive"));
+    }
+
+    #[test]
+    fn engine_profile_attaches_and_renders() {
+        let mut t = Telemetry::from_config(&TelemetryConfig::profiled()).expect("enabled");
+        assert!(t.engine_profile().is_none());
+        let mut e = EngineProfile::default();
+        e.rounds.add("window", Duration::from_micros(7));
+        e.barrier_waits.push(BarrierWait::default());
+        t.set_engine_profile(e);
+        assert!(t.engine_profile().is_some());
+        let s = t.summary();
+        assert!(s.contains("— engine —"), "{s}");
+        assert!(s.contains("window"), "{s}");
     }
 }

@@ -32,6 +32,7 @@ pub mod graph;
 pub mod gray;
 pub mod hypercube;
 pub mod mesh;
+pub mod partition;
 pub mod topology;
 pub mod torus;
 
@@ -41,5 +42,6 @@ pub use faults::{ChurnConfig, FaultEvent, FaultSchedule, FaultSet};
 pub use graph::{bfs_distances, connected_component_size, diameter_by_bfs};
 pub use hypercube::Hypercube;
 pub use mesh::Mesh;
+pub use partition::{Partition, PartitionStrategy};
 pub use topology::{NodeId, Topology, TopologyError, TopologyKind};
 pub use torus::Torus;

@@ -1,0 +1,137 @@
+//! Spatial partitioning of a topology's switches into shards.
+//!
+//! The sharded parallel engine (`ddpm-engine`) assigns every switch to
+//! exactly one shard; a shard owns the event queue, output ports and
+//! resident packets of its switches. The partition is computed once per
+//! run from the topology's dense node indexing, so ownership lookups on
+//! the hot path are a single array read.
+
+use crate::topology::{NodeId, Topology};
+
+/// How switches are assigned to shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Round-robin over dense node indices (`node % shards`). Balances
+    /// load per shard at the cost of making almost every hop a
+    /// cross-shard handoff.
+    Striped,
+    /// Balanced contiguous index ranges (`[i·n/s, (i+1)·n/s)`). With
+    /// row-major coordinate indexing this yields spatial slabs, so most
+    /// hops stay inside one shard — the engine's default.
+    Block,
+}
+
+/// An immutable switch → shard ownership map.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    owners: Vec<u32>,
+    shards: usize,
+    strategy: PartitionStrategy,
+}
+
+impl Partition {
+    /// Partitions `topo`'s switches into `shards` shards (at least 1;
+    /// capped at the node count so no shard is empty).
+    #[must_use]
+    pub fn new(topo: &Topology, shards: usize, strategy: PartitionStrategy) -> Self {
+        let n = topo.num_nodes() as usize;
+        let shards = shards.clamp(1, n.max(1));
+        let owners = (0..n)
+            .map(|i| match strategy {
+                PartitionStrategy::Striped => (i % shards) as u32,
+                PartitionStrategy::Block => ((i * shards) / n.max(1)) as u32,
+            })
+            .collect();
+        Self {
+            owners,
+            shards,
+            strategy,
+        }
+    }
+
+    /// The shard owning `node`.
+    #[inline]
+    #[must_use]
+    pub fn owner(&self, node: NodeId) -> usize {
+        self.owners[node.0 as usize] as usize
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The strategy this partition was built with.
+    #[must_use]
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// Switches owned by `shard`, in dense-index order.
+    #[must_use]
+    pub fn nodes_of(&self, shard: usize) -> Vec<NodeId> {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|&(_, &o)| o as usize == shard)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_partition_is_balanced_and_contiguous() {
+        let topo = Topology::mesh2d(8); // 64 nodes
+        let p = Partition::new(&topo, 4, PartitionStrategy::Block);
+        assert_eq!(p.shards(), 4);
+        for s in 0..4 {
+            let nodes = p.nodes_of(s);
+            assert_eq!(nodes.len(), 16, "balanced");
+            let first = nodes[0].0;
+            assert!(
+                nodes.iter().enumerate().all(|(k, n)| n.0 == first + k as u32),
+                "contiguous index range"
+            );
+        }
+        // Every node owned exactly once, owners non-decreasing.
+        let owners: Vec<usize> = (0..64).map(|i| p.owner(NodeId(i))).collect();
+        let mut sorted = owners.clone();
+        sorted.sort_unstable();
+        assert_eq!(owners, sorted, "block owners are monotone");
+    }
+
+    #[test]
+    fn block_partition_balances_non_divisible_counts() {
+        let topo = Topology::mesh2d(5); // 25 nodes
+        let p = Partition::new(&topo, 4, PartitionStrategy::Block);
+        let mut sizes: Vec<usize> = (0..4).map(|s| p.nodes_of(s).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 25);
+        sizes.sort_unstable();
+        assert!(sizes[3] - sizes[0] <= 1, "sizes differ by at most 1: {sizes:?}");
+    }
+
+    #[test]
+    fn striped_partition_round_robins() {
+        let topo = Topology::mesh2d(4);
+        let p = Partition::new(&topo, 3, PartitionStrategy::Striped);
+        assert_eq!(p.strategy(), PartitionStrategy::Striped);
+        for i in 0..16u32 {
+            assert_eq!(p.owner(NodeId(i)), (i % 3) as usize);
+        }
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        let topo = Topology::mesh2d(2); // 4 nodes
+        let p = Partition::new(&topo, 99, PartitionStrategy::Block);
+        assert_eq!(p.shards(), 4, "no empty shards");
+        let p = Partition::new(&topo, 0, PartitionStrategy::Striped);
+        assert_eq!(p.shards(), 1, "at least one shard");
+        assert!((0..4).all(|i| p.owner(NodeId(i)) == 0));
+    }
+}

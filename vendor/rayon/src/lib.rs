@@ -103,7 +103,10 @@ pub trait ParallelIterator: Sized {
 /// Worker count: `RAYON_NUM_THREADS` (upstream's env knob, read per
 /// `collect` since there is no persistent pool here) when set to a
 /// positive number, else all hardware threads.
-fn pool_size() -> usize {
+///
+/// Public so embedders with their own thread scopes (e.g. the sharded
+/// simulation engine) can honor the same knob as `collect`.
+pub fn pool_size() -> usize {
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
         if let Ok(n) = v.trim().parse::<usize>() {
             if n >= 1 {
