@@ -8,6 +8,12 @@
 //! `BENCH_sim_throughput.json` at the workspace root: one row per
 //! (topology, router, telemetry, engine) cell with median packets/sec,
 //! so later PRs can diff throughput without re-parsing bench output.
+//! The JSON cells are measured round-robin — every cell gets one run
+//! per round, rounds repeat, the row is the per-cell median — so slow
+//! drift on a shared host (noisy neighbours, frequency steps) hits
+//! every cell alike instead of whichever happened to run in a bad
+//! window; without this the telemetry-on/off deltas sign-flip run to
+//! run.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 use ddpm_attack::PacketFactory;
@@ -90,19 +96,6 @@ fn variants() -> [Variant; 2] {
     ]
 }
 
-/// Median packets/sec over `samples` full-simulation runs.
-fn measure_pps(topo: &Topology, router: Router, tcfg: fn() -> TelemetryConfig, samples: usize) -> f64 {
-    let mut pps: Vec<f64> = (0..samples)
-        .map(|_| {
-            let t = Instant::now();
-            let pkts = run_sim(topo, router, tcfg());
-            pkts as f64 / t.elapsed().as_secs_f64()
-        })
-        .collect();
-    pps.sort_by(|a, b| a.total_cmp(b));
-    pps[pps.len() / 2]
-}
-
 /// The engine-sweep fabrics: 8×8 up to 64×64, with the 32×32 torus as
 /// the headline speedup shape.
 fn engine_fabrics() -> Vec<Topology> {
@@ -124,69 +117,114 @@ fn engines() -> Vec<(String, Engine)> {
     e
 }
 
-/// Median packets/sec over `samples` runs under `engine`.
-fn measure_pps_on(topo: &Topology, router: Router, engine: Engine, samples: usize) -> f64 {
-    let mut pps: Vec<f64> = (0..samples)
-        .map(|_| {
-            let t = Instant::now();
-            let pkts = run_sim_on(topo, router, TelemetryConfig::off(), engine);
-            pkts as f64 / t.elapsed().as_secs_f64()
-        })
-        .collect();
-    pps.sort_by(|a, b| a.total_cmp(b));
-    pps[pps.len() / 2]
+/// One JSON cell: its row labels plus a closure running the full
+/// simulation it measures.
+struct Cell {
+    topology: String,
+    router: String,
+    telemetry: &'static str,
+    engine: String,
+    run: Box<dyn Fn() -> u64>,
 }
+
+/// Every JSON cell, in row order: the telemetry grid, then the fabric ×
+/// engine sweep with a serial telemetry-on row per fabric (the batched
+/// sink fan-out contract, DESIGN.md §9, measured on the same shapes).
+fn cells() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (topo, router) in grid() {
+        for (tname, tcfg) in variants() {
+            let t = topo.clone();
+            cells.push(Cell {
+                topology: topo.describe(),
+                router: router.name().to_string(),
+                telemetry: tname,
+                engine: "serial".to_string(),
+                run: Box::new(move || run_sim(&t, router, tcfg())),
+            });
+        }
+    }
+    for topo in engine_fabrics() {
+        let router = Router::DimensionOrder;
+        for (ename, engine) in engines() {
+            let t = topo.clone();
+            cells.push(Cell {
+                topology: topo.describe(),
+                router: router.name().to_string(),
+                telemetry: "telemetry-off",
+                engine: ename,
+                run: Box::new(move || run_sim_on(&t, router, TelemetryConfig::off(), engine)),
+            });
+        }
+        let t = topo.clone();
+        cells.push(Cell {
+            topology: topo.describe(),
+            router: router.name().to_string(),
+            telemetry: "telemetry-on",
+            engine: "serial".to_string(),
+            run: Box::new(move || {
+                run_sim(&t, router, TelemetryConfig::events_to(shared(NullSink)))
+            }),
+        });
+    }
+    cells
+}
+
+/// Measurement rounds per cell for the JSON medians.
+const ROUNDS: usize = 9;
 
 fn bench_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_throughput");
-    let mut rows = Vec::new();
     for (topo, router) in grid() {
         for (tname, tcfg) in variants() {
             let label = format!("{}/{}/{tname}", topo.describe(), router.name());
             group.bench_with_input(BenchmarkId::from(label), &(), |b, ()| {
                 b.iter_batched(|| (), |()| run_sim(&topo, router, tcfg()), BatchSize::SmallInput);
             });
-            let pps = measure_pps(&topo, router, tcfg, 5);
-            rows.push(json!({
-                "topology": topo.describe(),
-                "router": router.name(),
-                "telemetry": tname,
-                "engine": "serial",
-                "packets": PACKETS,
-                "packets_per_sec": pps,
-            }));
         }
     }
-
-    // Serial vs sharded engine sweep, telemetry off. The Criterion
-    // console entries cover the headline 32×32 torus; the JSON rows
-    // cover the full fabric × engine grid.
+    // The Criterion console entries for the engine sweep cover the
+    // headline 32×32 torus; the JSON rows cover the full grid.
     for topo in engine_fabrics() {
         let router = Router::DimensionOrder;
-        let headline = topo.describe() == "32x32 torus";
+        if topo.describe() != "32x32 torus" {
+            continue;
+        }
         for (ename, engine) in engines() {
-            if headline {
-                let label = format!("{}/{}/{ename}", topo.describe(), router.name());
-                group.bench_with_input(BenchmarkId::from(label), &(), |b, ()| {
-                    b.iter_batched(
-                        || (),
-                        |()| run_sim_on(&topo, router, TelemetryConfig::off(), engine),
-                        BatchSize::SmallInput,
-                    );
-                });
-            }
-            let pps = measure_pps_on(&topo, router, engine, 3);
-            rows.push(json!({
-                "topology": topo.describe(),
-                "router": router.name(),
-                "telemetry": "telemetry-off",
-                "engine": ename,
-                "packets": PACKETS,
-                "packets_per_sec": pps,
-            }));
+            let label = format!("{}/{}/{ename}", topo.describe(), router.name());
+            group.bench_with_input(BenchmarkId::from(label), &(), |b, ()| {
+                b.iter_batched(
+                    || (),
+                    |()| run_sim_on(&topo, router, TelemetryConfig::off(), engine),
+                    BatchSize::SmallInput,
+                );
+            });
         }
     }
     group.finish();
+
+    // Round-robin JSON measurement: one run of every cell per round.
+    let cells = cells();
+    let mut samples: Vec<Vec<f64>> = cells.iter().map(|_| Vec::with_capacity(ROUNDS)).collect();
+    for _ in 0..ROUNDS {
+        for (cell, pps) in cells.iter().zip(&mut samples) {
+            let t = Instant::now();
+            let pkts = (cell.run)();
+            pps.push(pkts as f64 / t.elapsed().as_secs_f64());
+        }
+    }
+    let mut rows = Vec::new();
+    for (cell, mut pps) in cells.iter().zip(samples) {
+        pps.sort_by(|a, b| a.total_cmp(b));
+        rows.push(json!({
+            "topology": cell.topology,
+            "router": cell.router,
+            "telemetry": cell.telemetry,
+            "engine": cell.engine,
+            "packets": PACKETS,
+            "packets_per_sec": pps[ROUNDS / 2],
+        }));
+    }
 
     // Workspace root, independent of the bench harness's cwd.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_throughput.json");

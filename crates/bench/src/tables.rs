@@ -66,16 +66,30 @@ pub fn table1(_ctx: &RunCtx) -> Report {
 }
 
 /// Table 2 — Scalability of simple bit-difference PPM.
+///
+/// The paper's max-square-mesh entry is garbled in the source scrape,
+/// so we re-derive it from the scheme's own formula
+/// `log(n²) + log(log(n²)) + log(diameter + 1)`:
+///
+/// * 16×16 mesh — 256 nodes: `⌈log₂ 256⌉ = 8` index bits,
+///   `⌈log₂ 8⌉ = 3` bit-position bits, diameter 30 so
+///   `⌈log₂ 31⌉ = 5` distance bits — 8 + 3 + 5 = **exactly 16**.
+/// * 32×32 mesh — 1024 nodes: 10 + 4 + 6 = 20 bits, past the MF.
+///
+/// Hence the re-derived value is a 16×16 mesh/torus (256 nodes), the
+/// largest square that still fits the 16-bit identification field.
+/// `table2_garbled_mesh_value_rederived` pins this arithmetic.
 #[must_use]
 pub fn table2(_ctx: &RunCtx) -> Report {
     let mut t = TextTable::new(&["topology", "size", "required field", "fits 16-bit MF"]);
     let (max_mesh, max_cube) = sweep_rows(&mut t, bitdiff_ppm_bits);
     let body = format!(
         "{}\nRequired field (n x n mesh/torus): log(n^2) + log(log(n^2)) + log(diameter+1)\n\
-         Max square mesh/torus : {max_mesh}x{max_mesh} ({} nodes)   paper: (garbled in source scrape; re-derived from the paper's formula)\n\
+         Max square mesh/torus : {max_mesh}x{max_mesh} ({} nodes)   paper: garbled in source scrape; re-derived 16x16 (8+3+5 = 16 bits exactly)  [{}]\n\
          Max hypercube         : 2^{max_cube} ({} nodes)     paper: 2^8 nodes    [{}]\n",
         t.render(),
         u64::from(max_mesh) * u64::from(max_mesh),
+        check(max_mesh == 16),
         1u64 << max_cube,
         check(max_cube == 8),
     );
@@ -86,6 +100,7 @@ pub fn table2(_ctx: &RunCtx) -> Report {
         json: json!({
             "max_square_mesh": max_mesh,
             "max_hypercube_dim": max_cube,
+            "rederived_max_square_mesh": 16,
             "paper_max_hypercube_dim": 8,
         }),
     }
@@ -148,6 +163,31 @@ mod tests {
         assert_eq!(r.json["max_hypercube_dim"], 8);
         assert_eq!(r.json["max_square_mesh"], 16);
         assert!(!r.body.contains("MISMATCH"), "{}", r.body);
+    }
+
+    /// The paper's Table 2 max-square-mesh entry is unreadable in the
+    /// source scrape. Pin the re-derivation from the formula itself:
+    /// a 16×16 mesh needs index + bit-position + distance =
+    /// 8 + 3 + 5 = exactly the 16-bit MF, and the next square up
+    /// (32×32) needs 10 + 4 + 6 = 20 bits — so 16×16 is the maximum.
+    #[test]
+    fn table2_garbled_mesh_value_rederived() {
+        use ddpm_core::analysis::ceil_log2;
+        let sixteen = Topology::mesh2d(16);
+        let index = ceil_log2(sixteen.num_nodes());
+        let bit_pos = ceil_log2(u64::from(index));
+        let distance = ceil_log2(u64::from(sixteen.diameter()) + 1);
+        assert_eq!((index, bit_pos, distance), (8, 3, 5));
+        assert_eq!(index + bit_pos + distance, 16);
+        assert_eq!(bitdiff_ppm_bits(&sixteen), 16);
+
+        let thirty_two = Topology::mesh2d(32);
+        assert_eq!(bitdiff_ppm_bits(&thirty_two), 20, "next square up overflows");
+        assert_eq!(
+            ddpm_core::analysis::max_square_mesh(16, bitdiff_ppm_bits),
+            16,
+            "16x16 is the largest square fitting the 16-bit MF"
+        );
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Quick-profile smoke: every registered experiment must run under
 //! `--quick` scaling and produce JSON that round-trips losslessly —
-//! the contract `report --quick all` and CI rely on.
+//! the contract `report --quick all` and CI rely on. Also home of the
+//! throughput regression gate over `BENCH_sim_throughput.json`.
 
 use ddpm_bench::{all_experiments, RunCtx};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 #[test]
 fn every_experiment_runs_quick_and_roundtrips_json() {
@@ -56,4 +59,71 @@ fn quick_tracing_writes_an_ndjson_trace() {
         );
     }
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Mean serial `telemetry-off` throughput per `(topology, router)` from
+/// a `BENCH_sim_throughput.json` payload (duplicated configurations are
+/// averaged — the bench emits the same cell from several sweeps).
+fn serial_off_pps(raw: &str, what: &str) -> BTreeMap<(String, String), f64> {
+    let v: serde_json::Value =
+        serde_json::from_str(raw).unwrap_or_else(|e| panic!("{what}: not JSON: {e}"));
+    let rows = v["rows"].as_array().unwrap_or_else(|| panic!("{what}: no rows"));
+    let mut sums: BTreeMap<(String, String), (f64, u32)> = BTreeMap::new();
+    for row in rows {
+        if row["engine"].as_str() != Some("serial")
+            || row["telemetry"].as_str() != Some("telemetry-off")
+        {
+            continue;
+        }
+        let key = (
+            row["topology"].as_str().expect("topology").to_string(),
+            row["router"].as_str().expect("router").to_string(),
+        );
+        let pps = row["packets_per_sec"].as_f64().expect("packets_per_sec");
+        let e = sums.entry(key).or_insert((0.0, 0));
+        e.0 += pps;
+        e.1 += 1;
+    }
+    sums.into_iter()
+        .map(|(k, (sum, n))| (k, sum / f64::from(n)))
+        .collect()
+}
+
+/// The throughput regression gate: serial `telemetry-off` rows in the
+/// repo-root `BENCH_sim_throughput.json` (rewritten by `cargo bench -p
+/// ddpm-bench --bench throughput`, which CI runs immediately before
+/// this test) must not fall more than 20% below the committed baseline
+/// snapshot in `tests/throughput_baseline.json`.
+#[test]
+fn serial_telemetry_off_throughput_has_not_regressed() {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let bench_path = manifest.join("../../BENCH_sim_throughput.json");
+    let baseline_path = manifest.join("tests/throughput_baseline.json");
+    let bench = std::fs::read_to_string(&bench_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", bench_path.display()));
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", baseline_path.display()));
+    let current = serial_off_pps(&bench, "BENCH_sim_throughput.json");
+    let pinned = serial_off_pps(&baseline, "throughput_baseline.json");
+    assert!(!pinned.is_empty(), "baseline has no serial telemetry-off rows");
+
+    let mut regressions = Vec::new();
+    for ((topo, router), base) in &pinned {
+        let Some(now) = current.get(&(topo.clone(), router.clone())) else {
+            regressions.push(format!("{topo} / {router}: row vanished from the bench"));
+            continue;
+        };
+        if *now < base * 0.8 {
+            regressions.push(format!(
+                "{topo} / {router}: {now:.0} pps is {:.0}% of the {base:.0} pps baseline",
+                now / base * 100.0
+            ));
+        }
+    }
+    assert!(
+        regressions.is_empty(),
+        "serial telemetry-off throughput regressed >20% vs tests/throughput_baseline.json:\n{}\n\
+         If the slowdown is intentional, refresh the baseline snapshot and say why in the PR.",
+        regressions.join("\n")
+    );
 }

@@ -6,11 +6,13 @@
 //! injector.
 
 use ddpm_core::DdpmScheme;
+use ddpm_indirect::{Butterfly, MinSimulation, PortMarking};
 use ddpm_net::{AddrMap, Ipv4Header, MarkingField, Packet, PacketId, Protocol, TrafficClass, L4};
 use ddpm_routing::{Router, SelectionPolicy};
 use ddpm_sim::{SimConfig, SimTime, Simulation};
 use ddpm_telemetry::{shared, EventKind, MemorySink, TelemetryConfig};
 use ddpm_topology::{FaultSet, NodeId, Topology};
+use proptest::prelude::*;
 
 fn mk_packet(map: &AddrMap, id: u64, src: NodeId, dst: NodeId) -> Packet {
     Packet {
@@ -119,4 +121,102 @@ fn traced_run_equals_untraced_run() {
     let plain = run(TelemetryConfig::off());
     let traced = run(TelemetryConfig::events_to(shared(MemorySink::new())));
     assert_eq!(plain, traced);
+}
+
+/// The accumulated marking vector a packet's trail ends with: the last
+/// `Mark` event's `mf`, cross-checked against the `Deliver` event. When
+/// the field never changed from its injected value (an all-zero vector)
+/// there is no `Mark` event and the delivered `mf` *is* the trail end.
+fn trail_mf(sink: &MemorySink, pkt: u64) -> u16 {
+    let trail = sink.events_for(pkt);
+    let delivered = trail
+        .iter()
+        .find_map(|e| match e.kind {
+            EventKind::Deliver { mf, .. } => Some(mf),
+            _ => None,
+        })
+        .expect("delivered packet must leave a Deliver event");
+    let last_mark = trail.iter().rev().find_map(|e| match e.kind {
+        EventKind::Mark { mf } => Some(mf),
+        _ => None,
+    });
+    if let Some(mark) = last_mark {
+        assert_eq!(mark, delivered, "trail end must equal the delivered MF");
+    }
+    delivered
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The differential form of the paper's central claim: one packet,
+    /// any adaptive path, two independently written simulators. For a
+    /// random mesh/torus/hypercube the direct-network simulator's DDPM
+    /// mark trail, and for a butterfly covering the same terminal
+    /// indices the staged simulator's port-marking trail, must *both*
+    /// reconstruct the identical true source via `identify()` — from
+    /// the trace alone, never from the (spoofable) header addresses.
+    #[test]
+    fn direct_and_indirect_trails_identify_the_same_source(
+        kind in 0u8..3,
+        n in 3u16..6,
+        seed in any::<u64>(),
+        picks in any::<u64>(),
+    ) {
+        let topo = match kind {
+            0 => Topology::mesh(&[n, n]),
+            1 => Topology::torus(&[n, n]),
+            _ => Topology::hypercube(usize::from(n)),
+        };
+        let nodes = topo.num_nodes();
+        let src = NodeId((picks % nodes) as u32);
+        let dst = NodeId(((picks >> 24) % nodes) as u32);
+        prop_assume!(src != dst);
+        let map = AddrMap::for_topology(&topo);
+
+        // Direct network: fully adaptive routing with seeded random
+        // selection, so each case exercises a different lawful path.
+        let scheme = DdpmScheme::new(&topo).unwrap();
+        let sink = MemorySink::new();
+        let cfg = SimConfig::seeded(seed)
+            .to_builder()
+            .telemetry(TelemetryConfig::events_to(shared(sink.clone())))
+            .build();
+        let mut sim = Simulation::new(
+            &topo,
+            &FaultSet::none(),
+            Router::fully_adaptive_for(&topo),
+            SelectionPolicy::Random,
+            &scheme,
+            cfg,
+        );
+        sim.schedule(SimTime::ZERO, mk_packet(&map, 1, src, dst));
+        sim.run();
+        prop_assert_eq!(sim.delivered().len(), 1, "lone packet, healthy net");
+        let direct = scheme
+            .identify_node(&topo, &topo.coord(dst), MarkingField::new(trail_mf(&sink, 1)))
+            .expect("in-range marking vector");
+
+        // Staged fabric: the smallest 2-ary butterfly whose terminals
+        // cover the same node indices.
+        let mut stages = 1u8;
+        while (1u64 << stages) < nodes {
+            stages += 1;
+        }
+        let fly = Butterfly::new(2, stages);
+        let port_scheme = PortMarking::new(fly).unwrap();
+        let fly_sink = MemorySink::new();
+        let fly_cfg = SimConfig::builder()
+            .telemetry(TelemetryConfig::events_to(shared(fly_sink.clone())))
+            .build();
+        let mut fly_sim = MinSimulation::with_config(fly, port_scheme, &fly_cfg);
+        fly_sim.schedule(SimTime::ZERO, mk_packet(&map, 1, src, dst));
+        fly_sim.run();
+        prop_assert_eq!(fly_sim.delivered().len(), 1, "lone packet, healthy fly");
+        let indirect = port_scheme.identify(MarkingField::new(trail_mf(&fly_sink, 1)));
+
+        prop_assert_eq!(direct, src);
+        prop_assert_eq!(indirect, src);
+        prop_assert_eq!(direct, indirect, "the two simulators must agree");
+    }
 }

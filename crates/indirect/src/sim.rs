@@ -17,7 +17,7 @@ use ddpm_net::Packet;
 use ddpm_sim::{InvariantChecker, SimConfig, SimStats, SimTime, Violation};
 use ddpm_telemetry::{EventKind as TelEvent, PacketEvent, Telemetry, TelemetryConfig};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::time::Instant;
 
 /// A packet delivered to its destination terminal.
@@ -57,8 +57,14 @@ pub struct MinSimulation {
     crossed: Vec<u8>,
     events: BinaryHeap<Reverse<Ev>>,
     seq: u64,
-    /// (stage, switch, out_port) -> busy-until cycle.
-    ports: HashMap<(u8, u32, u16), u64>,
+    /// Busy-until cycle per output port, indexed
+    /// `(stage · switches_per_stage + switch) · radix + out_port` —
+    /// the dense mirror of the direct simulator's port array.
+    ports: Vec<u64>,
+    /// Ports per switch, cached for [`Self::port_index`].
+    radix: usize,
+    /// Switches per stage, cached for [`Self::port_index`].
+    switches_per_stage: usize,
     stats: SimStats,
     delivered: Vec<MinDelivered>,
     /// Packets injected but not yet delivered or dropped.
@@ -84,6 +90,10 @@ impl MinSimulation {
     /// are ignored).
     #[must_use]
     pub fn with_config(fly: Butterfly, scheme: PortMarking, cfg: &SimConfig) -> Self {
+        let radix = usize::from(fly.radix());
+        let switches_per_stage = usize::try_from(fly.switches_per_stage())
+            .expect("butterfly stage fits in memory");
+        let ports = vec![0u64; usize::from(fly.stages()) * switches_per_stage * radix];
         Self {
             fly,
             scheme,
@@ -94,7 +104,9 @@ impl MinSimulation {
             crossed: Vec::new(),
             events: BinaryHeap::new(),
             seq: 0,
-            ports: HashMap::new(),
+            ports,
+            radix,
+            switches_per_stage,
             stats: SimStats::default(),
             delivered: Vec::new(),
             live: 0,
@@ -140,6 +152,13 @@ impl MinSimulation {
     fn switch_node(&self, stage: u8, switch: u32) -> u32 {
         let base = self.fly.terminals() + u64::from(stage) * self.fly.switches_per_stage();
         (base + u64::from(switch)) as u32
+    }
+
+    /// Dense index of a switch output port in [`Self::ports`].
+    #[inline]
+    fn port_index(&self, stage: u8, switch: u32, out_port: u16) -> usize {
+        (usize::from(stage) * self.switches_per_stage + switch as usize) * self.radix
+            + usize::from(out_port)
     }
 
     #[inline]
@@ -327,8 +346,8 @@ impl MinSimulation {
         let route = self.fly.route(packet.true_source, packet.dest_node);
         let hop = route[usize::from(ev.stage)];
         let here = self.switch_node(hop.stage, hop.switch);
-        let key = (hop.stage, hop.switch, hop.out_port);
-        let busy = self.ports.get(&key).copied().unwrap_or(0);
+        let port = self.port_index(hop.stage, hop.switch, hop.out_port);
+        let busy = self.ports[port];
         let backlog = busy.saturating_sub(ev.time.cycles()) / self.service_cycles.max(1);
         if backlog >= u64::from(self.buffer_packets) {
             self.stats.class_mut(packet.class).dropped_buffer += 1;
@@ -353,7 +372,7 @@ impl MinSimulation {
         );
         let after = self.pkts[ev.pkt].0.header.identification.raw();
         let depart = busy.max(ev.time.cycles()) + self.service_cycles;
-        self.ports.insert(key, depart);
+        self.ports[port] = depart;
         self.crossed[ev.pkt] += 1;
         if self.obs_on() {
             if after != before {

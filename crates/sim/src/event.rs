@@ -1,4 +1,24 @@
-//! The event queue.
+//! The event queue and the packet arena.
+//!
+//! Both structures here are hot-path replacements introduced by the
+//! single-core overhaul (DESIGN.md §9) and both are pinned by the
+//! conformance corpus (`tests/conformance.rs`): they must reproduce the
+//! original `BinaryHeap` + `Box`-per-packet behaviour bit-for-bit.
+//!
+//! * [`EventQueue`] — a bucketed cycle-wheel: O(1) schedule/pop for the
+//!   bounded `service + latency` scheduling horizon of a switch fabric,
+//!   with a heap fallback for far-future timers (watchdog sweeps, fault
+//!   schedules, retry backoffs). Ties drain in the canonical
+//!   `(cycle, rank, pkey, seq)` order — the same key the sharded engine
+//!   merges on.
+//! * [`Slab`] — an append-only arena with generation-checked handles
+//!   for in-flight packet state. Indices are **never** recycled (the
+//!   index doubles as the canonical `pkey` tie-breaker and the
+//!   per-packet RNG seed, so recycling would reorder same-cycle ties);
+//!   what is reclaimed on death is the payload, and the bumped slot
+//!   generation turns any later access through a stale handle into
+//!   `None` — surfaced by the simulator as a typed `stale_handle`
+//!   violation, never a resurrected packet.
 
 use crate::time::SimTime;
 use ddpm_topology::FaultEvent;
@@ -94,30 +114,178 @@ impl PartialOrd for Event {
     }
 }
 
-/// A deterministic future-event list.
-#[derive(Default)]
+/// A deterministic future-event list, laid out as a bucketed
+/// **cycle-wheel** with a heap spillover.
+///
+/// A switch fabric schedules almost every event within a bounded
+/// look-ahead of the current cycle (`buffer · service + latency`), so
+/// the queue keeps a ring of per-cycle buckets covering that horizon:
+/// scheduling is a `Vec::push` into the bucket `time % horizon`, and
+/// popping drains one bucket at a time. Only genuinely far-future
+/// events — watchdog sweeps, fault schedules, deep retry backoffs, and
+/// the up-front injection timeline — spill into a conventional binary
+/// heap, off the per-packet hot path.
+///
+/// Drain order is **identical** to the old all-heap queue: when a cycle
+/// activates, its bucket is merged with any heap spillover due the same
+/// cycle and sorted once by the canonical key; same-cycle insertions
+/// during the drain binary-insert into the sorted remainder, which is
+/// exactly the order a heap would have produced for them.
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    /// Events of the active cycle, sorted *descending* by canonical key
+    /// (pop takes from the back). All share `time == cur_time`.
+    cur: Vec<Event>,
+    /// The active (or most recently activated) cycle.
+    cur_time: u64,
+    /// The ring: bucket `t & mask` holds events for cycle `t`, valid
+    /// only for `t` in `[floor, floor + horizon)`.
+    wheel: Vec<Vec<Event>>,
+    mask: u64,
+    /// Lower bound on every pending event's time; the wheel covers
+    /// `[floor, floor + horizon)`.
+    floor: u64,
+    /// First wheel cycle the next activation scan needs to look at
+    /// (cycles in `[floor, scan_from)` are known empty).
+    scan_from: u64,
+    /// Far-future spillover (`time >= floor + horizon` at push time).
+    overflow: BinaryHeap<Event>,
+    len: usize,
     seq: u64,
 }
 
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::with_horizon(64)
+    }
+}
+
 impl EventQueue {
-    /// An empty queue.
+    /// An empty queue with the default wheel horizon.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty queue whose wheel covers at least `horizon` cycles of
+    /// look-ahead (rounded up to a power of two, clamped to a sane
+    /// range). Callers size this as `buffer · service + latency` so the
+    /// hot-path arrivals never touch the spillover heap.
+    #[must_use]
+    pub fn with_horizon(horizon: u64) -> Self {
+        let h = horizon.clamp(4, 4096).next_power_of_two().max(64);
+        Self {
+            cur: Vec::new(),
+            cur_time: 0,
+            wheel: (0..h).map(|_| Vec::new()).collect(),
+            mask: h - 1,
+            floor: 0,
+            scan_from: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+            seq: 0,
+        }
+    }
+
+    /// The wheel's look-ahead span in cycles.
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.mask + 1
     }
 
     /// Schedules `kind` at `time`.
     pub fn push(&mut self, time: SimTime, kind: EventKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        self.insert(Event { time, seq, kind });
+        self.len += 1;
+    }
+
+    /// Places an already-sequenced event (push and the `extract`
+    /// rebuild share this; `len` is maintained by the callers).
+    fn insert(&mut self, ev: Event) {
+        let t = ev.time.0;
+        if t == self.cur_time && !self.cur.is_empty() {
+            // Same-cycle insertion while the cycle is draining: keep
+            // `cur` sorted (descending) so the remaining pops stay in
+            // canonical order — a heap would do exactly this.
+            let key = ev.canonical_key();
+            let pos = self.cur.partition_point(|e| e.canonical_key() > key);
+            self.cur.insert(pos, ev);
+        } else if t >= self.floor + self.horizon() {
+            self.overflow.push(ev);
+        } else {
+            debug_assert!(t >= self.floor, "event scheduled into the past: {t} < floor {}", self.floor);
+            self.wheel[(t & self.mask) as usize].push(ev);
+            if t < self.scan_from {
+                self.scan_from = t;
+            }
+        }
+    }
+
+    /// The cycle the next activation will land on, advancing the scan
+    /// cursor past buckets it proves empty. `None` iff the queue is
+    /// empty.
+    fn peek_cycle(&mut self) -> Option<u64> {
+        if let Some(e) = self.cur.last() {
+            return Some(e.time.0);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        let over_t = self.overflow.peek().map(|e| e.time.0);
+        let end = self.floor + self.horizon();
+        while self.scan_from < end {
+            if !self.wheel[(self.scan_from & self.mask) as usize].is_empty() {
+                let w = self.scan_from;
+                return Some(over_t.map_or(w, |o| o.min(w)));
+            }
+            self.scan_from += 1;
+        }
+        over_t
+    }
+
+    /// Activates cycle `t`: merges its wheel bucket with same-cycle
+    /// heap spillover into `cur`, sorted descending by canonical key.
+    fn activate(&mut self, t: u64) {
+        debug_assert!(self.cur.is_empty());
+        if t < self.floor + self.horizon() {
+            let slot = &mut self.wheel[(t & self.mask) as usize];
+            std::mem::swap(&mut self.cur, slot);
+        }
+        while self.overflow.peek().is_some_and(|e| e.time.0 == t) {
+            self.cur.push(self.overflow.pop().expect("peeked"));
+        }
+        self.cur
+            .sort_unstable_by_key(|e| std::cmp::Reverse(e.canonical_key()));
+        self.cur_time = t;
+        self.floor = t;
+        self.scan_from = t + 1;
     }
 
     /// Pops the earliest event.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        if self.cur.is_empty() {
+            let t = self.peek_cycle()?;
+            self.activate(t);
+        }
+        self.len -= 1;
+        self.cur.pop()
+    }
+
+    /// Pops the earliest event iff it fires strictly before `end` —
+    /// the sharded engine's window drain, without a separate peek scan.
+    pub fn pop_before(&mut self, end: u64) -> Option<Event> {
+        if self.cur.is_empty() {
+            let t = self.peek_cycle()?;
+            if t >= end {
+                return None;
+            }
+            self.activate(t);
+        } else if self.cur_time >= end {
+            return None;
+        }
+        self.len -= 1;
+        self.cur.pop()
     }
 
     /// Removes and returns every pending event matching `pred`, in
@@ -125,12 +293,20 @@ impl EventQueue {
     /// semantics: when a switch or link dies, the packets committed to
     /// it are claimed (and counted) instead of silently firing later.
     pub fn extract(&mut self, mut pred: impl FnMut(&EventKind) -> bool) -> Vec<Event> {
-        let (out, keep): (Vec<Event>, Vec<Event>) = std::mem::take(&mut self.heap)
-            .into_vec()
-            .into_iter()
-            .partition(|e| pred(&e.kind));
-        self.heap = keep.into();
-        let mut out = out;
+        let mut all: Vec<Event> = Vec::with_capacity(self.len);
+        all.append(&mut self.cur);
+        for slot in &mut self.wheel {
+            all.append(slot);
+        }
+        all.extend(std::mem::take(&mut self.overflow));
+        let (mut out, keep): (Vec<Event>, Vec<Event>) =
+            all.into_iter().partition(|e| pred(&e.kind));
+        self.len = keep.len();
+        for ev in keep {
+            // Original `seq` values are preserved, so the surviving
+            // events keep their canonical order exactly.
+            self.insert(ev);
+        }
         out.sort_by_key(Event::canonical_key);
         out
     }
@@ -139,19 +315,227 @@ impl EventQueue {
     /// sharded engine uses this to bound its cycle windows.
     #[must_use]
     pub fn next_time(&self) -> Option<u64> {
-        self.heap.peek().map(|e| e.time.0)
+        if let Some(e) = self.cur.last() {
+            return Some(e.time.0);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        let over_t = self.overflow.peek().map(|e| e.time.0);
+        let end = self.floor + self.horizon();
+        let mut t = self.scan_from;
+        while t < end {
+            if !self.wheel[(t & self.mask) as usize].is_empty() {
+                return Some(over_t.map_or(t, |o| o.min(t)));
+            }
+            t += 1;
+        }
+        over_t
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+}
+
+/// A generation-checked handle into a [`Slab`]. Copyable and cheap;
+/// resolving it after the slot was freed yields `None` instead of a
+/// different (or resurrected) value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SlabHandle {
+    idx: u32,
+    gen: u32,
+}
+
+impl SlabHandle {
+    /// The dense slot index (stable for the lifetime of the slab — the
+    /// simulator uses it as the canonical `pkey`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.idx as usize
+    }
+
+    /// The generation this handle was minted at.
+    #[must_use]
+    pub fn generation(self) -> u32 {
+        self.gen
+    }
+}
+
+struct Slot<T> {
+    gen: u32,
+    val: Option<T>,
+}
+
+/// An append-only arena for in-flight packet state.
+///
+/// * `insert` appends and returns a [`SlabHandle`]; indices are never
+///   recycled for new values, so a handle index is a stable identity.
+/// * `free` declares **death**: it drops the payload in place (the
+///   packet's path buffer and RNG are reclaimed immediately) and bumps
+///   the slot generation, invalidating every outstanding handle.
+/// * `take`/`put` move the payload without declaring death — the
+///   sharded engine's cross-shard handoff — and leave the generation
+///   untouched, so handles stay valid across a migration.
+///
+/// Accessing a freed slot through a stale handle returns `None`; the
+/// simulator reports that as a typed `stale_handle` violation rather
+/// than panicking (or worse, acting on a resurrected packet).
+pub struct Slab<T> {
+    slots: Vec<Slot<T>>,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self { slots: Vec::new() }
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of slots ever created (live + freed).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no slot was ever created.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Appends a value, returning its handle. The index equals the
+    /// number of slots created before it — dense and stable.
+    pub fn insert(&mut self, val: T) -> SlabHandle {
+        let idx = u32::try_from(self.slots.len()).expect("slab capacity");
+        self.slots.push(Slot { gen: 0, val: Some(val) });
+        SlabHandle { idx, gen: 0 }
+    }
+
+    /// Extends the slab with empty slots up to `len` (the sharded
+    /// engine mirrors globally-assigned indices into per-shard slabs).
+    pub fn ensure_len(&mut self, len: usize) {
+        while self.slots.len() < len {
+            self.slots.push(Slot { gen: 0, val: None });
+        }
+    }
+
+    /// The current-generation handle for a raw index, if the slot holds
+    /// a value.
+    #[must_use]
+    pub fn handle_at(&self, idx: usize) -> Option<SlabHandle> {
+        let slot = self.slots.get(idx)?;
+        slot.val.as_ref()?;
+        Some(SlabHandle {
+            idx: u32::try_from(idx).expect("slab capacity"),
+            gen: slot.gen,
+        })
+    }
+
+    /// Resolves a handle; `None` if the slot was freed (any stale
+    /// generation) or its payload is mid-migration.
+    #[must_use]
+    pub fn get(&self, h: SlabHandle) -> Option<&T> {
+        let slot = self.slots.get(h.index())?;
+        if slot.gen != h.gen {
+            return None;
+        }
+        slot.val.as_ref()
+    }
+
+    /// Mutable [`Slab::get`].
+    pub fn get_mut(&mut self, h: SlabHandle) -> Option<&mut T> {
+        let slot = self.slots.get_mut(h.index())?;
+        if slot.gen != h.gen {
+            return None;
+        }
+        slot.val.as_mut()
+    }
+
+    /// Resolves a raw index against the *current* generation — the
+    /// simulator's event payloads carry bare indices (they double as
+    /// `pkey`), and an index is unambiguous because slots are never
+    /// recycled. `None` means the packet already died.
+    #[must_use]
+    pub fn get_idx(&self, idx: usize) -> Option<&T> {
+        self.slots.get(idx)?.val.as_ref()
+    }
+
+    /// Mutable [`Slab::get_idx`].
+    pub fn get_idx_mut(&mut self, idx: usize) -> Option<&mut T> {
+        self.slots.get_mut(idx)?.val.as_mut()
+    }
+
+    /// Declares the slot dead: drops the payload in place, bumps the
+    /// generation (invalidating all outstanding handles) and returns
+    /// the value. `None` if it was already freed or never filled.
+    pub fn free_idx(&mut self, idx: usize) -> Option<T> {
+        let slot = self.slots.get_mut(idx)?;
+        let val = slot.val.take()?;
+        slot.gen += 1;
+        Some(val)
+    }
+
+    /// Handle-checked [`Slab::free_idx`]: a stale handle frees nothing.
+    pub fn free(&mut self, h: SlabHandle) -> Option<T> {
+        let slot = self.slots.get_mut(h.index())?;
+        if slot.gen != h.gen {
+            return None;
+        }
+        let val = slot.val.take()?;
+        slot.gen += 1;
+        Some(val)
+    }
+
+    /// Moves the payload out *without* declaring death (generation
+    /// unchanged) — one side of a cross-shard handoff.
+    pub fn take_idx(&mut self, idx: usize) -> Option<T> {
+        self.slots.get_mut(idx)?.val.take()
+    }
+
+    /// Re-seats a payload moved by [`Slab::take_idx`]. Panics if the
+    /// slot is occupied (two packets may never share an identity).
+    pub fn put_idx(&mut self, idx: usize, val: T) {
+        self.ensure_len(idx + 1);
+        let slot = &mut self.slots[idx];
+        assert!(slot.val.is_none(), "slab slot {idx} already occupied");
+        slot.val = Some(val);
+    }
+
+    /// Iterates live entries as `(index, &value)`.
+    pub fn iter_live(&self) -> impl Iterator<Item = (usize, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.val.as_ref().map(|v| (i, v)))
+    }
+
+    /// Iterates live entries as `(index, &mut value)`.
+    pub fn iter_live_mut(&mut self) -> impl Iterator<Item = (usize, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .filter_map(|(i, s)| s.val.as_mut().map(|v| (i, v)))
+    }
+
+    /// Number of live (filled) slots.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.val.is_some()).count()
     }
 }
 
@@ -250,5 +634,163 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_round_trip_through_the_spillover_heap() {
+        // Events far beyond the wheel horizon (watchdog sweeps, fault
+        // schedules) spill to the heap and still pop in order, merged
+        // with near events — including a same-cycle wheel/heap merge.
+        let mut q = EventQueue::with_horizon(8);
+        let h = q.horizon();
+        q.push(SimTime(10 * h), EventKind::Inject { pkt: 0 });
+        q.push(SimTime(2), EventKind::Inject { pkt: 1 });
+        q.push(SimTime(3 * h + 5), EventKind::Watchdog);
+        q.push(SimTime(h - 1), EventKind::Inject { pkt: 2 });
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|e| e.time.0).collect();
+        assert_eq!(times, vec![2, h - 1, 3 * h + 5, 10 * h]);
+    }
+
+    #[test]
+    fn spillover_merges_with_wheel_bucket_at_the_same_cycle() {
+        let mut q = EventQueue::with_horizon(8);
+        let h = q.horizon();
+        let t = 2 * h + 3;
+        // Scheduled while `t` is beyond the horizon → heap.
+        q.push(SimTime(t), EventKind::Inject { pkt: 7 });
+        // Advance the wheel close to `t`...
+        q.push(SimTime(t - 2), EventKind::Inject { pkt: 1 });
+        assert_eq!(q.pop().unwrap().time.0, t - 2);
+        // ...so this lands in the wheel bucket for the same cycle `t`.
+        q.push(SimTime(t), EventKind::Inject { pkt: 3 });
+        let pkts: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.canonical_key().2)
+            .collect();
+        assert_eq!(pkts, vec![3, 7], "same cycle drains by pkey, not by origin");
+    }
+
+    #[test]
+    fn same_cycle_push_during_drain_keeps_canonical_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), EventKind::Inject { pkt: 2 });
+        q.push(SimTime(5), EventKind::Inject { pkt: 8 });
+        assert_eq!(q.pop().unwrap().canonical_key().2, 2);
+        // Mid-drain insertions at the active cycle, straddling pkt 8.
+        q.push(SimTime(5), EventKind::Inject { pkt: 4 });
+        q.push(SimTime(5), EventKind::Inject { pkt: 9 });
+        let pkts: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.canonical_key().2)
+            .collect();
+        assert_eq!(pkts, vec![4, 8, 9]);
+    }
+
+    #[test]
+    fn push_at_just_drained_cycle_is_not_lost() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(3), EventKind::Inject { pkt: 0 });
+        assert_eq!(q.pop().unwrap().time.0, 3);
+        assert!(q.is_empty());
+        // A handler firing at cycle 3 schedules more same-cycle work
+        // after the bucket drained.
+        q.push(SimTime(3), EventKind::Reroute { pkt: 0, node: 1 });
+        assert_eq!(q.next_time(), Some(3));
+        assert_eq!(q.pop().unwrap().time.0, 3);
+    }
+
+    #[test]
+    fn pop_before_respects_the_window_edge() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(4), EventKind::Inject { pkt: 0 });
+        q.push(SimTime(9), EventKind::Inject { pkt: 1 });
+        assert_eq!(q.pop_before(9).unwrap().time.0, 4);
+        assert!(q.pop_before(9).is_none(), "event at the edge stays queued");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_before(10).unwrap().time.0, 9);
+        assert!(q.pop_before(u64::MAX).is_none());
+    }
+
+    #[test]
+    fn extract_spans_wheel_spillover_and_active_cycle() {
+        let mut q = EventQueue::with_horizon(8);
+        let h = q.horizon();
+        q.push(SimTime(1), EventKind::Arrive { pkt: 0, node: 7, from: 7 });
+        q.push(SimTime(1), EventKind::Arrive { pkt: 1, node: 2, from: 2 });
+        q.push(SimTime(3), EventKind::Arrive { pkt: 2, node: 7, from: 1 });
+        q.push(SimTime(5 * h), EventKind::Arrive { pkt: 3, node: 7, from: 4 });
+        // Activate cycle 1 so one match sits in `cur` mid-drain.
+        assert_eq!(q.pop().unwrap().canonical_key().2, 0);
+        let claimed = q.extract(|k| matches!(k, EventKind::Arrive { node, .. } if *node == 7));
+        let pkts: Vec<u64> = claimed.iter().map(|e| e.canonical_key().2).collect();
+        assert_eq!(pkts, vec![2, 3], "claimed across wheel and heap in order");
+        // The survivor (pkt 1 at the active cycle) still pops.
+        assert_eq!(q.pop().unwrap().canonical_key().2, 1);
+        assert!(q.is_empty());
+    }
+
+    // ---- Slab ----
+
+    #[test]
+    fn slab_insert_get_free_round_trip() {
+        let mut s = Slab::new();
+        let a = s.insert("alpha");
+        let b = s.insert("beta");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(s.get(a), Some(&"alpha"));
+        assert_eq!(s.get_idx(1), Some(&"beta"));
+        assert_eq!(s.free(a), Some("alpha"));
+        assert_eq!(s.live_count(), 1);
+        let live: Vec<usize> = s.iter_live().map(|(i, _)| i).collect();
+        assert_eq!(live, vec![1]);
+    }
+
+    #[test]
+    fn stale_handle_does_not_resurrect_a_freed_slot() {
+        let mut s = Slab::new();
+        let h = s.insert(42u32);
+        assert_eq!(s.free_idx(h.index()), Some(42));
+        // The handle minted before the death no longer resolves —
+        // generation mismatch, not a panic, and never a stale value.
+        assert_eq!(s.get(h), None);
+        assert_eq!(s.get_mut(h), None);
+        assert_eq!(s.free(h), None, "double-free through a stale handle is a no-op");
+        assert_eq!(s.get_idx(h.index()), None);
+        assert_eq!(s.handle_at(h.index()), None);
+    }
+
+    #[test]
+    fn generation_distinguishes_death_from_migration() {
+        let mut s = Slab::new();
+        let h = s.insert(7u8);
+        // Cross-shard handoff: take + put leave the generation alone,
+        // so the handle stays valid across the migration.
+        let v = s.take_idx(h.index()).unwrap();
+        assert_eq!(s.get(h), None, "mid-migration slot is empty");
+        s.put_idx(h.index(), v);
+        assert_eq!(s.get(h), Some(&7), "same handle resolves after re-seat");
+        // Death bumps the generation: the same slot index with a fresh
+        // lookup now reports gone.
+        s.free(h).unwrap();
+        assert_eq!(s.get(h), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn put_into_an_occupied_slot_panics() {
+        let mut s = Slab::new();
+        let h = s.insert(1u8);
+        s.put_idx(h.index(), 2u8);
+    }
+
+    #[test]
+    fn ensure_len_mirrors_sparse_indices() {
+        let mut s: Slab<u8> = Slab::new();
+        s.ensure_len(4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.live_count(), 0);
+        s.put_idx(6, 9); // auto-extends
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.get_idx(6), Some(&9));
+        assert_eq!(s.handle_at(6).map(SlabHandle::generation), Some(0));
     }
 }

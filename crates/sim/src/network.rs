@@ -1,7 +1,7 @@
 //! The simulation engine.
 
 use crate::config::SimConfig;
-use crate::event::{Event, EventKind, EventQueue};
+use crate::event::{Event, EventKind, EventQueue, Slab};
 use crate::filter::{Filter, NoFilter};
 use crate::invariant::{InvariantChecker, Violation};
 use crate::mark::{MarkEnv, Marker};
@@ -15,7 +15,7 @@ use ddpm_topology::{
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::ops::{Index, IndexMut};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -123,9 +123,6 @@ struct InFlight {
     /// True if injected while at least one fault was active (feeds the
     /// fault-window delivery ratio).
     under_fault: bool,
-    /// False once delivered or dropped. Guards handlers against stale
-    /// events (defence in depth next to eager queue extraction).
-    alive: bool,
     /// True once the injection was counted (`injected` incremented) —
     /// only launched packets participate in conservation and watchdog
     /// accounting.
@@ -149,15 +146,19 @@ struct InFlight {
     wire_mf: u16,
 }
 
-/// In-flight packet storage: a handle-indexed slot table. In the serial
-/// engine every scheduled packet stays resident for the whole run; in
-/// the sharded engine a slot is `None` while the packet is owned by
+/// In-flight packet storage: a [`Slab`] arena indexed by the global
+/// packet handle, with inline (unboxed) payloads. Handle indices are
+/// never recycled — the index doubles as the canonical `pkey` and the
+/// per-packet RNG seed — but a packet's storage is reclaimed in place
+/// the moment it is delivered or dropped, and the slot's generation
+/// bump turns any later access into a detectable stale-handle event.
+/// In the sharded engine a slot is empty while the packet is owned by
 /// another shard (handles are global, storage is per-shard).
-struct Pkts(Vec<Option<Box<InFlight>>>);
+struct Pkts(Slab<InFlight>);
 
 impl Pkts {
     fn new() -> Self {
-        Self(Vec::new())
+        Self(Slab::new())
     }
 
     fn len(&self) -> usize {
@@ -165,52 +166,52 @@ impl Pkts {
     }
 
     fn push(&mut self, flight: InFlight) -> usize {
-        self.0.push(Some(Box::new(flight)));
-        self.0.len() - 1
+        self.0.insert(flight).index()
     }
 
     /// Grows the table to `n` empty slots (shard setup).
     fn ensure_len(&mut self, n: usize) {
-        if self.0.len() < n {
-            self.0.resize_with(n, || None);
-        }
+        self.0.ensure_len(n);
     }
 
     fn get(&self, i: usize) -> Option<&InFlight> {
-        self.0.get(i).and_then(|s| s.as_deref())
+        self.0.get_idx(i)
     }
 
-    /// Removes the packet for a cross-shard handoff.
-    fn take(&mut self, i: usize) -> Box<InFlight> {
-        self.0[i].take().expect("packet resident in this shard")
+    /// Removes the packet for a cross-shard handoff (the slot stays
+    /// valid — the packet is alive, just resident elsewhere).
+    fn take(&mut self, i: usize) -> InFlight {
+        self.0.take_idx(i).expect("packet resident in this shard")
     }
 
     /// Installs a handed-off packet.
-    fn put(&mut self, i: usize, flight: Box<InFlight>) {
-        debug_assert!(self.0[i].is_none(), "slot {i} already occupied");
-        self.0[i] = Some(flight);
+    fn put(&mut self, i: usize, flight: InFlight) {
+        self.0.put_idx(i, flight);
+    }
+
+    /// Declares the packet dead: reclaims its storage and invalidates
+    /// the slot for good.
+    fn free(&mut self, i: usize) -> InFlight {
+        self.0.free_idx(i).expect("double drop of a packet")
     }
 
     /// Resident packets, in handle order.
     fn iter_live(&self) -> impl Iterator<Item = (usize, &InFlight)> {
-        self.0
-            .iter()
-            .enumerate()
-            .filter_map(|(i, s)| s.as_deref().map(|p| (i, p)))
+        self.0.iter_live()
     }
 }
 
 impl Index<usize> for Pkts {
     type Output = InFlight;
     fn index(&self, i: usize) -> &InFlight {
-        self.0[i].as_deref().expect("packet resident in this shard")
+        self.0.get_idx(i).expect("packet resident in this shard")
     }
 }
 
 impl IndexMut<usize> for Pkts {
     fn index_mut(&mut self, i: usize) -> &mut InFlight {
-        self.0[i]
-            .as_deref_mut()
+        self.0
+            .get_idx_mut(i)
             .expect("packet resident in this shard")
     }
 }
@@ -230,7 +231,7 @@ pub struct Handoff {
     pkt: usize,
     node: u32,
     from: u32,
-    flight: Box<InFlight>,
+    flight: InFlight,
 }
 
 /// Per-shard mailboxes for cross-shard handoffs, indexed by destination
@@ -345,10 +346,6 @@ struct ShardCtx {
     capture: bool,
     selftest_at: Option<u64>,
     selftest_done: bool,
-    /// `(packet id, last node)` of the most recent cross-shard handoff,
-    /// so the post-event hook can attribute a self-test violation to an
-    /// event whose packet just left the shard.
-    departed_info: (u64, u32),
     events: Vec<(EventKey, PacketEvent)>,
     delivered: Vec<(EventKey, Delivered)>,
     drops: Vec<(EventKey, (PacketId, DropReason))>,
@@ -385,7 +382,11 @@ pub struct Simulation<'a> {
     queue: EventQueue,
     pkts: Pkts,
     /// Per directed output port: the cycle until which it is busy.
-    ports: HashMap<(u32, Direction), u64>,
+    /// Dense, indexed `node * port_stride + (dim * 2 + sign)` — the
+    /// hot-path replacement for the old `HashMap<(u32, Direction), u64>`.
+    ports: Vec<u64>,
+    /// Ports per switch in the dense table (`2 * ndims`).
+    port_stride: usize,
     now: SimTime,
     stats: SimStats,
     delivered: Vec<Delivered>,
@@ -401,6 +402,17 @@ pub struct Simulation<'a> {
     /// Packets launched (injection counted) but not yet delivered or
     /// dropped — the `in_flight` term of the conservation invariant.
     live_count: u64,
+    /// Running totals mirroring the per-class stats counters, kept so
+    /// the per-event conservation check is three integer loads instead
+    /// of a full `SimStats::total()` fold.
+    injected_total: u64,
+    delivered_total: u64,
+    dropped_total: u64,
+    /// `(packet id, last node)` of the most recent packet to leave this
+    /// simulation's storage — freed on delivery/drop, or handed off to
+    /// another shard. The post-event hooks attribute their checks with
+    /// this when the event's own packet is already gone.
+    gone_info: (u64, u32),
     /// Cycle of the last delivery or forward: the network-level
     /// progress signal the watchdog's deadlock detector watches.
     last_progress: u64,
@@ -457,6 +469,13 @@ impl<'a> Simulation<'a> {
         let checker = InvariantChecker::new(cfg.invariants);
         let obs = tele.as_ref().is_some_and(|t| t.events_on()) || checker.tail_on();
         let checking = checker.enabled();
+        let port_stride = 2 * topo.ndims();
+        let ports = vec![0u64; topo.num_nodes() as usize * port_stride];
+        // Size the wheel to the worst-case hot-path look-ahead: a full
+        // output buffer serialising ahead of this packet, plus the link.
+        let horizon = (u64::from(cfg.buffer_packets) + 2) * cfg.service_cycles.max(1)
+            + cfg.link_latency
+            + 1;
         Self {
             topo,
             live: faults.clone(),
@@ -465,9 +484,10 @@ impl<'a> Simulation<'a> {
             marker,
             filter,
             cfg,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_horizon(horizon),
             pkts: Pkts::new(),
-            ports: HashMap::new(),
+            ports,
+            port_stride,
             now: SimTime::ZERO,
             stats: SimStats::default(),
             delivered: Vec::new(),
@@ -476,6 +496,10 @@ impl<'a> Simulation<'a> {
             pending_recovery: None,
             tele,
             live_count: 0,
+            injected_total: 0,
+            delivered_total: 0,
+            dropped_total: 0,
+            gone_info: (0, u32::MAX),
             last_progress: 0,
             watchdog_armed: false,
             checker,
@@ -524,7 +548,6 @@ impl<'a> Simulation<'a> {
             inject_attempts: 0,
             reroutes: 0,
             under_fault: false,
-            alive: true,
             launched: false,
             escaped: false,
             escaped_at: 0,
@@ -648,6 +671,14 @@ impl<'a> Simulation<'a> {
         self.pkts[pkt].packet.class
     }
 
+    /// Dense index of a directed output port: `node * 2·ndims + dim·2 +
+    /// sign` (hypercubes use only the `Plus` half of each pair).
+    #[inline]
+    fn port_index(&self, node: u32, dir: Direction) -> usize {
+        let d = dir.dim() * 2 + usize::from(dir.sign == ddpm_topology::Sign::Minus);
+        node as usize * self.port_stride + d
+    }
+
     /// The next emission key for the event being processed (shard mode).
     #[inline]
     fn bump_key(&mut self) -> EventKey {
@@ -662,9 +693,16 @@ impl<'a> Simulation<'a> {
     /// canonical key for the coordinator's merge. Only call behind
     /// `self.obs`.
     fn emit(&mut self, pkt: usize, node: u32, kind: TelEvent) {
+        let id = self.pkts[pkt].packet.id.0;
+        self.emit_id(id, node, kind);
+    }
+
+    /// [`Simulation::emit`] for a packet already freed from the arena
+    /// (drop and delivery events fire after the storage is reclaimed).
+    fn emit_id(&mut self, pkt_id: u64, node: u32, kind: TelEvent) {
         let ev = PacketEvent {
             cycle: self.now.cycles(),
-            pkt: self.pkts[pkt].packet.id.0,
+            pkt: pkt_id,
             node,
             kind,
         };
@@ -753,12 +791,18 @@ impl<'a> Simulation<'a> {
         let (pkt_id, node) = match ev.kind {
             EventKind::Inject { pkt }
             | EventKind::Arrive { pkt, .. }
-            | EventKind::Reroute { pkt, .. } => {
-                (self.pkts[pkt].packet.id.0, self.pkts[pkt].last_node)
-            }
+            | EventKind::Reroute { pkt, .. } => match self.pkts.get(pkt) {
+                Some(p) => (p.packet.id.0, p.last_node),
+                // The handler freed the packet (delivered or dropped it)
+                // during this very event.
+                None => self.gone_info,
+            },
             EventKind::Fault { .. } | EventKind::Watchdog => (0, u32::MAX),
         };
-        if !self.stats.accounted(self.live_count) {
+        // O(1) conservation: the running totals mirror the per-class
+        // stats counters; `SimStats::accounted` (a full counter fold)
+        // remains the end-of-run cross-check.
+        if self.injected_total != self.delivered_total + self.dropped_total + self.live_count {
             let t = self.stats.total();
             self.report_violation(
                 pkt_id,
@@ -792,11 +836,15 @@ impl<'a> Simulation<'a> {
     /// watchdog escalations) — the coordinator writes the log entry and
     /// the event into the master in serial order.
     fn account_drop(&mut self, pkt: usize, reason: DropReason) {
-        debug_assert!(self.pkts[pkt].alive, "double drop of packet {pkt}");
-        debug_assert!(self.pkts[pkt].launched, "drop of an uninjected packet");
-        self.pkts[pkt].alive = false;
+        // Frees the arena slot (reclaiming the path buffer and RNG) and
+        // bumps its generation — a stale event for this handle can never
+        // act on a resurrected packet.
+        let flight = self.pkts.free(pkt);
+        debug_assert!(flight.launched, "drop of an uninjected packet");
+        self.gone_info = (flight.packet.id.0, flight.last_node);
         self.live_count -= 1;
-        let class = self.class_of(pkt);
+        self.dropped_total += 1;
+        let class = flight.packet.class;
         let c = self.stats.class_mut(class);
         match reason {
             DropReason::BufferOverflow => c.dropped_buffer += 1,
@@ -815,8 +863,8 @@ impl<'a> Simulation<'a> {
     }
 
     fn drop_packet(&mut self, pkt: usize, node: u32, reason: DropReason) {
-        self.account_drop(pkt, reason);
         let id = self.pkts[pkt].packet.id;
+        self.account_drop(pkt, reason);
         let key = (self.cur_cycle, self.cur_rank, self.cur_pkey, 0);
         if let Some(ctx) = self.shard.as_mut() {
             ctx.drops.push((key, (id, reason)));
@@ -824,8 +872,8 @@ impl<'a> Simulation<'a> {
             self.drops.push((id, reason));
         }
         if self.obs {
-            self.emit(
-                pkt,
+            self.emit_id(
+                id.0,
                 node,
                 TelEvent::Drop {
                     reason: reason.as_str(),
@@ -889,8 +937,29 @@ impl<'a> Simulation<'a> {
         }
     }
 
+    /// Guard against an event firing on a packet that already died. In a
+    /// correct run this never happens — every death path eagerly
+    /// extracts the packet's pending events — so a hit is a simulator
+    /// bug: the arena's generation bump makes it detectable, and it is
+    /// reported as a typed `stale_handle` violation rather than a panic
+    /// (and can never act on a resurrected packet).
+    fn stale_event(&mut self, pkt: usize) -> bool {
+        if self.pkts.get(pkt).is_some() {
+            return false;
+        }
+        if self.checking {
+            self.report_violation(
+                pkt as u64,
+                u32::MAX,
+                "stale_handle",
+                format!("event fired for freed packet handle {pkt} (arena generation advanced)"),
+            );
+        }
+        true
+    }
+
     fn handle_inject(&mut self, pkt: usize) {
-        if !self.pkts[pkt].alive {
+        if self.stale_event(pkt) {
             return;
         }
         let src_id = self.pkts[pkt].packet.true_source;
@@ -899,6 +968,7 @@ impl<'a> Simulation<'a> {
         if self.pkts[pkt].inject_attempts == 0 {
             self.pkts[pkt].launched = true;
             self.live_count += 1;
+            self.injected_total += 1;
             self.stats.class_mut(self.class_of(pkt)).injected += 1;
             let under = !self.live.is_empty();
             self.pkts[pkt].under_fault = under;
@@ -971,7 +1041,7 @@ impl<'a> Simulation<'a> {
     }
 
     fn handle_arrive(&mut self, pkt: usize, node: u32) {
-        if !self.pkts[pkt].alive {
+        if self.stale_event(pkt) {
             return;
         }
         // Mark-in-transit invariant: links never rewrite the marking
@@ -1036,26 +1106,45 @@ impl<'a> Simulation<'a> {
                 self.drop_packet(pkt, node, DropReason::Filtered);
                 return;
             }
-            let class = self.class_of(pkt);
-            let inflight = &self.pkts[pkt];
-            if inflight.under_fault {
+            // Commit: the packet leaves the arena here — its storage is
+            // reclaimed in place and the slot generation advances, so no
+            // stale event can ever resurrect it.
+            let flight = self.pkts.free(pkt);
+            self.gone_info = (flight.packet.id.0, node);
+            if flight.under_fault {
                 self.stats.faults.window_delivered += 1;
             }
             if let Some(t0) = self.pending_recovery.take() {
                 self.stats.faults.recovery.record(self.now.cycles() - t0);
             }
-            let c = self.stats.class_mut(class);
+            let c = self.stats.class_mut(flight.packet.class);
             c.delivered += 1;
-            let latency = self.now - inflight.injected_at;
+            let latency = self.now - flight.injected_at;
             c.latency.record(latency);
-            c.total_hops += u64::from(inflight.state.hops);
-            let hops = inflight.state.hops;
+            c.total_hops += u64::from(flight.state.hops);
+            let hops = flight.state.hops;
+            self.live_count -= 1;
+            self.delivered_total += 1;
+            self.last_progress = self.now.cycles();
+            if self.checking && self.cfg.record_paths {
+                let want = flight.state.hops as usize + 1;
+                let got = flight.path.len();
+                if got != want {
+                    self.report_violation(
+                        flight.packet.id.0,
+                        node,
+                        "path_consistency",
+                        format!("recorded path has {got} nodes, expected hops+1 = {want}"),
+                    );
+                }
+            }
+            let pkt_id = flight.packet.id.0;
             let d = Delivered {
-                packet: inflight.packet,
-                injected_at: inflight.injected_at,
+                packet: flight.packet,
+                injected_at: flight.injected_at,
                 delivered_at: self.now,
                 hops,
-                path: self.cfg.record_paths.then(|| inflight.path.clone()),
+                path: self.cfg.record_paths.then_some(flight.path),
             };
             let key = (self.cur_cycle, self.cur_rank, self.cur_pkey, 0);
             if let Some(ctx) = self.shard.as_mut() {
@@ -1063,24 +1152,9 @@ impl<'a> Simulation<'a> {
             } else {
                 self.delivered.push(d);
             }
-            self.pkts[pkt].alive = false;
-            self.live_count -= 1;
-            self.last_progress = self.now.cycles();
-            if self.checking && self.cfg.record_paths {
-                let want = self.pkts[pkt].state.hops as usize + 1;
-                let got = self.pkts[pkt].path.len();
-                if got != want {
-                    self.report_violation(
-                        self.pkts[pkt].packet.id.0,
-                        node,
-                        "path_consistency",
-                        format!("recorded path has {got} nodes, expected hops+1 = {want}"),
-                    );
-                }
-            }
             if self.obs {
-                self.emit(
-                    pkt,
+                self.emit_id(
+                    pkt_id,
                     node,
                     TelEvent::Deliver {
                         mf: mf_after,
@@ -1167,8 +1241,8 @@ impl<'a> Simulation<'a> {
 
         // Output-port contention: the port serialises one packet per
         // `service_cycles`; backlog beyond `buffer_packets` is dropped.
-        let key = (node, chosen.dir);
-        let busy_until = self.ports.get(&key).copied().unwrap_or(0);
+        let port = self.port_index(node, chosen.dir);
+        let busy_until = self.ports[port];
         let backlog = busy_until.saturating_sub(self.now.cycles()) / self.cfg.service_cycles.max(1);
         if backlog >= u64::from(self.cfg.buffer_packets) {
             self.drop_packet(pkt, node, DropReason::BufferOverflow);
@@ -1189,7 +1263,7 @@ impl<'a> Simulation<'a> {
         self.last_progress = self.now.cycles();
 
         let depart = busy_until.max(self.now.cycles()) + self.cfg.service_cycles;
-        self.ports.insert(key, depart);
+        self.ports[port] = depart;
         let arrive = depart + self.cfg.link_latency;
         let next_id = self.topo.index(&chosen.next).0;
         if self.obs {
@@ -1210,8 +1284,8 @@ impl<'a> Simulation<'a> {
         if let Some(dest) = handoff_dest {
             let flight = self.pkts.take(pkt);
             self.live_count -= 1;
+            self.gone_info = (flight.packet.id.0, flight.last_node);
             let ctx = self.shard.as_deref_mut().expect("shard mode");
-            ctx.departed_info = (flight.packet.id.0, flight.last_node);
             ctx.inboxes[dest].lock().expect("inbox poisoned").push(Handoff {
                 time: arrive,
                 pkt,
@@ -1234,7 +1308,7 @@ impl<'a> Simulation<'a> {
     /// A parked packet's backoff expired: re-query routing against the
     /// live fault state.
     fn handle_reroute(&mut self, pkt: usize, node: u32) {
-        if !self.pkts[pkt].alive {
+        if self.stale_event(pkt) {
             return;
         }
         let node_id = NodeId(node);
@@ -1281,7 +1355,7 @@ impl<'a> Simulation<'a> {
             let victims: Vec<usize> = self
                 .pkts
                 .iter_live()
-                .filter(|(_, p)| p.alive && p.launched)
+                .filter(|(_, p)| p.launched)
                 .map(|(i, _)| i)
                 .collect();
             let doomed: HashSet<usize> = victims.iter().copied().collect();
@@ -1314,7 +1388,7 @@ impl<'a> Simulation<'a> {
         let mut detected: Vec<(usize, bool)> = Vec::new();
         let mut drop_now: Vec<usize> = Vec::new();
         for (i, p) in self.pkts.iter_live() {
-            if !(p.alive && p.launched) {
+            if !p.launched {
                 continue;
             }
             let age = now.saturating_sub(p.injected_at.cycles());
@@ -1456,7 +1530,6 @@ impl<'a> Simulation<'a> {
                     capture,
                     selftest_at,
                     selftest_done: false,
-                    departed_info: (0, u32::MAX),
                     events: Vec::new(),
                     delivered: Vec::new(),
                     drops: Vec::new(),
@@ -1483,7 +1556,7 @@ impl<'a> Simulation<'a> {
             }
         }
         for idx in 0..self.pkts.len() {
-            if let Some(flight) = self.pkts.0[idx].take() {
+            if let Some(flight) = self.pkts.0.take_idx(idx) {
                 let owner = part.owner(flight.packet.true_source);
                 sims[owner].pkts.put(idx, flight);
             }
@@ -1496,8 +1569,7 @@ impl<'a> Simulation<'a> {
     #[doc(hidden)]
     pub fn run_window(&mut self, end: u64) {
         debug_assert!(self.shard.is_some(), "run_window outside shard mode");
-        while self.queue.next_time().is_some_and(|t| t < end) {
-            let ev = self.queue.pop().expect("peeked above");
+        while let Some(ev) = self.queue.pop_before(end) {
             debug_assert!(ev.time >= self.now, "time went backwards");
             self.now = ev.time;
             let (cycle, rank, pkey, _) = ev.canonical_key();
@@ -1536,8 +1608,9 @@ impl<'a> Simulation<'a> {
             | EventKind::Arrive { pkt, .. }
             | EventKind::Reroute { pkt, .. } => match self.pkts.get(pkt) {
                 Some(p) => (p.packet.id.0, p.last_node),
-                // The event's packet was just handed off mid-event.
-                None => ctx.departed_info,
+                // The event's packet just left this shard mid-event —
+                // freed on delivery/drop, or handed off.
+                None => self.gone_info,
             },
             EventKind::Fault { .. } | EventKind::Watchdog => (0, u32::MAX),
         };
@@ -1580,16 +1653,17 @@ impl<'a> Simulation<'a> {
         let next_time = self.queue.next_time();
         let live = self.live_count;
         let last_progress = self.last_progress;
-        let totals = self.stats.total();
+        let (injected, delivered_total, dropped_total) =
+            (self.injected_total, self.delivered_total, self.dropped_total);
         let ctx = self.shard.as_deref_mut().expect("shard mode");
         WindowReport {
             next_time,
             min_inject: ctx.min_inject.take(),
             last_progress,
             live,
-            injected: totals.injected,
-            delivered_total: totals.delivered,
-            dropped_total: totals.dropped(),
+            injected,
+            delivered_total,
+            dropped_total,
             max_processed: ctx.max_processed,
             events: std::mem::take(&mut ctx.events),
             delivered: std::mem::take(&mut ctx.delivered),
@@ -1659,7 +1733,7 @@ impl<'a> Simulation<'a> {
     pub fn watchdog_report(&self) -> Vec<WdPacket> {
         self.pkts
             .iter_live()
-            .filter(|(_, p)| p.alive && p.launched)
+            .filter(|(_, p)| p.launched)
             .map(|(handle, p)| WdPacket {
                 handle,
                 pkt_id: p.packet.id.0,

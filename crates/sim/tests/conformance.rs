@@ -1,0 +1,227 @@
+//! The conformance corpus: pinned `ScenarioOutcome.digest` values for
+//! every shipped scenario file plus a grid of (topology × routing ×
+//! churn) micro-configs.
+//!
+//! The digest fingerprints everything a run observes — delivered
+//! packets (ids, headers with final marking fields, timestamps, hops,
+//! paths), typed drops, invariant verdicts and the full `SimStats` —
+//! so any rewrite of the hot path (event queue, packet storage, port
+//! state, telemetry batching) diffs bit-for-bit against pre-rewrite
+//! behaviour. The golden file was blessed against the BinaryHeap +
+//! HashMap + `Box<InFlight>` implementation this suite was introduced
+//! with; the cycle-wheel/slab/dense-array hot path must reproduce it
+//! exactly.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```bash
+//! DDPM_BLESS=1 cargo test -p ddpm-sim --test conformance
+//! ```
+//!
+//! and review the diff of `tests/conformance_digests.txt` like any
+//! other source change.
+
+use ddpm_bench::scenario_config::{
+    run_scenario, AttackSpec, MarkingSpec, RouterSpec, ScenarioConfig, TopologySpec,
+};
+use ddpm_sim::{Engine, WatchdogConfig};
+use ddpm_topology::{FaultEvent, NodeId};
+use serde_json::FromJson;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const GOLDEN: &str = "tests/conformance_digests.txt";
+
+fn scenarios_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+fn manifest(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// The topology axis: one representative of each family, small enough
+/// that the full grid stays quick in debug builds.
+fn topologies() -> Vec<(&'static str, TopologySpec)> {
+    vec![
+        ("mesh6x6", TopologySpec::Mesh { dims: vec![6, 6] }),
+        ("torus6x6", TopologySpec::Torus { dims: vec![6, 6] }),
+        ("cube5", TopologySpec::Hypercube { n: 5 }),
+    ]
+}
+
+/// The routing axis: the deterministic baseline, a partially adaptive
+/// midpoint and the fully adaptive extreme (valid on every family).
+fn routers() -> Vec<(&'static str, RouterSpec)> {
+    vec![
+        ("dor", RouterSpec::DimensionOrder),
+        ("minadapt", RouterSpec::MinimalAdaptive),
+        ("fulladapt", RouterSpec::FullyAdaptive),
+    ]
+}
+
+/// The churn axis: quiet background traffic, a UDP flood, and the
+/// flood under mid-run switch churn with retries, the liveness
+/// watchdog and the invariant checker — the paths whose event ordering
+/// the scheduler rewrite must preserve exactly.
+fn churn_levels() -> Vec<&'static str> {
+    vec!["quiet", "flood", "chaos"]
+}
+
+fn micro_config(topo: &TopologySpec, router: RouterSpec, churn: &str) -> ScenarioConfig {
+    let attack = AttackSpec::UdpFlood {
+        zombies: vec![3, 17],
+        victim: 30,
+        packets_per_zombie: 150,
+        interval: 8,
+    };
+    let mut cfg = ScenarioConfig {
+        topology: topo.clone(),
+        router,
+        marking: MarkingSpec::Ddpm,
+        seed: 2004,
+        fault_rate: 0.0,
+        background_interval: 48,
+        horizon: 1500,
+        attack: None,
+        fault_schedule: Vec::new(),
+        fault_retries: 0,
+        watchdog: None,
+        invariants: false,
+        engine: Engine::Serial,
+    };
+    match churn {
+        "quiet" => {}
+        "flood" => cfg.attack = Some(attack),
+        "chaos" => {
+            cfg.attack = Some(attack);
+            cfg.fault_schedule = vec![
+                (300, FaultEvent::SwitchDown { node: NodeId(9) }),
+                (900, FaultEvent::SwitchUp { node: NodeId(9) }),
+            ];
+            cfg.fault_retries = 4;
+            cfg.watchdog = Some(WatchdogConfig {
+                check_period: 64,
+                max_age: 768,
+                stall_cycles: 4096,
+                escape: Some(ddpm_routing::Router::DimensionOrder),
+            });
+            cfg.invariants = true;
+        }
+        other => panic!("unknown churn level {other}"),
+    }
+    cfg
+}
+
+/// Every corpus entry as `(name, digest)`, in a fixed order: the
+/// shipped scenario files (sorted by name), then the micro grid.
+fn corpus_digests() -> Vec<(String, String)> {
+    let mut out = Vec::new();
+
+    let mut files: Vec<PathBuf> = std::fs::read_dir(scenarios_dir())
+        .expect("scenarios dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().and_then(|e| e.to_str()) == Some("json"))
+        .collect();
+    files.sort();
+    assert!(files.len() >= 5, "expected the shipped scenario files");
+    for path in files {
+        let name = path.file_stem().unwrap().to_string_lossy().into_owned();
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        let v = serde_json::from_str(&raw)
+            .unwrap_or_else(|e| panic!("{}: not JSON: {e}", path.display()));
+        let cfg = ScenarioConfig::from_json(&v)
+            .unwrap_or_else(|e| panic!("{}: bad config: {e}", path.display()));
+        let outcome =
+            run_scenario(&cfg).unwrap_or_else(|e| panic!("scenario {name} failed: {e}"));
+        out.push((format!("scenario/{name}"), outcome.digest));
+    }
+
+    for (tname, topo) in topologies() {
+        for (rname, router) in routers() {
+            for churn in churn_levels() {
+                let cfg = micro_config(&topo, router, churn);
+                let name = format!("grid/{tname}/{rname}/{churn}");
+                let outcome =
+                    run_scenario(&cfg).unwrap_or_else(|e| panic!("{name} failed: {e}"));
+                out.push((name, outcome.digest));
+            }
+        }
+    }
+    out
+}
+
+fn render(digests: &[(String, String)]) -> String {
+    let mut s = String::from(
+        "# Pinned ScenarioOutcome digests — regenerate with DDPM_BLESS=1 (see conformance.rs)\n",
+    );
+    for (name, digest) in digests {
+        writeln!(s, "{name} {digest}").unwrap();
+    }
+    s
+}
+
+#[test]
+fn corpus_digests_match_golden_file() {
+    let digests = corpus_digests();
+    let rendered = render(&digests);
+    let golden_path = manifest(GOLDEN);
+    if std::env::var_os("DDPM_BLESS").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("write golden file");
+        eprintln!("blessed {} ({} entries)", golden_path.display(), digests.len());
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {}: {e}\nrun once with DDPM_BLESS=1 to create it",
+            golden_path.display()
+        )
+    });
+    let mut pinned = std::collections::BTreeMap::new();
+    for line in golden.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let (name, digest) = line.split_once(' ').expect("golden line is `name digest...`");
+        pinned.insert(name.to_string(), digest.to_string());
+    }
+    assert_eq!(
+        pinned.len(),
+        digests.len(),
+        "corpus size changed: golden has {}, run produced {} — bless intentionally",
+        pinned.len(),
+        digests.len()
+    );
+    let mut diverged = Vec::new();
+    for (name, digest) in &digests {
+        match pinned.get(name) {
+            None => diverged.push(format!("{name}: missing from golden file")),
+            Some(want) if want != digest => {
+                diverged.push(format!("{name}:\n  pinned {want}\n  got    {digest}"));
+            }
+            Some(_) => {}
+        }
+    }
+    assert!(
+        diverged.is_empty(),
+        "conformance digests diverged from pre-rewrite behaviour:\n{}\n\
+         If this change is intentional, re-bless with DDPM_BLESS=1 and review the diff.",
+        diverged.join("\n")
+    );
+}
+
+/// The corpus digests are also engine-independent: a spot check that the
+/// sharded engine reproduces the pinned serial digest on the most
+/// machinery-heavy grid cell (chaos churn exercises faults, watchdog,
+/// retries and the checker together). The full cross-engine sweep lives
+/// in `crates/engine/tests/equivalence.rs`.
+#[test]
+fn chaos_grid_cell_is_engine_independent() {
+    let mut cfg = micro_config(
+        &TopologySpec::Torus { dims: vec![6, 6] },
+        RouterSpec::FullyAdaptive,
+        "chaos",
+    );
+    let serial = run_scenario(&cfg).expect("serial run").digest;
+    cfg.engine = Engine::Sharded { shards: 2 };
+    let sharded = run_scenario(&cfg).expect("sharded run").digest;
+    assert_eq!(serial, sharded, "sharded(2) diverged from serial");
+}

@@ -18,9 +18,10 @@
 //!   all — each lifecycle point costs one `Option` discriminant check.
 //!   `bench_throughput` (in `ddpm-bench`) tracks this: disabled-mode
 //!   throughput must stay within noise of a build without the hooks.
-//! * **Events on**: one enum construction + counter bump per event,
-//!   plus whatever the attached sinks do. [`NullSink`] isolates the
-//!   dispatch cost; [`NdjsonSink`] adds buffered formatting I/O.
+//! * **Events on**: one enum construction + counter bump + `Vec` push
+//!   per event; sink fan-out (mutex lock + dynamic dispatch) is paid
+//!   once per 256-event batch, not per event. [`NullSink`] isolates
+//!   the dispatch cost; [`NdjsonSink`] adds buffered formatting I/O.
 //! * **Profiling on**: two `Instant::now()` reads per dispatched event.
 //!
 //! Both `ddpm-sim` (direct networks) and `ddpm-indirect` (staged
@@ -59,7 +60,14 @@ pub struct Telemetry {
     profiler: Option<PhaseProfiler>,
     engine: Option<EngineProfile>,
     sinks: Vec<SharedSink>,
+    /// Events staged since the last sink flush — see [`Telemetry::record`].
+    staged: Vec<PacketEvent>,
 }
+
+/// How many events accumulate before the sinks are paid their mutex
+/// locks. Sized so hot-path runs amortise the lock + dynamic dispatch
+/// to well under one per event without holding noticeable memory.
+const FLUSH_BATCH: usize = 256;
 
 impl Telemetry {
     /// Builds the runtime state for `cfg`, or `None` when everything is
@@ -91,6 +99,7 @@ impl Telemetry {
             profiler: cfg.profile.then(PhaseProfiler::default),
             engine: None,
             sinks,
+            staged: Vec::new(),
         })
     }
 
@@ -110,15 +119,41 @@ impl Telemetry {
     }
 
     /// Records one lifecycle event: bumps its counter, folds delivery
-    /// latency into the histogram, and fans out to the sinks.
+    /// latency into the histogram, and stages it for the sinks.
+    ///
+    /// Sink fan-out is batched: events are staged in order and emitted
+    /// [`FLUSH_BATCH`] at a time (and unconditionally from
+    /// [`Telemetry::finish`]), so the per-event hot-path cost is a
+    /// counter bump and a `Vec` push rather than a mutex lock per sink.
+    /// Sinks observe the exact same event sequence, just later; reads
+    /// through a [`MemorySink`] are only defined after `finish()`.
     pub fn record(&mut self, ev: PacketEvent) {
         self.counts[ev.kind.index()] += 1;
         if let EventKind::Deliver { latency, .. } = ev.kind {
             self.latency.record(latency);
         }
-        for s in &self.sinks {
-            s.lock().expect("telemetry sink poisoned").emit(&ev);
+        if self.sinks.is_empty() {
+            return;
         }
+        self.staged.push(ev);
+        if self.staged.len() >= FLUSH_BATCH {
+            self.flush();
+        }
+    }
+
+    /// Drains staged events to every sink, locking each sink once per
+    /// batch instead of once per event.
+    fn flush(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        for s in &self.sinks {
+            let mut sink = s.lock().expect("telemetry sink poisoned");
+            for ev in &self.staged {
+                sink.emit(ev);
+            }
+        }
+        self.staged.clear();
     }
 
     /// Attributes `elapsed` event-loop time to `phase`.
@@ -195,9 +230,11 @@ impl Telemetry {
         out
     }
 
-    /// Ends the run: flushes sinks and prints the console summary when
-    /// configured. Simulators call this when their event loop drains.
+    /// Ends the run: drains staged events, flushes sinks and prints the
+    /// console summary when configured. Simulators call this when their
+    /// event loop drains.
     pub fn finish(&mut self) {
+        self.flush();
         for s in &self.sinks {
             s.lock().expect("telemetry sink poisoned").finish();
         }
@@ -249,6 +286,28 @@ mod tests {
         let s = t.summary();
         assert!(s.contains("inject"), "{s}");
         assert!(s.contains("latency"), "{s}");
+    }
+
+    #[test]
+    fn sink_fanout_is_batched_but_complete_and_ordered() {
+        let sink = MemorySink::new();
+        let cfg = TelemetryConfig::events_to(shared(sink.clone()));
+        let mut t = Telemetry::from_config(&cfg).expect("enabled");
+        let total = FLUSH_BATCH + FLUSH_BATCH / 2;
+        for i in 0..total {
+            t.record(PacketEvent {
+                cycle: i as u64,
+                pkt: i as u64,
+                node: 0,
+                kind: EventKind::Inject,
+            });
+        }
+        // One full batch has flushed; the remainder is still staged.
+        assert_eq!(sink.events().len(), FLUSH_BATCH);
+        t.finish();
+        let evs = sink.events();
+        assert_eq!(evs.len(), total);
+        assert!(evs.iter().enumerate().all(|(i, e)| e.pkt == i as u64));
     }
 
     #[test]
