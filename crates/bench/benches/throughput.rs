@@ -73,7 +73,7 @@ fn run_sim_on(topo: &Topology, router: Router, tcfg: TelemetryConfig, engine: En
         if s == d {
             continue;
         }
-        sim.schedule(SimTime(k * 3), factory.benign(s, d, L4::udp(1, 7), 128));
+        sim.schedule(SimTime(k * INJECT_STRIDE), factory.benign(s, d, L4::udp(1, 7), 128));
     }
     ddpm_engine::run(&mut sim);
     PACKETS
@@ -81,6 +81,65 @@ fn run_sim_on(topo: &Topology, router: Router, tcfg: TelemetryConfig, engine: En
 
 fn run_sim(topo: &Topology, router: Router, tcfg: TelemetryConfig) -> u64 {
     run_sim_on(topo, router, tcfg, Engine::Serial)
+}
+
+/// Injection cadence — packet `k` enters at cycle `k*3`.
+const INJECT_STRIDE: u64 = 3;
+
+/// The checkpoint-overhead pair (EXPERIMENTS.md E-CKPT): one
+/// measurement is `CKPT_BATCH` back-to-back 64×64 runs (~2 s of
+/// simulation), a mid-run on-disk checkpoint in every `CKPT_EVERY`th —
+/// ten per measurement, i.e. one per 10% of the measured run, each
+/// storing the live simulator image. A single `PACKETS` run is ~18 ms,
+/// too short to state a 10-checkpoint cadence against (ten fsyncs
+/// dwarf it however cheap the snapshot is), and a single run scaled to
+/// ~1 s pre-schedules so many injections that every snapshot hauls the
+/// multi-megabyte future-workload backlog — checkpoint cost must be
+/// measured at a realistic cadence *and* bounded state, which the
+/// batch shape gives.
+const CKPT_BATCH: usize = 100;
+const CKPT_EVERY: usize = 10;
+
+/// One checkpoint-cell measurement; `dir` present = the checkpointing
+/// variant, absent = its no-store baseline. Both variants split every
+/// run at the same mid-run cycle so the pair differs only in
+/// `ddpm_checkpoint::store` calls (`run_until` segmentation is
+/// digest-neutral and effectively free).
+fn run_ckpt_batch(topo: &Topology, router: Router, dir: Option<&std::path::Path>) -> u64 {
+    let scheme = DdpmScheme::new(topo).expect("bench shapes fit the MF");
+    let faults = FaultSet::none();
+    let pause_at = PACKETS * INJECT_STRIDE / 2;
+    for i in 0..CKPT_BATCH {
+        let map = AddrMap::for_topology(topo);
+        let mut factory = PacketFactory::new(map);
+        let mut sim = Simulation::new(
+            topo,
+            &faults,
+            router,
+            SelectionPolicy::ProductiveFirstRandom,
+            &scheme,
+            SimConfig::seeded(42),
+        );
+        let n = topo.num_nodes() as u32;
+        for k in 0..PACKETS {
+            let s = NodeId((k as u32 * 13 + 1) % n);
+            let d = NodeId((k as u32 * 29 + 7) % n);
+            if s == d {
+                continue;
+            }
+            sim.schedule(SimTime(k * INJECT_STRIDE), factory.benign(s, d, L4::udp(1, 7), 128));
+        }
+        if !ddpm_engine::run_until(&mut sim, pause_at) {
+            if i % CKPT_EVERY == CKPT_EVERY - 1 {
+                if let Some(dir) = dir {
+                    ddpm_checkpoint::store(dir, 0, "", &sim.snapshot(), 2)
+                        .expect("bench checkpoint store");
+                }
+            }
+            ddpm_engine::run(&mut sim);
+        }
+    }
+    CKPT_BATCH as u64 * PACKETS
 }
 
 /// A telemetry variant under test, as a fresh-config factory (configs
@@ -124,6 +183,7 @@ struct Cell {
     router: String,
     telemetry: &'static str,
     engine: String,
+    packets: u64,
     run: Box<dyn Fn() -> u64>,
 }
 
@@ -140,6 +200,7 @@ fn cells() -> Vec<Cell> {
                 router: router.name().to_string(),
                 telemetry: tname,
                 engine: "serial".to_string(),
+                packets: PACKETS,
                 run: Box::new(move || run_sim(&t, router, tcfg())),
             });
         }
@@ -153,6 +214,7 @@ fn cells() -> Vec<Cell> {
                 router: router.name().to_string(),
                 telemetry: "telemetry-off",
                 engine: ename,
+                packets: PACKETS,
                 run: Box::new(move || run_sim_on(&t, router, TelemetryConfig::off(), engine)),
             });
         }
@@ -162,9 +224,38 @@ fn cells() -> Vec<Cell> {
             router: router.name().to_string(),
             telemetry: "telemetry-on",
             engine: "serial".to_string(),
+            packets: PACKETS,
             run: Box::new(move || {
                 run_sim(&t, router, TelemetryConfig::events_to(shared(NullSink)))
             }),
+        });
+    }
+    // Checkpoint overhead on the largest fabric: serial 64×64 torus,
+    // ten mid-run on-disk checkpoints per ~2 s measured batch, diffed
+    // against its own same-shape no-store baseline row (EXPERIMENTS.md
+    // E-CKPT, ≤5%).
+    {
+        let topo = Topology::torus(&[64, 64]);
+        let router = Router::DimensionOrder;
+        let batch = CKPT_BATCH as u64 * PACKETS;
+        let t = topo.clone();
+        cells.push(Cell {
+            topology: topo.describe(),
+            router: router.name().to_string(),
+            telemetry: "checkpoint-off",
+            engine: "serial".to_string(),
+            packets: batch,
+            run: Box::new(move || run_ckpt_batch(&t, router, None)),
+        });
+        let dir = std::env::temp_dir().join(format!("ddpm-bench-ckpt-{}", std::process::id()));
+        let t = topo.clone();
+        cells.push(Cell {
+            topology: topo.describe(),
+            router: router.name().to_string(),
+            telemetry: "checkpoint-10pct",
+            engine: "serial".to_string(),
+            packets: batch,
+            run: Box::new(move || run_ckpt_batch(&t, router, Some(&dir))),
         });
     }
     cells
@@ -221,7 +312,7 @@ fn bench_throughput(c: &mut Criterion) {
             "router": cell.router,
             "telemetry": cell.telemetry,
             "engine": cell.engine,
-            "packets": PACKETS,
+            "packets": cell.packets,
             "packets_per_sec": pps[ROUNDS / 2],
         }));
     }
@@ -232,6 +323,9 @@ fn bench_throughput(c: &mut Criterion) {
     std::fs::write(out, serde_json::to_string_pretty(&doc).expect("serialises"))
         .expect("write BENCH_sim_throughput.json");
     println!("wrote {out}");
+    let _ = std::fs::remove_dir_all(
+        std::env::temp_dir().join(format!("ddpm-bench-ckpt-{}", std::process::id())),
+    );
 }
 
 criterion_group!(benches, bench_throughput);

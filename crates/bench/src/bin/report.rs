@@ -29,6 +29,8 @@ enum Apply {
     SoakDir,
     Engine,
     Shards,
+    CheckpointEvery,
+    CheckpointDir,
     List,
     Help,
 }
@@ -100,6 +102,18 @@ const FLAGS: &[Flag] = &[
         apply: Apply::Shards,
     },
     Flag {
+        name: "--checkpoint-every",
+        value: Some("N"),
+        help: "checkpoint cadence in cycles for `resume` (overrides the stored one)",
+        apply: Apply::CheckpointEvery,
+    },
+    Flag {
+        name: "--checkpoint-dir",
+        value: Some("DIR"),
+        help: "default checkpoint directory for `resume` (positional DIR wins)",
+        apply: Apply::CheckpointDir,
+    },
+    Flag {
         name: "--list",
         value: None,
         help: "print the experiment keys and exit",
@@ -116,7 +130,8 @@ const FLAGS: &[Flag] = &[
 fn usage() -> String {
     let mut s = String::from(
         "usage: report [flags] <experiment>... | all\n\
-         \x20      report [flags] replay <bundle.json>\n\nflags:\n",
+         \x20      report [flags] replay <bundle.json>\n\
+         \x20      report [flags] resume [<checkpoint-dir>]\n\nflags:\n",
     );
     for f in FLAGS {
         let head = match f.value {
@@ -136,6 +151,8 @@ struct Cli {
     threads: Option<usize>,
     engine_name: Option<String>,
     shards: Option<usize>,
+    checkpoint_every: Option<u64>,
+    checkpoint_dir: Option<PathBuf>,
     wanted: Vec<String>,
 }
 
@@ -148,6 +165,8 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
         threads: None,
         engine_name: None,
         shards: None,
+        checkpoint_every: None,
+        checkpoint_dir: None,
         wanted: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -189,6 +208,17 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
                 let v = value()?;
                 cli.shards = Some(v.parse().map_err(|_| format!("bad --shards value `{v}`"))?);
             }
+            Apply::CheckpointEvery => {
+                let v = value()?;
+                let n: u64 = v
+                    .parse()
+                    .map_err(|_| format!("bad --checkpoint-every value `{v}`"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be positive".into());
+                }
+                cli.checkpoint_every = Some(n);
+            }
+            Apply::CheckpointDir => cli.checkpoint_dir = Some(PathBuf::from(value()?)),
             Apply::List => {
                 for (k, _) in all_experiments() {
                     println!("{k}");
@@ -246,6 +276,31 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // `resume <dir>` restores the newest usable checkpoint (written by a
+    // `"checkpoint"`-enabled scenario run that was killed or interrupted)
+    // and runs the scenario to completion — bit-identical, digest
+    // included, to the run that was never interrupted.
+    if cli.wanted.first().map(String::as_str) == Some("resume") {
+        let dir = match (cli.wanted.get(1), &cli.checkpoint_dir) {
+            (Some(d), _) => PathBuf::from(d),
+            (None, Some(d)) => d.clone(),
+            (None, None) => {
+                eprintln!("resume needs a checkpoint dir (positional or --checkpoint-dir)\n\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match ddpm_bench::scenario_config::resume_scenario_with(&dir, cli.checkpoint_every)
+        {
+            Ok(out) => {
+                print!("{}", out.text);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("resume failed: {e}");
                 ExitCode::FAILURE
             }
         };

@@ -535,8 +535,15 @@ pub fn run(ctx: &RunCtx) -> Report {
     let (mut liveness_drops, mut violations) = (0u64, 0u64);
     let mut bundles: Vec<String> = Vec::new();
     let mut errors: Vec<String> = Vec::new();
+    // Ctrl-C / SIGTERM stop the soak *between* cases: the in-flight
+    // case runs to completion, its repro bundle (if any) lands on disk,
+    // and the summary below still prints. The exit code stays keyed to
+    // real violations only.
+    ddpm_checkpoint::interrupt::install();
     // Always at least one case, however small the budget.
-    while cases == 0 || start.elapsed() < budget {
+    while cases == 0
+        || (start.elapsed() < budget && !ddpm_checkpoint::interrupt::requested())
+    {
         let case = random_case(&mut rng, base.wrapping_add(cases), ctx.quick, ctx.engine);
         cases += 1;
         match run_case(&case) {
@@ -562,14 +569,21 @@ pub fn run(ctx: &RunCtx) -> Report {
         }
     }
     let elapsed = start.elapsed().as_secs_f64();
+    let interrupted = ddpm_checkpoint::interrupt::requested();
     let body = format!(
-        "Budget {secs} s (spent {}) — {cases} fuzz cases over topology x routing x \
+        "{}Budget {secs} s (spent {}) — {cases} fuzz cases over topology x routing x \
          selection x churn x compromised-switch\n\
          packets: {injected} injected, {delivered} delivered, {dropped} dropped \
          ({liveness_drops} by the watchdog)\n\
          watchdog: {livelocks} livelocks, {starvations} starvations, {deadlocks} deadlocks, \
          {escapes} escapes — every overage ended in delivery or a typed drop, never a hang\n\
          invariants: {violations} violations, {} repro bundles written{}\n{}",
+        if interrupted {
+            "INTERRUPTED (SIGINT/SIGTERM): finished the in-flight case, \
+             flushed bundles, stopped early\n"
+        } else {
+            ""
+        },
         fnum(elapsed),
         bundles.len(),
         if bundles.is_empty() {
@@ -589,6 +603,7 @@ pub fn run(ctx: &RunCtx) -> Report {
         body,
         json: json!({
             "budget_secs": secs,
+            "interrupted": interrupted,
             "cases": cases,
             "injected": injected,
             "delivered": delivered,

@@ -14,13 +14,14 @@ use ddpm_core::{DdpmScheme, DpmScheme};
 use ddpm_net::{AddrMap, CodecMode};
 use ddpm_routing::{Router, SelectionPolicy};
 use ddpm_sim::{
-    Engine, InvariantConfig, Marker, NoMarking, RetryPolicy, SimConfig, SimStats, SimTime,
-    Simulation, WatchdogConfig,
+    CheckpointConfig, Engine, InvariantConfig, Marker, NoMarking, RetryPolicy, SimConfig, SimStats,
+    SimTime, Simulation, WatchdogConfig,
 };
 use ddpm_topology::{FaultEvent, FaultSchedule, FaultSet, NodeId, Topology, MAX_DIMS};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde_json::{json, Error as JsonError, FromJson, Value};
+use std::path::Path;
 
 // ---------------------------------------------------------------------
 // Manual JSON extraction helpers.
@@ -402,6 +403,51 @@ fn watchdog_block(v: &Value) -> Result<Option<WatchdogConfig>, JsonError> {
     Ok(Some(cfg))
 }
 
+/// Optional crash-consistent checkpoint block.
+///
+/// Wire format: `{"every": 500, "dir": "target/ckpt", "keep": 2,
+/// "crash_at": 1800}`. `every` (cycles between checkpoints) and `dir`
+/// are required; `keep` defaults to 2; `crash_at` is a test hook that
+/// aborts the process at that cycle *without* a final write, standing
+/// in for SIGKILL in the kill-and-resume harness. Absent block =
+/// checkpointing off (the historical behaviour).
+fn checkpoint_block(v: &Value) -> Result<Option<CheckpointConfig>, JsonError> {
+    let Some(c) = v.get("checkpoint").filter(|c| !c.is_null()) else {
+        return Ok(None);
+    };
+    if c.as_object().is_none() {
+        return Err(JsonError::msg("`checkpoint` must be an object"));
+    }
+    reject_unknown(c, "checkpoint", &["every", "dir", "keep", "crash_at"])?;
+    let every = as_u64(c, "every")?;
+    if every == 0 {
+        return Err(JsonError::msg(
+            "`checkpoint.every` must be positive (omit the block to disable checkpointing)",
+        ));
+    }
+    let dir = req(c, "dir")?
+        .as_str()
+        .ok_or_else(|| JsonError::msg("`checkpoint.dir` must be a path string"))?;
+    let keep = opt_u64(c, "keep", 2)? as usize;
+    if keep == 0 {
+        return Err(JsonError::msg(
+            "`checkpoint.keep` must be at least 1 (the newest checkpoint has to survive)",
+        ));
+    }
+    let crash_at = match c.get("crash_at") {
+        None | Some(Value::Null) => None,
+        Some(x) => Some(x.as_u64().ok_or_else(|| {
+            JsonError::msg("`checkpoint.crash_at` must be a non-negative cycle number")
+        })?),
+    };
+    Ok(Some(CheckpointConfig {
+        every,
+        dir: dir.into(),
+        keep,
+        crash_at,
+    }))
+}
+
 fn fault_schedule(v: &Value) -> Result<Vec<(u64, FaultEvent)>, JsonError> {
     match v.get("fault_schedule") {
         None | Some(Value::Null) => Ok(Vec::new()),
@@ -447,6 +493,11 @@ pub struct ScenarioConfig {
     /// deterministically equivalent to the serial loop, so this knob
     /// only changes wall-clock behaviour, never results.
     pub engine: Engine,
+    /// Crash-consistent checkpointing (`"checkpoint": {...}` block;
+    /// absent = off). Checkpointing is digest-neutral: a checkpointed
+    /// run — and a run resumed from any of its checkpoints — reports
+    /// exactly the digest of the uninterrupted run.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl FromJson for ScenarioConfig {
@@ -472,6 +523,7 @@ impl FromJson for ScenarioConfig {
                 "invariants",
                 "engine",
                 "shards",
+                "checkpoint",
             ],
         )?;
         let attack = match v.get("attack") {
@@ -521,6 +573,7 @@ impl FromJson for ScenarioConfig {
             watchdog: watchdog_block(v)?,
             invariants,
             engine,
+            checkpoint: checkpoint_block(v)?,
         })
     }
 }
@@ -537,7 +590,12 @@ pub struct ScenarioOutcome {
     /// plus human-readable counts. Two runs are behaviourally
     /// identical iff their digests match — the equivalence suite uses
     /// this to prove the sharded engine bit-identical to the serial
-    /// loop.
+    /// loop, and the kill-and-resume harness to prove resume exact.
+    ///
+    /// Alongside the overall hash the digest carries one FNV-1a hash
+    /// per stream (`D=` delivered packets, `X=` drops, `V=` invariant
+    /// violations, `S=` stats), so a mismatch can be localised to the
+    /// first diverging stream instead of a bare "hashes differ".
     pub digest: String,
 }
 
@@ -552,10 +610,115 @@ fn fnv64(s: &str) -> u64 {
 
 /// Executes a scenario.
 ///
+/// Programmatic runs have no JSON source text to embed, so any
+/// checkpoints they write cannot be resumed by [`resume_scenario`];
+/// use [`run_scenario_with_source`] for resumable runs.
+///
 /// # Errors
 /// Returns a human-readable message for invalid configs (e.g. a
 /// topology too large for the chosen marking scheme).
 pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
+    execute(cfg, None, None)
+}
+
+/// Executes a scenario parsed from `source`, the raw JSON text.
+///
+/// The source text is embedded verbatim in every checkpoint (and its
+/// FNV-1a fingerprint stamps the file), which is what lets
+/// [`resume_scenario`] rebuild an identical world without guessing:
+/// resume re-parses the embedded text, skips workload generation, and
+/// restores the snapshot.
+///
+/// # Errors
+/// As [`run_scenario`].
+pub fn run_scenario_with_source(
+    cfg: &ScenarioConfig,
+    source: &str,
+) -> Result<ScenarioOutcome, String> {
+    execute(cfg, Some(source), None)
+}
+
+/// Resumes the newest usable checkpoint in `dir` and runs the scenario
+/// to completion. See [`resume_scenario_with`].
+///
+/// # Errors
+/// As [`resume_scenario_with`].
+pub fn resume_scenario(dir: &Path) -> Result<ScenarioOutcome, String> {
+    resume_scenario_with(dir, None)
+}
+
+/// Resumes the newest usable checkpoint in `dir`, optionally overriding
+/// the checkpoint cadence for the continued run.
+///
+/// Corrupt or torn files in `dir` are skipped (with a warning on
+/// stderr) in favour of the newest one that validates, so a crash
+/// mid-write never strands the run. The continued run keeps
+/// checkpointing into `dir`; the `crash_at` test hook, if the original
+/// config carried one, is cleared — the crash it simulated has already
+/// happened.
+///
+/// The resumed run's [`ScenarioOutcome`] is bit-identical to the
+/// uninterrupted run's, digest included.
+///
+/// # Errors
+/// If `dir` holds no usable checkpoint, the checkpoint embeds no
+/// scenario source (programmatic runs are not resumable), or the
+/// embedded scenario no longer parses.
+pub fn resume_scenario_with(
+    dir: &Path,
+    every_override: Option<u64>,
+) -> Result<ScenarioOutcome, String> {
+    let scan = ddpm_checkpoint::latest(dir, None)
+        .map_err(|e| format!("scanning {}: {e}", dir.display()))?;
+    for (path, err) in &scan.skipped {
+        eprintln!("warning: skipping unusable checkpoint {}: {err}", path.display());
+    }
+    let Some((path, ckpt)) = scan.best else {
+        return Err(format!(
+            "no usable checkpoint in {} ({} unusable file(s) skipped)",
+            dir.display(),
+            scan.skipped.len()
+        ));
+    };
+    if ckpt.scenario.is_empty() {
+        return Err(format!(
+            "{}: checkpoint embeds no scenario config (written by a programmatic run); \
+             only scenario-file runs can be resumed",
+            path.display()
+        ));
+    }
+    if ddpm_checkpoint::fingerprint(&ckpt.scenario) != ckpt.fingerprint {
+        return Err(format!(
+            "{}: embedded scenario text does not match the checkpoint's fingerprint stamp",
+            path.display()
+        ));
+    }
+    let parsed = serde_json::from_str::<Value>(&ckpt.scenario)
+        .map_err(|e| format!("{}: embedded scenario is not JSON: {e}", path.display()))?;
+    let mut cfg = ScenarioConfig::from_json(&parsed)
+        .map_err(|e| format!("{}: embedded scenario is invalid: {e}", path.display()))?;
+    // Keep checkpointing into the directory we resumed from (the
+    // original config may name a relative path that no longer exists
+    // from this working directory) and disarm the crash hook.
+    cfg.checkpoint = match (cfg.checkpoint.take(), every_override) {
+        (Some(ck), every) => Some(CheckpointConfig {
+            every: every.unwrap_or(ck.every),
+            dir: dir.to_path_buf(),
+            keep: ck.keep,
+            crash_at: None,
+        }),
+        (None, Some(every)) => Some(CheckpointConfig::new(every, dir)),
+        (None, None) => None,
+    };
+    let source = ckpt.scenario.clone();
+    execute(&cfg, Some(&source), Some(ckpt))
+}
+
+fn execute(
+    cfg: &ScenarioConfig,
+    source: Option<&str>,
+    resume: Option<ddpm_checkpoint::Checkpoint>,
+) -> Result<ScenarioOutcome, String> {
     let topo = cfg.topology.build();
     let n = topo.num_nodes();
     let router = cfg.router.build(&topo);
@@ -671,32 +834,61 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
         marker,
         sim_cfg,
     );
-    sim.schedule_faults(&schedule);
-    for (t, p) in workload {
-        sim.schedule(t, p);
+    match resume {
+        None => {
+            sim.schedule_faults(&schedule);
+            for (t, p) in workload {
+                sim.schedule(t, p);
+            }
+        }
+        Some(ckpt) => {
+            // The snapshot carries the complete mid-run state — event
+            // queue (remaining workload and fault events included),
+            // in-flight packets, RNG streams, port clocks — and
+            // `restore` insists on a freshly built world, so nothing
+            // is scheduled here. The workload above was still
+            // generated: it keeps resume on the exact same config
+            // validation path as a clean run.
+            let at = ckpt.cycle;
+            drop(workload);
+            sim.restore(ckpt.snapshot);
+            if let Some(t) = sim.telemetry_mut() {
+                t.note_resume(at);
+            }
+        }
     }
-    let stats: SimStats = ddpm_engine::run(&mut sim);
+    let stats: SimStats = match &cfg.checkpoint {
+        None => ddpm_engine::run(&mut sim),
+        Some(ck) => run_checkpointed(&mut sim, ck, source)?,
+    };
 
-    let mut dump = String::new();
+    let mut d_dump = String::new();
     for d in sim.delivered() {
-        dump.push_str(&format!(
+        d_dump.push_str(&format!(
             "D {:?} {:?} {:?} {} {:?}\n",
             d.packet, d.injected_at, d.delivered_at, d.hops, d.path
         ));
     }
+    let mut x_dump = String::new();
     for (id, reason) in sim.drops() {
-        dump.push_str(&format!("X {id:?} {reason:?}\n"));
+        x_dump.push_str(&format!("X {id:?} {reason:?}\n"));
     }
+    let mut v_dump = String::new();
     for v in sim.violations() {
-        dump.push_str(&format!("V {v:?}\n"));
+        v_dump.push_str(&format!("V {v:?}\n"));
     }
-    dump.push_str(&format!("S {stats:?}\n"));
+    let s_dump = format!("S {stats:?}\n");
+    let dump = format!("{d_dump}{x_dump}{v_dump}{s_dump}");
     let digest = format!(
-        "{:016x} delivered={} dropped={} violations={}",
+        "{:016x} delivered={} dropped={} violations={} D={:016x} X={:016x} V={:016x} S={:016x}",
         fnv64(&dump),
         sim.delivered().len(),
         sim.drops().len(),
         sim.violations().len(),
+        fnv64(&d_dump),
+        fnv64(&x_dump),
+        fnv64(&v_dump),
+        fnv64(&s_dump),
     );
 
     let mut text = format!(
@@ -818,6 +1010,73 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> Result<ScenarioOutcome, String> {
         "census": census_json,
     });
     Ok(ScenarioOutcome { text, json, digest })
+}
+
+/// Segmented execution with on-disk checkpoints.
+///
+/// Runs the engines in `every`-cycle segments, writing an atomic
+/// checkpoint (temp + fsync + rename, see `ddpm-checkpoint`) at each
+/// pause. Pausing and continuing the engines is digest-neutral by
+/// construction — `run_until` stops only at clean event boundaries —
+/// so checkpointed, resumed and plain runs all report the same
+/// outcome.
+///
+/// `crash_at` aborts the process once the run reaches that cycle,
+/// *before* any further write: the deterministic stand-in for SIGKILL
+/// used by the kill-and-resume harness. Everything since the last
+/// on-disk checkpoint is genuinely lost, which is the point.
+///
+/// SIGINT/SIGTERM are handled cooperatively: the in-flight segment
+/// finishes, a final checkpoint lands on disk, and the run returns an
+/// error explaining how to resume instead of dying mid-write.
+fn run_checkpointed(
+    sim: &mut Simulation<'_>,
+    ck: &CheckpointConfig,
+    source: Option<&str>,
+) -> Result<SimStats, String> {
+    let scenario = source.unwrap_or("");
+    // Scenario-file runs are stamped with the fingerprint of their
+    // source text (what `resume_scenario` re-checks); programmatic runs
+    // have no canonical text, so they get a config-derived stamp and
+    // their checkpoints are load-protected but not resumable.
+    let stamp = if scenario.is_empty() {
+        ddpm_checkpoint::fingerprint(&format!("programmatic {:?}", sim.config()))
+    } else {
+        ddpm_checkpoint::fingerprint(scenario)
+    };
+    ddpm_checkpoint::interrupt::install();
+    let every = ck.every.max(1);
+    let mut target = (sim.now_cycles() / every + 1) * every;
+    loop {
+        if let Some(crash) = ck.crash_at.filter(|&c| c < target) {
+            // The crash point lands inside this segment: run up to it
+            // and die there. Not-done after draining every event below
+            // `crash` means simulated time has reached the crash point
+            // (the next event is at or past it), so abort either way.
+            if ddpm_engine::run_until(sim, crash) {
+                return Ok(*sim.stats());
+            }
+            std::process::abort();
+        }
+        if ddpm_engine::run_until(sim, target) {
+            return Ok(*sim.stats());
+        }
+        // Read the interrupt flag *before* storing so the checkpoint
+        // that announces the interruption is already safely on disk.
+        let interrupted = ddpm_checkpoint::interrupt::requested();
+        let path = ddpm_checkpoint::store(&ck.dir, stamp, scenario, &sim.snapshot(), ck.keep)
+            .map_err(|e| format!("checkpoint into {}: {e}", ck.dir.display()))?;
+        if interrupted {
+            return Err(format!(
+                "interrupted at cycle {}: final checkpoint written to {}; \
+                 resume with `report -- resume {}`",
+                sim.now_cycles(),
+                path.display(),
+                ck.dir.display(),
+            ));
+        }
+        target += every;
+    }
 }
 
 #[cfg(test)]
@@ -1033,6 +1292,94 @@ mod tests {
         assert!(out.text.contains("invariants: 0 violations"), "{}", out.text);
         assert_eq!(out.json["violations"].as_array().map(Vec::len), Some(0));
         assert!(out.json["watchdog"]["checks"].as_u64().unwrap() > 0);
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ddpm-scenario-ckpt-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpoint_block_parses_and_rejects() {
+        let cfg: ScenarioConfig = serde_json::from_str(
+            r#"{
+                "topology": {"kind": "mesh", "dims": [4, 4]},
+                "router": "dimension_order",
+                "marking": "ddpm",
+                "checkpoint": {"every": 200, "dir": "target/ckpt", "keep": 3, "crash_at": 400}
+            }"#,
+        )
+        .expect("valid config");
+        let ck = cfg.checkpoint.expect("checkpoint block parsed");
+        assert_eq!((ck.every, ck.keep, ck.crash_at), (200, 3, Some(400)));
+        assert_eq!(ck.dir, Path::new("target/ckpt"));
+
+        for (extra, needle) in [
+            (r#""checkpoint": {"dir": "x"}"#, "missing field `every`"),
+            (r#""checkpoint": {"every": 0, "dir": "x"}"#, "must be positive"),
+            (r#""checkpoint": {"every": 5}"#, "missing field `dir`"),
+            (
+                r#""checkpoint": {"every": 5, "dir": "x", "keep": 0}"#,
+                "at least 1",
+            ),
+            (
+                r#""checkpoint": {"every": 5, "dir": "x", "cadence": 1}"#,
+                "unknown field `cadence`",
+            ),
+        ] {
+            let raw = format!(
+                r#"{{"topology": {{"kind": "mesh", "dims": [4, 4]}},
+                    "router": "dimension_order", "marking": "none", {extra}}}"#
+            );
+            let err = serde_json::from_str::<ScenarioConfig>(&raw)
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains(needle), "expected `{needle}`, got: {err}");
+        }
+    }
+
+    #[test]
+    fn checkpointed_run_and_resume_reproduce_the_plain_digest() {
+        let raw = r#"{
+            "topology": {"kind": "torus", "dims": [6, 6]},
+            "router": "fully_adaptive",
+            "marking": "ddpm",
+            "horizon": 1200,
+            "invariants": true,
+            "attack": {"kind": "udp_flood", "zombies": [3, 17], "victim": 30,
+                       "packets_per_zombie": 80, "interval": 8}
+        }"#;
+        let plain: ScenarioConfig = serde_json::from_str(raw).expect("valid config");
+        let reference = run_scenario(&plain).expect("plain run").digest;
+
+        let dir = tmpdir("roundtrip");
+        let mut cfg = plain.clone();
+        cfg.checkpoint = Some(CheckpointConfig::new(250, &dir));
+        let out = run_scenario_with_source(&cfg, raw).expect("checkpointed run");
+        assert_eq!(out.digest, reference, "checkpointing must be digest-neutral");
+        assert!(
+            !ddpm_checkpoint::list(&dir).expect("checkpoint dir").is_empty(),
+            "checkpoints were written"
+        );
+
+        // Resume from the newest on-disk checkpoint (mid-run state of a
+        // completed run) and replay the tail: same digest, bit for bit.
+        let resumed = resume_scenario(&dir).expect("resume");
+        assert_eq!(resumed.digest, reference, "resume must be bit-identical");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_from_empty_or_foreign_dir_is_a_clean_error() {
+        let dir = tmpdir("empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = resume_scenario(&dir).unwrap_err();
+        assert!(err.contains("no usable checkpoint"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

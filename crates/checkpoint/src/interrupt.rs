@@ -1,0 +1,86 @@
+//! Cooperative SIGINT/SIGTERM handling for long runs.
+//!
+//! Long drivers (`report -- soak`, checkpointed scenario runs) want to
+//! *finish the current cell or window*, flush a final checkpoint and a
+//! summary, and only then exit — not die mid-write. The handler here
+//! does the only async-signal-safe thing possible: it sets a flag. The
+//! driver polls [`requested`] at its natural barriers and performs the
+//! orderly shutdown itself.
+//!
+//! Implemented against the raw C `signal(2)` entry point so the crate
+//! needs no external dependency; on non-Unix targets the module
+//! compiles to a no-op ([`install`] does nothing and [`requested`] is
+//! always `false`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// SIGINT's portable Unix signal number.
+#[cfg(unix)]
+const SIGINT: i32 = 2;
+/// SIGTERM's portable Unix signal number.
+#[cfg(unix)]
+const SIGTERM: i32 = 15;
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    // The only thing an async-signal-safe handler may do.
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGINT/SIGTERM handler (idempotent; later calls are
+/// no-ops). After this, the first Ctrl-C no longer kills the process —
+/// callers take on the duty of polling [`requested`] and exiting.
+pub fn install() {
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    #[cfg(unix)]
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+/// True once a SIGINT or SIGTERM has arrived since the last [`reset`].
+#[must_use]
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Clears the flag (between independent driver phases, or in tests).
+pub fn reset() {
+    REQUESTED.store(false, Ordering::SeqCst);
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn sigterm_sets_the_flag_instead_of_killing() {
+        install();
+        install(); // idempotent
+        reset();
+        assert!(!requested());
+        // With the handler installed, raising SIGTERM at ourselves must
+        // set the flag and return — an uninstalled handler would kill
+        // the whole test process, so surviving this line is the test.
+        let rc = unsafe { raise(SIGTERM) };
+        assert_eq!(rc, 0);
+        assert!(requested());
+        reset();
+        assert!(!requested());
+    }
+}

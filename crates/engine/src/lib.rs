@@ -56,7 +56,8 @@ use std::time::Instant;
 
 use ddpm_net::PacketId;
 use ddpm_sim::network::{
-    new_inboxes, EventKey, FaultVictim, WdAction, WdActionKind, WdPacket, WindowReport,
+    new_inboxes, EngineResidual, EventKey, FaultVictim, WdAction, WdActionKind, WdPacket,
+    WindowReport,
 };
 use ddpm_sim::{
     Delivered, DropReason, Engine, FaultStats, LatencyStats, SimStats, Simulation, Violation,
@@ -70,14 +71,33 @@ use ddpm_topology::{FaultEvent, FaultSet, Partition, PartitionStrategy};
 /// Runs `sim` to completion under its configured [`Engine`] and returns
 /// the final statistics — a drop-in replacement for `Simulation::run`.
 pub fn run(sim: &mut Simulation<'_>) -> SimStats {
+    run_until(sim, u64::MAX);
+    *sim.stats()
+}
+
+/// Runs `sim` forward under its configured [`Engine`] until every
+/// pending event with fire time strictly below `limit` has been
+/// processed, then pauses at a clean event boundary — the segmented
+/// execution mode behind `ddpm-checkpoint`. Returns `true` once the run
+/// reached quiescence (statistics final, telemetry finished), `false`
+/// when it paused with events still pending.
+///
+/// After a paused sharded segment the shards are **gathered back** into
+/// the master simulation, restoring the exact serial form of the system
+/// state: `Simulation::snapshot` taken here is indistinguishable from
+/// one taken by a serial run paused at the same boundary (up to arena
+/// generation counters, which are behaviourally inert). The sharded
+/// engine pauses at the first window barrier at or after `limit`, so
+/// its pause cycle may overshoot `limit` by up to one lookahead window.
+pub fn run_until(sim: &mut Simulation<'_>, limit: u64) -> bool {
     let cfg = sim.config();
     let lookahead = cfg.service_cycles + cfg.link_latency;
     let shards = match cfg.engine {
-        Engine::Serial => return sim.run(),
+        Engine::Serial => return sim.run_until(limit),
         Engine::Sharded { shards } => shards,
     };
     if shards <= 1 || lookahead == 0 {
-        return sim.run();
+        return sim.run_until(limit);
     }
     let part = Arc::new(Partition::new(
         sim.topology(),
@@ -85,9 +105,16 @@ pub fn run(sim: &mut Simulation<'_>) -> SimStats {
         PartitionStrategy::Block,
     ));
     if part.shards() <= 1 {
-        return sim.run();
+        return sim.run_until(limit);
     }
-    run_sharded(sim, &part, lookahead)
+    let done = run_sharded_until(sim, &part, lookahead, limit);
+    if done {
+        // The gathered queue is empty: this runs the serial close-out
+        // (degraded-window accounting, end time, telemetry finish)
+        // exactly once.
+        sim.run_until(u64::MAX);
+    }
+    done
 }
 
 /// One coordinator-published round. Every round is a uniform
@@ -328,11 +355,17 @@ struct Snap {
 }
 
 impl Snap {
-    fn new(next: Vec<Option<u64>>) -> Self {
+    /// `live` is each shard's in-flight count at segment start: zero on
+    /// a fresh run, but non-zero after a checkpoint restore — where the
+    /// first coordinator event can be a watchdog sweep or fault round
+    /// that consults the snapshot *before* any window round has
+    /// refreshed it. Seeding it keeps the restored watchdog armed and
+    /// the barrier conservation sum balanced from the first event.
+    fn new(next: Vec<Option<u64>>, live: Vec<u64>) -> Self {
         let n = next.len();
         Self {
             next,
-            live: vec![0; n],
+            live,
             progress: vec![0; n],
             injected: vec![0; n],
             delivered: vec![0; n],
@@ -427,12 +460,16 @@ fn replay(
 
 /// Barrier-level conservation check (the engine's counterpart of the
 /// serial per-event check — see the module docs for the relaxation).
-fn check_conservation(master: &mut Simulation<'_>, snap: &Snap, cycle: u64) {
+/// `base_live` is the number of packets already in flight when this
+/// segment started (non-zero only when resuming from a checkpoint):
+/// those packets count toward `live`/`delivered`/`dropped` but their
+/// injection predates every shard's `injected` counter.
+fn check_conservation(master: &mut Simulation<'_>, snap: &Snap, cycle: u64, base_live: u64) {
     let injected: u64 = snap.injected.iter().sum();
     let delivered: u64 = snap.delivered.iter().sum();
     let dropped: u64 = snap.dropped.iter().sum();
     let live = snap.live_total();
-    if injected != delivered + dropped + live {
+    if injected + base_live != delivered + dropped + live {
         master.merged_event(PacketEvent {
             cycle,
             pkt: 0,
@@ -447,7 +484,8 @@ fn check_conservation(master: &mut Simulation<'_>, snap: &Snap, cycle: u64) {
             node: u32::MAX,
             invariant: "conservation",
             detail: format!(
-                "injected {injected} != delivered {delivered} + dropped {dropped} + in_flight {live}"
+                "injected {} != delivered {delivered} + dropped {dropped} + in_flight {live}",
+                injected + base_live
             ),
         });
     }
@@ -480,26 +518,39 @@ fn coord_selftest(master: &mut Simulation<'_>, pending: &mut Option<u64>, now: u
     });
 }
 
-/// What the coordinator owns at the end of the run; merged with the
-/// per-shard statistics into the final [`SimStats`].
+/// What the coordinator owns at the end of a segment; handed back to the
+/// master via [`ddpm_sim::network::EngineResidual`] at gather time.
 struct CoordOut {
     fstats: FaultStats,
     wstats: WatchdogStats,
     end_time: u64,
     live_faults: FaultSet,
+    /// Faults not yet applied when the segment paused.
+    faults_rest: Vec<(u64, FaultEvent)>,
+    /// Pending watchdog sweep, if armed.
+    wd_due: Option<u64>,
+    /// Open degraded window, if faults are live.
+    degraded_since: Option<u64>,
+    /// Awaiting the recovery-latency delivery sample.
+    pending_recovery: Option<u64>,
+    /// True if the run reached quiescence (no pending events anywhere).
+    done: bool,
 }
 
 /// The coordinator loop: picks the next global time `t0` (earliest shard
 /// event, scheduled fault or due watchdog sweep), runs coordinator
 /// rounds for global events and bounded windows for everything else, and
 /// merges each round's artefacts back into the master in serial order.
-#[allow(clippy::too_many_lines)]
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
 fn coordinate<'a>(
     master: &mut Simulation<'a>,
     rounds: &Rounds<'_>,
     faults: Vec<(u64, FaultEvent)>,
+    wd_due_init: Option<u64>,
     init_next: Vec<Option<u64>>,
+    init_live: Vec<u64>,
     lookahead: u64,
+    limit: u64,
     prof: &mut Option<PhaseProfiler>,
 ) -> CoordOut {
     let topo = master.topology();
@@ -508,16 +559,21 @@ fn coordinate<'a>(
     let checking = master.checking();
     let mut selftest_pending = master.selftest_pending();
 
-    let mut snap = Snap::new(init_next);
+    // Segment seeds. On a fresh run these all reduce to the historical
+    // initial values (no open degraded window unless faults were
+    // pre-applied, zero base, cycle 0); on a checkpoint resume they
+    // carry the restored mid-run state across the split.
+    let mut snap = Snap::new(init_next, init_live);
     let mut fault_iter = faults.into_iter().peekable();
     let mut live_faults: FaultSet = master.live_faults().clone();
-    let mut degraded_since: Option<u64> = (!live_faults.is_empty()).then_some(0);
-    let mut pending_recovery: Option<u64> = None;
+    let (mut degraded_since, mut pending_recovery) = master.degraded_state();
+    let base_live = master.live_count();
     let mut fstats = FaultStats::default();
     let mut wstats = WatchdogStats::default();
-    let mut wd_due: Option<u64> = None;
-    let mut arm_floor: u64 = 0;
-    let mut end_time: u64 = 0;
+    let mut wd_due: Option<u64> = wd_due_init;
+    let mut arm_floor: u64 = master.progress_cycle();
+    let mut end_time: u64 = master.now_cycles();
+    let mut done = true;
 
     let timed_round = |prof: &mut Option<PhaseProfiler>, p: Plan| -> Vec<Reply> {
         let name = plan_phase(&p);
@@ -539,6 +595,12 @@ fn coordinate<'a>(
         else {
             break;
         };
+        if t0 >= limit {
+            // Pause at this window barrier: everything strictly below
+            // `limit` has been processed, nothing at or above it has.
+            done = false;
+            break;
+        }
 
         if fault_next == Some(t0) {
             // Fault round: serial rank order puts fault events before
@@ -570,7 +632,7 @@ fn coordinate<'a>(
                 pending_recovery = Some(t0);
             }
             if checking {
-                check_conservation(master, &snap, t0);
+                check_conservation(master, &snap, t0, base_live);
                 coord_selftest(master, &mut selftest_pending, t0);
             }
             continue;
@@ -591,7 +653,7 @@ fn coordinate<'a>(
             });
             end_time = end_time.max(t0);
             if checking {
-                check_conservation(master, &snap, t0);
+                check_conservation(master, &snap, t0, base_live);
                 coord_selftest(master, &mut selftest_pending, t0);
             }
             continue;
@@ -645,7 +707,7 @@ fn coordinate<'a>(
         }
         replay(master, merge, &mut pending_recovery, &mut fstats.recovery);
         if checking {
-            check_conservation(master, &snap, end_time);
+            check_conservation(master, &snap, end_time, base_live);
         }
         // Lazy arming: the earliest injection any shard processed is
         // exactly the first injection the serial engine would have seen.
@@ -655,14 +717,24 @@ fn coordinate<'a>(
         }
     }
 
-    if let Some(since) = degraded_since.take() {
-        fstats.degraded_cycles += end_time - since;
+    if done {
+        // Close out the final degraded window only at true quiescence;
+        // a paused segment hands the open window back to the master so
+        // the close-out (or the next segment) accounts it exactly once.
+        if let Some(since) = degraded_since.take() {
+            fstats.degraded_cycles += end_time - since;
+        }
     }
     CoordOut {
         fstats,
         wstats,
         end_time,
         live_faults,
+        faults_rest: fault_iter.collect(),
+        wd_due,
+        degraded_since,
+        pending_recovery,
+        done,
     }
 }
 
@@ -835,13 +907,21 @@ fn watchdog_round(ctx: WdRound<'_, '_, '_, '_>) {
     };
 }
 
-/// The sharded run: split, spawn one worker per `min(shards, pool
-/// size)` threads (honoring `RAYON_NUM_THREADS`), coordinate, merge.
-fn run_sharded<'a>(master: &mut Simulation<'a>, part: &Arc<Partition>, lookahead: u64) -> SimStats {
+/// One sharded segment: split, spawn one worker per `min(shards, pool
+/// size)` threads (honoring `RAYON_NUM_THREADS`), coordinate up to
+/// `limit`, gather the shards back into the master. Returns `true` when
+/// the run reached quiescence.
+fn run_sharded_until<'a>(
+    master: &mut Simulation<'a>,
+    part: &Arc<Partition>,
+    lookahead: u64,
+    limit: u64,
+) -> bool {
     let shards = part.shards();
     let inboxes = new_inboxes(shards);
-    let (mut sims, faults) = master.engine_split(part, &inboxes);
+    let (mut sims, faults, wd_due) = master.engine_split(part, &inboxes);
     let init_next: Vec<Option<u64>> = sims.iter().map(Simulation::next_event_time).collect();
+    let init_live: Vec<u64> = sims.iter().map(Simulation::live_count).collect();
     let profiling = master.telemetry().is_some_and(Telemetry::profiling);
 
     let workers = shards.min(rayon::pool_size()).max(1);
@@ -872,7 +952,10 @@ fn run_sharded<'a>(master: &mut Simulation<'a>, part: &Arc<Partition>, lookahead
             .collect();
         let mut prof = profiling.then(PhaseProfiler::default);
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            coordinate(master, &rounds, faults, init_next, lookahead, &mut prof)
+            coordinate(
+                master, &rounds, faults, wd_due, init_next, init_live, lookahead, limit,
+                &mut prof,
+            )
         }));
         // Always release the fleet — even when the coordinator (or a
         // worker, re-raised at a round boundary) panicked — so the
@@ -898,20 +981,6 @@ fn run_sharded<'a>(master: &mut Simulation<'a>, part: &Arc<Partition>, lookahead
     };
 
     shard_out.sort_by_key(|(s, ..)| *s);
-    let mut stats = SimStats::default();
-    for (_, sim, _) in &shard_out {
-        let s = sim.stats();
-        stats.benign.absorb(&s.benign);
-        stats.attack.absorb(&s.attack);
-        stats.faults.window_injected += s.faults.window_injected;
-        stats.faults.window_delivered += s.faults.window_delivered;
-    }
-    stats.faults.events_applied = coord.fstats.events_applied;
-    stats.faults.degraded_cycles = coord.fstats.degraded_cycles;
-    stats.faults.recovery = coord.fstats.recovery;
-    stats.watchdog = coord.wstats;
-    stats.end_time = coord.end_time;
-    master.set_live_faults(coord.live_faults);
     if profiling {
         let profile = EngineProfile {
             rounds: prof.unwrap_or_default(),
@@ -923,6 +992,17 @@ fn run_sharded<'a>(master: &mut Simulation<'a>, part: &Arc<Partition>, lookahead
             .expect("profiling implies telemetry")
             .set_engine_profile(profile);
     }
-    master.set_final_stats(stats);
-    stats
+    let residual = EngineResidual {
+        faults: coord.faults_rest,
+        wd_due: coord.wd_due,
+        degraded_since: coord.degraded_since,
+        pending_recovery: coord.pending_recovery,
+        live_faults: coord.live_faults,
+        fstats: coord.fstats,
+        wstats: coord.wstats,
+        end_time: coord.end_time,
+    };
+    let sims: Vec<Simulation<'a>> = shard_out.into_iter().map(|(_, sim, _)| sim).collect();
+    master.engine_gather(sims, residual);
+    coord.done
 }

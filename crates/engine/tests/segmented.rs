@@ -1,0 +1,230 @@
+//! Segmented sharded execution and checkpoint-style resume.
+//!
+//! `run_until` + `Simulation::snapshot`/`restore` are the primitives
+//! `ddpm-checkpoint` is built on. These tests pin the sharded half of
+//! the contract: pausing the sharded engine at window barriers, and
+//! even tearing the run down completely (snapshot → fresh simulation →
+//! restore) between segments, never changes a single delivered packet,
+//! drop, violation or statistic relative to the uninterrupted run —
+//! which the equivalence suite already ties to the serial engine.
+
+use ddpm_net::{AddrMap, Ipv4Header, Packet, PacketId, Protocol, TrafficClass, L4};
+use ddpm_routing::{Router, SelectionPolicy};
+use ddpm_sim::{
+    Engine, InvariantConfig, NoMarking, RetryPolicy, SimConfig, SimTime, Simulation,
+    WatchdogConfig,
+};
+use ddpm_topology::{ChurnConfig, FaultSchedule, FaultSet, NodeId, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const NODES: u32 = 36;
+const PACKETS: u64 = 220;
+
+fn stress_cfg(engine: Engine) -> SimConfig {
+    SimConfig::builder()
+        .seed(0xC0FFEE)
+        .buffer_packets(3)
+        .bit_error_rate(0.01)
+        .max_hops(48)
+        .fault_tolerance(RetryPolicy::capped(3, 4, 64))
+        .watchdog(WatchdogConfig {
+            check_period: 64,
+            max_age: 512,
+            stall_cycles: 4096,
+            escape: Some(Router::DimensionOrder),
+        })
+        .invariants(InvariantConfig::recording())
+        .engine(engine)
+        .build()
+}
+
+fn churn(topo: &Topology) -> FaultSchedule {
+    let mut rng = SmallRng::seed_from_u64(7);
+    FaultSchedule::churn(
+        topo,
+        &ChurnConfig {
+            horizon: 600,
+            period: 100,
+            link_rate: 0.02,
+            switch_rate: 0.005,
+            down_time: 150,
+        },
+        move || rng.gen::<f64>(),
+    )
+}
+
+fn mk_packet(map: &AddrMap, id: u64, src: NodeId, dst: NodeId) -> Packet {
+    Packet {
+        id: PacketId(id),
+        header: Ipv4Header::new(map.ip_of(src), map.ip_of(dst), Protocol::Udp, 64),
+        l4: L4::udp(1, 7),
+        true_source: src,
+        dest_node: dst,
+        class: TrafficClass::Benign,
+    }
+}
+
+fn fresh<'a>(topo: &'a Topology, marker: &'a NoMarking, engine: Engine) -> Simulation<'a> {
+    Simulation::new(
+        topo,
+        &FaultSet::none(),
+        Router::fully_adaptive_for(topo),
+        SelectionPolicy::Random,
+        marker,
+        stress_cfg(engine),
+    )
+}
+
+fn build<'a>(topo: &'a Topology, marker: &'a NoMarking, engine: Engine) -> Simulation<'a> {
+    let map = AddrMap::for_topology(topo);
+    let mut sim = fresh(topo, marker, engine);
+    sim.schedule_faults(&churn(topo));
+    for k in 0..PACKETS {
+        let s = NodeId((k as u32 * 5) % NODES);
+        let d = NodeId((k as u32 * 11 + 3) % NODES);
+        if s == d {
+            continue;
+        }
+        sim.schedule(SimTime(k * 2), mk_packet(&map, k, s, d));
+    }
+    sim
+}
+
+fn fingerprint(sim: &Simulation<'_>) -> String {
+    let mut out = String::new();
+    for d in sim.delivered() {
+        out.push_str(&format!("D {:?}\n", d));
+    }
+    for (id, r) in sim.drops() {
+        out.push_str(&format!("X {:?} {:?}\n", id, r));
+    }
+    for v in sim.violations() {
+        out.push_str(&format!("V {:?}\n", v));
+    }
+    out.push_str(&format!("S {:?}\n", sim.stats()));
+    out
+}
+
+fn reference(engine: Engine) -> String {
+    let topo = Topology::torus(&[6, 6]);
+    let marker = NoMarking;
+    let mut sim = build(&topo, &marker, engine);
+    ddpm_engine::run(&mut sim);
+    fingerprint(&sim)
+}
+
+#[test]
+fn sharded_segmented_run_matches_uninterrupted_run() {
+    let engine = Engine::Sharded { shards: 4 };
+    let expected = reference(engine);
+    let topo = Topology::torus(&[6, 6]);
+    let marker = NoMarking;
+    let mut sim = build(&topo, &marker, engine);
+    let mut limit = 37;
+    while !ddpm_engine::run_until(&mut sim, limit) {
+        limit += 113;
+    }
+    assert_eq!(
+        fingerprint(&sim),
+        expected,
+        "sharded segmentation changed the run"
+    );
+}
+
+#[test]
+fn sharded_pause_snapshot_restore_resume_is_bit_identical() {
+    let engine = Engine::Sharded { shards: 4 };
+    let expected = reference(engine);
+    assert_eq!(
+        expected,
+        reference(Engine::Serial),
+        "engines agree on the segmented stress scenario"
+    );
+    let topo = Topology::torus(&[6, 6]);
+    let marker = NoMarking;
+    for pause in [1, 137, 555, 1500] {
+        let mut first = build(&topo, &marker, engine);
+        let done = ddpm_engine::run_until(&mut first, pause);
+        let snap = first.snapshot();
+        drop(first);
+        let mut second = fresh(&topo, &marker, engine);
+        second.restore(snap);
+        if !done {
+            ddpm_engine::run(&mut second);
+        }
+        assert_eq!(
+            fingerprint(&second),
+            expected,
+            "sharded resume from pause {pause} diverged"
+        );
+    }
+}
+
+/// Regression: pausing exactly at an event-bearing cycle. Injections
+/// here land on even cycles and the watchdog sweeps every 64, so pause
+/// limits that are multiples of both make the *first* coordinator event
+/// of the resumed segment a watchdog sweep (or an injection at the
+/// boundary itself). The coordinator's progress snapshot starts a
+/// segment empty; before it was seeded with the shards' live counts,
+/// a boundary-aligned resume disarmed the restored watchdog and
+/// unbalanced the barrier conservation sum — silently in recording
+/// mode, as a bogus panic in strict mode.
+#[test]
+fn sharded_pause_aligned_with_event_cycles_is_bit_identical() {
+    let engine = Engine::Sharded { shards: 4 };
+    let expected = reference(engine);
+    let topo = Topology::torus(&[6, 6]);
+    let marker = NoMarking;
+    for pause in [64, 128, 192, 256, 384] {
+        let mut first = build(&topo, &marker, engine);
+        let done = ddpm_engine::run_until(&mut first, pause);
+        let snap = first.snapshot();
+        drop(first);
+        let mut second = fresh(&topo, &marker, engine);
+        second.restore(snap);
+        if !done {
+            ddpm_engine::run(&mut second);
+        }
+        assert_eq!(
+            fingerprint(&second),
+            expected,
+            "boundary-aligned resume from pause {pause} diverged"
+        );
+    }
+}
+
+#[test]
+fn sharded_pause_resumes_under_a_different_engine() {
+    // A checkpoint is engine-portable: pause sharded, resume serial
+    // (and vice versa) — the gathered master state is the serial form.
+    let expected = reference(Engine::Serial);
+    let topo = Topology::torus(&[6, 6]);
+    let marker = NoMarking;
+
+    let mut sharded = build(&topo, &marker, Engine::Sharded { shards: 4 });
+    assert!(!ddpm_engine::run_until(&mut sharded, 400));
+    let snap = sharded.snapshot();
+    drop(sharded);
+    let mut serial = fresh(&topo, &marker, Engine::Serial);
+    serial.restore(snap);
+    ddpm_engine::run(&mut serial);
+    assert_eq!(
+        fingerprint(&serial),
+        expected,
+        "sharded → serial resume diverged"
+    );
+
+    let mut serial = build(&topo, &marker, Engine::Serial);
+    assert!(!ddpm_engine::run_until(&mut serial, 400));
+    let snap = serial.snapshot();
+    drop(serial);
+    let mut sharded = fresh(&topo, &marker, Engine::Sharded { shards: 4 });
+    sharded.restore(snap);
+    ddpm_engine::run(&mut sharded);
+    assert_eq!(
+        fingerprint(&sharded),
+        expected,
+        "serial → sharded resume diverged"
+    );
+}

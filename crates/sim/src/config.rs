@@ -54,6 +54,42 @@ impl Default for RetryPolicy {
     }
 }
 
+/// Crash-consistent checkpointing knobs. The simulator itself is
+/// checkpoint-agnostic — it only exposes [`crate::Simulation::snapshot`]
+/// and `run_until` — so this block is pure driver configuration: the
+/// scenario runner (`ddpm-bench`) reads it and calls into
+/// `ddpm-checkpoint` to write snapshots at the configured cadence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Cycles between checkpoints. A checkpoint is written at the first
+    /// opportunity at or after each multiple of `every`.
+    pub every: u64,
+    /// Directory checkpoints are written into (created if absent).
+    pub dir: std::path::PathBuf,
+    /// How many of the most recent checkpoints to retain (older ones
+    /// are pruned after each successful write). Minimum 1.
+    pub keep: usize,
+    /// Test hook: abort the process (simulating a crash) once simulated
+    /// time reaches this cycle, *without* writing a final checkpoint —
+    /// everything since the last on-disk checkpoint is genuinely lost.
+    pub crash_at: Option<u64>,
+}
+
+impl CheckpointConfig {
+    /// Checkpoints every `every` cycles into `dir`, keeping the default
+    /// two most recent files (so a torn final write always leaves a
+    /// usable predecessor).
+    #[must_use]
+    pub fn new(every: u64, dir: impl Into<std::path::PathBuf>) -> Self {
+        Self {
+            every: every.max(1),
+            dir: dir.into(),
+            keep: 2,
+            crash_at: None,
+        }
+    }
+}
+
 /// Which execution engine runs the event loop.
 ///
 /// The engines are **deterministically equivalent**: for a given config
@@ -165,6 +201,10 @@ pub struct SimConfig {
     /// Which execution engine runs the event loop. Results are
     /// engine-invariant; only wall-clock cost changes.
     pub engine: Engine,
+    /// Crash-consistent checkpointing (driver-interpreted; `None`
+    /// disables it). Results are checkpoint-invariant: a checkpointed
+    /// and resumed run reproduces the uninterrupted run bit-for-bit.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for SimConfig {
@@ -183,6 +223,7 @@ impl Default for SimConfig {
             invariants: InvariantConfig::default(),
             seed: 0xDD9A,
             engine: Engine::Serial,
+            checkpoint: None,
         }
     }
 }
@@ -329,6 +370,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Enables crash-consistent checkpointing (results are
+    /// checkpoint-invariant; see [`CheckpointConfig`]).
+    #[must_use]
+    pub fn checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.cfg.checkpoint = Some(checkpoint);
+        self
+    }
+
     /// Finishes, yielding the config.
     #[must_use]
     pub fn build(self) -> SimConfig {
@@ -355,6 +404,7 @@ mod tests {
             .invariants(InvariantConfig::strict())
             .seed(42)
             .engine(Engine::Sharded { shards: 4 })
+            .checkpoint(CheckpointConfig::new(500, "/tmp/ckpt"))
             .build();
         assert_eq!(cfg.link_latency, 1);
         assert_eq!(cfg.service_cycles, 3);
@@ -369,6 +419,17 @@ mod tests {
         assert!(cfg.invariants.enabled && cfg.invariants.panic_on_violation);
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.engine, Engine::Sharded { shards: 4 });
+        let ck = cfg.checkpoint.expect("checkpoint knob set");
+        assert_eq!(ck.every, 500);
+        assert_eq!(ck.dir, std::path::PathBuf::from("/tmp/ckpt"));
+        assert_eq!(ck.keep, 2, "default retention keeps a fallback");
+        assert_eq!(ck.crash_at, None);
+    }
+
+    #[test]
+    fn checkpoint_defaults_off_and_every_clamps() {
+        assert_eq!(SimConfig::default().checkpoint, None);
+        assert_eq!(CheckpointConfig::new(0, "x").every, 1, "cadence clamps to 1");
     }
 
     #[test]

@@ -344,6 +344,38 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Every pending event in canonical `(time, rank, packet, seq)`
+    /// order, plus the sequence counter — the queue's complete logical
+    /// state, without disturbing it. Feed both through
+    /// [`EventQueue::restore`] to rebuild an equivalent queue.
+    #[must_use]
+    pub fn snapshot_events(&self) -> (Vec<Event>, u64) {
+        let mut all: Vec<Event> = Vec::with_capacity(self.len);
+        all.extend(self.cur.iter().copied());
+        for slot in &self.wheel {
+            all.extend(slot.iter().copied());
+        }
+        all.extend(self.overflow.iter().copied());
+        all.sort_by_key(Event::canonical_key);
+        (all, self.seq)
+    }
+
+    /// Rebuilds a queue from a [`EventQueue::snapshot_events`] capture.
+    /// Placement (wheel bucket vs spillover) may differ from the
+    /// original queue, but drain order is canonical-key driven and
+    /// therefore identical; `seq` continues the original counter so
+    /// later pushes keep their tie-break position.
+    #[must_use]
+    pub fn restore(horizon: u64, events: Vec<Event>, seq: u64) -> Self {
+        let mut q = Self::with_horizon(horizon);
+        q.len = events.len();
+        q.seq = seq;
+        for ev in events {
+            q.insert(ev);
+        }
+        q
+    }
 }
 
 /// A generation-checked handle into a [`Slab`]. Copyable and cheap;
@@ -486,7 +518,10 @@ impl<T> Slab<T> {
     pub fn free_idx(&mut self, idx: usize) -> Option<T> {
         let slot = self.slots.get_mut(idx)?;
         let val = slot.val.take()?;
-        slot.gen += 1;
+        // Wrapping: at u32::MAX the counter rolls over rather than
+        // panicking. Slots are never refilled after death, so a rolled
+        // generation can still never falsely match a live payload.
+        slot.gen = slot.gen.wrapping_add(1);
         Some(val)
     }
 
@@ -497,8 +532,25 @@ impl<T> Slab<T> {
             return None;
         }
         let val = slot.val.take()?;
-        slot.gen += 1;
+        slot.gen = slot.gen.wrapping_add(1);
         Some(val)
+    }
+
+    /// The slot's current generation counter, if the slot exists.
+    /// Snapshot/restore and the wraparound tests need the raw counter;
+    /// normal callers go through [`SlabHandle`]s.
+    #[must_use]
+    pub fn generation_of(&self, idx: usize) -> Option<u32> {
+        self.slots.get(idx).map(|s| s.gen)
+    }
+
+    /// Overwrites the slot's generation counter (checkpoint restore and
+    /// wraparound tests). The slot must already exist.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of bounds.
+    pub fn set_generation(&mut self, idx: usize, gen: u32) {
+        self.slots[idx].gen = gen;
     }
 
     /// Moves the payload out *without* declaring death (generation
@@ -780,6 +832,66 @@ mod tests {
         let mut s = Slab::new();
         let h = s.insert(1u8);
         s.put_idx(h.index(), 2u8);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_drain_order_and_seq() {
+        use ddpm_topology::NodeId;
+        let mut q = EventQueue::with_horizon(8);
+        let h = q.horizon();
+        q.push(SimTime(4), EventKind::Inject { pkt: 3 });
+        q.push(SimTime(4), EventKind::Watchdog);
+        q.push(
+            SimTime(4),
+            EventKind::Fault {
+                event: FaultEvent::SwitchDown { node: NodeId(2) },
+            },
+        );
+        q.push(SimTime(9 * h), EventKind::Inject { pkt: 1 }); // spillover
+        q.push(SimTime(2), EventKind::Arrive { pkt: 0, node: 1, from: 1 });
+        // Partially drain so `cur` holds active-cycle residue.
+        assert_eq!(q.pop().unwrap().time.0, 2);
+
+        let (events, seq) = q.snapshot_events();
+        assert_eq!(events.len(), q.len());
+        let mut r = EventQueue::restore(h, events, seq);
+        // Future pushes continue the original tie-break counter.
+        q.push(SimTime(4), EventKind::Inject { pkt: 5 });
+        r.push(SimTime(4), EventKind::Inject { pkt: 5 });
+        let a: Vec<_> = std::iter::from_fn(|| q.pop()).map(|e| e.canonical_key()).collect();
+        let b: Vec<_> = std::iter::from_fn(|| r.pop()).map(|e| e.canonical_key()).collect();
+        assert_eq!(a, b, "restored queue drains identically");
+    }
+
+    #[test]
+    fn generation_wraps_at_max_without_panic_or_false_match() {
+        let mut s = Slab::new();
+        let h = s.insert("payload");
+        s.set_generation(h.index(), u32::MAX);
+        // The pre-bump handle (gen 0) is already stale against MAX.
+        assert_eq!(s.get(h), None);
+        let live = s.handle_at(h.index()).expect("slot is live");
+        assert_eq!(live.generation(), u32::MAX);
+        assert_eq!(s.get(live), Some(&"payload"));
+        // Freeing at the counter's edge wraps to 0 instead of panicking.
+        assert_eq!(s.free(live), Some("payload"));
+        assert_eq!(s.generation_of(h.index()), Some(0));
+        // Neither the max-generation handle nor the wrapped-to-zero
+        // original can resurrect the slot: the payload is gone.
+        assert_eq!(s.get(live), None);
+        assert_eq!(s.get(h), None, "gen matches but the value is dead");
+        assert_eq!(s.free(h), None);
+        assert_eq!(s.get_idx(h.index()), None);
+    }
+
+    #[test]
+    fn free_idx_wraps_generation_at_max() {
+        let mut s = Slab::new();
+        let h = s.insert(1u8);
+        s.set_generation(h.index(), u32::MAX);
+        assert_eq!(s.free_idx(h.index()), Some(1));
+        assert_eq!(s.generation_of(h.index()), Some(0), "wrapped, not panicked");
+        assert_eq!(s.handle_at(h.index()), None);
     }
 
     #[test]

@@ -199,6 +199,31 @@ impl InvariantChecker {
     pub fn tail_events(&self) -> Vec<PacketEvent> {
         self.tail.iter().copied().collect()
     }
+
+    /// True once the synthetic self-test violation has been injected.
+    #[must_use]
+    pub fn selftest_fired(&self) -> bool {
+        self.selftest_fired
+    }
+
+    /// Reinstalls checkpointed state into a freshly built checker: the
+    /// violation log, the trace tail (oldest first; truncated to the
+    /// configured bound) and the self-test latch.
+    pub fn restore_state(
+        &mut self,
+        violations: Vec<Violation>,
+        tail: Vec<PacketEvent>,
+        selftest_fired: bool,
+    ) {
+        self.violations = violations;
+        self.tail = tail
+            .into_iter()
+            .rev()
+            .take(self.cfg.trace_tail)
+            .rev()
+            .collect();
+        self.selftest_fired = selftest_fired;
+    }
 }
 
 #[cfg(test)]

@@ -38,15 +38,17 @@ pub mod filter;
 pub mod invariant;
 pub mod mark;
 pub mod network;
+pub mod snapshot;
 pub mod stats;
 pub mod time;
 pub mod watchdog;
 
-pub use config::{Engine, RetryPolicy, SimConfig, SimConfigBuilder};
+pub use config::{CheckpointConfig, Engine, RetryPolicy, SimConfig, SimConfigBuilder};
 pub use filter::{Filter, NoFilter};
 pub use invariant::{InvariantChecker, InvariantConfig, Violation};
 pub use mark::{MarkEnv, Marker, NoMarking};
 pub use network::{Delivered, DropReason, Simulation};
+pub use snapshot::{FlightSnap, SimSnapshot, SlotSnap};
 pub use stats::{ClassCounters, ClassStats, FaultStats, LatencyStats, SimStats};
 pub use time::SimTime;
 pub use watchdog::{WatchdogConfig, WatchdogStats};

@@ -5,8 +5,10 @@ use crate::event::{Event, EventKind, EventQueue, Slab};
 use crate::filter::{Filter, NoFilter};
 use crate::invariant::{InvariantChecker, Violation};
 use crate::mark::{MarkEnv, Marker};
-use crate::stats::SimStats;
+use crate::snapshot::{FlightSnap, SimSnapshot, SlotSnap};
+use crate::stats::{FaultStats, SimStats};
 use crate::time::SimTime;
+use crate::watchdog::WatchdogStats;
 use ddpm_net::{Packet, PacketId, TrafficClass};
 use ddpm_routing::{RouteCtx, RouteState, Router, SelectionPolicy};
 use ddpm_telemetry::{EventKind as TelEvent, PacketEvent, RetryKind, Telemetry, TelemetryConfig};
@@ -295,6 +297,30 @@ pub struct FaultVictim {
     pub node: u32,
 }
 
+/// Residual coordinator state handed back when a sharded segment ends —
+/// either at quiescence (everything empty/closed) or at a checkpoint
+/// limit (remaining fault schedule, armed watchdog, open degraded
+/// window). [`Simulation::engine_gather`] folds it into the master.
+#[doc(hidden)]
+pub struct EngineResidual {
+    /// Fault events not yet applied, in schedule order.
+    pub faults: Vec<(u64, FaultEvent)>,
+    /// Pending watchdog sweep time, if armed.
+    pub wd_due: Option<u64>,
+    /// Cycle the open degraded window started at, if faults are active.
+    pub degraded_since: Option<u64>,
+    /// Repair cycle awaiting its next-delivery recovery sample.
+    pub pending_recovery: Option<u64>,
+    /// Final live fault state (identical in every shard).
+    pub live_faults: FaultSet,
+    /// Fault statistics accumulated by the coordinator this segment.
+    pub fstats: FaultStats,
+    /// Watchdog statistics accumulated by the coordinator this segment.
+    pub wstats: WatchdogStats,
+    /// Latest cycle any shard or coordinator round processed.
+    pub end_time: u64,
+}
+
 /// One live packet's watchdog-relevant state, gathered at a sweep.
 #[doc(hidden)]
 pub struct WdPacket {
@@ -419,6 +445,10 @@ pub struct Simulation<'a> {
     /// True while a watchdog sweep is scheduled. The watchdog arms at
     /// the first injection and disarms when nothing is live.
     watchdog_armed: bool,
+    /// Latched by the run close-out (degraded-window accounting,
+    /// end-time stamp, telemetry finish) so segmented runs via
+    /// [`Simulation::run_until`] finalize exactly once.
+    finalized: bool,
     /// Runtime invariant checker (violation log + trace tail).
     checker: InvariantChecker,
     /// Cached "is anyone observing lifecycle events" flag — telemetry,
@@ -502,6 +532,7 @@ impl<'a> Simulation<'a> {
             gone_info: (0, u32::MAX),
             last_progress: 0,
             watchdog_armed: false,
+            finalized: false,
             checker,
             obs,
             checking,
@@ -567,42 +598,82 @@ impl<'a> Simulation<'a> {
         let profiling = self.tele.as_ref().is_some_and(|t| t.profiling());
         let checking = self.checking;
         while let Some(ev) = self.queue.pop() {
-            debug_assert!(ev.time >= self.now, "time went backwards");
-            self.now = ev.time;
-            let t0 = profiling.then(Instant::now);
-            let phase = match ev.kind {
-                EventKind::Inject { pkt } => {
-                    self.handle_inject(pkt);
-                    "inject"
-                }
-                EventKind::Arrive { pkt, node, .. } => {
-                    self.handle_arrive(pkt, node);
-                    "arrive"
-                }
-                EventKind::Reroute { pkt, node } => {
-                    self.handle_reroute(pkt, node);
-                    "reroute"
-                }
-                EventKind::Fault { event } => {
-                    self.handle_fault(event);
-                    "fault"
-                }
-                EventKind::Watchdog => {
-                    self.handle_watchdog();
-                    "watchdog"
-                }
-            };
-            if checking {
-                self.post_event_checks(&ev);
-            }
-            if let Some(t0) = t0 {
-                let elapsed = t0.elapsed();
-                self.tele
-                    .as_mut()
-                    .expect("profiling implies telemetry")
-                    .profile(phase, elapsed);
-            }
+            self.dispatch(ev, profiling, checking);
         }
+        self.finalize_run();
+        self.stats
+    }
+
+    /// Runs every pending event with fire time strictly below `limit` —
+    /// one serial segment of a checkpointed run. Returns `true` once the
+    /// run reached quiescence (the close-out has happened and
+    /// [`Simulation::stats`] is final), `false` when it paused at the
+    /// segment boundary with events still pending. Pausing between
+    /// events is always safe: a [`Simulation::snapshot`] taken here and
+    /// restored elsewhere continues bit-identically.
+    pub fn run_until(&mut self, limit: u64) -> bool {
+        let profiling = self.tele.as_ref().is_some_and(|t| t.profiling());
+        let checking = self.checking;
+        while let Some(ev) = self.queue.pop_before(limit) {
+            self.dispatch(ev, profiling, checking);
+        }
+        if self.queue.next_time().is_some() {
+            return false;
+        }
+        self.finalize_run();
+        true
+    }
+
+    /// One serial event: advance time, run the handler, post-checks,
+    /// optional phase profiling. Shared by [`Simulation::run`] and
+    /// [`Simulation::run_until`].
+    #[inline]
+    fn dispatch(&mut self, ev: Event, profiling: bool, checking: bool) {
+        debug_assert!(ev.time >= self.now, "time went backwards");
+        self.now = ev.time;
+        let t0 = profiling.then(Instant::now);
+        let phase = match ev.kind {
+            EventKind::Inject { pkt } => {
+                self.handle_inject(pkt);
+                "inject"
+            }
+            EventKind::Arrive { pkt, node, .. } => {
+                self.handle_arrive(pkt, node);
+                "arrive"
+            }
+            EventKind::Reroute { pkt, node } => {
+                self.handle_reroute(pkt, node);
+                "reroute"
+            }
+            EventKind::Fault { event } => {
+                self.handle_fault(event);
+                "fault"
+            }
+            EventKind::Watchdog => {
+                self.handle_watchdog();
+                "watchdog"
+            }
+        };
+        if checking {
+            self.post_event_checks(&ev);
+        }
+        if let Some(t0) = t0 {
+            let elapsed = t0.elapsed();
+            self.tele
+                .as_mut()
+                .expect("profiling implies telemetry")
+                .profile(phase, elapsed);
+        }
+    }
+
+    /// Close-out of a finished run: degraded-window accounting, the
+    /// end-time stamp and the telemetry finish. Idempotent, so a
+    /// segmented run finalizes exactly once.
+    fn finalize_run(&mut self) {
+        if self.finalized {
+            return;
+        }
+        self.finalized = true;
         if let Some(t0) = self.degraded_since.take() {
             self.stats.faults.degraded_cycles += self.now.cycles() - t0;
         }
@@ -611,8 +682,10 @@ impl<'a> Simulation<'a> {
         debug_assert!(self.stats.accounted(0), "packet conservation violated");
         if let Some(t) = self.tele.as_mut() {
             t.finish();
+            if t.degraded() {
+                self.stats.telemetry_degraded = true;
+            }
         }
-        self.stats
     }
 
     /// Statistics so far.
@@ -665,6 +738,136 @@ impl<'a> Simulation<'a> {
     #[must_use]
     pub fn live_count(&self) -> u64 {
         self.live_count
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint support (`ddpm-checkpoint`): complete dynamic state
+    // out, and back in, bit-identically.
+    // ------------------------------------------------------------------
+
+    /// Captures the complete dynamic state of this simulation as plain
+    /// data — valid at any event boundary (between
+    /// [`Simulation::run_until`] segments, or before the run starts).
+    /// The static half (topology, router, marker, filter, config) is
+    /// not captured; [`Simulation::restore`] expects it rebuilt from
+    /// the scenario description.
+    #[must_use]
+    pub fn snapshot(&self) -> SimSnapshot {
+        debug_assert!(self.shard.is_none(), "snapshot the master, not a shard");
+        let (events, queue_seq) = self.queue.snapshot_events();
+        let slots = (0..self.pkts.len())
+            .map(|i| SlotSnap {
+                generation: self.pkts.0.generation_of(i).expect("index in range"),
+                flight: self.pkts.get(i).map(|p| FlightSnap {
+                    packet: p.packet,
+                    state: p.state,
+                    rng: p.rng.state(),
+                    injected_at: p.injected_at.cycles(),
+                    path: p.path.clone(),
+                    inject_attempts: p.inject_attempts,
+                    reroutes: p.reroutes,
+                    under_fault: p.under_fault,
+                    launched: p.launched,
+                    escaped: p.escaped,
+                    escaped_at: p.escaped_at,
+                    last_hop_at: p.last_hop_at,
+                    last_node: p.last_node,
+                    wire_mf: p.wire_mf,
+                }),
+            })
+            .collect();
+        let (failed_links, failed_switches) = self.live.to_parts();
+        SimSnapshot {
+            now: self.now.cycles(),
+            events,
+            queue_seq,
+            slots,
+            ports: self.ports.clone(),
+            stats: self.stats,
+            delivered: self.delivered.clone(),
+            drops: self.drops.clone(),
+            failed_links,
+            failed_switches,
+            degraded_since: self.degraded_since,
+            pending_recovery: self.pending_recovery,
+            live_count: self.live_count,
+            injected_total: self.injected_total,
+            delivered_total: self.delivered_total,
+            dropped_total: self.dropped_total,
+            gone_info: self.gone_info,
+            last_progress: self.last_progress,
+            watchdog_armed: self.watchdog_armed,
+            violations: self.checker.violations().to_vec(),
+            trace_tail: self.checker.tail_events(),
+            selftest_fired: self.checker.selftest_fired(),
+        }
+    }
+
+    /// Reinstalls a [`SimSnapshot`] into this **freshly built**
+    /// simulation. Do not [`Simulation::schedule`] packets or
+    /// [`Simulation::schedule_faults`] first — the snapshot holds every
+    /// pending event, including queued `Inject`s and the remaining
+    /// fault schedule. Continuing with [`Simulation::run`] or
+    /// [`Simulation::run_until`] is then bit-identical to the
+    /// uninterrupted run, under either engine.
+    ///
+    /// # Panics
+    /// If this simulation already scheduled packets or processed
+    /// events, or if the snapshot's port table does not match the
+    /// topology (the snapshot was taken in a different world).
+    pub fn restore(&mut self, snap: SimSnapshot) {
+        assert!(
+            self.pkts.len() == 0 && self.queue.is_empty() && self.now == SimTime::ZERO,
+            "restore target must be freshly built"
+        );
+        assert_eq!(
+            snap.ports.len(),
+            self.ports.len(),
+            "snapshot was taken on a different topology"
+        );
+        self.queue = EventQueue::restore(self.queue.horizon(), snap.events, snap.queue_seq);
+        self.pkts.ensure_len(snap.slots.len());
+        for (i, slot) in snap.slots.into_iter().enumerate() {
+            if let Some(f) = slot.flight {
+                self.pkts.put(
+                    i,
+                    InFlight {
+                        packet: f.packet,
+                        state: f.state,
+                        rng: SmallRng::from_state(f.rng),
+                        injected_at: SimTime(f.injected_at),
+                        path: f.path,
+                        inject_attempts: f.inject_attempts,
+                        reroutes: f.reroutes,
+                        under_fault: f.under_fault,
+                        launched: f.launched,
+                        escaped: f.escaped,
+                        escaped_at: f.escaped_at,
+                        last_hop_at: f.last_hop_at,
+                        last_node: f.last_node,
+                        wire_mf: f.wire_mf,
+                    },
+                );
+            }
+            self.pkts.0.set_generation(i, slot.generation);
+        }
+        self.ports = snap.ports;
+        self.now = SimTime(snap.now);
+        self.stats = snap.stats;
+        self.delivered = snap.delivered;
+        self.drops = snap.drops;
+        self.live = FaultSet::from_parts(snap.failed_links, snap.failed_switches);
+        self.degraded_since = snap.degraded_since;
+        self.pending_recovery = snap.pending_recovery;
+        self.live_count = snap.live_count;
+        self.injected_total = snap.injected_total;
+        self.delivered_total = snap.delivered_total;
+        self.dropped_total = snap.dropped_total;
+        self.gone_info = snap.gone_info;
+        self.last_progress = snap.last_progress;
+        self.watchdog_armed = snap.watchdog_armed;
+        self.checker
+            .restore_state(snap.violations, snap.trace_tail, snap.selftest_fired);
     }
 
     fn class_of(&self, pkt: usize) -> TrafficClass {
@@ -1488,17 +1691,20 @@ impl<'a> Simulation<'a> {
     // in canonical order — bit-identical to a serial run.
     // ------------------------------------------------------------------
 
-    /// Splits this (not yet run) simulation into one simulation per
-    /// shard of `part`, moving scheduled packets and their `Inject`
-    /// events to the shard owning each packet's source switch. Returns
-    /// the shard simulations and the drained fault schedule
-    /// (coordinator-owned), in schedule order.
+    /// Splits this simulation into one simulation per shard of `part`,
+    /// moving every in-flight packet and its pending event to the shard
+    /// that will process the event: `Inject`s go to the owner of the
+    /// packet's source switch, `Arrive`/`Reroute`s (present when the
+    /// master was restored from a mid-run checkpoint) to the owner of
+    /// the event's switch. Returns the shard simulations, the drained
+    /// fault schedule (coordinator-owned, in schedule order), and the
+    /// pending watchdog sweep time, if one was armed.
     #[doc(hidden)]
     pub fn engine_split(
         &mut self,
         part: &Arc<Partition>,
         inboxes: &Inboxes,
-    ) -> (Vec<Simulation<'a>>, Vec<(u64, FaultEvent)>) {
+    ) -> (Vec<Simulation<'a>>, Vec<(u64, FaultEvent)>, Option<u64>) {
         let capture = self.obs;
         let selftest_at = if self.checking {
             self.checker.selftest_pending()
@@ -1523,6 +1729,11 @@ impl<'a> Simulation<'a> {
                 sim.obs = capture;
                 // Degraded-window accounting is coordinator-owned.
                 sim.degraded_since = None;
+                // Port busy times carry over on a restored master (all
+                // zero on a fresh split); a shard only ever touches the
+                // ports of switches it owns.
+                sim.ports.copy_from_slice(&self.ports);
+                sim.gone_info = self.gone_info;
                 sim.shard = Some(Box::new(ShardCtx {
                     shard: s,
                     part: Arc::clone(part),
@@ -1543,25 +1754,49 @@ impl<'a> Simulation<'a> {
             })
             .collect();
         let mut faults: Vec<(u64, FaultEvent)> = Vec::new();
+        let mut wd_due: Option<u64> = None;
+        // Which shard will fire each packet's (single) pending event —
+        // the shard that must also hold the packet's storage.
+        let mut owner_of: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
         while let Some(ev) = self.queue.pop() {
             match ev.kind {
                 EventKind::Inject { pkt } => {
                     let owner = part.owner(self.pkts[pkt].packet.true_source);
+                    owner_of.insert(pkt, owner);
                     sims[owner].queue.push(ev.time, EventKind::Inject { pkt });
                 }
-                EventKind::Fault { event } => faults.push((ev.time.0, event)),
-                EventKind::Arrive { .. } | EventKind::Reroute { .. } | EventKind::Watchdog => {
-                    unreachable!("split happens before the run starts")
+                EventKind::Arrive { pkt, node, from } => {
+                    let owner = part.owner(NodeId(node));
+                    owner_of.insert(pkt, owner);
+                    sims[owner]
+                        .queue
+                        .push(ev.time, EventKind::Arrive { pkt, node, from });
                 }
+                EventKind::Reroute { pkt, node } => {
+                    let owner = part.owner(NodeId(node));
+                    owner_of.insert(pkt, owner);
+                    sims[owner].queue.push(ev.time, EventKind::Reroute { pkt, node });
+                }
+                EventKind::Fault { event } => faults.push((ev.time.0, event)),
+                EventKind::Watchdog => wd_due = Some(ev.time.0),
             }
         }
         for idx in 0..self.pkts.len() {
             if let Some(flight) = self.pkts.0.take_idx(idx) {
-                let owner = part.owner(flight.packet.true_source);
+                let owner = owner_of
+                    .get(&idx)
+                    .copied()
+                    .unwrap_or_else(|| part.owner(flight.packet.true_source));
+                // Already-launched packets (restored mid-flight) count
+                // toward the owning shard's live total from the start;
+                // fresh packets are counted at their injection event.
+                if flight.launched {
+                    sims[owner].live_count += 1;
+                }
                 sims[owner].pkts.put(idx, flight);
             }
         }
-        (sims, faults)
+        (sims, faults, wd_due)
     }
 
     /// Runs every pending event with fire time strictly below `end` —
@@ -1872,23 +2107,121 @@ impl<'a> Simulation<'a> {
         self.checker.mark_selftest_fired();
     }
 
-    /// Installs the merged final statistics and closes out the master:
-    /// `now` jumps to the merged end time and telemetry is finished.
+    /// The master's current simulated time, in cycles (coordinator
+    /// seeding and checkpoint-cycle reporting).
     #[doc(hidden)]
-    pub fn set_final_stats(&mut self, stats: SimStats) {
-        self.stats = stats;
-        self.now = SimTime(stats.end_time);
-        self.live_count = 0;
-        if let Some(t) = self.tele.as_mut() {
-            t.finish();
-        }
+    #[must_use]
+    pub fn now_cycles(&self) -> u64 {
+        self.now.cycles()
     }
 
-    /// Installs the final live fault state (identical in every shard —
-    /// all of them applied the full coordinator-ordered sequence).
+    /// The master's `(degraded_since, pending_recovery)` cycles — the
+    /// coordinator seeds its own copies from these so a resumed run
+    /// continues the open degraded window exactly.
     #[doc(hidden)]
-    pub fn set_live_faults(&mut self, live: FaultSet) {
-        self.live = live;
+    #[must_use]
+    pub fn degraded_state(&self) -> (Option<u64>, Option<u64>) {
+        (self.degraded_since, self.pending_recovery)
+    }
+
+    /// Cycle of the master's last recorded global progress (coordinator
+    /// arming floor on resume).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn progress_cycle(&self) -> u64 {
+        self.last_progress
+    }
+
+    /// Merges the shard simulations and the coordinator's residual
+    /// state back into this master, restoring the exact serial form of
+    /// the system state: a gathered master snapshots, finalizes and
+    /// resumes identically under either engine. Consumes the shards.
+    #[doc(hidden)]
+    pub fn engine_gather(&mut self, mut shards: Vec<Simulation<'a>>, r: EngineResidual) {
+        // Rebuild the master queue from scratch: the split drained the
+        // old one, advancing its floor past the fire times of events
+        // that are still pending in the shards. Insertion order —
+        // faults in schedule order, then the watchdog, then packet
+        // events — reproduces the serial queue's tie-breaks: `Fault`
+        // rank sorts first with sequence order among equals, the
+        // watchdog is unique, and a live packet has exactly one pending
+        // event so packet keys never tie.
+        let mut q = EventQueue::with_horizon(self.queue.horizon());
+        for &(t, ev) in &r.faults {
+            q.push(SimTime(t), EventKind::Fault { event: ev });
+        }
+        if let Some(t) = r.wd_due {
+            q.push(SimTime(t), EventKind::Watchdog);
+        }
+        let mut live = 0u64;
+        let mut last_progress = self.last_progress;
+        let mut latest: Option<(u64, (u64, u32))> = None;
+        for shard in &mut shards {
+            // Port busy-until times: a shard only ever touches the ports
+            // of switches it owns, so copying each shard's owned slices
+            // reassembles the exact serial port table (reservations can
+            // extend past the pause barrier into the next segment).
+            {
+                let ctx = shard.shard.as_ref().expect("gather expects shard sims");
+                for n in 0..self.topo.num_nodes() as usize {
+                    if ctx.part.owner(NodeId(n as u32)) == ctx.shard {
+                        let a = n * self.port_stride;
+                        let b = a + self.port_stride;
+                        self.ports[a..b].copy_from_slice(&shard.ports[a..b]);
+                    }
+                }
+            }
+            while let Some(ev) = shard.queue.pop() {
+                q.push(ev.time, ev.kind);
+            }
+            for idx in 0..shard.pkts.0.len() {
+                // Generations are per-slot free counts: the master's
+                // base plus the shard's delta equals the serial count.
+                let delta = shard.pkts.0.generation_of(idx).unwrap_or(0);
+                if delta != 0 {
+                    let base = self.pkts.0.generation_of(idx).expect("index in range");
+                    self.pkts.0.set_generation(idx, base.wrapping_add(delta));
+                }
+                if let Some(flight) = shard.pkts.0.take_idx(idx) {
+                    self.pkts.put(idx, flight);
+                }
+            }
+            live += shard.live_count;
+            last_progress = last_progress.max(shard.last_progress);
+            let t = shard.now.cycles();
+            if latest.is_none_or(|(prev, _)| t >= prev) {
+                latest = Some((t, shard.gone_info));
+            }
+            let s = &shard.stats;
+            self.stats.benign.absorb(&s.benign);
+            self.stats.attack.absorb(&s.attack);
+            self.stats.faults.window_injected += s.faults.window_injected;
+            self.stats.faults.window_delivered += s.faults.window_delivered;
+            self.injected_total += shard.injected_total;
+            self.delivered_total += shard.delivered_total;
+            self.dropped_total += shard.dropped_total;
+        }
+        self.queue = q;
+        self.live_count = live;
+        self.last_progress = last_progress;
+        if let Some((_, gone)) = latest {
+            self.gone_info = gone;
+        }
+        self.now = SimTime(self.now.cycles().max(r.end_time));
+        self.watchdog_armed = r.wd_due.is_some();
+        self.live = r.live_faults;
+        self.degraded_since = r.degraded_since;
+        self.pending_recovery = r.pending_recovery;
+        self.stats.faults.events_applied += r.fstats.events_applied;
+        self.stats.faults.degraded_cycles += r.fstats.degraded_cycles;
+        self.stats.faults.recovery.merge(&r.fstats.recovery);
+        self.stats.watchdog.checks += r.wstats.checks;
+        self.stats.watchdog.livelocks += r.wstats.livelocks;
+        self.stats.watchdog.starvations += r.wstats.starvations;
+        self.stats.watchdog.deadlocks += r.wstats.deadlocks;
+        self.stats.watchdog.escapes += r.wstats.escapes;
+        self.stats.watchdog.max_age_seen =
+            self.stats.watchdog.max_age_seen.max(r.wstats.max_age_seen);
     }
 
     /// Mutable telemetry access for the engine profile attachment.

@@ -89,6 +89,7 @@ fn micro_config(topo: &TopologySpec, router: RouterSpec, churn: &str) -> Scenari
         watchdog: None,
         invariants: false,
         engine: Engine::Serial,
+        checkpoint: None,
     };
     match churn {
         "quiet" => {}
@@ -162,6 +163,56 @@ fn render(digests: &[(String, String)]) -> String {
     s
 }
 
+/// Splits a digest string into named fields: the leading overall hash,
+/// then each `key=value` token (counts and per-stream hashes).
+fn digest_fields(d: &str) -> Vec<(&str, &str)> {
+    d.split_whitespace()
+        .enumerate()
+        .map(|(i, tok)| match tok.split_once('=') {
+            Some(kv) => kv,
+            None if i == 0 => ("overall", tok),
+            None => ("?", tok),
+        })
+        .collect()
+}
+
+/// Localises a digest mismatch: names the first per-stream field that
+/// differs (the delivered-packet stream, the drop stream, the
+/// violation stream, or the stats block) so a `DDPM_BLESS=1` review
+/// sees *which* behaviour moved, not just that two hashes differ.
+fn first_divergence(want: &str, got: &str) -> String {
+    fn describe(key: &str) -> &str {
+        match key {
+            "D" => "delivered-packet stream",
+            "X" => "drop stream",
+            "V" => "violation stream",
+            "S" => "stats block",
+            "delivered" => "delivered count",
+            "dropped" => "dropped count",
+            "violations" => "violation count",
+            other => other,
+        }
+    }
+    let (w, g) = (digest_fields(want), digest_fields(got));
+    if w.len() != g.len() {
+        return "digest layout changed (field count differs — a golden file predating \
+                per-stream digests, or a digest format change): re-bless and review"
+            .to_string();
+    }
+    // The counts and per-stream hashes localise the change; the overall
+    // hash (field 0) only confirms it, so scan it last.
+    for ((wk, wv), (gk, gv)) in w.iter().zip(&g).skip(1).chain(w.iter().zip(&g).take(1)) {
+        if wk == gk && wv != gv {
+            return format!(
+                "first diverging field: {} ({wk}: pinned {wv}, got {gv})",
+                describe(wk)
+            );
+        }
+    }
+    "overall digest diverged but every per-stream field matches (hash layout change?)"
+        .to_string()
+}
+
 #[test]
 fn corpus_digests_match_golden_file() {
     let digests = corpus_digests();
@@ -195,7 +246,10 @@ fn corpus_digests_match_golden_file() {
         match pinned.get(name) {
             None => diverged.push(format!("{name}: missing from golden file")),
             Some(want) if want != digest => {
-                diverged.push(format!("{name}:\n  pinned {want}\n  got    {digest}"));
+                diverged.push(format!(
+                    "{name}:\n  pinned {want}\n  got    {digest}\n  {}",
+                    first_divergence(want, digest)
+                ));
             }
             Some(_) => {}
         }

@@ -19,6 +19,10 @@ pub struct TelemetryConfig {
     pub console_summary: bool,
     /// Stream events as NDJSON to this file.
     pub trace_path: Option<PathBuf>,
+    /// Reopen `trace_path` in append mode instead of truncating — set
+    /// by a checkpoint resume so the events traced before the crash
+    /// survive, delimited by a `resume` NDJSON record.
+    pub trace_append: bool,
     /// Additional custom sink (e.g. [`crate::MemorySink`] in tests).
     pub sink: Option<SharedSink>,
 }
@@ -30,6 +34,7 @@ impl std::fmt::Debug for TelemetryConfig {
             .field("profile", &self.profile)
             .field("console_summary", &self.console_summary)
             .field("trace_path", &self.trace_path)
+            .field("trace_append", &self.trace_append)
             .field("sink", &self.sink.as_ref().map(|_| "<sink>"))
             .finish()
     }

@@ -83,9 +83,12 @@ impl Telemetry {
         }
         let mut sinks = Vec::new();
         if let Some(path) = &cfg.trace_path {
-            let file = NdjsonSink::create(path).unwrap_or_else(|e| {
-                panic!("cannot create telemetry trace {}: {e}", path.display())
-            });
+            let file = if cfg.trace_append {
+                NdjsonSink::append(path)
+            } else {
+                NdjsonSink::create(path)
+            }
+            .unwrap_or_else(|e| panic!("cannot create telemetry trace {}: {e}", path.display()));
             sinks.push(shared(file));
         }
         if let Some(s) = &cfg.sink {
@@ -240,6 +243,28 @@ impl Telemetry {
         }
         if self.console {
             println!("{}", self.summary());
+        }
+    }
+
+    /// True if any sink permanently gave up on its output (persistent
+    /// I/O failure) — the trace is incomplete even though the run
+    /// finished. Simulators surface this as `SimStats::telemetry_degraded`.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        self.sinks
+            .iter()
+            .any(|s| s.lock().expect("telemetry sink poisoned").degraded())
+    }
+
+    /// Announces a checkpoint resume at `cycle` to every sink, so
+    /// file-backed traces carry an explicit `resume` record delimiting
+    /// the restart point.
+    pub fn note_resume(&mut self, cycle: u64) {
+        self.flush();
+        for s in &self.sinks {
+            s.lock()
+                .expect("telemetry sink poisoned")
+                .resume_marker(cycle);
         }
     }
 }

@@ -12,6 +12,17 @@ pub trait EventSink: Send {
 
     /// Called once at end of run; flush buffers here.
     fn finish(&mut self) {}
+
+    /// True once the sink has permanently given up on its output (e.g.
+    /// persistent I/O failure). A degraded sink silently discards
+    /// further events — the run itself is never killed for a trace.
+    fn degraded(&self) -> bool {
+        false
+    }
+
+    /// Called when a run resumes from a checkpoint, so file-backed
+    /// sinks can delimit the restart (an NDJSON `resume` record).
+    fn resume_marker(&mut self, _cycle: u64) {}
 }
 
 /// A sink shareable between a config (cloneable) and a running
@@ -23,9 +34,23 @@ pub fn shared(sink: impl EventSink + 'static) -> SharedSink {
     Arc::new(Mutex::new(sink))
 }
 
+/// How many times a failing NDJSON write is retried (with exponential
+/// backoff) before the sink degrades to discarding events.
+const WRITE_RETRIES: u32 = 3;
+
 /// Streams events as NDJSON (one JSON object per line) to any writer.
+///
+/// I/O failures degrade gracefully: a failing write is retried
+/// [`WRITE_RETRIES`] times with exponential backoff (1 ms, 2 ms, 4 ms),
+/// and if the writer still refuses, the sink prints **one** console
+/// warning, flips to [`EventSink::degraded`] and behaves like
+/// [`NullSink`] from then on. A simulation is never killed — and never
+/// stalled indefinitely — by a full disk or a yanked volume; the
+/// `telemetry_degraded` flag in `SimStats` records that the trace is
+/// incomplete.
 pub struct NdjsonSink<W: Write + Send> {
     out: BufWriter<W>,
+    degraded: bool,
 }
 
 impl<W: Write + Send> NdjsonSink<W> {
@@ -33,7 +58,33 @@ impl<W: Write + Send> NdjsonSink<W> {
     pub fn new(out: W) -> Self {
         Self {
             out: BufWriter::new(out),
+            degraded: false,
         }
+    }
+
+    /// Writes one line, retrying with backoff; degrades on persistent
+    /// failure.
+    fn write_line(&mut self, line: &str) {
+        for attempt in 0..=WRITE_RETRIES {
+            match writeln!(self.out, "{line}") {
+                Ok(()) => return,
+                Err(e) => {
+                    if attempt == WRITE_RETRIES {
+                        self.degrade(&e);
+                        return;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+                }
+            }
+        }
+    }
+
+    fn degrade(&mut self, err: &std::io::Error) {
+        self.degraded = true;
+        eprintln!(
+            "warning: telemetry trace write failed after {WRITE_RETRIES} retries ({err}); \
+             discarding further trace events (run continues, stats flagged degraded)"
+        );
     }
 }
 
@@ -45,17 +96,49 @@ impl NdjsonSink<std::fs::File> {
     pub fn create(path: &Path) -> std::io::Result<Self> {
         Ok(Self::new(std::fs::File::create(path)?))
     }
+
+    /// A sink appending NDJSON to the file at `path`, creating it if
+    /// absent — the reopen mode a checkpoint resume uses so the events
+    /// already traced before the crash are preserved.
+    ///
+    /// # Errors
+    /// Propagates file-open failures.
+    pub fn append(path: &Path) -> std::io::Result<Self> {
+        Ok(Self::new(
+            std::fs::OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(path)?,
+        ))
+    }
 }
 
 impl<W: Write + Send> EventSink for NdjsonSink<W> {
     fn emit(&mut self, ev: &PacketEvent) {
-        // Trace I/O errors are not worth killing a simulation for; a
-        // truncated trace is visible to the consumer.
-        let _ = writeln!(self.out, "{}", ev.to_ndjson());
+        if self.degraded {
+            return;
+        }
+        self.write_line(&ev.to_ndjson());
     }
 
     fn finish(&mut self) {
-        let _ = self.out.flush();
+        if self.degraded {
+            return;
+        }
+        if let Err(e) = self.out.flush() {
+            self.degrade(&e);
+        }
+    }
+
+    fn degraded(&self) -> bool {
+        self.degraded
+    }
+
+    fn resume_marker(&mut self, cycle: u64) {
+        if self.degraded {
+            return;
+        }
+        self.write_line(&format!("{{\"cycle\":{cycle},\"event\":\"resume\"}}"));
     }
 }
 
@@ -140,5 +223,44 @@ mod tests {
         sink.finish();
         let text = String::from_utf8(sink.out.into_inner().unwrap()).unwrap();
         assert_eq!(text, "{\"cycle\":1,\"event\":\"inject\",\"pkt\":5,\"node\":0}\n");
+    }
+
+    #[test]
+    fn ndjson_sink_emits_resume_marker() {
+        let mut sink = NdjsonSink::new(Vec::new());
+        sink.resume_marker(42);
+        sink.finish();
+        let text = String::from_utf8(sink.out.into_inner().unwrap()).unwrap();
+        assert_eq!(text, "{\"cycle\":42,\"event\":\"resume\"}\n");
+    }
+
+    /// A writer that fails every write, for exercising degradation.
+    struct BrokenWriter;
+
+    impl Write for BrokenWriter {
+        fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("disk on fire"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::other("disk on fire"))
+        }
+    }
+
+    #[test]
+    fn ndjson_sink_degrades_after_bounded_retries_instead_of_panicking() {
+        // A tiny BufWriter capacity forces the failure to surface on the
+        // first emit rather than hiding in the buffer until finish().
+        let mut sink = NdjsonSink {
+            out: BufWriter::with_capacity(1, BrokenWriter),
+            degraded: false,
+        };
+        assert!(!EventSink::degraded(&sink));
+        sink.emit(&ev(1));
+        assert!(EventSink::degraded(&sink), "persistent failure degrades");
+        // Further emits and finish() are silent no-ops, not retries.
+        sink.emit(&ev(2));
+        sink.resume_marker(9);
+        sink.finish();
+        assert!(EventSink::degraded(&sink));
     }
 }

@@ -165,6 +165,29 @@ impl FaultSet {
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.dead.iter().copied()
     }
+
+    /// The complete fault set as sorted lists — failed links (normalised
+    /// `(min, max)` pairs) and failed switches. Sorted so serialising
+    /// the same set always yields the same bytes (checkpointing).
+    #[must_use]
+    pub fn to_parts(&self) -> (Vec<(NodeId, NodeId)>, Vec<NodeId>) {
+        let mut links: Vec<(NodeId, NodeId)> = self.dead.iter().copied().collect();
+        links.sort_unstable();
+        let mut switches: Vec<NodeId> = self.dead_nodes.iter().copied().collect();
+        switches.sort_unstable();
+        (links, switches)
+    }
+
+    /// Rebuilds a fault set from a [`FaultSet::to_parts`] dump. Link
+    /// pairs are stored as given (callers pass back the normalised
+    /// pairs `to_parts` produced); no topology validation is performed.
+    #[must_use]
+    pub fn from_parts(links: Vec<(NodeId, NodeId)>, switches: Vec<NodeId>) -> Self {
+        Self {
+            dead: links.into_iter().collect(),
+            dead_nodes: switches.into_iter().collect(),
+        }
+    }
 }
 
 /// One timestamped change to the network's health.
@@ -421,6 +444,21 @@ mod tests {
         assert!(!f.is_faulty(&topo, &far_a, &far_b));
         assert!(f.restore_switch(topo.index(&mid)));
         assert!(f.is_empty());
+    }
+
+    #[test]
+    fn parts_round_trip_reproduces_the_set() {
+        let topo = Topology::mesh2d(4);
+        let mut f = FaultSet::none();
+        f.add(&topo, &Coord::new(&[1, 1]), &Coord::new(&[1, 2]));
+        f.add(&topo, &Coord::new(&[0, 0]), &Coord::new(&[0, 1]));
+        f.fail_switch(NodeId(9));
+        f.fail_switch(NodeId(3));
+        let (links, switches) = f.to_parts();
+        assert!(links.windows(2).all(|w| w[0] < w[1]), "links sorted");
+        assert_eq!(switches, vec![NodeId(3), NodeId(9)], "switches sorted");
+        let g = FaultSet::from_parts(links, switches);
+        assert_eq!(g, f);
     }
 
     #[test]

@@ -216,6 +216,23 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The generator's current internal state, for checkpointing.
+        /// Feed the words back through [`SmallRng::from_state`] to
+        /// resume the stream at exactly this position.
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured
+        /// [`SmallRng::state`], resuming its stream bit-for-bit.
+        #[must_use]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            Self { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
@@ -274,6 +291,17 @@ mod tests {
         assert!((0..1000).all(|_| r.gen_bool(1.0)));
         let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
         assert!((25_000..35_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_stream() {
+        let mut a = SmallRng::seed_from_u64(99);
+        let _: u64 = a.gen();
+        let _: u64 = a.gen();
+        let mut b = SmallRng::from_state(a.state());
+        let rest_a: Vec<u64> = (0..32).map(|_| a.gen()).collect();
+        let rest_b: Vec<u64> = (0..32).map(|_| b.gen()).collect();
+        assert_eq!(rest_a, rest_b);
     }
 
     #[test]
