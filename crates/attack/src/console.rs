@@ -90,9 +90,10 @@ impl VictimConsole {
             // Attribution only runs once something is wrong: the census
             // is a post-alarm incident log, not standing surveillance.
             let dest = self.topo.coord(self.victim);
-            if let Some(src) =
-                self.scheme
-                    .identify_node(&self.topo, &dest, d.packet.header.identification)
+            if let Some(src) = self
+                .scheme
+                .attribute(&self.topo, &dest, d.packet.header.identification)
+                .single()
             {
                 *self.suspect_census.entry(src).or_insert(0) += 1;
             }

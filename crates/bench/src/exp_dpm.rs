@@ -15,11 +15,12 @@
 
 use crate::util::{RunCtx, fnum, Report, TextTable};
 use ddpm_attack::{PacketFactory, SpoofStrategy};
+use ddpm_core::build_scheme;
 use ddpm_core::dpm::{DpmScheme, DpmVictim};
 use ddpm_core::filter::SignatureFilter;
 use ddpm_net::{AddrMap, L4};
 use ddpm_routing::{Router, SelectionPolicy};
-use ddpm_sim::{SimConfig, SimTime, Simulation};
+use ddpm_sim::{SchemeSpec, SimConfig, SimTime, Simulation};
 use ddpm_topology::{FaultSet, NodeId, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -59,6 +60,42 @@ fn signatures_per_flow(
         .map(|d| d.packet.header.identification.raw())
         .collect();
     sigs.len()
+}
+
+/// Victim-side attribution through the plugin API: the DPM collector
+/// (whose signature table assumes stable dimension-order routes) judges
+/// a zombie flood under each routing class. Returns `(zombie
+/// implicated, candidate count, match confidence)` — adaptive routing
+/// fragments the flow across signatures the table has never seen, so
+/// the confidence collapse *is* §4.3's instability, measured on the
+/// shared [`ddpm_sim::Collector`] interface.
+fn collector_attribution(
+    topo: &Topology,
+    router: Router,
+    policy: SelectionPolicy,
+    packets: u64,
+    seed: u64,
+) -> (bool, usize, f64) {
+    let scheme = build_scheme(SchemeSpec::Dpm, topo).expect("dpm fits any topology");
+    let map = AddrMap::for_topology(topo);
+    let faults = FaultSet::none();
+    let victim = NodeId(topo.num_nodes() as u32 - 1);
+    let zombie = NodeId(0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut factory = PacketFactory::new(map.clone());
+    let mut sim = Simulation::new(topo, &faults, router, policy, &*scheme, SimConfig::seeded(seed));
+    for k in 0..packets {
+        let claimed = SpoofStrategy::RandomInCluster.claimed_ip(&map, zombie, &mut rng);
+        let p = factory.attack(zombie, claimed, victim, L4::udp(1, 7), 512);
+        sim.schedule(SimTime(k * 8), p);
+    }
+    sim.run();
+    let mut collector = scheme.collector(topo, victim);
+    for d in sim.delivered() {
+        collector.observe(d.packet.header.identification);
+    }
+    let att = collector.attribute();
+    (att.implicates(zombie), att.candidates.len(), att.confidence)
 }
 
 /// Signature-blocking efficacy under adaptive routing: returns
@@ -131,13 +168,11 @@ fn blocking_efficacy(topo: &Topology, seed: u64) -> (f64, f64) {
 
 /// Runs the DPM experiment.
 #[must_use]
-pub fn run(_ctx: &RunCtx) -> Report {
+pub fn run(ctx: &RunCtx) -> Report {
     let topo = Topology::mesh2d(8);
     let src = NodeId(0);
     let dst = NodeId(63);
-    let mut t = TextTable::new(&["routing", "packets", "distinct signatures of one flow"]);
-    let mut rows = Vec::new();
-    for (router, policy, name) in [
+    let routings = [
         (
             Router::DimensionOrder,
             SelectionPolicy::First,
@@ -153,15 +188,44 @@ pub fn run(_ctx: &RunCtx) -> Report {
             SelectionPolicy::Random,
             "fully adaptive",
         ),
-    ] {
+    ];
+    let mut t = TextTable::new(&["routing", "packets", "distinct signatures of one flow"]);
+    let mut rows = Vec::new();
+    for (router, policy, name) in routings {
         let sigs = signatures_per_flow(&topo, router, policy, src, dst, 400, 11);
         t.row(&[name.to_string(), "400".into(), sigs.to_string()]);
         rows.push(json!({"routing": name, "signatures": sigs}));
     }
 
+    // The same instability seen through the shared Collector interface.
+    let mut ta = TextTable::new(&[
+        "routing",
+        "zombie implicated",
+        "candidates",
+        "match confidence",
+    ]);
+    let mut attrib_rows = Vec::new();
+    for (router, policy, name) in routings {
+        let (hit, cands, conf) =
+            collector_attribution(&topo, router, policy, ctx.scaled(300), 31);
+        ta.row(&[
+            name.to_string(),
+            hit.to_string(),
+            cands.to_string(),
+            fnum(conf),
+        ]);
+        attrib_rows.push(json!({
+            "routing": name,
+            "implicated": hit,
+            "candidates": cands,
+            "confidence": conf,
+        }));
+    }
+
     let (leak, collateral) = blocking_efficacy(&topo, 23);
     let body = format!(
         "{}\n\
+         Plugin-API attribution (DPM collector, dimension-order signature table):\n{}\n\
          Signature blocking under adaptive routing (learn attack sigs, then filter):\n\
          attack leak-through : {} of attack packets still delivered\n\
          benign collateral   : {} of benign packets wrongly dropped\n\
@@ -169,6 +233,7 @@ pub fn run(_ctx: &RunCtx) -> Report {
           adaptive routing fragments the signature set, so blocking both leaks\n\
           and, on collisions, hits innocents: §4.3's conclusion.)\n",
         t.render(),
+        ta.render(),
         fnum(leak),
         fnum(collateral),
     );
@@ -176,7 +241,12 @@ pub fn run(_ctx: &RunCtx) -> Report {
         key: "dpm",
         title: "DPM signature instability under adaptive routing (§4.3)".into(),
         body,
-        json: json!({"signatures_per_flow": rows, "leak": leak, "collateral": collateral}),
+        json: json!({
+            "signatures_per_flow": rows,
+            "collector_attribution": attrib_rows,
+            "leak": leak,
+            "collateral": collateral,
+        }),
     }
 }
 
@@ -207,6 +277,31 @@ mod tests {
         );
         assert_eq!(det, 1);
         assert!(ada > 5, "adaptive should fragment signatures, got {ada}");
+    }
+
+    #[test]
+    fn collector_confidence_collapses_under_adaptive_routing() {
+        let topo = Topology::mesh2d(8);
+        let (dor_hit, _, dor_conf) = collector_attribution(
+            &topo,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            200,
+            5,
+        );
+        assert!(dor_hit, "stable routes match the signature table exactly");
+        assert!((dor_conf - 1.0).abs() < 1e-9, "got {dor_conf}");
+        let (_, _, ada_conf) = collector_attribution(
+            &topo,
+            Router::MinimalAdaptive,
+            SelectionPolicy::Random,
+            200,
+            5,
+        );
+        assert!(
+            ada_conf < dor_conf,
+            "adaptive routes must fragment signatures ({ada_conf} vs {dor_conf})"
+        );
     }
 
     #[test]

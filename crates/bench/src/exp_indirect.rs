@@ -144,7 +144,7 @@ fn hybrid_sweep(t: &mut TextTable) -> (Vec<serde_json::Value>, u64, u64) {
         .expect("healthy backbone");
         let mf = marking.mark_journey(&cluster, sm, &path);
         total += 1;
-        if marking.identify(&cluster, &dg, mf) == Some(src) {
+        if marking.attribute(&cluster, &dg, mf).single() == Some(src) {
             correct += 1;
         }
         let _ = k;

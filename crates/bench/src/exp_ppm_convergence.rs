@@ -14,21 +14,20 @@
 //!    reproduces the blow-up at cluster-scale distances.
 //! 2. **full stack** — the real [`EdgePpm`] scheme inside the
 //!    discrete-event simulator on a 2×8 mesh (the largest shape whose
-//!    flagged layout fits the MF with a long axis), packets until
-//!    [`ddpm_core::reconstruct_paths`] recovers the true source.
+//!    flagged layout fits the MF with a long axis), packets until the
+//!    scheme's victim-side collector ([`ddpm_sim::MarkingScheme`])
+//!    implicates the true source.
 
 use crate::util::{RunCtx, fnum, Report, TextTable};
 use ddpm_core::analysis::ppm_expected_packets;
-use ddpm_core::ppm::{EdgeMark, EdgePpm};
-use ddpm_core::reconstruct_paths;
+use ddpm_core::ppm::EdgePpm;
 use ddpm_net::{AddrMap, Ipv4Header, Packet, PacketId, Protocol, TrafficClass, L4};
 use ddpm_routing::{Router, SelectionPolicy};
-use ddpm_sim::{SimConfig, SimTime, Simulation};
+use ddpm_sim::{MarkingScheme, SimConfig, SimTime, Simulation};
 use ddpm_topology::{Coord, FaultSet, Topology};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde_json::json;
-use std::collections::HashSet;
 
 /// Process-level measurement: packets until all `d` edges of a path are
 /// collected, with per-switch marking probability `p`.
@@ -106,7 +105,11 @@ pub fn fms_packets_to_collect(d: u32, p: f64, trials: u32, rng: &mut SmallRng) -
 }
 
 /// Full-stack measurement on a 2×8 mesh: mean packets (over seeds) until
-/// reconstruction recovers the true source at distance `d`.
+/// the victim-side [`Collector`] implicates the true source at distance
+/// `d` — which for the edge scheme requires a complete chained path, so
+/// this is exactly "packets to full reconstruction".
+///
+/// [`Collector`]: ddpm_sim::Collector
 fn full_stack_packets(p: f64, seeds: u32) -> f64 {
     let topo = Topology::mesh(&[2, 8]);
     let scheme = EdgePpm::new(&topo, p).expect("2x8 fits the flagged layout");
@@ -145,16 +148,13 @@ fn full_stack_packets(p: f64, seeds: u32) -> f64 {
             );
         }
         sim.run();
-        let mut marks: HashSet<EdgeMark> = HashSet::new();
+        let mut collector = scheme.collector(&topo, victim);
         let mut needed = sim.delivered().len() as u64; // pessimistic default
         for (i, del) in sim.delivered().iter().enumerate() {
-            if let Some(m) = scheme.extract(del.packet.header.identification) {
-                marks.insert(m);
-                let r = reconstruct_paths(victim, &marks, 100_000);
-                if r.sources.contains(&topo.index(&src)) && r.paths.iter().any(|p| p.len() == 9) {
-                    needed = i as u64 + 1;
-                    break;
-                }
+            collector.observe(del.packet.header.identification);
+            if collector.attribute().implicates(topo.index(&src)) {
+                needed = i as u64 + 1;
+                break;
             }
         }
         total += needed;

@@ -145,7 +145,8 @@ fn run_once(
     for d in sim.delivered() {
         let dest = topo.coord(d.packet.dest_node);
         let got = scheme
-            .identify_node(topo, &dest, d.packet.header.identification)
+            .attribute(topo, &dest, d.packet.header.identification)
+            .single()
             .expect("delivered marking decodes");
         if got != d.packet.true_source {
             misattributed += 1;

@@ -16,11 +16,13 @@
 //! | [`exp_dpm`] | §4.3 DPM signature instability |
 //! | [`exp_identification`] | §5 single-packet identification |
 //! | [`exp_end_to_end`] | §1/§2 detect → identify → block pipeline |
+//! | [`exp_bakeoff`] | cross-scheme plugin bake-off (Tables 1–3, measured) |
 //! | [`exp_resilience`] | §4.1 attribution under dynamic fault churn |
 //! | [`exp_soak`] | liveness/invariant chaos soak + failure replay |
 
 pub mod exp_ablation;
 pub mod exp_ambiguity;
+pub mod exp_bakeoff;
 pub mod exp_compromised;
 pub mod exp_defenses;
 pub mod exp_dpm;
@@ -66,6 +68,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("indirect", exp_indirect::run),
         ("flooding", exp_flooding_traceback::run),
         ("ablation", exp_ablation::run),
+        ("bakeoff", exp_bakeoff::run),
         ("resilience", exp_resilience::run),
         ("soak", exp_soak::run),
     ]

@@ -10,13 +10,14 @@ use ddpm_attack::{
     Workload,
 };
 use ddpm_core::identify::attack_census;
-use ddpm_core::{DdpmScheme, DpmScheme};
-use ddpm_net::{AddrMap, CodecMode};
+use ddpm_core::{build_scheme, DdpmScheme, DpmScheme};
+use ddpm_net::{AddrMap, CodecMode, TrafficClass};
 use ddpm_routing::{Router, SelectionPolicy};
 use ddpm_sim::{
-    CheckpointConfig, Engine, InvariantConfig, Marker, NoMarking, RetryPolicy, SimConfig, SimStats,
-    SimTime, Simulation, WatchdogConfig,
+    CheckpointConfig, Engine, InvariantConfig, Marker, MarkingScheme, NoMarking, RetryPolicy,
+    SchemeSpec, SimConfig, SimStats, SimTime, Simulation, WatchdogConfig,
 };
+use ddpm_telemetry::{EventKind as TelEvent, PacketEvent};
 use ddpm_topology::{FaultEvent, FaultSchedule, FaultSet, NodeId, Topology, MAX_DIMS};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -466,6 +467,13 @@ pub struct ScenarioConfig {
     pub topology: TopologySpec,
     pub router: RouterSpec,
     pub marking: MarkingSpec,
+    /// Plugin marking scheme (`"scheme": "ddpm" | "dpm" | "ppm-edge" |
+    /// "ppm-xor" | "tracemax" | "none"`). Selects a two-sided
+    /// [`MarkingScheme`] — switch-side marker plus victim-side
+    /// collector — and is mutually exclusive with the legacy
+    /// `"marking"` knob. Unknown names and scheme/topology mismatches
+    /// are loader errors, never panics. Absent = legacy path.
+    pub scheme: Option<SchemeSpec>,
     /// RNG seed (default 2004).
     pub seed: u64,
     /// Random link-failure rate, 0.0..1.0 (default 0).
@@ -512,6 +520,7 @@ impl FromJson for ScenarioConfig {
                 "topology",
                 "router",
                 "marking",
+                "scheme",
                 "seed",
                 "fault_rate",
                 "background_interval",
@@ -530,6 +539,27 @@ impl FromJson for ScenarioConfig {
             None | Some(Value::Null) => None,
             Some(a) => Some(AttackSpec::from_json(a)?),
         };
+        let scheme = match v.get("scheme") {
+            None | Some(Value::Null) => None,
+            Some(s) => {
+                let name = s
+                    .as_str()
+                    .ok_or_else(|| JsonError::msg("`scheme` must be a string"))?;
+                Some(SchemeSpec::parse(name).map_err(JsonError::msg)?)
+            }
+        };
+        if scheme.is_some() {
+            match v.get("marking") {
+                None | Some(Value::Null) => {}
+                Some(_) => {
+                    return Err(JsonError::msg(
+                        "`scheme` and `marking` are mutually exclusive: `scheme` \
+                         selects the plugin marker and its victim-side collector; \
+                         drop the legacy `marking` knob",
+                    ))
+                }
+            }
+        }
         let fault_rate = opt_f64(v, "fault_rate", 0.0)?;
         if !(0.0..=1.0).contains(&fault_rate) {
             return Err(JsonError::msg(format!(
@@ -562,7 +592,11 @@ impl FromJson for ScenarioConfig {
         Ok(Self {
             topology: TopologySpec::from_json(req(v, "topology")?)?,
             router: RouterSpec::from_json(req(v, "router")?)?,
-            marking: MarkingSpec::from_json(req(v, "marking")?)?,
+            marking: match scheme {
+                Some(_) => MarkingSpec::None,
+                None => MarkingSpec::from_json(req(v, "marking")?)?,
+            },
+            scheme,
             seed: opt_u64(v, "seed", 2004)?,
             fault_rate,
             background_interval: opt_u64(v, "background_interval", 32)?,
@@ -730,6 +764,13 @@ fn execute(
         .validate(&topo)
         .map_err(|e| format!("fault_schedule: {e}"))?;
 
+    // The `"scheme"` knob selects a two-sided plugin; scheme/topology
+    // mismatches (e.g. tracemax on a long-diameter mesh) surface here
+    // as loader errors, exactly like an oversized-DDPM config.
+    let plugin: Option<Box<dyn MarkingScheme>> = match cfg.scheme {
+        Some(spec) => Some(build_scheme(spec, &topo)?),
+        None => None,
+    };
     let ddpm = match cfg.marking {
         MarkingSpec::Ddpm => Some(DdpmScheme::new(&topo).map_err(|e| format!("ddpm: {e}"))?),
         MarkingSpec::DdpmResidue => Some(
@@ -739,10 +780,13 @@ fn execute(
     };
     let dpm = DpmScheme;
     let none = NoMarking;
-    let marker: &dyn Marker = match cfg.marking {
-        MarkingSpec::None => &none,
-        MarkingSpec::Dpm => &dpm,
-        MarkingSpec::Ddpm | MarkingSpec::DdpmResidue => ddpm.as_ref().expect("built above"),
+    let marker: &dyn Marker = match (&plugin, cfg.marking) {
+        (Some(p), _) => &**p,
+        (None, MarkingSpec::None) => &none,
+        (None, MarkingSpec::Dpm) => &dpm,
+        (None, MarkingSpec::Ddpm | MarkingSpec::DdpmResidue) => {
+            ddpm.as_ref().expect("built above")
+        }
     };
 
     let check_node = |id: u32, what: &str| -> Result<NodeId, String> {
@@ -808,6 +852,9 @@ fn execute(
         .to_builder()
         .engine(cfg.engine)
         .build();
+    if let Some(spec) = cfg.scheme {
+        sim_cfg = sim_cfg.to_builder().scheme(spec).build();
+    }
     if cfg.fault_retries > 0 {
         let backoff = sim_cfg.service_cycles.max(1);
         sim_cfg = sim_cfg
@@ -891,12 +938,15 @@ fn execute(
         fnv64(&s_dump),
     );
 
+    let marking_desc = match cfg.scheme {
+        Some(spec) => format!("{} scheme", spec.as_str()),
+        None => format!("{:?} marking", cfg.marking),
+    };
     let mut text = format!(
-        "scenario: {topo}, {} routing, {:?} marking, {} failed links\n\
+        "scenario: {topo}, {} routing, {marking_desc}, {} failed links\n\
          benign : {} injected, {} delivered ({:.1}% | mean latency {:.1} cyc)\n\
          attack : {} injected, {} delivered, {} dropped\n",
         router,
-        cfg.marking,
         faults.failed_links(),
         stats.benign.injected,
         stats.benign.delivered,
@@ -958,6 +1008,67 @@ fn execute(
             .map(|&(node, c)| json!({"node": node.0, "packets": c}))
             .collect::<Vec<_>>());
     }
+    // Victim-side attribution via the scheme plugin's collector: feed it
+    // every attack-class packet the victim received, in delivery order,
+    // then ask it who the sources were. Text/JSON only — the behavioural
+    // digest hashes the delivered/drop/violation/stats streams, which
+    // this post-run analysis does not touch.
+    let mut attribution_json = json!(null);
+    if let Some(p) = &plugin {
+        let victim = cfg.attack.as_ref().map(|a| match a {
+            AttackSpec::UdpFlood { victim, .. } | AttackSpec::SynFlood { victim, .. } => {
+                NodeId(*victim)
+            }
+        });
+        if let Some(victim) = victim {
+            let mut collector = p.collector(&topo, victim);
+            let mut last_cycle = 0u64;
+            for d in sim.delivered() {
+                if d.packet.dest_node == victim && d.packet.class == TrafficClass::Attack {
+                    collector.observe(d.packet.header.identification);
+                    last_cycle = last_cycle.max(d.delivered_at.0);
+                }
+            }
+            let att = collector.attribute();
+            let observed = collector.observed();
+            let candidates: Vec<NodeId> = att.candidates.clone();
+            if candidates.is_empty() {
+                text.push_str(&format!(
+                    "attrib : {} collector saw {observed} attack packets, named no source\n",
+                    p.name()
+                ));
+            } else {
+                text.push_str(&format!(
+                    "attrib : {} collector saw {observed} attack packets -> {} candidate(s) \
+                     at confidence {:.2}:\n",
+                    p.name(),
+                    candidates.len(),
+                    att.confidence,
+                ));
+                for node in &candidates {
+                    text.push_str(&format!("         {node} at {}\n", topo.coord(*node)));
+                }
+            }
+            if let Some(t) = sim.telemetry_mut() {
+                t.record_post_run(PacketEvent {
+                    cycle: last_cycle,
+                    pkt: 0,
+                    node: victim.0,
+                    kind: TelEvent::Attribute {
+                        scheme: p.name(),
+                        candidates: candidates.len() as u32,
+                        confidence_pm: (att.confidence * 1000.0).round() as u32,
+                    },
+                });
+            }
+            attribution_json = json!({
+                "scheme": p.name(),
+                "observed": observed,
+                "candidates": candidates.iter().map(|n| json!(n.0)).collect::<Vec<_>>(),
+                "confidence": att.confidence,
+            });
+        }
+    }
     let watchdog_json = if cfg.watchdog.is_some() {
         json!({
             "checks": stats.watchdog.checks,
@@ -1008,6 +1119,11 @@ fn execute(
             "dropped": stats.attack.dropped(),
         },
         "census": census_json,
+        "scheme": match cfg.scheme {
+            Some(spec) => json!(spec.as_str()),
+            None => json!(null),
+        },
+        "attribution": attribution_json,
     });
     Ok(ScenarioOutcome { text, json, digest })
 }
@@ -1178,6 +1294,98 @@ mod tests {
         )];
         let err = run_scenario(&cfg).unwrap_err();
         assert!(err.contains("fault_schedule"), "{err}");
+    }
+
+    #[test]
+    fn scheme_knob_runs_with_attribution() {
+        let cfg: ScenarioConfig = serde_json::from_str(
+            r#"{
+                "topology": {"kind": "mesh", "dims": [4, 4]},
+                "router": "dimension_order",
+                "scheme": "ddpm",
+                "background_interval": 0,
+                "attack": {
+                    "kind": "udp_flood",
+                    "zombies": [1, 6], "victim": 14,
+                    "packets_per_zombie": 50, "interval": 4
+                }
+            }"#,
+        )
+        .expect("valid config");
+        assert_eq!(cfg.scheme, Some(SchemeSpec::Ddpm));
+        let out = run_scenario(&cfg).expect("runs");
+        assert!(out.text.contains("ddpm scheme"), "{}", out.text);
+        assert!(out.text.contains("attrib :"), "{}", out.text);
+        assert_eq!(out.json["scheme"].as_str(), Some("ddpm"));
+        let att = &out.json["attribution"];
+        assert_eq!(att["scheme"].as_str(), Some("ddpm"));
+        let cands: Vec<u64> = att["candidates"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|c| c.as_u64().unwrap())
+            .collect();
+        assert_eq!(cands, vec![1, 6], "collector names exactly the zombies");
+        assert!(att["confidence"].as_f64().unwrap() > 0.99);
+    }
+
+    #[test]
+    fn unknown_scheme_name_is_rejected() {
+        let err = serde_json::from_str::<ScenarioConfig>(
+            r#"{
+                "topology": {"kind": "mesh", "dims": [4, 4]},
+                "router": "dimension_order",
+                "scheme": "pmm"
+            }"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown scheme `pmm`"), "{err}");
+        assert!(err.contains("tracemax"), "lists accepted names: {err}");
+    }
+
+    #[test]
+    fn scheme_and_marking_are_mutually_exclusive() {
+        let err = serde_json::from_str::<ScenarioConfig>(
+            r#"{
+                "topology": {"kind": "mesh", "dims": [4, 4]},
+                "router": "dimension_order",
+                "scheme": "ddpm",
+                "marking": "ddpm"
+            }"#,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn scheme_topology_mismatch_is_an_error_not_a_panic() {
+        // Tracemax records 6 hops; an 8x8 mesh has diameter 14.
+        let cfg: ScenarioConfig = serde_json::from_str(
+            r#"{
+                "topology": {"kind": "mesh", "dims": [8, 8]},
+                "router": "dimension_order",
+                "scheme": "tracemax",
+                "background_interval": 0
+            }"#,
+        )
+        .expect("parses; feasibility is checked against the built topology");
+        let err = run_scenario(&cfg).unwrap_err();
+        assert!(err.contains("tracemax"), "{err}");
+        assert!(err.contains("8x8 mesh"), "{err}");
+        // XOR-PPM needs power-of-two radices.
+        let cfg: ScenarioConfig = serde_json::from_str(
+            r#"{
+                "topology": {"kind": "mesh", "dims": [3, 4]},
+                "router": "dimension_order",
+                "scheme": "ppm-xor",
+                "background_interval": 0
+            }"#,
+        )
+        .expect("parses");
+        let err = run_scenario(&cfg).unwrap_err();
+        assert!(err.contains("ppm-xor"), "{err}");
     }
 
     #[test]

@@ -91,6 +91,20 @@ const IDENTS: &[&str] = &[
     "source_down",
     "livelock_escaped",
     "deadlock_victim",
+    // Marking-scheme names (`Marker::name`, embedded in the
+    // Mark/Attribute telemetry events a snapshot buffers).
+    "none",
+    "ddpm",
+    "ddpm-auth",
+    "dpm",
+    "ppm-edge",
+    "ppm-xor",
+    "ppm-bitdiff",
+    "ppm-ams",
+    "ppm-fms",
+    "tracemax",
+    "port",
+    "compromised-switch",
 ];
 
 /// Re-interns `s` against the closed vocabulary.
@@ -643,9 +657,10 @@ fn put_tel_event(w: &mut Writer, e: &PacketEvent) {
             w.u8(1);
             w.u32(next);
         }
-        TelKind::Mark { mf } => {
+        TelKind::Mark { mf, scheme } => {
             w.u8(2);
             w.u16(mf);
+            w.str(scheme);
         }
         TelKind::Retry { what, attempt } => {
             w.u8(3);
@@ -673,6 +688,16 @@ fn put_tel_event(w: &mut Writer, e: &PacketEvent) {
             w.u8(7);
             w.str(invariant);
         }
+        TelKind::Attribute {
+            scheme,
+            candidates,
+            confidence_pm,
+        } => {
+            w.u8(8);
+            w.str(scheme);
+            w.u32(candidates);
+            w.u32(confidence_pm);
+        }
     }
 }
 
@@ -683,7 +708,10 @@ fn get_tel_event(r: &mut Reader<'_>) -> Result<PacketEvent, DecodeError> {
     let kind = match r.u8()? {
         0 => TelKind::Inject,
         1 => TelKind::Forward { next: r.u32()? },
-        2 => TelKind::Mark { mf: r.u16()? },
+        2 => TelKind::Mark {
+            mf: r.u16()?,
+            scheme: r.ident()?,
+        },
         3 => TelKind::Retry {
             what: match r.u8()? {
                 0 => RetryKind::Inject,
@@ -701,6 +729,11 @@ fn get_tel_event(r: &mut Reader<'_>) -> Result<PacketEvent, DecodeError> {
         6 => TelKind::Watchdog { action: r.ident()? },
         7 => TelKind::Violation {
             invariant: r.ident()?,
+        },
+        8 => TelKind::Attribute {
+            scheme: r.ident()?,
+            candidates: r.u32()?,
+            confidence_pm: r.u32()?,
         },
         tag => return Err(DecodeError::BadTag { what: "PacketEvent", tag }),
     };
@@ -1188,6 +1221,28 @@ mod tests {
                 Ok(reason),
                 "tag roundtrip"
             );
+        }
+        // Every Marker::name the workspace ships must be internable —
+        // Mark/Attribute events embed it, and a checkpoint taken mid-run
+        // buffers those events. (The marker crates sit above this one in
+        // the dependency graph, so the list is spelled out literally;
+        // `telemetry_trace`-style integration tests exercise the real
+        // schemes end to end.)
+        for scheme in [
+            "none",
+            "ddpm",
+            "ddpm-auth",
+            "dpm",
+            "ppm-edge",
+            "ppm-xor",
+            "ppm-bitdiff",
+            "ppm-ams",
+            "ppm-fms",
+            "tracemax",
+            "port",
+            "compromised-switch",
+        ] {
+            assert!(intern(scheme).is_ok(), "{scheme}");
         }
     }
 }

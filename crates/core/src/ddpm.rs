@@ -20,7 +20,7 @@
 //! performance" (§6.2). The `marking` Criterion bench measures this.
 
 use ddpm_net::{CodecError, CodecMode, DistanceCodec, Packet};
-use ddpm_sim::{MarkEnv, Marker};
+use ddpm_sim::{Attribution, MarkEnv, Marker};
 use ddpm_topology::{Coord, NodeId, Topology};
 use rand::rngs::SmallRng;
 
@@ -72,7 +72,28 @@ impl DdpmScheme {
         self.codec.recover_source(topo, dest, mf)
     }
 
+    /// Victim-side identification in the shared [`Attribution`] shape:
+    /// DDPM answers from a single packet, so the result is either a
+    /// singleton candidate set with full confidence or the empty
+    /// attribution (out-of-range vector — tampered or corrupted).
+    #[must_use]
+    pub fn attribute(
+        &self,
+        topo: &Topology,
+        dest: &Coord,
+        mf: ddpm_net::MarkingField,
+    ) -> Attribution {
+        match self.identify(topo, dest, mf) {
+            Some(src) => Attribution::exact(topo.index(&src)),
+            None => Attribution::none(),
+        }
+    }
+
     /// Convenience: identification returning a dense node id.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `attribute`, which returns the shared `Attribution` type"
+    )]
     #[must_use]
     pub fn identify_node(
         &self,
@@ -183,7 +204,9 @@ mod tests {
                 assert!(!sim.delivered().is_empty());
                 for del in sim.delivered() {
                     let dest = topo.coord(del.packet.dest_node);
-                    let got = scheme.identify_node(&topo, &dest, del.packet.header.identification);
+                    let got = scheme
+                        .attribute(&topo, &dest, del.packet.header.identification)
+                        .single();
                     assert_eq!(
                         got,
                         Some(del.packet.true_source),
@@ -218,7 +241,9 @@ mod tests {
         assert!(del.packet.is_spoofed(&map));
         let dest = topo.coord(del.packet.dest_node);
         assert_eq!(
-            scheme.identify_node(&topo, &dest, del.packet.header.identification),
+            scheme
+                .attribute(&topo, &dest, del.packet.header.identification)
+                .single(),
             Some(NodeId(3)),
             "must identify the true injector, not the spoofed address"
         );
@@ -247,7 +272,9 @@ mod tests {
         let del = &sim.delivered()[0];
         let dest = topo.coord(del.packet.dest_node);
         assert_eq!(
-            scheme.identify_node(&topo, &dest, del.packet.header.identification),
+            scheme
+                .attribute(&topo, &dest, del.packet.header.identification)
+                .single(),
             Some(NodeId(5))
         );
     }
@@ -372,7 +399,9 @@ mod tests {
         for del in sim.delivered() {
             let dest = topo.coord(del.packet.dest_node);
             assert_eq!(
-                scheme.identify_node(&topo, &dest, del.packet.header.identification),
+                scheme
+                    .attribute(&topo, &dest, del.packet.header.identification)
+                    .single(),
                 Some(del.packet.true_source)
             );
         }

@@ -53,7 +53,7 @@ pub fn score_ddpm(
     for d in delivered {
         r.total += 1;
         let dest = topo.coord(d.packet.dest_node);
-        match scheme.identify_node(topo, &dest, d.packet.header.identification) {
+        match scheme.attribute(topo, &dest, d.packet.header.identification).single() {
             Some(node) if node == d.packet.true_source => r.correct += 1,
             Some(_) => r.wrong += 1,
             None => r.unidentified += 1,
@@ -77,7 +77,10 @@ pub fn attack_census(
             continue;
         }
         let dest = topo.coord(d.packet.dest_node);
-        if let Some(node) = scheme.identify_node(topo, &dest, d.packet.header.identification) {
+        if let Some(node) = scheme
+            .attribute(topo, &dest, d.packet.header.identification)
+            .single()
+        {
             *census.entry(node).or_insert(0) += 1;
         }
     }

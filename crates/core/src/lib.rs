@@ -16,6 +16,13 @@
 //!   with explicit ambiguity accounting.
 //! * [`identify`] — victim-side source identification front-ends and
 //!   accuracy scoring against ground truth.
+//! * [`tracemax`] — a Tracemax-style full-path recorder (arXiv
+//!   2004.09327 lineage), a deterministic per-packet baseline whose cost
+//!   scales with path length instead of node count.
+//! * [`scheme`] — the [`ddpm_sim::MarkingScheme`] plugin
+//!   implementations for every scheme above plus the
+//!   [`scheme::build_scheme`] factory the scenario loader and the
+//!   bake-off use.
 //! * [`filter`] — mitigation: quarantine and signature filters that plug
 //!   into the simulator ("we can protect our system by blocking packets
 //!   from that source", §2).
@@ -41,6 +48,8 @@ pub mod fms;
 pub mod identify;
 pub mod ppm;
 pub mod reconstruct;
+pub mod scheme;
+pub mod tracemax;
 
 pub use ams::{reconstruct_ams, AmsMark, AmsScheme};
 pub use auth::{AuthDdpm, AuthOutcome};
@@ -49,3 +58,5 @@ pub use dpm::{DpmScheme, DpmVictim};
 pub use fms::{reconstruct_fms, FmsMark, FmsScheme};
 pub use ppm::{BitDiffPpm, EdgeMark, EdgePpm, PpmLayout, XorPpm};
 pub use reconstruct::{reconstruct_paths, ReconstructionResult};
+pub use scheme::{build_scheme, DEFAULT_PPM_P};
+pub use tracemax::{TracemaxError, TracemaxScheme};

@@ -174,6 +174,12 @@ impl EdgePpm {
         &self.layout
     }
 
+    /// Total MF bits the layout occupies (two indices, distance, flags).
+    #[must_use]
+    pub fn bits_used(&self) -> u32 {
+        2 * self.layout.index_bits + self.layout.dist_bits + FLAGS
+    }
+
     fn offset_end(&self) -> u32 {
         self.layout.offset_payload()
     }
@@ -315,6 +321,12 @@ impl XorPpm {
             return Err(PpmError::FieldTooSmall { needed });
         }
         Ok(Self { layout, p })
+    }
+
+    /// Total MF bits the layout occupies (XOR value, distance, flags).
+    #[must_use]
+    pub fn bits_used(&self) -> u32 {
+        self.layout.index_bits + self.layout.dist_bits + FLAGS
     }
 
     fn offset_xor(&self) -> u32 {

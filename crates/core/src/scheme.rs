@@ -1,0 +1,564 @@
+//! Concrete [`MarkingScheme`] plugins and the scheme factory.
+//!
+//! `ddpm-sim` defines the two-sided plugin contract
+//! ([`MarkingScheme`] = switch-side [`Marker`] + victim-side
+//! [`Collector`] + budget/cost introspection); this module implements it
+//! for every scheme the crate provides and owns the only place a
+//! [`SchemeSpec`] becomes a live object: [`build_scheme`], which runs
+//! the per-topology feasibility checks (Table 1–3 walls, power-of-two
+//! radices, Tracemax path capacity) and reports them as range-checked
+//! errors rather than panics.
+//!
+//! Collector semantics per scheme — each documents its candidate set and
+//! what its `confidence` measures:
+//!
+//! | scheme     | candidates                           | confidence |
+//! |------------|--------------------------------------|------------|
+//! | `ddpm`     | census of per-packet decodes         | decoded fraction |
+//! | `dpm`      | sources whose DOR signature matches  | matched-signature fraction |
+//! | `ppm-edge` | reconstructed path far-ends          | 1.0, or 0.5 truncated, 0.0 empty |
+//! | `ppm-xor`  | reconstructed path far-ends (XOR)    | 1.0, or 0.5 truncated, 0.0 empty |
+//! | `tracemax` | census of per-packet path replays    | replayed (non-overflow) fraction |
+//!
+//! Documented ambiguities (the cross-scheme property test accepts
+//! exactly these, and nothing else, in place of the true source): DPM
+//! signature collisions and non-DOR paths; PPM under-collection (too
+//! few samples to chain every level) and XOR/truncation blow-up;
+//! Tracemax recordings longer than the digit string.
+
+use crate::ddpm::DdpmScheme;
+use crate::dpm::DpmScheme;
+use crate::ppm::{EdgeMark, EdgePpm, XorMark, XorPpm};
+use crate::reconstruct::{reconstruct_paths, reconstruct_paths_xor, DEFAULT_EXPANSION_BUDGET};
+use crate::tracemax::TracemaxScheme;
+use ddpm_net::{ipv4::DEFAULT_TTL, MarkingField, MF_BITS};
+use ddpm_routing::{trace_path, Router, SelectionPolicy};
+use ddpm_sim::{Attribution, Collector, HopCost, MarkingScheme, NoMarking, SchemeSpec};
+use ddpm_topology::{Coord, FaultSet, NodeId, Topology};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::{HashMap, HashSet};
+
+/// Marking probability used when a scenario or experiment selects a PPM
+/// scheme without tuning `p` — Savage's classic 1/25 sampling rate.
+pub const DEFAULT_PPM_P: f64 = 0.04;
+
+/// Builds the live scheme object a [`SchemeSpec`] names, checked
+/// against `topo`.
+///
+/// # Errors
+/// A human-readable message naming the scheme, the topology and the
+/// feasibility wall that was hit (field too small, non-power-of-two
+/// radix, recording capacity below the diameter).
+pub fn build_scheme(spec: SchemeSpec, topo: &Topology) -> Result<Box<dyn MarkingScheme>, String> {
+    let err = |e: &dyn std::fmt::Display| {
+        format!(
+            "scheme `{}` unavailable on {}: {e}",
+            spec.as_str(),
+            topo.describe()
+        )
+    };
+    match spec {
+        SchemeSpec::None => Ok(Box::new(NoMarking)),
+        SchemeSpec::Ddpm => DdpmScheme::new(topo)
+            .map(|s| Box::new(s) as Box<dyn MarkingScheme>)
+            .map_err(|e| err(&e)),
+        SchemeSpec::Dpm => Ok(Box::new(DpmScheme)),
+        SchemeSpec::PpmEdge => EdgePpm::new(topo, DEFAULT_PPM_P)
+            .map(|s| Box::new(s) as Box<dyn MarkingScheme>)
+            .map_err(|e| err(&e)),
+        SchemeSpec::PpmXor => XorPpm::new(topo, DEFAULT_PPM_P)
+            .map(|s| Box::new(s) as Box<dyn MarkingScheme>)
+            .map_err(|e| err(&e)),
+        SchemeSpec::Tracemax => TracemaxScheme::new(topo)
+            .map(|s| Box::new(s) as Box<dyn MarkingScheme>)
+            .map_err(|e| err(&e)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// DDPM
+// ---------------------------------------------------------------------
+
+struct DdpmCollector<'a> {
+    scheme: &'a DdpmScheme,
+    topo: &'a Topology,
+    dest: Coord,
+    sources: HashSet<NodeId>,
+    decoded: u64,
+    total: u64,
+}
+
+impl Collector for DdpmCollector<'_> {
+    fn observe(&mut self, mf: MarkingField) {
+        self.total += 1;
+        if let Some(src) = self.scheme.identify(self.topo, &self.dest, mf) {
+            self.sources.insert(self.topo.index(&src));
+            self.decoded += 1;
+        }
+    }
+
+    fn attribute(&mut self) -> Attribution {
+        if self.total == 0 {
+            return Attribution::none();
+        }
+        Attribution::from_candidates(
+            self.sources.iter().copied().collect(),
+            self.decoded as f64 / self.total as f64,
+        )
+    }
+
+    fn observed(&self) -> u64 {
+        self.total
+    }
+}
+
+impl MarkingScheme for DdpmScheme {
+    fn mf_bits(&self) -> u32 {
+        self.codec().bits_used()
+    }
+
+    fn per_hop_cost(&self) -> HopCost {
+        // Read the vector, add the hop displacement, write it back.
+        HopCost {
+            field_writes: 1,
+            arith_ops: 2,
+            probabilistic: false,
+        }
+    }
+
+    fn collector<'a>(&'a self, topo: &'a Topology, victim: NodeId) -> Box<dyn Collector + 'a> {
+        Box::new(DdpmCollector {
+            scheme: self,
+            topo,
+            dest: topo.coord(victim),
+            sources: HashSet::new(),
+            decoded: 0,
+            total: 0,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// DPM
+// ---------------------------------------------------------------------
+
+struct DpmCollector {
+    /// DOR signature -> sources producing it, precomputed for the victim.
+    table: HashMap<u16, Vec<NodeId>>,
+    seen: HashSet<u16>,
+    matched: u64,
+    total: u64,
+}
+
+impl Collector for DpmCollector {
+    fn observe(&mut self, mf: MarkingField) {
+        self.total += 1;
+        if self.table.contains_key(&mf.raw()) {
+            self.matched += 1;
+        }
+        self.seen.insert(mf.raw());
+    }
+
+    fn attribute(&mut self) -> Attribution {
+        if self.total == 0 {
+            return Attribution::none();
+        }
+        let mut candidates = Vec::new();
+        for sig in &self.seen {
+            if let Some(nodes) = self.table.get(sig) {
+                candidates.extend_from_slice(nodes);
+            }
+        }
+        Attribution::from_candidates(candidates, self.matched as f64 / self.total as f64)
+    }
+
+    fn observed(&self) -> u64 {
+        self.total
+    }
+}
+
+impl MarkingScheme for DpmScheme {
+    fn mf_bits(&self) -> u32 {
+        // The TTL mod 16 slot walk can touch every MF bit.
+        MF_BITS
+    }
+
+    fn per_hop_cost(&self) -> HopCost {
+        // Hash the switch index, take TTL mod 16, write one bit.
+        HopCost {
+            field_writes: 1,
+            arith_ops: 2,
+            probabilistic: false,
+        }
+    }
+
+    fn collector<'a>(&'a self, topo: &'a Topology, victim: NodeId) -> Box<dyn Collector + 'a> {
+        // DPM attribution presumes a stable deterministic route per
+        // source (§4.3's working regime), so the victim's lookup table
+        // maps each node's dimension-order signature to the node.
+        // Adaptive routes fragment into signatures outside this table —
+        // the documented ambiguity the `dpm` experiment measures.
+        let faults = FaultSet::none();
+        let dest = topo.coord(victim);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut table: HashMap<u16, Vec<NodeId>> = HashMap::new();
+        for src in topo.all_nodes() {
+            if topo.index(&src) == victim {
+                continue;
+            }
+            let Ok(path) = trace_path(
+                topo,
+                &faults,
+                Router::DimensionOrder,
+                SelectionPolicy::First,
+                &mut rng,
+                &src,
+                &dest,
+                topo.diameter() * 2 + 2,
+            ) else {
+                continue;
+            };
+            let sig = DpmScheme::signature_of_path(topo, &path, DEFAULT_TTL);
+            table.entry(sig).or_default().push(topo.index(&src));
+        }
+        Box::new(DpmCollector {
+            table,
+            seen: HashSet::new(),
+            matched: 0,
+            total: 0,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// PPM (edge and XOR variants)
+// ---------------------------------------------------------------------
+
+/// Confidence for a reconstruction outcome: reconstruction completeness,
+/// not statistical convergence — under-collection is the documented
+/// ambiguity PPM keeps until enough samples arrive.
+fn reconstruction_confidence(marks: usize, truncated: bool) -> f64 {
+    if marks == 0 {
+        0.0
+    } else if truncated {
+        0.5
+    } else {
+        1.0
+    }
+}
+
+struct EdgePpmCollector<'a> {
+    scheme: &'a EdgePpm,
+    victim: NodeId,
+    marks: HashSet<EdgeMark>,
+    total: u64,
+    /// Graph reconstruction is the expensive step; redo it only when a
+    /// new mark arrived since the last call.
+    cache: Option<(usize, Attribution)>,
+}
+
+impl Collector for EdgePpmCollector<'_> {
+    fn observe(&mut self, mf: MarkingField) {
+        self.total += 1;
+        if let Some(mark) = self.scheme.extract(mf) {
+            self.marks.insert(mark);
+        }
+    }
+
+    fn attribute(&mut self) -> Attribution {
+        if let Some((n, cached)) = &self.cache {
+            if *n == self.marks.len() {
+                return cached.clone();
+            }
+        }
+        let r = reconstruct_paths(self.victim, &self.marks, DEFAULT_EXPANSION_BUDGET);
+        let att = Attribution::from_candidates(
+            r.sources,
+            reconstruction_confidence(self.marks.len(), r.truncated),
+        );
+        self.cache = Some((self.marks.len(), att.clone()));
+        att
+    }
+
+    fn observed(&self) -> u64 {
+        self.total
+    }
+}
+
+impl MarkingScheme for EdgePpm {
+    fn mf_bits(&self) -> u32 {
+        self.bits_used()
+    }
+
+    fn per_hop_cost(&self) -> HopCost {
+        // Worst case (the coin lands marking): write start index, reset
+        // end and distance sub-fields; every other hop ages the counter.
+        HopCost {
+            field_writes: 3,
+            arith_ops: 1,
+            probabilistic: true,
+        }
+    }
+
+    fn collector<'a>(&'a self, _topo: &'a Topology, victim: NodeId) -> Box<dyn Collector + 'a> {
+        Box::new(EdgePpmCollector {
+            scheme: self,
+            victim,
+            marks: HashSet::new(),
+            total: 0,
+            cache: None,
+        })
+    }
+}
+
+struct XorPpmCollector<'a> {
+    scheme: &'a XorPpm,
+    topo: &'a Topology,
+    victim: NodeId,
+    marks: HashSet<XorMark>,
+    total: u64,
+    cache: Option<(usize, Attribution)>,
+}
+
+impl Collector for XorPpmCollector<'_> {
+    fn observe(&mut self, mf: MarkingField) {
+        self.total += 1;
+        if let Some(mark) = self.scheme.extract(mf) {
+            self.marks.insert(mark);
+        }
+    }
+
+    fn attribute(&mut self) -> Attribution {
+        if let Some((n, cached)) = &self.cache {
+            if *n == self.marks.len() {
+                return cached.clone();
+            }
+        }
+        let r = reconstruct_paths_xor(self.topo, self.victim, &self.marks, DEFAULT_EXPANSION_BUDGET);
+        let att = Attribution::from_candidates(
+            r.sources,
+            reconstruction_confidence(self.marks.len(), r.truncated),
+        );
+        self.cache = Some((self.marks.len(), att.clone()));
+        att
+    }
+
+    fn observed(&self) -> u64 {
+        self.total
+    }
+}
+
+impl MarkingScheme for XorPpm {
+    fn mf_bits(&self) -> u32 {
+        self.bits_used()
+    }
+
+    fn per_hop_cost(&self) -> HopCost {
+        // Worst case: write the XOR seed and reset the distance; the
+        // completion hop XORs in place.
+        HopCost {
+            field_writes: 2,
+            arith_ops: 1,
+            probabilistic: true,
+        }
+    }
+
+    fn collector<'a>(&'a self, topo: &'a Topology, victim: NodeId) -> Box<dyn Collector + 'a> {
+        Box::new(XorPpmCollector {
+            scheme: self,
+            topo,
+            victim,
+            marks: HashSet::new(),
+            total: 0,
+            cache: None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tracemax
+// ---------------------------------------------------------------------
+
+struct TracemaxCollector<'a> {
+    scheme: &'a TracemaxScheme,
+    topo: &'a Topology,
+    dest: Coord,
+    sources: HashSet<NodeId>,
+    replayed: u64,
+    total: u64,
+}
+
+impl Collector for TracemaxCollector<'_> {
+    fn observe(&mut self, mf: MarkingField) {
+        self.total += 1;
+        if let Some(src) = self.scheme.identify(self.topo, &self.dest, mf) {
+            self.sources.insert(self.topo.index(&src));
+            self.replayed += 1;
+        }
+    }
+
+    fn attribute(&mut self) -> Attribution {
+        if self.total == 0 {
+            return Attribution::none();
+        }
+        Attribution::from_candidates(
+            self.sources.iter().copied().collect(),
+            self.replayed as f64 / self.total as f64,
+        )
+    }
+
+    fn observed(&self) -> u64 {
+        self.total
+    }
+}
+
+impl MarkingScheme for TracemaxScheme {
+    fn mf_bits(&self) -> u32 {
+        self.bits_used()
+    }
+
+    fn per_hop_cost(&self) -> HopCost {
+        // Append one direction digit, bump the hop counter.
+        HopCost {
+            field_writes: 2,
+            arith_ops: 1,
+            probabilistic: false,
+        }
+    }
+
+    fn collector<'a>(&'a self, topo: &'a Topology, victim: NodeId) -> Box<dyn Collector + 'a> {
+        Box::new(TracemaxCollector {
+            scheme: self,
+            topo,
+            dest: topo.coord(victim),
+            sources: HashSet::new(),
+            replayed: 0,
+            total: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddpm_net::{AddrMap, Ipv4Header, Packet, PacketId, Protocol, TrafficClass, L4};
+    use ddpm_sim::{SimConfig, SimTime, Simulation};
+
+    fn mk_packet(map: &AddrMap, id: u64, src: NodeId, dst: NodeId) -> Packet {
+        Packet {
+            id: PacketId(id),
+            header: Ipv4Header::new(map.ip_of(src), map.ip_of(dst), Protocol::Udp, 64),
+            l4: L4::udp(999, 53),
+            true_source: src,
+            dest_node: dst,
+            class: TrafficClass::Attack,
+        }
+    }
+
+    #[test]
+    fn every_spec_builds_on_a_small_mesh() {
+        let topo = Topology::mesh2d(4);
+        for spec in SchemeSpec::ALL {
+            let scheme = build_scheme(spec, &topo).expect("4x4 mesh fits every scheme");
+            assert_eq!(scheme.name(), spec.as_str(), "name/spec mismatch");
+            assert!(scheme.mf_bits() <= MF_BITS, "{spec:?} over budget");
+            let _ = scheme.per_hop_cost().describe();
+        }
+    }
+
+    #[test]
+    fn infeasible_combinations_are_errors_not_panics() {
+        for (spec, topo) in [
+            (SchemeSpec::Ddpm, Topology::mesh2d(129)),
+            (SchemeSpec::PpmEdge, Topology::mesh2d(16)),
+            (SchemeSpec::PpmXor, Topology::mesh(&[3, 4])),
+            (SchemeSpec::Tracemax, Topology::mesh2d(8)),
+        ] {
+            let Err(e) = build_scheme(spec, &topo) else {
+                panic!("{spec:?} on {topo} should not build");
+            };
+            assert!(e.contains(spec.as_str()), "{e}");
+            assert!(e.contains(&topo.describe()), "{e}");
+        }
+    }
+
+    /// One zombie floods one victim over dimension-order routes; every
+    /// scheme's collector must end up implicating the true source (the
+    /// baseline `none` scheme excepted).
+    #[test]
+    fn collectors_implicate_the_true_source_under_dor_flood() {
+        let topo = Topology::mesh2d(4);
+        let map = AddrMap::for_topology(&topo);
+        let faults = FaultSet::none();
+        let zombie = NodeId(1);
+        let victim = NodeId(14);
+        for spec in SchemeSpec::ALL {
+            let scheme = build_scheme(spec, &topo).unwrap();
+            let mut sim = Simulation::new(
+                &topo,
+                &faults,
+                Router::DimensionOrder,
+                SelectionPolicy::First,
+                &*scheme,
+                SimConfig::seeded(42),
+            );
+            for id in 0..400u64 {
+                sim.schedule(SimTime(id * 2), mk_packet(&map, id, zombie, victim));
+            }
+            sim.run();
+            let mut collector = scheme.collector(&topo, victim);
+            for d in sim.delivered() {
+                collector.observe(d.packet.header.identification);
+            }
+            assert_eq!(collector.observed(), sim.delivered().len() as u64);
+            let att = collector.attribute();
+            if spec == SchemeSpec::None {
+                assert_eq!(att, Attribution::none());
+            } else {
+                assert!(
+                    att.implicates(zombie),
+                    "{spec:?}: {:?} does not implicate {zombie:?}",
+                    att.candidates
+                );
+                assert!(att.confidence > 0.0, "{spec:?}");
+            }
+            // The single-packet schemes identify immediately and exactly.
+            if matches!(spec, SchemeSpec::Ddpm | SchemeSpec::Tracemax) {
+                let att = collector.attribute();
+                assert_eq!(att, Attribution::exact(zombie), "{spec:?}");
+            }
+        }
+    }
+
+    /// PPM's attribution cache invalidates when new marks arrive.
+    #[test]
+    fn ppm_collector_cache_tracks_new_marks() {
+        let topo = Topology::mesh2d(4);
+        let scheme = EdgePpm::new(&topo, DEFAULT_PPM_P).unwrap();
+        let path = [
+            Coord::new(&[0, 0]),
+            Coord::new(&[1, 0]),
+            Coord::new(&[2, 0]),
+        ];
+        let marks = EdgePpm::enumerate_marks(&topo, &path);
+        let victim = topo.index(&path[2]);
+        let mut c = scheme.collector(&topo, victim);
+        assert_eq!(c.attribute(), Attribution::none());
+        // Feed synthetic completed marks through the wire format,
+        // nearest level first so every step extends the chain.
+        for m in marks.iter().rev() {
+            let mut mf = MarkingField::zero();
+            // marked flag, not fresh, start/end/distance per layout.
+            let l = scheme.layout();
+            mf.set_bit(0, true);
+            mf.set_bits(2, l.dist_bits, m.distance as u16);
+            mf.set_bits(2 + l.dist_bits, l.index_bits, m.end.0 as u16);
+            mf.set_bits(2 + l.dist_bits + l.index_bits, l.index_bits, m.start.0 as u16);
+            c.observe(mf);
+            let att = c.attribute();
+            assert!(!att.candidates.is_empty());
+        }
+        assert_eq!(c.attribute().single(), Some(topo.index(&path[0])));
+    }
+}

@@ -1,0 +1,338 @@
+//! Tracemax-style full-path recording, a deterministic baseline beyond
+//! the paper's own three.
+//!
+//! Hackl & Rass's Tracemax (arXiv 2004.09327) records the *entire
+//! sequence of routers* a packet traverses instead of sampling edges or
+//! hashing switch identities: "a detailed path analysis … traces the
+//! exact way of a single packet". Ported to a direct network, a switch
+//! port is one of at most `2n` directions, so a hop compresses to a
+//! `⌈log₂ ports⌉`-bit digit and the 16-bit MF holds a short digit
+//! string plus a hop counter:
+//!
+//! ```text
+//! LSB  [hop_count: 4][digit 0][digit 1]…[digit capacity-1]  MSB
+//! ```
+//!
+//! The victim replays the digits backwards from its own coordinate to
+//! recover not just the source but the whole path — per-packet path
+//! identification like DDPM, with the paper's Table-3 trade-off turned
+//! inside out: cost grows with *path length*, not topology size, so
+//! long adaptive detours overflow the field. An overflowed recording
+//! (hop count sentinel `0xF`) names no source at all — that, plus
+//! digit strings that walk off a mesh boundary under tampering, is the
+//! scheme's documented ambiguity.
+
+use ddpm_net::{MarkingField, Packet, MF_BITS};
+use ddpm_sim::{MarkEnv, Marker};
+use ddpm_topology::{Coord, Direction, Topology};
+use rand::rngs::SmallRng;
+use std::fmt;
+
+/// Bits of the hop counter (values 0–14; 15 is the overflow sentinel).
+pub const COUNT_BITS: u32 = 4;
+
+/// Hop-counter value marking an overflowed recording.
+pub const OVERFLOW: u16 = (1 << COUNT_BITS) - 1;
+
+/// Errors from building a [`TracemaxScheme`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TracemaxError {
+    /// Even a minimal route across the topology has more hops than the
+    /// digit string can hold — the recording would overflow on honest
+    /// traffic.
+    CapacityTooSmall {
+        /// Hops the MF digit string can record.
+        capacity: u32,
+        /// The topology diameter.
+        diameter: u32,
+    },
+}
+
+impl fmt::Display for TracemaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TracemaxError::CapacityTooSmall { capacity, diameter } => write!(
+                f,
+                "path recording holds {capacity} hops, topology diameter is {diameter}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TracemaxError {}
+
+/// The Tracemax-style path recorder.
+#[derive(Clone, Debug)]
+pub struct TracemaxScheme {
+    dirs: Vec<Direction>,
+    dir_bits: u32,
+    capacity: u32,
+}
+
+impl TracemaxScheme {
+    /// Builds the recorder for `topo`.
+    ///
+    /// # Errors
+    /// [`TracemaxError::CapacityTooSmall`] when minimal routes already
+    /// exceed the digit string — the scheme's scalability wall (it is
+    /// path length, not node count, that kills it).
+    pub fn new(topo: &Topology) -> Result<Self, TracemaxError> {
+        let dirs = topo.directions();
+        let dir_bits = crate::analysis::ceil_log2(dirs.len() as u64).max(1);
+        let capacity = ((MF_BITS - COUNT_BITS) / dir_bits).min(u32::from(OVERFLOW) - 1);
+        if capacity < topo.diameter() {
+            return Err(TracemaxError::CapacityTooSmall {
+                capacity,
+                diameter: topo.diameter(),
+            });
+        }
+        Ok(Self {
+            dirs,
+            dir_bits,
+            capacity,
+        })
+    }
+
+    /// Hops the digit string can record.
+    #[must_use]
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// MF bits the layout occupies.
+    #[must_use]
+    pub fn bits_used(&self) -> u32 {
+        COUNT_BITS + self.capacity * self.dir_bits
+    }
+
+    fn digit_offset(&self, hop: u32) -> u32 {
+        COUNT_BITS + hop * self.dir_bits
+    }
+
+    /// One switch's recording step: append the digit for the direction
+    /// of travel, or latch the overflow sentinel.
+    fn step(&self, mf: &mut MarkingField, dir: Direction) {
+        let count = u32::from(mf.get_bits(0, COUNT_BITS));
+        if count == u32::from(OVERFLOW) {
+            return; // already overflowed; nothing more to record
+        }
+        if count >= self.capacity {
+            mf.set_bits(0, COUNT_BITS, OVERFLOW);
+            return;
+        }
+        let digit = self
+            .dirs
+            .iter()
+            .position(|d| *d == dir)
+            .expect("hop direction is a port of this topology") as u16;
+        mf.set_bits(self.digit_offset(count), self.dir_bits, digit);
+        mf.set_bits(0, COUNT_BITS, (count + 1) as u16);
+    }
+
+    /// Victim-side replay: walks the recorded digits backwards from
+    /// `dest` and returns the full path `source, …, dest`.
+    ///
+    /// `None` for overflowed recordings and for digit strings that name
+    /// a missing port (tampering, or a mesh boundary walk-off) — the
+    /// documented ambiguity set.
+    #[must_use]
+    pub fn decode_path(&self, topo: &Topology, dest: &Coord, mf: MarkingField) -> Option<Vec<Coord>> {
+        let count = u32::from(mf.get_bits(0, COUNT_BITS));
+        if count == u32::from(OVERFLOW) || count > self.capacity {
+            return None;
+        }
+        let mut path = vec![*dest];
+        let mut node = *dest;
+        for hop in (0..count).rev() {
+            let digit = mf.get_bits(self.digit_offset(hop), self.dir_bits) as usize;
+            let dir = *self.dirs.get(digit)?;
+            node = topo.neighbor(&node, dir.reverse())?;
+            path.push(node);
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Victim-side source identification: the far end of the replayed
+    /// path.
+    #[must_use]
+    pub fn identify(&self, topo: &Topology, dest: &Coord, mf: MarkingField) -> Option<Coord> {
+        self.decode_path(topo, dest, mf).map(|p| p[0])
+    }
+}
+
+impl Marker for TracemaxScheme {
+    fn name(&self) -> &'static str {
+        "tracemax"
+    }
+
+    fn on_inject(&self, pkt: &mut Packet, _src: &Coord, _env: &MarkEnv<'_>) {
+        // The injection switch resets the recording — pre-loaded forged
+        // paths die here, as in DDPM §5.
+        pkt.header.identification.clear();
+    }
+
+    fn on_forward(
+        &self,
+        pkt: &mut Packet,
+        cur: &Coord,
+        next: &Coord,
+        env: &MarkEnv<'_>,
+        _rng: &mut SmallRng,
+    ) {
+        let Some(dir) = env.topo.hop_direction(cur, next) else {
+            debug_assert!(false, "forward between non-neighbours {cur} -> {next}");
+            return;
+        };
+        self.step(&mut pkt.header.identification, dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ddpm_net::{AddrMap, Ipv4Header, PacketId, Protocol, TrafficClass, L4};
+    use ddpm_routing::{Router, SelectionPolicy};
+    use ddpm_sim::{SimConfig, SimTime, Simulation};
+    use ddpm_topology::{FaultSet, NodeId};
+
+    fn mk_packet(map: &AddrMap, id: u64, src: NodeId, dst: NodeId) -> Packet {
+        Packet {
+            id: PacketId(id),
+            header: Ipv4Header::new(map.ip_of(src), map.ip_of(dst), Protocol::Udp, 64),
+            l4: L4::udp(999, 53),
+            true_source: src,
+            dest_node: dst,
+            class: TrafficClass::Attack,
+        }
+    }
+
+    #[test]
+    fn capacity_follows_port_count() {
+        // 2-D mesh/torus: 4 ports -> 2-bit digits -> 6 hops.
+        let m = TracemaxScheme::new(&Topology::mesh2d(4)).unwrap();
+        assert_eq!(m.capacity(), 6);
+        assert_eq!(m.bits_used(), 16);
+        // 4-cube: 4 ports -> 2-bit digits -> 6 hops >= diameter 4.
+        let h = TracemaxScheme::new(&Topology::hypercube(4)).unwrap();
+        assert_eq!(h.capacity(), 6);
+    }
+
+    #[test]
+    fn long_diameter_is_rejected() {
+        // 8x8 mesh: diameter 14 > 6-hop recording.
+        assert!(matches!(
+            TracemaxScheme::new(&Topology::mesh2d(8)),
+            Err(TracemaxError::CapacityTooSmall {
+                capacity: 6,
+                diameter: 14
+            })
+        ));
+    }
+
+    #[test]
+    fn records_and_replays_full_paths() {
+        for topo in [
+            Topology::mesh2d(4),
+            Topology::torus(&[4, 4]),
+            Topology::hypercube(4),
+        ] {
+            let scheme = TracemaxScheme::new(&topo).unwrap();
+            let map = AddrMap::for_topology(&topo);
+            let faults = FaultSet::none();
+            for router in Router::all_for(&topo) {
+                let mut sim = Simulation::new(
+                    &topo,
+                    &faults,
+                    router,
+                    SelectionPolicy::Random,
+                    &scheme,
+                    SimConfig::seeded(11),
+                );
+                let n = topo.num_nodes() as u32;
+                for id in 0..120u64 {
+                    let s = NodeId((id as u32 * 13 + 5) % n);
+                    let d = NodeId((id as u32 * 7 + 1) % n);
+                    if s == d {
+                        continue;
+                    }
+                    sim.schedule(SimTime(id), mk_packet(&map, id, s, d));
+                }
+                sim.run();
+                assert!(!sim.delivered().is_empty());
+                for del in sim.delivered() {
+                    let dest = topo.coord(del.packet.dest_node);
+                    let mf = del.packet.header.identification;
+                    match scheme.decode_path(&topo, &dest, mf) {
+                        Some(path) => {
+                            assert_eq!(
+                                topo.index(&path[0]),
+                                del.packet.true_source,
+                                "{topo} / {router}: replay named the wrong source"
+                            );
+                            assert_eq!(*path.last().unwrap(), dest);
+                            assert_eq!(path.len() as u32 - 1, del.hops);
+                        }
+                        // Non-minimal adaptive detours may overflow; that
+                        // is the documented ambiguity, never a wrong name.
+                        None => assert_eq!(
+                            mf.get_bits(0, COUNT_BITS),
+                            OVERFLOW,
+                            "{topo} / {router}: undecodable without overflow"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forged_recording_is_reset_at_injection() {
+        let topo = Topology::mesh2d(4);
+        let scheme = TracemaxScheme::new(&topo).unwrap();
+        let map = AddrMap::for_topology(&topo);
+        let faults = FaultSet::none();
+        let mut sim = Simulation::new(
+            &topo,
+            &faults,
+            Router::DimensionOrder,
+            SelectionPolicy::First,
+            &scheme,
+            SimConfig::seeded(3),
+        );
+        let mut p = mk_packet(&map, 1, NodeId(5), NodeId(10));
+        p.header.identification = MarkingField::new(0xFFFF); // forged overflow
+        sim.schedule(SimTime::ZERO, p);
+        sim.run();
+        let del = &sim.delivered()[0];
+        let dest = topo.coord(del.packet.dest_node);
+        let path = scheme
+            .decode_path(&topo, &dest, del.packet.header.identification)
+            .expect("honest recording decodes");
+        assert_eq!(topo.index(&path[0]), NodeId(5));
+    }
+
+    #[test]
+    fn overflow_latches_and_identifies_nothing() {
+        let topo = Topology::torus(&[4, 4]);
+        let scheme = TracemaxScheme::new(&topo).unwrap();
+        let mut mf = MarkingField::zero();
+        let east = topo.directions()[0];
+        for _ in 0..10 {
+            scheme.step(&mut mf, east);
+        }
+        assert_eq!(mf.get_bits(0, COUNT_BITS), OVERFLOW);
+        assert_eq!(scheme.decode_path(&topo, &Coord::new(&[0, 0]), mf), None);
+    }
+
+    #[test]
+    fn boundary_walkoff_identifies_nothing() {
+        // A tampered digit string that exits the mesh decodes to None.
+        let topo = Topology::mesh2d(4);
+        let scheme = TracemaxScheme::new(&topo).unwrap();
+        let mut mf = MarkingField::zero();
+        mf.set_bits(0, COUNT_BITS, 6);
+        // All-zero digits: six hops of dirs[0] reversed walks off (0,0).
+        assert_eq!(scheme.decode_path(&topo, &Coord::new(&[0, 0]), mf), None);
+    }
+}

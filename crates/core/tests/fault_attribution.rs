@@ -99,7 +99,9 @@ proptest! {
         prop_assert!(stats.accounted(0), "injected != delivered + dropped");
         for d in sim.delivered() {
             let dest = topo.coord(d.packet.dest_node);
-            let got = scheme.identify_node(&topo, &dest, d.packet.header.identification);
+            let got = scheme
+                .attribute(&topo, &dest, d.packet.header.identification)
+                .single();
             prop_assert_eq!(
                 got,
                 Some(d.packet.true_source),

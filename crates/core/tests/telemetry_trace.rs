@@ -65,7 +65,7 @@ fn mark_trail_reproduces_identify_answer() {
             .iter()
             .rev()
             .find_map(|e| match e.kind {
-                EventKind::Mark { mf } => Some(mf),
+                EventKind::Mark { mf, .. } => Some(mf),
                 _ => None,
             })
             .expect("DDPM marks every packet at least at injection");
@@ -85,7 +85,8 @@ fn mark_trail_reproduces_identify_answer() {
         // true injector — the single-packet identification claim, now
         // auditable hop by hop from the trace.
         let identified = scheme
-            .identify_node(&topo, &dest_coord, MarkingField::new(last_mark))
+            .attribute(&topo, &dest_coord, MarkingField::new(last_mark))
+            .single()
             .expect("in-range marking vector");
         assert_eq!(identified, d.packet.true_source, "packet {pkt}");
     }
@@ -137,7 +138,7 @@ fn trail_mf(sink: &MemorySink, pkt: u64) -> u16 {
         })
         .expect("delivered packet must leave a Deliver event");
     let last_mark = trail.iter().rev().find_map(|e| match e.kind {
-        EventKind::Mark { mf } => Some(mf),
+        EventKind::Mark { mf, .. } => Some(mf),
         _ => None,
     });
     if let Some(mark) = last_mark {
@@ -194,7 +195,8 @@ proptest! {
         sim.run();
         prop_assert_eq!(sim.delivered().len(), 1, "lone packet, healthy net");
         let direct = scheme
-            .identify_node(&topo, &topo.coord(dst), MarkingField::new(trail_mf(&sink, 1)))
+            .attribute(&topo, &topo.coord(dst), MarkingField::new(trail_mf(&sink, 1)))
+            .single()
             .expect("in-range marking vector");
 
         // Staged fabric: the smallest 2-ary butterfly whose terminals

@@ -237,10 +237,42 @@ impl HybridMarking {
         mf.set_bits(0, self.vec_bits, enc);
     }
 
+    /// Victim-side identification in the shared
+    /// [`ddpm_sim::Attribution`] shape: the full source node from one
+    /// packet (a singleton candidate set with full confidence), or the
+    /// empty attribution when the field decodes to no valid source.
+    #[must_use]
+    pub fn attribute(
+        &self,
+        cluster: &HybridCluster,
+        dest_group: &Coord,
+        mf: MarkingField,
+    ) -> ddpm_sim::Attribution {
+        match self.decode(cluster, dest_group, mf) {
+            Some(node) => ddpm_sim::Attribution::exact(node),
+            None => ddpm_sim::Attribution::none(),
+        }
+    }
+
     /// Victim-side identification: the full source node, from one
     /// packet, given the victim's own group coordinate.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `attribute`, which returns the shared `Attribution` type"
+    )]
     #[must_use]
     pub fn identify(
+        &self,
+        cluster: &HybridCluster,
+        dest_group: &Coord,
+        mf: MarkingField,
+    ) -> Option<NodeId> {
+        self.decode(cluster, dest_group, mf)
+    }
+
+    /// The decode shared by [`HybridMarking::attribute`] and the
+    /// deprecated `identify`.
+    fn decode(
         &self,
         cluster: &HybridCluster,
         dest_group: &Coord,
@@ -336,7 +368,7 @@ mod tests {
             )
             .unwrap();
             let mf = marking.mark_journey(&cluster, sm, &path);
-            assert_eq!(marking.identify(&cluster, &dg, mf), Some(src));
+            assert_eq!(marking.attribute(&cluster, &dg, mf).single(), Some(src));
         }
     }
 
@@ -376,10 +408,9 @@ mod tests {
         .unwrap();
         // mark_journey preloads 0xFFFF and the injection reset clears it.
         let mf = marking.mark_journey(&cluster, 5, &path);
-        assert_eq!(
-            marking.identify(&cluster, &dg, mf),
-            Some(cluster.join(&sg, 5))
-        );
+        let att = marking.attribute(&cluster, &dg, mf);
+        assert!(att.is_identified());
+        assert_eq!(att.single(), Some(cluster.join(&sg, 5)));
     }
 
     #[test]
@@ -399,6 +430,6 @@ mod tests {
             dg,
         ];
         let mf = marking.mark_journey(&cluster, 0, &path);
-        assert_eq!(marking.identify(&cluster, &dg, mf), Some(NodeId(0)));
+        assert_eq!(marking.attribute(&cluster, &dg, mf).single(), Some(NodeId(0)));
     }
 }

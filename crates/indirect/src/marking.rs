@@ -109,6 +109,13 @@ impl PortMarking {
         mf.set_bits(self.offset(stage), self.port_bits, in_port);
     }
 
+    /// Scheme name for reports and telemetry (the staged-fabric
+    /// counterpart of `Marker::name`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        "port"
+    }
+
     /// Victim-side identification: decode the recorded ports into the
     /// source terminal. Single packet, no path knowledge.
     #[must_use]
@@ -117,6 +124,14 @@ impl PortMarking {
             .map(|stage| mf.get_bits(self.offset(stage), self.port_bits))
             .collect();
         self.fly.from_digits(&digits)
+    }
+
+    /// Victim-side identification in the shared [`ddpm_sim::Attribution`] shape:
+    /// port marking always decodes exactly one terminal, so the answer
+    /// is a singleton with full confidence.
+    #[must_use]
+    pub fn attribute(&self, mf: MarkingField) -> ddpm_sim::Attribution {
+        ddpm_sim::Attribution::exact(self.identify(mf))
     }
 
     /// Marks a whole route (convenience for non-DES experiments).

@@ -298,7 +298,10 @@ impl MinSimulation {
                     ev.time.cycles(),
                     ev.pkt,
                     packet.true_source.0,
-                    TelEvent::Mark { mf: after },
+                    TelEvent::Mark {
+                        mf: after,
+                        scheme: self.scheme.name(),
+                    },
                 );
             }
         }
@@ -332,6 +335,20 @@ impl MinSimulation {
                         mf: packet.header.identification.raw(),
                         latency,
                         hops: u32::from(n),
+                    },
+                );
+                // The victim-side half of the scheme runs on delivery:
+                // port marking answers from a single packet, so every
+                // delivery carries its attribution in the trace.
+                let att = self.scheme.attribute(packet.header.identification);
+                self.emit(
+                    ev.time.cycles(),
+                    ev.pkt,
+                    packet.dest_node.0,
+                    TelEvent::Attribute {
+                        scheme: self.scheme.name(),
+                        candidates: att.candidates.len() as u32,
+                        confidence_pm: (att.confidence * 1000.0).round() as u32,
                     },
                 );
             }
@@ -376,7 +393,15 @@ impl MinSimulation {
         self.crossed[ev.pkt] += 1;
         if self.obs_on() {
             if after != before {
-                self.emit(ev.time.cycles(), ev.pkt, here, TelEvent::Mark { mf: after });
+                self.emit(
+                    ev.time.cycles(),
+                    ev.pkt,
+                    here,
+                    TelEvent::Mark {
+                        mf: after,
+                        scheme: self.scheme.name(),
+                    },
+                );
             }
             let next = if usize::from(ev.stage) + 1 < route.len() {
                 let h = route[usize::from(ev.stage) + 1];
@@ -566,13 +591,28 @@ mod tests {
         let marks: Vec<u16> = events
             .iter()
             .filter_map(|e| match e.kind {
-                TelEvent::Mark { mf } => Some(mf),
+                TelEvent::Mark { mf, scheme } => {
+                    assert_eq!(scheme, "port", "mark events name the scheme");
+                    Some(mf)
+                }
                 _ => None,
             })
             .collect();
+        // The trace ends deliver → attribute: the victim's answer rides
+        // in the same stream as the evidence that produced it.
         let last = events.last().unwrap();
-        let TelEvent::Deliver { mf, latency, hops } = last.kind else {
-            panic!("trace must end with deliver, got {last:?}");
+        let TelEvent::Attribute {
+            scheme: att_scheme,
+            candidates,
+            confidence_pm,
+        } = last.kind
+        else {
+            panic!("trace must end with attribute, got {last:?}");
+        };
+        assert_eq!((att_scheme, candidates, confidence_pm), ("port", 1, 1000));
+        let deliver = &events[events.len() - 2];
+        let TelEvent::Deliver { mf, latency, hops } = deliver.kind else {
+            panic!("attribute must follow deliver, got {deliver:?}");
         };
         assert_eq!(marks.last().copied(), Some(mf), "marks reproduce the MF");
         assert_eq!(latency, 24);

@@ -1,6 +1,7 @@
 //! Simulator configuration.
 
 use crate::invariant::InvariantConfig;
+use crate::scheme::SchemeSpec;
 use crate::watchdog::WatchdogConfig;
 use ddpm_telemetry::TelemetryConfig;
 
@@ -201,6 +202,12 @@ pub struct SimConfig {
     /// Which execution engine runs the event loop. Results are
     /// engine-invariant; only wall-clock cost changes.
     pub engine: Engine,
+    /// Which traceback scheme the run's marker/collector pair belongs
+    /// to. Purely descriptive for the simulator core (the caller still
+    /// passes the concrete `Marker`); drivers use it to build the
+    /// matching scheme object and to label telemetry. `None` (default)
+    /// means "unspecified" — the pre-plugin-API behaviour.
+    pub scheme: Option<SchemeSpec>,
     /// Crash-consistent checkpointing (driver-interpreted; `None`
     /// disables it). Results are checkpoint-invariant: a checkpointed
     /// and resumed run reproduces the uninterrupted run bit-for-bit.
@@ -223,6 +230,7 @@ impl Default for SimConfig {
             invariants: InvariantConfig::default(),
             seed: 0xDD9A,
             engine: Engine::Serial,
+            scheme: None,
             checkpoint: None,
         }
     }
@@ -370,6 +378,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Records which traceback scheme the run uses (see
+    /// [`SimConfig::scheme`]).
+    #[must_use]
+    pub fn scheme(mut self, scheme: SchemeSpec) -> Self {
+        self.cfg.scheme = Some(scheme);
+        self
+    }
+
     /// Enables crash-consistent checkpointing (results are
     /// checkpoint-invariant; see [`CheckpointConfig`]).
     #[must_use]
@@ -404,6 +420,7 @@ mod tests {
             .invariants(InvariantConfig::strict())
             .seed(42)
             .engine(Engine::Sharded { shards: 4 })
+            .scheme(SchemeSpec::Ddpm)
             .checkpoint(CheckpointConfig::new(500, "/tmp/ckpt"))
             .build();
         assert_eq!(cfg.link_latency, 1);
@@ -419,6 +436,7 @@ mod tests {
         assert!(cfg.invariants.enabled && cfg.invariants.panic_on_violation);
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.engine, Engine::Sharded { shards: 4 });
+        assert_eq!(cfg.scheme, Some(SchemeSpec::Ddpm));
         let ck = cfg.checkpoint.expect("checkpoint knob set");
         assert_eq!(ck.every, 500);
         assert_eq!(ck.dir, std::path::PathBuf::from("/tmp/ckpt"));
@@ -459,6 +477,7 @@ mod tests {
         assert_eq!(built.reroute_retry, RetryPolicy::OFF);
         assert!(!built.telemetry.enabled());
         assert_eq!(built.watchdog, None, "watchdog is opt-in");
+        assert_eq!(built.scheme, None, "scheme label is opt-in");
         assert_eq!(
             built.invariants.enabled,
             cfg!(debug_assertions),

@@ -38,6 +38,7 @@ pub mod filter;
 pub mod invariant;
 pub mod mark;
 pub mod network;
+pub mod scheme;
 pub mod snapshot;
 pub mod stats;
 pub mod time;
@@ -48,6 +49,7 @@ pub use filter::{Filter, NoFilter};
 pub use invariant::{InvariantChecker, InvariantConfig, Violation};
 pub use mark::{MarkEnv, Marker, NoMarking};
 pub use network::{Delivered, DropReason, Simulation};
+pub use scheme::{Attribution, Collector, HopCost, MarkingScheme, SchemeSpec};
 pub use snapshot::{FlightSnap, SimSnapshot, SlotSnap};
 pub use stats::{ClassCounters, ClassStats, FaultStats, LatencyStats, SimStats};
 pub use time::SimTime;

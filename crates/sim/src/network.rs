@@ -1234,7 +1234,8 @@ impl<'a> Simulation<'a> {
             .on_inject(&mut self.pkts[pkt].packet, &src, &env);
         let mf_after = self.pkts[pkt].packet.header.identification.raw();
         if mf_after != mf_before && self.obs {
-            self.emit(pkt, src_id.0, TelEvent::Mark { mf: mf_after });
+            let scheme = self.marker.name();
+            self.emit(pkt, src_id.0, TelEvent::Mark { mf: mf_after, scheme });
         }
         if self.filter.block_at_injection(&self.pkts[pkt].packet, &src) {
             self.drop_packet(pkt, src_id.0, DropReason::Filtered);
@@ -1303,7 +1304,8 @@ impl<'a> Simulation<'a> {
             self.marker.on_deliver(&mut p.packet, &cur, &env, &mut p.rng);
             let mf_after = p.packet.header.identification.raw();
             if mf_after != mf_before && self.obs {
-                self.emit(pkt, node, TelEvent::Mark { mf: mf_after });
+                let scheme = self.marker.name();
+                self.emit(pkt, node, TelEvent::Mark { mf: mf_after, scheme });
             }
             if self.filter.block_at_delivery(&self.pkts[pkt].packet, &cur) {
                 self.drop_packet(pkt, node, DropReason::Filtered);
@@ -1471,7 +1473,8 @@ impl<'a> Simulation<'a> {
         let next_id = self.topo.index(&chosen.next).0;
         if self.obs {
             if mf_after != mf_before {
-                self.emit(pkt, node, TelEvent::Mark { mf: mf_after });
+                let scheme = self.marker.name();
+                self.emit(pkt, node, TelEvent::Mark { mf: mf_after, scheme });
             }
             self.emit(pkt, node, TelEvent::Forward { next: next_id });
         }

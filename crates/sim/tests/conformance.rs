@@ -24,7 +24,7 @@
 use ddpm_bench::scenario_config::{
     run_scenario, AttackSpec, MarkingSpec, RouterSpec, ScenarioConfig, TopologySpec,
 };
-use ddpm_sim::{Engine, WatchdogConfig};
+use ddpm_sim::{Engine, SchemeSpec, WatchdogConfig};
 use ddpm_topology::{FaultEvent, NodeId};
 use serde_json::FromJson;
 use std::fmt::Write as _;
@@ -79,6 +79,7 @@ fn micro_config(topo: &TopologySpec, router: RouterSpec, churn: &str) -> Scenari
         topology: topo.clone(),
         router,
         marking: MarkingSpec::Ddpm,
+        scheme: None,
         seed: 2004,
         fault_rate: 0.0,
         background_interval: 48,
@@ -114,8 +115,46 @@ fn micro_config(topo: &TopologySpec, router: RouterSpec, churn: &str) -> Scenari
     cfg
 }
 
+/// The scheme axis: every `MarkingScheme` plugin on a 16-node member of
+/// each topology family — the only sizes all six schemes' MF-bit
+/// budgets accept (EdgePpm caps at 5x5 meshes, Tracemax at diameter 6,
+/// XorPpm needs power-of-two radices).
+fn scheme_topologies() -> Vec<(&'static str, TopologySpec)> {
+    vec![
+        ("mesh4x4", TopologySpec::Mesh { dims: vec![4, 4] }),
+        ("torus4x4", TopologySpec::Torus { dims: vec![4, 4] }),
+        ("cube4", TopologySpec::Hypercube { n: 4 }),
+    ]
+}
+
+fn scheme_config(topo: &TopologySpec, spec: SchemeSpec) -> ScenarioConfig {
+    ScenarioConfig {
+        topology: topo.clone(),
+        router: RouterSpec::DimensionOrder,
+        marking: MarkingSpec::None,
+        scheme: Some(spec),
+        seed: 2004,
+        fault_rate: 0.0,
+        background_interval: 48,
+        horizon: 1500,
+        attack: Some(AttackSpec::UdpFlood {
+            zombies: vec![3, 5],
+            victim: 14,
+            packets_per_zombie: 150,
+            interval: 8,
+        }),
+        fault_schedule: Vec::new(),
+        fault_retries: 0,
+        watchdog: None,
+        invariants: false,
+        engine: Engine::Serial,
+        checkpoint: None,
+    }
+}
+
 /// Every corpus entry as `(name, digest)`, in a fixed order: the
-/// shipped scenario files (sorted by name), then the micro grid.
+/// shipped scenario files (sorted by name), then the micro grid, then
+/// the scheme-axis grid.
 fn corpus_digests() -> Vec<(String, String)> {
     let mut out = Vec::new();
 
@@ -148,6 +187,16 @@ fn corpus_digests() -> Vec<(String, String)> {
                     run_scenario(&cfg).unwrap_or_else(|e| panic!("{name} failed: {e}"));
                 out.push((name, outcome.digest));
             }
+        }
+    }
+
+    for (tname, topo) in scheme_topologies() {
+        for spec in SchemeSpec::ALL {
+            let cfg = scheme_config(&topo, spec);
+            let name = format!("scheme/{tname}/{}", spec.as_str());
+            let outcome =
+                run_scenario(&cfg).unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            out.push((name, outcome.digest));
         }
     }
     out

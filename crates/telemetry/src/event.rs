@@ -38,10 +38,13 @@ pub enum EventKind {
     },
     /// A switch rewrote the marking field; `mf` is the value *after* the
     /// update. The sequence of mark events for one packet is the full
-    /// evidence trail behind the victim's `identify()` answer.
+    /// evidence trail behind the victim's attribution answer.
     Mark {
         /// Marking-field value after the update.
         mf: u16,
+        /// Name of the marking scheme that wrote the field (the
+        /// `Marker::name()` of the run's scheme, e.g. `ddpm`).
+        scheme: &'static str,
     },
     /// A retry was scheduled (graceful degradation under faults).
     Retry {
@@ -79,11 +82,23 @@ pub enum EventKind {
         /// Stable invariant identifier (e.g. `conservation`).
         invariant: &'static str,
     },
+    /// The victim-side collector answered an attribution query: the
+    /// scheme's current candidate source set, summarised. Emitted by
+    /// drivers when they run a scheme's `Collector` (per delivery in the
+    /// indirect simulator, post-run in scenario runs).
+    Attribute {
+        /// Name of the scheme that produced the answer.
+        scheme: &'static str,
+        /// Number of candidate sources implicated.
+        candidates: u32,
+        /// Confidence in per-mille (0–1000), so the event stays `Eq`.
+        confidence_pm: u32,
+    },
 }
 
 impl EventKind {
     /// Number of distinct kinds (for counter arrays).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Dense index of this kind, stable across runs.
     #[must_use]
@@ -97,6 +112,7 @@ impl EventKind {
             Self::Deliver { .. } => 5,
             Self::Watchdog { .. } => 6,
             Self::Violation { .. } => 7,
+            Self::Attribute { .. } => 8,
         }
     }
 
@@ -112,6 +128,7 @@ impl EventKind {
             Self::Deliver { .. } => "deliver",
             Self::Watchdog { .. } => "watchdog",
             Self::Violation { .. } => "violation",
+            Self::Attribute { .. } => "attribute",
         }
     }
 
@@ -127,6 +144,7 @@ impl EventKind {
             "deliver",
             "watchdog",
             "violation",
+            "attribute",
         ]
     }
 }
@@ -162,7 +180,9 @@ impl PacketEvent {
         match self.kind {
             EventKind::Inject => format!("{head}}}"),
             EventKind::Forward { next } => format!("{head},\"next\":{next}}}"),
-            EventKind::Mark { mf } => format!("{head},\"mf\":{mf}}}"),
+            EventKind::Mark { mf, scheme } => {
+                format!("{head},\"mf\":{mf},\"scheme\":\"{scheme}\"}}")
+            }
             EventKind::Retry { what, attempt } => {
                 format!("{head},\"kind\":\"{}\",\"attempt\":{attempt}}}", what.as_str())
             }
@@ -174,6 +194,14 @@ impl PacketEvent {
             EventKind::Violation { invariant } => {
                 format!("{head},\"invariant\":\"{invariant}\"}}")
             }
+            EventKind::Attribute {
+                scheme,
+                candidates,
+                confidence_pm,
+            } => format!(
+                "{head},\"scheme\":\"{scheme}\",\"candidates\":{candidates},\
+                 \"confidence_pm\":{confidence_pm}}}"
+            ),
         }
     }
 }
@@ -205,8 +233,12 @@ mod tests {
             r#"{"cycle":12,"event":"forward","pkt":7,"node":3,"next":9}"#
         );
         assert_eq!(
-            ev(EventKind::Mark { mf: 0x21 }).to_ndjson(),
-            r#"{"cycle":12,"event":"mark","pkt":7,"node":3,"mf":33}"#
+            ev(EventKind::Mark {
+                mf: 0x21,
+                scheme: "ddpm"
+            })
+            .to_ndjson(),
+            r#"{"cycle":12,"event":"mark","pkt":7,"node":3,"mf":33,"scheme":"ddpm"}"#
         );
         assert_eq!(
             ev(EventKind::Retry {
@@ -246,6 +278,15 @@ mod tests {
             .to_ndjson(),
             r#"{"cycle":12,"event":"violation","pkt":7,"node":3,"invariant":"conservation"}"#
         );
+        assert_eq!(
+            ev(EventKind::Attribute {
+                scheme: "ppm-edge",
+                candidates: 2,
+                confidence_pm: 500
+            })
+            .to_ndjson(),
+            r#"{"cycle":12,"event":"attribute","pkt":7,"node":3,"scheme":"ppm-edge","candidates":2,"confidence_pm":500}"#
+        );
     }
 
     #[test]
@@ -253,7 +294,7 @@ mod tests {
         let kinds = [
             EventKind::Inject,
             EventKind::Forward { next: 0 },
-            EventKind::Mark { mf: 0 },
+            EventKind::Mark { mf: 0, scheme: "x" },
             EventKind::Retry {
                 what: RetryKind::Inject,
                 attempt: 0,
@@ -266,6 +307,11 @@ mod tests {
             },
             EventKind::Watchdog { action: "x" },
             EventKind::Violation { invariant: "x" },
+            EventKind::Attribute {
+                scheme: "x",
+                candidates: 0,
+                confidence_pm: 0,
+            },
         ];
         for (i, k) in kinds.iter().enumerate() {
             assert_eq!(k.index(), i);

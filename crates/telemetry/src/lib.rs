@@ -159,6 +159,19 @@ impl Telemetry {
         self.staged.clear();
     }
 
+    /// Records an event generated *after* the event loop drained and
+    /// [`Telemetry::finish`] ran — e.g. the victim-side `attribute`
+    /// answer a driver computes once all deliveries are in — and pushes
+    /// it straight through to the sinks so it is not stranded in the
+    /// staging buffer.
+    pub fn record_post_run(&mut self, ev: PacketEvent) {
+        self.record(ev);
+        self.flush();
+        for s in &self.sinks {
+            s.lock().expect("telemetry sink poisoned").finish();
+        }
+    }
+
     /// Attributes `elapsed` event-loop time to `phase`.
     pub fn profile(&mut self, phase: &'static str, elapsed: Duration) {
         if let Some(p) = self.profiler.as_mut() {

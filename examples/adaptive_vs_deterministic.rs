@@ -93,11 +93,13 @@ fn main() {
         let ids: HashSet<Option<NodeId>> = ddpm_runs
             .iter()
             .map(|d| {
-                scheme.identify_node(
-                    &topo,
-                    &topo.coord(d.packet.dest_node),
-                    d.packet.header.identification,
-                )
+                scheme
+                    .attribute(
+                        &topo,
+                        &topo.coord(d.packet.dest_node),
+                        d.packet.header.identification,
+                    )
+                    .single()
             })
             .collect();
         println!(

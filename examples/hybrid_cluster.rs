@@ -58,7 +58,8 @@ fn main() {
         distinct_paths.insert(path.clone());
         let mf = marking.mark_journey(&cluster, zombie_member, &path);
         let identified = marking
-            .identify(&cluster, &victim_group, mf)
+            .attribute(&cluster, &victim_group, mf)
+            .single()
             .expect("honest marking identifies");
         *census.entry(identified).or_insert(0u64) += 1;
     }
@@ -97,7 +98,7 @@ fn main() {
         )
         .expect("healthy backbone");
         let mf = marking.mark_journey(&cluster, sm, &path);
-        if marking.identify(&cluster, &dg, mf) != Some(src) {
+        if marking.attribute(&cluster, &dg, mf).single() != Some(src) {
             wrong += 1;
         }
     }

@@ -68,7 +68,8 @@ fn main() {
     // …but the marking field names the real injector.
     let dest = topo.coord(victim);
     let identified = scheme
-        .identify_node(&topo, &dest, first.packet.header.identification)
+        .attribute(&topo, &dest, first.packet.header.identification)
+        .single()
         .expect("DDPM identifies every honestly marked packet");
     println!(
         "DDPM identification from ONE packet: {identified} at {} (true source: {zombie})",

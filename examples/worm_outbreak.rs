@@ -61,7 +61,8 @@ fn main() {
     for d in sim.delivered() {
         let dest = topo.coord(d.packet.dest_node);
         let prober = scheme
-            .identify_node(&topo, &dest, d.packet.header.identification)
+            .attribute(&topo, &dest, d.packet.header.identification)
+            .single()
             .expect("DDPM identifies every probe");
         assert_eq!(prober, d.packet.true_source, "identification is exact");
         probed_by
@@ -91,7 +92,8 @@ fn main() {
     for d in sim.delivered() {
         let dest = topo.coord(d.packet.dest_node);
         let prober = scheme
-            .identify_node(&topo, &dest, d.packet.header.identification)
+            .attribute(&topo, &dest, d.packet.header.identification)
+            .single()
             .expect("identifies");
         let e = first_in
             .entry(d.packet.dest_node)

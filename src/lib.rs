@@ -56,7 +56,8 @@
 //! // The victim identifies the real attacker from the one packet.
 //! let received = &sim.delivered()[0];
 //! let source = scheme
-//!     .identify_node(&topo, &topo.coord(victim), received.packet.header.identification)
+//!     .attribute(&topo, &topo.coord(victim), received.packet.header.identification)
+//!     .single()
 //!     .expect("honest marking always identifies");
 //! assert_eq!(source, zombie);
 //! ```

@@ -56,7 +56,9 @@ proptest! {
         for del in sim.delivered() {
             let dest = topo.coord(del.packet.dest_node);
             prop_assert_eq!(
-                scheme.identify_node(&topo, &dest, del.packet.header.identification),
+                scheme
+                    .attribute(&topo, &dest, del.packet.header.identification)
+                    .single(),
                 Some(del.packet.true_source),
                 "{}: packet {:?} misattributed", topo, del.packet.id
             );
@@ -126,7 +128,9 @@ proptest! {
         sim.run();
         let del = &sim.delivered()[0];
         prop_assert_eq!(
-            scheme.identify_node(&topo, &topo.coord(d), del.packet.header.identification),
+            scheme
+                .attribute(&topo, &topo.coord(d), del.packet.header.identification)
+                .single(),
             Some(s)
         );
     }

@@ -54,11 +54,13 @@ fn ddpm_first_packet_identifies() {
         assert_eq!(delivered.len(), 1);
         let d = &delivered[0];
         assert_eq!(
-            scheme.identify_node(
-                &topo,
-                &topo.coord(d.packet.dest_node),
-                d.packet.header.identification
-            ),
+            scheme
+                .attribute(
+                    &topo,
+                    &topo.coord(d.packet.dest_node),
+                    d.packet.header.identification
+                )
+                .single(),
             Some(NodeId(0)),
             "{topo}"
         );
