@@ -23,11 +23,15 @@
 //!   count). The paper assumes detection exists (§6.1); we implement it
 //!   so the end-to-end pipeline — detect → identify → block — runs.
 //! * [`scenario`] — composition glue used by examples and benches.
+//! * [`adversary`] — the Byzantine marking-plane adversary: compromised
+//!   switches that skip, forge, randomize or replay the mark (§4.1's
+//!   "to prevent even the small probability of compromising switch"
+//!   made concrete), contained by the `auth-*` schemes.
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod background;
-pub mod compromised;
 pub mod console;
 pub mod detect;
 pub mod flood;
@@ -36,8 +40,8 @@ pub mod spoof;
 pub mod synflood;
 pub mod worm;
 
+pub use adversary::AdversaryModel;
 pub use background::{BackgroundTraffic, TrafficPattern};
-pub use compromised::{CompromisedSwitch, EvilBehavior};
 pub use console::{ConsoleConfig, VictimConsole};
 pub use detect::{DetectionVerdict, EntropyDetector, RateDetector, SynHalfOpenDetector};
 pub use flood::FloodAttack;

@@ -8,7 +8,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ddpm_core::{
-    AmsScheme, AuthDdpm, BitDiffPpm, DdpmScheme, DpmScheme, EdgePpm, FmsScheme, XorPpm,
+    AmsScheme, Authenticated, BitDiffPpm, DdpmScheme, DpmScheme, EdgePpm, FmsScheme, XorPpm,
 };
 use ddpm_net::{AddrMap, Ipv4Header, Packet, PacketId, Protocol, TrafficClass, L4};
 use ddpm_sim::{MarkEnv, Marker, NoMarking};
@@ -65,7 +65,7 @@ fn marking_benches(c: &mut Criterion) {
     bench_scheme(c, "ddpm-torus8x8", &torus, &ddpm_torus);
     let ddpm_cube = DdpmScheme::new(&cube).unwrap();
     bench_scheme(c, "ddpm-8cube", &cube, &ddpm_cube);
-    bench_scheme(c, "dpm", &mesh, &DpmScheme);
+    bench_scheme(c, "dpm", &mesh, &DpmScheme::new());
     let small = Topology::mesh2d(5);
     let edge = EdgePpm::new(&small, 0.04).unwrap();
     bench_scheme(c, "ppm-edge-mesh5x5", &small, &edge);
@@ -75,8 +75,9 @@ fn marking_benches(c: &mut Criterion) {
     bench_scheme(c, "ppm-bitdiff-mesh8x8", &mesh, &bitdiff);
     bench_scheme(c, "ppm-fms-mesh8x8", &mesh, &FmsScheme::new(0.04));
     bench_scheme(c, "ppm-ams-mesh8x8", &mesh, &AmsScheme::new(0.04));
-    let auth = AuthDdpm::new(&mesh, 0xA117).unwrap();
-    bench_scheme(c, "ddpm-auth-mesh8x8", &mesh, &auth);
+    let auth =
+        Authenticated::new(DdpmScheme::new(&mesh).unwrap(), "auth-ddpm", 0xA117, 8).unwrap();
+    bench_scheme(c, "auth-ddpm-mesh8x8", &mesh, &auth);
 
     // The header-rewrite tax every marking switch pays on real IP
     // hardware: recomputing the checksum after touching the MF.

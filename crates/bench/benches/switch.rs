@@ -47,8 +47,9 @@ fn run_workload(topo: &Topology, marker: &dyn Marker) -> u64 {
 fn switch_benches(c: &mut Criterion) {
     let topo = Topology::mesh2d(8);
     let ddpm = DdpmScheme::new(&topo).unwrap();
+    let dpm_scheme = DpmScheme::new();
     let cases: Vec<(&str, &dyn Marker)> =
-        vec![("none", &NoMarking), ("ddpm", &ddpm), ("dpm", &DpmScheme)];
+        vec![("none", &NoMarking), ("ddpm", &ddpm), ("dpm", &dpm_scheme)];
     let mut g = c.benchmark_group("switch/2000pkts-mesh8x8");
     for (name, marker) in cases {
         g.bench_function(name, |b| {

@@ -17,7 +17,10 @@
 //!
 //! Routing is dimension-order with deterministic selection so every
 //! scheme sees byte-identical deliveries; the 16-node members of each
-//! family are the only sizes all six MF budgets accept.
+//! family are the only sizes all six base MF budgets accept. The
+//! `auth-*` variants carve tag bits out of the same field, so a few
+//! land on the feasibility wall here — those cells are recorded as
+//! infeasible rather than dropped.
 //!
 //! [`MarkingScheme`]: ddpm_sim::MarkingScheme
 
@@ -119,7 +122,10 @@ pub fn run_scheme(
     let mut collector = scheme.collector(topo, victim);
     let mut packets_to_identify = None;
     for d in sim.delivered() {
-        collector.observe(d.packet.header.identification);
+        // observe_packet, not observe: the auth-* collectors verify the
+        // delivered header's keyed tag (an honest run passes); everyone
+        // else defaults to plain field observation.
+        collector.observe_packet(&d.packet);
         if packets_to_identify.is_none() {
             let att = collector.attribute();
             if zombies.iter().all(|z| att.implicates(*z)) {
@@ -186,28 +192,45 @@ pub fn run(ctx: &RunCtx) -> Report {
         ]);
         let mut jrows = Vec::new();
         for spec in SchemeSpec::ALL {
-            let row = run_scheme(&topo, spec, seed, &schedule)
-                .expect("all six schemes fit the 16-node topologies");
-            t.row(&[
-                row.scheme.to_string(),
-                row.mf_bits.to_string(),
-                row.cost.clone(),
-                row.packets_to_identify
-                    .map_or_else(|| "never".into(), |n| n.to_string()),
-                row.candidates.to_string(),
-                fnum(row.false_rate),
-                fnum(row.confidence),
-            ]);
-            jrows.push(json!({
-                "scheme": row.scheme,
-                "mf_bits": row.mf_bits,
-                "per_hop_cost": row.cost,
-                "packets_to_identify": row.packets_to_identify,
-                "candidates": row.candidates,
-                "false_attribution_rate": row.false_rate,
-                "confidence": row.confidence,
-                "observed": row.observed,
-            }));
+            // A scheme whose MF budget rejects this topology is a
+            // recorded feasibility wall, not a missing row: auth-*
+            // variants pay tag bits out of the same 16-bit field.
+            match run_scheme(&topo, spec, seed, &schedule) {
+                Ok(row) => {
+                    t.row(&[
+                        row.scheme.to_string(),
+                        row.mf_bits.to_string(),
+                        row.cost.clone(),
+                        row.packets_to_identify
+                            .map_or_else(|| "never".into(), |n| n.to_string()),
+                        row.candidates.to_string(),
+                        fnum(row.false_rate),
+                        fnum(row.confidence),
+                    ]);
+                    jrows.push(json!({
+                        "scheme": row.scheme,
+                        "mf_bits": row.mf_bits,
+                        "per_hop_cost": row.cost,
+                        "packets_to_identify": row.packets_to_identify,
+                        "candidates": row.candidates,
+                        "false_attribution_rate": row.false_rate,
+                        "confidence": row.confidence,
+                        "observed": row.observed,
+                    }));
+                }
+                Err(e) => {
+                    t.row(&[
+                        spec.as_str().to_string(),
+                        "-".into(),
+                        "infeasible".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                        "-".into(),
+                    ]);
+                    jrows.push(json!({"scheme": spec.as_str(), "infeasible": e}));
+                }
+            }
         }
         body.push_str(&format!("{}:\n{}\n", topo.describe(), t.render()));
         jtopos.push(json!({"topology": topo.describe(), "rows": jrows}));
@@ -273,6 +296,18 @@ mod tests {
         for t in topos {
             let rows = t["rows"].as_array().unwrap();
             assert_eq!(rows.len(), SchemeSpec::ALL.len());
+            // auth-ppm-edge pays its tag out of an already-full field:
+            // a recorded feasibility wall on every 16-node topology.
+            let wall = rows
+                .iter()
+                .find(|r| r["scheme"] == "auth-ppm-edge")
+                .unwrap();
+            assert!(wall["infeasible"].as_str().is_some(), "{wall:?}");
+            // auth-ddpm fits everywhere at 16 nodes and verifies an
+            // honest flood completely.
+            let auth = rows.iter().find(|r| r["scheme"] == "auth-ddpm").unwrap();
+            assert!(auth["infeasible"].is_null(), "{auth:?}");
+            assert!(auth["packets_to_identify"].as_u64().is_some(), "{auth:?}");
         }
         assert!(report.body.contains("tracemax"), "{}", report.body);
     }

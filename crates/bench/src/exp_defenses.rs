@@ -125,7 +125,7 @@ fn defense_rows(
     //    receives), then filters. Under adaptive routing the attack
     //    keeps minting unseen signatures (leak), and colliding benign
     //    flows get caught in the blocklist (collateral).
-    let dpm = DpmScheme;
+    let dpm = DpmScheme::new();
     let (_, learn) = run(topo, &workload, &dpm, &NoFilter, seed, TelemetryConfig::off());
     let sigfilter = SignatureFilter::new();
     sigfilter.block_all(

@@ -39,7 +39,7 @@ fn signatures_per_flow(
 ) -> usize {
     let map = AddrMap::for_topology(topo);
     let faults = FaultSet::none();
-    let scheme = DpmScheme;
+    let scheme = DpmScheme::new();
     let mut factory = PacketFactory::new(map);
     let mut sim = Simulation::new(
         topo,
@@ -104,7 +104,7 @@ fn collector_attribution(
 fn blocking_efficacy(topo: &Topology, seed: u64) -> (f64, f64) {
     let map = AddrMap::for_topology(topo);
     let faults = FaultSet::none();
-    let scheme = DpmScheme;
+    let scheme = DpmScheme::new();
     let router = Router::MinimalAdaptive;
     let policy = SelectionPolicy::Random;
     let victim = NodeId(topo.num_nodes() as u32 - 1);

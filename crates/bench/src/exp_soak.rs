@@ -21,13 +21,13 @@
 
 use crate::scenario_config::{RouterSpec, TopologySpec};
 use crate::util::{fnum, Report, RunCtx};
-use ddpm_attack::{CompromisedSwitch, EvilBehavior, PacketFactory};
-use ddpm_core::DdpmScheme;
+use ddpm_attack::{AdversaryModel, PacketFactory};
+use ddpm_core::build_scheme;
 use ddpm_net::{AddrMap, L4};
 use ddpm_routing::{Router, SelectionPolicy};
 use ddpm_sim::{
-    Engine, InvariantConfig, Marker, RetryPolicy, SimConfig, SimStats, SimTime, Simulation,
-    Violation, WatchdogConfig,
+    AdversaryBehavior, AdversarySpec, Engine, InvariantConfig, Marker, RetryPolicy, SchemeSpec,
+    SimConfig, SimStats, SimTime, Simulation, Violation, WatchdogConfig,
 };
 use ddpm_telemetry::PacketEvent;
 use ddpm_topology::{ChurnConfig, FaultEvent, FaultSchedule, FaultSet, NodeId};
@@ -38,7 +38,12 @@ use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Bundle schema tag; bump on any incompatible layout change.
-pub const BUNDLE_SCHEMA: &str = "ddpm-repro-bundle/1";
+pub const BUNDLE_SCHEMA: &str = "ddpm-repro-bundle/2";
+
+/// Previous schema, still replayable: its cases carry a single
+/// skip-marking `compromised` switch and an implicit `ddpm` scheme,
+/// which [`SoakCase::from_json`] upgrades in place.
+pub const BUNDLE_SCHEMA_V1: &str = "ddpm-repro-bundle/1";
 
 /// One fully-determined fuzz case: everything a run needs, so the same
 /// case always produces the same events, the same drops and (if any)
@@ -65,8 +70,12 @@ pub struct SoakCase {
     pub switch_rate: f64,
     /// Churn: repair delay in cycles.
     pub down_time: u64,
-    /// A compromised (marking-skipping) switch, by node id.
-    pub compromised: Option<u32>,
+    /// Marking scheme under test — the fuzzer alternates plain and
+    /// authenticated DDPM so the tag verify/seal path soaks too.
+    pub scheme: SchemeSpec,
+    /// Compromised marking plane, if any: switches × behavior × framed
+    /// node, all deterministic from the adversary seed.
+    pub adversary: Option<AdversarySpec>,
     /// Injection/reroute retry budget (0 = fail fast).
     pub retries: u32,
     /// Watchdog sweep period in cycles.
@@ -134,6 +143,51 @@ fn engine_json(e: Engine) -> Value {
     }
 }
 
+fn adversary_json(a: &AdversarySpec) -> Value {
+    json!({
+        "switches": Value::Array(
+            a.switches.iter().map(|s| json!(u64::from(s.0))).collect()
+        ),
+        "behavior": a.behavior.as_str(),
+        "framed": a.framed.map_or(Value::Null, |f| json!(u64::from(f.0))),
+        "seed": a.seed,
+    })
+}
+
+fn adversary_from(v: Option<&Value>) -> Result<Option<AdversarySpec>, JsonError> {
+    let Some(a) = v.filter(|a| !matches!(a, Value::Null)) else {
+        return Ok(None);
+    };
+    let node = |x: &Value, what: &str| {
+        x.as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .map(NodeId)
+            .ok_or_else(|| JsonError::msg(format!("adversary `{what}` must be a node id")))
+    };
+    let switches = a
+        .get("switches")
+        .and_then(Value::as_array)
+        .ok_or_else(|| JsonError::msg("adversary `switches` must be an array"))?
+        .iter()
+        .map(|s| node(s, "switches"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let behavior = AdversaryBehavior::parse(
+        a.get("behavior")
+            .and_then(Value::as_str)
+            .ok_or_else(|| JsonError::msg("adversary `behavior` must be a string"))?,
+    )
+    .map_err(JsonError::msg)?;
+    let framed = match a.get("framed") {
+        None | Some(Value::Null) => None,
+        Some(x) => Some(node(x, "framed")?),
+    };
+    let seed = a
+        .get("seed")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| JsonError::msg("adversary `seed` must be a non-negative integer"))?;
+    Ok(Some(AdversarySpec::new(switches, behavior, framed, seed)))
+}
+
 fn engine_from(v: Option<&Value>) -> Result<Engine, JsonError> {
     match v {
         // Pre-engine bundles (all serial) parse unchanged.
@@ -166,7 +220,8 @@ impl SoakCase {
                 "switch_rate": self.switch_rate,
                 "down_time": self.down_time,
             },
-            "compromised": self.compromised.map_or(Value::Null, |c| json!(u64::from(c))),
+            "scheme": self.scheme.as_str(),
+            "adversary": self.adversary.as_ref().map_or(Value::Null, adversary_json),
             "retries": u64::from(self.retries),
             "watchdog": {
                 "check_period": self.check_period,
@@ -203,13 +258,34 @@ impl FromJson for SoakCase {
                 .and_then(Value::as_f64)
                 .ok_or_else(|| JsonError::msg(format!("churn `{key}` must be a number")))
         };
-        let compromised = match v.get("compromised") {
-            None | Some(Value::Null) => None,
-            Some(x) => Some(
-                x.as_u64()
-                    .and_then(|n| u32::try_from(n).ok())
-                    .ok_or_else(|| JsonError::msg("`compromised` must be a node id"))?,
-            ),
+        // Scheme defaults to ddpm for v1 bundles, which predate the axis.
+        let scheme = match v.get("scheme") {
+            None | Some(Value::Null) => SchemeSpec::Ddpm,
+            Some(s) => SchemeSpec::parse(
+                s.as_str()
+                    .ok_or_else(|| JsonError::msg("`scheme` must be a string"))?,
+            )
+            .map_err(JsonError::msg)?,
+        };
+        // v1 bundles spell a one-switch skip-marking adversary as a bare
+        // `compromised` node id; upgrade it in place.
+        let adversary = match adversary_from(v.get("adversary"))? {
+            Some(a) => Some(a),
+            None => match v.get("compromised") {
+                None | Some(Value::Null) => None,
+                Some(x) => {
+                    let c = x
+                        .as_u64()
+                        .and_then(|n| u32::try_from(n).ok())
+                        .ok_or_else(|| JsonError::msg("`compromised` must be a node id"))?;
+                    Some(AdversarySpec::new(
+                        vec![NodeId(c)],
+                        AdversaryBehavior::Skip,
+                        None,
+                        0,
+                    ))
+                }
+            },
         };
         let selftest_at = match v.get("selftest_at") {
             None | Some(Value::Null) => None,
@@ -229,7 +305,8 @@ impl FromJson for SoakCase {
             link_rate: rate("link_rate")?,
             switch_rate: rate("switch_rate")?,
             down_time: sub(churn, "down_time")?,
-            compromised,
+            scheme,
+            adversary,
             retries: u32::try_from(num("retries")?)
                 .map_err(|_| JsonError::msg("`retries` does not fit in u32"))?,
             check_period: sub(wd, "check_period")?,
@@ -261,24 +338,23 @@ pub struct CaseOutcome {
 ///
 /// # Errors
 /// Human-readable message when the case is malformed (topology too
-/// large for DDPM, compromised node out of range).
+/// large for the scheme's MF budget, adversary spec out of range).
 pub fn run_case(case: &SoakCase) -> Result<CaseOutcome, String> {
     let topo = case.topology.build();
     let n = topo.num_nodes() as u32;
     let router = case.router.build(&topo);
-    let scheme = DdpmScheme::new(&topo).map_err(|e| format!("ddpm: {e}"))?;
-    let evil = match case.compromised {
-        Some(c) if c >= n => return Err(format!("compromised node {c} out of range (0..{n})")),
-        Some(c) => Some(CompromisedSwitch::new(
-            &scheme,
-            topo.coord(NodeId(c)),
-            EvilBehavior::SkipMarking,
-        )),
+    let scheme = build_scheme(case.scheme, &topo)
+        .map_err(|e| format!("{}: {e}", case.scheme.as_str()))?;
+    let evil = match &case.adversary {
+        Some(spec) => Some(
+            AdversaryModel::new(&*scheme, case.scheme, &topo, spec.clone(), None)
+                .map_err(|e| format!("adversary: {e}"))?,
+        ),
         None => None,
     };
     let marker: &dyn Marker = match &evil {
         Some(e) => e,
-        None => &scheme,
+        None => &*scheme,
     };
     let mut rng = SmallRng::seed_from_u64(case.seed);
     let churn = ChurnConfig {
@@ -394,7 +470,7 @@ pub fn replay(path: &Path) -> Result<Report, String> {
     let bundle: Value =
         serde_json::from_str(&raw).map_err(|e| format!("{}: not JSON: {e}", path.display()))?;
     match bundle.get("schema").and_then(Value::as_str) {
-        Some(BUNDLE_SCHEMA) => {}
+        Some(BUNDLE_SCHEMA | BUNDLE_SCHEMA_V1) => {}
         Some(other) => return Err(format!("unsupported bundle schema `{other}`")),
         None => return Err(format!("{}: missing `schema` tag", path.display())),
     }
@@ -486,6 +562,29 @@ fn random_case(rng: &mut SmallRng, seed: u64, quick: bool, engine: Option<Engine
         }
         TopologySpec::Hypercube { n } => 1 << *n,
     };
+    // The scheme axis: plain vs. authenticated DDPM, so the tag
+    // verify/seal path (and its interaction with reroutes and parking)
+    // soaks under the same churn as the plain path.
+    let scheme = if rng.gen_bool(0.5) {
+        SchemeSpec::Ddpm
+    } else {
+        SchemeSpec::AuthDdpm
+    };
+    // The adversary axis: ~30% of cases compromise 1–2 switches with a
+    // behavior drawn from the full grid. Framing behaviors pick an
+    // innocent outside the compromised set.
+    let adversary = rng.gen_bool(0.3).then(|| {
+        let behavior = AdversaryBehavior::ALL[rng.gen_range(0..AdversaryBehavior::ALL.len())];
+        let count = rng.gen_range(1..=2u32);
+        let switches: Vec<NodeId> = (0..count).map(|_| NodeId(rng.gen_range(0..nodes))).collect();
+        let framed = behavior.needs_framed().then(|| loop {
+            let f = NodeId(rng.gen_range(0..nodes));
+            if !switches.contains(&f) {
+                break f;
+            }
+        });
+        AdversarySpec::new(switches, behavior, framed, rng.gen())
+    });
     SoakCase {
         topology,
         router,
@@ -497,7 +596,8 @@ fn random_case(rng: &mut SmallRng, seed: u64, quick: bool, engine: Option<Engine
         link_rate: [0.01, 0.03, 0.08][rng.gen_range(0..3usize)],
         switch_rate: [0.003, 0.01, 0.02][rng.gen_range(0..3usize)],
         down_time: 400,
-        compromised: rng.gen_bool(0.3).then(|| rng.gen_range(0..nodes)),
+        scheme,
+        adversary,
         retries: if rng.gen_bool(0.5) { 4 } else { 0 },
         check_period: 64,
         // The tight bound trips on healthy long-haul packets (transit
@@ -572,7 +672,7 @@ pub fn run(ctx: &RunCtx) -> Report {
     let interrupted = ddpm_checkpoint::interrupt::requested();
     let body = format!(
         "{}Budget {secs} s (spent {}) — {cases} fuzz cases over topology x routing x \
-         selection x churn x compromised-switch\n\
+         selection x churn x scheme x adversary\n\
          packets: {injected} injected, {delivered} delivered, {dropped} dropped \
          ({liveness_drops} by the watchdog)\n\
          watchdog: {livelocks} livelocks, {starvations} starvations, {deadlocks} deadlocks, \
@@ -638,7 +738,13 @@ mod tests {
             link_rate: 0.05,
             switch_rate: 0.01,
             down_time: 200,
-            compromised: Some(5),
+            scheme: SchemeSpec::Ddpm,
+            adversary: Some(AdversarySpec::new(
+                vec![NodeId(5)],
+                AdversaryBehavior::Skip,
+                None,
+                0x5EED,
+            )),
             retries: 4,
             check_period: 64,
             max_age: 1024,
@@ -655,11 +761,51 @@ mod tests {
         assert_eq!(case.to_json(), back.to_json());
         // And the optional fields survive as null.
         let mut c2 = tiny_case(1);
-        c2.compromised = None;
+        c2.adversary = None;
         c2.selftest_at = Some(9);
         c2.engine = Engine::Sharded { shards: 4 };
         let b2 = SoakCase::from_json(&c2.to_json()).expect("parses back");
         assert_eq!(c2.to_json(), b2.to_json());
+        // A framing adversary under the auth scheme round-trips whole.
+        let mut c3 = tiny_case(2);
+        c3.scheme = SchemeSpec::AuthDdpm;
+        c3.adversary = Some(AdversarySpec::new(
+            vec![NodeId(3), NodeId(9)],
+            AdversaryBehavior::Collude,
+            Some(NodeId(12)),
+            0xF00D,
+        ));
+        let b3 = SoakCase::from_json(&c3.to_json()).expect("parses back");
+        assert_eq!(c3.to_json(), b3.to_json());
+    }
+
+    #[test]
+    fn v1_compromised_field_upgrades_to_a_skip_adversary() {
+        // Schema-1 bundles spell the adversary as a bare node id and
+        // carry no scheme; both upgrade to the new axes.
+        let v = json!({
+            "topology": {"kind": "mesh", "dims": [4u64, 4u64]},
+            "router": "minimal_adaptive",
+            "policy": "random",
+            "seed": 4u64,
+            "packets": 80u64,
+            "inject_every": 3u64,
+            "churn": {
+                "period": 100u64, "link_rate": 0.05,
+                "switch_rate": 0.01, "down_time": 200u64,
+            },
+            "compromised": 5u64,
+            "retries": 4u64,
+            "watchdog": {
+                "check_period": 64u64, "max_age": 1024u64, "stall_cycles": 2048u64,
+            },
+        });
+        let case = SoakCase::from_json(&v).expect("legacy case parses");
+        assert_eq!(case.scheme, SchemeSpec::Ddpm);
+        let adv = case.adversary.expect("upgraded");
+        assert_eq!(adv.switches, vec![NodeId(5)]);
+        assert_eq!(adv.behavior, AdversaryBehavior::Skip);
+        assert_eq!(adv.framed, None);
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //! | [`exp_bakeoff`] | cross-scheme plugin bake-off (Tables 1–3, measured) |
 //! | [`exp_resilience`] | §4.1 attribution under dynamic fault churn |
 //! | [`exp_soak`] | liveness/invariant chaos soak + failure replay |
+//! | [`exp_adversarial`] | §4.1/§6.2 Byzantine grid: schemes × behaviors × compromised switches |
 
 pub mod exp_ablation;
+pub mod exp_adversarial;
 pub mod exp_ambiguity;
 pub mod exp_bakeoff;
 pub mod exp_compromised;
@@ -71,5 +73,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("bakeoff", exp_bakeoff::run),
         ("resilience", exp_resilience::run),
         ("soak", exp_soak::run),
+        ("adversarial", exp_adversarial::run),
     ]
 }

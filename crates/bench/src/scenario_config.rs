@@ -6,16 +6,17 @@
 //! See `scenarios/*.json` at the repository root for ready-made files.
 
 use ddpm_attack::{
-    BackgroundTraffic, FloodAttack, PacketFactory, SpoofStrategy, SynFloodAttack, TrafficPattern,
-    Workload,
+    AdversaryModel, BackgroundTraffic, FloodAttack, PacketFactory, SpoofStrategy, SynFloodAttack,
+    TrafficPattern, Workload,
 };
 use ddpm_core::identify::attack_census;
-use ddpm_core::{build_scheme, DdpmScheme, DpmScheme};
+use ddpm_core::{build_scheme_with, DdpmScheme, DpmScheme};
 use ddpm_net::{AddrMap, CodecMode, TrafficClass};
 use ddpm_routing::{Router, SelectionPolicy};
 use ddpm_sim::{
-    CheckpointConfig, Engine, InvariantConfig, Marker, MarkingScheme, NoMarking, RetryPolicy,
-    SchemeSpec, SimConfig, SimStats, SimTime, Simulation, WatchdogConfig,
+    AdversaryBehavior, AdversarySpec, CheckpointConfig, Engine, InvariantConfig, Marker,
+    MarkingScheme, NoMarking, RetryPolicy, SchemeSpec, SimConfig, SimStats, SimTime, Simulation,
+    WatchdogConfig,
 };
 use ddpm_telemetry::{EventKind as TelEvent, PacketEvent};
 use ddpm_topology::{FaultEvent, FaultSchedule, FaultSet, NodeId, Topology, MAX_DIMS};
@@ -449,6 +450,47 @@ fn checkpoint_block(v: &Value) -> Result<Option<CheckpointConfig>, JsonError> {
     }))
 }
 
+/// Parses the `"adversary"` block: a set of switches whose marking
+/// plane is compromised, the behavior they run, and (for the framing
+/// behaviors) the innocent node their forged marks implicate. The
+/// in-range checks against the built topology live in
+/// [`AdversaryModel::new`]; the parser enforces shape only.
+fn adversary_block(v: &Value) -> Result<Option<AdversarySpec>, JsonError> {
+    let Some(a) = v.get("adversary").filter(|a| !a.is_null()) else {
+        return Ok(None);
+    };
+    if a.as_object().is_none() {
+        return Err(JsonError::msg("`adversary` must be an object"));
+    }
+    reject_unknown(a, "adversary", &["switches", "behavior", "framed", "seed"])?;
+    let switches: Vec<NodeId> = u32_list(a, "switches")?.into_iter().map(NodeId).collect();
+    if switches.is_empty() {
+        return Err(JsonError::msg(
+            "`adversary.switches` must name at least one compromised switch",
+        ));
+    }
+    let behavior = req(a, "behavior")?
+        .as_str()
+        .ok_or_else(|| JsonError::msg("`adversary.behavior` must be a string"))?;
+    let behavior = AdversaryBehavior::parse(behavior).map_err(JsonError::msg)?;
+    let framed = match a.get("framed") {
+        None | Some(Value::Null) => None,
+        Some(x) => Some(NodeId(
+            x.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| JsonError::msg("`adversary.framed` must be a node id"))?,
+        )),
+    };
+    if behavior.needs_framed() && framed.is_none() {
+        return Err(JsonError::msg(format!(
+            "`adversary.behavior` `{}` needs an `adversary.framed` node to blame",
+            behavior.as_str()
+        )));
+    }
+    let seed = opt_u64(a, "seed", 0x0BAD_5EED)?;
+    Ok(Some(AdversarySpec::new(switches, behavior, framed, seed)))
+}
+
 fn fault_schedule(v: &Value) -> Result<Vec<(u64, FaultEvent)>, JsonError> {
     match v.get("fault_schedule") {
         None | Some(Value::Null) => Ok(Vec::new()),
@@ -474,6 +516,16 @@ pub struct ScenarioConfig {
     /// `"marking"` knob. Unknown names and scheme/topology mismatches
     /// are loader errors, never panics. Absent = legacy path.
     pub scheme: Option<SchemeSpec>,
+    /// Keyed-tag width for `auth-*` schemes (`"tag_bits": N`). Carves
+    /// `N` bits off the inner scheme's MF budget; absent = the scheme's
+    /// default (all spare bits, capped). Feasibility walls (tag too
+    /// narrow/wide, no spare room, non-auth scheme) are loader errors.
+    pub tag_bits: Option<u32>,
+    /// Byzantine marking-plane adversary (`"adversary": {...}` block;
+    /// absent = every switch honest). Requires `scheme`: the adversary
+    /// wraps the plugin marker and needs the scheme's mark layout to
+    /// forge plausible fields.
+    pub adversary: Option<AdversarySpec>,
     /// RNG seed (default 2004).
     pub seed: u64,
     /// Random link-failure rate, 0.0..1.0 (default 0).
@@ -521,6 +573,8 @@ impl FromJson for ScenarioConfig {
                 "router",
                 "marking",
                 "scheme",
+                "tag_bits",
+                "adversary",
                 "seed",
                 "fault_rate",
                 "background_interval",
@@ -560,6 +614,32 @@ impl FromJson for ScenarioConfig {
                 }
             }
         }
+        let tag_bits = match v.get("tag_bits") {
+            None | Some(Value::Null) => None,
+            Some(_) => Some(as_u32(v, "tag_bits")?),
+        };
+        match (tag_bits, scheme) {
+            (Some(_), None) => {
+                return Err(JsonError::msg(
+                    "`tag_bits` requires an auth-* `scheme` (the tag is carved out of \
+                     the plugin scheme's marking field)",
+                ))
+            }
+            (Some(_), Some(s)) if !s.is_auth() => {
+                return Err(JsonError::msg(format!(
+                    "scheme `{}` takes no `tag_bits` (only auth-* schemes carry a tag)",
+                    s.as_str()
+                )))
+            }
+            _ => {}
+        }
+        let adversary = adversary_block(v)?;
+        if adversary.is_some() && scheme.is_none() {
+            return Err(JsonError::msg(
+                "`adversary` requires the `scheme` knob: the adversary wraps the \
+                 plugin marker and forges marks in that scheme's layout",
+            ));
+        }
         let fault_rate = opt_f64(v, "fault_rate", 0.0)?;
         if !(0.0..=1.0).contains(&fault_rate) {
             return Err(JsonError::msg(format!(
@@ -597,6 +677,8 @@ impl FromJson for ScenarioConfig {
                 None => MarkingSpec::from_json(req(v, "marking")?)?,
             },
             scheme,
+            tag_bits,
+            adversary,
             seed: opt_u64(v, "seed", 2004)?,
             fault_rate,
             background_interval: opt_u64(v, "background_interval", 32)?,
@@ -768,8 +850,25 @@ fn execute(
     // mismatches (e.g. tracemax on a long-diameter mesh) surface here
     // as loader errors, exactly like an oversized-DDPM config.
     let plugin: Option<Box<dyn MarkingScheme>> = match cfg.scheme {
-        Some(spec) => Some(build_scheme(spec, &topo)?),
+        Some(spec) => Some(build_scheme_with(spec, &topo, cfg.tag_bits)?),
         None => None,
+    };
+    // The `"adversary"` block wraps the plugin marker: compromised
+    // switches run the configured behavior, everyone else delegates to
+    // the honest scheme. Range checks (switches/framed vs. the built
+    // topology) surface here as loader errors.
+    let adversary: Option<AdversaryModel<'_>> = match &cfg.adversary {
+        None => None,
+        Some(spec) => {
+            let (p, run) = match (&plugin, cfg.scheme) {
+                (Some(p), Some(run)) => (p, run),
+                _ => return Err("`adversary` requires the `scheme` knob".into()),
+            };
+            Some(
+                AdversaryModel::new(&**p, run, &topo, spec.clone(), cfg.tag_bits)
+                    .map_err(|e| format!("adversary: {e}"))?,
+            )
+        }
     };
     let ddpm = match cfg.marking {
         MarkingSpec::Ddpm => Some(DdpmScheme::new(&topo).map_err(|e| format!("ddpm: {e}"))?),
@@ -778,13 +877,14 @@ fn execute(
         ),
         _ => None,
     };
-    let dpm = DpmScheme;
+    let dpm = DpmScheme::new();
     let none = NoMarking;
-    let marker: &dyn Marker = match (&plugin, cfg.marking) {
-        (Some(p), _) => &**p,
-        (None, MarkingSpec::None) => &none,
-        (None, MarkingSpec::Dpm) => &dpm,
-        (None, MarkingSpec::Ddpm | MarkingSpec::DdpmResidue) => {
+    let marker: &dyn Marker = match (&adversary, &plugin, cfg.marking) {
+        (Some(a), _, _) => a,
+        (None, Some(p), _) => &**p,
+        (None, None, MarkingSpec::None) => &none,
+        (None, None, MarkingSpec::Dpm) => &dpm,
+        (None, None, MarkingSpec::Ddpm | MarkingSpec::DdpmResidue) => {
             ddpm.as_ref().expect("built above")
         }
     };
@@ -855,6 +955,14 @@ fn execute(
     if let Some(spec) = cfg.scheme {
         sim_cfg = sim_cfg.to_builder().scheme(spec).build();
     }
+    if let Some(t) = cfg.tag_bits {
+        sim_cfg = sim_cfg.to_builder().tag_bits(t).build();
+    }
+    if let Some(spec) = &cfg.adversary {
+        // Lets the core flag compromised nodes: it emits `MarkTamper`
+        // telemetry at every marking touch by a compromised switch.
+        sim_cfg = sim_cfg.to_builder().adversary(spec.clone()).build();
+    }
     if cfg.fault_retries > 0 {
         let backoff = sim_cfg.service_cycles.max(1);
         sim_cfg = sim_cfg
@@ -888,7 +996,7 @@ fn execute(
                 sim.schedule(t, p);
             }
         }
-        Some(ckpt) => {
+        Some(mut ckpt) => {
             // The snapshot carries the complete mid-run state — event
             // queue (remaining workload and fault events included),
             // in-flight packets, RNG streams, port clocks — and
@@ -898,6 +1006,20 @@ fn execute(
             // validation path as a clean run.
             let at = ckpt.cycle;
             drop(workload);
+            if let Some(state) = ckpt.snapshot.adversary.take() {
+                match &adversary {
+                    Some(adv) => adv
+                        .restore(state)
+                        .map_err(|e| format!("resume adversary: {e}"))?,
+                    None => {
+                        return Err(
+                            "checkpoint carries adversary state but the scenario \
+                             configures no adversary"
+                                .into(),
+                        )
+                    }
+                }
+            }
             sim.restore(ckpt.snapshot);
             if let Some(t) = sim.telemetry_mut() {
                 t.note_resume(at);
@@ -906,7 +1028,7 @@ fn execute(
     }
     let stats: SimStats = match &cfg.checkpoint {
         None => ddpm_engine::run(&mut sim),
-        Some(ck) => run_checkpointed(&mut sim, ck, source)?,
+        Some(ck) => run_checkpointed(&mut sim, ck, source, adversary.as_ref())?,
     };
 
     let mut d_dump = String::new();
@@ -1025,12 +1147,17 @@ fn execute(
             let mut last_cycle = 0u64;
             for d in sim.delivered() {
                 if d.packet.dest_node == victim && d.packet.class == TrafficClass::Attack {
-                    collector.observe(d.packet.header.identification);
+                    // observe_packet, not observe: the auth-* collectors
+                    // verify the delivered header's keyed tag and reject
+                    // fail-closed; everyone else falls back to plain
+                    // field observation.
+                    collector.observe_packet(&d.packet);
                     last_cycle = last_cycle.max(d.delivered_at.0);
                 }
             }
             let att = collector.attribute();
             let observed = collector.observed();
+            let rejected = collector.rejected();
             let candidates: Vec<NodeId> = att.candidates.clone();
             if candidates.is_empty() {
                 text.push_str(&format!(
@@ -1049,7 +1176,20 @@ fn execute(
                     text.push_str(&format!("         {node} at {}\n", topo.coord(*node)));
                 }
             }
+            if rejected > 0 {
+                text.push_str(&format!(
+                    "         {rejected} mark(s) rejected fail-closed (tag did not verify)\n"
+                ));
+            }
             if let Some(t) = sim.telemetry_mut() {
+                if rejected > 0 {
+                    t.record_post_run(PacketEvent {
+                        cycle: last_cycle,
+                        pkt: rejected,
+                        node: victim.0,
+                        kind: TelEvent::AuthReject { scheme: p.name() },
+                    });
+                }
                 t.record_post_run(PacketEvent {
                     cycle: last_cycle,
                     pkt: 0,
@@ -1064,10 +1204,31 @@ fn execute(
             attribution_json = json!({
                 "scheme": p.name(),
                 "observed": observed,
+                "rejected": rejected,
                 "candidates": candidates.iter().map(|n| json!(n.0)).collect::<Vec<_>>(),
                 "confidence": att.confidence,
             });
         }
+    }
+    // Adversary ground truth (the honest victim cannot see this; the
+    // report can): what the compromised marking plane actually did.
+    let mut adversary_json = json!(null);
+    if let Some(adv) = &adversary {
+        let spec = adv.spec();
+        let tampered = adv.total_tampered();
+        text.push_str(&format!(
+            "adversary: {} compromised switch(es), behavior {}, {} mark(s) tampered\n",
+            spec.switches.len(),
+            spec.behavior.as_str(),
+            tampered,
+        ));
+        adversary_json = json!({
+            "switches": spec.switches.iter().map(|s| json!(s.0)).collect::<Vec<_>>(),
+            "behavior": spec.behavior.as_str(),
+            "framed": spec.framed.map_or(json!(null), |f| json!(f.0)),
+            "seed": spec.seed,
+            "tampered": tampered,
+        });
     }
     let watchdog_json = if cfg.watchdog.is_some() {
         json!({
@@ -1123,6 +1284,11 @@ fn execute(
             Some(spec) => json!(spec.as_str()),
             None => json!(null),
         },
+        "tag_bits": match cfg.tag_bits {
+            Some(t) => json!(t),
+            None => json!(null),
+        },
+        "adversary": adversary_json,
         "attribution": attribution_json,
     });
     Ok(ScenarioOutcome { text, json, digest })
@@ -1149,6 +1315,7 @@ fn run_checkpointed(
     sim: &mut Simulation<'_>,
     ck: &CheckpointConfig,
     source: Option<&str>,
+    adversary: Option<&AdversaryModel<'_>>,
 ) -> Result<SimStats, String> {
     let scenario = source.unwrap_or("");
     // Scenario-file runs are stamped with the fingerprint of their
@@ -1180,7 +1347,14 @@ fn run_checkpointed(
         // Read the interrupt flag *before* storing so the checkpoint
         // that announces the interruption is already safely on disk.
         let interrupted = ddpm_checkpoint::interrupt::requested();
-        let path = ddpm_checkpoint::store(&ck.dir, stamp, scenario, &sim.snapshot(), ck.keep)
+        // The core snapshot knows nothing of the driver-side adversary;
+        // its dynamic state (per-switch mark cache, tamper counters)
+        // rides along so resume replays the identical behavior stream.
+        let mut snap = sim.snapshot();
+        if let Some(adv) = adversary {
+            snap.adversary = Some(adv.state());
+        }
+        let path = ddpm_checkpoint::store(&ck.dir, stamp, scenario, &snap, ck.keep)
             .map_err(|e| format!("checkpoint into {}: {e}", ck.dir.display()))?;
         if interrupted {
             return Err(format!(
@@ -1576,6 +1750,126 @@ mod tests {
 
         // Resume from the newest on-disk checkpoint (mid-run state of a
         // completed run) and replay the tail: same digest, bit for bit.
+        let resumed = resume_scenario(&dir).expect("resume");
+        assert_eq!(resumed.digest, reference, "resume must be bit-identical");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn adversary_block_runs_with_auth_containment() {
+        // The compromised switch at node 5 sits on zombie 1's DOR path
+        // (0,1)->(1,1)->(2,1)->(3,1)->(3,2); zombie 6's stream crosses
+        // only honest switches.
+        let raw = r#"{
+            "topology": {"kind": "mesh", "dims": [4, 4]},
+            "router": "dimension_order",
+            "scheme": "auth-ddpm",
+            "tag_bits": 8,
+            "background_interval": 0,
+            "adversary": {"switches": [5], "behavior": "frame", "framed": 9, "seed": 77},
+            "attack": {"kind": "udp_flood", "zombies": [1, 6], "victim": 14,
+                       "packets_per_zombie": 50, "interval": 4}
+        }"#;
+        let cfg: ScenarioConfig = serde_json::from_str(raw).expect("valid config");
+        assert_eq!(cfg.tag_bits, Some(8));
+        let spec = cfg.adversary.as_ref().expect("adversary parsed");
+        assert_eq!(spec.behavior, AdversaryBehavior::Frame);
+        assert_eq!(spec.framed, Some(NodeId(9)));
+        let out = run_scenario(&cfg).expect("runs");
+        assert!(out.text.contains("adversary:"), "{}", out.text);
+        let tampered = out.json["adversary"]["tampered"].as_u64().unwrap();
+        assert!(tampered > 0, "the evil switch saw zombie 1's whole stream");
+        // The forged marks carry no valid keyed tag: the victim rejects
+        // them fail-closed and never names the framed node.
+        let att = &out.json["attribution"];
+        assert!(att["rejected"].as_u64().unwrap() > 0, "{att:?}");
+        let cands: Vec<u64> = att["candidates"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|c| c.as_u64().unwrap())
+            .collect();
+        assert!(cands.contains(&6), "the clean stream still attributes: {cands:?}");
+        assert!(!cands.contains(&9), "framed innocent must not be named: {cands:?}");
+    }
+
+    #[test]
+    fn adversary_and_tag_bits_misuse_is_rejected() {
+        let base = |extra: &str| {
+            format!(
+                r#"{{"topology": {{"kind": "mesh", "dims": [4, 4]}},
+                    "router": "dimension_order", {extra}}}"#
+            )
+        };
+        for (extra, needle) in [
+            (
+                r#""marking": "ddpm", "adversary": {"switches": [5], "behavior": "skip"}"#,
+                "requires the `scheme` knob",
+            ),
+            (
+                r#""scheme": "ddpm", "adversary": {"switches": [], "behavior": "skip"}"#,
+                "at least one compromised switch",
+            ),
+            (
+                r#""scheme": "ddpm", "adversary": {"switches": [5], "behavior": "detour"}"#,
+                "unknown adversary behavior `detour`",
+            ),
+            (
+                r#""scheme": "ddpm", "adversary": {"switches": [5], "behavior": "frame"}"#,
+                "needs an `adversary.framed` node",
+            ),
+            (
+                r#""scheme": "ddpm",
+                    "adversary": {"switches": [5], "behavior": "skip", "strength": 2}"#,
+                "unknown field `strength`",
+            ),
+            (r#""marking": "ddpm", "tag_bits": 8"#, "requires an auth-* `scheme`"),
+            (r#""scheme": "ddpm", "tag_bits": 8"#, "takes no `tag_bits`"),
+        ] {
+            let err = serde_json::from_str::<ScenarioConfig>(&base(extra))
+                .unwrap_err()
+                .to_string();
+            assert!(err.contains(needle), "expected `{needle}`, got: {err}");
+        }
+        // Range checks need the built topology, so they surface at run
+        // time — as loader errors, never panics.
+        let narrow: ScenarioConfig =
+            serde_json::from_str(&base(r#""scheme": "auth-ddpm", "tag_bits": 2"#))
+                .expect("parses; width is checked against the scheme");
+        let err = run_scenario(&narrow).unwrap_err();
+        assert!(err.contains("tags must be"), "{err}");
+        let stray: ScenarioConfig = serde_json::from_str(&base(
+            r#""scheme": "ddpm", "adversary": {"switches": [99], "behavior": "skip"}"#,
+        ))
+        .expect("parses; node range is checked against the topology");
+        let err = run_scenario(&stray).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn adversarial_checkpoint_and_resume_are_digest_neutral() {
+        // `replay` is the stateful behavior (per-switch last-seen mark
+        // cache), so this exercises adversary state capture in the
+        // checkpoint and restore on resume — a dropped cache would
+        // shift the replayed mark stream and move the D digest.
+        let raw = r#"{
+            "topology": {"kind": "mesh", "dims": [4, 4]},
+            "router": "dimension_order",
+            "scheme": "auth-ddpm",
+            "horizon": 1200,
+            "adversary": {"switches": [5, 10], "behavior": "replay", "seed": 31},
+            "attack": {"kind": "udp_flood", "zombies": [1, 6], "victim": 14,
+                       "packets_per_zombie": 80, "interval": 8}
+        }"#;
+        let plain: ScenarioConfig = serde_json::from_str(raw).expect("valid config");
+        let reference = run_scenario(&plain).expect("plain run").digest;
+
+        let dir = tmpdir("adversary");
+        let mut cfg = plain.clone();
+        cfg.checkpoint = Some(CheckpointConfig::new(250, &dir));
+        let out = run_scenario_with_source(&cfg, raw).expect("checkpointed run");
+        assert_eq!(out.digest, reference, "checkpointing must be digest-neutral");
+
         let resumed = resume_scenario(&dir).expect("resume");
         assert_eq!(resumed.digest, reference, "resume must be bit-identical");
         std::fs::remove_dir_all(&dir).unwrap();

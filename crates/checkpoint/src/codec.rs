@@ -21,7 +21,7 @@ use ddpm_sim::network::{Delivered, DropReason};
 use ddpm_sim::snapshot::{FlightSnap, SimSnapshot, SlotSnap};
 use ddpm_sim::stats::{ClassCounters, FaultStats, SimStats};
 use ddpm_sim::watchdog::WatchdogStats;
-use ddpm_sim::{SimTime, Violation};
+use ddpm_sim::{AdversaryState, SimTime, Violation};
 use ddpm_telemetry::{EventKind as TelKind, LatencyStats, PacketEvent, RetryKind};
 use ddpm_topology::{FaultEvent, NodeId};
 use std::fmt;
@@ -92,10 +92,9 @@ const IDENTS: &[&str] = &[
     "livelock_escaped",
     "deadlock_victim",
     // Marking-scheme names (`Marker::name`, embedded in the
-    // Mark/Attribute telemetry events a snapshot buffers).
+    // Mark/Attribute/AuthReject telemetry events a snapshot buffers).
     "none",
     "ddpm",
-    "ddpm-auth",
     "dpm",
     "ppm-edge",
     "ppm-xor",
@@ -104,7 +103,19 @@ const IDENTS: &[&str] = &[
     "ppm-fms",
     "tracemax",
     "port",
-    "compromised-switch",
+    "auth-ddpm",
+    "auth-dpm",
+    "auth-ppm-edge",
+    "auth-ppm-xor",
+    "auth-tracemax",
+    // Adversary behaviors (`AdversaryBehavior::as_str`, embedded in
+    // MarkTamper telemetry events).
+    "skip",
+    "frame",
+    "randomize",
+    "replay",
+    "mark-flood",
+    "collude",
 ];
 
 /// Re-interns `s` against the closed vocabulary.
@@ -698,6 +709,15 @@ fn put_tel_event(w: &mut Writer, e: &PacketEvent) {
             w.u32(candidates);
             w.u32(confidence_pm);
         }
+        TelKind::MarkTamper { mf, behavior } => {
+            w.u8(9);
+            w.u16(mf);
+            w.str(behavior);
+        }
+        TelKind::AuthReject { scheme } => {
+            w.u8(10);
+            w.str(scheme);
+        }
     }
 }
 
@@ -735,6 +755,11 @@ fn get_tel_event(r: &mut Reader<'_>) -> Result<PacketEvent, DecodeError> {
             candidates: r.u32()?,
             confidence_pm: r.u32()?,
         },
+        9 => TelKind::MarkTamper {
+            mf: r.u16()?,
+            behavior: r.ident()?,
+        },
+        10 => TelKind::AuthReject { scheme: r.ident()? },
         tag => return Err(DecodeError::BadTag { what: "PacketEvent", tag }),
     };
     Ok(PacketEvent {
@@ -793,6 +818,41 @@ fn get_flight(r: &mut Reader<'_>) -> Result<FlightSnap, DecodeError> {
         last_node: r.u32()?,
         wire_mf: r.u16()?,
     })
+}
+
+fn put_adversary(w: &mut Writer, st: &AdversaryState) {
+    w.len(st.last_seen.len());
+    for &seen in &st.last_seen {
+        match seen {
+            None => w.u8(0),
+            Some(mf) => {
+                w.u8(1);
+                w.u16(mf);
+            }
+        }
+    }
+    w.len(st.tampered.len());
+    for &t in &st.tampered {
+        w.u64(t);
+    }
+}
+
+fn get_adversary(r: &mut Reader<'_>) -> Result<AdversaryState, DecodeError> {
+    let n = r.seq_len()?;
+    let mut last_seen = Vec::with_capacity(n);
+    for _ in 0..n {
+        last_seen.push(match r.u8()? {
+            0 => None,
+            1 => Some(r.u16()?),
+            tag => return Err(DecodeError::BadTag { what: "Option<u16>", tag }),
+        });
+    }
+    let n = r.seq_len()?;
+    let mut tampered = Vec::with_capacity(n);
+    for _ in 0..n {
+        tampered.push(r.u64()?);
+    }
+    Ok(AdversaryState { last_seen, tampered })
 }
 
 fn put_opt_u64(w: &mut Writer, v: Option<u64>) {
@@ -880,6 +940,13 @@ pub fn encode_snapshot(snap: &SimSnapshot) -> Vec<u8> {
         put_tel_event(&mut w, e);
     }
     w.bool(snap.selftest_fired);
+    match &snap.adversary {
+        None => w.u8(0),
+        Some(st) => {
+            w.u8(1);
+            put_adversary(&mut w, st);
+        }
+    }
     w.into_bytes()
 }
 
@@ -955,6 +1022,11 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<SimSnapshot, DecodeError> {
         trace_tail.push(get_tel_event(&mut r)?);
     }
     let selftest_fired = r.bool()?;
+    let adversary = match r.u8()? {
+        0 => None,
+        1 => Some(get_adversary(&mut r)?),
+        tag => return Err(DecodeError::BadTag { what: "Option<AdversaryState>", tag }),
+    };
     if r.remaining() != 0 {
         return Err(DecodeError::TrailingBytes(r.remaining()));
     }
@@ -981,6 +1053,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<SimSnapshot, DecodeError> {
         violations,
         trace_tail,
         selftest_fired,
+        adversary,
     })
 }
 
@@ -1141,8 +1214,27 @@ mod tests {
                         attempt: 1,
                     },
                 },
+                PacketEvent {
+                    cycle: 4,
+                    pkt: 2,
+                    node: 3,
+                    kind: TelKind::MarkTamper {
+                        mf: 0x0BAD,
+                        behavior: "mark-flood",
+                    },
+                },
+                PacketEvent {
+                    cycle: 5,
+                    pkt: 2,
+                    node: 3,
+                    kind: TelKind::AuthReject { scheme: "auth-ddpm" },
+                },
             ],
             selftest_fired: true,
+            adversary: Some(AdversaryState {
+                last_seen: vec![Some(0xBEEF), None],
+                tampered: vec![12, 0],
+            }),
         }
     }
 
@@ -1231,7 +1323,6 @@ mod tests {
         for scheme in [
             "none",
             "ddpm",
-            "ddpm-auth",
             "dpm",
             "ppm-edge",
             "ppm-xor",
@@ -1240,9 +1331,18 @@ mod tests {
             "ppm-fms",
             "tracemax",
             "port",
-            "compromised-switch",
+            "auth-ddpm",
+            "auth-dpm",
+            "auth-ppm-edge",
+            "auth-ppm-xor",
+            "auth-tracemax",
         ] {
             assert!(intern(scheme).is_ok(), "{scheme}");
+        }
+        // Every adversary behavior name must be internable — MarkTamper
+        // events embed it.
+        for behavior in ["skip", "frame", "randomize", "replay", "mark-flood", "collude"] {
+            assert!(intern(behavior).is_ok(), "{behavior}");
         }
     }
 }

@@ -49,7 +49,12 @@ use std::path::{Path, PathBuf};
 pub const MAGIC: &[u8; 8] = b"DDPMCKPT";
 
 /// On-disk format version written by this crate.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// * v1 — initial format.
+/// * v2 — appends the optional marking-plane adversary state, adds the
+///   MarkTamper/AuthReject telemetry tags and the `auth-*` scheme
+///   names to the interned vocabulary.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Extension (with the `ckpt-` stem prefix) of finished checkpoints.
 pub const EXTENSION: &str = "ddpm";
@@ -379,6 +384,7 @@ mod tests {
             violations: Vec::new(),
             trace_tail: Vec::new(),
             selftest_fired: false,
+            adversary: None,
         }
     }
 
@@ -477,7 +483,8 @@ mod tests {
         let dir = tmpdir("version");
         let path = store(&dir, 1, "", &empty_snapshot(10), 1).unwrap();
         let mut bytes = fs::read(&path).unwrap();
-        bytes[8..12].copy_from_slice(&2u32.to_le_bytes());
+        let future = FORMAT_VERSION + 1;
+        bytes[8..12].copy_from_slice(&future.to_le_bytes());
         // Re-seal so only the version check can fire.
         let sum = fnv64(&bytes[..bytes.len() - 8]);
         let n = bytes.len();
@@ -485,7 +492,7 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         assert!(matches!(
             load(&path),
-            Err(CheckpointError::UnsupportedVersion(2))
+            Err(CheckpointError::UnsupportedVersion(v)) if v == future
         ));
         fs::remove_dir_all(&dir).unwrap();
     }

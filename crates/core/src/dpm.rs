@@ -38,14 +38,60 @@ pub fn hash_bit(index: NodeId) -> bool {
 }
 
 /// The DPM switch behaviour.
-#[derive(Clone, Copy, Debug, Default)]
-pub struct DpmScheme;
+///
+/// The slot walk covers `slots` marking-field bit positions (the
+/// paper's "TTL mod 16"). The authenticated wrapper shrinks `slots` to
+/// confine signatures to the low bits and free room for its keyed tag.
+#[derive(Clone, Copy, Debug)]
+pub struct DpmScheme {
+    slots: u32,
+}
+
+impl Default for DpmScheme {
+    fn default() -> Self {
+        Self { slots: 16 }
+    }
+}
 
 impl DpmScheme {
+    /// The paper's scheme: the full 16-slot walk.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A walk over the low `slots` bits only (`TTL mod slots`).
+    ///
+    /// `slots` is clamped to `1..=16`.
+    #[must_use]
+    pub fn with_slots(slots: u32) -> Self {
+        Self {
+            slots: slots.clamp(1, 16),
+        }
+    }
+
+    /// Marking-field bit positions the slot walk can touch.
+    #[must_use]
+    pub fn slots(&self) -> u32 {
+        self.slots
+    }
+
     /// The signature a given path would deposit, given the initial TTL —
-    /// ground truth for the experiments.
+    /// ground truth for the experiments. Full 16-slot walk.
     #[must_use]
     pub fn signature_of_path(topo: &Topology, path: &[Coord], initial_ttl: u8) -> u16 {
+        Self::signature_of_path_slots(topo, path, initial_ttl, 16)
+    }
+
+    /// [`DpmScheme::signature_of_path`] for a reduced slot count.
+    #[must_use]
+    pub fn signature_of_path_slots(
+        topo: &Topology,
+        path: &[Coord],
+        initial_ttl: u8,
+        slots: u32,
+    ) -> u16 {
+        let slots = slots.clamp(1, 16);
         let mut mf = MarkingField::zero();
         let mut ttl = initial_ttl;
         // The switch at path[i] forwards to path[i+1]; the first switch
@@ -54,7 +100,7 @@ impl DpmScheme {
             if i > 0 {
                 ttl = ttl.saturating_sub(1);
             }
-            let pos = u32::from(ttl) % 16;
+            let pos = u32::from(ttl) % slots;
             mf.set_bit(pos, hash_bit(topo.index(&hop[0])));
         }
         mf.raw()
@@ -78,7 +124,7 @@ impl Marker for DpmScheme {
         env: &MarkEnv<'_>,
         _rng: &mut SmallRng,
     ) {
-        let pos = u32::from(pkt.header.ttl) % 16;
+        let pos = u32::from(pkt.header.ttl) % self.slots;
         pkt.header
             .identification
             .set_bit(pos, hash_bit(env.topo.index(cur)));
@@ -172,7 +218,7 @@ mod tests {
         let topo = Topology::mesh2d(6);
         let map = AddrMap::for_topology(&topo);
         let faults = FaultSet::none();
-        let scheme = DpmScheme;
+        let scheme = DpmScheme::new();
         let mut sim = Simulation::new(
             &topo,
             &faults,
@@ -215,7 +261,7 @@ mod tests {
         let topo = Topology::mesh2d(6);
         let map = AddrMap::for_topology(&topo);
         let faults = FaultSet::none();
-        let scheme = DpmScheme;
+        let scheme = DpmScheme::new();
         let mut sim = Simulation::new(
             &topo,
             &faults,
@@ -259,7 +305,7 @@ mod tests {
         let topo = Topology::mesh2d(6);
         let map = AddrMap::for_topology(&topo);
         let faults = FaultSet::none();
-        let scheme = DpmScheme;
+        let scheme = DpmScheme::new();
         let mut rng = SmallRng::seed_from_u64(9);
         let src = Coord::new(&[0, 0]);
         let dst = Coord::new(&[4, 3]);

@@ -286,7 +286,7 @@ mod tests {
         let topo = Topology::mesh2d(4);
         let map = AddrMap::for_topology(&topo);
         let faults = FaultSet::none();
-        let scheme = crate::dpm::DpmScheme;
+        let scheme = crate::dpm::DpmScheme::new();
         // First run: learn the attack signature.
         let mut sim = Simulation::new(
             &topo,

@@ -33,8 +33,9 @@
 //!
 //! * [`fms`] — Savage's k-fragment compressed PPM (§2's quoted bound);
 //! * [`ams`] — Song & Perrig's map-based advanced marking (§2 ref \[17\]);
-//! * [`auth`] — authenticated DDPM for the compromised-switch threat
-//!   the paper raises in §4.1.
+//! * [`auth`] — the generic [`auth::Authenticated`] keyed-tag wrapper
+//!   (`auth-*` scheme variants) for the compromised-switch threat the
+//!   paper raises in §4.1.
 
 #![warn(missing_docs)]
 
@@ -52,11 +53,11 @@ pub mod scheme;
 pub mod tracemax;
 
 pub use ams::{reconstruct_ams, AmsMark, AmsScheme};
-pub use auth::{AuthDdpm, AuthOutcome};
+pub use auth::{prf, AuthError, Authenticated, MAX_TAG_BITS, MIN_TAG_BITS};
 pub use ddpm::DdpmScheme;
 pub use dpm::{DpmScheme, DpmVictim};
 pub use fms::{reconstruct_fms, FmsMark, FmsScheme};
 pub use ppm::{BitDiffPpm, EdgeMark, EdgePpm, PpmLayout, XorPpm};
 pub use reconstruct::{reconstruct_paths, ReconstructionResult};
-pub use scheme::{build_scheme, DEFAULT_PPM_P};
+pub use scheme::{build_scheme, build_scheme_with, DEFAULT_PPM_P};
 pub use tracemax::{TracemaxError, TracemaxScheme};

@@ -26,6 +26,7 @@
 //! few samples to chain every level) and XOR/truncation blow-up;
 //! Tracemax recordings longer than the digit string.
 
+use crate::auth::{default_tag_bits, Authenticated, MIN_TAG_BITS};
 use crate::ddpm::DdpmScheme;
 use crate::dpm::DpmScheme;
 use crate::ppm::{EdgeMark, EdgePpm, XorMark, XorPpm};
@@ -43,14 +44,46 @@ use std::collections::{HashMap, HashSet};
 /// scheme without tuning `p` — Savage's classic 1/25 sampling rate.
 pub const DEFAULT_PPM_P: f64 = 0.04;
 
+/// The marking key trusted switches share when a run does not supply
+/// one. Its value is irrelevant to honest behaviour, and the adversary
+/// model never reads it — compromised marking planes guess tags, they
+/// do not steal keys (DESIGN.md §12).
+pub const DEFAULT_AUTH_KEY: u64 = 0x0DD5_EC00_5EED_0001;
+
+/// Default tag width for `auth-dpm` (slots shrink to `16 − t`).
+const DPM_TAG_BITS: u32 = 8;
+
+/// Default tag width for `auth-tracemax` (recording capacity pays, so
+/// take the minimum).
+const TRACEMAX_TAG_BITS: u32 = MIN_TAG_BITS;
+
 /// Builds the live scheme object a [`SchemeSpec`] names, checked
-/// against `topo`.
+/// against `topo`, with each `auth-*` scheme's default tag width.
 ///
 /// # Errors
 /// A human-readable message naming the scheme, the topology and the
 /// feasibility wall that was hit (field too small, non-power-of-two
-/// radix, recording capacity below the diameter).
+/// radix, recording capacity below the diameter, no room for the tag).
 pub fn build_scheme(spec: SchemeSpec, topo: &Topology) -> Result<Box<dyn MarkingScheme>, String> {
+    build_scheme_with(spec, topo, None)
+}
+
+/// [`build_scheme`] with an explicit tag width for `auth-*` schemes.
+///
+/// `tag_bits` carves that many bits off the inner scheme's budget for
+/// the keyed tag; `None` takes the scheme's default. Passing `Some` for
+/// an unauthenticated scheme is a configuration error.
+///
+/// # Errors
+/// As [`build_scheme`], plus tag-width walls: below
+/// [`MIN_TAG_BITS`](crate::auth::MIN_TAG_BITS), above
+/// [`MAX_TAG_BITS`](crate::auth::MAX_TAG_BITS), wider than the inner
+/// scheme leaves spare, or supplied for a scheme that takes none.
+pub fn build_scheme_with(
+    spec: SchemeSpec,
+    topo: &Topology,
+    tag_bits: Option<u32>,
+) -> Result<Box<dyn MarkingScheme>, String> {
     let err = |e: &dyn std::fmt::Display| {
         format!(
             "scheme `{}` unavailable on {}: {e}",
@@ -58,12 +91,24 @@ pub fn build_scheme(spec: SchemeSpec, topo: &Topology) -> Result<Box<dyn Marking
             topo.describe()
         )
     };
+    if tag_bits.is_some() && !spec.is_auth() {
+        return Err(format!(
+            "scheme `{}` takes no `tag_bits` (only auth-* schemes carry a tag)",
+            spec.as_str()
+        ));
+    }
+    if spec.is_auth() {
+        let (base, t) = auth_parts(spec, topo, tag_bits)?;
+        return Authenticated::new(base, spec.as_str(), DEFAULT_AUTH_KEY, t)
+            .map(|s| Box::new(s) as Box<dyn MarkingScheme>)
+            .map_err(|e| err(&e));
+    }
     match spec {
         SchemeSpec::None => Ok(Box::new(NoMarking)),
         SchemeSpec::Ddpm => DdpmScheme::new(topo)
             .map(|s| Box::new(s) as Box<dyn MarkingScheme>)
             .map_err(|e| err(&e)),
-        SchemeSpec::Dpm => Ok(Box::new(DpmScheme)),
+        SchemeSpec::Dpm => Ok(Box::new(DpmScheme::new())),
         SchemeSpec::PpmEdge => EdgePpm::new(topo, DEFAULT_PPM_P)
             .map(|s| Box::new(s) as Box<dyn MarkingScheme>)
             .map_err(|e| err(&e)),
@@ -73,6 +118,106 @@ pub fn build_scheme(spec: SchemeSpec, topo: &Topology) -> Result<Box<dyn Marking
         SchemeSpec::Tracemax => TracemaxScheme::new(topo)
             .map(|s| Box::new(s) as Box<dyn MarkingScheme>)
             .map_err(|e| err(&e)),
+        _ => unreachable!("auth specs handled above"),
+    }
+}
+
+/// The per-scheme carving rule: how an `auth-*` spec splits the field
+/// between its base scheme and the tag. Returns the base scheme (built
+/// to fit next to a `t`-bit tag) and `t` itself; [`Authenticated::new`]
+/// then enforces the generic tag-width walls.
+fn auth_parts(
+    spec: SchemeSpec,
+    topo: &Topology,
+    requested: Option<u32>,
+) -> Result<(Box<dyn MarkingScheme>, u32), String> {
+    let err = |e: &dyn std::fmt::Display| {
+        format!(
+            "scheme `{}` unavailable on {}: {e}",
+            spec.as_str(),
+            topo.describe()
+        )
+    };
+    let spare_default = |bits: u32| {
+        default_tag_bits(MF_BITS.saturating_sub(bits)).unwrap_or(MIN_TAG_BITS)
+    };
+    match spec {
+        // DDPM and PPM have fixed per-topology budgets; the tag takes
+        // (up to MAX_TAG_BITS of) whatever is spare.
+        SchemeSpec::AuthDdpm => {
+            let inner = DdpmScheme::new(topo).map_err(|e| err(&e))?;
+            let t = requested.unwrap_or_else(|| spare_default(inner.codec().bits_used()));
+            Ok((Box::new(inner), t))
+        }
+        SchemeSpec::AuthPpmEdge => {
+            let inner = EdgePpm::new(topo, DEFAULT_PPM_P).map_err(|e| err(&e))?;
+            let t = requested.unwrap_or_else(|| spare_default(inner.bits_used()));
+            Ok((Box::new(inner), t))
+        }
+        SchemeSpec::AuthPpmXor => {
+            let inner = XorPpm::new(topo, DEFAULT_PPM_P).map_err(|e| err(&e))?;
+            let t = requested.unwrap_or_else(|| spare_default(inner.bits_used()));
+            Ok((Box::new(inner), t))
+        }
+        // DPM and Tracemax would use all 16 bits; shrink them to fit.
+        SchemeSpec::AuthDpm => {
+            let t = requested.unwrap_or(DPM_TAG_BITS);
+            let slots = MF_BITS.saturating_sub(t.min(MF_BITS)).max(1);
+            Ok((Box::new(DpmScheme::with_slots(slots)), t))
+        }
+        SchemeSpec::AuthTracemax => {
+            let t = requested.unwrap_or(TRACEMAX_TAG_BITS);
+            let inner = TracemaxScheme::with_budget(topo, MF_BITS.saturating_sub(t))
+                .map_err(|e| err(&e))?;
+            Ok((Box::new(inner), t))
+        }
+        _ => unreachable!("auth_parts is only called for auth specs"),
+    }
+}
+
+/// Everything a compromised switch needs to forge a *well-formed* story
+/// for the run's scheme: an unauthenticated replica of the base scheme
+/// (the algorithms are public; the key is not) and the field split, so
+/// the forger knows which bits carry the story and which it can only
+/// guess. Built by [`forge_plan`].
+pub struct ForgePlan {
+    /// The unauthenticated base-scheme replica, carved exactly like the
+    /// run's scheme (same slots/capacity under an `auth-*` spec).
+    pub replica: Box<dyn MarkingScheme>,
+    /// Field bits the base story occupies (`replica.mf_bits()`).
+    pub story_bits: u32,
+    /// Tag bits the adversary must guess; `0` for unauthenticated
+    /// schemes.
+    pub tag_bits: u32,
+}
+
+/// Builds the [`ForgePlan`] for `spec` on `topo` — what
+/// `ddpm_attack::AdversaryModel` uses to fabricate marks.
+///
+/// # Errors
+/// The same feasibility walls as [`build_scheme_with`] (a scheme the
+/// run cannot build cannot be forged against either).
+pub fn forge_plan(
+    spec: SchemeSpec,
+    topo: &Topology,
+    tag_bits: Option<u32>,
+) -> Result<ForgePlan, String> {
+    if spec.is_auth() {
+        let (replica, t) = auth_parts(spec, topo, tag_bits)?;
+        let story_bits = replica.mf_bits();
+        Ok(ForgePlan {
+            replica,
+            story_bits,
+            tag_bits: t,
+        })
+    } else {
+        let replica = build_scheme_with(spec, topo, None)?;
+        let story_bits = replica.mf_bits();
+        Ok(ForgePlan {
+            replica,
+            story_bits,
+            tag_bits: 0,
+        })
     }
 }
 
@@ -84,8 +229,8 @@ struct DdpmCollector<'a> {
     scheme: &'a DdpmScheme,
     topo: &'a Topology,
     dest: Coord,
-    sources: HashSet<NodeId>,
-    decoded: u64,
+    /// Decoded source -> packets backing it, for the quorum filter.
+    support: HashMap<NodeId, u64>,
     total: u64,
 }
 
@@ -93,19 +238,12 @@ impl Collector for DdpmCollector<'_> {
     fn observe(&mut self, mf: MarkingField) {
         self.total += 1;
         if let Some(src) = self.scheme.identify(self.topo, &self.dest, mf) {
-            self.sources.insert(self.topo.index(&src));
-            self.decoded += 1;
+            *self.support.entry(self.topo.index(&src)).or_insert(0) += 1;
         }
     }
 
     fn attribute(&mut self) -> Attribution {
-        if self.total == 0 {
-            return Attribution::none();
-        }
-        Attribution::from_candidates(
-            self.sources.iter().copied().collect(),
-            self.decoded as f64 / self.total as f64,
-        )
+        Attribution::from_census(self.support.iter().map(|(&n, &c)| (n, c)), self.total)
     }
 
     fn observed(&self) -> u64 {
@@ -132,8 +270,7 @@ impl MarkingScheme for DdpmScheme {
             scheme: self,
             topo,
             dest: topo.coord(victim),
-            sources: HashSet::new(),
-            decoded: 0,
+            support: HashMap::new(),
             total: 0,
         })
     }
@@ -146,31 +283,31 @@ impl MarkingScheme for DdpmScheme {
 struct DpmCollector {
     /// DOR signature -> sources producing it, precomputed for the victim.
     table: HashMap<u16, Vec<NodeId>>,
-    seen: HashSet<u16>,
-    matched: u64,
+    /// Observed signature -> packet count, for the quorum filter.
+    seen: HashMap<u16, u64>,
     total: u64,
 }
 
 impl Collector for DpmCollector {
     fn observe(&mut self, mf: MarkingField) {
         self.total += 1;
-        if self.table.contains_key(&mf.raw()) {
-            self.matched += 1;
-        }
-        self.seen.insert(mf.raw());
+        *self.seen.entry(mf.raw()).or_insert(0) += 1;
     }
 
     fn attribute(&mut self) -> Attribution {
-        if self.total == 0 {
-            return Attribution::none();
-        }
-        let mut candidates = Vec::new();
-        for sig in &self.seen {
+        // Signature collisions spread one packet's support over every
+        // matching node; `from_candidates` clamps the confidence, so
+        // the collision ambiguity shows up as extra candidates (the
+        // documented DPM weakness), never as >1 confidence.
+        let mut support: HashMap<NodeId, u64> = HashMap::new();
+        for (sig, count) in &self.seen {
             if let Some(nodes) = self.table.get(sig) {
-                candidates.extend_from_slice(nodes);
+                for node in nodes {
+                    *support.entry(*node).or_insert(0) += count;
+                }
             }
         }
-        Attribution::from_candidates(candidates, self.matched as f64 / self.total as f64)
+        Attribution::from_census(support, self.total)
     }
 
     fn observed(&self) -> u64 {
@@ -180,8 +317,8 @@ impl Collector for DpmCollector {
 
 impl MarkingScheme for DpmScheme {
     fn mf_bits(&self) -> u32 {
-        // The TTL mod 16 slot walk can touch every MF bit.
-        MF_BITS
+        // The TTL mod `slots` walk can touch that many low bits.
+        self.slots()
     }
 
     fn per_hop_cost(&self) -> HopCost {
@@ -219,13 +356,13 @@ impl MarkingScheme for DpmScheme {
             ) else {
                 continue;
             };
-            let sig = DpmScheme::signature_of_path(topo, &path, DEFAULT_TTL);
+            let sig =
+                DpmScheme::signature_of_path_slots(topo, &path, DEFAULT_TTL, self.slots());
             table.entry(sig).or_default().push(topo.index(&src));
         }
         Box::new(DpmCollector {
             table,
-            seen: HashSet::new(),
-            matched: 0,
+            seen: HashMap::new(),
             total: 0,
         })
     }
@@ -384,8 +521,8 @@ struct TracemaxCollector<'a> {
     scheme: &'a TracemaxScheme,
     topo: &'a Topology,
     dest: Coord,
-    sources: HashSet<NodeId>,
-    replayed: u64,
+    /// Replayed source -> packets backing it, for the quorum filter.
+    support: HashMap<NodeId, u64>,
     total: u64,
 }
 
@@ -393,19 +530,12 @@ impl Collector for TracemaxCollector<'_> {
     fn observe(&mut self, mf: MarkingField) {
         self.total += 1;
         if let Some(src) = self.scheme.identify(self.topo, &self.dest, mf) {
-            self.sources.insert(self.topo.index(&src));
-            self.replayed += 1;
+            *self.support.entry(self.topo.index(&src)).or_insert(0) += 1;
         }
     }
 
     fn attribute(&mut self) -> Attribution {
-        if self.total == 0 {
-            return Attribution::none();
-        }
-        Attribution::from_candidates(
-            self.sources.iter().copied().collect(),
-            self.replayed as f64 / self.total as f64,
-        )
+        Attribution::from_census(self.support.iter().map(|(&n, &c)| (n, c)), self.total)
     }
 
     fn observed(&self) -> u64 {
@@ -432,8 +562,7 @@ impl MarkingScheme for TracemaxScheme {
             scheme: self,
             topo,
             dest: topo.coord(victim),
-            sources: HashSet::new(),
-            replayed: 0,
+            support: HashMap::new(),
             total: 0,
         })
     }
@@ -456,10 +585,23 @@ mod tests {
         }
     }
 
+    /// Auth specs whose inner budget leaves too little spare for a tag
+    /// on the 4x4 mesh (edge PPM uses ~13 of 16 bits; Tracemax's
+    /// shrunken budget cannot cover the diameter).
+    const MESH4_INFEASIBLE: [SchemeSpec; 2] =
+        [SchemeSpec::AuthPpmEdge, SchemeSpec::AuthTracemax];
+
     #[test]
     fn every_spec_builds_on_a_small_mesh() {
         let topo = Topology::mesh2d(4);
         for spec in SchemeSpec::ALL {
+            if MESH4_INFEASIBLE.contains(&spec) {
+                let Err(e) = build_scheme(spec, &topo) else {
+                    panic!("{spec:?} should hit the documented wall");
+                };
+                assert!(e.contains(spec.as_str()), "{e}");
+                continue;
+            }
             let scheme = build_scheme(spec, &topo).expect("4x4 mesh fits every scheme");
             assert_eq!(scheme.name(), spec.as_str(), "name/spec mismatch");
             assert!(scheme.mf_bits() <= MF_BITS, "{spec:?} over budget");
@@ -474,6 +616,10 @@ mod tests {
             (SchemeSpec::PpmEdge, Topology::mesh2d(16)),
             (SchemeSpec::PpmXor, Topology::mesh(&[3, 4])),
             (SchemeSpec::Tracemax, Topology::mesh2d(8)),
+            // The auth feasibility wall: the inner scheme fits but the
+            // spare budget cannot host even the minimum tag.
+            (SchemeSpec::AuthPpmEdge, Topology::mesh2d(4)),
+            (SchemeSpec::AuthTracemax, Topology::mesh2d(4)),
         ] {
             let Err(e) = build_scheme(spec, &topo) else {
                 panic!("{spec:?} on {topo} should not build");
@@ -494,6 +640,9 @@ mod tests {
         let zombie = NodeId(1);
         let victim = NodeId(14);
         for spec in SchemeSpec::ALL {
+            if MESH4_INFEASIBLE.contains(&spec) {
+                continue;
+            }
             let scheme = build_scheme(spec, &topo).unwrap();
             let mut sim = Simulation::new(
                 &topo,
@@ -507,9 +656,12 @@ mod tests {
                 sim.schedule(SimTime(id * 2), mk_packet(&map, id, zombie, victim));
             }
             sim.run();
+            // observe_packet: the auth-* collectors verify the keyed
+            // tag from the delivered header (honest runs pass), plain
+            // collectors fall through to field observation.
             let mut collector = scheme.collector(&topo, victim);
             for d in sim.delivered() {
-                collector.observe(d.packet.header.identification);
+                collector.observe_packet(&d.packet);
             }
             assert_eq!(collector.observed(), sim.delivered().len() as u64);
             let att = collector.attribute();
@@ -523,8 +675,12 @@ mod tests {
                 );
                 assert!(att.confidence > 0.0, "{spec:?}");
             }
-            // The single-packet schemes identify immediately and exactly.
-            if matches!(spec, SchemeSpec::Ddpm | SchemeSpec::Tracemax) {
+            // The single-packet schemes identify immediately and
+            // exactly, with or without the auth wrapper.
+            if matches!(
+                spec,
+                SchemeSpec::Ddpm | SchemeSpec::Tracemax | SchemeSpec::AuthDdpm
+            ) {
                 let att = collector.attribute();
                 assert_eq!(att, Attribution::exact(zombie), "{spec:?}");
             }

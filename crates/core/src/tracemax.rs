@@ -77,9 +77,24 @@ impl TracemaxScheme {
     /// exceed the digit string — the scheme's scalability wall (it is
     /// path length, not node count, that kills it).
     pub fn new(topo: &Topology) -> Result<Self, TracemaxError> {
+        Self::with_budget(topo, MF_BITS)
+    }
+
+    /// Builds the recorder confined to the low `mf_budget` bits.
+    ///
+    /// The authenticated wrapper shrinks the budget to free tag room,
+    /// paying for it in recording capacity — the same path-length wall,
+    /// hit sooner.
+    ///
+    /// # Errors
+    /// [`TracemaxError::CapacityTooSmall`] when the shrunk digit string
+    /// cannot hold a minimal route across the topology.
+    pub fn with_budget(topo: &Topology, mf_budget: u32) -> Result<Self, TracemaxError> {
+        let mf_budget = mf_budget.min(MF_BITS);
         let dirs = topo.directions();
         let dir_bits = crate::analysis::ceil_log2(dirs.len() as u64).max(1);
-        let capacity = ((MF_BITS - COUNT_BITS) / dir_bits).min(u32::from(OVERFLOW) - 1);
+        let capacity = (mf_budget.saturating_sub(COUNT_BITS) / dir_bits)
+            .min(u32::from(OVERFLOW) - 1);
         if capacity < topo.diameter() {
             return Err(TracemaxError::CapacityTooSmall {
                 capacity,

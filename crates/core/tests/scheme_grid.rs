@@ -79,9 +79,12 @@ fn flood_and_attribute(
     }
     sim.run();
     assert_eq!(sim.delivered().len() as u64, packets, "healthy net is lossless");
+    // observe_packet, not observe: the auth-* collectors verify the
+    // keyed tag against the delivered header (an honest run passes);
+    // for everything else it defaults to plain field observation.
     let mut collector = scheme.collector(topo, victim);
     for d in sim.delivered() {
-        collector.observe(d.packet.header.identification);
+        collector.observe_packet(&d.packet);
     }
     let att = collector.attribute();
     let again = collector.attribute();
@@ -159,16 +162,22 @@ proptest! {
                     prop_assert!(att.candidates.is_empty());
                     prop_assert!(att.confidence == 0.0);
                 }
-                SchemeSpec::Ddpm | SchemeSpec::Tracemax => {
+                // The auth-* variants ride their base scheme's contract:
+                // an honest run verifies every tag, so the wrapped
+                // collector sees exactly what the plain one would.
+                SchemeSpec::Ddpm
+                | SchemeSpec::AuthDdpm
+                | SchemeSpec::Tracemax
+                | SchemeSpec::AuthTracemax => {
                     prop_assert_eq!(att.single(), Some(src), "{:?}", spec);
                     prop_assert!((att.confidence - 1.0).abs() < 1e-12, "{:?}", spec);
                 }
-                SchemeSpec::Dpm => {
+                SchemeSpec::Dpm | SchemeSpec::AuthDpm => {
                     prop_assert!(att.implicates(src), "dpm must implicate the source");
                     // Stable route: every signature matches the table.
                     prop_assert!((att.confidence - 1.0).abs() < 1e-12);
                 }
-                SchemeSpec::PpmEdge => {
+                SchemeSpec::PpmEdge | SchemeSpec::AuthPpmEdge => {
                     // Exact edge marks: candidates are far-ends of
                     // true-path prefixes, so under-collection may stop
                     // short of the source but never leaves the path.
@@ -180,7 +189,7 @@ proptest! {
                         "ppm-edge candidates {:?} off the true path", att.candidates
                     );
                 }
-                SchemeSpec::PpmXor => {
+                SchemeSpec::PpmXor | SchemeSpec::AuthPpmXor => {
                     // Off-path candidates are the documented §4.2
                     // blow-up; only the shared contract binds here.
                 }

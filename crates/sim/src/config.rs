@@ -1,5 +1,6 @@
 //! Simulator configuration.
 
+use crate::adversary::AdversarySpec;
 use crate::invariant::InvariantConfig;
 use crate::scheme::SchemeSpec;
 use crate::watchdog::WatchdogConfig;
@@ -208,6 +209,18 @@ pub struct SimConfig {
     /// matching scheme object and to label telemetry. `None` (default)
     /// means "unspecified" — the pre-plugin-API behaviour.
     pub scheme: Option<SchemeSpec>,
+    /// Keyed-tag width override for `auth-*` schemes, in bits. `None`
+    /// (default) lets the scheme claim its whole spare marking-field
+    /// budget; explicit values are validated against that budget (and
+    /// the minimum tag width) when the scheme is built.
+    pub tag_bits: Option<u32>,
+    /// Compromised-switch adversary (driver-interpreted, like
+    /// [`SimConfig::scheme`]): which switches' marking planes misbehave
+    /// and how. The simulator core uses it only to flag `MarkTamper`
+    /// telemetry at compromised switches; the tampering `Marker`
+    /// wrapper itself is built by the driver (`ddpm-attack`). `None`
+    /// (default) means every switch is honest.
+    pub adversary: Option<AdversarySpec>,
     /// Crash-consistent checkpointing (driver-interpreted; `None`
     /// disables it). Results are checkpoint-invariant: a checkpointed
     /// and resumed run reproduces the uninterrupted run bit-for-bit.
@@ -231,6 +244,8 @@ impl Default for SimConfig {
             seed: 0xDD9A,
             engine: Engine::Serial,
             scheme: None,
+            tag_bits: None,
+            adversary: None,
             checkpoint: None,
         }
     }
@@ -386,6 +401,22 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Overrides the keyed-tag width of `auth-*` schemes (see
+    /// [`SimConfig::tag_bits`]).
+    #[must_use]
+    pub fn tag_bits(mut self, bits: u32) -> Self {
+        self.cfg.tag_bits = Some(bits);
+        self
+    }
+
+    /// Installs a compromised-switch adversary (see
+    /// [`SimConfig::adversary`]).
+    #[must_use]
+    pub fn adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.cfg.adversary = Some(adversary);
+        self
+    }
+
     /// Enables crash-consistent checkpointing (results are
     /// checkpoint-invariant; see [`CheckpointConfig`]).
     #[must_use]
@@ -404,9 +435,17 @@ impl SimConfigBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adversary::AdversaryBehavior;
+    use ddpm_topology::NodeId;
 
     #[test]
     fn builder_covers_every_knob() {
+        let adversary = AdversarySpec::new(
+            vec![NodeId(5)],
+            AdversaryBehavior::Skip,
+            None,
+            3,
+        );
         let cfg = SimConfig::builder()
             .link_latency(1)
             .service_cycles(3)
@@ -421,6 +460,8 @@ mod tests {
             .seed(42)
             .engine(Engine::Sharded { shards: 4 })
             .scheme(SchemeSpec::Ddpm)
+            .tag_bits(8)
+            .adversary(adversary.clone())
             .checkpoint(CheckpointConfig::new(500, "/tmp/ckpt"))
             .build();
         assert_eq!(cfg.link_latency, 1);
@@ -437,6 +478,8 @@ mod tests {
         assert_eq!(cfg.seed, 42);
         assert_eq!(cfg.engine, Engine::Sharded { shards: 4 });
         assert_eq!(cfg.scheme, Some(SchemeSpec::Ddpm));
+        assert_eq!(cfg.tag_bits, Some(8));
+        assert_eq!(cfg.adversary, Some(adversary));
         let ck = cfg.checkpoint.expect("checkpoint knob set");
         assert_eq!(ck.every, 500);
         assert_eq!(ck.dir, std::path::PathBuf::from("/tmp/ckpt"));
@@ -478,6 +521,8 @@ mod tests {
         assert!(!built.telemetry.enabled());
         assert_eq!(built.watchdog, None, "watchdog is opt-in");
         assert_eq!(built.scheme, None, "scheme label is opt-in");
+        assert_eq!(built.tag_bits, None, "tag width defaults to the spare budget");
+        assert_eq!(built.adversary, None, "switches are honest by default");
         assert_eq!(
             built.invariants.enabled,
             cfg!(debug_assertions),

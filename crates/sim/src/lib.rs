@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod config;
 pub mod event;
 pub mod filter;
@@ -44,12 +45,13 @@ pub mod stats;
 pub mod time;
 pub mod watchdog;
 
+pub use adversary::{AdversaryBehavior, AdversarySpec, AdversaryState};
 pub use config::{CheckpointConfig, Engine, RetryPolicy, SimConfig, SimConfigBuilder};
 pub use filter::{Filter, NoFilter};
 pub use invariant::{InvariantChecker, InvariantConfig, Violation};
 pub use mark::{MarkEnv, Marker, NoMarking};
 pub use network::{Delivered, DropReason, Simulation};
-pub use scheme::{Attribution, Collector, HopCost, MarkingScheme, SchemeSpec};
+pub use scheme::{Attribution, Collector, HopCost, MarkingScheme, SchemeSpec, CONVICTION_CONFIDENCE};
 pub use snapshot::{FlightSnap, SimSnapshot, SlotSnap};
 pub use stats::{ClassCounters, ClassStats, FaultStats, LatencyStats, SimStats};
 pub use time::SimTime;

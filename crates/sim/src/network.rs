@@ -455,6 +455,13 @@ pub struct Simulation<'a> {
     /// the checker's trace tail, or (in shard mode) the capture buffers.
     /// Hoisted out of the hot loop: both inputs are fixed for a run.
     obs: bool,
+    /// Dense per-node "marking plane compromised" flags from
+    /// [`SimConfig::adversary`] (empty when every switch is honest).
+    /// The core only *flags* — `MarkTamper` telemetry at compromised
+    /// forwards — the tampering itself lives in the driver's `Marker`.
+    compromised: Vec<bool>,
+    /// The adversary behavior name carried by `MarkTamper` events.
+    adv_behavior: &'static str,
     /// Cached [`InvariantChecker::enabled`], likewise fixed for a run.
     checking: bool,
     /// Present when this simulation is one shard of the parallel engine.
@@ -501,6 +508,18 @@ impl<'a> Simulation<'a> {
         let checking = checker.enabled();
         let port_stride = 2 * topo.ndims();
         let ports = vec![0u64; topo.num_nodes() as usize * port_stride];
+        let (compromised, adv_behavior) = match &cfg.adversary {
+            Some(spec) => {
+                let mut dense = vec![false; topo.num_nodes() as usize];
+                for s in &spec.switches {
+                    if let Some(flag) = dense.get_mut(s.0 as usize) {
+                        *flag = true;
+                    }
+                }
+                (dense, spec.behavior.as_str())
+            }
+            None => (Vec::new(), ""),
+        };
         // Size the wheel to the worst-case hot-path look-ahead: a full
         // output buffer serialising ahead of this packet, plus the link.
         let horizon = (u64::from(cfg.buffer_packets) + 2) * cfg.service_cycles.max(1)
@@ -535,6 +554,8 @@ impl<'a> Simulation<'a> {
             finalized: false,
             checker,
             obs,
+            compromised,
+            adv_behavior,
             checking,
             shard: None,
             cur_cycle: 0,
@@ -800,6 +821,9 @@ impl<'a> Simulation<'a> {
             violations: self.checker.violations().to_vec(),
             trace_tail: self.checker.tail_events(),
             selftest_fired: self.checker.selftest_fired(),
+            // Populated by the scenario driver, which owns the
+            // AdversaryModel; the core simulator never reads it.
+            adversary: None,
         }
     }
 
@@ -1475,6 +1499,13 @@ impl<'a> Simulation<'a> {
             if mf_after != mf_before {
                 let scheme = self.marker.name();
                 self.emit(pkt, node, TelEvent::Mark { mf: mf_after, scheme });
+            }
+            // Ground truth for adversarial runs: this forward crossed a
+            // compromised marking plane (whether or not the field moved
+            // — `skip` tampers by *not* moving it).
+            if self.compromised.get(node as usize).copied().unwrap_or(false) {
+                let behavior = self.adv_behavior;
+                self.emit(pkt, node, TelEvent::MarkTamper { mf: mf_after, behavior });
             }
             self.emit(pkt, node, TelEvent::Forward { next: next_id });
         }

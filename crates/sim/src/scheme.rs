@@ -29,8 +29,18 @@
 //! dropping a true source is a bug.
 
 use crate::mark::Marker;
-use ddpm_net::MarkingField;
+use ddpm_net::{MarkingField, Packet};
 use ddpm_topology::{NodeId, Topology};
+
+/// Confidence at or above which an attribution counts as a
+/// *conviction* — the victim would act (quarantine, block) on it.
+///
+/// The Byzantine-robustness contract is phrased against this line: a
+/// minority of polluted marks may smuggle a framed innocent into the
+/// candidate list, but quorum filtering plus fail-closed rejection must
+/// keep the confidence below it, so pollution degrades confidence
+/// instead of flipping the attribution.
+pub const CONVICTION_CONFIDENCE: f64 = 0.5;
 
 /// A victim-side attribution answer, shared by every scheme.
 ///
@@ -104,6 +114,54 @@ impl Attribution {
     pub fn implicates(&self, node: NodeId) -> bool {
         self.candidates.binary_search_by_key(&node.0, |n| n.0).is_ok()
     }
+
+    /// Does this attribution *convict* `node` — implicate it with
+    /// confidence at or above [`CONVICTION_CONFIDENCE`]?
+    #[must_use]
+    pub fn convicts(&self, node: NodeId) -> bool {
+        self.confidence >= CONVICTION_CONFIDENCE && self.implicates(node)
+    }
+
+    /// Quorum/outlier-filtered attribution from a support census.
+    ///
+    /// `support` maps candidate → packets backing it; `observed` is the
+    /// total packets the collector was fed (including ones it could not
+    /// decode or refused to trust). Candidates survive only with
+    /// absolute support ≥ 2 **and** at least a quarter of the strongest
+    /// candidate's support — so isolated polluted marks (a corrupted
+    /// field, a `2^-t` tag-forgery fluke) are outliers that drop out
+    /// rather than co-equal suspects. Confidence is the kept fraction:
+    /// `kept_support / observed`, which a minority of polluted or
+    /// rejected marks *degrades* instead of flipping.
+    ///
+    /// Below four observed packets there is no quorum to speak of and
+    /// every candidate is kept — preserving the paper's single-packet
+    /// DDPM identification for low-volume victims.
+    #[must_use]
+    pub fn from_census<I>(support: I, observed: u64) -> Self
+    where
+        I: IntoIterator<Item = (NodeId, u64)>,
+    {
+        let entries: Vec<(NodeId, u64)> = support.into_iter().collect();
+        let top = entries.iter().map(|&(_, c)| c).max().unwrap_or(0);
+        if top == 0 || observed == 0 {
+            return Self::none();
+        }
+        let floor = if observed >= 4 {
+            2.max(top.div_ceil(4))
+        } else {
+            1
+        };
+        let mut kept_support = 0u64;
+        let mut candidates = Vec::new();
+        for (node, count) in entries {
+            if count >= floor {
+                kept_support += count;
+                candidates.push(node);
+            }
+        }
+        Self::from_candidates(candidates, kept_support as f64 / observed as f64)
+    }
 }
 
 /// Victim-side collection state for one scheme at one victim.
@@ -117,11 +175,29 @@ pub trait Collector {
     /// Ingests the marking field of one delivered packet.
     fn observe(&mut self, mf: MarkingField);
 
+    /// Ingests one delivered packet with its full header visible.
+    ///
+    /// Authenticated collectors need more than the 16 marking bits —
+    /// the keyed tag binds the source/destination addresses and the
+    /// residual TTL — so the driver feeds whole packets through this
+    /// entry point. The default forwards to [`Collector::observe`];
+    /// schemes that only read the field need not override it.
+    fn observe_packet(&mut self, pkt: &Packet) {
+        self.observe(pkt.header.identification);
+    }
+
     /// The current best attribution given everything observed so far.
     fn attribute(&mut self) -> Attribution;
 
     /// How many packets have been observed.
     fn observed(&self) -> u64;
+
+    /// Packets whose marks this collector refused to trust (failed tag
+    /// verification — the fail-closed count). `0` for unauthenticated
+    /// schemes, which trust everything.
+    fn rejected(&self) -> u64 {
+        0
+    }
 }
 
 /// Per-hop switch cost of a scheme, for the bake-off's cost column.
@@ -168,6 +244,60 @@ pub trait MarkingScheme: Marker {
     /// Builds the victim-side collector for packets delivered to
     /// `victim` on `topo`.
     fn collector<'a>(&'a self, topo: &'a Topology, victim: NodeId) -> Box<dyn Collector + 'a>;
+}
+
+impl Marker for Box<dyn MarkingScheme> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn on_inject(
+        &self,
+        pkt: &mut Packet,
+        src: &ddpm_topology::Coord,
+        env: &crate::mark::MarkEnv<'_>,
+    ) {
+        (**self).on_inject(pkt, src, env);
+    }
+
+    fn on_forward(
+        &self,
+        pkt: &mut Packet,
+        cur: &ddpm_topology::Coord,
+        next: &ddpm_topology::Coord,
+        env: &crate::mark::MarkEnv<'_>,
+        rng: &mut rand::rngs::SmallRng,
+    ) {
+        (**self).on_forward(pkt, cur, next, env, rng);
+    }
+
+    fn on_deliver(
+        &self,
+        pkt: &mut Packet,
+        dest: &ddpm_topology::Coord,
+        env: &crate::mark::MarkEnv<'_>,
+        rng: &mut rand::rngs::SmallRng,
+    ) {
+        (**self).on_deliver(pkt, dest, env, rng);
+    }
+}
+
+/// Boxed schemes are schemes, so generic wrappers (the `auth-*`
+/// discipline in `ddpm-core`, the adversary model in `ddpm-attack`) can
+/// compose over a factory-built `Box<dyn MarkingScheme>` without a
+/// monomorphized arm per concrete type.
+impl MarkingScheme for Box<dyn MarkingScheme> {
+    fn mf_bits(&self) -> u32 {
+        (**self).mf_bits()
+    }
+
+    fn per_hop_cost(&self) -> HopCost {
+        (**self).per_hop_cost()
+    }
+
+    fn collector<'a>(&'a self, topo: &'a Topology, victim: NodeId) -> Box<dyn Collector + 'a> {
+        (**self).collector(topo, victim)
+    }
 }
 
 /// [`NoMarking`]'s collector: counts packets, attributes nothing.
@@ -226,17 +356,36 @@ pub enum SchemeSpec {
     /// (arXiv 2004.09327 lineage): every switch appends its outgoing
     /// direction, the victim replays the whole path from one packet.
     Tracemax,
+    /// DDPM under the split-trust keyed-tag wrapper: tag bits carved
+    /// from the spare marking-field budget, fail-closed collection.
+    AuthDdpm,
+    /// DPM under the keyed-tag wrapper (slot walk confined to the
+    /// remaining low bits).
+    AuthDpm,
+    /// Edge PPM under the keyed-tag wrapper.
+    AuthPpmEdge,
+    /// XOR PPM under the keyed-tag wrapper.
+    AuthPpmXor,
+    /// Tracemax under the keyed-tag wrapper (path-recording capacity
+    /// shrunk to free the tag bits).
+    AuthTracemax,
 }
 
 impl SchemeSpec {
-    /// Every selectable scheme, in canonical (report-table) order.
-    pub const ALL: [SchemeSpec; 6] = [
+    /// Every selectable scheme, in canonical (report-table) order:
+    /// unauthenticated baselines first, then their `auth-*` twins.
+    pub const ALL: [SchemeSpec; 11] = [
         SchemeSpec::None,
         SchemeSpec::Ddpm,
         SchemeSpec::Dpm,
         SchemeSpec::PpmEdge,
         SchemeSpec::PpmXor,
         SchemeSpec::Tracemax,
+        SchemeSpec::AuthDdpm,
+        SchemeSpec::AuthDpm,
+        SchemeSpec::AuthPpmEdge,
+        SchemeSpec::AuthPpmXor,
+        SchemeSpec::AuthTracemax,
     ];
 
     /// Parses a scheme name as written in scenario files.
@@ -251,8 +400,14 @@ impl SchemeSpec {
             "ppm-edge" => Ok(SchemeSpec::PpmEdge),
             "ppm-xor" => Ok(SchemeSpec::PpmXor),
             "tracemax" => Ok(SchemeSpec::Tracemax),
+            "auth-ddpm" => Ok(SchemeSpec::AuthDdpm),
+            "auth-dpm" => Ok(SchemeSpec::AuthDpm),
+            "auth-ppm-edge" => Ok(SchemeSpec::AuthPpmEdge),
+            "auth-ppm-xor" => Ok(SchemeSpec::AuthPpmXor),
+            "auth-tracemax" => Ok(SchemeSpec::AuthTracemax),
             other => Err(format!(
-                "unknown scheme `{other}` (none|ddpm|dpm|ppm-edge|ppm-xor|tracemax)"
+                "unknown scheme `{other}` (none|ddpm|dpm|ppm-edge|ppm-xor|tracemax\
+                 |auth-ddpm|auth-dpm|auth-ppm-edge|auth-ppm-xor|auth-tracemax)"
             )),
         }
     }
@@ -267,6 +422,31 @@ impl SchemeSpec {
             SchemeSpec::PpmEdge => "ppm-edge",
             SchemeSpec::PpmXor => "ppm-xor",
             SchemeSpec::Tracemax => "tracemax",
+            SchemeSpec::AuthDdpm => "auth-ddpm",
+            SchemeSpec::AuthDpm => "auth-dpm",
+            SchemeSpec::AuthPpmEdge => "auth-ppm-edge",
+            SchemeSpec::AuthPpmXor => "auth-ppm-xor",
+            SchemeSpec::AuthTracemax => "auth-tracemax",
+        }
+    }
+
+    /// True for the keyed-tag (`auth-*`) wrappers.
+    #[must_use]
+    pub fn is_auth(self) -> bool {
+        self.base() != self
+    }
+
+    /// The unauthenticated scheme underneath an `auth-*` wrapper;
+    /// identity for everything else.
+    #[must_use]
+    pub fn base(self) -> SchemeSpec {
+        match self {
+            SchemeSpec::AuthDdpm => SchemeSpec::Ddpm,
+            SchemeSpec::AuthDpm => SchemeSpec::Dpm,
+            SchemeSpec::AuthPpmEdge => SchemeSpec::PpmEdge,
+            SchemeSpec::AuthPpmXor => SchemeSpec::PpmXor,
+            SchemeSpec::AuthTracemax => SchemeSpec::Tracemax,
+            other => other,
         }
     }
 }
@@ -318,6 +498,79 @@ mod tests {
         let err = SchemeSpec::parse("pmm").unwrap_err();
         assert!(err.contains("unknown scheme `pmm`"), "{err}");
         assert!(err.contains("ppm-edge"), "{err}");
+    }
+
+    #[test]
+    fn auth_variants_name_their_base() {
+        assert_eq!(SchemeSpec::AuthDdpm.base(), SchemeSpec::Ddpm);
+        assert_eq!(SchemeSpec::AuthTracemax.base(), SchemeSpec::Tracemax);
+        assert!(SchemeSpec::AuthDpm.is_auth());
+        assert!(!SchemeSpec::Dpm.is_auth());
+        assert_eq!(SchemeSpec::Ddpm.base(), SchemeSpec::Ddpm);
+        for spec in SchemeSpec::ALL {
+            assert_eq!(
+                spec.is_auth(),
+                spec.as_str().starts_with("auth-"),
+                "{spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn census_quorum_filters_outliers_but_keeps_co_sources() {
+        // Three zombies at similar volume plus one polluted singleton:
+        // the singleton is an outlier, the zombies all survive.
+        let a = Attribution::from_census(
+            vec![
+                (NodeId(3), 40),
+                (NodeId(9), 35),
+                (NodeId(12), 30),
+                (NodeId(5), 1),
+            ],
+            110,
+        );
+        assert_eq!(a.candidates, vec![NodeId(3), NodeId(9), NodeId(12)]);
+        assert!((a.confidence - 105.0 / 110.0).abs() < 1e-9);
+        assert!(a.convicts(NodeId(9)));
+        assert!(!a.implicates(NodeId(5)));
+
+        // A pair of laundered forgeries against a strong true source:
+        // below a quarter of the top candidate, so still filtered.
+        let a = Attribution::from_census(vec![(NodeId(1), 60), (NodeId(8), 2)], 80);
+        assert_eq!(a.candidates, vec![NodeId(1)]);
+
+        // Nothing but pollution: the candidate may survive the floor but
+        // confidence collapses — degraded, not flipped.
+        let a = Attribution::from_census(vec![(NodeId(8), 2)], 300);
+        assert!(a.confidence < CONVICTION_CONFIDENCE);
+        assert!(!a.convicts(NodeId(8)));
+
+        // Single-packet identification (the paper's DDPM claim) is
+        // preserved below the quorum volume.
+        let a = Attribution::from_census(vec![(NodeId(4), 1)], 1);
+        assert_eq!(a.candidates, vec![NodeId(4)]);
+
+        // Empty census: the empty answer.
+        assert_eq!(Attribution::from_census(Vec::new(), 10), Attribution::none());
+    }
+
+    #[test]
+    fn observe_packet_defaults_to_the_field() {
+        use ddpm_net::{AddrMap, Ipv4Header, PacketId, Protocol, TrafficClass, L4};
+        let topo = Topology::mesh2d(4);
+        let map = AddrMap::for_topology(&topo);
+        let mut c = NoMarking.collector(&topo, NodeId(0));
+        let pkt = Packet {
+            id: PacketId(0),
+            header: Ipv4Header::new(map.ip_of(NodeId(1)), map.ip_of(NodeId(2)), Protocol::Udp, 64),
+            l4: L4::udp(1, 2),
+            true_source: NodeId(1),
+            dest_node: NodeId(2),
+            class: TrafficClass::Attack,
+        };
+        c.observe_packet(&pkt);
+        assert_eq!(c.observed(), 1);
+        assert_eq!(c.rejected(), 0);
     }
 
     #[test]

@@ -124,6 +124,12 @@ pub struct SimSnapshot {
     pub trace_tail: Vec<PacketEvent>,
     /// True once the checker's synthetic self-test violation fired.
     pub selftest_fired: bool,
+    /// The marking-plane adversary's dynamic state, when the run has
+    /// one. The core simulator neither reads nor writes this — the
+    /// scenario driver captures it from `AdversaryModel` at snapshot
+    /// time and restores it before resuming, so a resumed adversarial
+    /// run tampers bit-identically to the uninterrupted one.
+    pub adversary: Option<crate::adversary::AdversaryState>,
 }
 
 impl SimSnapshot {

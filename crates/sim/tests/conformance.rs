@@ -24,7 +24,7 @@
 use ddpm_bench::scenario_config::{
     run_scenario, AttackSpec, MarkingSpec, RouterSpec, ScenarioConfig, TopologySpec,
 };
-use ddpm_sim::{Engine, SchemeSpec, WatchdogConfig};
+use ddpm_sim::{AdversaryBehavior, AdversarySpec, Engine, SchemeSpec, WatchdogConfig};
 use ddpm_topology::{FaultEvent, NodeId};
 use serde_json::FromJson;
 use std::fmt::Write as _;
@@ -80,6 +80,8 @@ fn micro_config(topo: &TopologySpec, router: RouterSpec, churn: &str) -> Scenari
         router,
         marking: MarkingSpec::Ddpm,
         scheme: None,
+        tag_bits: None,
+        adversary: None,
         seed: 2004,
         fault_rate: 0.0,
         background_interval: 48,
@@ -133,6 +135,8 @@ fn scheme_config(topo: &TopologySpec, spec: SchemeSpec) -> ScenarioConfig {
         router: RouterSpec::DimensionOrder,
         marking: MarkingSpec::None,
         scheme: Some(spec),
+        tag_bits: None,
+        adversary: None,
         seed: 2004,
         fault_rate: 0.0,
         background_interval: 48,
@@ -152,9 +156,29 @@ fn scheme_config(topo: &TopologySpec, spec: SchemeSpec) -> ScenarioConfig {
     }
 }
 
+/// The adversary axis: a framing compromised switch on the flood path,
+/// pinned for the plain scheme it pollutes and the auth wrappers that
+/// contain it. The digest hashes delivered headers with their final
+/// marking fields, so any drift in the adversary's forge stream — or
+/// in the honest path it wraps — diffs bit-for-bit.
+fn adversary_schemes() -> Vec<SchemeSpec> {
+    vec![SchemeSpec::Ddpm, SchemeSpec::AuthDdpm, SchemeSpec::AuthDpm]
+}
+
+fn adversary_config(topo: &TopologySpec, spec: SchemeSpec) -> ScenarioConfig {
+    let mut cfg = scheme_config(topo, spec);
+    cfg.adversary = Some(AdversarySpec::new(
+        vec![NodeId(5)],
+        AdversaryBehavior::Frame,
+        Some(NodeId(9)),
+        0x0BAD_5EED,
+    ));
+    cfg
+}
+
 /// Every corpus entry as `(name, digest)`, in a fixed order: the
 /// shipped scenario files (sorted by name), then the micro grid, then
-/// the scheme-axis grid.
+/// the scheme-axis grid, then the adversary grid.
 fn corpus_digests() -> Vec<(String, String)> {
     let mut out = Vec::new();
 
@@ -194,6 +218,25 @@ fn corpus_digests() -> Vec<(String, String)> {
         for spec in SchemeSpec::ALL {
             let cfg = scheme_config(&topo, spec);
             let name = format!("scheme/{tname}/{}", spec.as_str());
+            match run_scenario(&cfg) {
+                Ok(outcome) => out.push((name, outcome.digest)),
+                // Feasibility walls (e.g. `auth-ppm-edge` leaves no
+                // room for a tag on 16 nodes) are corpus facts too:
+                // pin the wall message so a budget change that flips a
+                // cell feasible — or reworded walls — shows up as a
+                // golden diff, not silence.
+                Err(e) if e.contains("unavailable") => {
+                    out.push((name, format!("infeasible: {e}")));
+                }
+                Err(e) => panic!("{name} failed: {e}"),
+            }
+        }
+    }
+
+    for (tname, topo) in scheme_topologies() {
+        for spec in adversary_schemes() {
+            let cfg = adversary_config(&topo, spec);
+            let name = format!("adversary/{tname}/{}", spec.as_str());
             let outcome =
                 run_scenario(&cfg).unwrap_or_else(|e| panic!("{name} failed: {e}"));
             out.push((name, outcome.digest));

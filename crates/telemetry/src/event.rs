@@ -82,6 +82,25 @@ pub enum EventKind {
         /// Stable invariant identifier (e.g. `conservation`).
         invariant: &'static str,
     },
+    /// A compromised switch's marking plane touched the packet's
+    /// marking field — the adversary-model ground truth trail. `mf` is
+    /// the field value *after* the (possibly tampering) update; honest
+    /// observers cannot see this event, it exists so traces and the
+    /// robustness experiments can score what the adversary actually
+    /// did.
+    MarkTamper {
+        /// Marking-field value after the compromised switch's update.
+        mf: u16,
+        /// Stable adversary-behavior identifier (e.g. `skip`, `frame`).
+        behavior: &'static str,
+    },
+    /// A victim-side authenticated collector refused a delivered
+    /// packet's mark: the keyed tag did not verify (fail-closed).
+    /// Emitted by drivers next to [`EventKind::Attribute`].
+    AuthReject {
+        /// Name of the `auth-*` scheme that rejected the mark.
+        scheme: &'static str,
+    },
     /// The victim-side collector answered an attribution query: the
     /// scheme's current candidate source set, summarised. Emitted by
     /// drivers when they run a scheme's `Collector` (per delivery in the
@@ -98,7 +117,7 @@ pub enum EventKind {
 
 impl EventKind {
     /// Number of distinct kinds (for counter arrays).
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 11;
 
     /// Dense index of this kind, stable across runs.
     #[must_use]
@@ -112,7 +131,9 @@ impl EventKind {
             Self::Deliver { .. } => 5,
             Self::Watchdog { .. } => 6,
             Self::Violation { .. } => 7,
-            Self::Attribute { .. } => 8,
+            Self::MarkTamper { .. } => 8,
+            Self::AuthReject { .. } => 9,
+            Self::Attribute { .. } => 10,
         }
     }
 
@@ -128,6 +149,8 @@ impl EventKind {
             Self::Deliver { .. } => "deliver",
             Self::Watchdog { .. } => "watchdog",
             Self::Violation { .. } => "violation",
+            Self::MarkTamper { .. } => "mark_tamper",
+            Self::AuthReject { .. } => "auth_reject",
             Self::Attribute { .. } => "attribute",
         }
     }
@@ -144,6 +167,8 @@ impl EventKind {
             "deliver",
             "watchdog",
             "violation",
+            "mark_tamper",
+            "auth_reject",
             "attribute",
         ]
     }
@@ -193,6 +218,12 @@ impl PacketEvent {
             EventKind::Watchdog { action } => format!("{head},\"action\":\"{action}\"}}"),
             EventKind::Violation { invariant } => {
                 format!("{head},\"invariant\":\"{invariant}\"}}")
+            }
+            EventKind::MarkTamper { mf, behavior } => {
+                format!("{head},\"mf\":{mf},\"behavior\":\"{behavior}\"}}")
+            }
+            EventKind::AuthReject { scheme } => {
+                format!("{head},\"scheme\":\"{scheme}\"}}")
             }
             EventKind::Attribute {
                 scheme,
@@ -279,6 +310,21 @@ mod tests {
             r#"{"cycle":12,"event":"violation","pkt":7,"node":3,"invariant":"conservation"}"#
         );
         assert_eq!(
+            ev(EventKind::MarkTamper {
+                mf: 0xBEEF,
+                behavior: "frame"
+            })
+            .to_ndjson(),
+            r#"{"cycle":12,"event":"mark_tamper","pkt":7,"node":3,"mf":48879,"behavior":"frame"}"#
+        );
+        assert_eq!(
+            ev(EventKind::AuthReject {
+                scheme: "auth-ddpm"
+            })
+            .to_ndjson(),
+            r#"{"cycle":12,"event":"auth_reject","pkt":7,"node":3,"scheme":"auth-ddpm"}"#
+        );
+        assert_eq!(
             ev(EventKind::Attribute {
                 scheme: "ppm-edge",
                 candidates: 2,
@@ -307,6 +353,11 @@ mod tests {
             },
             EventKind::Watchdog { action: "x" },
             EventKind::Violation { invariant: "x" },
+            EventKind::MarkTamper {
+                mf: 0,
+                behavior: "x",
+            },
+            EventKind::AuthReject { scheme: "x" },
             EventKind::Attribute {
                 scheme: "x",
                 candidates: 0,

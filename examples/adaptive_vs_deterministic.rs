@@ -77,7 +77,7 @@ fn main() {
         );
 
         // DPM: one signature per path shape -> fragmentation.
-        let dpm_runs = run_flow(&topo, router, policy, &DpmScheme, 300);
+        let dpm_runs = run_flow(&topo, router, policy, &DpmScheme::new(), 300);
         let sigs: HashSet<u16> = dpm_runs
             .iter()
             .map(|d| d.packet.header.identification.raw())

@@ -93,8 +93,9 @@ pub mod prelude {
         PacketFactory, RateDetector, SpoofStrategy, SynFloodAttack, SynHalfOpenDetector,
         TrafficPattern, WormOutbreak,
     };
-    pub use ddpm_attack::{CompromisedSwitch, ConsoleConfig, EvilBehavior, VictimConsole};
-    pub use ddpm_core::auth::{AuthDdpm, AuthOutcome};
+    pub use ddpm_attack::{AdversaryModel, ConsoleConfig, VictimConsole};
+    pub use ddpm_core::auth::{Authenticated, MAX_TAG_BITS, MIN_TAG_BITS};
+    pub use ddpm_core::scheme::{build_scheme, build_scheme_with, forge_plan, ForgePlan};
     pub use ddpm_core::filter::{
         DdpmDeliveryFilter, IngressFilter, SignatureFilter, SourceQuarantine,
     };
@@ -110,7 +111,8 @@ pub mod prelude {
     };
     pub use ddpm_routing::{trace_path, RouteState, Router, SelectionPolicy};
     pub use ddpm_sim::{
-        Delivered, DropReason, Filter, MarkEnv, Marker, NoMarking, SimConfig, SimStats, SimTime,
+        AdversaryBehavior, AdversarySpec, Attribution, Collector, Delivered, DropReason, Filter,
+        MarkEnv, Marker, MarkingScheme, NoMarking, SchemeSpec, SimConfig, SimStats, SimTime,
         Simulation,
     };
     pub use ddpm_topology::{Coord, Direction, FaultSet, NodeId, Sign, Topology, TopologyKind};

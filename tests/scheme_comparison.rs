@@ -112,7 +112,7 @@ fn dpm_signature_blocking_leaks_ddpm_blocking_does_not() {
     let victim = NodeId(63);
 
     // Learn DPM signatures from a first wave.
-    let dpm = DpmScheme;
+    let dpm = DpmScheme::new();
     let wave1 = one_flow(
         &topo,
         Router::MinimalAdaptive,
@@ -218,7 +218,7 @@ fn ttl_accounting_matches_hops() {
         &topo,
         Router::MinimalAdaptive,
         SelectionPolicy::Random,
-        &DpmScheme,
+        &DpmScheme::new(),
         50,
         31,
     );
