@@ -317,11 +317,21 @@ fn bench_throughput(c: &mut Criterion) {
         }));
     }
 
-    // Workspace root, independent of the bench harness's cwd.
+    // Workspace root, independent of the bench harness's cwd. The
+    // service-load experiment co-owns this file (its rows have
+    // `engine: "serve-*"`); merge so neither writer clobbers the other.
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim_throughput.json");
-    let doc = json!({ "bench": "sim_throughput", "rows": rows });
-    std::fs::write(out, serde_json::to_string_pretty(&doc).expect("serialises"))
-        .expect("write BENCH_sim_throughput.json");
+    ddpm_bench::util::merge_bench_rows(
+        std::path::Path::new(out),
+        "sim_throughput",
+        &|r| {
+            !r["engine"]
+                .as_str()
+                .is_some_and(|e| e.starts_with("serve"))
+        },
+        rows,
+    )
+    .expect("write BENCH_sim_throughput.json");
     println!("wrote {out}");
     let _ = std::fs::remove_dir_all(
         std::env::temp_dir().join(format!("ddpm-bench-ckpt-{}", std::process::id())),

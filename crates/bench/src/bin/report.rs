@@ -245,7 +245,7 @@ fn parse(args: Vec<String>) -> Result<Option<Cli>, String> {
 }
 
 fn main() -> ExitCode {
-    let cli = match parse(std::env::args().skip(1).collect()) {
+    let mut cli = match parse(std::env::args().skip(1).collect()) {
         Ok(Some(cli)) => cli,
         Ok(None) => return ExitCode::SUCCESS,
         Err(e) => {
@@ -308,6 +308,16 @@ fn main() -> ExitCode {
     let run_all = cli.wanted.iter().any(|w| w == "all");
     let experiments = all_experiments();
     let known: Vec<&str> = experiments.iter().map(|(k, _)| *k).collect();
+    // Dash/underscore leniency: `service-load` finds `service_load`
+    // (exact keys like `ppm-conv` always win).
+    for w in &mut cli.wanted {
+        if !known.contains(&w.as_str()) {
+            let swapped = w.replace('-', "_");
+            if known.contains(&swapped.as_str()) {
+                *w = swapped;
+            }
+        }
+    }
     for w in &cli.wanted {
         if w != "all" && !known.contains(&w.as_str()) {
             eprintln!("unknown experiment `{w}`\n\n{}", usage());
@@ -335,17 +345,9 @@ fn main() -> ExitCode {
         }
         if let Some(dir) = &cli.json_dir {
             let path = dir.join(format!("{key}.json"));
-            match serde_json::to_string_pretty(&report.json) {
-                Ok(s) => {
-                    if let Err(e) = std::fs::write(&path, s) {
-                        eprintln!("cannot write {}: {e}", path.display());
-                        return ExitCode::FAILURE;
-                    }
-                }
-                Err(e) => {
-                    eprintln!("cannot serialise {key}: {e}");
-                    return ExitCode::FAILURE;
-                }
+            if let Err(e) = ddpm_bench::util::write_json(&path, &report.json) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
             }
         }
     }

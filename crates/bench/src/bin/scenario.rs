@@ -33,17 +33,9 @@ const USAGE: &str = "usage: scenario [--json OUT.json] \
 fn finish(out: ScenarioOutcome, json_out: Option<String>) -> ExitCode {
     print!("{}", out.text);
     if let Some(dest) = json_out {
-        match serde_json::to_string_pretty(&out.json) {
-            Ok(s) => {
-                if let Err(e) = std::fs::write(&dest, s) {
-                    eprintln!("cannot write {dest}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-            Err(e) => {
-                eprintln!("serialisation failed: {e}");
-                return ExitCode::FAILURE;
-            }
+        if let Err(e) = ddpm_bench::util::write_json(Path::new(&dest), &out.json) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

@@ -35,6 +35,7 @@ use ddpm_net::{AddrMap, Ipv4Header, Packet, PacketId, Protocol, TrafficClass, L4
 use ddpm_routing::{Router, SelectionPolicy};
 use ddpm_sim::{AdversaryBehavior, AdversarySpec, SchemeSpec, SimConfig, SimTime, Simulation};
 use ddpm_topology::{FaultSet, NodeId, Topology};
+use rayon::prelude::*;
 use serde_json::json;
 
 /// Flooding sources (in range on 16 nodes; paths cross the pool).
@@ -284,8 +285,43 @@ pub fn run(ctx: &RunCtx) -> Report {
         ZOMBIES,
     );
 
+    // Every grid cell is an independent seeded run, so the sweep fans
+    // out on the rayon pool. Feasibility is decided up front (cheap and
+    // deterministic), jobs mirror the serial iteration order, and
+    // `par_iter` collects in that order — the assembled report (tables
+    // and JSON alike) is byte-identical to the serial sweep.
+    let topos = topologies();
+    let mut jobs = Vec::new();
+    for (ti, topo) in topos.iter().enumerate() {
+        for spec in grid_schemes() {
+            if build_scheme_with(spec, topo, None).is_err() {
+                continue;
+            }
+            for behavior in AdversaryBehavior::ALL {
+                for (ci, &count) in COUNTS.iter().enumerate() {
+                    jobs.push((ti, spec, behavior, ci, count));
+                }
+            }
+        }
+    }
+    let computed: Vec<Cell> = jobs
+        .par_iter()
+        .map(|&(ti, spec, behavior, ci, count)| {
+            run_cell(
+                &topos[ti],
+                spec,
+                behavior,
+                count,
+                seed.wrapping_add(ci as u64),
+                &schedule,
+            )
+            .expect("feasibility checked above")
+        })
+        .collect();
+    let mut computed = computed.into_iter();
+
     let mut jrows = Vec::new();
-    for topo in topologies() {
+    for topo in &topos {
         let mut t = TextTable::new(&[
             "scheme",
             "behavior",
@@ -295,7 +331,7 @@ pub fn run(ctx: &RunCtx) -> Report {
         ]);
         for spec in grid_schemes() {
             // Feasibility walls are grid facts, not missing rows.
-            if let Err(e) = build_scheme_with(spec, &topo, None) {
+            if let Err(e) = build_scheme_with(spec, topo, None) {
                 t.row(&[
                     spec.as_str().to_string(),
                     "-".into(),
@@ -314,16 +350,8 @@ pub fn run(ctx: &RunCtx) -> Report {
                 let mut convicted = Vec::new();
                 let mut survival = Vec::new();
                 let mut rejected = Vec::new();
-                for (ci, &count) in COUNTS.iter().enumerate() {
-                    let cell = run_cell(
-                        &topo,
-                        spec,
-                        behavior,
-                        count,
-                        seed.wrapping_add(ci as u64),
-                        &schedule,
-                    )
-                    .expect("feasibility checked above");
+                for &count in &COUNTS {
+                    let cell = computed.next().expect("one computed cell per job");
                     convicted.push(cell.framed_convicted);
                     survival.push(cell.survival);
                     rejected.push(cell.rejected);

@@ -30,6 +30,7 @@ use ddpm_net::{AddrMap, Ipv4Header, Packet, PacketId, Protocol, TrafficClass, L4
 use ddpm_routing::{Router, SelectionPolicy};
 use ddpm_sim::{SchemeSpec, SimConfig, SimTime, Simulation};
 use ddpm_topology::{FaultSet, NodeId, Topology};
+use rayon::prelude::*;
 use serde_json::json;
 
 /// Flooding sources shared by every run (in range on 16 nodes).
@@ -179,8 +180,21 @@ pub fn run(ctx: &RunCtx) -> Report {
          every zombie.\n\n",
         ZOMBIES,
     );
+    // Every (topology, scheme) cell is an independent seeded run, so
+    // the grid fans out on the rayon pool; `par_iter` collects in job
+    // order, so the report (tables and JSON alike) is byte-identical
+    // to the serial sweep.
+    let topos = topologies();
+    let jobs: Vec<(usize, SchemeSpec)> = (0..topos.len())
+        .flat_map(|ti| SchemeSpec::ALL.iter().map(move |&spec| (ti, spec)))
+        .collect();
+    let cells: Vec<Result<SchemeRow, String>> = jobs
+        .par_iter()
+        .map(|&(ti, spec)| run_scheme(&topos[ti], spec, seed, &schedule))
+        .collect();
+    let mut cells = cells.into_iter();
     let mut jtopos = Vec::new();
-    for topo in topologies() {
+    for topo in &topos {
         let mut t = TextTable::new(&[
             "scheme",
             "MF bits",
@@ -195,7 +209,7 @@ pub fn run(ctx: &RunCtx) -> Report {
             // A scheme whose MF budget rejects this topology is a
             // recorded feasibility wall, not a missing row: auth-*
             // variants pay tag bits out of the same 16-bit field.
-            match run_scheme(&topo, spec, seed, &schedule) {
+            match cells.next().expect("one cell per job") {
                 Ok(row) => {
                     t.row(&[
                         row.scheme.to_string(),

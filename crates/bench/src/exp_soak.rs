@@ -450,11 +450,8 @@ pub fn bundle_json(case: &SoakCase, out: &CaseOutcome) -> Value {
 /// # Errors
 /// I/O or serialisation failures, as human-readable text.
 pub fn write_bundle(dir: &Path, case: &SoakCase, out: &CaseOutcome) -> Result<PathBuf, String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
     let path = dir.join(format!("bundle-{:#x}.json", case.seed));
-    let body = serde_json::to_string_pretty(&bundle_json(case, out))
-        .map_err(|e| format!("cannot serialise bundle: {e}"))?;
-    std::fs::write(&path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    crate::util::write_json(&path, &bundle_json(case, out))?;
     Ok(path)
 }
 

@@ -20,6 +20,7 @@
 //! | [`exp_resilience`] | §4.1 attribution under dynamic fault churn |
 //! | [`exp_soak`] | liveness/invariant chaos soak + failure replay |
 //! | [`exp_adversarial`] | §4.1/§6.2 Byzantine grid: schemes × behaviors × compromised switches |
+//! | [`exp_service_load`] | E-SERVE: resident multi-tenant service, ingest + online identify |
 
 pub mod exp_ablation;
 pub mod exp_adversarial;
@@ -34,13 +35,19 @@ pub mod exp_identification;
 pub mod exp_indirect;
 pub mod exp_ppm_convergence;
 pub mod exp_resilience;
+pub mod exp_service_load;
 pub mod exp_soak;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;
-pub mod scenario_config;
 pub mod tables;
 pub mod util;
+
+/// The declarative scenario layer now lives in `ddpm-serve` (the
+/// resident service builds tenant worlds from the same configs); this
+/// alias keeps the historical `ddpm_bench::scenario_config` path —
+/// and every existing import — working unchanged.
+pub use ddpm_serve::scenario as scenario_config;
 
 pub use util::{Report, RunCtx, TextTable};
 
@@ -74,5 +81,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("resilience", exp_resilience::run),
         ("soak", exp_soak::run),
         ("adversarial", exp_adversarial::run),
+        ("service_load", exp_service_load::run),
     ]
 }

@@ -3,9 +3,9 @@
 
 use ddpm_sim::Engine;
 use ddpm_telemetry::TelemetryConfig;
-use serde_json::Value;
+use serde_json::{json, Value};
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// What the driver passes to every experiment runner: reproducibility
 /// and output knobs shared across the whole suite.
@@ -157,6 +157,54 @@ impl TextTable {
     }
 }
 
+/// Writes `value` as pretty-printed JSON to `path`, creating parent
+/// directories as needed. The one results writer every driver shares —
+/// the `report` and `scenario` binaries, the soak's repro bundles and
+/// the service-load experiment all route through here.
+///
+/// # Errors
+/// I/O or serialisation failures, as human-readable text naming the
+/// path.
+pub fn write_json(path: &Path, value: &Value) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+    }
+    let body = serde_json::to_string_pretty(value)
+        .map_err(|e| format!("cannot serialise {}: {e}", path.display()))?;
+    std::fs::write(path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+/// Merge-writes rows into a shared bench document (`{"bench": ...,
+/// "rows": [...]}`): rows already in `path` for which `mine` is false
+/// are preserved, rows for which it is true are replaced by
+/// `new_rows`. This lets the criterion throughput bench and the
+/// service-load experiment co-own `BENCH_sim_throughput.json` without
+/// clobbering each other's rows.
+///
+/// # Errors
+/// As [`write_json`]; an unreadable or unparseable existing file is
+/// treated as absent, not an error.
+pub fn merge_bench_rows(
+    path: &Path,
+    bench: &str,
+    mine: &dyn Fn(&Value) -> bool,
+    new_rows: Vec<Value>,
+) -> Result<(), String> {
+    let mut rows: Vec<Value> = Vec::new();
+    if let Ok(raw) = std::fs::read_to_string(path) {
+        if let Ok(doc) = serde_json::from_str::<Value>(&raw) {
+            if let Some(existing) = doc["rows"].as_array() {
+                rows.extend(existing.iter().filter(|r| !mine(r)).cloned());
+            }
+        }
+    }
+    rows.extend(new_rows);
+    write_json(path, &json!({"bench": bench, "rows": rows}))
+}
+
 /// Formats a float with sensible precision for tables.
 #[must_use]
 pub fn fnum(x: f64) -> String {
@@ -209,6 +257,51 @@ mod tests {
         assert_eq!(fnum(1.23456), "1.235");
         assert_eq!(fnum(42.42), "42.4");
         assert_eq!(fnum(12345.6), "12346");
+    }
+
+    #[test]
+    fn merge_bench_rows_replaces_only_mine() {
+        let dir =
+            std::env::temp_dir().join(format!("ddpm-merge-rows-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("bench.json");
+        let serve = |r: &Value| {
+            r["engine"]
+                .as_str()
+                .is_some_and(|e| e.starts_with("serve"))
+        };
+        // First write: sim rows only (file does not exist yet).
+        write_json(
+            &path,
+            &serde_json::json!({"bench": "b", "rows": [{"engine": "serial", "pps": 1}]}),
+        )
+        .unwrap();
+        // Serve rows merge in, sim row preserved.
+        merge_bench_rows(
+            &path,
+            "b",
+            &serve,
+            vec![serde_json::json!({"engine": "serve-4t", "pps": 2})],
+        )
+        .unwrap();
+        // Fresh serve rows replace old serve rows, sim row preserved.
+        merge_bench_rows(
+            &path,
+            "b",
+            &serve,
+            vec![serde_json::json!({"engine": "serve-8t", "pps": 3})],
+        )
+        .unwrap();
+        let doc: Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let engines: Vec<&str> = doc["rows"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|r| r["engine"].as_str().unwrap())
+            .collect();
+        assert_eq!(engines, ["serial", "serve-8t"]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -90,6 +90,12 @@ pub fn run(sim: &mut Simulation<'_>) -> SimStats {
 /// engine pauses at the first window barrier at or after `limit`, so
 /// its pause cycle may overshoot `limit` by up to one lookahead window.
 pub fn run_until(sim: &mut Simulation<'_>, limit: u64) -> bool {
+    if sim.is_finalized() {
+        // Stride re-entry after quiescence (a resident driver racing a
+        // completion it has not observed): nothing to do, and the
+        // sharded path must not re-partition a finished world.
+        return true;
+    }
     let cfg = sim.config();
     let lookahead = cfg.service_cycles + cfg.link_latency;
     let shards = match cfg.engine {

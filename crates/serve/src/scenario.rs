@@ -1,29 +1,26 @@
-//! Declarative scenario configs for the `scenario` binary.
+//! Declarative scenario configs — the description language shared by
+//! the `scenario` binary and the `ddpm-serve` tenant service.
 //!
 //! A downstream user describes a cluster, a routing algorithm, a
 //! marking scheme, benign background and an attack in JSON; the runner
 //! executes it and reports statistics, detection and the DDPM census.
 //! See `scenarios/*.json` at the repository root for ready-made files.
+//!
+//! The one-shot entry points ([`run_scenario`], [`resume_scenario`])
+//! build, run and summarise a world in one call. The service keeps
+//! worlds resident instead: [`crate::ScenarioWorld`] (in `world.rs`)
+//! is the same build/run/outcome machinery split apart so a simulation
+//! can be advanced in strides, injected into and queried mid-flight.
 
-use ddpm_attack::{
-    AdversaryModel, BackgroundTraffic, FloodAttack, PacketFactory, SpoofStrategy, SynFloodAttack,
-    TrafficPattern, Workload,
-};
-use ddpm_core::identify::attack_census;
-use ddpm_core::{build_scheme_with, DdpmScheme, DpmScheme};
-use ddpm_net::{AddrMap, CodecMode, TrafficClass};
-use ddpm_routing::{Router, SelectionPolicy};
 use ddpm_sim::{
-    AdversaryBehavior, AdversarySpec, CheckpointConfig, Engine, InvariantConfig, Marker,
-    MarkingScheme, NoMarking, RetryPolicy, SchemeSpec, SimConfig, SimStats, SimTime, Simulation,
-    WatchdogConfig,
+    AdversaryBehavior, AdversarySpec, CheckpointConfig, Engine, SchemeSpec, WatchdogConfig,
 };
-use ddpm_telemetry::{EventKind as TelEvent, PacketEvent};
-use ddpm_topology::{FaultEvent, FaultSchedule, FaultSet, NodeId, Topology, MAX_DIMS};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use serde_json::{json, Error as JsonError, FromJson, Value};
+use ddpm_routing::Router;
+use ddpm_topology::{FaultEvent, NodeId, Topology, MAX_DIMS};
+use serde_json::{Error as JsonError, FromJson, Value};
 use std::path::Path;
+
+pub use crate::world::ScenarioWorld;
 
 // ---------------------------------------------------------------------
 // Manual JSON extraction helpers.
@@ -41,7 +38,7 @@ use std::path::Path;
 /// `"fault_retires": 6` would get fail-fast behaviour with no hint —
 /// so every object in the schema is checked against its full key list
 /// and the error names both the offender and the accepted spellings.
-fn reject_unknown(v: &Value, what: &str, allowed: &[&str]) -> Result<(), JsonError> {
+pub(crate) fn reject_unknown(v: &Value, what: &str, allowed: &[&str]) -> Result<(), JsonError> {
     let Some(obj) = v.as_object() else {
         return Ok(()); // non-objects are diagnosed by the caller
     };
@@ -56,25 +53,25 @@ fn reject_unknown(v: &Value, what: &str, allowed: &[&str]) -> Result<(), JsonErr
     Ok(())
 }
 
-fn req<'a>(v: &'a Value, key: &str) -> Result<&'a Value, JsonError> {
+pub(crate) fn req<'a>(v: &'a Value, key: &str) -> Result<&'a Value, JsonError> {
     match v.get(key) {
         Some(x) if !x.is_null() => Ok(x),
         _ => Err(JsonError::msg(format!("missing field `{key}`"))),
     }
 }
 
-fn as_u64(v: &Value, key: &str) -> Result<u64, JsonError> {
+pub(crate) fn as_u64(v: &Value, key: &str) -> Result<u64, JsonError> {
     req(v, key)?
         .as_u64()
         .ok_or_else(|| JsonError::msg(format!("`{key}` must be a non-negative integer")))
 }
 
-fn as_u32(v: &Value, key: &str) -> Result<u32, JsonError> {
+pub(crate) fn as_u32(v: &Value, key: &str) -> Result<u32, JsonError> {
     u32::try_from(as_u64(v, key)?)
         .map_err(|_| JsonError::msg(format!("`{key}` does not fit in u32")))
 }
 
-fn opt_u64(v: &Value, key: &str, default: u64) -> Result<u64, JsonError> {
+pub(crate) fn opt_u64(v: &Value, key: &str, default: u64) -> Result<u64, JsonError> {
     match v.get(key) {
         None | Some(Value::Null) => Ok(default),
         Some(x) => x
@@ -83,12 +80,12 @@ fn opt_u64(v: &Value, key: &str, default: u64) -> Result<u64, JsonError> {
     }
 }
 
-fn opt_u32(v: &Value, key: &str, default: u32) -> Result<u32, JsonError> {
+pub(crate) fn opt_u32(v: &Value, key: &str, default: u32) -> Result<u32, JsonError> {
     u32::try_from(opt_u64(v, key, u64::from(default))?)
         .map_err(|_| JsonError::msg(format!("`{key}` does not fit in u32")))
 }
 
-fn opt_f64(v: &Value, key: &str, default: f64) -> Result<f64, JsonError> {
+pub(crate) fn opt_f64(v: &Value, key: &str, default: f64) -> Result<f64, JsonError> {
     match v.get(key) {
         None | Some(Value::Null) => Ok(default),
         Some(x) => x
@@ -97,7 +94,7 @@ fn opt_f64(v: &Value, key: &str, default: f64) -> Result<f64, JsonError> {
     }
 }
 
-fn kind_tag<'a>(v: &'a Value, what: &str) -> Result<&'a str, JsonError> {
+pub(crate) fn kind_tag<'a>(v: &'a Value, what: &str) -> Result<&'a str, JsonError> {
     if v.as_object().is_none() {
         return Err(JsonError::msg(format!("{what} must be an object")));
     }
@@ -106,7 +103,7 @@ fn kind_tag<'a>(v: &'a Value, what: &str) -> Result<&'a str, JsonError> {
         .ok_or_else(|| JsonError::msg(format!("{what} `kind` must be a string")))
 }
 
-fn u32_list(v: &Value, key: &str) -> Result<Vec<u32>, JsonError> {
+pub(crate) fn u32_list(v: &Value, key: &str) -> Result<Vec<u32>, JsonError> {
     let arr = req(v, key)?
         .as_array()
         .ok_or_else(|| JsonError::msg(format!("`{key}` must be an array")))?;
@@ -119,7 +116,7 @@ fn u32_list(v: &Value, key: &str) -> Result<Vec<u32>, JsonError> {
         .collect()
 }
 
-fn dims_list(v: &Value, key: &str) -> Result<Vec<u16>, JsonError> {
+pub(crate) fn dims_list(v: &Value, key: &str) -> Result<Vec<u16>, JsonError> {
     let arr = req(v, key)?
         .as_array()
         .ok_or_else(|| JsonError::msg(format!("`{key}` must be an array")))?;
@@ -135,9 +132,21 @@ fn dims_list(v: &Value, key: &str) -> Result<Vec<u16>, JsonError> {
 /// Topology selection.
 #[derive(Clone, Debug)]
 pub enum TopologySpec {
-    Mesh { dims: Vec<u16> },
-    Torus { dims: Vec<u16> },
-    Hypercube { n: usize },
+    /// k-ary n-dimensional mesh with the given per-dimension radices.
+    Mesh {
+        /// Radix of each dimension, innermost first.
+        dims: Vec<u16>,
+    },
+    /// k-ary n-dimensional torus (wraparound mesh).
+    Torus {
+        /// Radix of each dimension, innermost first.
+        dims: Vec<u16>,
+    },
+    /// n-dimensional hypercube (2^n nodes).
+    Hypercube {
+        /// Dimension count.
+        n: usize,
+    },
 }
 
 /// Largest cluster a scenario may describe. `NodeId` is a `u32` and the
@@ -211,11 +220,17 @@ impl TopologySpec {
 /// Routing selection.
 #[derive(Clone, Copy, Debug)]
 pub enum RouterSpec {
+    /// Deterministic dimension-order (e-cube) routing.
     DimensionOrder,
+    /// West-first turn-model routing.
     WestFirst,
+    /// North-last turn-model routing.
     NorthLast,
+    /// Negative-first turn-model routing.
     NegativeFirst,
+    /// Minimal adaptive routing (productive directions only).
     MinimalAdaptive,
+    /// Fully adaptive routing with a bounded misroute budget.
     FullyAdaptive,
 }
 
@@ -251,12 +266,17 @@ impl RouterSpec {
     }
 }
 
-/// Marking-scheme selection.
+/// Marking-scheme selection (the legacy one-sided knob; prefer
+/// [`ScenarioConfig::scheme`] for two-sided plugins).
 #[derive(Clone, Copy, Debug)]
 pub enum MarkingSpec {
+    /// No marking at all.
     None,
+    /// Deterministic distance-driven packet marking (positional codec).
     Ddpm,
+    /// DDPM with the residue-number-system codec.
     DdpmResidue,
+    /// Classic deterministic packet marking (ingress signature).
     Dpm,
 }
 
@@ -277,16 +297,26 @@ impl FromJson for MarkingSpec {
 /// Attack selection.
 #[derive(Clone, Debug)]
 pub enum AttackSpec {
+    /// Volumetric UDP flood from a set of zombie nodes.
     UdpFlood {
+        /// Compromised source nodes.
         zombies: Vec<u32>,
+        /// Flooded destination node.
         victim: u32,
+        /// Packets each zombie sends.
         packets_per_zombie: u32,
+        /// Cycles between consecutive packets per zombie.
         interval: u64,
     },
+    /// SYN flood with spoofed source addresses.
     SynFlood {
+        /// Compromised source nodes.
         zombies: Vec<u32>,
+        /// Flooded destination node.
         victim: u32,
+        /// SYNs each zombie sends.
         syns_per_zombie: u32,
+        /// Cycles between consecutive SYNs per zombie.
         interval: u64,
     },
 }
@@ -506,8 +536,11 @@ fn fault_schedule(v: &Value) -> Result<Vec<(u64, FaultEvent)>, JsonError> {
 /// Full scenario description.
 #[derive(Clone, Debug)]
 pub struct ScenarioConfig {
+    /// Cluster interconnect to build.
     pub topology: TopologySpec,
+    /// Routing algorithm for every switch.
     pub router: RouterSpec,
+    /// Legacy one-sided marking knob (default `ddpm`).
     pub marking: MarkingSpec,
     /// Plugin marking scheme (`"scheme": "ddpm" | "dpm" | "ppm-edge" |
     /// "ppm-xor" | "tracemax" | "none"`). Selects a two-sided
@@ -535,6 +568,7 @@ pub struct ScenarioConfig {
     pub background_interval: u64,
     /// Simulation horizon for the background, in cycles (default 4000).
     pub horizon: u64,
+    /// DDoS attack to overlay on the background, if any.
     pub attack: Option<AttackSpec>,
     /// Timestamped dynamic fault events (link/switch fail and repair),
     /// applied mid-run by the simulator. Empty by default.
@@ -697,7 +731,9 @@ impl FromJson for ScenarioConfig {
 /// The runner's output: human text plus machine JSON.
 #[derive(Debug)]
 pub struct ScenarioOutcome {
+    /// Human-readable run summary.
     pub text: String,
+    /// Machine-readable run summary.
     pub json: serde_json::Value,
     /// Order-sensitive fingerprint of everything the run observed:
     /// an FNV-1a hash over the delivered-packet stream (ids, headers
@@ -715,7 +751,7 @@ pub struct ScenarioOutcome {
     pub digest: String,
 }
 
-fn fnv64(s: &str) -> u64 {
+pub(crate) fn fnv64(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.as_bytes() {
         h ^= u64::from(*b);
@@ -784,6 +820,25 @@ pub fn resume_scenario_with(
     dir: &Path,
     every_override: Option<u64>,
 ) -> Result<ScenarioOutcome, String> {
+    let (cfg, source, ckpt) = load_resume(dir, every_override)?;
+    execute(&cfg, Some(&source), Some(ckpt))
+}
+
+/// Loads the newest usable checkpoint in `dir` and re-derives the run
+/// it belongs to: the parsed [`ScenarioConfig`] (with its checkpoint
+/// block redirected back into `dir` and the `crash_at` hook cleared),
+/// the embedded scenario source text, and the checkpoint itself.
+///
+/// This is the shared first half of [`resume_scenario_with`]; the
+/// service uses it to rebuild resident tenants from their per-tenant
+/// checkpoint directories without running them to completion.
+///
+/// # Errors
+/// As [`resume_scenario_with`].
+pub fn load_resume(
+    dir: &Path,
+    every_override: Option<u64>,
+) -> Result<(ScenarioConfig, String, ddpm_checkpoint::Checkpoint), String> {
     let scan = ddpm_checkpoint::latest(dir, None)
         .map_err(|e| format!("scanning {}: {e}", dir.display()))?;
     for (path, err) in &scan.skipped {
@@ -827,7 +882,7 @@ pub fn resume_scenario_with(
         (None, None) => None,
     };
     let source = ckpt.scenario.clone();
-    execute(&cfg, Some(&source), Some(ckpt))
+    Ok((cfg, source, ckpt))
 }
 
 fn execute(
@@ -835,538 +890,9 @@ fn execute(
     source: Option<&str>,
     resume: Option<ddpm_checkpoint::Checkpoint>,
 ) -> Result<ScenarioOutcome, String> {
-    let topo = cfg.topology.build();
-    let n = topo.num_nodes();
-    let router = cfg.router.build(&topo);
-    let map = AddrMap::for_topology(&topo);
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let faults = FaultSet::random(&topo, cfg.fault_rate, || rng.gen::<f64>());
-    let schedule = FaultSchedule::from_events(cfg.fault_schedule.clone());
-    schedule
-        .validate(&topo)
-        .map_err(|e| format!("fault_schedule: {e}"))?;
-
-    // The `"scheme"` knob selects a two-sided plugin; scheme/topology
-    // mismatches (e.g. tracemax on a long-diameter mesh) surface here
-    // as loader errors, exactly like an oversized-DDPM config.
-    let plugin: Option<Box<dyn MarkingScheme>> = match cfg.scheme {
-        Some(spec) => Some(build_scheme_with(spec, &topo, cfg.tag_bits)?),
-        None => None,
-    };
-    // The `"adversary"` block wraps the plugin marker: compromised
-    // switches run the configured behavior, everyone else delegates to
-    // the honest scheme. Range checks (switches/framed vs. the built
-    // topology) surface here as loader errors.
-    let adversary: Option<AdversaryModel<'_>> = match &cfg.adversary {
-        None => None,
-        Some(spec) => {
-            let (p, run) = match (&plugin, cfg.scheme) {
-                (Some(p), Some(run)) => (p, run),
-                _ => return Err("`adversary` requires the `scheme` knob".into()),
-            };
-            Some(
-                AdversaryModel::new(&**p, run, &topo, spec.clone(), cfg.tag_bits)
-                    .map_err(|e| format!("adversary: {e}"))?,
-            )
-        }
-    };
-    let ddpm = match cfg.marking {
-        MarkingSpec::Ddpm => Some(DdpmScheme::new(&topo).map_err(|e| format!("ddpm: {e}"))?),
-        MarkingSpec::DdpmResidue => Some(
-            DdpmScheme::with_mode(&topo, CodecMode::Residue).map_err(|e| format!("ddpm: {e}"))?,
-        ),
-        _ => None,
-    };
-    let dpm = DpmScheme::new();
-    let none = NoMarking;
-    let marker: &dyn Marker = match (&adversary, &plugin, cfg.marking) {
-        (Some(a), _, _) => a,
-        (None, Some(p), _) => &**p,
-        (None, None, MarkingSpec::None) => &none,
-        (None, None, MarkingSpec::Dpm) => &dpm,
-        (None, None, MarkingSpec::Ddpm | MarkingSpec::DdpmResidue) => {
-            ddpm.as_ref().expect("built above")
-        }
-    };
-
-    let check_node = |id: u32, what: &str| -> Result<NodeId, String> {
-        if u64::from(id) < n {
-            Ok(NodeId(id))
-        } else {
-            Err(format!("{what} {id} out of range (cluster has {n} nodes)"))
-        }
-    };
-
-    let mut factory = PacketFactory::new(map.clone());
-    let mut workload: Workload = if cfg.background_interval > 0 {
-        BackgroundTraffic {
-            pattern: TrafficPattern::Uniform,
-            interval: cfg.background_interval,
-            duration: cfg.horizon,
-            start: SimTime::ZERO,
-        }
-        .generate(&topo, &mut factory, &mut rng)
-    } else {
-        Workload::new()
-    };
-    match &cfg.attack {
-        Some(AttackSpec::UdpFlood {
-            zombies,
-            victim,
-            packets_per_zombie,
-            interval,
-        }) => {
-            let zombies = zombies
-                .iter()
-                .map(|&z| check_node(z, "zombie"))
-                .collect::<Result<Vec<_>, _>>()?;
-            let flood = FloodAttack {
-                packets_per_zombie: *packets_per_zombie,
-                interval: *interval,
-                ..FloodAttack::new(zombies, check_node(*victim, "victim")?)
-            };
-            workload.extend(flood.generate(&mut factory, &mut rng));
-        }
-        Some(AttackSpec::SynFlood {
-            zombies,
-            victim,
-            syns_per_zombie,
-            interval,
-        }) => {
-            let zombies = zombies
-                .iter()
-                .map(|&z| check_node(z, "zombie"))
-                .collect::<Result<Vec<_>, _>>()?;
-            let flood = SynFloodAttack {
-                syns_per_zombie: *syns_per_zombie,
-                interval: *interval,
-                spoof: SpoofStrategy::RandomInCluster,
-                ..SynFloodAttack::new(zombies, check_node(*victim, "victim")?)
-            };
-            workload.extend(flood.generate(&mut factory, &mut rng));
-        }
-        None => {}
-    }
-
-    let mut sim_cfg = SimConfig::seeded(cfg.seed)
-        .to_builder()
-        .engine(cfg.engine)
-        .build();
-    if let Some(spec) = cfg.scheme {
-        sim_cfg = sim_cfg.to_builder().scheme(spec).build();
-    }
-    if let Some(t) = cfg.tag_bits {
-        sim_cfg = sim_cfg.to_builder().tag_bits(t).build();
-    }
-    if let Some(spec) = &cfg.adversary {
-        // Lets the core flag compromised nodes: it emits `MarkTamper`
-        // telemetry at every marking touch by a compromised switch.
-        sim_cfg = sim_cfg.to_builder().adversary(spec.clone()).build();
-    }
-    if cfg.fault_retries > 0 {
-        let backoff = sim_cfg.service_cycles.max(1);
-        sim_cfg = sim_cfg
-            .to_builder()
-            .fault_tolerance(RetryPolicy::capped(cfg.fault_retries, backoff, 256))
-            .build();
-    }
-    if let Some(wd) = cfg.watchdog {
-        sim_cfg = sim_cfg.to_builder().watchdog(wd).build();
-    }
-    if cfg.invariants {
-        // Recording, not strict: a scenario run should report the
-        // violation to its user, not abort the process.
-        sim_cfg = sim_cfg
-            .to_builder()
-            .invariants(InvariantConfig::recording())
-            .build();
-    }
-    let mut sim = Simulation::new(
-        &topo,
-        &faults,
-        router,
-        SelectionPolicy::ProductiveFirstRandom,
-        marker,
-        sim_cfg,
-    );
-    match resume {
-        None => {
-            sim.schedule_faults(&schedule);
-            for (t, p) in workload {
-                sim.schedule(t, p);
-            }
-        }
-        Some(mut ckpt) => {
-            // The snapshot carries the complete mid-run state — event
-            // queue (remaining workload and fault events included),
-            // in-flight packets, RNG streams, port clocks — and
-            // `restore` insists on a freshly built world, so nothing
-            // is scheduled here. The workload above was still
-            // generated: it keeps resume on the exact same config
-            // validation path as a clean run.
-            let at = ckpt.cycle;
-            drop(workload);
-            if let Some(state) = ckpt.snapshot.adversary.take() {
-                match &adversary {
-                    Some(adv) => adv
-                        .restore(state)
-                        .map_err(|e| format!("resume adversary: {e}"))?,
-                    None => {
-                        return Err(
-                            "checkpoint carries adversary state but the scenario \
-                             configures no adversary"
-                                .into(),
-                        )
-                    }
-                }
-            }
-            sim.restore(ckpt.snapshot);
-            if let Some(t) = sim.telemetry_mut() {
-                t.note_resume(at);
-            }
-        }
-    }
-    let stats: SimStats = match &cfg.checkpoint {
-        None => ddpm_engine::run(&mut sim),
-        Some(ck) => run_checkpointed(&mut sim, ck, source, adversary.as_ref())?,
-    };
-
-    let mut d_dump = String::new();
-    for d in sim.delivered() {
-        d_dump.push_str(&format!(
-            "D {:?} {:?} {:?} {} {:?}\n",
-            d.packet, d.injected_at, d.delivered_at, d.hops, d.path
-        ));
-    }
-    let mut x_dump = String::new();
-    for (id, reason) in sim.drops() {
-        x_dump.push_str(&format!("X {id:?} {reason:?}\n"));
-    }
-    let mut v_dump = String::new();
-    for v in sim.violations() {
-        v_dump.push_str(&format!("V {v:?}\n"));
-    }
-    let s_dump = format!("S {stats:?}\n");
-    let dump = format!("{d_dump}{x_dump}{v_dump}{s_dump}");
-    let digest = format!(
-        "{:016x} delivered={} dropped={} violations={} D={:016x} X={:016x} V={:016x} S={:016x}",
-        fnv64(&dump),
-        sim.delivered().len(),
-        sim.drops().len(),
-        sim.violations().len(),
-        fnv64(&d_dump),
-        fnv64(&x_dump),
-        fnv64(&v_dump),
-        fnv64(&s_dump),
-    );
-
-    let marking_desc = match cfg.scheme {
-        Some(spec) => format!("{} scheme", spec.as_str()),
-        None => format!("{:?} marking", cfg.marking),
-    };
-    let mut text = format!(
-        "scenario: {topo}, {} routing, {marking_desc}, {} failed links\n\
-         benign : {} injected, {} delivered ({:.1}% | mean latency {:.1} cyc)\n\
-         attack : {} injected, {} delivered, {} dropped\n",
-        router,
-        faults.failed_links(),
-        stats.benign.injected,
-        stats.benign.delivered,
-        stats.benign.delivery_ratio() * 100.0,
-        stats.benign.latency.mean().unwrap_or(0.0),
-        stats.attack.injected,
-        stats.attack.delivered,
-        stats.attack.dropped(),
-    );
-    if !schedule.is_empty() {
-        text.push_str(&format!(
-            "faults : {} events applied, {} fault drops, \
-             fault-window delivery {:.1}%, {} degraded cycles\n",
-            stats.faults.events_applied,
-            stats.fault_drops(),
-            stats.faults.window_delivery_ratio() * 100.0,
-            stats.faults.degraded_cycles,
-        ));
-    }
-    if cfg.watchdog.is_some() {
-        let wd = &stats.watchdog;
-        text.push_str(&format!(
-            "liveness: {} sweeps — {} livelocks, {} starvations, {} deadlocks, \
-             {} escapes (oldest in-flight age {} cyc)\n",
-            wd.checks, wd.livelocks, wd.starvations, wd.deadlocks, wd.escapes, wd.max_age_seen,
-        ));
-    }
-    if cfg.invariants {
-        let violations = sim.violations();
-        match violations.first() {
-            None => text.push_str("invariants: 0 violations\n"),
-            Some(first) => text.push_str(&format!(
-                "invariants: {} VIOLATIONS — first at cycle {}: {} ({})\n",
-                violations.len(),
-                first.cycle,
-                first.invariant,
-                first.detail,
-            )),
-        }
-    }
-    let mut census_json = json!(null);
-    if let Some(scheme) = &ddpm {
-        let census = attack_census(&topo, scheme, sim.delivered());
-        let mut rows: Vec<(NodeId, u64)> = census.into_iter().collect();
-        rows.sort_by_key(|&(node, c)| (std::cmp::Reverse(c), node));
-        if rows.is_empty() {
-            text.push_str("census : no attack traffic delivered\n");
-        } else {
-            text.push_str("census : DDPM-identified attack sources:\n");
-            for (node, count) in &rows {
-                text.push_str(&format!(
-                    "         {node} at {} -> {count} packets\n",
-                    topo.coord(*node)
-                ));
-            }
-        }
-        census_json = json!(rows
-            .iter()
-            .map(|&(node, c)| json!({"node": node.0, "packets": c}))
-            .collect::<Vec<_>>());
-    }
-    // Victim-side attribution via the scheme plugin's collector: feed it
-    // every attack-class packet the victim received, in delivery order,
-    // then ask it who the sources were. Text/JSON only — the behavioural
-    // digest hashes the delivered/drop/violation/stats streams, which
-    // this post-run analysis does not touch.
-    let mut attribution_json = json!(null);
-    if let Some(p) = &plugin {
-        let victim = cfg.attack.as_ref().map(|a| match a {
-            AttackSpec::UdpFlood { victim, .. } | AttackSpec::SynFlood { victim, .. } => {
-                NodeId(*victim)
-            }
-        });
-        if let Some(victim) = victim {
-            let mut collector = p.collector(&topo, victim);
-            let mut last_cycle = 0u64;
-            for d in sim.delivered() {
-                if d.packet.dest_node == victim && d.packet.class == TrafficClass::Attack {
-                    // observe_packet, not observe: the auth-* collectors
-                    // verify the delivered header's keyed tag and reject
-                    // fail-closed; everyone else falls back to plain
-                    // field observation.
-                    collector.observe_packet(&d.packet);
-                    last_cycle = last_cycle.max(d.delivered_at.0);
-                }
-            }
-            let att = collector.attribute();
-            let observed = collector.observed();
-            let rejected = collector.rejected();
-            let candidates: Vec<NodeId> = att.candidates.clone();
-            if candidates.is_empty() {
-                text.push_str(&format!(
-                    "attrib : {} collector saw {observed} attack packets, named no source\n",
-                    p.name()
-                ));
-            } else {
-                text.push_str(&format!(
-                    "attrib : {} collector saw {observed} attack packets -> {} candidate(s) \
-                     at confidence {:.2}:\n",
-                    p.name(),
-                    candidates.len(),
-                    att.confidence,
-                ));
-                for node in &candidates {
-                    text.push_str(&format!("         {node} at {}\n", topo.coord(*node)));
-                }
-            }
-            if rejected > 0 {
-                text.push_str(&format!(
-                    "         {rejected} mark(s) rejected fail-closed (tag did not verify)\n"
-                ));
-            }
-            if let Some(t) = sim.telemetry_mut() {
-                if rejected > 0 {
-                    t.record_post_run(PacketEvent {
-                        cycle: last_cycle,
-                        pkt: rejected,
-                        node: victim.0,
-                        kind: TelEvent::AuthReject { scheme: p.name() },
-                    });
-                }
-                t.record_post_run(PacketEvent {
-                    cycle: last_cycle,
-                    pkt: 0,
-                    node: victim.0,
-                    kind: TelEvent::Attribute {
-                        scheme: p.name(),
-                        candidates: candidates.len() as u32,
-                        confidence_pm: (att.confidence * 1000.0).round() as u32,
-                    },
-                });
-            }
-            attribution_json = json!({
-                "scheme": p.name(),
-                "observed": observed,
-                "rejected": rejected,
-                "candidates": candidates.iter().map(|n| json!(n.0)).collect::<Vec<_>>(),
-                "confidence": att.confidence,
-            });
-        }
-    }
-    // Adversary ground truth (the honest victim cannot see this; the
-    // report can): what the compromised marking plane actually did.
-    let mut adversary_json = json!(null);
-    if let Some(adv) = &adversary {
-        let spec = adv.spec();
-        let tampered = adv.total_tampered();
-        text.push_str(&format!(
-            "adversary: {} compromised switch(es), behavior {}, {} mark(s) tampered\n",
-            spec.switches.len(),
-            spec.behavior.as_str(),
-            tampered,
-        ));
-        adversary_json = json!({
-            "switches": spec.switches.iter().map(|s| json!(s.0)).collect::<Vec<_>>(),
-            "behavior": spec.behavior.as_str(),
-            "framed": spec.framed.map_or(json!(null), |f| json!(f.0)),
-            "seed": spec.seed,
-            "tampered": tampered,
-        });
-    }
-    let watchdog_json = if cfg.watchdog.is_some() {
-        json!({
-            "checks": stats.watchdog.checks,
-            "livelocks": stats.watchdog.livelocks,
-            "starvations": stats.watchdog.starvations,
-            "deadlocks": stats.watchdog.deadlocks,
-            "escapes": stats.watchdog.escapes,
-            "max_age_seen": stats.watchdog.max_age_seen,
-        })
-    } else {
-        json!(null)
-    };
-    let invariants_json = if cfg.invariants {
-        json!(sim
-            .violations()
-            .iter()
-            .map(|v| json!({
-                "cycle": v.cycle,
-                "pkt": v.pkt,
-                "node": v.node,
-                "invariant": v.invariant,
-                "detail": v.detail.clone(),
-            }))
-            .collect::<Vec<_>>())
-    } else {
-        json!(null)
-    };
-    let json = json!({
-        "topology": topo.describe(),
-        "router": router.name(),
-        "failed_links": faults.failed_links(),
-        "watchdog": watchdog_json,
-        "violations": invariants_json,
-        "faults": {
-            "events_applied": stats.faults.events_applied,
-            "fault_drops": stats.fault_drops(),
-            "window_delivery_ratio": stats.faults.window_delivery_ratio(),
-            "degraded_cycles": stats.faults.degraded_cycles,
-        },
-        "benign": {
-            "injected": stats.benign.injected,
-            "delivered": stats.benign.delivered,
-            "mean_latency": stats.benign.latency.mean(),
-        },
-        "attack": {
-            "injected": stats.attack.injected,
-            "delivered": stats.attack.delivered,
-            "dropped": stats.attack.dropped(),
-        },
-        "census": census_json,
-        "scheme": match cfg.scheme {
-            Some(spec) => json!(spec.as_str()),
-            None => json!(null),
-        },
-        "tag_bits": match cfg.tag_bits {
-            Some(t) => json!(t),
-            None => json!(null),
-        },
-        "adversary": adversary_json,
-        "attribution": attribution_json,
-    });
-    Ok(ScenarioOutcome { text, json, digest })
-}
-
-/// Segmented execution with on-disk checkpoints.
-///
-/// Runs the engines in `every`-cycle segments, writing an atomic
-/// checkpoint (temp + fsync + rename, see `ddpm-checkpoint`) at each
-/// pause. Pausing and continuing the engines is digest-neutral by
-/// construction — `run_until` stops only at clean event boundaries —
-/// so checkpointed, resumed and plain runs all report the same
-/// outcome.
-///
-/// `crash_at` aborts the process once the run reaches that cycle,
-/// *before* any further write: the deterministic stand-in for SIGKILL
-/// used by the kill-and-resume harness. Everything since the last
-/// on-disk checkpoint is genuinely lost, which is the point.
-///
-/// SIGINT/SIGTERM are handled cooperatively: the in-flight segment
-/// finishes, a final checkpoint lands on disk, and the run returns an
-/// error explaining how to resume instead of dying mid-write.
-fn run_checkpointed(
-    sim: &mut Simulation<'_>,
-    ck: &CheckpointConfig,
-    source: Option<&str>,
-    adversary: Option<&AdversaryModel<'_>>,
-) -> Result<SimStats, String> {
-    let scenario = source.unwrap_or("");
-    // Scenario-file runs are stamped with the fingerprint of their
-    // source text (what `resume_scenario` re-checks); programmatic runs
-    // have no canonical text, so they get a config-derived stamp and
-    // their checkpoints are load-protected but not resumable.
-    let stamp = if scenario.is_empty() {
-        ddpm_checkpoint::fingerprint(&format!("programmatic {:?}", sim.config()))
-    } else {
-        ddpm_checkpoint::fingerprint(scenario)
-    };
-    ddpm_checkpoint::interrupt::install();
-    let every = ck.every.max(1);
-    let mut target = (sim.now_cycles() / every + 1) * every;
-    loop {
-        if let Some(crash) = ck.crash_at.filter(|&c| c < target) {
-            // The crash point lands inside this segment: run up to it
-            // and die there. Not-done after draining every event below
-            // `crash` means simulated time has reached the crash point
-            // (the next event is at or past it), so abort either way.
-            if ddpm_engine::run_until(sim, crash) {
-                return Ok(*sim.stats());
-            }
-            std::process::abort();
-        }
-        if ddpm_engine::run_until(sim, target) {
-            return Ok(*sim.stats());
-        }
-        // Read the interrupt flag *before* storing so the checkpoint
-        // that announces the interruption is already safely on disk.
-        let interrupted = ddpm_checkpoint::interrupt::requested();
-        // The core snapshot knows nothing of the driver-side adversary;
-        // its dynamic state (per-switch mark cache, tamper counters)
-        // rides along so resume replays the identical behavior stream.
-        let mut snap = sim.snapshot();
-        if let Some(adv) = adversary {
-            snap.adversary = Some(adv.state());
-        }
-        let path = ddpm_checkpoint::store(&ck.dir, stamp, scenario, &snap, ck.keep)
-            .map_err(|e| format!("checkpoint into {}: {e}", ck.dir.display()))?;
-        if interrupted {
-            return Err(format!(
-                "interrupted at cycle {}: final checkpoint written to {}; \
-                 resume with `report -- resume {}`",
-                sim.now_cycles(),
-                path.display(),
-                ck.dir.display(),
-            ));
-        }
-        target += every;
-    }
+    let mut world = ScenarioWorld::build(cfg, source, resume)?;
+    world.run_to_completion()?;
+    Ok(world.outcome())
 }
 
 #[cfg(test)]

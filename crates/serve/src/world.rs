@@ -1,0 +1,933 @@
+//! The resident scenario world.
+//!
+//! The one-shot runner (`scenario::execute`) used to build topology,
+//! faults, marker and simulation on one stack frame, run to
+//! completion, and summarise. A *tenant* of the attribution service
+//! needs the same world to outlive any single call: advanced in
+//! bounded strides by whichever worker thread claims it next, injected
+//! into and queried mid-flight, checkpointed between strides, and only
+//! summarised once it drains. [`ScenarioWorld`] is that split —
+//! build / advance / outcome — with the construction, scheduling and
+//! digest code kept line-for-line equivalent to the historical
+//! `execute()` so the outcome digest of a world driven in arbitrary
+//! stride interleavings is identical to the standalone run's.
+
+use crate::scenario::{fnv64, AttackSpec, MarkingSpec, ScenarioConfig, ScenarioOutcome};
+use ddpm_attack::{
+    AdversaryModel, BackgroundTraffic, FloodAttack, PacketFactory, SpoofStrategy, SynFloodAttack,
+    TrafficPattern, Workload,
+};
+use ddpm_core::identify::attack_census;
+use ddpm_core::{build_scheme_with, DdpmScheme, DpmScheme};
+use ddpm_net::{AddrMap, CodecMode, TrafficClass};
+use ddpm_routing::{Router, SelectionPolicy};
+use ddpm_sim::{
+    InvariantConfig, Marker, MarkingScheme, NoMarking, RetryPolicy, SimConfig, SimTime, Simulation,
+};
+use ddpm_telemetry::{EventKind as TelEvent, PacketEvent, TelemetryConfig};
+use ddpm_topology::{FaultSchedule, FaultSet, NodeId, Topology};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde_json::json;
+use std::path::PathBuf;
+
+/// Extends a borrow of heap-owned data to `'static`.
+///
+/// # Safety
+/// The caller must guarantee that the allocation owning `*r` outlives
+/// every use of the returned reference and is neither moved out of its
+/// box nor reassigned in the meantime. [`ScenarioWorld`] upholds this
+/// structurally: the borrowing fields (`sim`, `adversary`) are
+/// declared before the owning boxes, so they drop first, and no method
+/// hands out `&mut` access to the boxes themselves.
+unsafe fn extend<T: ?Sized>(r: &T) -> &'static T {
+    &*(r as *const T)
+}
+
+/// An online attribution answer, as reported by [`ScenarioWorld::identify`].
+///
+/// The same victim-side evidence the end-of-run summary reports, but
+/// computed from the delivered stream *so far* — a mid-flight query
+/// over a live tenant, not a post-mortem.
+#[derive(Clone, Debug)]
+pub struct OnlineAttribution {
+    /// The plugin scheme that produced the answer.
+    pub scheme: &'static str,
+    /// Simulated cycle at which the query was answered.
+    pub cycle: u64,
+    /// The victim node the collector was built for.
+    pub victim: u32,
+    /// Attack-class packets observed (delivered to the victim so far).
+    pub observed: u64,
+    /// Marks rejected fail-closed (auth-* schemes).
+    pub rejected: u64,
+    /// Implicated source nodes, ascending.
+    pub candidates: Vec<u32>,
+    /// The scheme's evidence-backed confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// A resident, stride-steppable scenario world.
+///
+/// Built once from a [`ScenarioConfig`] (optionally restoring a
+/// checkpoint), then advanced with [`step`](Self::step) — each call a
+/// bounded `ddpm_engine::run_until` segment — until
+/// [`done`](Self::done). Stride boundaries are digest-neutral by the
+/// engine's contract, so however the strides are sized and
+/// interleaved, [`outcome`](Self::outcome) reports exactly what the
+/// one-shot runner would have.
+///
+/// The struct is self-referential: `sim` borrows the boxed topology,
+/// fault set and marker; `adversary` borrows the boxed plugin. The
+/// borrows are lifetime-extended to `'static` at construction, which
+/// is sound because the referents are heap allocations owned by fields
+/// declared *after* the borrowers (Rust drops fields in declaration
+/// order, so the borrowers go first) and never moved or reassigned.
+/// `ScenarioWorld` is `Send` — a tenant migrates freely between the
+/// service's worker threads — but not `Sync`; concurrent access goes
+/// through the per-tenant mutex in `server.rs`.
+pub struct ScenarioWorld {
+    // ---- borrowers: must drop before the owners below --------------
+    sim: Simulation<'static>,
+    adversary: Option<Box<AdversaryModel<'static>>>,
+    // ---- owners of the borrowed-from allocations --------------------
+    plugin: Option<Box<dyn MarkingScheme>>,
+    ddpm: Option<Box<DdpmScheme>>,
+    _dpm: Box<DpmScheme>,
+    _none: Box<NoMarking>,
+    faults: Box<FaultSet>,
+    topo: Box<Topology>,
+    // ---- inert owned state ------------------------------------------
+    cfg: ScenarioConfig,
+    source: Option<String>,
+    router: Router,
+    schedule: FaultSchedule,
+    factory: PacketFactory,
+    rng: SmallRng,
+    /// Fingerprint stamp for checkpoint files (source text, or a
+    /// config-derived stamp for programmatic runs).
+    stamp: u64,
+    /// Monotone count of `inject` calls, namespacing mid-flight packet
+    /// ids away from the scheduled workload's.
+    injected_packets: u64,
+    done: bool,
+}
+
+impl ScenarioWorld {
+    /// Builds the world: topology, faults, marker plugin, adversary,
+    /// simulation — and either schedules the configured workload (fresh
+    /// run) or restores `resume`'s snapshot.
+    ///
+    /// Equivalent to [`Self::build_with`] with no telemetry override.
+    ///
+    /// # Errors
+    /// Every validation wall of the one-shot runner: scheme/topology
+    /// mismatches, out-of-range nodes, invalid fault schedules,
+    /// adversary misconfiguration, checkpoint/adversary state
+    /// mismatches on resume.
+    pub fn build(
+        cfg: &ScenarioConfig,
+        source: Option<&str>,
+        resume: Option<ddpm_checkpoint::Checkpoint>,
+    ) -> Result<Self, String> {
+        Self::build_with(cfg, source, resume, None)
+    }
+
+    /// [`Self::build`] with an optional telemetry override, which
+    /// replaces the simulation's (default-off) telemetry config — the
+    /// service uses this to install the per-tenant broadcast sink.
+    /// Telemetry is digest-neutral, so the override never changes the
+    /// outcome.
+    ///
+    /// # Errors
+    /// As [`Self::build`].
+    pub fn build_with(
+        cfg: &ScenarioConfig,
+        source: Option<&str>,
+        resume: Option<ddpm_checkpoint::Checkpoint>,
+        telemetry: Option<TelemetryConfig>,
+    ) -> Result<Self, String> {
+        let topo = Box::new(cfg.topology.build());
+        // SAFETY: `topo`, `faults`, `plugin`, `ddpm`, `dpm`, `none` and
+        // `adversary` are boxed and stored in the returned struct,
+        // declared after the fields that borrow them; see the struct
+        // docs for the full argument.
+        let topo_ref: &'static Topology = unsafe { extend(&*topo) };
+        let n = topo_ref.num_nodes();
+        let router = cfg.router.build(topo_ref);
+        let map = AddrMap::for_topology(topo_ref);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let faults = Box::new(FaultSet::random(topo_ref, cfg.fault_rate, || rng.gen::<f64>()));
+        let faults_ref: &'static FaultSet = unsafe { extend(&*faults) };
+        let schedule = FaultSchedule::from_events(cfg.fault_schedule.clone());
+        schedule
+            .validate(topo_ref)
+            .map_err(|e| format!("fault_schedule: {e}"))?;
+
+        // The `"scheme"` knob selects a two-sided plugin; scheme/topology
+        // mismatches (e.g. tracemax on a long-diameter mesh) surface here
+        // as loader errors, exactly like an oversized-DDPM config.
+        let plugin: Option<Box<dyn MarkingScheme>> = match cfg.scheme {
+            Some(spec) => Some(build_scheme_with(spec, topo_ref, cfg.tag_bits)?),
+            None => None,
+        };
+        let plugin_ref: Option<&'static dyn MarkingScheme> =
+            plugin.as_deref().map(|p| unsafe { extend(p) });
+        // The `"adversary"` block wraps the plugin marker: compromised
+        // switches run the configured behavior, everyone else delegates to
+        // the honest scheme. Range checks (switches/framed vs. the built
+        // topology) surface here as loader errors.
+        let adversary: Option<Box<AdversaryModel<'static>>> = match &cfg.adversary {
+            None => None,
+            Some(spec) => {
+                let (p, run) = match (plugin_ref, cfg.scheme) {
+                    (Some(p), Some(run)) => (p, run),
+                    _ => return Err("`adversary` requires the `scheme` knob".into()),
+                };
+                Some(Box::new(
+                    AdversaryModel::new(p, run, topo_ref, spec.clone(), cfg.tag_bits)
+                        .map_err(|e| format!("adversary: {e}"))?,
+                ))
+            }
+        };
+        let ddpm = match cfg.marking {
+            MarkingSpec::Ddpm => Some(Box::new(
+                DdpmScheme::new(topo_ref).map_err(|e| format!("ddpm: {e}"))?,
+            )),
+            MarkingSpec::DdpmResidue => Some(Box::new(
+                DdpmScheme::with_mode(topo_ref, CodecMode::Residue)
+                    .map_err(|e| format!("ddpm: {e}"))?,
+            )),
+            _ => None,
+        };
+        let dpm = Box::new(DpmScheme::new());
+        let none = Box::new(NoMarking);
+        let marker: &'static dyn Marker = match (&adversary, plugin_ref, cfg.marking) {
+            (Some(a), _, _) => unsafe { extend(&**a) },
+            (None, Some(p), _) => p,
+            (None, None, MarkingSpec::None) => unsafe { extend(&*none) },
+            (None, None, MarkingSpec::Dpm) => unsafe { extend(&*dpm) },
+            (None, None, MarkingSpec::Ddpm | MarkingSpec::DdpmResidue) => unsafe {
+                extend(&**ddpm.as_ref().expect("built above"))
+            },
+        };
+
+        let check_node = |id: u32, what: &str| -> Result<NodeId, String> {
+            if u64::from(id) < n {
+                Ok(NodeId(id))
+            } else {
+                Err(format!("{what} {id} out of range (cluster has {n} nodes)"))
+            }
+        };
+
+        let mut factory = PacketFactory::new(map.clone());
+        let mut workload: Workload = if cfg.background_interval > 0 {
+            BackgroundTraffic {
+                pattern: TrafficPattern::Uniform,
+                interval: cfg.background_interval,
+                duration: cfg.horizon,
+                start: SimTime::ZERO,
+            }
+            .generate(topo_ref, &mut factory, &mut rng)
+        } else {
+            Workload::new()
+        };
+        if let Some(attack) = &cfg.attack {
+            workload.extend(generate_attack(attack, &mut factory, &mut rng, &check_node)?);
+        }
+
+        let mut sim_cfg = SimConfig::seeded(cfg.seed)
+            .to_builder()
+            .engine(cfg.engine)
+            .build();
+        if let Some(spec) = cfg.scheme {
+            sim_cfg = sim_cfg.to_builder().scheme(spec).build();
+        }
+        if let Some(t) = cfg.tag_bits {
+            sim_cfg = sim_cfg.to_builder().tag_bits(t).build();
+        }
+        if let Some(spec) = &cfg.adversary {
+            // Lets the core flag compromised nodes: it emits `MarkTamper`
+            // telemetry at every marking touch by a compromised switch.
+            sim_cfg = sim_cfg.to_builder().adversary(spec.clone()).build();
+        }
+        if cfg.fault_retries > 0 {
+            let backoff = sim_cfg.service_cycles.max(1);
+            sim_cfg = sim_cfg
+                .to_builder()
+                .fault_tolerance(RetryPolicy::capped(cfg.fault_retries, backoff, 256))
+                .build();
+        }
+        if let Some(wd) = cfg.watchdog {
+            sim_cfg = sim_cfg.to_builder().watchdog(wd).build();
+        }
+        if cfg.invariants {
+            // Recording, not strict: a scenario run should report the
+            // violation to its user, not abort the process.
+            sim_cfg = sim_cfg
+                .to_builder()
+                .invariants(InvariantConfig::recording())
+                .build();
+        }
+        if let Some(tc) = telemetry {
+            sim_cfg = sim_cfg.to_builder().telemetry(tc).build();
+        }
+        let mut sim = Simulation::new(
+            topo_ref,
+            faults_ref,
+            router,
+            SelectionPolicy::ProductiveFirstRandom,
+            marker,
+            sim_cfg,
+        );
+        match resume {
+            None => {
+                sim.schedule_faults(&schedule);
+                for (t, p) in workload {
+                    sim.schedule(t, p);
+                }
+            }
+            Some(mut ckpt) => {
+                // The snapshot carries the complete mid-run state — event
+                // queue (remaining workload and fault events included),
+                // in-flight packets, RNG streams, port clocks — and
+                // `restore` insists on a freshly built world, so nothing
+                // is scheduled here. The workload above was still
+                // generated: it keeps resume on the exact same config
+                // validation path as a clean run.
+                let at = ckpt.cycle;
+                drop(workload);
+                if let Some(state) = ckpt.snapshot.adversary.take() {
+                    match &adversary {
+                        Some(adv) => adv
+                            .restore(state)
+                            .map_err(|e| format!("resume adversary: {e}"))?,
+                        None => {
+                            return Err(
+                                "checkpoint carries adversary state but the scenario \
+                                 configures no adversary"
+                                    .into(),
+                            )
+                        }
+                    }
+                }
+                sim.restore(ckpt.snapshot);
+                if let Some(t) = sim.telemetry_mut() {
+                    t.note_resume(at);
+                }
+            }
+        }
+        let stamp = match source {
+            Some(s) if !s.is_empty() => ddpm_checkpoint::fingerprint(s),
+            _ => ddpm_checkpoint::fingerprint(&format!("programmatic {:?}", sim.config())),
+        };
+        Ok(Self {
+            sim,
+            adversary,
+            plugin,
+            ddpm,
+            _dpm: dpm,
+            _none: none,
+            faults,
+            topo,
+            cfg: cfg.clone(),
+            source: source.map(str::to_owned),
+            router,
+            schedule,
+            factory,
+            rng,
+            stamp,
+            injected_packets: 0,
+            done: false,
+        })
+    }
+
+    /// Resumes the newest usable checkpoint in `dir` as a resident
+    /// world, without running it anywhere. `every_override` replaces
+    /// the checkpoint cadence for the continued run.
+    ///
+    /// # Errors
+    /// As [`crate::scenario::load_resume`] and [`Self::build`].
+    pub fn resume(dir: &std::path::Path, every_override: Option<u64>) -> Result<Self, String> {
+        let (cfg, source, ckpt) = crate::scenario::load_resume(dir, every_override)?;
+        Self::build(&cfg, Some(&source), Some(ckpt))
+    }
+
+    /// The scenario config the world was built from (checkpoint block
+    /// included, as possibly redirected on resume).
+    #[must_use]
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.cfg
+    }
+
+    /// The embedded scenario source text, if the run is resumable.
+    #[must_use]
+    pub fn source(&self) -> Option<&str> {
+        self.source.as_deref()
+    }
+
+    /// The built topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Read access to the live simulation: stats so far, delivered
+    /// stream, drops, violations, current cycle.
+    #[must_use]
+    pub fn sim(&self) -> &Simulation<'static> {
+        &self.sim
+    }
+
+    /// Current simulated cycle.
+    #[must_use]
+    pub fn now_cycles(&self) -> u64 {
+        self.sim.now_cycles()
+    }
+
+    /// Has the run reached quiescence (statistics final)?
+    #[must_use]
+    pub fn done(&self) -> bool {
+        self.done
+    }
+
+    /// The victim node of the configured attack, if any.
+    #[must_use]
+    pub fn victim(&self) -> Option<u32> {
+        self.cfg.attack.as_ref().map(|a| match a {
+            AttackSpec::UdpFlood { victim, .. } | AttackSpec::SynFlood { victim, .. } => *victim,
+        })
+    }
+
+    /// Advances the world by one bounded stride of at most `cycles`
+    /// simulated cycles (the sharded engine may overshoot to its next
+    /// window barrier — still a clean, digest-neutral boundary).
+    /// Returns `true` once the run has reached quiescence; further
+    /// calls are no-ops.
+    pub fn step(&mut self, cycles: u64) -> bool {
+        if self.done {
+            return true;
+        }
+        // Guarantee progress even when the stride lands inside an
+        // event-time gap (the clock only advances by dispatching): the
+        // limit always covers at least the earliest pending event.
+        let base = self.sim.now_cycles().saturating_add(cycles.max(1));
+        let limit = match self.sim.next_event_time() {
+            Some(t) => base.max(t.saturating_add(1)),
+            None => base,
+        };
+        self.done = ddpm_engine::run_until(&mut self.sim, limit);
+        self.done
+    }
+
+    /// Schedules an extra attack mid-flight, starting `interval`-spaced
+    /// from the next cycle. The flood is generated with the world's
+    /// resident RNG and packet factory, so a given sequence of inject
+    /// calls against a given world is deterministic. Returns
+    /// `(first_cycle, packets_scheduled)`.
+    ///
+    /// # Errors
+    /// Out-of-range nodes, or a world that has already drained (a
+    /// finalized run cannot accept new packets).
+    pub fn inject(&mut self, attack: &AttackSpec) -> Result<(u64, usize), String> {
+        if self.done {
+            return Err("world has drained; cannot inject into a completed run".into());
+        }
+        let n = self.topo.num_nodes();
+        let check_node = |id: u32, what: &str| -> Result<NodeId, String> {
+            if u64::from(id) < n {
+                Ok(NodeId(id))
+            } else {
+                Err(format!("{what} {id} out of range (cluster has {n} nodes)"))
+            }
+        };
+        let workload = generate_attack(attack, &mut self.factory, &mut self.rng, &check_node)?;
+        let base = self.sim.now_cycles() + 1;
+        let count = workload.len();
+        for (t, p) in workload {
+            self.sim.schedule(SimTime(base + t.0), p);
+        }
+        self.injected_packets += count as u64;
+        Ok((base, count))
+    }
+
+    /// Packets scheduled by [`inject`](Self::inject) so far.
+    #[must_use]
+    pub fn injected_packets(&self) -> u64 {
+        self.injected_packets
+    }
+
+    /// Answers an attribution query *online*, from the delivered stream
+    /// so far: builds the plugin scheme's victim-side collector, feeds
+    /// it every attack-class packet delivered to the victim to date (in
+    /// delivery order, with fail-closed tag verification for auth-*
+    /// schemes), and returns its current best answer. Works mid-flight
+    /// and after completion; read-only, so it never perturbs the run.
+    ///
+    /// # Errors
+    /// No plugin scheme configured, or no victim (neither an `attack`
+    /// block nor an explicit `victim` argument).
+    pub fn identify(&self, victim: Option<u32>) -> Result<OnlineAttribution, String> {
+        let Some(p) = &self.plugin else {
+            return Err(
+                "scenario configures no `scheme`: online identify needs the plugin \
+                 collector (the legacy `marking` knob has no victim side)"
+                    .into(),
+            );
+        };
+        let Some(victim) = victim.or_else(|| self.victim()) else {
+            return Err(
+                "no victim to attribute for: the scenario has no `attack` block; \
+                 pass an explicit `victim`"
+                    .into(),
+            );
+        };
+        let n = self.topo.num_nodes();
+        if u64::from(victim) >= n {
+            return Err(format!("victim {victim} out of range (cluster has {n} nodes)"));
+        }
+        let victim = NodeId(victim);
+        let mut collector = p.collector(&self.topo, victim);
+        for d in self.sim.delivered() {
+            if d.packet.dest_node == victim && d.packet.class == TrafficClass::Attack {
+                collector.observe_packet(&d.packet);
+            }
+        }
+        let att = collector.attribute();
+        Ok(OnlineAttribution {
+            scheme: p.name(),
+            cycle: self.sim.now_cycles(),
+            victim: victim.0,
+            observed: collector.observed(),
+            rejected: collector.rejected(),
+            candidates: att.candidates.iter().map(|c| c.0).collect(),
+            confidence: att.confidence,
+        })
+    }
+
+    /// Writes a checkpoint of the current state into the configured
+    /// checkpoint directory (snapshot + adversary state + embedded
+    /// scenario source). Returns `Ok(None)` when the config has no
+    /// checkpoint block.
+    ///
+    /// # Errors
+    /// I/O failures, or a drained world (a finalized run has nothing
+    /// left to resume).
+    pub fn checkpoint_now(&mut self) -> Result<Option<PathBuf>, String> {
+        let Some(ck) = self.cfg.checkpoint.clone() else {
+            return Ok(None);
+        };
+        if self.done {
+            return Err("world has drained; nothing left to checkpoint".into());
+        }
+        let mut snap = self.sim.snapshot();
+        if let Some(adv) = &self.adversary {
+            snap.adversary = Some(adv.state());
+        }
+        let scenario = self.source.as_deref().unwrap_or("");
+        ddpm_checkpoint::store(&ck.dir, self.stamp, scenario, &snap, ck.keep)
+            .map(Some)
+            .map_err(|e| format!("checkpoint into {}: {e}", ck.dir.display()))
+    }
+
+    /// Runs the world to completion: the plain engine loop, or — with a
+    /// checkpoint block configured — the segmented checkpointing loop
+    /// (`every`-cycle strides, atomic checkpoint at each pause, the
+    /// `crash_at` abort hook, cooperative SIGINT handling).
+    ///
+    /// # Errors
+    /// Checkpoint I/O failures, or the cooperative-interrupt report
+    /// naming the resume command.
+    pub fn run_to_completion(&mut self) -> Result<(), String> {
+        match self.cfg.checkpoint.clone() {
+            None => {
+                ddpm_engine::run(&mut self.sim);
+                self.done = true;
+                Ok(())
+            }
+            Some(ck) => self.run_checkpointed(&ck),
+        }
+    }
+
+    /// Segmented execution with on-disk checkpoints.
+    ///
+    /// Runs the engines in `every`-cycle segments, writing an atomic
+    /// checkpoint (temp + fsync + rename, see `ddpm-checkpoint`) at each
+    /// pause. Pausing and continuing the engines is digest-neutral by
+    /// construction — `run_until` stops only at clean event boundaries —
+    /// so checkpointed, resumed and plain runs all report the same
+    /// outcome.
+    ///
+    /// `crash_at` aborts the process once the run reaches that cycle,
+    /// *before* any further write: the deterministic stand-in for SIGKILL
+    /// used by the kill-and-resume harness. Everything since the last
+    /// on-disk checkpoint is genuinely lost, which is the point.
+    ///
+    /// SIGINT/SIGTERM are handled cooperatively: the in-flight segment
+    /// finishes, a final checkpoint lands on disk, and the run returns an
+    /// error explaining how to resume instead of dying mid-write.
+    fn run_checkpointed(&mut self, ck: &ddpm_sim::CheckpointConfig) -> Result<(), String> {
+        ddpm_checkpoint::interrupt::install();
+        let every = ck.every.max(1);
+        let mut target = (self.sim.now_cycles() / every + 1) * every;
+        loop {
+            if let Some(crash) = ck.crash_at.filter(|&c| c < target) {
+                // The crash point lands inside this segment: run up to it
+                // and die there. Not-done after draining every event below
+                // `crash` means simulated time has reached the crash point
+                // (the next event is at or past it), so abort either way.
+                if ddpm_engine::run_until(&mut self.sim, crash) {
+                    self.done = true;
+                    return Ok(());
+                }
+                std::process::abort();
+            }
+            if ddpm_engine::run_until(&mut self.sim, target) {
+                self.done = true;
+                return Ok(());
+            }
+            // Read the interrupt flag *before* storing so the checkpoint
+            // that announces the interruption is already safely on disk.
+            let interrupted = ddpm_checkpoint::interrupt::requested();
+            let path = self
+                .checkpoint_now()?
+                .expect("checkpoint block is configured");
+            if interrupted {
+                return Err(format!(
+                    "interrupted at cycle {}: final checkpoint written to {}; \
+                     resume with `report -- resume {}`",
+                    self.sim.now_cycles(),
+                    path.display(),
+                    ck.dir.display(),
+                ));
+            }
+            target += every;
+        }
+    }
+
+    /// The run's summary: human text, machine JSON and the behavioural
+    /// digest. Valid once the run is [`done`](Self::done); the digest
+    /// hashes the delivered/drop/violation/stats streams, so a world
+    /// driven in any stride interleaving digests identically to the
+    /// one-shot run.
+    ///
+    /// Note: computing the outcome records the post-run attribution
+    /// telemetry events; call it once per run.
+    #[must_use]
+    pub fn outcome(&mut self) -> ScenarioOutcome {
+        let cfg = &self.cfg;
+        let topo: &Topology = &self.topo;
+        let router = self.router;
+        let stats = *self.sim.stats();
+        let sim = &mut self.sim;
+
+        let mut d_dump = String::new();
+        for d in sim.delivered() {
+            d_dump.push_str(&format!(
+                "D {:?} {:?} {:?} {} {:?}\n",
+                d.packet, d.injected_at, d.delivered_at, d.hops, d.path
+            ));
+        }
+        let mut x_dump = String::new();
+        for (id, reason) in sim.drops() {
+            x_dump.push_str(&format!("X {id:?} {reason:?}\n"));
+        }
+        let mut v_dump = String::new();
+        for v in sim.violations() {
+            v_dump.push_str(&format!("V {v:?}\n"));
+        }
+        let s_dump = format!("S {stats:?}\n");
+        let dump = format!("{d_dump}{x_dump}{v_dump}{s_dump}");
+        let digest = format!(
+            "{:016x} delivered={} dropped={} violations={} D={:016x} X={:016x} V={:016x} S={:016x}",
+            fnv64(&dump),
+            sim.delivered().len(),
+            sim.drops().len(),
+            sim.violations().len(),
+            fnv64(&d_dump),
+            fnv64(&x_dump),
+            fnv64(&v_dump),
+            fnv64(&s_dump),
+        );
+
+        let marking_desc = match cfg.scheme {
+            Some(spec) => format!("{} scheme", spec.as_str()),
+            None => format!("{:?} marking", cfg.marking),
+        };
+        let mut text = format!(
+            "scenario: {topo}, {} routing, {marking_desc}, {} failed links\n\
+             benign : {} injected, {} delivered ({:.1}% | mean latency {:.1} cyc)\n\
+             attack : {} injected, {} delivered, {} dropped\n",
+            router,
+            self.faults.failed_links(),
+            stats.benign.injected,
+            stats.benign.delivered,
+            stats.benign.delivery_ratio() * 100.0,
+            stats.benign.latency.mean().unwrap_or(0.0),
+            stats.attack.injected,
+            stats.attack.delivered,
+            stats.attack.dropped(),
+        );
+        if !self.schedule.is_empty() {
+            text.push_str(&format!(
+                "faults : {} events applied, {} fault drops, \
+                 fault-window delivery {:.1}%, {} degraded cycles\n",
+                stats.faults.events_applied,
+                stats.fault_drops(),
+                stats.faults.window_delivery_ratio() * 100.0,
+                stats.faults.degraded_cycles,
+            ));
+        }
+        if cfg.watchdog.is_some() {
+            let wd = &stats.watchdog;
+            text.push_str(&format!(
+                "liveness: {} sweeps — {} livelocks, {} starvations, {} deadlocks, \
+                 {} escapes (oldest in-flight age {} cyc)\n",
+                wd.checks, wd.livelocks, wd.starvations, wd.deadlocks, wd.escapes, wd.max_age_seen,
+            ));
+        }
+        if cfg.invariants {
+            let violations = sim.violations();
+            match violations.first() {
+                None => text.push_str("invariants: 0 violations\n"),
+                Some(first) => text.push_str(&format!(
+                    "invariants: {} VIOLATIONS — first at cycle {}: {} ({})\n",
+                    violations.len(),
+                    first.cycle,
+                    first.invariant,
+                    first.detail,
+                )),
+            }
+        }
+        let mut census_json = json!(null);
+        if let Some(scheme) = &self.ddpm {
+            let census = attack_census(topo, scheme, sim.delivered());
+            let mut rows: Vec<(NodeId, u64)> = census.into_iter().collect();
+            rows.sort_by_key(|&(node, c)| (std::cmp::Reverse(c), node));
+            if rows.is_empty() {
+                text.push_str("census : no attack traffic delivered\n");
+            } else {
+                text.push_str("census : DDPM-identified attack sources:\n");
+                for (node, count) in &rows {
+                    text.push_str(&format!(
+                        "         {node} at {} -> {count} packets\n",
+                        topo.coord(*node)
+                    ));
+                }
+            }
+            census_json = json!(rows
+                .iter()
+                .map(|&(node, c)| json!({"node": node.0, "packets": c}))
+                .collect::<Vec<_>>());
+        }
+        // Victim-side attribution via the scheme plugin's collector: feed it
+        // every attack-class packet the victim received, in delivery order,
+        // then ask it who the sources were. Text/JSON only — the behavioural
+        // digest hashes the delivered/drop/violation/stats streams, which
+        // this post-run analysis does not touch.
+        let mut attribution_json = json!(null);
+        if let Some(p) = &self.plugin {
+            let victim = cfg.attack.as_ref().map(|a| match a {
+                AttackSpec::UdpFlood { victim, .. } | AttackSpec::SynFlood { victim, .. } => {
+                    NodeId(*victim)
+                }
+            });
+            if let Some(victim) = victim {
+                let mut collector = p.collector(topo, victim);
+                let mut last_cycle = 0u64;
+                for d in sim.delivered() {
+                    if d.packet.dest_node == victim && d.packet.class == TrafficClass::Attack {
+                        // observe_packet, not observe: the auth-* collectors
+                        // verify the delivered header's keyed tag and reject
+                        // fail-closed; everyone else falls back to plain
+                        // field observation.
+                        collector.observe_packet(&d.packet);
+                        last_cycle = last_cycle.max(d.delivered_at.0);
+                    }
+                }
+                let att = collector.attribute();
+                let observed = collector.observed();
+                let rejected = collector.rejected();
+                let candidates: Vec<NodeId> = att.candidates.clone();
+                if candidates.is_empty() {
+                    text.push_str(&format!(
+                        "attrib : {} collector saw {observed} attack packets, named no source\n",
+                        p.name()
+                    ));
+                } else {
+                    text.push_str(&format!(
+                        "attrib : {} collector saw {observed} attack packets -> {} candidate(s) \
+                         at confidence {:.2}:\n",
+                        p.name(),
+                        candidates.len(),
+                        att.confidence,
+                    ));
+                    for node in &candidates {
+                        text.push_str(&format!("         {node} at {}\n", topo.coord(*node)));
+                    }
+                }
+                if rejected > 0 {
+                    text.push_str(&format!(
+                        "         {rejected} mark(s) rejected fail-closed (tag did not verify)\n"
+                    ));
+                }
+                if let Some(t) = sim.telemetry_mut() {
+                    if rejected > 0 {
+                        t.record_post_run(PacketEvent {
+                            cycle: last_cycle,
+                            pkt: rejected,
+                            node: victim.0,
+                            kind: TelEvent::AuthReject { scheme: p.name() },
+                        });
+                    }
+                    t.record_post_run(PacketEvent {
+                        cycle: last_cycle,
+                        pkt: 0,
+                        node: victim.0,
+                        kind: TelEvent::Attribute {
+                            scheme: p.name(),
+                            candidates: candidates.len() as u32,
+                            confidence_pm: (att.confidence * 1000.0).round() as u32,
+                        },
+                    });
+                }
+                attribution_json = json!({
+                    "scheme": p.name(),
+                    "observed": observed,
+                    "rejected": rejected,
+                    "candidates": candidates.iter().map(|n| json!(n.0)).collect::<Vec<_>>(),
+                    "confidence": att.confidence,
+                });
+            }
+        }
+        // Adversary ground truth (the honest victim cannot see this; the
+        // report can): what the compromised marking plane actually did.
+        let mut adversary_json = json!(null);
+        if let Some(adv) = &self.adversary {
+            let spec = adv.spec();
+            let tampered = adv.total_tampered();
+            text.push_str(&format!(
+                "adversary: {} compromised switch(es), behavior {}, {} mark(s) tampered\n",
+                spec.switches.len(),
+                spec.behavior.as_str(),
+                tampered,
+            ));
+            adversary_json = json!({
+                "switches": spec.switches.iter().map(|s| json!(s.0)).collect::<Vec<_>>(),
+                "behavior": spec.behavior.as_str(),
+                "framed": spec.framed.map_or(json!(null), |f| json!(f.0)),
+                "seed": spec.seed,
+                "tampered": tampered,
+            });
+        }
+        let watchdog_json = if cfg.watchdog.is_some() {
+            json!({
+                "checks": stats.watchdog.checks,
+                "livelocks": stats.watchdog.livelocks,
+                "starvations": stats.watchdog.starvations,
+                "deadlocks": stats.watchdog.deadlocks,
+                "escapes": stats.watchdog.escapes,
+                "max_age_seen": stats.watchdog.max_age_seen,
+            })
+        } else {
+            json!(null)
+        };
+        let invariants_json = if cfg.invariants {
+            json!(sim
+                .violations()
+                .iter()
+                .map(|v| json!({
+                    "cycle": v.cycle,
+                    "pkt": v.pkt,
+                    "node": v.node,
+                    "invariant": v.invariant,
+                    "detail": v.detail.clone(),
+                }))
+                .collect::<Vec<_>>())
+        } else {
+            json!(null)
+        };
+        let json = json!({
+            "topology": topo.describe(),
+            "router": router.name(),
+            "failed_links": self.faults.failed_links(),
+            "watchdog": watchdog_json,
+            "violations": invariants_json,
+            "faults": {
+                "events_applied": stats.faults.events_applied,
+                "fault_drops": stats.fault_drops(),
+                "window_delivery_ratio": stats.faults.window_delivery_ratio(),
+                "degraded_cycles": stats.faults.degraded_cycles,
+            },
+            "benign": {
+                "injected": stats.benign.injected,
+                "delivered": stats.benign.delivered,
+                "mean_latency": stats.benign.latency.mean(),
+            },
+            "attack": {
+                "injected": stats.attack.injected,
+                "delivered": stats.attack.delivered,
+                "dropped": stats.attack.dropped(),
+            },
+            "census": census_json,
+            "scheme": match cfg.scheme {
+                Some(spec) => json!(spec.as_str()),
+                None => json!(null),
+            },
+            "tag_bits": match cfg.tag_bits {
+                Some(t) => json!(t),
+                None => json!(null),
+            },
+            "adversary": adversary_json,
+            "attribution": attribution_json,
+        });
+        ScenarioOutcome { text, json, digest }
+    }
+}
+
+/// Generates the packet workload for an [`AttackSpec`], range-checking
+/// zombies and victim against the topology via `check_node`.
+fn generate_attack(
+    attack: &AttackSpec,
+    factory: &mut PacketFactory,
+    rng: &mut SmallRng,
+    check_node: &dyn Fn(u32, &str) -> Result<NodeId, String>,
+) -> Result<Workload, String> {
+    match attack {
+        AttackSpec::UdpFlood {
+            zombies,
+            victim,
+            packets_per_zombie,
+            interval,
+        } => {
+            let zombies = zombies
+                .iter()
+                .map(|&z| check_node(z, "zombie"))
+                .collect::<Result<Vec<_>, _>>()?;
+            let flood = FloodAttack {
+                packets_per_zombie: *packets_per_zombie,
+                interval: *interval,
+                ..FloodAttack::new(zombies, check_node(*victim, "victim")?)
+            };
+            Ok(flood.generate(factory, rng))
+        }
+        AttackSpec::SynFlood {
+            zombies,
+            victim,
+            syns_per_zombie,
+            interval,
+        } => {
+            let zombies = zombies
+                .iter()
+                .map(|&z| check_node(z, "zombie"))
+                .collect::<Result<Vec<_>, _>>()?;
+            let flood = SynFloodAttack {
+                syns_per_zombie: *syns_per_zombie,
+                interval: *interval,
+                spoof: SpoofStrategy::RandomInCluster,
+                ..SynFloodAttack::new(zombies, check_node(*victim, "victim")?)
+            };
+            Ok(flood.generate(factory, rng))
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! End-to-end smoke: the real `serve` binary over TCP, killed with
+//! SIGINT mid-session, restarted against the same checkpoint root, and
+//! every tenant resumed to the exact digest an uninterrupted run
+//! produces.
+//!
+//! This is the CI smoke flow; it proves the full chain binary →
+//! listener → worker pool → checkpoint dir → resume, not just the
+//! in-process `Server` the other suites drive.
+
+#![cfg(unix)]
+
+use ddpm_serve::ServeClient;
+use serde_json::{json, Value};
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+fn manifest(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// The pinned one-shot digest for a shipped scenario.
+fn pinned_digest(name: &str) -> String {
+    let raw = std::fs::read_to_string(manifest("../sim/tests/conformance_digests.txt"))
+        .expect("pinned conformance corpus");
+    raw.lines()
+        .find_map(|line| {
+            line.strip_prefix(&format!("scenario/{name} "))
+                .map(str::to_owned)
+        })
+        .unwrap_or_else(|| panic!("no pinned digest for scenario/{name}"))
+}
+
+struct ServeChild {
+    child: Child,
+    addr: String,
+    resumed: Vec<String>,
+}
+
+impl ServeChild {
+    fn start(root: &Path) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_serve"))
+            .args([
+                "--listen",
+                "127.0.0.1:0",
+                "--workers",
+                "2",
+                "--stride",
+                "2048",
+                "--checkpoint-every",
+                "4096",
+                "--checkpoint-root",
+            ])
+            .arg(root)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn serve binary");
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut ready = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut ready)
+            .expect("ready line");
+        let ready: Value = serde_json::from_str(ready.trim_end())
+            .unwrap_or_else(|e| panic!("ready line not JSON ({e}): {ready:?}"));
+        assert_eq!(ready["ready"].as_bool(), Some(true), "{ready}");
+        let addr = ready["addr"].as_str().expect("addr").to_owned();
+        let resumed = ready["resumed"]
+            .as_array()
+            .expect("resumed array")
+            .iter()
+            .map(|v| v.as_str().expect("tenant name").to_owned())
+            .collect();
+        Self {
+            child,
+            addr,
+            resumed,
+        }
+    }
+
+    /// SIGINT (graceful drain), then wait for a clean exit.
+    fn interrupt_and_wait(mut self) {
+        let status = Command::new("kill")
+            .arg("-INT")
+            .arg(self.child.id().to_string())
+            .status()
+            .expect("send SIGINT");
+        assert!(status.success(), "kill -INT failed");
+        let status = self.child.wait().expect("wait for serve");
+        assert!(status.success(), "serve exited with {status}");
+    }
+}
+
+impl Drop for ServeChild {
+    /// A panicking test must not leak the server (a live child keeps
+    /// the harness's output pipe open forever).
+    fn drop(&mut self) {
+        if self.child.try_wait().map(|s| s.is_none()).unwrap_or(false) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+        }
+    }
+}
+
+/// A second, longer scenario exercised under autorun on the worker
+/// pool while the scripted tenant is driven by explicit steps.
+fn background_scenario() -> Value {
+    json!({
+        "topology": {"kind": "torus", "dims": [6, 6]},
+        "router": "fully_adaptive",
+        "scheme": "ddpm",
+        "seed": 909,
+        "background_interval": 50,
+        "horizon": 60000,
+        "attack": {
+            "kind": "udp_flood",
+            "zombies": [3, 22], "victim": 14,
+            "packets_per_zombie": 400, "interval": 100
+        },
+    })
+}
+
+#[test]
+fn sigint_mid_session_resumes_every_tenant_bit_identically() {
+    let root = std::env::temp_dir().join(format!("ddpm-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("create checkpoint root");
+
+    // ---- Session 1: create two tenants, advance, interrupt. ----
+    let serve = ServeChild::start(&root);
+    assert!(serve.resumed.is_empty(), "fresh root resumed {:?}", serve.resumed);
+    let mut client = ServeClient::connect(&serve.addr).expect("connect");
+
+    // Tenant `hyper`: a shipped scenario, explicit strides only, so the
+    // resumed digest can be checked against the pinned corpus.
+    let shipped = std::fs::read_to_string(manifest("../../scenarios/udp_flood_hypercube.json"))
+        .expect("shipped scenario");
+    let shipped: Value = serde_json::from_str(&shipped).expect("scenario JSON");
+    let create = client
+        .call(
+            "tenant.create",
+            &json!({"name": "hyper", "autorun": false, "scenario": shipped}),
+        )
+        .expect("create hyper");
+    assert_eq!(create["nodes"].as_u64(), Some(256));
+
+    // Tenant `bg`: autorun on the worker pool, telemetry buffered, an
+    // extra attack injected mid-flight, identify answered online.
+    client
+        .call(
+            "tenant.create",
+            &json!({"name": "bg", "autorun": true, "telemetry": true,
+                    "scenario": background_scenario()}),
+        )
+        .expect("create bg");
+    let inject = client
+        .call(
+            "tenant.inject",
+            &json!({"tenant": "bg", "attack": {
+                "kind": "syn_flood", "zombies": [8, 29], "victim": 14,
+                "syns_per_zombie": 50, "interval": 20}}),
+        )
+        .expect("inject into bg");
+    assert!(inject["packets"].as_u64().unwrap_or(0) > 0);
+    let identify = client
+        .call("tenant.identify", &json!({"tenant": "bg"}))
+        .expect("identify bg online");
+    assert_eq!(identify["victim"].as_u64(), Some(14));
+    let telemetry = client
+        .call("tenant.subscribe", &json!({"tenant": "bg"}))
+        .expect("subscribe bg");
+    assert!(telemetry["events"].as_array().is_some());
+
+    // Advance `hyper` partway, checkpoint it explicitly, interrupt.
+    for _ in 0..2 {
+        let step = client
+            .call("tenant.step", &json!({"tenant": "hyper", "cycles": 700}))
+            .expect("step hyper");
+        assert_eq!(step["done"].as_bool(), Some(false), "interrupt must land mid-flight");
+    }
+    let snap = client
+        .call("tenant.snapshot", &json!({"tenant": "hyper"}))
+        .expect("snapshot hyper");
+    assert!(snap["path"].as_str().is_some());
+    drop(client);
+    serve.interrupt_and_wait();
+
+    // ---- Session 2: same root, both tenants come back. ----
+    let serve = ServeChild::start(&root);
+    let mut resumed = serve.resumed.clone();
+    resumed.sort();
+    assert_eq!(resumed, ["bg", "hyper"], "restart must resume every tenant");
+    let mut client = ServeClient::connect(&serve.addr).expect("reconnect");
+
+    // `hyper` resumes paused at the drain checkpoint, not at zero.
+    let stats = client
+        .call("tenant.stats", &json!({"tenant": "hyper"}))
+        .expect("stats hyper");
+    assert!(
+        stats["cycle"].as_u64().expect("cycle") >= 1300,
+        "resumed tenant lost progress: {stats}"
+    );
+    loop {
+        let step = client
+            .call("tenant.step", &json!({"tenant": "hyper", "cycles": 10000}))
+            .expect("step hyper");
+        if step["done"].as_bool() == Some(true) {
+            break;
+        }
+    }
+    let outcome = client
+        .call("tenant.outcome", &json!({"tenant": "hyper"}))
+        .expect("outcome hyper");
+    assert_eq!(
+        outcome["digest"].as_str().expect("digest"),
+        pinned_digest("udp_flood_hypercube"),
+        "kill-and-resume diverged from the uninterrupted one-shot digest"
+    );
+
+    // `bg` keeps autorunning after resume and reaches quiescence.
+    client.wait_done("bg", 50, 600).expect("bg finishes");
+    let outcome = client
+        .call("tenant.outcome", &json!({"tenant": "bg"}))
+        .expect("outcome bg");
+    assert!(outcome["digest"].as_str().is_some());
+
+    for name in ["hyper", "bg"] {
+        client
+            .call("tenant.destroy", &json!({"tenant": name}))
+            .expect("destroy");
+    }
+    drop(client);
+    serve.interrupt_and_wait();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,148 @@
+//! Golden wire-protocol lines.
+//!
+//! Pins the exact NDJSON bytes of a scripted session over real TCP:
+//! response key order, error phrasing, and the deterministic payload
+//! values for a fixed scenario. Any drift in the protocol (or in the
+//! simulation's determinism) shows up as a byte diff here.
+
+use ddpm_serve::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A fixed, fast scenario: hypercube n=4, ddpm, seed 5.
+const SCENARIO: &str = r#"{"topology": {"kind": "hypercube", "n": 4},
+    "router": "fully_adaptive", "scheme": "ddpm", "seed": 5,
+    "background_interval": 32, "horizon": 800,
+    "attack": {"kind": "udp_flood", "zombies": [2, 7], "victim": 12,
+               "packets_per_zombie": 80, "interval": 8}}"#;
+
+struct LiveServer {
+    addr: String,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LiveServer {
+    fn start() -> Self {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+        let addr = listener.local_addr().expect("local addr").to_string();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let server = Server::new(ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            });
+            server
+                .serve(&listener, &|| stop2.load(Ordering::SeqCst))
+                .expect("serve");
+            server.drain().expect("drain");
+        });
+        Self {
+            addr,
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+impl Drop for LiveServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            t.join().expect("server thread");
+        }
+    }
+}
+
+/// Sends one raw request line, returns the raw response line.
+fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &str) -> String {
+    writeln!(writer, "{line}").expect("send");
+    let mut resp = String::new();
+    assert!(
+        reader.read_line(&mut resp).expect("recv") > 0,
+        "server closed the connection after {line:?}"
+    );
+    resp.trim_end().to_owned()
+}
+
+#[test]
+fn scripted_session_produces_the_pinned_lines() {
+    let live = LiveServer::start();
+    let stream = TcpStream::connect(&live.addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut rt = |line: &str| roundtrip(&mut reader, &mut writer, line);
+
+    // Create (autorun off so every later value is a pure function of
+    // the scenario and the scripted strides).
+    let scenario_compact: String = SCENARIO.split_whitespace().collect::<Vec<_>>().join(" ");
+    let create = rt(&format!(
+        r#"{{"id":1,"verb":"tenant.create","name":"g","autorun":false,"scenario":{scenario_compact}}}"#
+    ));
+    assert_eq!(
+        create,
+        r#"{"id":1,"ok":true,"tenant":"g","nodes":16,"autorun":false}"#
+    );
+
+    // Outcome before done: a pinned error, not a panic or a hang.
+    assert_eq!(
+        rt(r#"{"id":2,"verb":"tenant.outcome","tenant":"g"}"#),
+        r#"{"id":2,"ok":false,"error":"tenant `g` is still running (cycle 0); outcome is available once done"}"#
+    );
+
+    // One bounded stride; the landing cycle is deterministic.
+    let step = rt(r#"{"id":3,"verb":"tenant.step","tenant":"g","cycles":500}"#);
+    assert_eq!(step, r#"{"id":3,"ok":true,"cycle":499,"done":false}"#);
+
+    // Live counters, mid-flight, pinned to the byte.
+    let stats = rt(r#"{"id":4,"verb":"tenant.stats","tenant":"g"}"#);
+    assert_eq!(
+        stats,
+        r#"{"id":4,"ok":true,"cycle":499,"done":false,"autorun":false,"live":12,"benign":{"injected":246,"delivered":239},"attack":{"injected":126,"delivered":121,"dropped":0},"injected_extra":0}"#
+    );
+
+    // Online attribution mid-flight, pinned to the byte.
+    let identify = rt(r#"{"id":5,"verb":"tenant.identify","tenant":"g"}"#);
+    assert_eq!(
+        identify,
+        r#"{"id":5,"ok":true,"scheme":"ddpm","cycle":499,"victim":12,"observed":121,"rejected":0,"candidates":[2,7],"confidence":1.0}"#
+    );
+
+    // Census: id omitted by the client → echoed as null.
+    let info = rt(r#"{"verb":"server.info"}"#);
+    assert_eq!(
+        info,
+        r#"{"id":null,"ok":true,"tenants":[{"name":"g","cycle":499,"done":false,"autorun":false}],"workers":1,"stride":4096,"draining":false}"#
+    );
+
+    // Strict grammar: unknown verbs and malformed JSON answer in-band.
+    assert_eq!(
+        rt(r#"{"id":6,"verb":"tenant.freeze","tenant":"g"}"#),
+        r#"{"id":6,"ok":false,"error":"unknown verb `tenant.freeze` (accepted: tenant.create, tenant.inject, tenant.step, tenant.identify, tenant.stats, tenant.snapshot, tenant.subscribe, tenant.outcome, tenant.destroy, server.info, server.drain)"}"#
+    );
+    let malformed = rt("not json at all");
+    assert!(
+        malformed.starts_with(r#"{"id":null,"ok":false,"error":"malformed request JSON:"#),
+        "unexpected malformed-JSON response: {malformed}"
+    );
+
+    // Snapshot without any checkpoint directory: a pinned, helpful error.
+    assert_eq!(
+        rt(r#"{"id":7,"verb":"tenant.snapshot","tenant":"g"}"#),
+        r#"{"id":7,"ok":false,"error":"tenant has no checkpoint directory (start the server with a checkpoint root, or put a `checkpoint` block in the scenario)"}"#
+    );
+
+    // Destroy, then the tenant is gone.
+    assert_eq!(
+        rt(r#"{"id":8,"verb":"tenant.destroy","tenant":"g"}"#),
+        r#"{"id":8,"ok":true,"destroyed":"g"}"#
+    );
+    assert_eq!(
+        rt(r#"{"id":9,"verb":"tenant.stats","tenant":"g"}"#),
+        r#"{"id":9,"ok":false,"error":"no such tenant `g`"}"#
+    );
+    drop(live);
+}

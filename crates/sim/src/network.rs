@@ -632,7 +632,13 @@ impl<'a> Simulation<'a> {
     /// segment boundary with events still pending. Pausing between
     /// events is always safe: a [`Simulation::snapshot`] taken here and
     /// restored elsewhere continues bit-identically.
+    /// Calling again after quiescence is a cheap no-op returning `true`
+    /// — a resident driver (the attribution service) may race a stride
+    /// against a completion it has not observed yet.
     pub fn run_until(&mut self, limit: u64) -> bool {
+        if self.finalized {
+            return true;
+        }
         let profiling = self.tele.as_ref().is_some_and(|t| t.profiling());
         let checking = self.checking;
         while let Some(ev) = self.queue.pop_before(limit) {
@@ -643,6 +649,14 @@ impl<'a> Simulation<'a> {
         }
         self.finalize_run();
         true
+    }
+
+    /// Has the run reached quiescence (close-out done, stats final)?
+    /// Once true, further [`Simulation::run_until`] calls are no-ops
+    /// and [`Simulation::schedule`] must not be called.
+    #[must_use]
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
     }
 
     /// One serial event: advance time, run the handler, post-checks,

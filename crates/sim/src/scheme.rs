@@ -232,8 +232,11 @@ impl HopCost {
 ///
 /// `MarkingScheme: Marker` means any scheme slots directly into
 /// [`crate::Simulation::new`]'s `&dyn Marker` parameter (trait
-/// upcasting), so the simulator core stays scheme-agnostic.
-pub trait MarkingScheme: Marker {
+/// upcasting), so the simulator core stays scheme-agnostic. `Send` is
+/// a supertrait so a boxed scheme can live inside a service tenant
+/// that migrates between worker threads; every shipped scheme is
+/// already `Send` (their state is plain data behind mutexes).
+pub trait MarkingScheme: Marker + Send {
     /// How many of the 16 marking-field bits the scheme actually uses
     /// on this topology (its MF-bit budget).
     fn mf_bits(&self) -> u32;

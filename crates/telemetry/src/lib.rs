@@ -43,7 +43,7 @@ pub use counters::ClassCounters;
 pub use event::{EventKind, PacketEvent, RetryKind};
 pub use metrics::{Histogram, LatencyStats};
 pub use profile::{BarrierWait, EngineProfile, PhaseCost, PhaseProfiler};
-pub use sink::{shared, EventSink, MemorySink, NdjsonSink, NullSink, SharedSink};
+pub use sink::{shared, BroadcastSink, EventSink, MemorySink, NdjsonSink, NullSink, SharedSink};
 
 use std::time::Duration;
 

@@ -191,6 +191,68 @@ impl EventSink for NullSink {
     fn emit(&mut self, _ev: &PacketEvent) {}
 }
 
+/// Inner state of a [`BroadcastSink`].
+struct BroadcastBuf {
+    events: std::collections::VecDeque<PacketEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A bounded publish/subscribe buffer: the simulation emits into it,
+/// a consumer [`drain`](BroadcastSink::drain)s it at its own pace.
+///
+/// Cloning shares the buffer (like [`MemorySink`]), but the backlog is
+/// capped: once `capacity` events are queued undrained, the oldest are
+/// discarded and counted, so a subscriber that stops reading bounds
+/// the producer's memory instead of exhausting it. The attribution
+/// service hangs one of these off every telemetry-enabled tenant; a
+/// `tenant.subscribe` call drains it. Telemetry is digest-neutral, so
+/// dropping backlog never perturbs the simulation itself.
+#[derive(Clone)]
+pub struct BroadcastSink {
+    buf: Arc<Mutex<BroadcastBuf>>,
+}
+
+impl BroadcastSink {
+    /// A sink retaining at most `capacity` undrained events (minimum 1).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buf: Arc::new(Mutex::new(BroadcastBuf {
+                events: std::collections::VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Removes and returns every buffered event, plus the count of
+    /// events discarded to the capacity cap since the previous drain.
+    #[must_use]
+    pub fn drain(&self) -> (Vec<PacketEvent>, u64) {
+        let mut buf = self.buf.lock().expect("sink poisoned");
+        let dropped = std::mem::take(&mut buf.dropped);
+        (buf.events.drain(..).collect(), dropped)
+    }
+
+    /// Events currently buffered.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.buf.lock().expect("sink poisoned").events.len()
+    }
+}
+
+impl EventSink for BroadcastSink {
+    fn emit(&mut self, ev: &PacketEvent) {
+        let mut buf = self.buf.lock().expect("sink poisoned");
+        if buf.events.len() == buf.capacity {
+            buf.events.pop_front();
+            buf.dropped += 1;
+        }
+        buf.events.push_back(*ev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +294,25 @@ mod tests {
         sink.finish();
         let text = String::from_utf8(sink.out.into_inner().unwrap()).unwrap();
         assert_eq!(text, "{\"cycle\":42,\"event\":\"resume\"}\n");
+    }
+
+    #[test]
+    fn broadcast_sink_bounds_backlog_and_counts_drops() {
+        let sink = BroadcastSink::with_capacity(2);
+        let mut writer = sink.clone();
+        writer.emit(&ev(1));
+        writer.emit(&ev(2));
+        writer.emit(&ev(3)); // evicts pkt 1
+        assert_eq!(sink.backlog(), 2);
+        let (events, dropped) = sink.drain();
+        assert_eq!(
+            events.iter().map(|e| e.pkt).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        assert_eq!(dropped, 1);
+        let (events, dropped) = sink.drain();
+        assert!(events.is_empty());
+        assert_eq!(dropped, 0, "drop counter resets per drain");
     }
 
     /// A writer that fails every write, for exercising degradation.
