@@ -325,9 +325,14 @@ fn bench_throughput(c: &mut Criterion) {
         std::path::Path::new(out),
         "sim_throughput",
         &|r| {
+            // Claim only this bench's rows: the service-load rows
+            // (`engine: "serve-*"`) and the E-SCALE suite's rows
+            // (`suite: "scale"`) are merged in by their experiments
+            // and must survive a bench rerun.
             !r["engine"]
                 .as_str()
                 .is_some_and(|e| e.starts_with("serve"))
+                && r["suite"].as_str() != Some("scale")
         },
         rows,
     )

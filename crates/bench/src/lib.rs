@@ -21,6 +21,7 @@
 //! | [`exp_soak`] | liveness/invariant chaos soak + failure replay |
 //! | [`exp_adversarial`] | §4.1/§6.2 Byzantine grid: schemes × behaviors × compromised switches |
 //! | [`exp_service_load`] | E-SERVE: resident multi-tenant service, ingest + online identify |
+//! | [`exp_scale`] | E-SCALE: Table 3 maxima end to end — wave-staged floods, bounded memory |
 
 pub mod exp_ablation;
 pub mod exp_adversarial;
@@ -35,6 +36,7 @@ pub mod exp_identification;
 pub mod exp_indirect;
 pub mod exp_ppm_convergence;
 pub mod exp_resilience;
+pub mod exp_scale;
 pub mod exp_service_load;
 pub mod exp_soak;
 pub mod fig1;
@@ -82,5 +84,6 @@ pub fn all_experiments() -> Vec<Experiment> {
         ("soak", exp_soak::run),
         ("adversarial", exp_adversarial::run),
         ("service_load", exp_service_load::run),
+        ("scale", exp_scale::run),
     ]
 }

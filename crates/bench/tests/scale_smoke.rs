@@ -1,0 +1,74 @@
+//! Release-only memory-ceiling regression for the Table 3 scale path.
+//!
+//! E-SCALE's claim is that a full-fabric flood runs in a bounded
+//! footprint: the wave-staged injector keeps the packet arena and the
+//! staged backlog proportional to the in-flight window, never the
+//! schedule length. This test re-runs the 128×128-mesh cell (the
+//! largest 2-D fabric Table 3 covers) and pins hard byte ceilings on
+//! the peaks [`ddpm_sim::SimStats`] reports, so a regression that
+//! reintroduces whole-schedule materialisation — or fattens the
+//! per-packet arena rows — fails CI instead of silently eating memory.
+//!
+//! Measured peaks (2026-08, full cell, 32 000 packets): the arena
+//! tops out at 1 868 696 B and the staged backlog at 4 111 packets
+//! (16 zombies × 256-round waves, plus the partial wave in flight).
+//! The budgets below give roughly 2× headroom over those numbers —
+//! enough to absorb benign row growth, tight enough that going
+//! resident-per-scheduled-packet (~100 B × 32 000 extra) blows it.
+//!
+//! Debug builds skip: the cell is a 32 000-packet × ~130-hop flood
+//! and only finishes promptly in release (CI runs
+//! `cargo test --release -p ddpm-bench --test scale_smoke`).
+
+use ddpm_bench::exp_scale;
+use ddpm_bench::RunCtx;
+use ddpm_topology::Topology;
+
+/// Ceiling on the in-flight packet arena for the 128×128 cell.
+const ARENA_BUDGET_BYTES: u64 = 4 << 20;
+/// Exact size of the per-port byte table: 16 384 nodes × 4 ports × 8 B.
+const PORT_TABLE_BYTES: u64 = 16_384 * 4 * 8;
+/// Ceiling on the staged backlog: one full wave (16 zombies ×
+/// 256 rounds) plus one round of slack for the partial wave in flight.
+const STAGED_BUDGET_PKTS: u64 = 16 * 256 + 16;
+
+#[test]
+fn mesh128_flood_stays_under_committed_memory_budget() {
+    if cfg!(debug_assertions) {
+        eprintln!("scale_smoke: skipped in debug (release-only memory gate)");
+        return;
+    }
+    let ctx = RunCtx::default();
+    let topo = Topology::mesh(&[128, 128]);
+    let cell = exp_scale::run_cell(&ctx, "mesh128x128", &topo, 0x5CA1_E204)
+        .expect("128x128 mesh is within Table 3's DDPM bounds");
+
+    assert_eq!(cell.nodes, 16_384);
+    assert_eq!(cell.injected, 32_000, "flood size is deterministic");
+    assert_eq!(
+        cell.delivered, 32_000,
+        "a phase-staggered 0.25 pkt/cycle flood saturates without drops"
+    );
+    assert!(
+        cell.attribution_exact,
+        "DDPM census must name exactly the true zombie set at full scale"
+    );
+    assert!(
+        cell.peak_arena_bytes <= ARENA_BUDGET_BYTES,
+        "packet arena peaked at {} B, budget {} B — staged injection \
+         no longer bounds the resident set",
+        cell.peak_arena_bytes,
+        ARENA_BUDGET_BYTES
+    );
+    assert_eq!(
+        cell.port_bytes, PORT_TABLE_BYTES,
+        "per-port accounting table changed size"
+    );
+    assert!(
+        cell.staged_peak <= STAGED_BUDGET_PKTS,
+        "staged backlog peaked at {} packets, budget {} — wave \
+         draining stopped bounding the schedule",
+        cell.staged_peak,
+        STAGED_BUDGET_PKTS
+    );
+}

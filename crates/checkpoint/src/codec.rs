@@ -541,6 +541,8 @@ fn put_stats(w: &mut Writer, s: &SimStats) {
     w.u64(s.watchdog.max_age_seen);
     w.u64(s.end_time);
     w.bool(s.telemetry_degraded);
+    w.u64(s.peak_arena_bytes);
+    w.u64(s.port_bytes);
 }
 
 fn get_stats(r: &mut Reader<'_>) -> Result<SimStats, DecodeError> {
@@ -564,6 +566,8 @@ fn get_stats(r: &mut Reader<'_>) -> Result<SimStats, DecodeError> {
         },
         end_time: r.u64()?,
         telemetry_degraded: r.bool()?,
+        peak_arena_bytes: r.u64()?,
+        port_bytes: r.u64()?,
     })
 }
 
@@ -947,6 +951,13 @@ pub fn encode_snapshot(snap: &SimSnapshot) -> Vec<u8> {
             put_adversary(&mut w, st);
         }
     }
+    w.len(snap.pending.len());
+    for (t, p) in &snap.pending {
+        w.u64(*t);
+        put_packet(&mut w, p);
+    }
+    w.u64(snap.pending_peak);
+    w.u64(snap.peak_arena_bytes);
     w.into_bytes()
 }
 
@@ -1027,6 +1038,14 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<SimSnapshot, DecodeError> {
         1 => Some(get_adversary(&mut r)?),
         tag => return Err(DecodeError::BadTag { what: "Option<AdversaryState>", tag }),
     };
+    let n = r.seq_len()?;
+    let mut pending = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = r.u64()?;
+        pending.push((t, get_packet(&mut r)?));
+    }
+    let pending_peak = r.u64()?;
+    let peak_arena_bytes = r.u64()?;
     if r.remaining() != 0 {
         return Err(DecodeError::TrailingBytes(r.remaining()));
     }
@@ -1054,6 +1073,9 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<SimSnapshot, DecodeError> {
         trace_tail,
         selftest_fired,
         adversary,
+        pending,
+        pending_peak,
+        peak_arena_bytes,
     })
 }
 
@@ -1235,6 +1257,9 @@ mod tests {
                 last_seen: vec![Some(0xBEEF), None],
                 tampered: vec![12, 0],
             }),
+            pending: vec![(500, sample_flight(8).packet)],
+            pending_peak: 3,
+            peak_arena_bytes: 4096,
         }
     }
 

@@ -54,7 +54,11 @@ pub const MAGIC: &[u8; 8] = b"DDPMCKPT";
 /// * v2 — appends the optional marking-plane adversary state, adds the
 ///   MarkTamper/AuthReject telemetry tags and the `auth-*` scheme
 ///   names to the interned vocabulary.
-pub const FORMAT_VERSION: u32 = 2;
+/// * v3 — appends the staged-injection backlog (`pending`,
+///   `pending_peak`) and the arena high-water mark
+///   (`peak_arena_bytes`), plus the `SimStats` memory-telemetry
+///   fields.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Extension (with the `ckpt-` stem prefix) of finished checkpoints.
 pub const EXTENSION: &str = "ddpm";
@@ -385,6 +389,9 @@ mod tests {
             trace_tail: Vec::new(),
             selftest_fired: false,
             adversary: None,
+            pending: Vec::new(),
+            pending_peak: 0,
+            peak_arena_bytes: 0,
         }
     }
 

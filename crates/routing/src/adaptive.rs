@@ -18,40 +18,58 @@ use ddpm_topology::Coord;
 /// All live productive hops from `cur` toward `dst`.
 #[must_use]
 pub fn minimal(ctx: &RouteCtx<'_>, cur: &Coord, dst: &Coord) -> Vec<Candidate> {
-    ctx.live_neighbors(cur)
-        .into_iter()
-        .filter(|(_, nb)| ctx.is_productive(cur, nb, dst))
-        .map(|(dir, next)| Candidate {
-            next,
-            dir,
-            productive: true,
-        })
-        .collect()
+    let mut out = Vec::new();
+    minimal_into(ctx, cur, dst, &mut out);
+    out
+}
+
+/// Allocation-free form of [`minimal`]; appends into `out`.
+pub fn minimal_into(ctx: &RouteCtx<'_>, cur: &Coord, dst: &Coord, out: &mut Vec<Candidate>) {
+    ctx.for_each_live_neighbor(cur, |dir, next| {
+        if ctx.is_productive(cur, &next, dst) {
+            out.push(Candidate {
+                next,
+                dir,
+                productive: true,
+            });
+        }
+    });
 }
 
 /// All live hops: productive first, then misroutes while the budget
 /// lasts.
 #[must_use]
 pub fn fully(ctx: &RouteCtx<'_>, cur: &Coord, dst: &Coord, state: &RouteState) -> Vec<Candidate> {
-    let mut productive = Vec::new();
-    let mut misroutes = Vec::new();
-    for (dir, next) in ctx.live_neighbors(cur) {
-        if ctx.is_productive(cur, &next, dst) {
-            productive.push(Candidate {
-                next,
-                dir,
-                productive: true,
-            });
-        } else if state.can_misroute() {
-            misroutes.push(Candidate {
-                next,
-                dir,
-                productive: false,
-            });
-        }
+    let mut out = Vec::new();
+    fully_into(ctx, cur, dst, state, &mut out);
+    out
+}
+
+/// Allocation-free form of [`fully`]; appends into `out`.
+///
+/// Two streaming passes over the live neighbours (productive, then
+/// misroutes) reproduce the productive-first order of the buffered
+/// version without a scratch vector; `min_hops` is closed-form, so the
+/// second pass costs arithmetic, not allocation.
+pub fn fully_into(
+    ctx: &RouteCtx<'_>,
+    cur: &Coord,
+    dst: &Coord,
+    state: &RouteState,
+    out: &mut Vec<Candidate>,
+) {
+    minimal_into(ctx, cur, dst, out);
+    if state.can_misroute() {
+        ctx.for_each_live_neighbor(cur, |dir, next| {
+            if !ctx.is_productive(cur, &next, dst) {
+                out.push(Candidate {
+                    next,
+                    dir,
+                    productive: false,
+                });
+            }
+        });
     }
-    productive.extend(misroutes);
-    productive
 }
 
 #[cfg(test)]

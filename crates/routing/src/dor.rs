@@ -16,20 +16,27 @@ use ddpm_topology::{Coord, Direction, Sign, Topology};
 /// The single dimension-order candidate, or empty if its link is faulty.
 #[must_use]
 pub fn candidates(ctx: &RouteCtx<'_>, cur: &Coord, dst: &Coord) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(1);
+    candidates_into(ctx, cur, dst, &mut out);
+    out
+}
+
+/// Allocation-free form of [`candidates`]; appends into `out`.
+pub fn candidates_into(ctx: &RouteCtx<'_>, cur: &Coord, dst: &Coord, out: &mut Vec<Candidate>) {
     let Some(dir) = next_direction(ctx.topo, cur, dst) else {
-        return Vec::new();
+        return;
     };
     let Some(next) = ctx.topo.neighbor(cur, dir) else {
-        return Vec::new();
+        return;
     };
     if ctx.faults.is_faulty(ctx.topo, cur, &next) {
-        return Vec::new();
+        return;
     }
-    vec![Candidate {
+    out.push(Candidate {
         next,
         dir,
         productive: true,
-    }]
+    });
 }
 
 /// The unique dimension-order output direction for `cur → dst`, or

@@ -32,11 +32,20 @@ impl<'a> RouteCtx<'a> {
     /// Live (non-faulty) neighbours of `cur`.
     #[must_use]
     pub fn live_neighbors(&self, cur: &Coord) -> Vec<(Direction, Coord)> {
-        self.topo
-            .neighbors(cur)
-            .into_iter()
-            .filter(|(_, nb)| !self.faults.is_faulty(self.topo, cur, nb))
-            .collect()
+        let mut out = Vec::with_capacity(self.topo.degree());
+        self.for_each_live_neighbor(cur, |dir, nb| out.push((dir, nb)));
+        out
+    }
+
+    /// Streams the live neighbours of `cur` in the same order as
+    /// [`RouteCtx::live_neighbors`], without allocating — the per-hop
+    /// form used by the simulator's forwarding path.
+    pub fn for_each_live_neighbor<F: FnMut(Direction, Coord)>(&self, cur: &Coord, mut f: F) {
+        self.topo.for_each_neighbor(cur, |dir, nb| {
+            if !self.faults.is_faulty(self.topo, cur, &nb) {
+                f(dir, nb);
+            }
+        });
     }
 }
 
@@ -177,17 +186,36 @@ impl Router {
         dst: &Coord,
         state: &RouteState,
     ) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        self.candidates_into(ctx, cur, dst, state, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Router::candidates`]: clears `out` and
+    /// fills it with the admissible next hops, in the same order.
+    ///
+    /// The simulator's forwarding path reuses one buffer across events,
+    /// so steady-state routing never touches the allocator.
+    pub fn candidates_into(
+        &self,
+        ctx: &RouteCtx<'_>,
+        cur: &Coord,
+        dst: &Coord,
+        state: &RouteState,
+        out: &mut Vec<Candidate>,
+    ) {
         debug_assert!(ctx.topo.contains(cur) && ctx.topo.contains(dst));
+        out.clear();
         if cur == dst {
-            return Vec::new();
+            return;
         }
         match self {
-            Router::DimensionOrder => dor::candidates(ctx, cur, dst),
-            Router::WestFirst => turn_model::west_first(ctx, cur, dst, state),
-            Router::NorthLast => turn_model::north_last(ctx, cur, dst, state),
-            Router::NegativeFirst => turn_model::negative_first(ctx, cur, dst, state),
-            Router::MinimalAdaptive => adaptive::minimal(ctx, cur, dst),
-            Router::FullyAdaptive { .. } => adaptive::fully(ctx, cur, dst, state),
+            Router::DimensionOrder => dor::candidates_into(ctx, cur, dst, out),
+            Router::WestFirst => turn_model::west_first_into(ctx, cur, dst, state, out),
+            Router::NorthLast => turn_model::north_last_into(ctx, cur, dst, state, out),
+            Router::NegativeFirst => turn_model::negative_first_into(ctx, cur, dst, state, out),
+            Router::MinimalAdaptive => adaptive::minimal_into(ctx, cur, dst, out),
+            Router::FullyAdaptive { .. } => adaptive::fully_into(ctx, cur, dst, state, out),
         }
     }
 

@@ -38,9 +38,10 @@ fn push_if_live(
     }
 }
 
-fn order_productive_first(mut cands: Vec<Candidate>) -> Vec<Candidate> {
+fn order_productive_first(cands: &mut [Candidate]) {
+    // Stable, and at most `degree` elements — the std sort runs its
+    // allocation-free insertion path at these lengths.
     cands.sort_by_key(|c| !c.productive);
-    cands
 }
 
 fn assert_mesh2d(topo: &Topology, algo: &str) {
@@ -68,23 +69,38 @@ pub fn west_first(
     dst: &Coord,
     state: &RouteState,
 ) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(3);
+    west_first_into(ctx, cur, dst, state, &mut out);
+    out
+}
+
+/// Allocation-free form of [`west_first`]; appends into `out`.
+///
+/// # Panics
+/// Panics if the topology is not a 2-D mesh.
+pub fn west_first_into(
+    ctx: &RouteCtx<'_>,
+    cur: &Coord,
+    dst: &Coord,
+    state: &RouteState,
+    out: &mut Vec<Candidate>,
+) {
     assert_mesh2d(ctx.topo, "west-first");
     let dx = dst.get(0) - cur.get(0);
     let west = Direction::minus(0);
-    let mut out = Vec::with_capacity(3);
     if dx < 0 {
         // Westward phase: legal only if the packet has moved nowhere but
         // west so far; otherwise it is stuck (blocked), by the model.
         if !state.moved_any_except(west) {
-            push_if_live(ctx, cur, dst, west, &mut out);
+            push_if_live(ctx, cur, dst, west, out);
         }
-        return out;
+        return;
     }
     // Adaptive phase: east, north, south — productive or not.
-    push_if_live(ctx, cur, dst, Direction::plus(0), &mut out); // east
-    push_if_live(ctx, cur, dst, Direction::plus(1), &mut out); // north
-    push_if_live(ctx, cur, dst, Direction::minus(1), &mut out); // south
-    order_productive_first(out)
+    push_if_live(ctx, cur, dst, Direction::plus(0), out); // east
+    push_if_live(ctx, cur, dst, Direction::plus(1), out); // north
+    push_if_live(ctx, cur, dst, Direction::minus(1), out); // south
+    order_productive_first(out);
 }
 
 /// North-last candidates (2-D mesh).
@@ -101,27 +117,42 @@ pub fn north_last(
     dst: &Coord,
     state: &RouteState,
 ) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(3);
+    north_last_into(ctx, cur, dst, state, &mut out);
+    out
+}
+
+/// Allocation-free form of [`north_last`]; appends into `out`.
+///
+/// # Panics
+/// Panics if the topology is not a 2-D mesh.
+pub fn north_last_into(
+    ctx: &RouteCtx<'_>,
+    cur: &Coord,
+    dst: &Coord,
+    state: &RouteState,
+    out: &mut Vec<Candidate>,
+) {
     assert_mesh2d(ctx.topo, "north-last");
     let north = Direction::plus(1);
     let dx = dst.get(0) - cur.get(0);
     let dy = dst.get(1) - cur.get(1);
-    let mut out = Vec::with_capacity(3);
     if state.has_moved(north) {
         // Once the northward run starts it cannot be left.
         if dy > 0 {
-            push_if_live(ctx, cur, dst, north, &mut out);
+            push_if_live(ctx, cur, dst, north, out);
         }
-        return out;
+        return;
     }
     if dx == 0 && dy > 0 {
         // Start the final northward run.
-        push_if_live(ctx, cur, dst, north, &mut out);
-        return out;
+        push_if_live(ctx, cur, dst, north, out);
+        return;
     }
-    push_if_live(ctx, cur, dst, Direction::plus(0), &mut out); // east
-    push_if_live(ctx, cur, dst, Direction::minus(0), &mut out); // west
-    push_if_live(ctx, cur, dst, Direction::minus(1), &mut out); // south
-    order_productive_first(out)
+    push_if_live(ctx, cur, dst, Direction::plus(0), out); // east
+    push_if_live(ctx, cur, dst, Direction::minus(0), out); // west
+    push_if_live(ctx, cur, dst, Direction::minus(1), out); // south
+    order_productive_first(out);
 }
 
 /// Negative-first candidates (n-dimensional mesh).
@@ -139,6 +170,22 @@ pub fn negative_first(
     dst: &Coord,
     state: &RouteState,
 ) -> Vec<Candidate> {
+    let mut out = Vec::with_capacity(ctx.topo.ndims());
+    negative_first_into(ctx, cur, dst, state, &mut out);
+    out
+}
+
+/// Allocation-free form of [`negative_first`]; appends into `out`.
+///
+/// # Panics
+/// Panics if the topology is not a mesh.
+pub fn negative_first_into(
+    ctx: &RouteCtx<'_>,
+    cur: &Coord,
+    dst: &Coord,
+    state: &RouteState,
+    out: &mut Vec<Candidate>,
+) {
     assert!(
         matches!(ctx.topo, Topology::Mesh(_)),
         "negative-first routing is defined on meshes, not on a {}",
@@ -146,22 +193,21 @@ pub fn negative_first(
     );
     let n = ctx.topo.ndims();
     let needs_negative = (0..n).any(|d| dst.get(d) < cur.get(d));
-    let mut out = Vec::with_capacity(n);
     if needs_negative {
         // Negative moves are legal only before any positive move; a
         // packet that overshot positively and now needs a negative hop
         // is blocked (the prohibited positive→negative turn).
         if !state.moved_any_positive() {
             for d in 0..n {
-                push_if_live(ctx, cur, dst, Direction::minus(d), &mut out);
+                push_if_live(ctx, cur, dst, Direction::minus(d), out);
             }
         }
     } else {
         for d in 0..n {
-            push_if_live(ctx, cur, dst, Direction::plus(d), &mut out);
+            push_if_live(ctx, cur, dst, Direction::plus(d), out);
         }
     }
-    order_productive_first(out)
+    order_productive_first(out);
 }
 
 #[cfg(test)]

@@ -570,6 +570,18 @@ pub struct ScenarioConfig {
     pub horizon: u64,
     /// DDoS attack to overlay on the background, if any.
     pub attack: Option<AttackSpec>,
+    /// Bounded-memory injection (`"staged_injection": true`): the
+    /// workload is time-sorted and parked in the simulator's staged
+    /// backlog, materialising into real packets lazily as simulated
+    /// time reaches them, so a flood's footprint is its in-flight
+    /// window rather than the whole schedule. When the workload is
+    /// already time-ordered (a pure flood), staged materialisation is
+    /// order-equivalent to eager scheduling and reproduces its digest
+    /// exactly; a mixed workload gets time-sorted first, which changes
+    /// packet-id assignment order and thus the digest — each mode is
+    /// bit-reproducible (and checkpoint/resume safe) either way.
+    /// Default false.
+    pub staged_injection: bool,
     /// Timestamped dynamic fault events (link/switch fail and repair),
     /// applied mid-run by the simulator. Empty by default.
     pub fault_schedule: Vec<(u64, FaultEvent)>,
@@ -614,6 +626,7 @@ impl FromJson for ScenarioConfig {
                 "background_interval",
                 "horizon",
                 "attack",
+                "staged_injection",
                 "fault_schedule",
                 "fault_retries",
                 "watchdog",
@@ -680,6 +693,12 @@ impl FromJson for ScenarioConfig {
                 "`fault_rate` {fault_rate} out of range 0.0..=1.0"
             )));
         }
+        let staged_injection = match v.get("staged_injection") {
+            None | Some(Value::Null) => false,
+            Some(b) => b
+                .as_bool()
+                .ok_or_else(|| JsonError::msg("`staged_injection` must be a boolean"))?,
+        };
         let invariants = match v.get("invariants") {
             None | Some(Value::Null) => false,
             Some(b) => b
@@ -718,6 +737,7 @@ impl FromJson for ScenarioConfig {
             background_interval: opt_u64(v, "background_interval", 32)?,
             horizon: opt_u64(v, "horizon", 4000)?,
             attack,
+            staged_injection,
             fault_schedule: fault_schedule(v)?,
             fault_retries: opt_u32(v, "fault_retries", 0)?,
             watchdog: watchdog_block(v)?,

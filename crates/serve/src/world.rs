@@ -283,8 +283,20 @@ impl ScenarioWorld {
         match resume {
             None => {
                 sim.schedule_faults(&schedule);
-                for (t, p) in workload {
-                    sim.schedule(t, p);
+                if cfg.staged_injection {
+                    // Bounded-memory mode: park the workload in the
+                    // simulator's staged backlog, time-sorted (stage()
+                    // insists on nondecreasing times; the stable sort
+                    // keeps same-cycle packets in generation order).
+                    let mut workload = workload;
+                    workload.sort_by_key(|&(t, _)| t);
+                    for (t, p) in workload {
+                        sim.stage(t, p);
+                    }
+                } else {
+                    for (t, p) in workload {
+                        sim.schedule(t, p);
+                    }
                 }
             }
             Some(mut ckpt) => {
@@ -668,6 +680,16 @@ impl ScenarioWorld {
             stats.attack.delivered,
             stats.attack.dropped(),
         );
+        text.push_str(&format!(
+            "memory : {} B packet-arena peak{}, {} B port table\n",
+            stats.peak_arena_bytes,
+            if cfg.staged_injection {
+                " (staged injection)"
+            } else {
+                ""
+            },
+            stats.port_bytes,
+        ));
         if !self.schedule.is_empty() {
             text.push_str(&format!(
                 "faults : {} events applied, {} fault drops, \
@@ -868,6 +890,11 @@ impl ScenarioWorld {
                 "injected": stats.attack.injected,
                 "delivered": stats.attack.delivered,
                 "dropped": stats.attack.dropped(),
+            },
+            "memory": {
+                "peak_arena_bytes": stats.peak_arena_bytes,
+                "port_bytes": stats.port_bytes,
+                "staged_injection": cfg.staged_injection,
             },
             "census": census_json,
             "scheme": match cfg.scheme {

@@ -168,11 +168,15 @@ impl EventQueue {
 
     /// An empty queue whose wheel covers at least `horizon` cycles of
     /// look-ahead (rounded up to a power of two, clamped to a sane
-    /// range). Callers size this as `buffer · service + latency` so the
-    /// hot-path arrivals never touch the spillover heap.
+    /// range). Callers size this as `buffer · service + latency` plus
+    /// any retry/watchdog deferral so the hot-path arrivals never touch
+    /// the spillover heap. The ceiling admits the look-ahead the
+    /// Table 3 maxima need (a 128×128 mesh re-injects across a
+    /// 254-hop diameter with backoff); one wheel slot is one `Vec`, so
+    /// even the full 65 536-slot wheel is a few MiB of empty vectors.
     #[must_use]
     pub fn with_horizon(horizon: u64) -> Self {
-        let h = horizon.clamp(4, 4096).next_power_of_two().max(64);
+        let h = horizon.clamp(4, 65_536).next_power_of_two().max(64);
         Self {
             cur: Vec::new(),
             cur_time: 0,

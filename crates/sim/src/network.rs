@@ -1,7 +1,7 @@
 //! The simulation engine.
 
 use crate::config::SimConfig;
-use crate::event::{Event, EventKind, EventQueue, Slab};
+use crate::event::{Event, EventKind, EventQueue};
 use crate::filter::{Filter, NoFilter};
 use crate::invariant::{InvariantChecker, Violation};
 use crate::mark::{MarkEnv, Marker};
@@ -10,15 +10,14 @@ use crate::stats::{FaultStats, SimStats};
 use crate::time::SimTime;
 use crate::watchdog::WatchdogStats;
 use ddpm_net::{Packet, PacketId, TrafficClass};
-use ddpm_routing::{RouteCtx, RouteState, Router, SelectionPolicy};
+use ddpm_routing::{Candidate, RouteCtx, RouteState, Router, SelectionPolicy};
 use ddpm_telemetry::{EventKind as TelEvent, PacketEvent, RetryKind, Telemetry, TelemetryConfig};
 use ddpm_topology::{
     Coord, Direction, FaultEvent, FaultSchedule, FaultSet, NodeId, Partition, Topology,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
-use std::ops::{Index, IndexMut};
+use std::collections::{HashSet, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -148,73 +147,270 @@ struct InFlight {
     wire_mf: u16,
 }
 
-/// In-flight packet storage: a [`Slab`] arena indexed by the global
-/// packet handle, with inline (unboxed) payloads. Handle indices are
-/// never recycled — the index doubles as the canonical `pkey` and the
-/// per-packet RNG seed — but a packet's storage is reclaimed in place
-/// the moment it is delivered or dropped, and the slot's generation
-/// bump turns any later access into a detectable stale-handle event.
-/// In the sharded engine a slot is empty while the packet is owned by
-/// another shard (handles are global, storage is per-shard).
-struct Pkts(Slab<InFlight>);
+/// A packet's cold payload: the structured fields (header, routing
+/// state, RNG, recorded path) an event touches at most a handful of
+/// times. Boxed behind one pointer per slot so the dead majority of a
+/// long flood costs only the hot scalars below.
+struct PktCold {
+    packet: Packet,
+    state: RouteState,
+    rng: SmallRng,
+    path: Vec<NodeId>,
+}
+
+/// [`Pkts::flags`] bits.
+const F_UNDER_FAULT: u8 = 1;
+const F_LAUNCHED: u8 = 1 << 1;
+const F_ESCAPED: u8 = 1 << 2;
+
+/// Panic message shared by every accessor that requires residency.
+const RESIDENT: &str = "packet resident in this shard";
+
+/// Fabrics up to this many nodes get a dense node → [`Coord`] table on
+/// the simulation (the per-hop `coord()` divisions dominate the release
+/// hot path otherwise). Covers every Table 3 maximum (2^16 nodes) at
+/// ~2 MiB; larger fabrics fall back to computing so memory stays
+/// bounded by the O(N) port array alone.
+const COORD_CACHE_MAX_NODES: u64 = 1 << 17;
+
+/// In-flight packet storage, struct-of-arrays: the global packet handle
+/// indexes a set of parallel dense arrays. The scalars the event loop
+/// and watchdog sweeps actually read (flags, timestamps, last switch,
+/// wire marking field) live in their own cache-friendly arrays; the
+/// structured payload lives in one boxed [`PktCold`] per *resident*
+/// packet, reclaimed the moment the packet is delivered or dropped. At
+/// Table 3 scale that is the difference between a dead slot costing a
+/// full `InFlight` and costing ~50 bytes of scalars.
+///
+/// Handle indices are never recycled — the index doubles as the
+/// canonical `pkey` and the per-packet RNG seed — and the slot's
+/// generation bump on death turns any later access into a detectable
+/// stale-handle event, exactly like the slab it replaces. In the
+/// sharded engine a slot is empty while the packet is owned by another
+/// shard (handles are global, storage is per-shard).
+struct Pkts {
+    /// Per-slot free counts (bumped on death, untouched by handoffs) —
+    /// the generation half of the old slab's handle check.
+    gens: Vec<u32>,
+    /// Packed `F_*` booleans. Occupancy itself is `cold[i].is_some()`.
+    flags: Vec<u8>,
+    /// Marking-field value committed to the wire (checker invariant).
+    wire_mf: Vec<u16>,
+    /// Last switch that handled the packet (`u32::MAX` pre-injection).
+    last_node: Vec<u32>,
+    /// Injection attempts made against a downed source switch.
+    inject_attempts: Vec<u32>,
+    /// Reroute retries consumed while stranded.
+    reroutes: Vec<u32>,
+    injected_at: Vec<SimTime>,
+    /// Cycle of the most recent hop (injection counts as hop zero).
+    last_hop_at: Vec<u64>,
+    /// Cycle of the watchdog escape, when `F_ESCAPED` is set.
+    escaped_at: Vec<u64>,
+    cold: Vec<Option<Box<PktCold>>>,
+    /// Slots currently holding a cold record.
+    resident: usize,
+    /// High-water mark of [`Pkts::bytes`] — the arena term of the
+    /// peak-memory telemetry ([`SimStats::peak_arena_bytes`]).
+    peak_bytes: u64,
+}
 
 impl Pkts {
     fn new() -> Self {
-        Self(Slab::new())
+        Self {
+            gens: Vec::new(),
+            flags: Vec::new(),
+            wire_mf: Vec::new(),
+            last_node: Vec::new(),
+            inject_attempts: Vec::new(),
+            reroutes: Vec::new(),
+            injected_at: Vec::new(),
+            last_hop_at: Vec::new(),
+            escaped_at: Vec::new(),
+            cold: Vec::new(),
+            resident: 0,
+            peak_bytes: 0,
+        }
     }
 
     fn len(&self) -> usize {
-        self.0.len()
+        self.gens.len()
+    }
+
+    /// Approximate heap footprint of the arena in bytes: the dense hot
+    /// arrays plus one boxed cold record per resident packet (recorded
+    /// path buffers excluded — empty unless `record_paths`).
+    fn bytes(&self) -> u64 {
+        use std::mem::size_of;
+        let per_slot = (4 * size_of::<u32>()
+            + size_of::<u8>()
+            + size_of::<u16>()
+            + size_of::<SimTime>()
+            + 2 * size_of::<u64>()
+            + size_of::<Option<Box<PktCold>>>()) as u64;
+        self.gens.len() as u64 * per_slot + self.resident as u64 * size_of::<PktCold>() as u64
+    }
+
+    fn note_peak(&mut self) {
+        self.peak_bytes = self.peak_bytes.max(self.bytes());
     }
 
     fn push(&mut self, flight: InFlight) -> usize {
-        self.0.insert(flight).index()
+        let i = self.gens.len();
+        self.gens.push(0);
+        self.disassemble(i, flight, true);
+        i
     }
 
     /// Grows the table to `n` empty slots (shard setup).
     fn ensure_len(&mut self, n: usize) {
-        self.0.ensure_len(n);
+        while self.gens.len() < n {
+            self.gens.push(0);
+            self.flags.push(0);
+            self.wire_mf.push(0);
+            self.last_node.push(u32::MAX);
+            self.inject_attempts.push(0);
+            self.reroutes.push(0);
+            self.injected_at.push(SimTime::ZERO);
+            self.last_hop_at.push(0);
+            self.escaped_at.push(0);
+            self.cold.push(None);
+        }
+        self.note_peak();
     }
 
-    fn get(&self, i: usize) -> Option<&InFlight> {
-        self.0.get_idx(i)
+    /// Does slot `i` hold a live, locally stored packet?
+    fn is_resident(&self, i: usize) -> bool {
+        self.cold.get(i).is_some_and(Option::is_some)
+    }
+
+    /// Scatters an assembled record into the parallel arrays. `append`
+    /// pushes a brand-new slot; otherwise slot `i` must exist and be
+    /// empty.
+    fn disassemble(&mut self, i: usize, flight: InFlight, append: bool) {
+        let flags = (u8::from(flight.under_fault) * F_UNDER_FAULT)
+            | (u8::from(flight.launched) * F_LAUNCHED)
+            | (u8::from(flight.escaped) * F_ESCAPED);
+        let cold = Box::new(PktCold {
+            packet: flight.packet,
+            state: flight.state,
+            rng: flight.rng,
+            path: flight.path,
+        });
+        if append {
+            self.flags.push(flags);
+            self.wire_mf.push(flight.wire_mf);
+            self.last_node.push(flight.last_node);
+            self.inject_attempts.push(flight.inject_attempts);
+            self.reroutes.push(flight.reroutes);
+            self.injected_at.push(flight.injected_at);
+            self.last_hop_at.push(flight.last_hop_at);
+            self.escaped_at.push(flight.escaped_at);
+            self.cold.push(Some(cold));
+        } else {
+            assert!(self.cold[i].is_none(), "slab slot {i} already occupied");
+            self.flags[i] = flags;
+            self.wire_mf[i] = flight.wire_mf;
+            self.last_node[i] = flight.last_node;
+            self.inject_attempts[i] = flight.inject_attempts;
+            self.reroutes[i] = flight.reroutes;
+            self.injected_at[i] = flight.injected_at;
+            self.last_hop_at[i] = flight.last_hop_at;
+            self.escaped_at[i] = flight.escaped_at;
+            self.cold[i] = Some(cold);
+        }
+        self.resident += 1;
+        self.note_peak();
+    }
+
+    /// Gathers slot `i`'s arrays and the given cold record back into
+    /// the assembled transfer form.
+    fn assemble(&self, i: usize, c: PktCold) -> InFlight {
+        InFlight {
+            packet: c.packet,
+            state: c.state,
+            rng: c.rng,
+            injected_at: self.injected_at[i],
+            path: c.path,
+            inject_attempts: self.inject_attempts[i],
+            reroutes: self.reroutes[i],
+            under_fault: self.flags[i] & F_UNDER_FAULT != 0,
+            launched: self.flags[i] & F_LAUNCHED != 0,
+            escaped: self.flags[i] & F_ESCAPED != 0,
+            escaped_at: self.escaped_at[i],
+            last_hop_at: self.last_hop_at[i],
+            last_node: self.last_node[i],
+            wire_mf: self.wire_mf[i],
+        }
     }
 
     /// Removes the packet for a cross-shard handoff (the slot stays
     /// valid — the packet is alive, just resident elsewhere).
     fn take(&mut self, i: usize) -> InFlight {
-        self.0.take_idx(i).expect("packet resident in this shard")
+        let cold = self.cold[i].take().expect(RESIDENT);
+        self.resident -= 1;
+        self.assemble(i, *cold)
+    }
+
+    /// [`Pkts::take`] that returns `None` instead of panicking on an
+    /// empty slot (split/gather sweeps over the whole table).
+    fn take_if_resident(&mut self, i: usize) -> Option<InFlight> {
+        let cold = self.cold.get_mut(i)?.take()?;
+        self.resident -= 1;
+        Some(self.assemble(i, *cold))
     }
 
     /// Installs a handed-off packet.
     fn put(&mut self, i: usize, flight: InFlight) {
-        self.0.put_idx(i, flight);
+        self.ensure_len(i + 1);
+        self.disassemble(i, flight, false);
     }
 
-    /// Declares the packet dead: reclaims its storage and invalidates
-    /// the slot for good.
+    /// Declares the packet dead: reclaims its cold record and
+    /// invalidates the slot for good.
     fn free(&mut self, i: usize) -> InFlight {
-        self.0.free_idx(i).expect("double drop of a packet")
+        let cold = self.cold[i].take().expect("double drop of a packet");
+        self.resident -= 1;
+        self.gens[i] = self.gens[i].wrapping_add(1);
+        self.assemble(i, *cold)
     }
 
-    /// Resident packets, in handle order.
-    fn iter_live(&self) -> impl Iterator<Item = (usize, &InFlight)> {
-        self.0.iter_live()
-    }
-}
+    // Cold-record accessors. All panic with [`RESIDENT`] on an empty
+    // slot — events guarantee residency, and a violation of that is the
+    // stale-handle bug the generation counters exist to catch.
 
-impl Index<usize> for Pkts {
-    type Output = InFlight;
-    fn index(&self, i: usize) -> &InFlight {
-        self.0.get_idx(i).expect("packet resident in this shard")
+    fn packet(&self, i: usize) -> &Packet {
+        &self.cold[i].as_ref().expect(RESIDENT).packet
     }
-}
 
-impl IndexMut<usize> for Pkts {
-    fn index_mut(&mut self, i: usize) -> &mut InFlight {
-        self.0
-            .get_idx_mut(i)
-            .expect("packet resident in this shard")
+    fn packet_mut(&mut self, i: usize) -> &mut Packet {
+        &mut self.cold[i].as_mut().expect(RESIDENT).packet
+    }
+
+    fn state(&self, i: usize) -> &RouteState {
+        &self.cold[i].as_ref().expect(RESIDENT).state
+    }
+
+    fn rng_mut(&mut self, i: usize) -> &mut SmallRng {
+        &mut self.cold[i].as_mut().expect(RESIDENT).rng
+    }
+
+    /// The whole cold record — the split borrow the marker hooks need
+    /// (`&mut packet` and `&mut rng` simultaneously).
+    fn cold_mut(&mut self, i: usize) -> &mut PktCold {
+        self.cold[i].as_mut().expect(RESIDENT)
+    }
+
+    fn flag(&self, i: usize, bit: u8) -> bool {
+        self.flags[i] & bit != 0
+    }
+
+    fn set_flag(&mut self, i: usize, bit: u8, on: bool) {
+        if on {
+            self.flags[i] |= bit;
+        } else {
+            self.flags[i] &= !bit;
+        }
     }
 }
 
@@ -407,6 +603,25 @@ pub struct Simulation<'a> {
     cfg: SimConfig,
     queue: EventQueue,
     pkts: Pkts,
+    /// Staged injections not yet materialised into the arena
+    /// ([`Simulation::stage`]): `(cycle, packet)` in nondecreasing time
+    /// order. Bounded-memory flood mode — a staged packet costs one
+    /// queue entry and no arena slot until the simulation clock reaches
+    /// it.
+    pending: VecDeque<(u64, Packet)>,
+    /// High-water mark of `pending.len()` (peak-memory telemetry).
+    pending_peak: u64,
+    /// Reusable routing-candidate buffer: `forward_from` swaps it out,
+    /// fills it via `candidates_into`, and swaps it back, so
+    /// steady-state forwarding never allocates.
+    cand_buf: Vec<Candidate>,
+    /// Dense node → coordinate table. `coord()` divides once per
+    /// dimension, which the per-event path pays on every arrival;
+    /// memoising it trades `num_nodes * size_of::<Coord>()` bytes for
+    /// division-free lookups. Left empty above
+    /// [`COORD_CACHE_MAX_NODES`] so giant fabrics stay bounded — the
+    /// accessor falls back to computing.
+    coords: Vec<Coord>,
     /// Per directed output port: the cycle until which it is busy.
     /// Dense, indexed `node * port_stride + (dim * 2 + sign)` — the
     /// hot-path replacement for the old `HashMap<(u32, Direction), u64>`.
@@ -508,6 +723,13 @@ impl<'a> Simulation<'a> {
         let checking = checker.enabled();
         let port_stride = 2 * topo.ndims();
         let ports = vec![0u64; topo.num_nodes() as usize * port_stride];
+        let coords = if topo.num_nodes() <= COORD_CACHE_MAX_NODES {
+            (0..topo.num_nodes() as u32)
+                .map(|n| topo.coord(NodeId(n)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let (compromised, adv_behavior) = match &cfg.adversary {
             Some(spec) => {
                 let mut dense = vec![false; topo.num_nodes() as usize];
@@ -521,9 +743,19 @@ impl<'a> Simulation<'a> {
             None => (Vec::new(), ""),
         };
         // Size the wheel to the worst-case hot-path look-ahead: a full
-        // output buffer serialising ahead of this packet, plus the link.
+        // output buffer serialising ahead of this packet, plus the link,
+        // plus every way an event can be deferred — retry backoff
+        // (capped at max_delay) and the watchdog's next sweep. Sized
+        // from the config rather than a 64×64-era constant, so Table 3
+        // fabrics with long backoffs keep the heap out of steady state.
+        let deferral = cfg
+            .inject_retry
+            .max_delay
+            .max(cfg.reroute_retry.max_delay)
+            .max(cfg.watchdog.as_ref().map_or(0, |w| w.check_period));
         let horizon = (u64::from(cfg.buffer_packets) + 2) * cfg.service_cycles.max(1)
             + cfg.link_latency
+            + deferral
             + 1;
         Self {
             topo,
@@ -535,6 +767,10 @@ impl<'a> Simulation<'a> {
             cfg,
             queue: EventQueue::with_horizon(horizon),
             pkts: Pkts::new(),
+            pending: VecDeque::new(),
+            pending_peak: 0,
+            cand_buf: Vec::new(),
+            coords,
             ports,
             port_stride,
             now: SimTime::ZERO,
@@ -611,6 +847,66 @@ impl<'a> Simulation<'a> {
         idx
     }
 
+    /// Stages `packet` for injection at `time` **without** allocating
+    /// its arena slot yet — the bounded-memory alternative to
+    /// [`Simulation::schedule`] for Table-3-scale floods, where eagerly
+    /// materialising millions of in-flight records (and their pending
+    /// `Inject` events) would dominate memory before the first cycle
+    /// runs. Staged packets materialise lazily, in FIFO order, as the
+    /// clock reaches them; peak arena occupancy then tracks the number
+    /// of packets genuinely in flight.
+    ///
+    /// Staged and eagerly scheduled runs of the same workload are
+    /// *equivalent but not identical*: packet handles (and therefore
+    /// per-packet RNG streams) are assigned in materialisation order
+    /// rather than scheduling order, so conformance digests differ
+    /// between the two modes while each mode stays bit-reproducible
+    /// across engines and checkpoints.
+    ///
+    /// # Panics
+    /// Panics if `time` precedes the previously staged injection —
+    /// lazy materialisation requires a time-sorted stage order.
+    pub fn stage(&mut self, time: SimTime, packet: Packet) {
+        debug_assert!(time >= self.now, "staged injection in the past");
+        if let Some(&(back, _)) = self.pending.back() {
+            assert!(
+                time.cycles() >= back,
+                "staged injections must be time-sorted: {} after {back}",
+                time.cycles()
+            );
+        }
+        self.pending.push_back((time.cycles(), packet));
+        self.pending_peak = self.pending_peak.max(self.pending.len() as u64);
+    }
+
+    /// Number of staged injections not yet materialised.
+    #[must_use]
+    pub fn staged_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Materialises every staged injection due before the next queued
+    /// event (all of them when the queue is idle, bounded by `limit`
+    /// when segmenting). A staged packet appended at cycle `t` receives
+    /// the highest handle so far *and* the highest queue sequence, so
+    /// it sorts last among cycle-`t` packet events under both the
+    /// serial (insertion-order) and canonical (pkey-order) tie-breaks —
+    /// lazy materialisation is order-equivalent to materialising the
+    /// whole backlog up front, which is exactly what the sharded
+    /// engine's split does.
+    fn pump_staged(&mut self, limit: Option<u64>) {
+        while let Some(&(t, _)) = self.pending.front() {
+            if limit.is_some_and(|l| t >= l) {
+                return;
+            }
+            if self.queue.next_time().is_some_and(|nt| t > nt) {
+                return;
+            }
+            let (t, p) = self.pending.pop_front().expect("front just probed");
+            self.schedule(SimTime(t), p);
+        }
+    }
+
     /// Runs the event loop to quiescence and returns the statistics.
     pub fn run(&mut self) -> SimStats {
         // Observer and checker status are fixed for a run: hoist both
@@ -618,7 +914,11 @@ impl<'a> Simulation<'a> {
         // every emission site) so a telemetry-off run pays nothing.
         let profiling = self.tele.as_ref().is_some_and(|t| t.profiling());
         let checking = self.checking;
-        while let Some(ev) = self.queue.pop() {
+        loop {
+            if !self.pending.is_empty() {
+                self.pump_staged(None);
+            }
+            let Some(ev) = self.queue.pop() else { break };
             self.dispatch(ev, profiling, checking);
         }
         self.finalize_run();
@@ -641,10 +941,16 @@ impl<'a> Simulation<'a> {
         }
         let profiling = self.tele.as_ref().is_some_and(|t| t.profiling());
         let checking = self.checking;
-        while let Some(ev) = self.queue.pop_before(limit) {
+        loop {
+            if !self.pending.is_empty() {
+                self.pump_staged(Some(limit));
+            }
+            let Some(ev) = self.queue.pop_before(limit) else {
+                break;
+            };
             self.dispatch(ev, profiling, checking);
         }
-        if self.queue.next_time().is_some() {
+        if self.queue.next_time().is_some() || !self.pending.is_empty() {
             return false;
         }
         self.finalize_run();
@@ -713,6 +1019,15 @@ impl<'a> Simulation<'a> {
             self.stats.faults.degraded_cycles += self.now.cycles() - t0;
         }
         self.stats.end_time = self.now.cycles();
+        // Peak-memory telemetry: arena high-water mark plus the staged
+        // backlog at its deepest, and the (static) port table. Kept out
+        // of `SimStats`'s Debug form — the numbers are layout-dependent
+        // and must not leak into conformance digests.
+        self.stats.peak_arena_bytes = self.stats.peak_arena_bytes.max(
+            self.pkts.peak_bytes
+                + self.pending_peak * std::mem::size_of::<(u64, Packet)>() as u64,
+        );
+        self.stats.port_bytes = (self.ports.len() * std::mem::size_of::<u64>()) as u64;
         debug_assert_eq!(self.live_count, 0, "run ended with live packets");
         debug_assert!(self.stats.accounted(0), "packet conservation violated");
         if let Some(t) = self.tele.as_mut() {
@@ -792,22 +1107,22 @@ impl<'a> Simulation<'a> {
         let (events, queue_seq) = self.queue.snapshot_events();
         let slots = (0..self.pkts.len())
             .map(|i| SlotSnap {
-                generation: self.pkts.0.generation_of(i).expect("index in range"),
-                flight: self.pkts.get(i).map(|p| FlightSnap {
-                    packet: p.packet,
-                    state: p.state,
-                    rng: p.rng.state(),
-                    injected_at: p.injected_at.cycles(),
-                    path: p.path.clone(),
-                    inject_attempts: p.inject_attempts,
-                    reroutes: p.reroutes,
-                    under_fault: p.under_fault,
-                    launched: p.launched,
-                    escaped: p.escaped,
-                    escaped_at: p.escaped_at,
-                    last_hop_at: p.last_hop_at,
-                    last_node: p.last_node,
-                    wire_mf: p.wire_mf,
+                generation: self.pkts.gens[i],
+                flight: self.pkts.cold[i].as_ref().map(|c| FlightSnap {
+                    packet: c.packet,
+                    state: c.state,
+                    rng: c.rng.state(),
+                    injected_at: self.pkts.injected_at[i].cycles(),
+                    path: c.path.clone(),
+                    inject_attempts: self.pkts.inject_attempts[i],
+                    reroutes: self.pkts.reroutes[i],
+                    under_fault: self.pkts.flag(i, F_UNDER_FAULT),
+                    launched: self.pkts.flag(i, F_LAUNCHED),
+                    escaped: self.pkts.flag(i, F_ESCAPED),
+                    escaped_at: self.pkts.escaped_at[i],
+                    last_hop_at: self.pkts.last_hop_at[i],
+                    last_node: self.pkts.last_node[i],
+                    wire_mf: self.pkts.wire_mf[i],
                 }),
             })
             .collect();
@@ -832,6 +1147,9 @@ impl<'a> Simulation<'a> {
             gone_info: self.gone_info,
             last_progress: self.last_progress,
             watchdog_armed: self.watchdog_armed,
+            pending: self.pending.iter().cloned().collect(),
+            pending_peak: self.pending_peak,
+            peak_arena_bytes: self.pkts.peak_bytes,
             violations: self.checker.violations().to_vec(),
             trace_tail: self.checker.tail_events(),
             selftest_fired: self.checker.selftest_fired(),
@@ -887,8 +1205,14 @@ impl<'a> Simulation<'a> {
                     },
                 );
             }
-            self.pkts.0.set_generation(i, slot.generation);
+            self.pkts.gens[i] = slot.generation;
         }
+        // The restored high-water marks supersede anything accumulated
+        // while re-populating — a resumed run's peaks continue the
+        // uninterrupted run's exactly.
+        self.pkts.peak_bytes = self.pkts.peak_bytes.max(snap.peak_arena_bytes);
+        self.pending = snap.pending.into_iter().collect();
+        self.pending_peak = snap.pending_peak.max(self.pending.len() as u64);
         self.ports = snap.ports;
         self.now = SimTime(snap.now);
         self.stats = snap.stats;
@@ -909,7 +1233,7 @@ impl<'a> Simulation<'a> {
     }
 
     fn class_of(&self, pkt: usize) -> TrafficClass {
-        self.pkts[pkt].packet.class
+        self.pkts.packet(pkt).class
     }
 
     /// Dense index of a directed output port: `node * 2·ndims + dim·2 +
@@ -934,7 +1258,7 @@ impl<'a> Simulation<'a> {
     /// canonical key for the coordinator's merge. Only call behind
     /// `self.obs`.
     fn emit(&mut self, pkt: usize, node: u32, kind: TelEvent) {
-        let id = self.pkts[pkt].packet.id.0;
+        let id = self.pkts.packet(pkt).id.0;
         self.emit_id(id, node, kind);
     }
 
@@ -1032,12 +1356,15 @@ impl<'a> Simulation<'a> {
         let (pkt_id, node) = match ev.kind {
             EventKind::Inject { pkt }
             | EventKind::Arrive { pkt, .. }
-            | EventKind::Reroute { pkt, .. } => match self.pkts.get(pkt) {
-                Some(p) => (p.packet.id.0, p.last_node),
-                // The handler freed the packet (delivered or dropped it)
-                // during this very event.
-                None => self.gone_info,
-            },
+            | EventKind::Reroute { pkt, .. } => {
+                if self.pkts.is_resident(pkt) {
+                    (self.pkts.packet(pkt).id.0, self.pkts.last_node[pkt])
+                } else {
+                    // The handler freed the packet (delivered or dropped
+                    // it) during this very event.
+                    self.gone_info
+                }
+            }
             EventKind::Fault { .. } | EventKind::Watchdog => (0, u32::MAX),
         };
         // O(1) conservation: the running totals mirror the per-class
@@ -1104,7 +1431,7 @@ impl<'a> Simulation<'a> {
     }
 
     fn drop_packet(&mut self, pkt: usize, node: u32, reason: DropReason) {
-        let id = self.pkts[pkt].packet.id;
+        let id = self.pkts.packet(pkt).id;
         self.account_drop(pkt, reason);
         let key = (self.cur_cycle, self.cur_rank, self.cur_pkey, 0);
         if let Some(ctx) = self.shard.as_mut() {
@@ -1185,7 +1512,7 @@ impl<'a> Simulation<'a> {
     /// reported as a typed `stale_handle` violation rather than a panic
     /// (and can never act on a resurrected packet).
     fn stale_event(&mut self, pkt: usize) -> bool {
-        if self.pkts.get(pkt).is_some() {
+        if self.pkts.is_resident(pkt) {
             return false;
         }
         if self.checking {
@@ -1203,16 +1530,16 @@ impl<'a> Simulation<'a> {
         if self.stale_event(pkt) {
             return;
         }
-        let src_id = self.pkts[pkt].packet.true_source;
-        let src = self.topo.coord(src_id);
-        self.pkts[pkt].last_node = src_id.0;
-        if self.pkts[pkt].inject_attempts == 0 {
-            self.pkts[pkt].launched = true;
+        let src_id = self.pkts.packet(pkt).true_source;
+        let src = self.coord_of(src_id.0);
+        self.pkts.last_node[pkt] = src_id.0;
+        if self.pkts.inject_attempts[pkt] == 0 {
+            self.pkts.set_flag(pkt, F_LAUNCHED, true);
             self.live_count += 1;
             self.injected_total += 1;
             self.stats.class_mut(self.class_of(pkt)).injected += 1;
             let under = !self.live.is_empty();
-            self.pkts[pkt].under_fault = under;
+            self.pkts.set_flag(pkt, F_UNDER_FAULT, under);
             if under {
                 self.stats.faults.window_injected += 1;
             }
@@ -1238,9 +1565,9 @@ impl<'a> Simulation<'a> {
         // the compute node hold the packet and retry with exponential
         // backoff (the injection RetryPolicy) rather than lose it.
         if self.live.is_node_dead(src_id) {
-            let attempt = self.pkts[pkt].inject_attempts;
+            let attempt = self.pkts.inject_attempts[pkt];
             if attempt < self.cfg.inject_retry.retries {
-                self.pkts[pkt].inject_attempts = attempt + 1;
+                self.pkts.inject_attempts[pkt] = attempt + 1;
                 let at = self.now.cycles() + self.cfg.inject_retry.delay(attempt);
                 self.queue.push(SimTime(at), EventKind::Inject { pkt });
                 if self.obs {
@@ -1262,24 +1589,24 @@ impl<'a> Simulation<'a> {
             self.emit(pkt, src_id.0, TelEvent::Inject);
         }
         if self.cfg.record_paths {
-            self.pkts[pkt].path.push(src_id);
+            self.pkts.cold_mut(pkt).path.push(src_id);
         }
         // The source switch resets the marking field (§5) — forged MF
         // values die here.
         let env = MarkEnv { topo: self.topo };
-        let mf_before = self.pkts[pkt].packet.header.identification.raw();
+        let mf_before = self.pkts.packet(pkt).header.identification.raw();
         self.marker
-            .on_inject(&mut self.pkts[pkt].packet, &src, &env);
-        let mf_after = self.pkts[pkt].packet.header.identification.raw();
+            .on_inject(&mut self.pkts.cold_mut(pkt).packet, &src, &env);
+        let mf_after = self.pkts.packet(pkt).header.identification.raw();
         if mf_after != mf_before && self.obs {
             let scheme = self.marker.name();
             self.emit(pkt, src_id.0, TelEvent::Mark { mf: mf_after, scheme });
         }
-        if self.filter.block_at_injection(&self.pkts[pkt].packet, &src) {
+        if self.filter.block_at_injection(self.pkts.packet(pkt), &src) {
             self.drop_packet(pkt, src_id.0, DropReason::Filtered);
             return;
         }
-        self.forward_from(pkt, &src);
+        self.forward_from(pkt, src_id.0, &src);
     }
 
     fn handle_arrive(&mut self, pkt: usize, node: u32) {
@@ -1290,23 +1617,23 @@ impl<'a> Simulation<'a> {
         // field — it must arrive exactly as the previous switch sent it
         // (modelled bit errors happen below, at arrival processing).
         if self.checking {
-            let got = self.pkts[pkt].packet.header.identification.raw();
-            let sent = self.pkts[pkt].wire_mf;
+            let got = self.pkts.packet(pkt).header.identification.raw();
+            let sent = self.pkts.wire_mf[pkt];
             if got != sent {
                 self.report_violation(
-                    self.pkts[pkt].packet.id.0,
+                    self.pkts.packet(pkt).id.0,
                     node,
                     "mark_in_transit",
                     format!("marking field changed on the wire: sent {sent:#06x}, arrived {got:#06x}"),
                 );
             }
         }
-        self.pkts[pkt].last_node = node;
+        self.pkts.last_node[pkt] = node;
         // Link-level bit errors: flip one random header bit in transit;
         // the receiving switch checksums and discards the damaged packet.
         if self.cfg.bit_error_rate > 0.0 {
             let ber = self.cfg.bit_error_rate;
-            let p = &mut self.pkts[pkt];
+            let p = self.pkts.cold_mut(pkt);
             let corrupted = if p.rng.gen_bool(ber) {
                 let mut bytes = p.packet.header.to_bytes();
                 let bit = p.rng.gen_range(0..160u32);
@@ -1329,15 +1656,15 @@ impl<'a> Simulation<'a> {
             }
         }
         let node_id = NodeId(node);
-        let cur = self.topo.coord(node_id);
+        let cur = self.coord_of(node);
         if self.cfg.record_paths {
-            self.pkts[pkt].path.push(node_id);
+            self.pkts.cold_mut(pkt).path.push(node_id);
         }
-        if node_id == self.pkts[pkt].packet.dest_node {
+        if node_id == self.pkts.packet(pkt).dest_node {
             // The destination switch runs marking logic one final time
             // before delivery (needed by PPM's edge completion).
             let env = MarkEnv { topo: self.topo };
-            let p = &mut self.pkts[pkt];
+            let p = self.pkts.cold_mut(pkt);
             let mf_before = p.packet.header.identification.raw();
             self.marker.on_deliver(&mut p.packet, &cur, &env, &mut p.rng);
             let mf_after = p.packet.header.identification.raw();
@@ -1345,7 +1672,7 @@ impl<'a> Simulation<'a> {
                 let scheme = self.marker.name();
                 self.emit(pkt, node, TelEvent::Mark { mf: mf_after, scheme });
             }
-            if self.filter.block_at_delivery(&self.pkts[pkt].packet, &cur) {
+            if self.filter.block_at_delivery(self.pkts.packet(pkt), &cur) {
                 self.drop_packet(pkt, node, DropReason::Filtered);
                 return;
             }
@@ -1409,25 +1736,34 @@ impl<'a> Simulation<'a> {
             return;
         }
         // Intermediate switch: TTL check, then forward.
-        if !self.pkts[pkt].packet.header.decrement_ttl() {
+        if !self.pkts.packet_mut(pkt).header.decrement_ttl() {
             self.drop_packet(pkt, node, DropReason::TtlExpired);
             return;
         }
-        self.forward_from(pkt, &cur);
+        self.forward_from(pkt, node, &cur);
     }
 
-    fn forward_from(&mut self, pkt: usize, cur: &Coord) {
-        let node = self.topo.index(cur).0;
-        if self.pkts[pkt].state.hops >= self.cfg.max_hops {
+    /// Looks up a node's coordinate, division-free when the dense cache
+    /// is resident (it always is at Table 3 scale).
+    #[inline]
+    fn coord_of(&self, node: u32) -> Coord {
+        match self.coords.get(node as usize) {
+            Some(c) => *c,
+            None => self.topo.coord(NodeId(node)),
+        }
+    }
+
+    fn forward_from(&mut self, pkt: usize, node: u32, cur: &Coord) {
+        if self.pkts.state(pkt).hops >= self.cfg.max_hops {
             self.drop_packet(pkt, node, DropReason::HopLimit);
             return;
         }
-        let dst = self.topo.coord(self.pkts[pkt].packet.dest_node);
+        let dst = self.coord_of(self.pkts.packet(pkt).dest_node.0);
         // Escaped packets travel the watchdog's recovery router under
         // deterministic selection; everyone else uses the configured
         // pair. `pick_for` upgrades `Random` to productive-first on
         // turn-model routers (the E-RESIL livelock fix).
-        let (router, policy) = if self.pkts[pkt].escaped {
+        let (router, policy) = if self.pkts.flag(pkt, F_ESCAPED) {
             let esc = self
                 .cfg
                 .watchdog
@@ -1441,15 +1777,22 @@ impl<'a> Simulation<'a> {
         // switches that died since the previous hop are excluded, ones
         // that healed are available again.
         let ctx = RouteCtx::new(self.topo, &self.live);
-        let candidates = router.candidates(&ctx, cur, &dst, &self.pkts[pkt].state);
-        let Some(i) = policy.pick_for(&router, &candidates, &mut self.pkts[pkt].rng) else {
+        // The candidate buffer lives on the simulation and is recycled
+        // every hop — the forwarding hot path allocates nothing.
+        let mut cands = std::mem::take(&mut self.cand_buf);
+        router.candidates_into(&ctx, cur, &dst, self.pkts.state(pkt), &mut cands);
+        let picked = policy.pick_for(&router, &cands, self.pkts.rng_mut(pkt));
+        let chosen = picked.map(|i| cands[i]);
+        cands.clear();
+        self.cand_buf = cands;
+        let Some(chosen) = chosen else {
             // Stranded. With a reroute budget the switch parks the
             // packet and retries after a backoff — transient faults may
             // heal. Without one (the default), this is a Blocked drop,
             // as before dynamic faults existed.
-            let tried = self.pkts[pkt].reroutes;
+            let tried = self.pkts.reroutes[pkt];
             if tried < self.cfg.reroute_retry.retries {
-                self.pkts[pkt].reroutes = tried + 1;
+                self.pkts.reroutes[pkt] = tried + 1;
                 let at = self.now.cycles() + self.cfg.reroute_retry.delay(tried);
                 self.queue.push(SimTime(at), EventKind::Reroute { pkt, node });
                 if self.obs {
@@ -1469,13 +1812,12 @@ impl<'a> Simulation<'a> {
             }
             return;
         };
-        let chosen = candidates[i];
 
         // Fault-coherence invariant: routing already filtered faulty
         // links, so a chosen hop onto one is a simulator bug.
         if self.checking && self.live.is_faulty(self.topo, cur, &chosen.next) {
             self.report_violation(
-                self.pkts[pkt].packet.id.0,
+                self.pkts.packet(pkt).id.0,
                 node,
                 "fault_coherence",
                 format!("routing committed {cur} -> {} over a faulty link", chosen.next),
@@ -1495,14 +1837,14 @@ impl<'a> Simulation<'a> {
         // Switch-side marking happens once the output port is decided
         // (Fig. 4: Routing() first, then Δ computed and stored).
         let env = MarkEnv { topo: self.topo };
-        let p = &mut self.pkts[pkt];
+        let p = self.pkts.cold_mut(pkt);
         let mf_before = p.packet.header.identification.raw();
         self.marker
             .on_forward(&mut p.packet, cur, &chosen.next, &env, &mut p.rng);
         let mf_after = p.packet.header.identification.raw();
         p.state.record_hop(chosen.productive, chosen.dir);
-        p.wire_mf = mf_after;
-        p.last_hop_at = self.now.cycles();
+        self.pkts.wire_mf[pkt] = mf_after;
+        self.pkts.last_hop_at[pkt] = self.now.cycles();
         self.last_progress = self.now.cycles();
 
         let depart = busy_until.max(self.now.cycles()) + self.cfg.service_cycles;
@@ -1567,8 +1909,8 @@ impl<'a> Simulation<'a> {
             !self.live.is_node_dead(node_id),
             "SwitchDown claims parked packets eagerly"
         );
-        let cur = self.topo.coord(node_id);
-        self.forward_from(pkt, &cur);
+        let cur = self.coord_of(node);
+        self.forward_from(pkt, node, &cur);
     }
 
     /// Removes every pending event belonging to a packet in `doomed`
@@ -1603,16 +1945,13 @@ impl<'a> Simulation<'a> {
         // recover by claiming all victims with a typed drop.
         if now.saturating_sub(self.last_progress) >= wd.stall_cycles {
             self.stats.watchdog.deadlocks += 1;
-            let victims: Vec<usize> = self
-                .pkts
-                .iter_live()
-                .filter(|(_, p)| p.launched)
-                .map(|(i, _)| i)
+            let victims: Vec<usize> = (0..self.pkts.len())
+                .filter(|&i| self.pkts.is_resident(i) && self.pkts.flag(i, F_LAUNCHED))
                 .collect();
             let doomed: HashSet<usize> = victims.iter().copied().collect();
             self.extract_events_of(&doomed);
             for pkt in victims {
-                let node = self.pkts[pkt].last_node;
+                let node = self.pkts.last_node[pkt];
                 if self.obs {
                     self.emit(
                         pkt,
@@ -1638,18 +1977,18 @@ impl<'a> Simulation<'a> {
         // regardless.
         let mut detected: Vec<(usize, bool)> = Vec::new();
         let mut drop_now: Vec<usize> = Vec::new();
-        for (i, p) in self.pkts.iter_live() {
-            if !p.launched {
+        for i in 0..self.pkts.len() {
+            if !self.pkts.is_resident(i) || !self.pkts.flag(i, F_LAUNCHED) {
                 continue;
             }
-            let age = now.saturating_sub(p.injected_at.cycles());
+            let age = now.saturating_sub(self.pkts.injected_at[i].cycles());
             self.stats.watchdog.max_age_seen = self.stats.watchdog.max_age_seen.max(age);
-            let drought = now.saturating_sub(p.last_hop_at) >= wd.max_age;
-            if !p.escaped {
+            let drought = now.saturating_sub(self.pkts.last_hop_at[i]) >= wd.max_age;
+            if !self.pkts.flag(i, F_ESCAPED) {
                 if age >= wd.max_age {
                     detected.push((i, !drought));
                 }
-            } else if now.saturating_sub(p.escaped_at) >= wd.max_age && drought {
+            } else if now.saturating_sub(self.pkts.escaped_at[i]) >= wd.max_age && drought {
                 drop_now.push(i);
             }
         }
@@ -1661,7 +2000,7 @@ impl<'a> Simulation<'a> {
                 self.stats.watchdog.starvations += 1;
             }
             if self.obs {
-                let node = self.pkts[i].last_node;
+                let node = self.pkts.last_node[i];
                 let action = if moving {
                     "livelock_detected"
                 } else {
@@ -1687,11 +2026,11 @@ impl<'a> Simulation<'a> {
             }
             for (i, _) in detected {
                 self.stats.watchdog.escapes += 1;
-                self.pkts[i].escaped = true;
-                self.pkts[i].escaped_at = now;
-                self.pkts[i].reroutes = 0;
+                self.pkts.set_flag(i, F_ESCAPED, true);
+                self.pkts.escaped_at[i] = now;
+                self.pkts.reroutes[i] = 0;
                 if self.obs {
-                    let node = self.pkts[i].last_node;
+                    let node = self.pkts.last_node[i];
                     self.emit(i, node, TelEvent::Watchdog { action: "escape" });
                 }
             }
@@ -1705,7 +2044,7 @@ impl<'a> Simulation<'a> {
             let doomed: HashSet<usize> = drop_now.iter().copied().collect();
             self.extract_events_of(&doomed);
             for pkt in drop_now {
-                let node = self.pkts[pkt].last_node;
+                let node = self.pkts.last_node[pkt];
                 self.drop_packet(pkt, node, DropReason::LivelockEscaped);
             }
         }
@@ -1754,6 +2093,12 @@ impl<'a> Simulation<'a> {
         inboxes: &Inboxes,
     ) -> (Vec<Simulation<'a>>, Vec<(u64, FaultEvent)>, Option<u64>) {
         let capture = self.obs;
+        // Staged (bounded-memory) injections materialise here, in FIFO
+        // order — identical handle/seed assignment to the serial pump,
+        // so staged runs stay bit-reproducible across engines.
+        while let Some((t, p)) = self.pending.pop_front() {
+            self.schedule(SimTime(t), p);
+        }
         let selftest_at = if self.checking {
             self.checker.selftest_pending()
         } else {
@@ -1809,7 +2154,7 @@ impl<'a> Simulation<'a> {
         while let Some(ev) = self.queue.pop() {
             match ev.kind {
                 EventKind::Inject { pkt } => {
-                    let owner = part.owner(self.pkts[pkt].packet.true_source);
+                    let owner = part.owner(self.pkts.packet(pkt).true_source);
                     owner_of.insert(pkt, owner);
                     sims[owner].queue.push(ev.time, EventKind::Inject { pkt });
                 }
@@ -1830,7 +2175,7 @@ impl<'a> Simulation<'a> {
             }
         }
         for idx in 0..self.pkts.len() {
-            if let Some(flight) = self.pkts.0.take_idx(idx) {
+            if let Some(flight) = self.pkts.take_if_resident(idx) {
                 let owner = owner_of
                     .get(&idx)
                     .copied()
@@ -1889,12 +2234,15 @@ impl<'a> Simulation<'a> {
         let (pkt_id, node) = match ev.kind {
             EventKind::Inject { pkt }
             | EventKind::Arrive { pkt, .. }
-            | EventKind::Reroute { pkt, .. } => match self.pkts.get(pkt) {
-                Some(p) => (p.packet.id.0, p.last_node),
-                // The event's packet just left this shard mid-event —
-                // freed on delivery/drop, or handed off.
-                None => self.gone_info,
-            },
+            | EventKind::Reroute { pkt, .. } => {
+                if self.pkts.is_resident(pkt) {
+                    (self.pkts.packet(pkt).id.0, self.pkts.last_node[pkt])
+                } else {
+                    // The event's packet just left this shard mid-event —
+                    // freed on delivery/drop, or handed off.
+                    self.gone_info
+                }
+            }
             EventKind::Fault { .. } | EventKind::Watchdog => (0, u32::MAX),
         };
         // `u32::MAX` sorts the candidate after every emission of its
@@ -1995,7 +2343,7 @@ impl<'a> Simulation<'a> {
         lost.into_iter()
             .filter_map(|e| match e.kind {
                 EventKind::Arrive { pkt, node, .. } | EventKind::Reroute { pkt, node } => {
-                    let pkt_id = self.pkts[pkt].packet.id.0;
+                    let pkt_id = self.pkts.packet(pkt).id.0;
                     self.account_drop(pkt, reason);
                     Some(FaultVictim {
                         time: e.time.0,
@@ -2014,17 +2362,16 @@ impl<'a> Simulation<'a> {
     #[doc(hidden)]
     #[must_use]
     pub fn watchdog_report(&self) -> Vec<WdPacket> {
-        self.pkts
-            .iter_live()
-            .filter(|(_, p)| p.launched)
-            .map(|(handle, p)| WdPacket {
+        (0..self.pkts.len())
+            .filter(|&i| self.pkts.is_resident(i) && self.pkts.flag(i, F_LAUNCHED))
+            .map(|handle| WdPacket {
                 handle,
-                pkt_id: p.packet.id.0,
-                injected_at: p.injected_at.cycles(),
-                last_hop_at: p.last_hop_at,
-                escaped: p.escaped,
-                escaped_at: p.escaped_at,
-                last_node: p.last_node,
+                pkt_id: self.pkts.packet(handle).id.0,
+                injected_at: self.pkts.injected_at[handle].cycles(),
+                last_hop_at: self.pkts.last_hop_at[handle],
+                escaped: self.pkts.flag(handle, F_ESCAPED),
+                escaped_at: self.pkts.escaped_at[handle],
+                last_node: self.pkts.last_node[handle],
             })
             .collect()
     }
@@ -2036,7 +2383,7 @@ impl<'a> Simulation<'a> {
     pub fn exec_wd_actions(&mut self, actions: &[WdAction], now: u64) {
         for a in actions {
             let pkt = a.handle;
-            if self.pkts.get(pkt).is_none() {
+            if !self.pkts.is_resident(pkt) {
                 continue;
             }
             match a.kind {
@@ -2052,10 +2399,9 @@ impl<'a> Simulation<'a> {
                                 .push(SimTime(now + 1), EventKind::Reroute { pkt, node });
                         }
                     }
-                    let p = &mut self.pkts[pkt];
-                    p.escaped = true;
-                    p.escaped_at = now;
-                    p.reroutes = 0;
+                    self.pkts.set_flag(pkt, F_ESCAPED, true);
+                    self.pkts.escaped_at[pkt] = now;
+                    self.pkts.reroutes[pkt] = 0;
                 }
                 WdActionKind::Drop(reason) => {
                     self.queue.extract(|k| match k {
@@ -2222,18 +2568,19 @@ impl<'a> Simulation<'a> {
             while let Some(ev) = shard.queue.pop() {
                 q.push(ev.time, ev.kind);
             }
-            for idx in 0..shard.pkts.0.len() {
+            for idx in 0..shard.pkts.len() {
                 // Generations are per-slot free counts: the master's
                 // base plus the shard's delta equals the serial count.
-                let delta = shard.pkts.0.generation_of(idx).unwrap_or(0);
+                let delta = shard.pkts.gens[idx];
                 if delta != 0 {
-                    let base = self.pkts.0.generation_of(idx).expect("index in range");
-                    self.pkts.0.set_generation(idx, base.wrapping_add(delta));
+                    let base = self.pkts.gens[idx];
+                    self.pkts.gens[idx] = base.wrapping_add(delta);
                 }
-                if let Some(flight) = shard.pkts.0.take_idx(idx) {
+                if let Some(flight) = shard.pkts.take_if_resident(idx) {
                     self.pkts.put(idx, flight);
                 }
             }
+            self.pkts.peak_bytes = self.pkts.peak_bytes.max(shard.pkts.peak_bytes);
             live += shard.live_count;
             last_progress = last_progress.max(shard.last_progress);
             let t = shard.now.cycles();

@@ -118,6 +118,13 @@ pub struct SimSnapshot {
     pub last_progress: u64,
     /// True while a watchdog sweep is scheduled.
     pub watchdog_armed: bool,
+    /// Staged (not yet materialised) injections, in time order —
+    /// the bounded-memory injection backlog.
+    pub pending: Vec<(u64, Packet)>,
+    /// High-water mark of the staged backlog.
+    pub pending_peak: u64,
+    /// High-water mark of packet-arena bytes so far.
+    pub peak_arena_bytes: u64,
     /// Invariant violations recorded so far.
     pub violations: Vec<Violation>,
     /// The invariant checker's bounded trace tail, oldest first.

@@ -62,6 +62,15 @@ pub struct SimStats {
     /// null sink (the simulation itself completed normally; only the
     /// trace is incomplete).
     pub telemetry_degraded: bool,
+    /// High-water mark of packet-arena bytes (struct-of-arrays slots +
+    /// resident cold payloads + staged-injection backlog). Memory
+    /// telemetry, excluded from `Debug` so conformance digests are
+    /// untouched.
+    pub peak_arena_bytes: u64,
+    /// Bytes of the dense per-port busy table (fixed per topology).
+    /// Memory telemetry, excluded from `Debug` like
+    /// [`SimStats::peak_arena_bytes`].
+    pub port_bytes: u64,
 }
 
 // Hand-written so the conformance digest (which hashes `{stats:?}`)
@@ -174,6 +183,20 @@ mod tests {
         assert!(healthy.starts_with("SimStats {"));
         s.telemetry_degraded = true;
         assert!(format!("{s:?}").contains("telemetry_degraded: true"));
+    }
+
+    #[test]
+    fn memory_telemetry_never_prints() {
+        let s = SimStats {
+            peak_arena_bytes: 123,
+            port_bytes: 456,
+            ..SimStats::default()
+        };
+        let out = format!("{s:?}");
+        assert!(
+            !out.contains("arena") && !out.contains("port_bytes"),
+            "memory fields must stay out of the digested Debug shape"
+        );
     }
 
     #[test]

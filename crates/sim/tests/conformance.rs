@@ -87,6 +87,7 @@ fn micro_config(topo: &TopologySpec, router: RouterSpec, churn: &str) -> Scenari
         background_interval: 48,
         horizon: 1500,
         attack: None,
+        staged_injection: false,
         fault_schedule: Vec::new(),
         fault_retries: 0,
         watchdog: None,
@@ -147,6 +148,7 @@ fn scheme_config(topo: &TopologySpec, spec: SchemeSpec) -> ScenarioConfig {
             packets_per_zombie: 150,
             interval: 8,
         }),
+        staged_injection: false,
         fault_schedule: Vec::new(),
         fault_retries: 0,
         watchdog: None,
@@ -242,7 +244,59 @@ fn corpus_digests() -> Vec<(String, String)> {
             out.push((name, outcome.digest));
         }
     }
+
+    for (name, cfg) in scale_cells() {
+        let outcome = run_scenario(&cfg).unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        out.push((name, outcome.digest));
+    }
     out
+}
+
+/// The scale axis: micro members of the Table 3 fabric families —
+/// a 16×16×4 3-D mesh and the 2^10 hypercube — flooded the same way
+/// the full-size scale suite floods the 128×128 grids, plus each cell
+/// re-run under `staged_injection`. A pure flood is already
+/// time-ordered, so the staged (bounded-memory, lazily materialised)
+/// run must reproduce the eager digest *exactly* — the golden file
+/// pins both lines, locking that order-equivalence. Appended after
+/// the original corpus so the pre-existing golden lines stay
+/// byte-identical.
+fn scale_cells() -> Vec<(String, ScenarioConfig)> {
+    let flood = |topo: TopologySpec, victim: u32, staged: bool| ScenarioConfig {
+        topology: topo,
+        router: RouterSpec::DimensionOrder,
+        marking: MarkingSpec::Ddpm,
+        scheme: None,
+        tag_bits: None,
+        adversary: None,
+        seed: 2004,
+        fault_rate: 0.0,
+        background_interval: 0,
+        horizon: 1500,
+        attack: Some(AttackSpec::UdpFlood {
+            zombies: vec![3, 257, 511],
+            victim,
+            packets_per_zombie: 200,
+            interval: 4,
+        }),
+        staged_injection: staged,
+        fault_schedule: Vec::new(),
+        fault_retries: 0,
+        watchdog: None,
+        invariants: false,
+        engine: Engine::Serial,
+        checkpoint: None,
+    };
+    let mesh = TopologySpec::Mesh {
+        dims: vec![16, 16, 4],
+    };
+    let cube = TopologySpec::Hypercube { n: 10 };
+    vec![
+        ("scale/mesh16x16x4/flood".into(), flood(mesh.clone(), 700, false)),
+        ("scale/mesh16x16x4/staged".into(), flood(mesh, 700, true)),
+        ("scale/cube10/flood".into(), flood(cube.clone(), 700, false)),
+        ("scale/cube10/staged".into(), flood(cube, 700, true)),
+    ]
 }
 
 fn render(digests: &[(String, String)]) -> String {

@@ -62,6 +62,88 @@ pub fn connected_component_size(topo: &Topology, start: &Coord, faults: &FaultSe
         .count()
 }
 
+/// Bounded-memory distance queries over a healthy network: BFS rows are
+/// computed on demand and memoised in a small LRU, so Table-3-scale
+/// fabrics (up to 2^16 nodes) never materialise an O(N²) all-pairs
+/// table. One row costs `4·N` bytes (256 KiB on the 16-cube); the
+/// oracle's footprint is bounded by `cap` rows regardless of how many
+/// sources are queried.
+pub struct DistanceOracle<'a> {
+    topo: &'a Topology,
+    cap: usize,
+    /// LRU of `(source index, BFS row)`, most recently used last.
+    rows: Vec<(u32, Vec<u32>)>,
+    misses: u64,
+}
+
+impl<'a> DistanceOracle<'a> {
+    /// Default number of memoised BFS rows.
+    pub const DEFAULT_CAP: usize = 8;
+
+    /// An oracle memoising at most `cap` BFS rows (`cap >= 1`).
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn new(topo: &'a Topology, cap: usize) -> Self {
+        assert!(cap >= 1, "distance oracle needs at least one row");
+        Self {
+            topo,
+            cap,
+            rows: Vec::new(),
+            misses: 0,
+        }
+    }
+
+    /// An oracle with the default row budget.
+    #[must_use]
+    pub fn with_default_cap(topo: &'a Topology) -> Self {
+        Self::new(topo, Self::DEFAULT_CAP)
+    }
+
+    /// Hop distance from `a` to `b` over the healthy network, via the
+    /// memoised BFS row of `a`.
+    pub fn distance(&mut self, a: &Coord, b: &Coord) -> u32 {
+        let s = self.topo.index(a).0;
+        let t = self.topo.index(b).as_usize();
+        self.row_of(s, a)[t]
+    }
+
+    /// The full BFS row of `a` (distance to every node, in index order).
+    pub fn row(&mut self, a: &Coord) -> &[u32] {
+        let s = self.topo.index(a).0;
+        self.row_of(s, a)
+    }
+
+    fn row_of(&mut self, s: u32, a: &Coord) -> &[u32] {
+        if let Some(pos) = self.rows.iter().position(|(src, _)| *src == s) {
+            // Refresh: move the hit to the back (most recently used).
+            let hit = self.rows.remove(pos);
+            self.rows.push(hit);
+        } else {
+            self.misses += 1;
+            if self.rows.len() == self.cap {
+                self.rows.remove(0);
+            }
+            let row = bfs_distances(self.topo, a, &FaultSet::none());
+            self.rows.push((s, row));
+        }
+        &self.rows.last().expect("just pushed").1
+    }
+
+    /// Number of BFS rows computed so far (cache misses).
+    #[must_use]
+    pub fn rows_computed(&self) -> u64 {
+        self.misses
+    }
+
+    /// Current memoised-row count (≤ the construction cap).
+    #[must_use]
+    pub fn rows_resident(&self) -> usize {
+        self.rows.len()
+    }
+}
+
 /// BFS parent tree from `start`; `parents[i]` is the predecessor of node
 /// `i` on one shortest path, or `None` for `start`/unreachable nodes.
 #[must_use]
@@ -148,6 +230,35 @@ mod tests {
             connected_component_size(&topo, &Coord::new(&[1, 1]), &faults),
             3
         );
+    }
+
+    #[test]
+    fn oracle_matches_min_hops_and_bounds_memory() {
+        let topo = Topology::torus(&[6, 5]);
+        let mut oracle = DistanceOracle::new(&topo, 2);
+        for a in topo.all_nodes() {
+            for b in topo.all_nodes() {
+                assert_eq!(oracle.distance(&a, &b), topo.min_hops(&a, &b));
+            }
+        }
+        // Every source was queried, but only `cap` rows ever resident.
+        assert_eq!(oracle.rows_resident(), 2);
+        assert_eq!(oracle.rows_computed(), topo.num_nodes());
+    }
+
+    #[test]
+    fn oracle_lru_keeps_hot_row() {
+        let topo = Topology::mesh2d(4);
+        let a = topo.coord(NodeId(0));
+        let b = topo.coord(NodeId(5));
+        let c = topo.coord(NodeId(9));
+        let mut oracle = DistanceOracle::new(&topo, 2);
+        oracle.distance(&a, &b); // miss: row(a)
+        oracle.distance(&b, &a); // miss: row(b)
+        oracle.distance(&a, &c); // hit: row(a) refreshed
+        oracle.distance(&c, &a); // miss: row(c) evicts row(b)
+        oracle.distance(&a, &b); // still a hit
+        assert_eq!(oracle.rows_computed(), 3);
     }
 
     #[test]

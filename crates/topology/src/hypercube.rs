@@ -84,11 +84,11 @@ impl Hypercube {
             self.n
         );
         let n = self.ndims();
-        let mut vals = vec![0i16; n];
-        for (d, val) in vals.iter_mut().enumerate() {
+        let mut vals = [0i16; crate::MAX_DIMS];
+        for (d, val) in vals.iter_mut().enumerate().take(n) {
             *val = ((idx >> (n - 1 - d)) & 1) as i16;
         }
-        Coord::new(&vals)
+        Coord::new(&vals[..n])
     }
 
     /// The neighbour of `c` across dimension `dir.dim` (bit toggle).

@@ -39,7 +39,7 @@ pub mod torus;
 pub use coord::{Coord, MAX_DIMS};
 pub use direction::{Direction, Sign};
 pub use faults::{ChurnConfig, FaultEvent, FaultSchedule, FaultSet};
-pub use graph::{bfs_distances, connected_component_size, diameter_by_bfs};
+pub use graph::{bfs_distances, connected_component_size, diameter_by_bfs, DistanceOracle};
 pub use hypercube::Hypercube;
 pub use mesh::Mesh;
 pub use partition::{Partition, PartitionStrategy};

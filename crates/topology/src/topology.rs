@@ -228,21 +228,53 @@ impl Topology {
         }
     }
 
+    /// Streams the neighbours of `c` to `f`, one call per distinct
+    /// neighbour, in [`Topology::neighbors`] order — without allocating
+    /// the list, the `directions()` vector, or a dedup set. This is the
+    /// hot-path form: routing queries every neighbour of the current
+    /// switch on every hop, and at 2^16-node scale the allocation per
+    /// query dominates.
+    pub fn for_each_neighbor<F: FnMut(Direction, Coord)>(&self, c: &Coord, mut f: F) {
+        match self {
+            Topology::Mesh(m) => {
+                for d in 0..m.ndims() {
+                    if let Some(nb) = m.neighbor(c, Direction::plus(d)) {
+                        f(Direction::plus(d), nb);
+                    }
+                    if let Some(nb) = m.neighbor(c, Direction::minus(d)) {
+                        f(Direction::minus(d), nb);
+                    }
+                }
+            }
+            Topology::Torus(t) => {
+                for d in 0..t.ndims() {
+                    if let Some(nb) = t.neighbor(c, Direction::plus(d)) {
+                        f(Direction::plus(d), nb);
+                    }
+                    // On a radix-2 ring both signs reach the same node;
+                    // keep one port per distinct neighbour.
+                    if t.dims()[d] > 2 {
+                        if let Some(nb) = t.neighbor(c, Direction::minus(d)) {
+                            f(Direction::minus(d), nb);
+                        }
+                    }
+                }
+            }
+            Topology::Hypercube(h) => {
+                for d in 0..h.ndims() {
+                    if let Some(nb) = h.neighbor(c, Direction::plus(d)) {
+                        f(Direction::plus(d), nb);
+                    }
+                }
+            }
+        }
+    }
+
     /// Live neighbours of `c` with the direction that reaches each.
     #[must_use]
     pub fn neighbors(&self, c: &Coord) -> Vec<(Direction, Coord)> {
         let mut out = Vec::with_capacity(self.degree());
-        let mut seen = Vec::with_capacity(self.degree());
-        for dir in self.directions() {
-            if let Some(nb) = self.neighbor(c, dir) {
-                // A radix-2 ring reaches the same node in both signs; keep
-                // one port per distinct neighbour.
-                if !seen.contains(&nb) {
-                    seen.push(nb);
-                    out.push((dir, nb));
-                }
-            }
-        }
+        self.for_each_neighbor(c, |dir, nb| out.push((dir, nb)));
         out
     }
 

@@ -112,13 +112,16 @@ impl Torus {
             self.dims
         );
         let mut rem = u64::from(idx);
-        let mut vals = vec![0i16; self.ndims()];
-        for d in (0..self.ndims()).rev() {
+        let n = self.ndims();
+        // Stack buffer: `coord` sits on the simulator's per-event path,
+        // so it must not allocate.
+        let mut vals = [0i16; crate::MAX_DIMS];
+        for d in (0..n).rev() {
             let k = u64::from(self.dims[d]);
             vals[d] = (rem % k) as i16;
             rem /= k;
         }
-        Coord::new(&vals)
+        Coord::new(&vals[..n])
     }
 
     /// The neighbour of `c` in direction `dir` (always exists: wrap-around).

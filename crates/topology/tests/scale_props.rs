@@ -1,0 +1,132 @@
+//! Property tests at the paper's Table 3 maxima.
+//!
+//! Table 3 claims DDPM's marking field covers fabrics up to the 128×128
+//! mesh/torus (16 384 nodes), the 32×32×8 3-D mesh and the 2^16-node
+//! hypercube. These tests exercise the topology math — index/coordinate
+//! bijectivity, neighbour symmetry via the streaming iterator, and
+//! BFS-distance bounds through the bounded-memory [`DistanceOracle`] —
+//! at exactly those sizes. Pure coordinate arithmetic plus one BFS row
+//! per case: no simulator build, no O(N²) tables.
+
+use ddpm_topology::{DistanceOracle, NodeId, Topology};
+use proptest::prelude::*;
+
+/// The four Table 3 maximum fabrics, tagged 0..=3.
+fn table3(which: u8) -> Topology {
+    match which {
+        0 => Topology::mesh(&[128, 128]),
+        1 => Topology::torus(&[128, 128]),
+        2 => Topology::mesh(&[32, 32, 8]),
+        _ => Topology::hypercube(16),
+    }
+}
+
+fn arb_fabric_and_node() -> impl Strategy<Value = (u8, u32)> {
+    (0u8..=3).prop_flat_map(|which| {
+        let n = table3(which).num_nodes() as u32;
+        (Just(which), 0..n)
+    })
+}
+
+proptest! {
+    // Each case touches a 16 384–65 536-node fabric; a handful of cases
+    // per property keeps the suite debug-fast while still sampling every
+    // fabric (proptest interleaves the `which` tag).
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn index_coord_roundtrip_at_scale((which, i) in arb_fabric_and_node()) {
+        let topo = table3(which);
+        let c = topo.coord(NodeId(i));
+        prop_assert!(topo.contains(&c));
+        prop_assert_eq!(topo.index(&c), NodeId(i));
+    }
+
+    #[test]
+    fn streaming_neighbors_symmetric_at_scale((which, i) in arb_fabric_and_node()) {
+        let topo = table3(which);
+        let c = topo.coord(NodeId(i));
+        let mut count = 0usize;
+        let mut ok = true;
+        topo.for_each_neighbor(&c, |_, nb| {
+            count += 1;
+            ok &= topo.contains(&nb) && topo.min_hops(&c, &nb) == 1;
+            // Symmetry: the streaming iterator of the neighbour must
+            // reach back to `c`.
+            let mut back = false;
+            topo.for_each_neighbor(&nb, |_, b| back |= b == c);
+            ok &= back;
+        });
+        prop_assert!(ok, "asymmetric or non-adjacent neighbour at {}", c);
+        prop_assert!(count <= topo.degree());
+        // The allocating form must agree with the streaming form.
+        prop_assert_eq!(topo.neighbors(&c).len(), count);
+    }
+
+    #[test]
+    fn bfs_distance_bounded_by_analytic_diameter((which, i) in arb_fabric_and_node()) {
+        let topo = table3(which);
+        let src = topo.coord(NodeId(i));
+        let mut oracle = DistanceOracle::new(&topo, 2);
+        let diam = topo.diameter();
+        let row = oracle.row(&src);
+        prop_assert_eq!(row.len() as u64, topo.num_nodes());
+        for (j, &d) in row.iter().enumerate() {
+            prop_assert!(
+                d <= diam,
+                "BFS distance {} from {} to node {} exceeds diameter {}",
+                d, src, j, diam
+            );
+        }
+        prop_assert_eq!(row[topo.index(&src).as_usize()], 0);
+    }
+
+    #[test]
+    fn oracle_distance_matches_closed_form(
+        (which, i) in arb_fabric_and_node(),
+        j_seed in any::<u32>()
+    ) {
+        let topo = table3(which);
+        let n = topo.num_nodes() as u32;
+        let a = topo.coord(NodeId(i));
+        let b = topo.coord(NodeId(j_seed % n));
+        let mut oracle = DistanceOracle::with_default_cap(&topo);
+        prop_assert_eq!(oracle.distance(&a, &b), topo.min_hops(&a, &b));
+        prop_assert_eq!(oracle.distance(&b, &a), topo.min_hops(&a, &b));
+        prop_assert!(oracle.rows_resident() <= DistanceOracle::DEFAULT_CAP);
+    }
+}
+
+#[test]
+fn table3_analytic_properties() {
+    // §3 closed forms at the Table 3 maxima.
+    let cases: [(Topology, u64, u32, usize); 4] = [
+        (Topology::mesh(&[128, 128]), 16_384, 254, 4),
+        (Topology::torus(&[128, 128]), 16_384, 128, 4),
+        (Topology::mesh(&[32, 32, 8]), 8_192, 69, 6),
+        (Topology::hypercube(16), 65_536, 16, 16),
+    ];
+    for (topo, nodes, diam, degree) in cases {
+        assert_eq!(topo.num_nodes(), nodes, "{topo}");
+        assert_eq!(topo.diameter(), diam, "{topo}");
+        assert_eq!(topo.degree(), degree, "{topo}");
+        // Spot-check the far corner round-trips.
+        let last = topo.coord(NodeId((nodes - 1) as u32));
+        assert_eq!(topo.index(&last), NodeId((nodes - 1) as u32));
+    }
+}
+
+#[test]
+fn coord_is_heap_free_at_scale() {
+    // `coord()` is called several times per simulated event; at 2^16
+    // nodes it must stay pure stack math. This is a behavioural proxy:
+    // a million conversions complete quickly and agree with `index`.
+    let topo = Topology::hypercube(16);
+    let mut acc = 0u64;
+    for i in 0..topo.num_nodes() as u32 {
+        let c = topo.coord(NodeId(i));
+        acc = acc.wrapping_add(u64::from(c.hamming_weight()));
+        debug_assert_eq!(topo.index(&c), NodeId(i));
+    }
+    assert_eq!(acc, 16 * 65_536 / 2); // popcount sum over 0..2^16
+}
